@@ -1,0 +1,89 @@
+//! Index construction: from a road network and a trajectory dataset to a
+//! ready-to-query [`ReachabilityEngine`].
+
+use std::sync::Arc;
+
+use streach_roadnet::RoadNetwork;
+use streach_traj::TrajectoryDataset;
+
+use crate::con_index::ConIndex;
+use crate::config::IndexConfig;
+use crate::engine::ReachabilityEngine;
+use crate::speed_stats::SpeedStats;
+use crate::st_index::StIndex;
+
+/// Builds the ST-Index and Con-Index over a dataset and wraps them in a
+/// [`ReachabilityEngine`].
+///
+/// ```
+/// # use streach_core::prelude::*;
+/// # use streach_core::EngineBuilder;
+/// # let city = SyntheticCity::generate(GeneratorConfig::small());
+/// # let network = std::sync::Arc::new(city.network);
+/// # let dataset = TrajectoryDataset::simulate(&network, FleetConfig::tiny());
+/// let engine = EngineBuilder::new(network.clone(), &dataset).build();
+/// assert!(engine.st_index().stats().num_time_lists > 0);
+/// ```
+pub struct EngineBuilder<'a> {
+    network: Arc<RoadNetwork>,
+    dataset: &'a TrajectoryDataset,
+    config: IndexConfig,
+}
+
+impl<'a> EngineBuilder<'a> {
+    /// Starts a builder with the default [`IndexConfig`].
+    pub fn new(network: Arc<RoadNetwork>, dataset: &'a TrajectoryDataset) -> Self {
+        Self { network, dataset, config: IndexConfig::default() }
+    }
+
+    /// Overrides the index configuration.
+    pub fn index_config(mut self, config: IndexConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides only the temporal granularity Δt (in seconds).
+    pub fn slot_seconds(mut self, slot_s: u32) -> Self {
+        self.config.slot_s = slot_s;
+        self
+    }
+
+    /// Builds the indexes and the engine.
+    pub fn build(self) -> ReachabilityEngine {
+        let st_index = StIndex::build(self.network.clone(), self.dataset, &self.config);
+        let speed_stats = Arc::new(SpeedStats::from_dataset(&self.network, self.dataset, self.config.slot_s));
+        let con_index = ConIndex::new(self.network.clone(), speed_stats, &self.config);
+        ReachabilityEngine::new(self.network, st_index, con_index, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+    use streach_traj::FleetConfig;
+
+    #[test]
+    fn builder_applies_configuration() {
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(&network, FleetConfig::tiny());
+        let engine = EngineBuilder::new(network.clone(), &dataset)
+            .slot_seconds(600)
+            .index_config(IndexConfig { slot_s: 600, pool_pages: 16, read_latency_us: 0, ..Default::default() })
+            .build();
+        assert_eq!(engine.config().slot_s, 600);
+        assert_eq!(engine.st_index().slot_s(), 600);
+        assert_eq!(engine.con_index().slot_s(), 600);
+        assert_eq!(engine.st_index().num_days(), dataset.num_days());
+    }
+
+    #[test]
+    fn slot_seconds_shorthand() {
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(&network, FleetConfig::tiny());
+        let engine = EngineBuilder::new(network, &dataset).slot_seconds(120).build();
+        assert_eq!(engine.config().slot_s, 120);
+    }
+}

@@ -1,0 +1,201 @@
+//! The high-level reachability query engine.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use streach_roadnet::{RoadNetwork, SegmentId};
+
+use crate::con_index::ConIndex;
+use crate::config::IndexConfig;
+use crate::query::es::exhaustive_search;
+use crate::query::mqmb::{mqmb, mqmb_trace_back};
+use crate::query::sqmb::{num_hops, sqmb};
+use crate::query::tbs::trace_back_search;
+use crate::query::verifier::ReachabilityVerifier;
+use crate::query::{Algorithm, MQuery, MQueryAlgorithm, QueryOutcome, SQuery};
+use crate::region::ReachableRegion;
+use crate::st_index::StIndex;
+use crate::stats::QueryStats;
+use crate::time::slot_of;
+
+/// The spatio-temporal reachability query engine: the ST-Index, the
+/// Con-Index and the query processing algorithms behind one façade.
+///
+/// Use [`crate::builder::EngineBuilder`] to construct one from a road network
+/// and a trajectory dataset.
+pub struct ReachabilityEngine {
+    network: Arc<RoadNetwork>,
+    st_index: StIndex,
+    con_index: ConIndex,
+    config: IndexConfig,
+}
+
+impl ReachabilityEngine {
+    pub(crate) fn new(
+        network: Arc<RoadNetwork>,
+        st_index: StIndex,
+        con_index: ConIndex,
+        config: IndexConfig,
+    ) -> Self {
+        Self { network, st_index, con_index, config }
+    }
+
+    /// The road network.
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        &self.network
+    }
+
+    /// The ST-Index.
+    pub fn st_index(&self) -> &StIndex {
+        &self.st_index
+    }
+
+    /// The Con-Index.
+    pub fn con_index(&self) -> &ConIndex {
+        &self.con_index
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Pre-builds the Con-Index connection tables a query (or a whole sweep
+    /// of queries) will need, so that query timings reflect pure query
+    /// processing — the paper builds its indexes offline.
+    pub fn warm_con_index(&self, start_time_s: u32, duration_s: u32) {
+        let slot_s = self.config.slot_s;
+        let k = num_hops(duration_s, slot_s);
+        let slots: Vec<u32> = (0..k)
+            .map(|step| slot_of(start_time_s.saturating_add(step * slot_s), slot_s))
+            .collect();
+        self.con_index.build_slots(&slots);
+    }
+
+    /// Maps a query location to its start road segment via the ST-Index
+    /// spatial component.
+    pub fn locate(&self, location: &streach_geo::GeoPoint) -> Option<SegmentId> {
+        self.st_index.locate_segment(location)
+    }
+
+    /// Answers a single-location ST reachability query.
+    ///
+    /// # Panics
+    /// Panics if the query is invalid (see [`SQuery::validate`]) or if the
+    /// location cannot be matched to a road segment.
+    pub fn s_query(&self, query: &SQuery, algorithm: Algorithm) -> QueryOutcome {
+        query.validate().expect("invalid s-query");
+        let start_segment = self
+            .locate(&query.location)
+            .expect("query location cannot be matched to the road network");
+
+        let io_before = self.st_index.io_stats().snapshot();
+        let t0 = Instant::now();
+        let (region, verified, visited, max_b, min_b) = match algorithm {
+            Algorithm::ExhaustiveSearch => {
+                let (region, verified, visited) =
+                    exhaustive_search(&self.network, &self.st_index, query, start_segment);
+                (region, verified, visited, 0, 0)
+            }
+            Algorithm::SqmbTbs => {
+                let bounds = sqmb(
+                    &self.con_index,
+                    self.network.num_segments(),
+                    start_segment,
+                    query.start_time_s,
+                    query.duration_s,
+                );
+                let mut verifier = ReachabilityVerifier::new(
+                    &self.st_index,
+                    start_segment,
+                    query.start_time_s,
+                    query.duration_s,
+                );
+                let outcome = trace_back_search(&self.network, &mut verifier, &bounds, query.prob);
+                (
+                    outcome.region,
+                    outcome.verifications,
+                    outcome.visited,
+                    bounds.max_region.len(),
+                    bounds.min_region.len(),
+                )
+            }
+        };
+        let wall_time = t0.elapsed();
+        let io_after = self.st_index.io_stats().snapshot();
+
+        QueryOutcome {
+            region,
+            stats: QueryStats {
+                wall_time,
+                io: io_after.delta_since(&io_before),
+                segments_verified: verified,
+                max_bounding_size: max_b,
+                min_bounding_size: min_b,
+                segments_visited: visited,
+            },
+        }
+    }
+
+    /// Answers a multi-location ST reachability query.
+    ///
+    /// With [`MQueryAlgorithm::RepeatedSQuery`] every location is answered as
+    /// an independent SQMB+TBS s-query and the regions are unioned (the
+    /// baseline of Section 4.3); with [`MQueryAlgorithm::MqmbTbs`] the
+    /// unified MQMB bounding region is verified once.
+    pub fn m_query(&self, query: &MQuery, algorithm: MQueryAlgorithm) -> QueryOutcome {
+        query.validate().expect("invalid m-query");
+        match algorithm {
+            MQueryAlgorithm::RepeatedSQuery => {
+                let mut region = ReachableRegion::empty();
+                let mut stats = QueryStats::default();
+                for i in 0..query.locations.len() {
+                    let sub = query.sub_query(i);
+                    let outcome = self.s_query(&sub, Algorithm::SqmbTbs);
+                    region = region.union(&self.network, &outcome.region);
+                    stats = stats.merge(&outcome.stats);
+                }
+                QueryOutcome { region, stats }
+            }
+            MQueryAlgorithm::MqmbTbs => {
+                let starts: Vec<SegmentId> = query
+                    .locations
+                    .iter()
+                    .map(|p| self.locate(p).expect("query location cannot be matched to the road network"))
+                    .collect();
+                let io_before = self.st_index.io_stats().snapshot();
+                let t0 = Instant::now();
+                let bounds = mqmb(
+                    &self.con_index,
+                    &self.network,
+                    &starts,
+                    &query.locations,
+                    query.start_time_s,
+                    query.duration_s,
+                );
+                let outcome = mqmb_trace_back(
+                    &self.network,
+                    &self.st_index,
+                    &bounds,
+                    &starts,
+                    query.start_time_s,
+                    query.duration_s,
+                    query.prob,
+                );
+                let wall_time = t0.elapsed();
+                let io_after = self.st_index.io_stats().snapshot();
+                QueryOutcome {
+                    region: outcome.region,
+                    stats: QueryStats {
+                        wall_time,
+                        io: io_after.delta_since(&io_before),
+                        segments_verified: outcome.verifications,
+                        max_bounding_size: bounds.max_region.len(),
+                        min_bounding_size: bounds.min_region.len(),
+                        segments_visited: outcome.visited,
+                    },
+                }
+            }
+        }
+    }
+}

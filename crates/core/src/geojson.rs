@@ -1,0 +1,90 @@
+//! GeoJSON export of reachable regions.
+//!
+//! The paper visualises query results on Leaflet maps (Figures 4.2, 4.4, 4.6
+//! and 4.9). This module renders a [`ReachableRegion`] as a GeoJSON
+//! `FeatureCollection` of `LineString`s (one per road segment) that any map
+//! viewer can display. The writer is hand-rolled so the workspace does not
+//! need a JSON dependency.
+
+use streach_roadnet::{RoadClass, RoadNetwork, SegmentId};
+
+use crate::region::ReachableRegion;
+
+fn class_name(class: RoadClass) -> &'static str {
+    match class {
+        RoadClass::Highway => "highway",
+        RoadClass::Primary => "primary",
+        RoadClass::Secondary => "secondary",
+        RoadClass::Local => "local",
+    }
+}
+
+fn push_segment_feature(out: &mut String, network: &RoadNetwork, id: SegmentId) {
+    let seg = network.segment(id);
+    out.push_str("{\"type\":\"Feature\",\"properties\":{");
+    out.push_str(&format!(
+        "\"segment\":{},\"class\":\"{}\",\"length_m\":{:.1}",
+        id.0,
+        class_name(seg.class),
+        seg.length_m
+    ));
+    out.push_str("},\"geometry\":{\"type\":\"LineString\",\"coordinates\":[");
+    for (i, p) in seg.geometry.points().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{:.6},{:.6}]", p.lon, p.lat));
+    }
+    out.push_str("]}}");
+}
+
+/// Renders a reachable region as a GeoJSON `FeatureCollection` string.
+pub fn region_to_geojson(network: &RoadNetwork, region: &ReachableRegion) -> String {
+    let mut out = String::with_capacity(region.len() * 160 + 64);
+    out.push_str("{\"type\":\"FeatureCollection\",\"features\":[");
+    for (i, &seg) in region.segments.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_segment_feature(&mut out, network, seg);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+
+    #[test]
+    fn empty_region_is_valid_feature_collection() {
+        let net = SyntheticCity::generate(GeneratorConfig::small()).network;
+        let json = region_to_geojson(&net, &ReachableRegion::empty());
+        assert_eq!(json, "{\"type\":\"FeatureCollection\",\"features\":[]}");
+    }
+
+    #[test]
+    fn features_match_segment_count_and_are_balanced() {
+        let net = SyntheticCity::generate(GeneratorConfig::small()).network;
+        let region = ReachableRegion::from_segments(&net, vec![SegmentId(0), SegmentId(5), SegmentId(9)]);
+        let json = region_to_geojson(&net, &region);
+        assert_eq!(json.matches("\"type\":\"Feature\"").count(), 3);
+        assert_eq!(json.matches("LineString").count(), 3);
+        // Braces and brackets are balanced.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Coordinates look like lon/lat in the city's range.
+        assert!(json.contains("[113.") || json.contains("[114."));
+        // Each feature carries its class and length.
+        assert_eq!(json.matches("\"length_m\":").count(), 3);
+    }
+
+    #[test]
+    fn class_names_cover_all_variants() {
+        assert_eq!(class_name(RoadClass::Highway), "highway");
+        assert_eq!(class_name(RoadClass::Primary), "primary");
+        assert_eq!(class_name(RoadClass::Secondary), "secondary");
+        assert_eq!(class_name(RoadClass::Local), "local");
+    }
+}

@@ -1,0 +1,90 @@
+//! `streach-core` — the paper's primary contribution.
+//!
+//! This crate implements the data-driven **spatio-temporal reachability
+//! query** framework of *"Mining Spatio-Temporal Reachable Regions over
+//! Massive Trajectory Data"* (Ding, ICDE/WPI 2017):
+//!
+//! * [`st_index`] — the **ST-Index**: a temporal B-tree over Δt time slots,
+//!   a spatial R-tree over the re-segmented road network, and per
+//!   (segment, slot) *time lists* (date → trajectory IDs) stored on pages,
+//! * [`con_index`] — the **Con-Index**: per time slot and road segment, the
+//!   Near ID list (reachable within one Δt at the historical minimum speed)
+//!   and the Far ID list (at the historical maximum speed),
+//! * [`query`] — the query processing algorithms: the exhaustive-search
+//!   baseline (**ES**), the single-location maximum/minimum bounding region
+//!   search (**SQMB**), the trace back search (**TBS**) and the
+//!   multi-location bounding region search (**MQMB**),
+//! * [`engine`] — a high-level [`ReachabilityEngine`](engine::ReachabilityEngine)
+//!   tying indexes and algorithms together behind one public API,
+//! * [`builder`] — index construction from a road network plus a
+//!   map-matched trajectory dataset,
+//! * [`region`] / [`geojson`] — query results and their export,
+//! * [`stats`] — per-query runtime/I-O accounting used by the benchmarks.
+//!
+//! # Quick start
+//!
+//! ```
+//! use streach_core::prelude::*;
+//!
+//! // 1. A (synthetic) city and a simulated taxi fleet.
+//! let city = SyntheticCity::generate(GeneratorConfig::small());
+//! let network = std::sync::Arc::new(city.network);
+//! let dataset = TrajectoryDataset::simulate(
+//!     &network,
+//!     FleetConfig { num_taxis: 10, num_days: 4, ..FleetConfig::tiny() },
+//! );
+//!
+//! // 2. Build the indexes.
+//! let engine = EngineBuilder::new(network.clone(), &dataset)
+//!     .index_config(IndexConfig { slot_s: 300, ..IndexConfig::default() })
+//!     .build();
+//!
+//! // 3. Ask a single-location reachability query (11:00, 10 minutes, 25%).
+//! let query = SQuery {
+//!     location: network.bounds().center(),
+//!     start_time_s: 9 * 3600,
+//!     duration_s: 600,
+//!     prob: 0.25,
+//! };
+//! let outcome = engine.s_query(&query, Algorithm::SqmbTbs);
+//! println!("reachable road length: {:.1} km", outcome.region.total_length_km);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod con_index;
+pub mod config;
+pub mod engine;
+pub mod geojson;
+pub mod query;
+pub mod region;
+pub mod speed_stats;
+pub mod st_index;
+pub mod stats;
+pub mod time;
+
+pub use builder::EngineBuilder;
+pub use con_index::{ConIndex, ConnectionLists};
+pub use config::IndexConfig;
+pub use engine::ReachabilityEngine;
+pub use query::{Algorithm, MQuery, QueryOutcome, SQuery};
+pub use region::ReachableRegion;
+pub use speed_stats::SpeedStats;
+pub use st_index::StIndex;
+pub use stats::QueryStats;
+
+/// Convenient re-exports for downstream users (examples, benches, tests).
+pub mod prelude {
+    pub use crate::builder::EngineBuilder;
+    pub use crate::config::IndexConfig;
+    pub use crate::engine::ReachabilityEngine;
+    pub use crate::geojson::region_to_geojson;
+    pub use crate::query::{Algorithm, MQuery, QueryOutcome, SQuery};
+    pub use crate::region::ReachableRegion;
+    pub use crate::stats::QueryStats;
+    pub use streach_geo::GeoPoint;
+    pub use streach_roadnet::{GeneratorConfig, RoadNetwork, SegmentId, SyntheticCity};
+    pub use streach_traj::{FleetConfig, TrajectoryDataset};
+}

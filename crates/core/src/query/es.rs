@@ -1,0 +1,143 @@
+//! The exhaustive-search (ES) baseline.
+//!
+//! "For s-query, we choose baseline algorithm as exhaustive search (ES)
+//! method, which starts from the querying location s and time T, to search
+//! the neighboring road segments through the road network. The searching
+//! process terminates until Prob-reachable road segments at all possible
+//! branches on the road network." (Section 4.2)
+//!
+//! ES performs a plain network expansion from the start segment and verifies
+//! **every** expanded segment against the trajectory postings, including the
+//! dense area around the start location whose posting lists are the longest.
+//! Expansion is bounded by the maximum distance any vehicle could cover in
+//! the query duration (free-flow highway speed), which is what makes the
+//! search exhaustive rather than unbounded.
+
+use std::collections::{HashSet, VecDeque};
+
+use streach_roadnet::{segment_distances_from, RoadClass, RoadNetwork, SegmentId};
+
+use crate::query::verifier::ReachabilityVerifier;
+use crate::query::SQuery;
+use crate::region::ReachableRegion;
+use crate::st_index::StIndex;
+
+/// Answers an s-query by exhaustive search. Returns the Prob-reachable
+/// region, the number of verified segments and the number of visited
+/// segments.
+pub fn exhaustive_search(
+    network: &RoadNetwork,
+    st_index: &StIndex,
+    query: &SQuery,
+    start_segment: SegmentId,
+) -> (ReachableRegion, usize, usize) {
+    let mut verifier = ReachabilityVerifier::new(st_index, start_segment, query.start_time_s, query.duration_s);
+
+    // Upper bound on how far anything can travel during L: free-flow highway
+    // speed with 10% slack.
+    let cap_m = query.duration_s as f64 * RoadClass::Highway.free_flow_ms() * 1.1;
+    // The distance map doubles as the visit order (network expansion).
+    let distances = segment_distances_from(network, start_segment, cap_m);
+
+    let mut reachable: Vec<SegmentId> = vec![start_segment];
+    let mut visited: HashSet<SegmentId> = HashSet::new();
+    let mut frontier: VecDeque<SegmentId> = VecDeque::new();
+    frontier.push_back(start_segment);
+    visited.insert(start_segment);
+
+    while let Some(seg) = frontier.pop_front() {
+        for next in network.successors(seg) {
+            if !visited.insert(next) {
+                continue;
+            }
+            if !distances.contains_key(&next) {
+                continue; // beyond the travel-distance cap
+            }
+            // Verify against the trajectory postings (disk I/O).
+            if verifier.is_reachable(next, query.prob) {
+                reachable.push(next);
+            }
+            frontier.push_back(next);
+        }
+    }
+
+    let region = ReachableRegion::from_segments(network, reachable);
+    (region, verifier.verifications, visited.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use std::sync::Arc;
+    use streach_geo::GeoPoint;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+    use streach_traj::{FleetConfig, TrajectoryDataset};
+
+    fn setup() -> (Arc<RoadNetwork>, StIndex, GeoPoint) {
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let center = city.central_point();
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(
+            &network,
+            FleetConfig { num_taxis: 30, num_days: 5, ..FleetConfig::tiny() },
+        );
+        let st = StIndex::build(network.clone(), &dataset, &IndexConfig { read_latency_us: 0, ..Default::default() });
+        (network, st, center)
+    }
+
+    fn query(center: GeoPoint, duration_s: u32, prob: f64) -> SQuery {
+        SQuery { location: center, start_time_s: 9 * 3600, duration_s, prob }
+    }
+
+    #[test]
+    fn region_contains_start_and_respects_distance_cap() {
+        let (network, st, center) = setup();
+        let q = query(center, 300, 0.2);
+        let r0 = st.locate_segment(&q.location).unwrap();
+        let (region, verified, visited) = exhaustive_search(&network, &st, &q, r0);
+        assert!(region.contains(r0));
+        assert!(verified > 0);
+        assert!(visited >= region.len());
+        // Nothing in the region is farther than the free-flow cap.
+        let cap_m = q.duration_s as f64 * RoadClass::Highway.free_flow_ms() * 1.1;
+        let dist = segment_distances_from(&network, r0, cap_m * 2.0);
+        for &seg in &region.segments {
+            assert!(
+                dist.get(&seg).copied().unwrap_or(f64::INFINITY) <= cap_m + 1.0,
+                "{seg} beyond the cap"
+            );
+        }
+    }
+
+    #[test]
+    fn longer_duration_reaches_at_least_as_much() {
+        let (network, st, center) = setup();
+        let r0 = st.locate_segment(&center).unwrap();
+        let (short, _, _) = exhaustive_search(&network, &st, &query(center, 300, 0.2), r0);
+        let (long, _, _) = exhaustive_search(&network, &st, &query(center, 1200, 0.2), r0);
+        assert!(long.total_length_km >= short.total_length_km);
+        assert!(long.is_superset_of(&short));
+    }
+
+    #[test]
+    fn higher_probability_gives_smaller_region() {
+        let (network, st, center) = setup();
+        let r0 = st.locate_segment(&center).unwrap();
+        let (low, _, _) = exhaustive_search(&network, &st, &query(center, 900, 0.2), r0);
+        let (high, _, _) = exhaustive_search(&network, &st, &query(center, 900, 0.9), r0);
+        assert!(high.len() <= low.len());
+        assert!(low.is_superset_of(&high));
+    }
+
+    #[test]
+    fn query_outside_operating_hours_returns_only_start() {
+        let (network, st, center) = setup();
+        let r0 = st.locate_segment(&center).unwrap();
+        let q = SQuery { location: center, start_time_s: 2 * 3600, duration_s: 600, prob: 0.2 };
+        let (region, _, _) = exhaustive_search(&network, &st, &q, r0);
+        // No trajectories at 02:00 in the tiny fleet, so only the start
+        // segment (included by definition) is returned.
+        assert_eq!(region.segments, vec![r0]);
+    }
+}

@@ -1,0 +1,323 @@
+//! M-query maximum/minimum bounding region search (MQMB, Algorithm 3) and
+//! the multi-location trace back search built on top of it.
+//!
+//! An m-query with `n` start locations could be answered by `n` independent
+//! s-queries, but road segments in the overlap of several bounding regions
+//! would then be verified (and their postings read) up to `n` times. MQMB
+//! grows a *unified* bounding region instead: in every Con-Index hop, a newly
+//! reached segment is kept only if the start location whose expansion reached
+//! it is also the nearest start location (`rs = argmin dis(r0, b)`), so every
+//! segment is owned by exactly one start location and verified exactly once.
+
+use std::collections::HashMap;
+
+use streach_geo::GeoPoint;
+use streach_roadnet::{RoadNetwork, SegmentId};
+
+use crate::con_index::ConIndex;
+use crate::query::sqmb::num_hops;
+use crate::query::verifier::ReachabilityVerifier;
+use crate::region::ReachableRegion;
+use crate::st_index::StIndex;
+use crate::time::slot_of;
+
+/// Unified bounding regions of an m-query.
+#[derive(Debug, Clone)]
+pub struct MqmbBounds {
+    /// Unified maximum bounding region (sorted).
+    pub max_region: Vec<SegmentId>,
+    /// Unified minimum bounding region (sorted).
+    pub min_region: Vec<SegmentId>,
+    /// For every segment of the maximum bounding region, the index of the
+    /// start location that owns it.
+    pub owner: HashMap<SegmentId, usize>,
+}
+
+impl MqmbBounds {
+    /// Segments of the maximum bounding region outside the minimum one.
+    pub fn annulus(&self) -> Vec<SegmentId> {
+        let mut out = Vec::with_capacity(self.max_region.len());
+        let mut i = 0;
+        for &seg in &self.max_region {
+            while i < self.min_region.len() && self.min_region[i] < seg {
+                i += 1;
+            }
+            if i >= self.min_region.len() || self.min_region[i] != seg {
+                out.push(seg);
+            }
+        }
+        out
+    }
+}
+
+/// Midpoint of a segment's geometry, used for the `dis(r0, b)` comparisons.
+fn segment_midpoint(network: &RoadNetwork, seg: SegmentId) -> GeoPoint {
+    network.segment(seg).geometry.point_at_fraction(0.5)
+}
+
+/// Index of the start location nearest to `p`.
+fn nearest_start(start_points: &[GeoPoint], p: &GeoPoint) -> usize {
+    start_points
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.fast_distance_m(p)
+                .partial_cmp(&b.1.fast_distance_m(p))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .expect("at least one start location")
+}
+
+fn expand(
+    con_index: &ConIndex,
+    network: &RoadNetwork,
+    starts: &[SegmentId],
+    start_points: &[GeoPoint],
+    start_time_s: u32,
+    duration_s: u32,
+    use_far: bool,
+) -> (Vec<SegmentId>, HashMap<SegmentId, usize>) {
+    let slot_s = con_index.slot_s();
+    let k = num_hops(duration_s, slot_s);
+    let mut owner: HashMap<SegmentId, usize> = HashMap::new();
+    let mut bounding: Vec<SegmentId> = Vec::new();
+    for (i, &s) in starts.iter().enumerate() {
+        if let std::collections::hash_map::Entry::Vacant(e) = owner.entry(s) {
+            e.insert(i);
+            bounding.push(s);
+        }
+    }
+
+    for step in 0..k {
+        let slot = slot_of(start_time_s.saturating_add(step * slot_s), slot_s);
+        let table = con_index.slot_table(slot);
+        let snapshot_len = bounding.len();
+        for idx in 0..snapshot_len {
+            let r = bounding[idx];
+            let owner_r = owner[&r];
+            let list = if use_far { table.far(r) } else { table.near(r) };
+            for &next in list {
+                if owner.contains_key(&next) {
+                    continue;
+                }
+                // Overlap elimination: keep `next` only if its nearest start
+                // location is the one whose expansion reached it.
+                let mid = segment_midpoint(network, next);
+                let rs = nearest_start(start_points, &mid);
+                if rs == owner_r {
+                    owner.insert(next, owner_r);
+                    bounding.push(next);
+                }
+            }
+        }
+    }
+    bounding.sort_unstable();
+    (bounding, owner)
+}
+
+/// Runs MQMB: computes the unified maximum/minimum bounding regions with
+/// per-segment owners.
+pub fn mqmb(
+    con_index: &ConIndex,
+    network: &RoadNetwork,
+    starts: &[SegmentId],
+    start_points: &[GeoPoint],
+    start_time_s: u32,
+    duration_s: u32,
+) -> MqmbBounds {
+    assert!(!starts.is_empty(), "m-query needs at least one start segment");
+    assert_eq!(starts.len(), start_points.len());
+    let (max_region, owner) = expand(con_index, network, starts, start_points, start_time_s, duration_s, true);
+    let (min_region, _) = expand(con_index, network, starts, start_points, start_time_s, duration_s, false);
+    // The minimum bounding region is contained in the maximum one by
+    // construction of the speed bounds; intersect defensively so the annulus
+    // arithmetic stays valid even for degenerate speed statistics.
+    let max_set: std::collections::HashSet<SegmentId> = max_region.iter().copied().collect();
+    let min_region: Vec<SegmentId> = min_region.into_iter().filter(|s| max_set.contains(s)).collect();
+    MqmbBounds { max_region, min_region, owner }
+}
+
+/// Outcome of the multi-location trace back search.
+pub struct MqmbTbsOutcome {
+    /// The Prob-reachable region of the m-query.
+    pub region: ReachableRegion,
+    /// Total probability verifications performed.
+    pub verifications: usize,
+    /// Number of annulus segments examined.
+    pub visited: usize,
+}
+
+/// Verifies the unified annulus: every segment is checked once, against the
+/// verifier of the start location that owns it.
+pub fn mqmb_trace_back(
+    network: &RoadNetwork,
+    st_index: &StIndex,
+    bounds: &MqmbBounds,
+    starts: &[SegmentId],
+    start_time_s: u32,
+    duration_s: u32,
+    prob: f64,
+) -> MqmbTbsOutcome {
+    let mut verifiers: Vec<ReachabilityVerifier<'_>> = starts
+        .iter()
+        .map(|&s| ReachabilityVerifier::new(st_index, s, start_time_s, duration_s))
+        .collect();
+
+    let annulus = bounds.annulus();
+    let mut result: Vec<SegmentId> = bounds.min_region.clone();
+    result.extend_from_slice(starts);
+    let mut verifications = 0usize;
+    for &seg in &annulus {
+        let owner = bounds.owner.get(&seg).copied().unwrap_or(0);
+        if verifiers[owner].is_reachable(seg, prob) {
+            result.push(seg);
+        }
+        verifications += 1;
+    }
+    MqmbTbsOutcome {
+        region: ReachableRegion::from_segments(network, result),
+        verifications,
+        visited: annulus.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use crate::query::sqmb::sqmb;
+    use crate::speed_stats::SpeedStats;
+    use std::sync::Arc;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+    use streach_traj::{FleetConfig, TrajectoryDataset};
+
+    struct Fixture {
+        network: Arc<RoadNetwork>,
+        con: ConIndex,
+        st: StIndex,
+        starts: Vec<SegmentId>,
+        start_points: Vec<GeoPoint>,
+    }
+
+    fn setup() -> Fixture {
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let center = city.central_point();
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(
+            &network,
+            FleetConfig { num_taxis: 30, num_days: 5, ..FleetConfig::tiny() },
+        );
+        let config = IndexConfig { read_latency_us: 0, ..Default::default() };
+        let st = StIndex::build(network.clone(), &dataset, &config);
+        let stats = Arc::new(SpeedStats::from_dataset(&network, &dataset, config.slot_s));
+        let con = ConIndex::new(network.clone(), stats, &config);
+        let start_points = vec![
+            center,
+            center.offset_m(1500.0, 0.0),
+            center.offset_m(0.0, -1500.0),
+        ];
+        let starts: Vec<SegmentId> = start_points
+            .iter()
+            .map(|p| network.nearest_segment(p).unwrap().0)
+            .collect();
+        Fixture { network, con, st, starts, start_points }
+    }
+
+    #[test]
+    fn owners_are_assigned_and_regions_sorted() {
+        let f = setup();
+        let b = mqmb(&f.con, &f.network, &f.starts, &f.start_points, 9 * 3600, 600);
+        assert!(b.max_region.windows(2).all(|w| w[0] < w[1]));
+        assert!(b.min_region.windows(2).all(|w| w[0] < w[1]));
+        for seg in &b.max_region {
+            assert!(b.owner.contains_key(seg), "segment {seg} has no owner");
+            assert!(b.owner[seg] < f.starts.len());
+        }
+        // Every start segment is in the region and owns itself.
+        for (i, s) in f.starts.iter().enumerate() {
+            assert!(b.max_region.binary_search(s).is_ok());
+            assert_eq!(b.owner[s], i);
+        }
+    }
+
+    #[test]
+    fn unified_region_is_subset_of_union_of_individual_regions() {
+        let f = setup();
+        let b = mqmb(&f.con, &f.network, &f.starts, &f.start_points, 9 * 3600, 600);
+        let mut union: std::collections::HashSet<SegmentId> = std::collections::HashSet::new();
+        for &s in &f.starts {
+            let single = sqmb(&f.con, f.network.num_segments(), s, 9 * 3600, 600);
+            union.extend(single.max_region);
+        }
+        for seg in &b.max_region {
+            assert!(union.contains(seg), "{seg} not in any individual bounding region");
+        }
+        // The unified region is meaningfully smaller than n times one region
+        // when the locations overlap (1.5 km apart, 10-minute budget).
+        assert!(b.max_region.len() <= union.len());
+    }
+
+    #[test]
+    fn single_location_mqmb_equals_sqmb() {
+        let f = setup();
+        let b = mqmb(
+            &f.con,
+            &f.network,
+            &f.starts[..1],
+            &f.start_points[..1],
+            9 * 3600,
+            600,
+        );
+        let s = sqmb(&f.con, f.network.num_segments(), f.starts[0], 9 * 3600, 600);
+        assert_eq!(b.max_region, s.max_region);
+        assert_eq!(b.min_region, s.min_region);
+    }
+
+    #[test]
+    fn trace_back_verifies_each_annulus_segment_once() {
+        let f = setup();
+        let b = mqmb(&f.con, &f.network, &f.starts, &f.start_points, 9 * 3600, 600);
+        let outcome = mqmb_trace_back(&f.network, &f.st, &b, &f.starts, 9 * 3600, 600, 0.2);
+        assert_eq!(outcome.verifications, b.annulus().len());
+        assert_eq!(outcome.visited, b.annulus().len());
+        // All start segments are in the result.
+        for s in &f.starts {
+            assert!(outcome.region.contains(*s));
+        }
+        // The region stays within the maximum bounding region.
+        let max_set: std::collections::HashSet<SegmentId> = b.max_region.iter().copied().collect();
+        for seg in &outcome.region.segments {
+            assert!(max_set.contains(seg) || f.starts.contains(seg));
+        }
+    }
+
+    #[test]
+    fn mqmb_result_close_to_union_of_squeries() {
+        // The m-query region should roughly equal the union of the
+        // single-location regions (Fig. 4.9): allow boundary differences
+        // from the overlap-elimination heuristic.
+        let f = setup();
+        let b = mqmb(&f.con, &f.network, &f.starts, &f.start_points, 9 * 3600, 900);
+        let m_outcome = mqmb_trace_back(&f.network, &f.st, &b, &f.starts, 9 * 3600, 900, 0.2);
+
+        let mut union_segments: Vec<SegmentId> = Vec::new();
+        for &s in &f.starts {
+            let sb = sqmb(&f.con, f.network.num_segments(), s, 9 * 3600, 900);
+            let mut verifier = ReachabilityVerifier::new(&f.st, s, 9 * 3600, 900);
+            let single = crate::query::tbs::trace_back_search(&f.network, &mut verifier, &sb, 0.2);
+            union_segments.extend(single.region.segments);
+        }
+        let union = ReachableRegion::from_segments(&f.network, union_segments);
+        // The two agree on at least 60% of the union (Jaccard-style bound —
+        // the heuristics differ only near ownership boundaries).
+        let m_set: std::collections::HashSet<_> = m_outcome.region.segments.iter().collect();
+        let common = union.segments.iter().filter(|s| m_set.contains(s)).count();
+        assert!(
+            common as f64 >= 0.6 * union.len() as f64,
+            "m-query region diverges from the union: {} common of {}",
+            common,
+            union.len()
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Trace back search (TBS, Algorithm 2).
+//!
+//! The maximum and minimum bounding regions computed by SQMB/MQMB bound the
+//! Prob-reachable region: segments inside the minimum bounding region are
+//! reachable even at the historically slowest speeds, segments outside the
+//! maximum bounding region cannot be reached even at the fastest. TBS
+//! therefore only has to verify the segments *between* the two boundaries,
+//! working from the maximum bounding region back toward the minimum one:
+//!
+//! * a segment whose reachability probability meets `Prob` joins the result,
+//! * a segment that fails pushes its not-yet-visited neighbours (excluding
+//!   the minimum bounding region) for further investigation,
+//! * every segment is marked "visited" the first time it is dequeued so that
+//!   overlapping search paths never verify it twice.
+//!
+//! The returned Prob-reachable region is the minimum bounding region plus
+//! every verified segment that met the probability threshold. The expensive
+//! step — reading trajectory postings — is never performed for the dense
+//! core inside the minimum bounding region, which is where the exhaustive
+//! baseline spends most of its I/O.
+
+use std::collections::{HashSet, VecDeque};
+
+use streach_roadnet::{RoadNetwork, SegmentId};
+
+use crate::query::sqmb::BoundingRegions;
+use crate::query::verifier::ReachabilityVerifier;
+use crate::region::ReachableRegion;
+
+/// Outcome of a trace back search.
+pub struct TbsOutcome {
+    /// The Prob-reachable region.
+    pub region: ReachableRegion,
+    /// Number of probability verifications performed (posting reads).
+    pub verifications: usize,
+    /// Number of segments dequeued by the search.
+    pub visited: usize,
+}
+
+/// Runs the trace back search for one start segment.
+///
+/// `verifier` must have been constructed for the same start segment and
+/// query window; `bounds` are the SQMB bounding regions of that start.
+pub fn trace_back_search(
+    network: &RoadNetwork,
+    verifier: &mut ReachabilityVerifier<'_>,
+    bounds: &BoundingRegions,
+    prob: f64,
+) -> TbsOutcome {
+    let min_set: HashSet<SegmentId> = bounds.min_region.iter().copied().collect();
+    let max_set: HashSet<SegmentId> = bounds.max_region.iter().copied().collect();
+
+    // Line 3: B ← Bmax (the segments that still need verification: the
+    // annulus between the two bounding regions).
+    let mut queue: VecDeque<SegmentId> = bounds.annulus().into();
+    let mut visited: HashSet<SegmentId> = HashSet::with_capacity(queue.len());
+    let mut result: Vec<SegmentId> = Vec::new();
+
+    let before = verifier.verifications;
+    while let Some(r) = queue.pop_front() {
+        if !visited.insert(r) {
+            continue; // already searched via another path (the "visited" mark)
+        }
+        if verifier.is_reachable(r, prob) {
+            // Line 6-7: r joins the Prob-reachable set.
+            result.push(r);
+        } else {
+            // Line 8-9: investigate r's neighbours that lie closer to the
+            // start (still inside the maximum bounding region, outside the
+            // minimum bounding region).
+            for n in network.neighbors(r) {
+                if max_set.contains(&n) && !min_set.contains(&n) && !visited.contains(&n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+
+    // Final region: everything reachable even at minimum speed plus the
+    // verified annulus segments.
+    let mut segments = bounds.min_region.clone();
+    segments.extend_from_slice(&result);
+    TbsOutcome {
+        region: ReachableRegion::from_segments(network, segments),
+        verifications: verifier.verifications - before,
+        visited: visited.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use crate::query::sqmb::sqmb;
+    use crate::speed_stats::SpeedStats;
+    use crate::st_index::StIndex;
+    use std::sync::Arc;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+    use streach_traj::{FleetConfig, TrajectoryDataset};
+
+    struct Fixture {
+        network: Arc<RoadNetwork>,
+        st: StIndex,
+        con: crate::con_index::ConIndex,
+        start: SegmentId,
+    }
+
+    fn setup() -> Fixture {
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let center = city.central_point();
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(
+            &network,
+            FleetConfig { num_taxis: 30, num_days: 5, ..FleetConfig::tiny() },
+        );
+        let config = IndexConfig { read_latency_us: 0, ..Default::default() };
+        let st = StIndex::build(network.clone(), &dataset, &config);
+        let stats = Arc::new(SpeedStats::from_dataset(&network, &dataset, config.slot_s));
+        let con = crate::con_index::ConIndex::new(network.clone(), stats, &config);
+        let start = network.nearest_segment(&center).unwrap().0;
+        Fixture { network, st, con, start }
+    }
+
+    fn run(f: &Fixture, start_time_s: u32, duration_s: u32, prob: f64) -> (TbsOutcome, BoundingRegions) {
+        let bounds = sqmb(&f.con, f.network.num_segments(), f.start, start_time_s, duration_s);
+        let mut verifier = ReachabilityVerifier::new(&f.st, f.start, start_time_s, duration_s);
+        let outcome = trace_back_search(&f.network, &mut verifier, &bounds, prob);
+        (outcome, bounds)
+    }
+
+    #[test]
+    fn region_lies_between_min_and_max_bounds() {
+        let f = setup();
+        let (outcome, bounds) = run(&f, 9 * 3600, 600, 0.2);
+        let max_set: std::collections::HashSet<_> = bounds.max_region.iter().copied().collect();
+        for &seg in &outcome.region.segments {
+            assert!(max_set.contains(&seg), "{seg} outside the maximum bounding region");
+        }
+        // The minimum bounding region is always included.
+        for seg in &bounds.min_region {
+            assert!(outcome.region.contains(*seg));
+        }
+        assert!(outcome.region.contains(f.start));
+    }
+
+    #[test]
+    fn verifications_bounded_by_annulus_size() {
+        let f = setup();
+        let (outcome, bounds) = run(&f, 9 * 3600, 600, 0.2);
+        let annulus = bounds.annulus().len();
+        assert!(outcome.verifications <= annulus, "verified {} > annulus {}", outcome.verifications, annulus);
+        assert!(outcome.visited <= annulus);
+        assert!(outcome.verifications > 0, "some verification must happen");
+    }
+
+    #[test]
+    fn higher_probability_shrinks_the_region() {
+        let f = setup();
+        let (low, _) = run(&f, 9 * 3600, 900, 0.2);
+        let (high, _) = run(&f, 9 * 3600, 900, 0.95);
+        assert!(high.region.len() <= low.region.len());
+        assert!(low.region.is_superset_of(&high.region));
+    }
+
+    #[test]
+    fn night_query_collapses_to_minimum_bound() {
+        let f = setup();
+        // 02:00 — the tiny fleet is idle, so no annulus segment can be verified.
+        let (outcome, bounds) = run(&f, 2 * 3600, 600, 0.2);
+        assert_eq!(outcome.region.len(), bounds.min_region.len());
+    }
+
+    #[test]
+    fn duplicate_paths_never_reverify() {
+        let f = setup();
+        let (outcome, _) = run(&f, 9 * 3600, 900, 0.5);
+        // Visited counts unique dequeues; verifications happen once per
+        // visited segment at most.
+        assert!(outcome.verifications <= outcome.visited);
+    }
+}

@@ -1,0 +1,225 @@
+//! Reachability-probability verification against the ST-Index.
+//!
+//! Both the exhaustive-search baseline and the trace back search decide
+//! whether a road segment `r` belongs to the Prob-reachable region by
+//! checking, for every day `d`, whether some trajectory passed the start
+//! segment `r0` during `[T, T + Δt]` *and* passed `r` during `[T, T + L]`
+//! (Eq. 3.1):
+//!
+//! ```text
+//! probability(r, r0) = m* / m
+//! where m* = #{ d : Tr(r0, T0, d) ∩ Tr(r, TB, d) ≠ ∅ }
+//! ```
+//!
+//! Every verification reads the time lists of `r` for the slots overlapping
+//! `[T, T + L]` from the posting store — this is exactly the disk I/O the
+//! Con-Index pruning tries to minimise.
+
+use std::collections::HashMap;
+
+use streach_roadnet::SegmentId;
+
+use crate::st_index::StIndex;
+use crate::time::slots_overlapping;
+
+/// A reusable verifier for one (start segment, T, Δt, L) combination.
+pub struct ReachabilityVerifier<'a> {
+    st_index: &'a StIndex,
+    /// Trajectory IDs that passed the start segment during `[T, T + Δt)`,
+    /// per date (sorted).
+    start_ids_by_day: HashMap<u16, Vec<u32>>,
+    /// Query window `[T, T + L)`.
+    window: (u32, u32),
+    num_days: u16,
+    /// Number of probability evaluations performed.
+    pub verifications: usize,
+}
+
+/// Reads the per-day trajectory IDs of `segment` over `[start_s, end_s)`.
+fn ids_by_day(st_index: &StIndex, segment: SegmentId, start_s: u32, end_s: u32) -> HashMap<u16, Vec<u32>> {
+    let mut map: HashMap<u16, Vec<u32>> = HashMap::new();
+    for slot in slots_overlapping(start_s, end_s, st_index.slot_s()) {
+        if let Some(list) = st_index.time_list(segment, slot) {
+            for entry in &list.entries {
+                map.entry(entry.date).or_default().extend_from_slice(&entry.traj_ids);
+            }
+        }
+    }
+    for ids in map.values_mut() {
+        ids.sort_unstable();
+        ids.dedup();
+    }
+    map
+}
+
+/// Returns `true` if the two sorted slices share an element.
+fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+impl<'a> ReachabilityVerifier<'a> {
+    /// Builds a verifier for queries starting from `start_segment` at time
+    /// `start_time_s`, with query duration `duration_s`.
+    ///
+    /// `Tr(r0, T0, d)` is extracted once here (T0 = `[T, T + Δt)`), which is
+    /// the first step of the trace back search.
+    pub fn new(
+        st_index: &'a StIndex,
+        start_segment: SegmentId,
+        start_time_s: u32,
+        duration_s: u32,
+    ) -> Self {
+        let slot_s = st_index.slot_s();
+        let t0_end = start_time_s.saturating_add(slot_s).min(streach_traj::SECONDS_PER_DAY);
+        let end = start_time_s
+            .saturating_add(duration_s)
+            .min(streach_traj::SECONDS_PER_DAY);
+        let start_ids_by_day = ids_by_day(st_index, start_segment, start_time_s, t0_end);
+        Self {
+            st_index,
+            start_ids_by_day,
+            window: (start_time_s, end),
+            num_days: st_index.num_days(),
+            verifications: 0,
+        }
+    }
+
+    /// Number of days on which at least one trajectory passed the start
+    /// segment during `[T, T + Δt)`.
+    pub fn active_days(&self) -> usize {
+        self.start_ids_by_day.len()
+    }
+
+    /// The reachable probability `probability(r, r0)` of Eq. 3.1.
+    pub fn probability(&mut self, segment: SegmentId) -> f64 {
+        self.verifications += 1;
+        if self.num_days == 0 || self.start_ids_by_day.is_empty() {
+            return 0.0;
+        }
+        let target_ids = ids_by_day(self.st_index, segment, self.window.0, self.window.1);
+        if target_ids.is_empty() {
+            return 0.0;
+        }
+        let mut matching_days = 0u32;
+        for (date, start_ids) in &self.start_ids_by_day {
+            if let Some(ids) = target_ids.get(date) {
+                if sorted_intersects(start_ids, ids) {
+                    matching_days += 1;
+                }
+            }
+        }
+        matching_days as f64 / self.num_days as f64
+    }
+
+    /// Convenience: `probability(segment) >= prob`.
+    pub fn is_reachable(&mut self, segment: SegmentId, prob: f64) -> bool {
+        self.probability(segment) >= prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use std::sync::Arc;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+    use streach_traj::{FleetConfig, TrajectoryDataset};
+
+    fn build() -> (Arc<streach_roadnet::RoadNetwork>, TrajectoryDataset, StIndex) {
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(
+            &network,
+            FleetConfig { num_taxis: 15, num_days: 4, ..FleetConfig::tiny() },
+        );
+        let st = StIndex::build(network.clone(), &dataset, &IndexConfig { read_latency_us: 0, ..Default::default() });
+        (network, dataset, st)
+    }
+
+    #[test]
+    fn sorted_intersects_cases() {
+        assert!(sorted_intersects(&[1, 3, 5], &[5, 7]));
+        assert!(sorted_intersects(&[1, 3, 5], &[0, 1]));
+        assert!(!sorted_intersects(&[1, 3, 5], &[2, 4, 6]));
+        assert!(!sorted_intersects(&[], &[1]));
+        assert!(!sorted_intersects(&[], &[]));
+    }
+
+    #[test]
+    fn start_segment_reaches_itself_with_full_probability_of_active_days() {
+        let (_, dataset, st) = build();
+        // Pick a (segment, time) straight out of the data so it is active.
+        let traj = &dataset.trajectories()[0];
+        let visit = traj.visits[0];
+        let mut v = ReachabilityVerifier::new(&st, visit.segment, visit.enter_time_s, 600);
+        assert!(v.active_days() >= 1);
+        let p = v.probability(visit.segment);
+        assert!(p > 0.0, "start segment must be reachable from itself on active days");
+        assert_eq!(v.verifications, 1);
+        assert!(p <= 1.0);
+        // Probability equals active days / m when the start segment is the target.
+        assert!((p - v.active_days() as f64 / dataset.num_days() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unvisited_time_gives_zero_probability() {
+        let (network, _, st) = build();
+        let seg = network.segment_ids().next().unwrap();
+        // 02:00: the tiny fleet does not operate, so no trajectory passes r0.
+        let mut v = ReachabilityVerifier::new(&st, seg, 2 * 3600, 600);
+        assert_eq!(v.active_days(), 0);
+        assert_eq!(v.probability(seg), 0.0);
+    }
+
+    #[test]
+    fn probability_monotone_in_duration() {
+        let (_, dataset, st) = build();
+        let traj = &dataset.trajectories()[0];
+        let start = traj.visits[0];
+        // A segment the same trajectory visits a bit later.
+        let later = traj.visits[traj.visits.len().min(8) - 1];
+        let mut short = ReachabilityVerifier::new(&st, start.segment, start.enter_time_s, 120);
+        let mut long = ReachabilityVerifier::new(&st, start.segment, start.enter_time_s, 3600);
+        let p_short = short.probability(later.segment);
+        let p_long = long.probability(later.segment);
+        assert!(p_long >= p_short, "longer duration cannot lower the probability");
+        assert!(p_long > 0.0, "the trajectory itself reaches the later segment");
+    }
+
+    #[test]
+    fn nearby_segments_more_probable_than_far_ones() {
+        let (network, dataset, st) = build();
+        // Use the busiest segment at 09:00 as the start.
+        let slot = crate::time::slot_of(9 * 3600, st.slot_s());
+        let start = network
+            .segment_ids()
+            .max_by_key(|s| st.time_list(*s, slot).map(|l| l.num_observations()).unwrap_or(0))
+            .unwrap();
+        let mut v = ReachabilityVerifier::new(&st, start, 9 * 3600, 900);
+        let neighbor_prob: f64 = network
+            .successors(start)
+            .iter()
+            .map(|s| v.probability(*s))
+            .fold(0.0, f64::max);
+        // A far-away corner segment is very unlikely to be reached in 15 minutes.
+        let bounds = network.bounds();
+        let corner = network
+            .nearest_segment(&streach_geo::GeoPoint::new(bounds.min_lon, bounds.min_lat))
+            .unwrap()
+            .0;
+        let corner_prob = v.probability(corner);
+        assert!(
+            neighbor_prob >= corner_prob,
+            "neighbor {neighbor_prob} vs corner {corner_prob}"
+        );
+        let _ = dataset;
+    }
+}

@@ -1,0 +1,126 @@
+//! Query results: Prob-reachable regions.
+
+use streach_geo::Mbr;
+use streach_roadnet::{RoadNetwork, SegmentId};
+
+/// A Prob-reachable region: "a set of road segments which contain all the
+/// road segments that trajectory reachability from S for each of them is 1"
+/// (with at least probability `Prob` over the historical days).
+///
+/// The evaluation's effectiveness metric is "the total length of all
+/// reachable road segments", which is cached here in kilometres.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReachableRegion {
+    /// The reachable road segments, sorted by ID and deduplicated.
+    pub segments: Vec<SegmentId>,
+    /// Total length of the reachable segments in kilometres.
+    pub total_length_km: f64,
+}
+
+impl ReachableRegion {
+    /// An empty region.
+    pub fn empty() -> Self {
+        Self { segments: Vec::new(), total_length_km: 0.0 }
+    }
+
+    /// Builds a region from a set of segments (deduplicating them) and
+    /// computes its total length over the given network.
+    pub fn from_segments(network: &RoadNetwork, mut segments: Vec<SegmentId>) -> Self {
+        segments.sort_unstable();
+        segments.dedup();
+        let total_length_km = network.length_of_km(&segments);
+        Self { segments, total_length_km }
+    }
+
+    /// Number of segments in the region.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns `true` when the region contains no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Returns `true` when the region contains the segment.
+    pub fn contains(&self, segment: SegmentId) -> bool {
+        self.segments.binary_search(&segment).is_ok()
+    }
+
+    /// The union of this region with another (e.g. merging per-location
+    /// results of an m-query).
+    pub fn union(&self, network: &RoadNetwork, other: &ReachableRegion) -> ReachableRegion {
+        let mut segments = self.segments.clone();
+        segments.extend_from_slice(&other.segments);
+        ReachableRegion::from_segments(network, segments)
+    }
+
+    /// Bounding rectangle of the region's geometry.
+    pub fn mbr(&self, network: &RoadNetwork) -> Mbr {
+        let mut mbr = Mbr::EMPTY;
+        for &seg in &self.segments {
+            mbr.expand(&network.segment(seg).mbr);
+        }
+        mbr
+    }
+
+    /// Returns `true` when every segment of `other` is also in `self`.
+    pub fn is_superset_of(&self, other: &ReachableRegion) -> bool {
+        other.segments.iter().all(|s| self.contains(*s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+
+    fn network() -> RoadNetwork {
+        SyntheticCity::generate(GeneratorConfig::small()).network
+    }
+
+    #[test]
+    fn empty_region() {
+        let r = ReachableRegion::empty();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.total_length_km, 0.0);
+        assert!(!r.contains(SegmentId(0)));
+    }
+
+    #[test]
+    fn from_segments_dedups_and_measures() {
+        let net = network();
+        let segs = vec![SegmentId(3), SegmentId(1), SegmentId(3), SegmentId(2)];
+        let r = ReachableRegion::from_segments(&net, segs);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.segments, vec![SegmentId(1), SegmentId(2), SegmentId(3)]);
+        let expected = net.length_of_km(&r.segments);
+        assert!((r.total_length_km - expected).abs() < 1e-12);
+        assert!(r.contains(SegmentId(2)));
+        assert!(!r.contains(SegmentId(5)));
+    }
+
+    #[test]
+    fn union_is_superset_of_both() {
+        let net = network();
+        let a = ReachableRegion::from_segments(&net, vec![SegmentId(1), SegmentId(2)]);
+        let b = ReachableRegion::from_segments(&net, vec![SegmentId(2), SegmentId(7)]);
+        let u = a.union(&net, &b);
+        assert_eq!(u.len(), 3);
+        assert!(u.is_superset_of(&a));
+        assert!(u.is_superset_of(&b));
+        assert!(!a.is_superset_of(&u));
+        assert!(u.total_length_km >= a.total_length_km.max(b.total_length_km));
+    }
+
+    #[test]
+    fn mbr_covers_every_segment() {
+        let net = network();
+        let r = ReachableRegion::from_segments(&net, vec![SegmentId(0), SegmentId(50), SegmentId(100)]);
+        let mbr = r.mbr(&net);
+        for &s in &r.segments {
+            assert!(mbr.contains(&net.segment(s).mbr));
+        }
+    }
+}

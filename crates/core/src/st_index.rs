@@ -1,0 +1,346 @@
+//! The Spatio-Temporal Index (ST-Index).
+//!
+//! "ST-Index consists of 3 components: Temporal index, Spatial index and Time
+//! List. [...] The upper component is a temporal partition indicating the
+//! time line per day with the time interval of 5 minutes. Each time slot
+//! corresponds to a spatial partition [...]. Each leaf node of the spatial
+//! index has a time list to identify the date of trajectories traversing its
+//! road segment." (Section 3.2.1)
+//!
+//! Concretely:
+//!
+//! * the **temporal index** is a [`BPlusTree`] keyed by the Δt slot number,
+//! * the **spatial index** is the R-tree over the static road network — as
+//!   the paper notes, "essentially all the leaf nodes in the temporal index
+//!   have the same spatial index structure", so a single shared tree (owned
+//!   by the [`RoadNetwork`]) is used and exposed through
+//!   [`StIndex::locate_segment`],
+//! * the **time lists** are [`TimeList`] posting lists (date → trajectory
+//!   IDs) serialized into a page-based [`PostingStore`]; every read is real
+//!   page I/O, counted and optionally slowed by the simulated disk.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use streach_geo::GeoPoint;
+use streach_roadnet::{RoadNetwork, SegmentId};
+use streach_storage::{
+    BPlusTree, BlobHandle, InMemoryPageStore, IoStats, PostingStore, SimulatedDiskStore, TimeList,
+};
+use streach_traj::TrajectoryDataset;
+
+use crate::config::IndexConfig;
+use crate::time::{slot_of, slots_overlapping};
+
+/// Page store backing the ST-Index: an in-memory store wrapped in the
+/// simulated-latency disk.
+pub type StIndexStore = SimulatedDiskStore<InMemoryPageStore>;
+
+/// Directory of one temporal leaf: for every road segment traversed during
+/// the slot, the handle of its time list in the posting store.
+#[derive(Debug, Clone, Default)]
+struct SlotDirectory {
+    /// Sorted by segment ID for binary search.
+    entries: Vec<(SegmentId, BlobHandle)>,
+}
+
+impl SlotDirectory {
+    fn get(&self, segment: SegmentId) -> Option<BlobHandle> {
+        self.entries
+            .binary_search_by_key(&segment, |(s, _)| *s)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+}
+
+/// Construction and size statistics of an ST-Index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StIndexStats {
+    /// Number of (segment, slot) pairs with a non-empty time list.
+    pub num_time_lists: u64,
+    /// Number of (segment, slot, date, trajectory) observations indexed.
+    pub num_observations: u64,
+    /// Bytes of posting data written.
+    pub posting_bytes: u64,
+    /// Pages allocated in the posting store.
+    pub posting_pages: u64,
+}
+
+/// The ST-Index.
+pub struct StIndex {
+    network: Arc<RoadNetwork>,
+    slot_s: u32,
+    num_days: u16,
+    temporal: BPlusTree<u64, SlotDirectory>,
+    postings: PostingStore<StIndexStore>,
+    stats: StIndexStats,
+}
+
+impl StIndex {
+    /// Builds the ST-Index from a map-matched trajectory dataset.
+    pub fn build(network: Arc<RoadNetwork>, dataset: &TrajectoryDataset, config: &IndexConfig) -> Self {
+        assert!(config.slot_s > 0, "slot length must be positive");
+        // Group observations by (slot, segment).
+        let mut lists: HashMap<(u32, SegmentId), TimeList> = HashMap::new();
+        let mut num_observations = 0u64;
+        for traj in dataset.trajectories() {
+            for visit in &traj.visits {
+                let slot = slot_of(visit.enter_time_s, config.slot_s);
+                lists
+                    .entry((slot, visit.segment))
+                    .or_default()
+                    .add(traj.date, traj.traj_id);
+                num_observations += 1;
+            }
+        }
+
+        // Persist the time lists slot by slot (and segment by segment within
+        // a slot) so that postings of the same temporal leaf are clustered on
+        // neighbouring pages.
+        let store = SimulatedDiskStore::with_latency(
+            InMemoryPageStore::new(),
+            Duration::from_micros(config.read_latency_us),
+            Duration::ZERO,
+        );
+        let postings = PostingStore::new(store, config.pool_pages);
+
+        let mut by_slot: HashMap<u32, Vec<(SegmentId, TimeList)>> = HashMap::new();
+        for ((slot, segment), list) in lists {
+            by_slot.entry(slot).or_default().push((segment, list));
+        }
+        let mut slots: Vec<u32> = by_slot.keys().copied().collect();
+        slots.sort_unstable();
+
+        let mut temporal = BPlusTree::with_order(32);
+        let mut num_time_lists = 0u64;
+        for slot in slots {
+            let mut entries = by_slot.remove(&slot).expect("slot present");
+            entries.sort_by_key(|(seg, _)| *seg);
+            let mut directory = SlotDirectory::default();
+            directory.entries.reserve(entries.len());
+            for (segment, list) in entries {
+                let handle = postings
+                    .append_time_list(&list)
+                    .expect("in-memory posting store cannot fail");
+                directory.entries.push((segment, handle));
+                num_time_lists += 1;
+            }
+            temporal.insert(slot as u64, directory);
+        }
+
+        // Index construction is not part of any timed experiment; reset the
+        // I/O counters so queries start from zero.
+        postings.clear_cache();
+        postings.io_stats().reset();
+
+        let stats = StIndexStats {
+            num_time_lists,
+            num_observations,
+            posting_bytes: postings.size_bytes(),
+            posting_pages: postings.num_pages(),
+        };
+        Self {
+            network,
+            slot_s: config.slot_s,
+            num_days: dataset.num_days(),
+            temporal,
+            postings,
+            stats,
+        }
+    }
+
+    /// The temporal granularity Δt in seconds.
+    pub fn slot_s(&self) -> u32 {
+        self.slot_s
+    }
+
+    /// Number of days (`m` in Eq. 3.1) the indexed dataset spans.
+    pub fn num_days(&self) -> u16 {
+        self.num_days
+    }
+
+    /// The road network the index was built over.
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        &self.network
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> StIndexStats {
+        self.stats
+    }
+
+    /// Shared I/O counters of the posting store.
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        self.postings.io_stats()
+    }
+
+    /// Drops all cached posting pages (for cold-cache measurements).
+    pub fn clear_cache(&self) {
+        self.postings.clear_cache();
+    }
+
+    /// Maps a query location to its start road segment `r0` using the
+    /// spatial index ("with the start location S and time stamp T from q, we
+    /// identify the start road segment r0 in the R-tree from ST-Index").
+    pub fn locate_segment(&self, location: &GeoPoint) -> Option<SegmentId> {
+        self.network.nearest_segment(location).map(|(id, _)| id)
+    }
+
+    /// Reads the time list of `segment` in `slot` from the posting store.
+    /// Returns `None` when no trajectory traversed the segment in that slot
+    /// on any day.
+    pub fn time_list(&self, segment: SegmentId, slot: u32) -> Option<TimeList> {
+        let slots_per_day = streach_traj::SECONDS_PER_DAY.div_ceil(self.slot_s);
+        let slot = slot % slots_per_day;
+        let directory = self.temporal.get(&(slot as u64))?;
+        let handle = directory.get(segment)?;
+        Some(
+            self.postings
+                .read_time_list(handle)
+                .expect("posting store read cannot fail"),
+        )
+    }
+
+    /// Trajectory IDs that traversed `segment` on `date` at any time in the
+    /// half-open window `[start_s, end_s)` — `Tr(r, T_B, d)` in the paper's
+    /// trace back search. The result is sorted and deduplicated.
+    pub fn ids_in_window(&self, segment: SegmentId, start_s: u32, end_s: u32, date: u16) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for slot in slots_overlapping(start_s, end_s, self.slot_s) {
+            if let Some(list) = self.time_list(segment, slot) {
+                if let Some(ids) = list.ids_on(date) {
+                    out.extend_from_slice(ids);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Returns `true` if any trajectory traversed `segment` during `slot` on
+    /// any day (reads the temporal directory only — no posting I/O).
+    pub fn has_entry(&self, segment: SegmentId, slot: u32) -> bool {
+        self.temporal
+            .get(&(slot as u64))
+            .map(|d| d.get(segment).is_some())
+            .unwrap_or(false)
+    }
+
+    /// All slots that have at least one time list, in ascending order.
+    pub fn populated_slots(&self) -> Vec<u32> {
+        self.temporal.iter().into_iter().map(|(k, _)| k as u32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+    use streach_traj::FleetConfig;
+
+    fn build_small() -> (Arc<RoadNetwork>, TrajectoryDataset, StIndex) {
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(&network, FleetConfig::tiny());
+        let index = StIndex::build(network.clone(), &dataset, &IndexConfig { read_latency_us: 0, ..Default::default() });
+        (network, dataset, index)
+    }
+
+    #[test]
+    fn build_produces_consistent_stats() {
+        let (_, dataset, index) = build_small();
+        let stats = index.stats();
+        let total_visits: u64 = dataset.trajectories().iter().map(|t| t.len() as u64).sum();
+        assert_eq!(stats.num_observations, total_visits);
+        assert!(stats.num_time_lists > 0);
+        assert!(stats.num_time_lists <= total_visits);
+        assert!(stats.posting_bytes > 0);
+        assert!(stats.posting_pages > 0);
+        assert_eq!(index.num_days(), dataset.num_days());
+        assert_eq!(index.slot_s(), 300);
+    }
+
+    #[test]
+    fn time_lists_round_trip_every_visit() {
+        let (_, dataset, index) = build_small();
+        // Every visit in the dataset must be present in the corresponding
+        // time list.
+        for traj in dataset.trajectories().iter().take(5) {
+            for visit in traj.visits.iter().take(50) {
+                let slot = slot_of(visit.enter_time_s, index.slot_s());
+                let list = index
+                    .time_list(visit.segment, slot)
+                    .expect("visited segment must have a time list");
+                let ids = list.ids_on(traj.date).expect("date entry present");
+                assert!(ids.contains(&traj.traj_id));
+            }
+        }
+    }
+
+    #[test]
+    fn ids_in_window_filters_by_date_and_time() {
+        let (_, dataset, index) = build_small();
+        let traj = &dataset.trajectories()[0];
+        let visit = traj.visits[traj.visits.len() / 2];
+        // A window around the visit on the right date contains the trajectory.
+        let ids = index.ids_in_window(visit.segment, visit.enter_time_s, visit.enter_time_s + 60, traj.date);
+        assert!(ids.contains(&traj.traj_id));
+        // A different (non-existent) date does not.
+        let ids_other = index.ids_in_window(visit.segment, visit.enter_time_s, visit.enter_time_s + 60, 200);
+        assert!(!ids_other.contains(&traj.traj_id));
+        // A window long before the visit (01:00-01:05, fleet starts at 08:00) is empty.
+        let ids_before = index.ids_in_window(visit.segment, 3600, 3900, traj.date);
+        assert!(ids_before.is_empty());
+        // Results are sorted and unique.
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn missing_segment_slot_is_none() {
+        let (network, _, index) = build_small();
+        // Slot 0 corresponds to 00:00-00:05; the tiny fleet only operates
+        // from 08:00, so no list exists there.
+        let seg = network.segment_ids().next().unwrap();
+        assert_eq!(index.time_list(seg, 0), None);
+        assert!(!index.has_entry(seg, 0));
+        assert!(index.ids_in_window(seg, 0, 300, 0).is_empty());
+    }
+
+    #[test]
+    fn locate_segment_matches_network_lookup() {
+        let (network, _, index) = build_small();
+        let p = network.bounds().center();
+        assert_eq!(index.locate_segment(&p), network.nearest_segment(&p).map(|(id, _)| id));
+    }
+
+    #[test]
+    fn reads_are_counted_as_io() {
+        let (_, dataset, index) = build_small();
+        let traj = &dataset.trajectories()[0];
+        let visit = traj.visits[0];
+        index.clear_cache();
+        index.io_stats().reset();
+        let slot = slot_of(visit.enter_time_s, index.slot_s());
+        let _ = index.time_list(visit.segment, slot);
+        let snap = index.io_stats().snapshot();
+        assert!(snap.page_reads >= 1, "a cold read must touch at least one page");
+        // Reading it again is served by the buffer pool.
+        let _ = index.time_list(visit.segment, slot);
+        let snap2 = index.io_stats().snapshot();
+        assert_eq!(snap2.page_reads, snap.page_reads);
+        assert!(snap2.cache_hits > snap.cache_hits);
+    }
+
+    #[test]
+    fn populated_slots_cover_operating_hours_only() {
+        let (_, _, index) = build_small();
+        let slots = index.populated_slots();
+        assert!(!slots.is_empty());
+        // Tiny fleet operates 08:00-12:00 => slots 96..144 (Δt = 5 min).
+        assert!(*slots.first().unwrap() >= 90);
+        assert!(*slots.last().unwrap() <= 150);
+        assert!(slots.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-query runtime and I/O statistics.
+
+use std::time::Duration;
+
+use streach_storage::IoStatsSnapshot;
+
+/// Measurements collected while answering one query.
+///
+/// The paper's efficiency metric is the query-processing running time; this
+/// struct additionally records the page I/O and the number of probability
+/// verifications (each verification reads trajectory postings from disk),
+/// which explains *why* one algorithm beats another.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Wall-clock time spent answering the query.
+    pub wall_time: Duration,
+    /// Page I/O performed while answering the query (delta over the query).
+    pub io: IoStatsSnapshot,
+    /// Number of road segments whose reachability probability was verified
+    /// against the trajectory postings.
+    pub segments_verified: usize,
+    /// Size of the maximum bounding region (0 for the ES baseline, which
+    /// does not compute one).
+    pub max_bounding_size: usize,
+    /// Size of the minimum bounding region (0 for the ES baseline).
+    pub min_bounding_size: usize,
+    /// Number of road segments visited by network expansion (ES) or by the
+    /// trace back search (SQMB+TBS).
+    pub segments_visited: usize,
+}
+
+impl QueryStats {
+    /// Running time in milliseconds (convenience for reports).
+    pub fn running_time_ms(&self) -> f64 {
+        self.wall_time.as_secs_f64() * 1e3
+    }
+
+    /// Merges the statistics of several sub-queries (used when an m-query is
+    /// answered as repeated s-queries): times and counters add up.
+    pub fn merge(&self, other: &QueryStats) -> QueryStats {
+        QueryStats {
+            wall_time: self.wall_time + other.wall_time,
+            io: IoStatsSnapshot {
+                page_reads: self.io.page_reads + other.io.page_reads,
+                page_writes: self.io.page_writes + other.io.page_writes,
+                cache_hits: self.io.cache_hits + other.io.cache_hits,
+                cache_misses: self.io.cache_misses + other.io.cache_misses,
+            },
+            segments_verified: self.segments_verified + other.segments_verified,
+            max_bounding_size: self.max_bounding_size + other.max_bounding_size,
+            min_bounding_size: self.min_bounding_size + other.min_bounding_size,
+            segments_visited: self.segments_visited + other.segments_visited,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_time_conversion() {
+        let s = QueryStats { wall_time: Duration::from_millis(250), ..Default::default() };
+        assert!((s.running_time_ms() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let a = QueryStats {
+            wall_time: Duration::from_millis(100),
+            segments_verified: 5,
+            segments_visited: 10,
+            io: IoStatsSnapshot { page_reads: 3, cache_hits: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let b = QueryStats {
+            wall_time: Duration::from_millis(50),
+            segments_verified: 7,
+            segments_visited: 20,
+            io: IoStatsSnapshot { page_reads: 4, cache_misses: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.wall_time, Duration::from_millis(150));
+        assert_eq!(m.segments_verified, 12);
+        assert_eq!(m.segments_visited, 30);
+        assert_eq!(m.io.page_reads, 7);
+        assert_eq!(m.io.cache_hits, 1);
+        assert_eq!(m.io.cache_misses, 2);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = QueryStats::default();
+        assert_eq!(s.segments_verified, 0);
+        assert_eq!(s.running_time_ms(), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Time-slot arithmetic shared by the indexes and query processors.
+
+/// Index of the Δt slot containing `time_s` (seconds after midnight).
+#[inline]
+pub fn slot_of(time_s: u32, slot_s: u32) -> u32 {
+    debug_assert!(slot_s > 0);
+    (time_s % streach_traj::SECONDS_PER_DAY) / slot_s
+}
+
+/// Start time (seconds after midnight) of slot `slot`.
+#[inline]
+pub fn slot_start(slot: u32, slot_s: u32) -> u32 {
+    slot * slot_s
+}
+
+/// All slot indices overlapping the half-open window `[start_s, end_s)`.
+/// Windows extending past midnight are clamped to the end of the day — the
+/// paper's queries are phrased within a single day.
+pub fn slots_overlapping(start_s: u32, end_s: u32, slot_s: u32) -> Vec<u32> {
+    if end_s <= start_s {
+        return Vec::new();
+    }
+    let end_s = end_s.min(streach_traj::SECONDS_PER_DAY);
+    let first = slot_of(start_s, slot_s);
+    let last = slot_of(end_s.saturating_sub(1), slot_s);
+    (first..=last).collect()
+}
+
+/// Formats a time of day as `HH:MM`.
+pub fn format_hhmm(time_s: u32) -> String {
+    let t = time_s % streach_traj::SECONDS_PER_DAY;
+    format!("{:02}:{:02}", t / 3600, (t % 3600) / 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_of_basic() {
+        assert_eq!(slot_of(0, 300), 0);
+        assert_eq!(slot_of(299, 300), 0);
+        assert_eq!(slot_of(300, 300), 1);
+        assert_eq!(slot_of(11 * 3600, 300), 132);
+        // Times past midnight wrap.
+        assert_eq!(slot_of(streach_traj::SECONDS_PER_DAY + 30, 300), 0);
+    }
+
+    #[test]
+    fn slot_start_inverts_slot_of() {
+        for slot in [0u32, 1, 100, 287] {
+            assert_eq!(slot_of(slot_start(slot, 300), 300), slot);
+        }
+    }
+
+    #[test]
+    fn slots_overlapping_windows() {
+        // A window exactly one slot long.
+        assert_eq!(slots_overlapping(600, 900, 300), vec![2]);
+        // A window spanning two slots.
+        assert_eq!(slots_overlapping(650, 950, 300), vec![2, 3]);
+        // A 10-minute query at 11:00 with 5-minute slots.
+        assert_eq!(slots_overlapping(11 * 3600, 11 * 3600 + 600, 300), vec![132, 133]);
+        // Empty and degenerate windows.
+        assert!(slots_overlapping(500, 500, 300).is_empty());
+        assert!(slots_overlapping(900, 600, 300).is_empty());
+        // Window clamped at the end of the day.
+        let slots = slots_overlapping(23 * 3600 + 3300, 25 * 3600, 300);
+        assert_eq!(slots.last(), Some(&287));
+    }
+
+    #[test]
+    fn format_hhmm_examples() {
+        assert_eq!(format_hhmm(0), "00:00");
+        assert_eq!(format_hhmm(11 * 3600 + 5 * 60), "11:05");
+        assert_eq!(format_hhmm(23 * 3600 + 59 * 60 + 59), "23:59");
+        assert_eq!(format_hhmm(streach_traj::SECONDS_PER_DAY), "00:00");
+    }
+}

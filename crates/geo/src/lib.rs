@@ -1,0 +1,28 @@
+//! Geometry primitives shared across the `streach` workspace.
+//!
+//! The paper works on a metropolitan road network described in WGS-84
+//! longitude/latitude coordinates (Shenzhen, China). All algorithms only need
+//! a handful of geometric facilities:
+//!
+//! * [`GeoPoint`] — a longitude/latitude pair with great-circle and
+//!   equirectangular distance helpers,
+//! * [`Mbr`] — minimum bounding rectangles used by road segments and by the
+//!   R-tree in `streach-spatial`,
+//! * [`Polyline`] — the shape of a road segment, supporting length
+//!   computation, interpolation, projection of a GPS point onto the segment
+//!   and cutting (used by the pre-processing *road re-segmentation* step).
+//!
+//! Distances are always expressed in **meters**; all angles are degrees.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distance;
+pub mod mbr;
+pub mod point;
+pub mod polyline;
+
+pub use distance::{equirectangular_m, haversine_m, point_segment_distance_m, EARTH_RADIUS_M};
+pub use mbr::Mbr;
+pub use point::GeoPoint;
+pub use polyline::Polyline;

@@ -1,0 +1,131 @@
+//! Property-based tests for the geometry primitives.
+
+use proptest::prelude::*;
+use streach_geo::{equirectangular_m, haversine_m, GeoPoint, Mbr, Polyline};
+
+/// Longitude/latitude generator constrained to a Shenzhen-sized bounding box
+/// so that the planar approximations stay valid (matching the paper's study
+/// area).
+fn city_point() -> impl Strategy<Value = GeoPoint> {
+    (113.75f64..114.45f64, 22.40f64..22.85f64).prop_map(|(lon, lat)| GeoPoint::new(lon, lat))
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_symmetric_and_nonnegative(a in city_point(), b in city_point()) {
+        let d1 = haversine_m(&a, &b);
+        let d2 = haversine_m(&b, &a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in city_point(), b in city_point(), c in city_point()) {
+        let ab = haversine_m(&a, &b);
+        let bc = haversine_m(&b, &c);
+        let ac = haversine_m(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn equirectangular_tracks_haversine(a in city_point(), b in city_point()) {
+        let h = haversine_m(&a, &b);
+        let e = equirectangular_m(&a, &b);
+        // At city scale the two must agree within 0.5%.
+        prop_assert!((h - e).abs() <= 0.005 * h.max(1.0));
+    }
+
+    #[test]
+    fn offset_distance_round_trip(p in city_point(), dx in -2000.0f64..2000.0, dy in -2000.0f64..2000.0) {
+        let q = p.offset_m(dx, dy);
+        let expect = (dx * dx + dy * dy).sqrt();
+        let got = haversine_m(&p, &q);
+        prop_assert!((got - expect).abs() < expect.max(1.0) * 0.01 + 1.0);
+    }
+
+    #[test]
+    fn mbr_union_contains_both(a in city_point(), b in city_point(), c in city_point(), d in city_point()) {
+        let m1 = Mbr::of_points([a, b].iter());
+        let m2 = Mbr::of_points([c, d].iter());
+        let u = m1.union(&m2);
+        prop_assert!(u.contains(&m1));
+        prop_assert!(u.contains(&m2));
+        prop_assert!(u.area() + 1e-15 >= m1.area().max(m2.area()));
+    }
+
+    #[test]
+    fn mbr_intersection_area_is_commutative_and_bounded(
+        a in city_point(), b in city_point(), c in city_point(), d in city_point()
+    ) {
+        let m1 = Mbr::of_points([a, b].iter());
+        let m2 = Mbr::of_points([c, d].iter());
+        let i12 = m1.intersection_area(&m2);
+        let i21 = m2.intersection_area(&m1);
+        prop_assert!((i12 - i21).abs() < 1e-15);
+        prop_assert!(i12 <= m1.area() + 1e-15);
+        prop_assert!(i12 <= m2.area() + 1e-15);
+        if i12 > 0.0 {
+            prop_assert!(m1.intersects(&m2));
+        }
+    }
+
+    #[test]
+    fn mbr_min_dist_zero_iff_contained(p in city_point(), a in city_point(), b in city_point()) {
+        let m = Mbr::of_points([a, b].iter());
+        let d = m.min_dist2_deg(&p);
+        if m.contains_point(&p) {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn projection_distance_not_larger_than_endpoint_distance(
+        p in city_point(), pts in proptest::collection::vec(city_point(), 2..8)
+    ) {
+        let line = Polyline::new(pts);
+        let proj = line.project(&p);
+        let to_start = equirectangular_m(&p, &line.start());
+        let to_end = equirectangular_m(&p, &line.end());
+        // Allow 1% slack: the projection uses a tangent plane anchored at each
+        // segment's start while the endpoint distances use the equirectangular
+        // formula, so the two approximations diverge slightly on long segments.
+        prop_assert!(proj.distance_m <= to_start * 1.01 + 1.0);
+        prop_assert!(proj.distance_m <= to_end * 1.01 + 1.0);
+        prop_assert!(proj.offset_m >= -1e-9);
+        prop_assert!(proj.offset_m <= line.length_m() + 1.0);
+    }
+
+    #[test]
+    fn split_by_length_preserves_length_and_endpoints(
+        pts in proptest::collection::vec(city_point(), 2..6),
+        granularity in 200.0f64..2000.0
+    ) {
+        let line = Polyline::new(pts);
+        let pieces = line.split_by_length(granularity);
+        prop_assert!(!pieces.is_empty());
+        let total: f64 = pieces.iter().map(|p| p.length_m()).sum();
+        prop_assert!((total - line.length_m()).abs() < line.length_m().max(1.0) * 0.01 + 1.0);
+        prop_assert_eq!(pieces[0].start(), line.start());
+        prop_assert_eq!(pieces.last().unwrap().end(), line.end());
+        for piece in &pieces {
+            prop_assert!(piece.length_m() <= granularity + granularity * 0.01 + 1.0);
+        }
+        // Contiguity between consecutive pieces.
+        for w in pieces.windows(2) {
+            prop_assert!(w[0].end().haversine_m(&w[1].start()) < 1.0);
+        }
+    }
+
+    #[test]
+    fn point_at_offset_is_on_or_near_polyline(
+        pts in proptest::collection::vec(city_point(), 2..6),
+        frac in 0.0f64..1.0
+    ) {
+        let line = Polyline::new(pts);
+        let p = line.point_at_fraction(frac);
+        let proj = line.project(&p);
+        prop_assert!(proj.distance_m < 1.0, "distance {}", proj.distance_m);
+    }
+}

@@ -1,0 +1,260 @@
+//! Shortest paths over the road network.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::graph::{NodeId, RoadNetwork};
+use crate::segment::SegmentId;
+
+#[derive(PartialEq)]
+struct Cost(f64);
+impl Eq for Cost {}
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// Network distances (in meters) from the *end* of `start` to the *end* of
+/// every segment reachable within `max_distance_m`, traversing segments in
+/// their stated direction. The start segment itself has distance zero.
+///
+/// This is the `dis(r0, r)` used by the MQMB overlap-elimination rule: when a
+/// road segment falls inside several per-location bounding regions, it is
+/// kept only for the start location it is closest to.
+pub fn segment_distances_from(
+    network: &RoadNetwork,
+    start: SegmentId,
+    max_distance_m: f64,
+) -> HashMap<SegmentId, f64> {
+    let mut dist: HashMap<SegmentId, f64> = HashMap::new();
+    let mut heap: BinaryHeap<(Reverse<Cost>, SegmentId)> = BinaryHeap::new();
+    dist.insert(start, 0.0);
+    heap.push((Reverse(Cost(0.0)), start));
+    while let Some((Reverse(Cost(d)), seg)) = heap.pop() {
+        if d > *dist.get(&seg).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for next in network.successors(seg) {
+            let nd = d + network.segment(next).length_m;
+            if nd <= max_distance_m && nd < *dist.get(&next).unwrap_or(&f64::INFINITY) {
+                dist.insert(next, nd);
+                heap.push((Reverse(Cost(nd)), next));
+            }
+        }
+    }
+    dist
+}
+
+/// Network distance in meters from `from` to `to` (end-of-segment to
+/// end-of-segment), or `None` if `to` is not reachable within
+/// `max_distance_m`.
+pub fn shortest_segment_distance(
+    network: &RoadNetwork,
+    from: SegmentId,
+    to: SegmentId,
+    max_distance_m: f64,
+) -> Option<f64> {
+    if from == to {
+        return Some(0.0);
+    }
+    let mut dist: HashMap<SegmentId, f64> = HashMap::new();
+    let mut heap: BinaryHeap<(Reverse<Cost>, SegmentId)> = BinaryHeap::new();
+    dist.insert(from, 0.0);
+    heap.push((Reverse(Cost(0.0)), from));
+    while let Some((Reverse(Cost(d)), seg)) = heap.pop() {
+        if seg == to {
+            return Some(d);
+        }
+        if d > *dist.get(&seg).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for next in network.successors(seg) {
+            let nd = d + network.segment(next).length_m;
+            if nd <= max_distance_m && nd < *dist.get(&next).unwrap_or(&f64::INFINITY) {
+                dist.insert(next, nd);
+                heap.push((Reverse(Cost(nd)), next));
+            }
+        }
+    }
+    None
+}
+
+/// Shortest path between two intersections by travel distance. Returns the
+/// segment sequence and the total length in meters, or `None` when `to` is
+/// unreachable. Used by the taxi simulator to route trips.
+pub fn shortest_path_between_nodes(
+    network: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+) -> Option<(Vec<SegmentId>, f64)> {
+    if from == to {
+        return Some((Vec::new(), 0.0));
+    }
+    let n = network.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut via: Vec<Option<SegmentId>> = vec![None; n];
+    let mut heap: BinaryHeap<(Reverse<Cost>, NodeId)> = BinaryHeap::new();
+    dist[from.index()] = 0.0;
+    heap.push((Reverse(Cost(0.0)), from));
+    while let Some((Reverse(Cost(d)), node)) = heap.pop() {
+        if node == to {
+            break;
+        }
+        if d > dist[node.index()] {
+            continue;
+        }
+        for &seg_id in network.segments_out_of(node) {
+            let seg = network.segment(seg_id);
+            let nd = d + seg.length_m;
+            if nd < dist[seg.end_node.index()] {
+                dist[seg.end_node.index()] = nd;
+                via[seg.end_node.index()] = Some(seg_id);
+                heap.push((Reverse(Cost(nd)), seg.end_node));
+            }
+        }
+    }
+    if dist[to.index()].is_infinite() {
+        return None;
+    }
+    // Reconstruct the path.
+    let mut path = Vec::new();
+    let mut node = to;
+    while node != from {
+        let seg_id = via[node.index()].expect("path reconstruction");
+        path.push(seg_id);
+        node = network.segment(seg_id).start_node;
+    }
+    path.reverse();
+    Some((path, dist[to.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{RawRoad, RoadNetwork};
+    use crate::segment::{Direction, RoadClass};
+    use streach_geo::{GeoPoint, Polyline};
+
+    /// A 4x4 grid of two-way local streets with 500 m spacing.
+    fn grid() -> RoadNetwork {
+        let origin = GeoPoint::new(114.0, 22.5);
+        let spacing = 500.0;
+        let node = |i: i32, j: i32| origin.offset_m(i as f64 * spacing, j as f64 * spacing);
+        let mut roads = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i + 1 < 4 {
+                    roads.push(RawRoad {
+                        geometry: Polyline::straight(node(i, j), node(i + 1, j)),
+                        class: RoadClass::Local,
+                        direction: Direction::TwoWay,
+                    });
+                }
+                if j + 1 < 4 {
+                    roads.push(RawRoad {
+                        geometry: Polyline::straight(node(i, j), node(i, j + 1)),
+                        class: RoadClass::Local,
+                        direction: Direction::TwoWay,
+                    });
+                }
+            }
+        }
+        RoadNetwork::from_roads(&roads)
+    }
+
+    fn node_at(net: &RoadNetwork, i: i32, j: i32) -> NodeId {
+        let p = GeoPoint::new(114.0, 22.5).offset_m(i as f64 * 500.0, j as f64 * 500.0);
+        (0..net.num_nodes() as u32)
+            .map(NodeId)
+            .min_by(|a, b| {
+                net.node_position(*a)
+                    .haversine_m(&p)
+                    .partial_cmp(&net.node_position(*b).haversine_m(&p))
+                    .unwrap()
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn node_to_node_path_follows_manhattan_distance() {
+        let net = grid();
+        let from = node_at(&net, 0, 0);
+        let to = node_at(&net, 3, 2);
+        let (path, d) = shortest_path_between_nodes(&net, from, to).unwrap();
+        // Manhattan distance: (3 + 2) * 500 = 2500 m.
+        assert!((d - 2500.0).abs() < 10.0, "distance {d}");
+        assert_eq!(path.len(), 5);
+        // The path is connected and starts/ends at the right nodes.
+        assert_eq!(net.segment(path[0]).start_node, from);
+        assert_eq!(net.segment(*path.last().unwrap()).end_node, to);
+        for w in path.windows(2) {
+            assert_eq!(net.segment(w[0]).end_node, net.segment(w[1]).start_node);
+        }
+    }
+
+    #[test]
+    fn path_to_self_is_empty() {
+        let net = grid();
+        let n = node_at(&net, 1, 1);
+        let (path, d) = shortest_path_between_nodes(&net, n, n).unwrap();
+        assert!(path.is_empty());
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn segment_distances_respect_budget() {
+        let net = grid();
+        let (start, _) = net.nearest_segment(&GeoPoint::new(114.0, 22.5).offset_m(250.0, 0.0)).unwrap();
+        let dist = segment_distances_from(&net, start, 1200.0);
+        assert_eq!(dist[&start], 0.0);
+        assert!(dist.len() > 1);
+        for (&seg, &d) in &dist {
+            assert!(d <= 1200.0, "segment {seg} at {d}");
+        }
+        // A larger budget reaches at least as many segments.
+        let bigger = segment_distances_from(&net, start, 3000.0);
+        assert!(bigger.len() >= dist.len());
+        for (seg, d) in &dist {
+            assert!((bigger[seg] - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shortest_segment_distance_matches_distance_map() {
+        let net = grid();
+        let (start, _) = net.nearest_segment(&GeoPoint::new(114.0, 22.5).offset_m(250.0, 0.0)).unwrap();
+        let dist = segment_distances_from(&net, start, 4000.0);
+        for (&seg, &d) in dist.iter().take(20) {
+            let single = shortest_segment_distance(&net, start, seg, 4000.0).unwrap();
+            assert!((single - d).abs() < 1e-9);
+        }
+        assert_eq!(shortest_segment_distance(&net, start, start, 100.0), Some(0.0));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        // Two disconnected one-way roads.
+        let a = GeoPoint::new(114.0, 22.5);
+        let roads = vec![
+            RawRoad {
+                geometry: Polyline::straight(a, a.offset_m(300.0, 0.0)),
+                class: RoadClass::Local,
+                direction: Direction::OneWay,
+            },
+            RawRoad {
+                geometry: Polyline::straight(a.offset_m(5000.0, 0.0), a.offset_m(5300.0, 0.0)),
+                class: RoadClass::Local,
+                direction: Direction::OneWay,
+            },
+        ];
+        let net = RoadNetwork::from_roads(&roads);
+        assert_eq!(shortest_segment_distance(&net, SegmentId(0), SegmentId(1), 1e9), None);
+        assert!(shortest_path_between_nodes(&net, NodeId(0), NodeId(3)).is_none());
+    }
+}

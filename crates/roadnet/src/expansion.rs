@@ -1,0 +1,195 @@
+//! Time-budgeted network expansion.
+//!
+//! The Con-Index is built by "a modified conventional network expansion
+//! algorithm [21]": starting from a road segment, the network is expanded
+//! using a per-segment travel speed until a time budget (one Δt slot for the
+//! Con-Index, the whole duration `L` for the exhaustive-search baseline) is
+//! exhausted. The Near ID list uses the historical *minimum* observed speed,
+//! the Far ID list the *maximum* speed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::graph::RoadNetwork;
+use crate::segment::SegmentId;
+
+/// Result of a network expansion.
+#[derive(Debug, Clone, Default)]
+pub struct ExpansionResult {
+    /// Earliest arrival time in seconds for every segment reached within the
+    /// budget (start segments have arrival 0).
+    pub arrival_s: HashMap<SegmentId, f64>,
+}
+
+impl ExpansionResult {
+    /// Segments reached within the budget, in unspecified order.
+    pub fn reached(&self) -> Vec<SegmentId> {
+        self.arrival_s.keys().copied().collect()
+    }
+
+    /// Number of segments reached.
+    pub fn len(&self) -> usize {
+        self.arrival_s.len()
+    }
+
+    /// Returns `true` when nothing was reached (impossible when at least one
+    /// start segment is given).
+    pub fn is_empty(&self) -> bool {
+        self.arrival_s.is_empty()
+    }
+
+    /// Returns `true` if the given segment was reached.
+    pub fn contains(&self, seg: SegmentId) -> bool {
+        self.arrival_s.contains_key(&seg)
+    }
+}
+
+#[derive(PartialEq)]
+struct Cost(f64);
+impl Eq for Cost {}
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// Expands the network from `start_segments`, traversing each segment at the
+/// speed (m/s) returned by `speed_ms`, and returns every segment whose
+/// earliest arrival time is within `budget_s` seconds.
+///
+/// Traversal cost is charged when *entering* a segment (the expansion starts
+/// at the head of the start segments, matching the paper's convention that
+/// the query location lies on the start road segment). Segments for which
+/// `speed_ms` returns a non-positive value are treated as impassable.
+pub fn expand_within_time<F>(
+    network: &RoadNetwork,
+    start_segments: &[SegmentId],
+    budget_s: f64,
+    mut speed_ms: F,
+) -> ExpansionResult
+where
+    F: FnMut(SegmentId) -> f64,
+{
+    let mut arrival: HashMap<SegmentId, f64> = HashMap::new();
+    let mut heap: BinaryHeap<(Reverse<Cost>, SegmentId)> = BinaryHeap::new();
+    for &s in start_segments {
+        arrival.insert(s, 0.0);
+        heap.push((Reverse(Cost(0.0)), s));
+    }
+    while let Some((Reverse(Cost(t)), seg)) = heap.pop() {
+        if t > *arrival.get(&seg).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for next in network.successors(seg) {
+            let speed = speed_ms(next);
+            if speed <= 0.0 {
+                continue;
+            }
+            let cost = network.segment(next).length_m / speed;
+            let nt = t + cost;
+            if nt <= budget_s && nt < *arrival.get(&next).unwrap_or(&f64::INFINITY) {
+                arrival.insert(next, nt);
+                heap.push((Reverse(Cost(nt)), next));
+            }
+        }
+    }
+    ExpansionResult { arrival_s: arrival }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{RawRoad, RoadNetwork};
+    use crate::segment::{Direction, RoadClass};
+    use streach_geo::{GeoPoint, Polyline};
+
+    /// A straight chain of ten 500 m local segments.
+    fn chain() -> RoadNetwork {
+        let origin = GeoPoint::new(114.0, 22.5);
+        let mut roads = Vec::new();
+        for i in 0..10 {
+            let a = origin.offset_m(i as f64 * 500.0, 0.0);
+            let b = origin.offset_m((i + 1) as f64 * 500.0, 0.0);
+            roads.push(RawRoad {
+                geometry: Polyline::straight(a, b),
+                class: RoadClass::Local,
+                direction: Direction::OneWay,
+            });
+        }
+        RoadNetwork::from_roads(&roads)
+    }
+
+    #[test]
+    fn expansion_respects_time_budget() {
+        let net = chain();
+        // 10 m/s on every segment: each 500 m segment costs 50 s.
+        let result = expand_within_time(&net, &[SegmentId(0)], 120.0, |_| 10.0);
+        // Start + two more segments (50 s, 100 s); the fourth would arrive at 150 s.
+        assert_eq!(result.len(), 3);
+        assert!(result.contains(SegmentId(0)));
+        assert!(result.contains(SegmentId(1)));
+        assert!(result.contains(SegmentId(2)));
+        assert!(!result.contains(SegmentId(3)));
+        assert_eq!(result.arrival_s[&SegmentId(0)], 0.0);
+        assert!((result.arrival_s[&SegmentId(2)] - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn faster_speed_reaches_farther() {
+        let net = chain();
+        let slow = expand_within_time(&net, &[SegmentId(0)], 200.0, |_| 5.0);
+        let fast = expand_within_time(&net, &[SegmentId(0)], 200.0, |_| 20.0);
+        assert!(fast.len() > slow.len());
+        // Every segment reached slowly is also reached quickly (monotonicity).
+        for seg in slow.reached() {
+            assert!(fast.contains(seg));
+        }
+    }
+
+    #[test]
+    fn zero_speed_blocks_expansion() {
+        let net = chain();
+        // Segment 2 is impassable.
+        let result = expand_within_time(&net, &[SegmentId(0)], 1e6, |s| if s == SegmentId(2) { 0.0 } else { 10.0 });
+        assert!(result.contains(SegmentId(1)));
+        assert!(!result.contains(SegmentId(2)));
+        assert!(!result.contains(SegmentId(5)));
+    }
+
+    #[test]
+    fn multiple_starts_take_minimum_arrival() {
+        let net = chain();
+        let result = expand_within_time(&net, &[SegmentId(0), SegmentId(5)], 60.0, |_| 10.0);
+        assert!(result.contains(SegmentId(6)));
+        assert!((result.arrival_s[&SegmentId(6)] - 50.0).abs() < 1.0);
+        assert!(result.contains(SegmentId(1)));
+        assert!(!result.contains(SegmentId(3)));
+        assert_eq!(result.arrival_s[&SegmentId(5)], 0.0);
+    }
+
+    #[test]
+    fn zero_budget_reaches_only_starts() {
+        let net = chain();
+        let result = expand_within_time(&net, &[SegmentId(3)], 0.0, |_| 10.0);
+        assert_eq!(result.len(), 1);
+        assert!(result.contains(SegmentId(3)));
+    }
+
+    #[test]
+    fn arrival_times_are_monotone_along_the_chain() {
+        let net = chain();
+        let result = expand_within_time(&net, &[SegmentId(0)], 1e6, |_| 12.0);
+        assert_eq!(result.len(), 10);
+        for i in 1..10u32 {
+            assert!(
+                result.arrival_s[&SegmentId(i)] > result.arrival_s[&SegmentId(i - 1)],
+                "arrival times must increase along the chain"
+            );
+        }
+    }
+}

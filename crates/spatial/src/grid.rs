@@ -1,0 +1,219 @@
+//! A uniform grid index.
+
+use streach_geo::{GeoPoint, Mbr};
+
+/// A uniform grid over a fixed bounding box, mapping each cell to the items
+/// whose MBR intersects it.
+///
+/// Map matching needs, for every GPS point, the road segments within a small
+/// radius (tens of meters). A grid with a cell size comparable to that radius
+/// answers such queries by inspecting at most a 3×3 block of cells, which is
+/// much cheaper than an R-tree descent when processing hundreds of millions
+/// of points.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    bounds: Mbr,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    cells: Vec<Vec<T>>,
+    len: usize,
+}
+
+impl<T: Clone + PartialEq> GridIndex<T> {
+    /// Creates an empty grid covering `bounds` with approximately
+    /// `cell_size_m` meter cells. Panics if bounds are empty.
+    pub fn new(bounds: Mbr, cell_size_m: f64) -> Self {
+        assert!(!bounds.is_empty(), "grid bounds must be non-empty");
+        assert!(cell_size_m > 0.0, "cell size must be positive");
+        let meters_per_deg_lat = 111_320.0;
+        let mid_lat = (bounds.min_lat + bounds.max_lat) / 2.0;
+        let meters_per_deg_lon = meters_per_deg_lat * mid_lat.to_radians().cos();
+        let width_m = (bounds.max_lon - bounds.min_lon) * meters_per_deg_lon;
+        let height_m = (bounds.max_lat - bounds.min_lat) * meters_per_deg_lat;
+        let cols = ((width_m / cell_size_m).ceil() as usize).max(1);
+        let rows = ((height_m / cell_size_m).ceil() as usize).max(1);
+        let cell_w = (bounds.max_lon - bounds.min_lon) / cols as f64;
+        let cell_h = (bounds.max_lat - bounds.min_lat) / rows as f64;
+        Self {
+            bounds,
+            cols,
+            rows,
+            cell_w,
+            cell_h,
+            cells: vec![Vec::new(); cols * rows],
+            len: 0,
+        }
+    }
+
+    /// Number of inserted items (an item spanning several cells counts once).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grid dimensions as `(columns, rows)`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn col_of(&self, lon: f64) -> usize {
+        let c = ((lon - self.bounds.min_lon) / self.cell_w).floor();
+        (c.max(0.0) as usize).min(self.cols - 1)
+    }
+
+    fn row_of(&self, lat: f64) -> usize {
+        let r = ((lat - self.bounds.min_lat) / self.cell_h).floor();
+        (r.max(0.0) as usize).min(self.rows - 1)
+    }
+
+    fn cell_index(&self, col: usize, row: usize) -> usize {
+        row * self.cols + col
+    }
+
+    /// Inserts an item covering `mbr`. The item is registered in every cell
+    /// its MBR intersects.
+    pub fn insert(&mut self, mbr: &Mbr, item: T) {
+        let c0 = self.col_of(mbr.min_lon);
+        let c1 = self.col_of(mbr.max_lon);
+        let r0 = self.row_of(mbr.min_lat);
+        let r1 = self.row_of(mbr.max_lat);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                let idx = self.cell_index(c, r);
+                if !self.cells[idx].contains(&item) {
+                    self.cells[idx].push(item.clone());
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Candidate items for the cell containing `p` plus the 8 surrounding
+    /// cells. Duplicates (items spanning several of those cells) are removed.
+    pub fn candidates_near(&self, p: &GeoPoint) -> Vec<T> {
+        let c = self.col_of(p.lon);
+        let r = self.row_of(p.lat);
+        let mut out: Vec<T> = Vec::new();
+        for dr in -1i64..=1 {
+            for dc in -1i64..=1 {
+                let rr = r as i64 + dr;
+                let cc = c as i64 + dc;
+                if rr < 0 || cc < 0 || rr >= self.rows as i64 || cc >= self.cols as i64 {
+                    continue;
+                }
+                for item in &self.cells[self.cell_index(cc as usize, rr as usize)] {
+                    if !out.contains(item) {
+                        out.push(item.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Candidate items for every cell intersecting `window`.
+    pub fn candidates_in(&self, window: &Mbr) -> Vec<T> {
+        if !self.bounds.intersects(window) {
+            return Vec::new();
+        }
+        let c0 = self.col_of(window.min_lon);
+        let c1 = self.col_of(window.max_lon);
+        let r0 = self.row_of(window.min_lat);
+        let r1 = self.row_of(window.max_lat);
+        let mut out: Vec<T> = Vec::new();
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for item in &self.cells[self.cell_index(c, r)] {
+                    if !out.contains(item) {
+                        out.push(item.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn city_bounds() -> Mbr {
+        Mbr::new(114.0, 22.5, 114.1, 22.6) // roughly 10 km x 11 km
+    }
+
+    #[test]
+    fn dimensions_match_cell_size() {
+        let g: GridIndex<u32> = GridIndex::new(city_bounds(), 500.0);
+        let (cols, rows) = g.dimensions();
+        // ~10.2 km wide => ~21 columns; ~11.1 km tall => ~23 rows.
+        assert!((18..=25).contains(&cols), "cols {cols}");
+        assert!((20..=25).contains(&rows), "rows {rows}");
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn insert_and_lookup_same_cell() {
+        let mut g = GridIndex::new(city_bounds(), 500.0);
+        let p = GeoPoint::new(114.05, 22.55);
+        g.insert(&Mbr::of_point(&p), 42u32);
+        assert_eq!(g.len(), 1);
+        let found = g.candidates_near(&p);
+        assert_eq!(found, vec![42]);
+        // A point 300 m away is still within the 3x3 neighbourhood of 500 m cells.
+        let q = p.offset_m(300.0, 0.0);
+        assert_eq!(g.candidates_near(&q), vec![42]);
+        // A point 5 km away is not.
+        let far = p.offset_m(5000.0, 0.0);
+        assert!(g.candidates_near(&far).is_empty());
+    }
+
+    #[test]
+    fn item_spanning_many_cells_counted_once() {
+        let mut g = GridIndex::new(city_bounds(), 500.0);
+        let long_road = Mbr::new(114.0, 22.55, 114.1, 22.551);
+        g.insert(&long_road, 7u32);
+        assert_eq!(g.len(), 1);
+        let probe = GeoPoint::new(114.02, 22.55);
+        assert_eq!(g.candidates_near(&probe), vec![7]);
+        let probe2 = GeoPoint::new(114.09, 22.55);
+        assert_eq!(g.candidates_near(&probe2), vec![7]);
+        let all = g.candidates_in(&city_bounds());
+        assert_eq!(all, vec![7]);
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamp() {
+        let mut g = GridIndex::new(city_bounds(), 500.0);
+        let corner = GeoPoint::new(114.0, 22.5);
+        g.insert(&Mbr::of_point(&corner), 1u32);
+        // A query outside the grid clamps to the nearest cell.
+        let outside = GeoPoint::new(113.9, 22.4);
+        assert_eq!(g.candidates_near(&outside), vec![1]);
+    }
+
+    #[test]
+    fn window_query_returns_only_nearby_items() {
+        let mut g = GridIndex::new(city_bounds(), 250.0);
+        let a = GeoPoint::new(114.01, 22.51);
+        let b = GeoPoint::new(114.09, 22.59);
+        g.insert(&Mbr::of_point(&a), 1u32);
+        g.insert(&Mbr::of_point(&b), 2u32);
+        let window = Mbr::of_point(&a).padded(0.002);
+        assert_eq!(g.candidates_in(&window), vec![1]);
+        let disjoint = Mbr::new(120.0, 30.0, 121.0, 31.0);
+        assert!(g.candidates_in(&disjoint).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_bounds_rejected() {
+        let _: GridIndex<u32> = GridIndex::new(Mbr::EMPTY, 100.0);
+    }
+}

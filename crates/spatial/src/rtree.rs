@@ -1,0 +1,657 @@
+//! An R-tree over [`Mbr`] keys.
+
+use streach_geo::{GeoPoint, Mbr};
+
+/// Maximum number of entries per node.
+const MAX_ENTRIES: usize = 16;
+/// Minimum number of entries per node after a split.
+const MIN_ENTRIES: usize = 6;
+
+/// Approximate meters per degree of latitude.
+const METERS_PER_DEG_LAT: f64 = 111_320.0;
+
+/// A conservative lower bound (in meters) of the distance from a point to an
+/// MBR, used to prune nearest-neighbour search. It must never exceed the true
+/// distance to any geometry contained in the MBR.
+fn mbr_min_dist_m(mbr: &Mbr, p: &GeoPoint) -> f64 {
+    let dx_deg = if p.lon < mbr.min_lon {
+        mbr.min_lon - p.lon
+    } else if p.lon > mbr.max_lon {
+        p.lon - mbr.max_lon
+    } else {
+        0.0
+    };
+    let dy_deg = if p.lat < mbr.min_lat {
+        mbr.min_lat - p.lat
+    } else if p.lat > mbr.max_lat {
+        p.lat - mbr.max_lat
+    } else {
+        0.0
+    };
+    // Slightly shrink the longitude scale so that this stays a lower bound
+    // even with the small curvature errors of the planar approximation.
+    let lon_scale = METERS_PER_DEG_LAT * p.lat.to_radians().cos() * 0.995;
+    let dx = dx_deg * lon_scale;
+    let dy = dy_deg * METERS_PER_DEG_LAT * 0.995;
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[derive(Debug, Clone)]
+struct LeafEntry<T> {
+    mbr: Mbr,
+    item: T,
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf(Vec<LeafEntry<T>>),
+    Internal(Vec<Child<T>>),
+}
+
+#[derive(Debug, Clone)]
+struct Child<T> {
+    mbr: Mbr,
+    node: Box<Node<T>>,
+}
+
+impl<T> Node<T> {
+    fn mbr(&self) -> Mbr {
+        match self {
+            Node::Leaf(entries) => {
+                let mut m = Mbr::EMPTY;
+                for e in entries {
+                    m.expand(&e.mbr);
+                }
+                m
+            }
+            Node::Internal(children) => {
+                let mut m = Mbr::EMPTY;
+                for c in children {
+                    m.expand(&c.mbr);
+                }
+                m
+            }
+        }
+    }
+
+}
+
+/// An R-tree mapping bounding rectangles to items of type `T`.
+///
+/// `T` is typically a small copyable identifier (a road-segment ID); the tree
+/// stores it by value.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T: Clone> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> RTree<T> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self { root: Node::Leaf(Vec::new()), len: 0 }
+    }
+
+    /// Bulk loads a tree from `(mbr, item)` pairs using the Sort-Tile-
+    /// Recursive (STR) packing algorithm. This is how the ST-Index builds its
+    /// spatial component: the road network is static, so the tree is packed
+    /// once and shared by every temporal leaf.
+    pub fn bulk_load(mut items: Vec<(Mbr, T)>) -> Self {
+        let len = items.len();
+        if items.is_empty() {
+            return Self::new();
+        }
+        // Sort by center longitude, slice, then sort each slice by latitude.
+        items.sort_by(|a, b| {
+            a.0.center()
+                .lon
+                .partial_cmp(&b.0.center().lon)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let leaf_count = len.div_ceil(MAX_ENTRIES);
+        let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_size = len.div_ceil(slice_count);
+
+        let mut leaves: Vec<Node<T>> = Vec::with_capacity(leaf_count);
+        for slice in items.chunks(slice_size.max(1)) {
+            let mut slice: Vec<(Mbr, T)> = slice.to_vec();
+            slice.sort_by(|a, b| {
+                a.0.center()
+                    .lat
+                    .partial_cmp(&b.0.center().lat)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for chunk in slice.chunks(MAX_ENTRIES) {
+                let entries = chunk
+                    .iter()
+                    .map(|(mbr, item)| LeafEntry { mbr: *mbr, item: item.clone() })
+                    .collect();
+                leaves.push(Node::Leaf(entries));
+            }
+        }
+        // Pack upward until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut children: Vec<Child<T>> = level
+                .into_iter()
+                .map(|node| Child { mbr: node.mbr(), node: Box::new(node) })
+                .collect();
+            children.sort_by(|a, b| {
+                a.mbr
+                    .center()
+                    .lon
+                    .partial_cmp(&b.mbr.center().lon)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let parent_count = children.len().div_ceil(MAX_ENTRIES);
+            let slice_count = (parent_count as f64).sqrt().ceil() as usize;
+            let slice_size = children.len().div_ceil(slice_count);
+            let mut parents = Vec::with_capacity(parent_count);
+            let mut buffer: Vec<Child<T>> = Vec::new();
+            for child in children.into_iter() {
+                buffer.push(child);
+                if buffer.len() == slice_size.max(1) {
+                    buffer.sort_by(|a, b| {
+                        a.mbr
+                            .center()
+                            .lat
+                            .partial_cmp(&b.mbr.center().lat)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    for chunk in std::mem::take(&mut buffer).chunks(MAX_ENTRIES) {
+                        parents.push(Node::Internal(chunk.to_vec()));
+                    }
+                }
+            }
+            if !buffer.is_empty() {
+                buffer.sort_by(|a, b| {
+                    a.mbr
+                        .center()
+                        .lat
+                        .partial_cmp(&b.mbr.center().lat)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for chunk in std::mem::take(&mut buffer).chunks(MAX_ENTRIES) {
+                    parents.push(Node::Internal(chunk.to_vec()));
+                }
+            }
+            level = parents;
+        }
+        Self { root: level.pop().expect("non-empty"), len }
+    }
+
+    /// Number of items stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bounding rectangle of everything stored (empty MBR when empty).
+    pub fn bounds(&self) -> Mbr {
+        self.root.mbr()
+    }
+
+    /// Inserts an item with its bounding rectangle.
+    pub fn insert(&mut self, mbr: Mbr, item: T) {
+        self.len += 1;
+        if let Some((left, right)) = Self::insert_rec(&mut self.root, mbr, item) {
+            self.root = Node::Internal(vec![left, right]);
+        }
+    }
+
+    fn insert_rec(node: &mut Node<T>, mbr: Mbr, item: T) -> Option<(Child<T>, Child<T>)> {
+        match node {
+            Node::Leaf(entries) => {
+                entries.push(LeafEntry { mbr, item });
+                if entries.len() > MAX_ENTRIES {
+                    let (a, b) = Self::split_leaf(std::mem::take(entries));
+                    Some((
+                        Child { mbr: a.mbr(), node: Box::new(a) },
+                        Child { mbr: b.mbr(), node: Box::new(b) },
+                    ))
+                } else {
+                    None
+                }
+            }
+            Node::Internal(children) => {
+                // Choose the child needing the least enlargement.
+                let mut best = 0usize;
+                let mut best_enlargement = f64::INFINITY;
+                let mut best_area = f64::INFINITY;
+                for (i, child) in children.iter().enumerate() {
+                    let enlargement = child.mbr.enlargement(&mbr);
+                    let area = child.mbr.area();
+                    if enlargement < best_enlargement
+                        || (enlargement == best_enlargement && area < best_area)
+                    {
+                        best = i;
+                        best_enlargement = enlargement;
+                        best_area = area;
+                    }
+                }
+                let split = Self::insert_rec(&mut children[best].node, mbr, item);
+                children[best].mbr = children[best].node.mbr();
+                if let Some((a, b)) = split {
+                    children[best] = a;
+                    children.push(b);
+                    if children.len() > MAX_ENTRIES {
+                        let (a, b) = Self::split_internal(std::mem::take(children));
+                        return Some((
+                            Child { mbr: a.mbr(), node: Box::new(a) },
+                            Child { mbr: b.mbr(), node: Box::new(b) },
+                        ));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Quadratic split of an overflowing leaf.
+    fn split_leaf(entries: Vec<LeafEntry<T>>) -> (Node<T>, Node<T>) {
+        let mbrs: Vec<Mbr> = entries.iter().map(|e| e.mbr).collect();
+        let (group_a, group_b) = quadratic_split(&mbrs);
+        let mut a = Vec::with_capacity(group_a.len());
+        let mut b = Vec::with_capacity(group_b.len());
+        for (i, entry) in entries.into_iter().enumerate() {
+            if group_a.contains(&i) {
+                a.push(entry);
+            } else {
+                b.push(entry);
+            }
+        }
+        (Node::Leaf(a), Node::Leaf(b))
+    }
+
+    /// Quadratic split of an overflowing internal node.
+    fn split_internal(children: Vec<Child<T>>) -> (Node<T>, Node<T>) {
+        let mbrs: Vec<Mbr> = children.iter().map(|c| c.mbr).collect();
+        let (group_a, group_b) = quadratic_split(&mbrs);
+        let mut a = Vec::with_capacity(group_a.len());
+        let mut b = Vec::with_capacity(group_b.len());
+        for (i, child) in children.into_iter().enumerate() {
+            if group_a.contains(&i) {
+                a.push(child);
+            } else {
+                b.push(child);
+            }
+        }
+        (Node::Internal(a), Node::Internal(b))
+    }
+
+    /// All items whose MBR intersects `window`.
+    pub fn search_mbr(&self, window: &Mbr) -> Vec<&T> {
+        let mut out = Vec::new();
+        Self::search_rec(&self.root, window, &mut out);
+        out
+    }
+
+    /// All items whose MBR contains the point `p`.
+    pub fn search_point(&self, p: &GeoPoint) -> Vec<&T> {
+        self.search_mbr(&Mbr::of_point(p))
+    }
+
+    fn search_rec<'a>(node: &'a Node<T>, window: &Mbr, out: &mut Vec<&'a T>) {
+        match node {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    if e.mbr.intersects(window) {
+                        out.push(&e.item);
+                    }
+                }
+            }
+            Node::Internal(children) => {
+                for c in children {
+                    if c.mbr.intersects(window) {
+                        Self::search_rec(&c.node, window, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Best-first nearest-neighbour search.
+    ///
+    /// `exact_dist` refines a candidate item into its true distance in meters
+    /// (e.g. point-to-polyline distance for a road segment); the tree prunes
+    /// subtrees whose MBR lower bound already exceeds the best distance found
+    /// so far. Returns the item and its distance, or `None` on an empty tree.
+    pub fn nearest_by<F>(&self, p: &GeoPoint, mut exact_dist: F) -> Option<(&T, f64)>
+    where
+        F: FnMut(&T) -> f64,
+    {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        if self.is_empty() {
+            return None;
+        }
+
+        #[derive(PartialEq)]
+        struct HeapKey(f64);
+        impl Eq for HeapKey {}
+        impl PartialOrd for HeapKey {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for HeapKey {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+
+        let mut heap: BinaryHeap<(Reverse<HeapKey>, usize)> = BinaryHeap::new();
+        let mut nodes: Vec<&Node<T>> = vec![&self.root];
+        heap.push((Reverse(HeapKey(mbr_min_dist_m(&self.root.mbr(), p))), 0));
+
+        let mut best: Option<(&T, f64)> = None;
+        while let Some((Reverse(HeapKey(lower)), idx)) = heap.pop() {
+            if let Some((_, best_d)) = best {
+                if lower > best_d {
+                    break;
+                }
+            }
+            match nodes[idx] {
+                Node::Leaf(entries) => {
+                    for e in entries {
+                        let lb = mbr_min_dist_m(&e.mbr, p);
+                        if let Some((_, best_d)) = best {
+                            if lb > best_d {
+                                continue;
+                            }
+                        }
+                        let d = exact_dist(&e.item);
+                        if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                            best = Some((&e.item, d));
+                        }
+                    }
+                }
+                Node::Internal(children) => {
+                    for c in children {
+                        let lb = mbr_min_dist_m(&c.mbr, p);
+                        if best.map(|(_, bd)| lb <= bd).unwrap_or(true) {
+                            nodes.push(&c.node);
+                            heap.push((Reverse(HeapKey(lb)), nodes.len() - 1));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// All items together with their MBRs, in unspecified order.
+    pub fn items(&self) -> Vec<(Mbr, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::items_rec(&self.root, &mut out);
+        out
+    }
+
+    fn items_rec<'a>(node: &'a Node<T>, out: &mut Vec<(Mbr, &'a T)>) {
+        match node {
+            Node::Leaf(entries) => out.extend(entries.iter().map(|e| (e.mbr, &e.item))),
+            Node::Internal(children) => {
+                for c in children {
+                    Self::items_rec(&c.node, out);
+                }
+            }
+        }
+    }
+
+    /// Maximum depth of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal(children) = node {
+            h += 1;
+            node = &children[0].node;
+        }
+        h
+    }
+}
+
+/// Guttman's quadratic split: pick the pair of rectangles that would waste
+/// the most area as seeds, then assign the remaining rectangles greedily.
+/// Returns the index sets of the two groups.
+fn quadratic_split(mbrs: &[Mbr]) -> (Vec<usize>, Vec<usize>) {
+    let n = mbrs.len();
+    debug_assert!(n >= 2);
+    // Pick seeds.
+    let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = mbrs[i].union(&mbrs[j]).area() - mbrs[i].area() - mbrs[j].area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+    let mut mbr_a = mbrs[seed_a];
+    let mut mbr_b = mbrs[seed_b];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+
+    while let Some(&next) = remaining.first() {
+        // If one group must take all remaining entries to reach MIN_ENTRIES,
+        // assign them all.
+        if group_a.len() + remaining.len() <= MIN_ENTRIES {
+            group_a.append(&mut remaining);
+            break;
+        }
+        if group_b.len() + remaining.len() <= MIN_ENTRIES {
+            group_b.append(&mut remaining);
+            break;
+        }
+        // Otherwise pick the entry with the largest preference difference.
+        let mut best_idx = 0usize;
+        let mut best_diff = f64::NEG_INFINITY;
+        for (pos, &i) in remaining.iter().enumerate() {
+            let da = mbr_a.enlargement(&mbrs[i]);
+            let db = mbr_b.enlargement(&mbrs[i]);
+            let diff = (da - db).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                best_idx = pos;
+            }
+        }
+        let i = remaining.remove(best_idx);
+        let da = mbr_a.enlargement(&mbrs[i]);
+        let db = mbr_b.enlargement(&mbrs[i]);
+        if da < db || (da == db && group_a.len() <= group_b.len()) {
+            group_a.push(i);
+            mbr_a.expand(&mbrs[i]);
+        } else {
+            group_b.push(i);
+            mbr_b.expand(&mbrs[i]);
+        }
+        let _ = next;
+    }
+    (group_a, group_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_items(n_per_side: usize) -> Vec<(Mbr, u32)> {
+        // n_per_side² small boxes tiling [0, n)².
+        let mut items = Vec::new();
+        let mut id = 0u32;
+        for i in 0..n_per_side {
+            for j in 0..n_per_side {
+                let mbr = Mbr::new(i as f64, j as f64, i as f64 + 0.9, j as f64 + 0.9);
+                items.push((mbr, id));
+                id += 1;
+            }
+        }
+        items
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: RTree<u32> = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.search_point(&GeoPoint::new(0.0, 0.0)).is_empty());
+        assert!(t.nearest_by(&GeoPoint::new(0.0, 0.0), |_| 0.0).is_none());
+        assert!(t.bounds().is_empty());
+    }
+
+    #[test]
+    fn bulk_load_and_point_query() {
+        let t = RTree::bulk_load(grid_items(10));
+        assert_eq!(t.len(), 100);
+        assert!(t.height() >= 2);
+        // The point (3.5, 7.5) lies inside exactly one box: i=3, j=7 -> id 3*10+7.
+        let found = t.search_point(&GeoPoint::new(3.5, 7.5));
+        assert_eq!(found, vec![&37u32]);
+        // A point in the gaps between boxes hits nothing.
+        let found = t.search_point(&GeoPoint::new(3.95, 7.95));
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_window_query_matches_linear_scan() {
+        let items = grid_items(12);
+        let t = RTree::bulk_load(items.clone());
+        let window = Mbr::new(2.5, 3.5, 6.2, 5.1);
+        let mut expected: Vec<u32> = items
+            .iter()
+            .filter(|(m, _)| m.intersects(&window))
+            .map(|(_, id)| *id)
+            .collect();
+        let mut got: Vec<u32> = t.search_mbr(&window).into_iter().copied().collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk_load_results() {
+        let items = grid_items(9);
+        let bulk = RTree::bulk_load(items.clone());
+        let mut inc = RTree::new();
+        for (mbr, id) in items.clone() {
+            inc.insert(mbr, id);
+        }
+        assert_eq!(inc.len(), bulk.len());
+        let window = Mbr::new(1.2, 0.3, 4.4, 8.0);
+        let mut a: Vec<u32> = bulk.search_mbr(&window).into_iter().copied().collect();
+        let mut b: Vec<u32> = inc.search_mbr(&window).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearest_by_finds_closest_box() {
+        // Use realistic lon/lat so the meter-based lower bound is exercised.
+        let center = GeoPoint::new(114.05, 22.53);
+        let mut items = Vec::new();
+        for i in 0..20 {
+            let p = center.offset_m(i as f64 * 500.0, 0.0);
+            items.push((Mbr::of_point(&p).padded(0.0005), i as u32));
+        }
+        let t = RTree::bulk_load(items);
+        let query = center.offset_m(3.0 * 500.0 + 100.0, 50.0);
+        let (item, d) = t
+            .nearest_by(&query, |&id| {
+                let p = center.offset_m(id as f64 * 500.0, 0.0);
+                p.haversine_m(&query)
+            })
+            .unwrap();
+        assert_eq!(*item, 3);
+        assert!(d < 150.0);
+    }
+
+    #[test]
+    fn nearest_by_agrees_with_linear_scan() {
+        let center = GeoPoint::new(114.0, 22.5);
+        let mut items = Vec::new();
+        let mut positions = Vec::new();
+        // Pseudo-random but deterministic scatter.
+        let mut x = 12345u64;
+        for id in 0..300u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dx = ((x >> 16) % 20_000) as f64 - 10_000.0;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dy = ((x >> 16) % 20_000) as f64 - 10_000.0;
+            let p = center.offset_m(dx, dy);
+            positions.push(p);
+            items.push((Mbr::of_point(&p), id));
+        }
+        let t = RTree::bulk_load(items);
+        for q_idx in [0usize, 7, 133, 299] {
+            let q = positions[q_idx].offset_m(37.0, -81.0);
+            let (got, got_d) = t.nearest_by(&q, |&id| positions[id as usize].haversine_m(&q)).unwrap();
+            let (want, want_d) = positions
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32, p.haversine_m(&q)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            assert_eq!(*got, want);
+            assert!((got_d - want_d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn items_returns_everything() {
+        let t = RTree::bulk_load(grid_items(5));
+        let mut ids: Vec<u32> = t.items().into_iter().map(|(_, id)| *id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounds_cover_all_items() {
+        let items = grid_items(6);
+        let t = RTree::bulk_load(items.clone());
+        let b = t.bounds();
+        for (m, _) in &items {
+            assert!(b.contains(m));
+        }
+    }
+
+    #[test]
+    fn single_item_tree() {
+        let mut t = RTree::new();
+        t.insert(Mbr::new(0.0, 0.0, 1.0, 1.0), 7u32);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.search_point(&GeoPoint::new(0.5, 0.5)), vec![&7]);
+        let (item, _) = t.nearest_by(&GeoPoint::new(5.0, 5.0), |_| 1.0).unwrap();
+        assert_eq!(*item, 7);
+    }
+
+    #[test]
+    fn heavy_insert_then_query_consistency() {
+        let mut t = RTree::new();
+        let items = grid_items(20); // 400 items, forces multiple levels
+        for (mbr, id) in items.clone() {
+            t.insert(mbr, id);
+        }
+        assert_eq!(t.len(), 400);
+        assert!(t.height() >= 3);
+        for probe in [(0usize, 0usize), (5, 19), (19, 19), (10, 10)] {
+            let p = GeoPoint::new(probe.0 as f64 + 0.45, probe.1 as f64 + 0.45);
+            let found = t.search_point(&p);
+            assert_eq!(found.len(), 1);
+            assert_eq!(*found[0], (probe.0 * 20 + probe.1) as u32);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! A from-scratch in-memory B+-tree.
+//!
+//! The ST-Index (Section 3.2.1 of the paper) "build[s] a B-tree upon all the
+//! small temporal intervals to speed up the temporal range selection". This
+//! module provides that temporal index: an order-configurable B+-tree with
+//! point lookups, ordered iteration and range queries.
+//!
+//! The tree is deliberately simple (keys and values live in `Vec`s inside the
+//! nodes) because the temporal index is small — one entry per Δt time slot —
+//! but it is a real B+-tree with node splits, so the index behaves correctly
+//! for arbitrarily fine granularities (Δt = 1 min ⇒ 1440 slots per day) and
+//! is reused by the Con-Index for its per-slot connection tables.
+
+/// Default maximum number of children of an internal node.
+pub const DEFAULT_ORDER: usize = 16;
+
+/// A B+-tree mapping ordered keys to values.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    order: usize,
+    root: Node<K, V>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+    },
+    Internal {
+        /// `keys[i]` is the smallest key stored under `children[i + 1]`.
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+}
+
+impl<K: Ord + Copy, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy, V> BPlusTree<K, V> {
+    /// Creates an empty tree with the default order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Creates an empty tree with the given order (maximum number of children
+    /// per internal node). Panics if `order < 3`.
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 3, "B+-tree order must be at least 3");
+        Self {
+            order,
+            root: Node::Leaf { keys: Vec::new(), values: Vec::new() },
+            len: 0,
+        }
+    }
+
+    /// Number of key/value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the tree stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a key/value pair, returning the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (replaced, split) = Self::insert_rec(&mut self.root, key, value, self.order);
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Leaf { keys: Vec::new(), values: Vec::new() },
+            );
+            self.root = Node::Internal { keys: vec![sep], children: vec![old_root, right] };
+        }
+        replaced
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, values } => {
+                    return keys.binary_search(key).ok().map(|i| &values[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, values } => {
+                    return keys.binary_search(key).ok().map(|i| &mut values[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = &mut children[idx];
+                }
+            }
+        }
+    }
+
+    /// All entries whose key lies in the inclusive range `[lo, hi]`, in key
+    /// order.
+    pub fn range_inclusive(&self, lo: K, hi: K) -> Vec<(K, &V)> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        Self::collect_range(&self.root, &lo, &hi, &mut out);
+        out
+    }
+
+    /// All entries in key order.
+    pub fn iter(&self) -> Vec<(K, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::collect_all(&self.root, &mut out);
+        out
+    }
+
+    /// Smallest key stored, if any.
+    pub fn min_key(&self) -> Option<K> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, .. } => return keys.first().copied(),
+                Node::Internal { children, .. } => node = &children[0],
+            }
+        }
+    }
+
+    /// Largest key stored, if any.
+    pub fn max_key(&self) -> Option<K> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, .. } => return keys.last().copied(),
+                Node::Internal { children, .. } => node = children.last().expect("internal node has children"),
+            }
+        }
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
+    }
+
+    fn collect_all<'a>(node: &'a Node<K, V>, out: &mut Vec<(K, &'a V)>) {
+        match node {
+            Node::Leaf { keys, values } => {
+                out.extend(keys.iter().copied().zip(values.iter()));
+            }
+            Node::Internal { children, .. } => {
+                for child in children {
+                    Self::collect_all(child, out);
+                }
+            }
+        }
+    }
+
+    fn collect_range<'a>(node: &'a Node<K, V>, lo: &K, hi: &K, out: &mut Vec<(K, &'a V)>) {
+        match node {
+            Node::Leaf { keys, values } => {
+                let start = keys.partition_point(|k| k < lo);
+                for i in start..keys.len() {
+                    if keys[i] > *hi {
+                        break;
+                    }
+                    out.push((keys[i], &values[i]));
+                }
+            }
+            Node::Internal { keys, children } => {
+                for (i, child) in children.iter().enumerate() {
+                    // Child i holds keys in [keys[i-1], keys[i]).
+                    let child_min_ok = i == 0 || keys[i - 1] <= *hi;
+                    let child_max_ok = i == keys.len() || keys[i] > *lo;
+                    if child_min_ok && child_max_ok {
+                        Self::collect_range(child, lo, hi, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts into the subtree rooted at `node`. Returns the replaced value
+    /// (if any) and, when the node had to split, the separator key plus the
+    /// new right sibling.
+    #[allow(clippy::type_complexity)]
+    fn insert_rec(node: &mut Node<K, V>, key: K, value: V, order: usize) -> (Option<V>, Option<(K, Node<K, V>)>) {
+        match node {
+            Node::Leaf { keys, values } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut values[i], value);
+                        (Some(old), None)
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        if keys.len() >= order {
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid);
+                            let right_values = values.split_off(mid);
+                            let sep = right_keys[0];
+                            (None, Some((sep, Node::Leaf { keys: right_keys, values: right_values })))
+                        } else {
+                            (None, None)
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                let (replaced, split) = Self::insert_rec(&mut children[idx], key, value, order);
+                if let Some((sep, right)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if children.len() > order {
+                        let mid = keys.len() / 2;
+                        let up = keys[mid];
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // remove the separator that moves up
+                        let right_children = children.split_off(mid + 1);
+                        let right = Node::Internal { keys: right_keys, children: right_children };
+                        return (replaced, Some((up, right)));
+                    }
+                }
+                (replaced, None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get_small() {
+        let mut t = BPlusTree::new();
+        assert!(t.is_empty());
+        t.insert(5u64, "five");
+        t.insert(1, "one");
+        t.insert(9, "nine");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&5), Some(&"five"));
+        assert_eq!(t.get(&1), Some(&"one"));
+        assert_eq!(t.get(&9), Some(&"nine"));
+        assert_eq!(t.get(&2), None);
+        assert!(t.contains_key(&9));
+        assert!(!t.contains_key(&10));
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(3u32, 30), None);
+        assert_eq!(t.insert(3, 31), Some(30));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&3), Some(&31));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = BPlusTree::new();
+        t.insert(7u64, vec![1]);
+        t.get_mut(&7).unwrap().push(2);
+        assert_eq!(t.get(&7), Some(&vec![1, 2]));
+        assert!(t.get_mut(&8).is_none());
+    }
+
+    #[test]
+    fn many_inserts_stay_sorted_and_height_grows() {
+        let mut t = BPlusTree::with_order(4);
+        let n = 1000u64;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let key = (i * 7919) % n;
+            t.insert(key, key * 10);
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.height() > 2, "height {}", t.height());
+        let all = t.iter();
+        assert_eq!(all.len(), n as usize);
+        for (i, (k, v)) in all.iter().enumerate() {
+            assert_eq!(*k, i as u64);
+            assert_eq!(**v, (i as u64) * 10);
+        }
+        for i in 0..n {
+            assert_eq!(t.get(&i), Some(&(i * 10)));
+        }
+        assert_eq!(t.min_key(), Some(0));
+        assert_eq!(t.max_key(), Some(n - 1));
+    }
+
+    #[test]
+    fn range_inclusive_basic() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..100u64 {
+            t.insert(i, i);
+        }
+        let r = t.range_inclusive(10, 20);
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (10..=20).collect::<Vec<_>>());
+        assert!(t.range_inclusive(50, 40).is_empty());
+        let all = t.range_inclusive(0, 99);
+        assert_eq!(all.len(), 100);
+        let edge = t.range_inclusive(99, 200);
+        assert_eq!(edge.len(), 1);
+        assert_eq!(edge[0].0, 99);
+    }
+
+    #[test]
+    fn range_on_sparse_keys() {
+        let mut t = BPlusTree::with_order(5);
+        for i in (0..1000u64).step_by(10) {
+            t.insert(i, i / 10);
+        }
+        let r = t.range_inclusive(15, 55);
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: BPlusTree<u64, u64> = BPlusTree::new();
+        assert_eq!(t.get(&1), None);
+        assert!(t.iter().is_empty());
+        assert!(t.range_inclusive(0, 100).is_empty());
+        assert_eq!(t.min_key(), None);
+        assert_eq!(t.max_key(), None);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_order_rejected() {
+        let _: BPlusTree<u64, u64> = BPlusTree::with_order(2);
+    }
+
+    #[test]
+    fn descending_and_duplicate_heavy_workload() {
+        let mut t = BPlusTree::with_order(3);
+        for i in (0..500u64).rev() {
+            t.insert(i, i);
+        }
+        for i in 0..500u64 {
+            t.insert(i, i + 1); // overwrite everything
+        }
+        assert_eq!(t.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(t.get(&i), Some(&(i + 1)));
+        }
+        let keys: Vec<u64> = t.iter().iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+}

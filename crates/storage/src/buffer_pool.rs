@@ -1,0 +1,214 @@
+//! An LRU buffer pool in front of a page store.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::iostats::IoStats;
+use crate::page::{Page, PageId};
+use crate::pagestore::{PageStore, StorageResult};
+
+/// A fixed-capacity LRU cache of pages.
+///
+/// Read requests first consult the cache; hits avoid touching the underlying
+/// [`PageStore`] (and therefore avoid its latency and read counters), misses
+/// fetch the page and possibly evict the least-recently-used cached page.
+/// This mirrors the original system, where repeated accesses to the same
+/// ST-Index posting pages (e.g. the start segment's time list) are served
+/// from memory while the bulk of the trace-back search still pays disk I/O.
+pub struct BufferPool<S: PageStore> {
+    store: S,
+    capacity: usize,
+    inner: Mutex<LruInner>,
+    stats: Arc<IoStats>,
+}
+
+struct LruInner {
+    /// page id -> (page, clock of last use)
+    map: HashMap<PageId, (Page, u64)>,
+    clock: u64,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Creates a buffer pool caching up to `capacity` pages.
+    pub fn new(store: S, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        let stats = store.io_stats();
+        Self {
+            store,
+            capacity,
+            inner: Mutex::new(LruInner { map: HashMap::with_capacity(capacity), clock: 0 }),
+            stats,
+        }
+    }
+
+    /// The configured capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// The shared I/O statistics handle (same as the underlying store's).
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Access to the wrapped store (e.g. for allocation during bulk loads).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Allocates a new page in the underlying store.
+    pub fn allocate(&self) -> StorageResult<PageId> {
+        self.store.allocate()
+    }
+
+    /// Reads a page through the cache.
+    pub fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some((page, last_used)) = inner.map.get_mut(&id) {
+                *last_used = clock;
+                self.stats.record_hit();
+                return Ok(page.clone());
+            }
+        }
+        self.stats.record_miss();
+        let page = self.store.read_page(id)?;
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&id) {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, used))| *used) {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(id, (page.clone(), clock));
+        Ok(page)
+    }
+
+    /// Writes a page through the cache (write-through: the underlying store
+    /// is updated immediately and the cached copy refreshed).
+    pub fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        self.store.write_page(id, page)?;
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(entry) = inner.map.get_mut(&id) {
+            *entry = (page.clone(), clock);
+        }
+        Ok(())
+    }
+
+    /// Drops every cached page (counters are unaffected).
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagestore::InMemoryPageStore;
+
+    fn store_with_pages(n: u64) -> InMemoryPageStore {
+        let store = InMemoryPageStore::new();
+        for i in 0..n {
+            let id = store.allocate().unwrap();
+            let mut page = Page::zeroed();
+            page.bytes_mut()[0] = i as u8;
+            store.write_page(id, &page).unwrap();
+        }
+        store.io_stats().reset();
+        store
+    }
+
+    #[test]
+    fn hit_after_first_read() {
+        let pool = BufferPool::new(store_with_pages(4), 4);
+        pool.read_page(0).unwrap();
+        pool.read_page(0).unwrap();
+        pool.read_page(0).unwrap();
+        let snap = pool.io_stats().snapshot();
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.page_reads, 1);
+    }
+
+    #[test]
+    fn eviction_respects_lru_order() {
+        let pool = BufferPool::new(store_with_pages(3), 2);
+        pool.read_page(0).unwrap();
+        pool.read_page(1).unwrap();
+        // Touch page 0 so page 1 becomes the LRU victim.
+        pool.read_page(0).unwrap();
+        pool.read_page(2).unwrap(); // evicts 1
+        pool.io_stats().reset();
+        pool.read_page(0).unwrap(); // hit
+        pool.read_page(1).unwrap(); // miss (was evicted)
+        let snap = pool.io_stats().snapshot();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+    }
+
+    #[test]
+    fn cache_never_exceeds_capacity() {
+        let pool = BufferPool::new(store_with_pages(10), 3);
+        for i in 0..10 {
+            pool.read_page(i).unwrap();
+            assert!(pool.cached_pages() <= 3);
+        }
+    }
+
+    #[test]
+    fn write_through_updates_cache_and_store() {
+        let pool = BufferPool::new(store_with_pages(1), 2);
+        pool.read_page(0).unwrap();
+        let mut page = Page::zeroed();
+        page.bytes_mut()[0] = 99;
+        pool.write_page(0, &page).unwrap();
+        // Cached copy must reflect the write.
+        let cached = pool.read_page(0).unwrap();
+        assert_eq!(cached.bytes()[0], 99);
+        // And the underlying store as well.
+        let direct = pool.store().read_page(0).unwrap();
+        assert_eq!(direct.bytes()[0], 99);
+    }
+
+    #[test]
+    fn clear_forces_misses() {
+        let pool = BufferPool::new(store_with_pages(2), 2);
+        pool.read_page(0).unwrap();
+        pool.read_page(1).unwrap();
+        pool.clear();
+        assert_eq!(pool.cached_pages(), 0);
+        pool.io_stats().reset();
+        pool.read_page(0).unwrap();
+        assert_eq!(pool.io_stats().snapshot().cache_misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BufferPool::new(InMemoryPageStore::new(), 0);
+    }
+
+    #[test]
+    fn read_values_are_correct_after_eviction_churn() {
+        let pool = BufferPool::new(store_with_pages(20), 4);
+        for round in 0..3 {
+            for i in 0..20u64 {
+                let page = pool.read_page(i).unwrap();
+                assert_eq!(page.bytes()[0], i as u8, "round {round}");
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Shared I/O statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomic I/O counters shared between a page store, its buffer pool and the
+/// query processing code.
+///
+/// The paper evaluates algorithms by running time, which on the original
+/// system is dominated by trajectory-posting disk reads. Tracking page reads
+/// and buffer-pool hits lets the benchmark harness report both wall time and
+/// the underlying I/O volume, making the ES vs SQMB+TBS comparison
+/// reproducible even on machines where everything fits in RAM.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    page_reads: AtomicU64,
+    page_writes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStatsSnapshot {
+    /// Number of pages read from the underlying store (cache misses included).
+    pub page_reads: u64,
+    /// Number of pages written to the underlying store.
+    pub page_writes: u64,
+    /// Number of page requests served from the buffer pool.
+    pub cache_hits: u64,
+    /// Number of page requests that had to go to the underlying store.
+    pub cache_misses: u64,
+}
+
+impl IoStats {
+    /// Creates a fresh, zeroed counter set behind an [`Arc`].
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records `n` physical page reads.
+    #[inline]
+    pub fn record_reads(&self, n: u64) {
+        self.page_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` physical page writes.
+    #[inline]
+    pub fn record_writes(&self, n: u64) {
+        self.page_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool hit.
+    #[inline]
+    pub fn record_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool miss.
+    #[inline]
+    pub fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of the current counter values.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.page_writes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl IoStatsSnapshot {
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+        }
+    }
+
+    /// Fraction of page requests served from the cache, in `[0, 1]`.
+    /// Returns 1.0 when there were no requests at all.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::default();
+        s.record_reads(3);
+        s.record_writes(2);
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        let snap = s.snapshot();
+        assert_eq!(snap.page_reads, 3);
+        assert_eq!(snap.page_writes, 2);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::default();
+        s.record_reads(5);
+        s.record_miss();
+        s.reset();
+        assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let s = IoStats::default();
+        s.record_reads(5);
+        let t0 = s.snapshot();
+        s.record_reads(7);
+        s.record_hit();
+        let t1 = s.snapshot();
+        let d = t1.delta_since(&t0);
+        assert_eq!(d.page_reads, 7);
+        assert_eq!(d.cache_hits, 1);
+    }
+
+    #[test]
+    fn hit_ratio_edge_cases() {
+        let empty = IoStatsSnapshot::default();
+        assert_eq!(empty.hit_ratio(), 1.0);
+        let half = IoStatsSnapshot {
+            cache_hits: 5,
+            cache_misses: 5,
+            ..Default::default()
+        };
+        assert!((half.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_handle_is_cloneable_across_threads() {
+        let s = IoStats::new_shared();
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            for _ in 0..100 {
+                s2.record_reads(1);
+            }
+        });
+        for _ in 0..100 {
+            s.record_writes(1);
+        }
+        h.join().unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.page_reads, 100);
+        assert_eq!(snap.page_writes, 100);
+    }
+}

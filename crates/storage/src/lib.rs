@@ -1,0 +1,41 @@
+//! Page-based storage substrate for the `streach` workspace.
+//!
+//! The paper's central engineering challenge is that "the trajectory data
+//! usually cannot fit in the memory, and analyzing them involves heavy I/O to
+//! disks". The original system keeps the ST-Index time lists (per road
+//! segment, per time slot: date → trajectory IDs) on disk, and the whole point
+//! of the Con-Index + SQMB/TBS machinery is to touch as few of those disk
+//! pages as possible.
+//!
+//! This crate reproduces that cost model with an explicit storage engine:
+//!
+//! * [`page`] — fixed-size pages and page identifiers,
+//! * [`pagestore`] — the [`PageStore`](pagestore::PageStore) trait with an
+//!   in-memory backend, a file backend, and a simulated-latency wrapper that
+//!   emulates the cost of a spinning disk / remote store,
+//! * [`buffer_pool`] — an LRU buffer pool in front of any page store,
+//! * [`iostats`] — shared atomic I/O counters, so query processing code can
+//!   report page reads/hits exactly like the paper reports running time,
+//! * [`btree`] — a from-scratch B+-tree used for the ST-Index *temporal
+//!   index* over Δt time slots,
+//! * [`postings`] — an append-only blob heap storing the serialized time
+//!   lists (trajectory-ID posting lists) across pages.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod btree;
+pub mod buffer_pool;
+pub mod iostats;
+pub mod page;
+pub mod pagestore;
+pub mod postings;
+
+pub use btree::BPlusTree;
+pub use buffer_pool::BufferPool;
+pub use iostats::{IoStats, IoStatsSnapshot};
+pub use page::{PageId, PAGE_SIZE};
+pub use pagestore::{
+    FilePageStore, InMemoryPageStore, PageStore, SimulatedDiskStore, StorageError, StorageResult,
+};
+pub use postings::{BlobHandle, PostingStore, TimeList, TimeListEntry};

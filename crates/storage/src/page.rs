@@ -1,0 +1,97 @@
+//! Fixed-size pages.
+
+/// Size of a storage page in bytes.
+///
+/// 4 KiB matches the common filesystem/OS page size and is the unit in which
+/// all I/O statistics are reported.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a page store (zero-based).
+pub type PageId = u64;
+
+/// A fixed-size page buffer.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zero-filled page.
+    pub fn zeroed() -> Self {
+        Self {
+            data: Box::new([0u8; PAGE_SIZE]),
+        }
+    }
+
+    /// Creates a page from a slice of at most [`PAGE_SIZE`] bytes; the rest
+    /// is zero-filled.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= PAGE_SIZE, "slice longer than a page");
+        let mut page = Self::zeroed();
+        page.data[..bytes.len()].copy_from_slice(bytes);
+        page
+    }
+
+    /// Read-only access to the page contents.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Mutable access to the page contents.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nonzero = self.data.iter().filter(|b| **b != 0).count();
+        write!(f, "Page {{ nonzero_bytes: {nonzero} }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_all_zero() {
+        let p = Page::zeroed();
+        assert!(p.bytes().iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn from_slice_copies_prefix() {
+        let p = Page::from_slice(&[1, 2, 3]);
+        assert_eq!(&p.bytes()[..3], &[1, 2, 3]);
+        assert!(p.bytes()[3..].iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than a page")]
+    fn from_slice_rejects_oversized() {
+        let big = vec![0u8; PAGE_SIZE + 1];
+        let _ = Page::from_slice(&big);
+    }
+
+    #[test]
+    fn bytes_mut_roundtrip() {
+        let mut p = Page::zeroed();
+        p.bytes_mut()[100] = 42;
+        assert_eq!(p.bytes()[100], 42);
+    }
+
+    #[test]
+    fn debug_counts_nonzero() {
+        let p = Page::from_slice(&[1, 0, 2]);
+        assert_eq!(format!("{p:?}"), "Page { nonzero_bytes: 2 }");
+    }
+}

@@ -1,0 +1,364 @@
+//! Posting lists ("time lists") stored across pages.
+//!
+//! Each leaf of the ST-Index keeps, per road segment and time slot, a *time
+//! list*: for every date in the historical dataset, the list of trajectory
+//! IDs that traversed the segment during that slot on that date. The paper
+//! stores these lists on disk — reading them is the expensive operation that
+//! SQMB/Con-Index pruning is designed to avoid.
+//!
+//! [`PostingStore`] is an append-only blob heap over a [`PageStore`]: blobs
+//! are written contiguously (spanning page boundaries when necessary) and
+//! addressed by a [`BlobHandle`]. Reads go through a [`BufferPool`], so every
+//! posting access pays for exactly the pages it touches unless cached.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+use parking_lot::Mutex;
+
+use crate::buffer_pool::BufferPool;
+use crate::iostats::IoStats;
+use crate::page::{Page, PAGE_SIZE};
+use crate::pagestore::{PageStore, StorageResult};
+
+/// The trajectory IDs observed on a given date.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimeListEntry {
+    /// Day index within the dataset (0-based; the paper's dataset spans
+    /// `m = 30` days).
+    pub date: u16,
+    /// IDs of the trajectories that traversed the segment in the slot on
+    /// this date, sorted ascending.
+    pub traj_ids: Vec<u32>,
+}
+
+/// A full time list: one entry per date with at least one traversal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimeList {
+    /// Entries sorted by date.
+    pub entries: Vec<TimeListEntry>,
+}
+
+impl TimeList {
+    /// Creates an empty time list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a trajectory observation for `date`, keeping entries sorted and
+    /// IDs deduplicated.
+    pub fn add(&mut self, date: u16, traj_id: u32) {
+        match self.entries.binary_search_by_key(&date, |e| e.date) {
+            Ok(i) => {
+                let ids = &mut self.entries[i].traj_ids;
+                if let Err(pos) = ids.binary_search(&traj_id) {
+                    ids.insert(pos, traj_id);
+                }
+            }
+            Err(i) => {
+                self.entries.insert(i, TimeListEntry { date, traj_ids: vec![traj_id] });
+            }
+        }
+    }
+
+    /// The trajectory IDs recorded for `date`, if any.
+    pub fn ids_on(&self, date: u16) -> Option<&[u32]> {
+        self.entries
+            .binary_search_by_key(&date, |e| e.date)
+            .ok()
+            .map(|i| self.entries[i].traj_ids.as_slice())
+    }
+
+    /// Number of dates with at least one traversal.
+    pub fn num_dates(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of (date, trajectory) observations.
+    pub fn num_observations(&self) -> usize {
+        self.entries.iter().map(|e| e.traj_ids.len()).sum()
+    }
+
+    /// Serializes the time list.
+    ///
+    /// Layout: `u32` entry count, then per entry `u16 date`, `u32 id count`,
+    /// `u32` ids.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4 + self.entries.len() * 8 + self.num_observations() * 4);
+        buf.put_u32_le(self.entries.len() as u32);
+        for entry in &self.entries {
+            buf.put_u16_le(entry.date);
+            buf.put_u32_le(entry.traj_ids.len() as u32);
+            for id in &entry.traj_ids {
+                buf.put_u32_le(*id);
+            }
+        }
+        buf
+    }
+
+    /// Deserializes a time list previously produced by [`TimeList::encode`].
+    /// Returns `None` when the buffer is malformed.
+    pub fn decode(mut buf: &[u8]) -> Option<Self> {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let n = buf.get_u32_le() as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            if buf.remaining() < 6 {
+                return None;
+            }
+            let date = buf.get_u16_le();
+            let count = buf.get_u32_le() as usize;
+            if buf.remaining() < count * 4 {
+                return None;
+            }
+            let mut traj_ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                traj_ids.push(buf.get_u32_le());
+            }
+            entries.push(TimeListEntry { date, traj_ids });
+        }
+        Some(Self { entries })
+    }
+}
+
+/// Location of a blob inside a [`PostingStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlobHandle {
+    /// Byte offset of the blob from the beginning of the heap.
+    pub offset: u64,
+    /// Length of the blob in bytes.
+    pub len: u32,
+}
+
+impl BlobHandle {
+    /// Number of distinct pages this blob touches when read.
+    pub fn pages_spanned(&self) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let first = self.offset / PAGE_SIZE as u64;
+        let last = (self.offset + self.len as u64 - 1) / PAGE_SIZE as u64;
+        last - first + 1
+    }
+}
+
+/// An append-only heap of byte blobs stored across fixed-size pages, read
+/// through an LRU buffer pool.
+pub struct PostingStore<S: PageStore> {
+    pool: BufferPool<S>,
+    tail: Mutex<u64>,
+}
+
+impl<S: PageStore> PostingStore<S> {
+    /// Creates a posting store over `store`, caching up to `pool_pages`
+    /// pages.
+    pub fn new(store: S, pool_pages: usize) -> Self {
+        Self {
+            pool: BufferPool::new(store, pool_pages),
+            tail: Mutex::new(0),
+        }
+    }
+
+    /// The shared I/O statistics handle.
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        self.pool.io_stats()
+    }
+
+    /// Total bytes appended so far.
+    pub fn size_bytes(&self) -> u64 {
+        *self.tail.lock()
+    }
+
+    /// Number of pages allocated in the underlying store.
+    pub fn num_pages(&self) -> u64 {
+        self.pool.store().num_pages()
+    }
+
+    /// Drops all cached pages (e.g. before timing a cold-cache query).
+    pub fn clear_cache(&self) {
+        self.pool.clear();
+    }
+
+    /// Appends a blob and returns its handle.
+    pub fn append(&self, bytes: &[u8]) -> StorageResult<BlobHandle> {
+        let mut tail = self.tail.lock();
+        let handle = BlobHandle { offset: *tail, len: bytes.len() as u32 };
+        let mut written = 0usize;
+        let mut offset = *tail;
+        while written < bytes.len() {
+            let page_id = offset / PAGE_SIZE as u64;
+            let in_page = (offset % PAGE_SIZE as u64) as usize;
+            while self.pool.store().num_pages() <= page_id {
+                self.pool.store().allocate()?;
+            }
+            let mut page = self.pool.store().read_page(page_id)?;
+            let chunk = (PAGE_SIZE - in_page).min(bytes.len() - written);
+            page.bytes_mut()[in_page..in_page + chunk].copy_from_slice(&bytes[written..written + chunk]);
+            self.pool.write_page(page_id, &page)?;
+            written += chunk;
+            offset += chunk as u64;
+        }
+        *tail += bytes.len() as u64;
+        Ok(handle)
+    }
+
+    /// Reads a blob back.
+    pub fn read(&self, handle: BlobHandle) -> StorageResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(handle.len as usize);
+        let mut remaining = handle.len as usize;
+        let mut offset = handle.offset;
+        while remaining > 0 {
+            let page_id = offset / PAGE_SIZE as u64;
+            let in_page = (offset % PAGE_SIZE as u64) as usize;
+            let page = self.pool.read_page(page_id)?;
+            let chunk = (PAGE_SIZE - in_page).min(remaining);
+            out.extend_from_slice(&page.bytes()[in_page..in_page + chunk]);
+            remaining -= chunk;
+            offset += chunk as u64;
+        }
+        Ok(out)
+    }
+
+    /// Appends a [`TimeList`] and returns its handle.
+    pub fn append_time_list(&self, list: &TimeList) -> StorageResult<BlobHandle> {
+        self.append(&list.encode())
+    }
+
+    /// Reads a [`TimeList`] back. Panics if the blob does not decode, which
+    /// indicates memory corruption or a mismatched handle.
+    pub fn read_time_list(&self, handle: BlobHandle) -> StorageResult<TimeList> {
+        let bytes = self.read(handle)?;
+        Ok(TimeList::decode(&bytes).expect("stored time list must decode"))
+    }
+}
+
+// A page full of zero bytes decodes as an empty time list, which is why the
+// heap never needs tombstones: unused space is simply never addressed.
+#[allow(dead_code)]
+fn _zero_page_decodes() {
+    debug_assert!(TimeList::decode(&Page::zeroed().bytes()[..4]).is_some());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagestore::InMemoryPageStore;
+
+    fn sample_list() -> TimeList {
+        let mut list = TimeList::new();
+        list.add(3, 100);
+        list.add(1, 42);
+        list.add(3, 7);
+        list.add(3, 7); // duplicate, ignored
+        list.add(29, 65000);
+        list
+    }
+
+    #[test]
+    fn time_list_add_keeps_sorted_dedup() {
+        let list = sample_list();
+        assert_eq!(list.num_dates(), 3);
+        assert_eq!(list.num_observations(), 4);
+        let dates: Vec<u16> = list.entries.iter().map(|e| e.date).collect();
+        assert_eq!(dates, vec![1, 3, 29]);
+        assert_eq!(list.ids_on(3), Some(&[7u32, 100][..]));
+        assert_eq!(list.ids_on(2), None);
+    }
+
+    #[test]
+    fn time_list_encode_decode_roundtrip() {
+        let list = sample_list();
+        let bytes = list.encode();
+        let back = TimeList::decode(&bytes).unwrap();
+        assert_eq!(back, list);
+        // Empty list round trip.
+        let empty = TimeList::new();
+        assert_eq!(TimeList::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn time_list_decode_rejects_truncated() {
+        let list = sample_list();
+        let bytes = list.encode();
+        assert!(TimeList::decode(&bytes[..bytes.len() - 1]).is_none());
+        assert!(TimeList::decode(&bytes[..2]).is_none());
+        assert!(TimeList::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn blob_handle_page_span() {
+        assert_eq!(BlobHandle { offset: 0, len: 0 }.pages_spanned(), 0);
+        assert_eq!(BlobHandle { offset: 0, len: 1 }.pages_spanned(), 1);
+        assert_eq!(BlobHandle { offset: 0, len: PAGE_SIZE as u32 }.pages_spanned(), 1);
+        assert_eq!(BlobHandle { offset: 0, len: PAGE_SIZE as u32 + 1 }.pages_spanned(), 2);
+        assert_eq!(
+            BlobHandle { offset: PAGE_SIZE as u64 - 1, len: 2 }.pages_spanned(),
+            2
+        );
+    }
+
+    #[test]
+    fn append_read_roundtrip_small() {
+        let store = PostingStore::new(InMemoryPageStore::new(), 8);
+        let h1 = store.append(b"hello").unwrap();
+        let h2 = store.append(b"world!").unwrap();
+        assert_eq!(store.read(h1).unwrap(), b"hello");
+        assert_eq!(store.read(h2).unwrap(), b"world!");
+        assert_eq!(store.size_bytes(), 11);
+        assert_eq!(store.num_pages(), 1);
+    }
+
+    #[test]
+    fn append_read_roundtrip_across_pages() {
+        let store = PostingStore::new(InMemoryPageStore::new(), 8);
+        let blob: Vec<u8> = (0..(PAGE_SIZE * 3 + 123)).map(|i| (i % 251) as u8).collect();
+        let before = store.append(b"prefix").unwrap();
+        let handle = store.append(&blob).unwrap();
+        assert_eq!(store.read(handle).unwrap(), blob);
+        assert_eq!(store.read(before).unwrap(), b"prefix");
+        assert!(store.num_pages() >= 4);
+        assert_eq!(handle.pages_spanned(), 4);
+    }
+
+    #[test]
+    fn time_list_storage_roundtrip() {
+        let store = PostingStore::new(InMemoryPageStore::new(), 4);
+        let mut handles = Vec::new();
+        for seg in 0..50u32 {
+            let mut list = TimeList::new();
+            for date in 0..10u16 {
+                list.add(date, seg * 1000 + date as u32);
+                list.add(date, seg * 1000 + 500);
+            }
+            handles.push((seg, list.clone(), store.append_time_list(&list).unwrap()));
+        }
+        for (_, list, handle) in &handles {
+            assert_eq!(&store.read_time_list(*handle).unwrap(), list);
+        }
+    }
+
+    #[test]
+    fn reads_are_counted_and_cached() {
+        let store = PostingStore::new(InMemoryPageStore::new(), 4);
+        let handle = store.append(&[7u8; 100]).unwrap();
+        store.clear_cache();
+        store.io_stats().reset();
+        store.read(handle).unwrap();
+        let after_first = store.io_stats().snapshot();
+        assert_eq!(after_first.cache_misses, 1);
+        store.read(handle).unwrap();
+        let after_second = store.io_stats().snapshot();
+        assert_eq!(after_second.cache_misses, 1, "second read should hit the pool");
+        assert_eq!(after_second.cache_hits, 1);
+    }
+
+    #[test]
+    fn empty_blob() {
+        let store = PostingStore::new(InMemoryPageStore::new(), 4);
+        let h = store.append(b"").unwrap();
+        assert_eq!(h.len, 0);
+        assert_eq!(store.read(h).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the storage engine.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use streach_storage::{BPlusTree, BufferPool, InMemoryPageStore, PageStore, PostingStore, TimeList};
+
+proptest! {
+    /// The B+-tree must behave exactly like `BTreeMap` for any sequence of
+    /// insertions (including duplicate keys).
+    #[test]
+    fn btree_matches_btreemap(
+        ops in proptest::collection::vec((0u64..500, 0u64..10_000), 1..400),
+        order in 3usize..32,
+    ) {
+        let mut tree = BPlusTree::with_order(order);
+        let mut model = BTreeMap::new();
+        for (k, v) in ops {
+            let expected = model.insert(k, v);
+            let got = tree.insert(k, v);
+            prop_assert_eq!(got, expected);
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(tree.get(k), Some(v));
+        }
+        let tree_items: Vec<(u64, u64)> = tree.iter().into_iter().map(|(k, v)| (k, *v)).collect();
+        let model_items: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(tree_items, model_items);
+        prop_assert_eq!(tree.min_key(), model.keys().next().copied());
+        prop_assert_eq!(tree.max_key(), model.keys().last().copied());
+    }
+
+    /// Range queries must match the model's range.
+    #[test]
+    fn btree_range_matches_btreemap(
+        entries in proptest::collection::btree_map(0u64..1000, 0u64..100, 0..300),
+        lo in 0u64..1000,
+        span in 0u64..500,
+        order in 3usize..16,
+    ) {
+        let hi = lo.saturating_add(span);
+        let mut tree = BPlusTree::with_order(order);
+        for (k, v) in &entries {
+            tree.insert(*k, *v);
+        }
+        let got: Vec<(u64, u64)> = tree.range_inclusive(lo, hi).into_iter().map(|(k, v)| (k, *v)).collect();
+        let expected: Vec<(u64, u64)> = entries.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Any set of blobs written to the posting store reads back bit-exact,
+    /// regardless of interleaving and page-boundary crossings.
+    #[test]
+    fn posting_store_blob_roundtrip(
+        blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..9000), 1..20),
+        pool_pages in 1usize..8,
+    ) {
+        let store = PostingStore::new(InMemoryPageStore::new(), pool_pages);
+        let handles: Vec<_> = blobs.iter().map(|b| store.append(b).unwrap()).collect();
+        for (blob, handle) in blobs.iter().zip(&handles) {
+            prop_assert_eq!(&store.read(*handle).unwrap(), blob);
+        }
+        // Reading in reverse order must give the same results (cache churn).
+        for (blob, handle) in blobs.iter().zip(&handles).rev() {
+            prop_assert_eq!(&store.read(*handle).unwrap(), blob);
+        }
+    }
+
+    /// Time lists round-trip through encode/decode and through the store.
+    #[test]
+    fn time_list_roundtrip(
+        observations in proptest::collection::vec((0u16..30, 0u32..50_000), 0..200)
+    ) {
+        let mut list = TimeList::new();
+        for (date, id) in &observations {
+            list.add(*date, *id);
+        }
+        // Dates sorted, ids sorted and unique.
+        for w in list.entries.windows(2) {
+            prop_assert!(w[0].date < w[1].date);
+        }
+        for e in &list.entries {
+            for w in e.traj_ids.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+        let decoded = TimeList::decode(&list.encode()).unwrap();
+        prop_assert_eq!(&decoded, &list);
+
+        let store = PostingStore::new(InMemoryPageStore::new(), 2);
+        let handle = store.append_time_list(&list).unwrap();
+        prop_assert_eq!(store.read_time_list(handle).unwrap(), list);
+    }
+
+    /// The buffer pool never changes what a page read returns, whatever the
+    /// capacity and access pattern.
+    #[test]
+    fn buffer_pool_is_transparent(
+        accesses in proptest::collection::vec(0u64..32, 1..200),
+        capacity in 1usize..16,
+    ) {
+        let store = InMemoryPageStore::new();
+        for i in 0..32u64 {
+            let id = store.allocate().unwrap();
+            let mut page = streach_storage::page::Page::zeroed();
+            page.bytes_mut()[0] = i as u8;
+            page.bytes_mut()[1] = (i * 3) as u8;
+            store.write_page(id, &page).unwrap();
+        }
+        let pool = BufferPool::new(store, capacity);
+        for id in accesses {
+            let page = pool.read_page(id).unwrap();
+            prop_assert_eq!(page.bytes()[0], id as u8);
+            prop_assert_eq!(page.bytes()[1], (id * 3) as u8);
+            prop_assert!(pool.cached_pages() <= capacity);
+        }
+        let snap = pool.io_stats().snapshot();
+        prop_assert_eq!(snap.cache_misses, snap.page_reads);
+    }
+}

@@ -1,0 +1,37 @@
+//! Trajectory substrate: GPS records, a taxi-fleet simulator and map
+//! matching.
+//!
+//! The paper's evaluation uses 30 days of GPS traces from 21,385 taxis in
+//! Shenzhen (407 million records, 194 GB). That dataset is proprietary, so
+//! this crate provides a faithful synthetic stand-in:
+//!
+//! * [`gps`] — raw GPS records and trajectories (trajectory ID, longitude,
+//!   latitude, speed, timestamp — the five core attributes of Table 4.1),
+//! * [`speed_profile`] — time-of-day congestion profiles that create the
+//!   rush-hour effects the evaluation studies in Fig. 4.5/4.6,
+//! * [`simulator`] — a deterministic taxi-fleet simulator that routes trips
+//!   over the road network and emits GPS points every ~30 seconds,
+//! * [`map_matching`] — the pre-processing *map-matching* step that converts
+//!   raw GPS points into sequences of road-segment visits (standing in for
+//!   the interactive-voting map matcher [29] the paper uses),
+//! * [`store`] — the map-matched trajectory dataset consumed by the index
+//!   construction in `streach-core`, together with the statistics reported
+//!   in Table 4.1.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gps;
+pub mod map_matching;
+pub mod simulator;
+pub mod speed_profile;
+pub mod store;
+
+pub use gps::{GpsRecord, RawTrajectory};
+pub use map_matching::{map_match, MatchedTrajectory, SegmentVisit};
+pub use simulator::{FleetConfig, FleetSimulator};
+pub use speed_profile::SpeedProfile;
+pub use store::{DatasetStats, TrajectoryDataset};
+
+/// Number of seconds in a day.
+pub const SECONDS_PER_DAY: u32 = 24 * 3600;
