@@ -1,131 +1,179 @@
-//! Property-based tests for the geometry primitives.
+//! Randomized invariant tests for the geometry primitives.
+//!
+//! Formerly written with proptest; the build environment is offline, so the
+//! same properties are now exercised with a seeded deterministic RNG: every
+//! case that ever fails can be reproduced exactly by its iteration index.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use streach_geo::{equirectangular_m, haversine_m, GeoPoint, Mbr, Polyline};
 
-/// Longitude/latitude generator constrained to a Shenzhen-sized bounding box
-/// so that the planar approximations stay valid (matching the paper's study
+const CASES: usize = 128;
+
+/// Longitude/latitude draws constrained to a Shenzhen-sized bounding box so
+/// that the planar approximations stay valid (matching the paper's study
 /// area).
-fn city_point() -> impl Strategy<Value = GeoPoint> {
-    (113.75f64..114.45f64, 22.40f64..22.85f64).prop_map(|(lon, lat)| GeoPoint::new(lon, lat))
+fn city_point(rng: &mut StdRng) -> GeoPoint {
+    GeoPoint::new(rng.gen_range(113.75..114.45), rng.gen_range(22.40..22.85))
 }
 
-proptest! {
-    #[test]
-    fn haversine_is_symmetric_and_nonnegative(a in city_point(), b in city_point()) {
+fn points(rng: &mut StdRng, n: usize) -> Vec<GeoPoint> {
+    (0..n).map(|_| city_point(rng)).collect()
+}
+
+#[test]
+fn haversine_is_symmetric_and_nonnegative() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for case in 0..CASES {
+        let (a, b) = (city_point(&mut rng), city_point(&mut rng));
         let d1 = haversine_m(&a, &b);
         let d2 = haversine_m(&b, &a);
-        prop_assert!(d1 >= 0.0);
-        prop_assert!((d1 - d2).abs() < 1e-6);
+        assert!(d1 >= 0.0, "case {case}");
+        assert!((d1 - d2).abs() < 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn haversine_triangle_inequality(a in city_point(), b in city_point(), c in city_point()) {
+#[test]
+fn haversine_triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for case in 0..CASES {
+        let (a, b, c) = (city_point(&mut rng), city_point(&mut rng), city_point(&mut rng));
         let ab = haversine_m(&a, &b);
         let bc = haversine_m(&b, &c);
         let ac = haversine_m(&a, &c);
-        prop_assert!(ac <= ab + bc + 1e-6);
+        assert!(ac <= ab + bc + 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn equirectangular_tracks_haversine(a in city_point(), b in city_point()) {
+#[test]
+fn equirectangular_tracks_haversine() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for case in 0..CASES {
+        let (a, b) = (city_point(&mut rng), city_point(&mut rng));
         let h = haversine_m(&a, &b);
         let e = equirectangular_m(&a, &b);
         // At city scale the two must agree within 0.5%.
-        prop_assert!((h - e).abs() <= 0.005 * h.max(1.0));
+        assert!((h - e).abs() <= 0.005 * h.max(1.0), "case {case}: h {h} vs e {e}");
     }
+}
 
-    #[test]
-    fn offset_distance_round_trip(p in city_point(), dx in -2000.0f64..2000.0, dy in -2000.0f64..2000.0) {
+#[test]
+fn offset_distance_round_trip() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for case in 0..CASES {
+        let p = city_point(&mut rng);
+        let dx = rng.gen_range(-2000.0..2000.0);
+        let dy = rng.gen_range(-2000.0..2000.0);
         let q = p.offset_m(dx, dy);
         let expect = (dx * dx + dy * dy).sqrt();
         let got = haversine_m(&p, &q);
-        prop_assert!((got - expect).abs() < expect.max(1.0) * 0.01 + 1.0);
+        assert!((got - expect).abs() < expect.max(1.0) * 0.01 + 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn mbr_union_contains_both(a in city_point(), b in city_point(), c in city_point(), d in city_point()) {
-        let m1 = Mbr::of_points([a, b].iter());
-        let m2 = Mbr::of_points([c, d].iter());
+#[test]
+fn mbr_union_contains_both() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for case in 0..CASES {
+        let pts = points(&mut rng, 4);
+        let m1 = Mbr::of_points(pts[..2].iter());
+        let m2 = Mbr::of_points(pts[2..].iter());
         let u = m1.union(&m2);
-        prop_assert!(u.contains(&m1));
-        prop_assert!(u.contains(&m2));
-        prop_assert!(u.area() + 1e-15 >= m1.area().max(m2.area()));
+        assert!(u.contains(&m1), "case {case}");
+        assert!(u.contains(&m2), "case {case}");
+        assert!(u.area() + 1e-15 >= m1.area().max(m2.area()), "case {case}");
     }
+}
 
-    #[test]
-    fn mbr_intersection_area_is_commutative_and_bounded(
-        a in city_point(), b in city_point(), c in city_point(), d in city_point()
-    ) {
-        let m1 = Mbr::of_points([a, b].iter());
-        let m2 = Mbr::of_points([c, d].iter());
+#[test]
+fn mbr_intersection_area_is_commutative_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for case in 0..CASES {
+        let pts = points(&mut rng, 4);
+        let m1 = Mbr::of_points(pts[..2].iter());
+        let m2 = Mbr::of_points(pts[2..].iter());
         let i12 = m1.intersection_area(&m2);
         let i21 = m2.intersection_area(&m1);
-        prop_assert!((i12 - i21).abs() < 1e-15);
-        prop_assert!(i12 <= m1.area() + 1e-15);
-        prop_assert!(i12 <= m2.area() + 1e-15);
+        assert!((i12 - i21).abs() < 1e-15, "case {case}");
+        assert!(i12 <= m1.area() + 1e-15, "case {case}");
+        assert!(i12 <= m2.area() + 1e-15, "case {case}");
         if i12 > 0.0 {
-            prop_assert!(m1.intersects(&m2));
+            assert!(m1.intersects(&m2), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn mbr_min_dist_zero_iff_contained(p in city_point(), a in city_point(), b in city_point()) {
-        let m = Mbr::of_points([a, b].iter());
+#[test]
+fn mbr_min_dist_zero_iff_contained() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for case in 0..CASES {
+        let p = city_point(&mut rng);
+        let pts = points(&mut rng, 2);
+        let m = Mbr::of_points(pts.iter());
         let d = m.min_dist2_deg(&p);
         if m.contains_point(&p) {
-            prop_assert_eq!(d, 0.0);
+            assert_eq!(d, 0.0, "case {case}");
         } else {
-            prop_assert!(d > 0.0);
+            assert!(d > 0.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn projection_distance_not_larger_than_endpoint_distance(
-        p in city_point(), pts in proptest::collection::vec(city_point(), 2..8)
-    ) {
-        let line = Polyline::new(pts);
+#[test]
+fn projection_distance_not_larger_than_endpoint_distance() {
+    let mut rng = StdRng::seed_from_u64(108);
+    for case in 0..CASES {
+        let p = city_point(&mut rng);
+        let n = rng.gen_range(2..8usize);
+        let line = Polyline::new(points(&mut rng, n));
         let proj = line.project(&p);
         let to_start = equirectangular_m(&p, &line.start());
         let to_end = equirectangular_m(&p, &line.end());
         // Allow 1% slack: the projection uses a tangent plane anchored at each
         // segment's start while the endpoint distances use the equirectangular
         // formula, so the two approximations diverge slightly on long segments.
-        prop_assert!(proj.distance_m <= to_start * 1.01 + 1.0);
-        prop_assert!(proj.distance_m <= to_end * 1.01 + 1.0);
-        prop_assert!(proj.offset_m >= -1e-9);
-        prop_assert!(proj.offset_m <= line.length_m() + 1.0);
+        assert!(proj.distance_m <= to_start * 1.01 + 1.0, "case {case}");
+        assert!(proj.distance_m <= to_end * 1.01 + 1.0, "case {case}");
+        assert!(proj.offset_m >= -1e-9, "case {case}");
+        assert!(proj.offset_m <= line.length_m() + 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn split_by_length_preserves_length_and_endpoints(
-        pts in proptest::collection::vec(city_point(), 2..6),
-        granularity in 200.0f64..2000.0
-    ) {
-        let line = Polyline::new(pts);
+#[test]
+fn split_by_length_preserves_length_and_endpoints() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for case in 0..CASES {
+        let n = rng.gen_range(2..6usize);
+        let line = Polyline::new(points(&mut rng, n));
+        let granularity = rng.gen_range(200.0..2000.0);
         let pieces = line.split_by_length(granularity);
-        prop_assert!(!pieces.is_empty());
+        assert!(!pieces.is_empty(), "case {case}");
         let total: f64 = pieces.iter().map(|p| p.length_m()).sum();
-        prop_assert!((total - line.length_m()).abs() < line.length_m().max(1.0) * 0.01 + 1.0);
-        prop_assert_eq!(pieces[0].start(), line.start());
-        prop_assert_eq!(pieces.last().unwrap().end(), line.end());
+        assert!(
+            (total - line.length_m()).abs() < line.length_m().max(1.0) * 0.01 + 1.0,
+            "case {case}"
+        );
+        assert_eq!(pieces[0].start(), line.start(), "case {case}");
+        assert_eq!(pieces.last().unwrap().end(), line.end(), "case {case}");
         for piece in &pieces {
-            prop_assert!(piece.length_m() <= granularity + granularity * 0.01 + 1.0);
+            assert!(piece.length_m() <= granularity + granularity * 0.01 + 1.0, "case {case}");
         }
         // Contiguity between consecutive pieces.
         for w in pieces.windows(2) {
-            prop_assert!(w[0].end().haversine_m(&w[1].start()) < 1.0);
+            assert!(w[0].end().haversine_m(&w[1].start()) < 1.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn point_at_offset_is_on_or_near_polyline(
-        pts in proptest::collection::vec(city_point(), 2..6),
-        frac in 0.0f64..1.0
-    ) {
-        let line = Polyline::new(pts);
+#[test]
+fn point_at_offset_is_on_or_near_polyline() {
+    let mut rng = StdRng::seed_from_u64(110);
+    for case in 0..CASES {
+        let n = rng.gen_range(2..6usize);
+        let line = Polyline::new(points(&mut rng, n));
+        let frac = rng.gen_range(0.0..1.0);
         let p = line.point_at_fraction(frac);
         let proj = line.project(&p);
-        prop_assert!(proj.distance_m < 1.0, "distance {}", proj.distance_m);
+        assert!(proj.distance_m < 1.0, "case {case}: distance {}", proj.distance_m);
     }
 }

@@ -1,67 +1,70 @@
-//! Property-based tests for the road-network substrate.
+//! Randomized invariant tests for the road-network substrate.
+//!
+//! Formerly written with proptest; the build environment is offline, so the
+//! same properties are now exercised with a seeded deterministic RNG.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streach_geo::{GeoPoint, Polyline};
 use streach_roadnet::{
     expand_within_time, resegment_roads, segment_distances_from, Direction, GeneratorConfig,
     RawRoad, RoadClass, RoadNetwork, SyntheticCity,
 };
-use streach_geo::{GeoPoint, Polyline};
 
-fn arb_class() -> impl Strategy<Value = RoadClass> {
-    prop_oneof![
-        Just(RoadClass::Highway),
-        Just(RoadClass::Primary),
-        Just(RoadClass::Secondary),
-        Just(RoadClass::Local),
-    ]
+fn arb_class(rng: &mut StdRng) -> RoadClass {
+    match rng.gen_range(0..4u32) {
+        0 => RoadClass::Highway,
+        1 => RoadClass::Primary,
+        2 => RoadClass::Secondary,
+        _ => RoadClass::Local,
+    }
 }
 
-fn arb_road() -> impl Strategy<Value = RawRoad> {
-    (
-        113.9f64..114.3,
-        22.45f64..22.75,
-        -3000.0f64..3000.0,
-        -3000.0f64..3000.0,
-        arb_class(),
-        any::<bool>(),
-    )
-        .prop_map(|(lon, lat, dx, dy, class, two_way)| {
-            let a = GeoPoint::new(lon, lat);
-            // Keep roads at least 30 m long so snapping cannot collapse them.
-            let dx = if dx.abs() < 30.0 { 30.0 } else { dx };
-            let b = a.offset_m(dx, dy);
-            RawRoad {
-                geometry: Polyline::straight(a, b),
-                class,
-                direction: if two_way { Direction::TwoWay } else { Direction::OneWay },
-            }
-        })
+fn arb_road(rng: &mut StdRng) -> RawRoad {
+    let a = GeoPoint::new(rng.gen_range(113.9..114.3), rng.gen_range(22.45..22.75));
+    let dx = rng.gen_range(-3000.0..3000.0f64);
+    let dy = rng.gen_range(-3000.0..3000.0);
+    // Keep roads at least 30 m long so snapping cannot collapse them.
+    let dx = if dx.abs() < 30.0 { 30.0 } else { dx };
+    let b = a.offset_m(dx, dy);
+    RawRoad {
+        geometry: Polyline::straight(a, b),
+        class: arb_class(rng),
+        direction: if rng.gen_bool(0.5) { Direction::TwoWay } else { Direction::OneWay },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_roads(rng: &mut StdRng, max: usize) -> Vec<RawRoad> {
+    let n = rng.gen_range(1..max);
+    (0..n).map(|_| arb_road(rng)).collect()
+}
 
-    /// Re-segmentation preserves total length and never produces pieces
-    /// longer than the granularity.
-    #[test]
-    fn resegmentation_preserves_length(
-        roads in proptest::collection::vec(arb_road(), 1..30),
-        granularity in 150.0f64..900.0,
-    ) {
+/// Re-segmentation preserves total length and never produces pieces longer
+/// than the granularity.
+#[test]
+fn resegmentation_preserves_length() {
+    let mut rng = StdRng::seed_from_u64(401);
+    for case in 0..48 {
+        let roads = arb_roads(&mut rng, 30);
+        let granularity = rng.gen_range(150.0..900.0);
         let before: f64 = roads.iter().map(|r| r.geometry.length_m()).sum();
         let out = resegment_roads(&roads, granularity);
         let after: f64 = out.iter().map(|r| r.geometry.length_m()).sum();
-        prop_assert!((before - after).abs() < before.max(1.0) * 0.01 + 1.0);
+        assert!((before - after).abs() < before.max(1.0) * 0.01 + 1.0, "case {case}");
         for piece in &out {
-            prop_assert!(piece.geometry.length_m() <= granularity * 1.02 + 1.0);
+            assert!(piece.geometry.length_m() <= granularity * 1.02 + 1.0, "case {case}");
         }
-        prop_assert!(out.len() >= roads.len());
+        assert!(out.len() >= roads.len(), "case {case}");
     }
+}
 
-    /// Building a network from arbitrary roads preserves the total length
-    /// (doubling two-way roads) and produces a consistent adjacency.
-    #[test]
-    fn network_construction_invariants(roads in proptest::collection::vec(arb_road(), 1..40)) {
+/// Building a network from arbitrary roads preserves the total length
+/// (doubling two-way roads) and produces a consistent adjacency.
+#[test]
+fn network_construction_invariants() {
+    let mut rng = StdRng::seed_from_u64(402);
+    for case in 0..48 {
+        let roads = arb_roads(&mut rng, 40);
         let net = RoadNetwork::from_roads(&roads);
         let expected_directed: f64 = roads
             .iter()
@@ -71,77 +74,92 @@ proptest! {
             })
             .sum::<f64>()
             / 1000.0;
-        prop_assert!((net.total_length_km() - expected_directed).abs() < expected_directed * 0.01 + 0.01);
+        assert!(
+            (net.total_length_km() - expected_directed).abs() < expected_directed * 0.01 + 0.01,
+            "case {case}"
+        );
 
         for seg in net.segments() {
             // Successor segments start where this segment ends.
             for next in net.successors(seg.id) {
-                prop_assert_eq!(net.segment(next).start_node, seg.end_node);
-                prop_assert!(Some(next) != seg.twin);
+                assert_eq!(net.segment(next).start_node, seg.end_node, "case {case}");
+                assert!(Some(next) != seg.twin, "case {case}");
             }
             // Twins are symmetric.
             if let Some(twin) = seg.twin {
-                prop_assert_eq!(net.segment(twin).twin, Some(seg.id));
+                assert_eq!(net.segment(twin).twin, Some(seg.id), "case {case}");
             }
             // The cached MBR covers the geometry.
             for p in seg.geometry.points() {
-                prop_assert!(seg.mbr.contains_point(p));
+                assert!(seg.mbr.contains_point(p), "case {case}");
             }
         }
     }
+}
 
-    /// Nearest-segment lookup agrees with a brute-force scan.
-    #[test]
-    fn nearest_segment_matches_bruteforce(
-        roads in proptest::collection::vec(arb_road(), 1..30),
-        qlon in 113.9f64..114.3,
-        qlat in 22.45f64..22.75,
-    ) {
+/// Nearest-segment lookup agrees with a brute-force scan.
+#[test]
+fn nearest_segment_matches_bruteforce() {
+    let mut rng = StdRng::seed_from_u64(403);
+    for case in 0..48 {
+        let roads = arb_roads(&mut rng, 30);
         let net = RoadNetwork::from_roads(&roads);
-        prop_assume!(net.num_segments() > 0);
-        let q = GeoPoint::new(qlon, qlat);
+        if net.num_segments() == 0 {
+            continue;
+        }
+        let q = GeoPoint::new(rng.gen_range(113.9..114.3), rng.gen_range(22.45..22.75));
         let (_, d) = net.nearest_segment(&q).unwrap();
         let brute = net
             .segments()
             .iter()
             .map(|s| s.geometry.project(&q).distance_m)
             .fold(f64::INFINITY, f64::min);
-        prop_assert!((d - brute).abs() < 1e-6, "got {} brute {}", d, brute);
+        assert!((d - brute).abs() < 1e-6, "case {case}: got {d} brute {brute}");
     }
+}
 
-    /// Network expansion is monotone in both the time budget and the speed.
-    #[test]
-    fn expansion_monotonicity(seed in 0u64..1000, budget in 30.0f64..600.0) {
+/// Network expansion is monotone in both the time budget and the speed.
+#[test]
+fn expansion_monotonicity() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for case in 0..12 {
+        let seed = rng.gen_range(0..1000u64);
+        let budget = rng.gen_range(30.0..600.0);
         let city = SyntheticCity::generate(GeneratorConfig { seed, ..GeneratorConfig::small() });
         let net = &city.network;
         let (start, _) = net.nearest_segment(&city.central_point()).unwrap();
         let slow = expand_within_time(net, &[start], budget, |s| net.segment(s).class.free_flow_ms() * 0.5);
         let fast = expand_within_time(net, &[start], budget, |s| net.segment(s).class.free_flow_ms());
-        let longer = expand_within_time(net, &[start], budget * 2.0, |s| net.segment(s).class.free_flow_ms() * 0.5);
+        let longer =
+            expand_within_time(net, &[start], budget * 2.0, |s| net.segment(s).class.free_flow_ms() * 0.5);
         for seg in slow.reached() {
-            prop_assert!(fast.contains(seg), "faster speeds must reach a superset");
-            prop_assert!(longer.contains(seg), "longer budget must reach a superset");
+            assert!(fast.contains(seg), "case {case}: faster speeds must reach a superset");
+            assert!(longer.contains(seg), "case {case}: longer budget must reach a superset");
         }
         // Arrival times never exceed the budget.
         for (_, t) in fast.arrival_s.iter() {
-            prop_assert!(*t <= budget + 1e-9);
+            assert!(*t <= budget + 1e-9, "case {case}");
         }
     }
+}
 
-    /// Segment-level Dijkstra distances are consistent: they satisfy the
-    /// triangle inequality through direct successor relations.
-    #[test]
-    fn dijkstra_distances_are_consistent(seed in 0u64..1000) {
+/// Segment-level Dijkstra distances are consistent: they satisfy the
+/// triangle inequality through direct successor relations.
+#[test]
+fn dijkstra_distances_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(405);
+    for case in 0..12 {
+        let seed = rng.gen_range(0..1000u64);
         let city = SyntheticCity::generate(GeneratorConfig { seed, ..GeneratorConfig::small() });
         let net = &city.network;
         let (start, _) = net.nearest_segment(&city.central_point()).unwrap();
         let dist = segment_distances_from(net, start, 2500.0);
-        prop_assert_eq!(dist[&start], 0.0);
+        assert_eq!(dist[&start], 0.0, "case {case}");
         for (&seg, &d) in &dist {
             for next in net.successors(seg) {
                 if let Some(&dn) = dist.get(&next) {
                     let edge = net.segment(next).length_m;
-                    prop_assert!(dn <= d + edge + 1e-6, "relaxation violated");
+                    assert!(dn <= d + edge + 1e-6, "case {case}: relaxation violated");
                 }
             }
         }

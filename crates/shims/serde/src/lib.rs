@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its data types for
+//! downstream ergonomics, but nothing in the repository serializes through
+//! serde at runtime (GeoJSON export is hand-rolled). The build environment is
+//! fully network-isolated, so instead of the real serde this shim provides
+//! marker traits plus no-op derive macros with the same names. Swapping the
+//! real serde back in is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}

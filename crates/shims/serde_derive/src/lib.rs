@@ -1,0 +1,85 @@
+//! Offline shim for `serde_derive`: emits empty `Serialize`/`Deserialize`
+//! marker-trait impls so that `#[derive(Serialize, Deserialize)]` attributes
+//! in the workspace compile without the real serde machinery (nothing in this
+//! repository serializes through serde at runtime; see the `serde` shim).
+//!
+//! The parser is intentionally tiny: it extracts the type name (and any
+//! generic parameter names) following the `struct`/`enum`/`union` keyword.
+//! Lifetime/const generics and where-clauses are not supported — the
+//! workspace only derives on plain named types.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, generic_idents)` from an item definition.
+fn parse_item(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`# [ ... ]`) and visibility/keyword tokens until the
+    // `struct`/`enum`/`union` keyword.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Ident(ref id)
+                if id.to_string() == "struct"
+                    || id.to_string() == "enum"
+                    || id.to_string() == "union" =>
+            {
+                break;
+            }
+            _ => continue,
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    // Collect generic type parameter idents between `<` and `>`, if any.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expect_ident = true;
+            for tt in tokens.by_ref() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_ident = true,
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expect_ident = false,
+                    TokenTree::Ident(id) if depth == 1 && expect_ident => {
+                        generics.push(id.to_string());
+                        expect_ident = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    (name, generics)
+}
+
+fn impl_marker(trait_name: &str, input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    let code = if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} {{}}")
+    } else {
+        let params = generics.join(", ");
+        format!("impl<{params}> ::serde::{trait_name} for {name}<{params}> {{}}")
+    };
+    code.parse().expect("serde shim derive: generated impl must parse")
+}
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker("Serialize", input)
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker("Deserialize", input)
+}

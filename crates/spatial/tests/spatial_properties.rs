@@ -1,101 +1,118 @@
-//! Property-based tests for the spatial indexes: the R-tree and the grid are
-//! compared against brute-force linear scans.
+//! Randomized invariant tests for the spatial indexes: the R-tree and the
+//! grid are compared against brute-force linear scans.
+//!
+//! Formerly written with proptest; the build environment is offline, so the
+//! same properties are now exercised with a seeded deterministic RNG.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use streach_geo::{GeoPoint, Mbr};
 use streach_spatial::{GridIndex, RTree};
 
-fn city_point() -> impl Strategy<Value = GeoPoint> {
-    (113.8f64..114.4f64, 22.45f64..22.8f64).prop_map(|(lon, lat)| GeoPoint::new(lon, lat))
+const CASES: usize = 64;
+
+fn city_point(rng: &mut StdRng) -> GeoPoint {
+    GeoPoint::new(rng.gen_range(113.8..114.4), rng.gen_range(22.45..22.8))
 }
 
-fn small_mbr() -> impl Strategy<Value = Mbr> {
-    (city_point(), 10.0f64..800.0, 10.0f64..800.0).prop_map(|(c, w, h)| {
-        let a = c.offset_m(-w / 2.0, -h / 2.0);
-        let b = c.offset_m(w / 2.0, h / 2.0);
-        Mbr::new(a.lon, a.lat, b.lon, b.lat)
-    })
+fn small_mbr(rng: &mut StdRng) -> Mbr {
+    let c = city_point(rng);
+    let w = rng.gen_range(10.0..800.0);
+    let h = rng.gen_range(10.0..800.0);
+    let a = c.offset_m(-w / 2.0, -h / 2.0);
+    let b = c.offset_m(w / 2.0, h / 2.0);
+    Mbr::new(a.lon, a.lat, b.lon, b.lat)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn mbrs(rng: &mut StdRng, max: usize) -> Vec<(Mbr, u32)> {
+    let n = rng.gen_range(1..max);
+    (0..n as u32).map(|i| (small_mbr(rng), i)).collect()
+}
 
-    /// Window queries on a bulk-loaded R-tree return exactly the items a
-    /// linear scan finds.
-    #[test]
-    fn rtree_bulk_window_query_matches_scan(
-        mbrs in proptest::collection::vec(small_mbr(), 1..250),
-        window in small_mbr(),
-    ) {
-        let items: Vec<(Mbr, u32)> = mbrs.iter().cloned().zip(0u32..).collect();
+/// Window queries on a bulk-loaded R-tree return exactly the items a linear
+/// scan finds.
+#[test]
+fn rtree_bulk_window_query_matches_scan() {
+    let mut rng = StdRng::seed_from_u64(301);
+    for case in 0..CASES {
+        let items = mbrs(&mut rng, 250);
+        let window = small_mbr(&mut rng);
         let tree = RTree::bulk_load(items.clone());
-        prop_assert_eq!(tree.len(), items.len());
+        assert_eq!(tree.len(), items.len(), "case {case}");
         let mut got: Vec<u32> = tree.search_mbr(&window).into_iter().copied().collect();
-        let mut expected: Vec<u32> = items.iter().filter(|(m, _)| m.intersects(&window)).map(|(_, i)| *i).collect();
+        let mut expected: Vec<u32> =
+            items.iter().filter(|(m, _)| m.intersects(&window)).map(|(_, i)| *i).collect();
         got.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// The same holds for a tree built by repeated insertion.
-    #[test]
-    fn rtree_insert_window_query_matches_scan(
-        mbrs in proptest::collection::vec(small_mbr(), 1..200),
-        window in small_mbr(),
-    ) {
-        let items: Vec<(Mbr, u32)> = mbrs.iter().cloned().zip(0u32..).collect();
+/// The same holds for a tree built by repeated insertion.
+#[test]
+fn rtree_insert_window_query_matches_scan() {
+    let mut rng = StdRng::seed_from_u64(302);
+    for case in 0..CASES {
+        let items = mbrs(&mut rng, 200);
+        let window = small_mbr(&mut rng);
         let mut tree = RTree::new();
         for (m, i) in &items {
             tree.insert(*m, *i);
         }
         let mut got: Vec<u32> = tree.search_mbr(&window).into_iter().copied().collect();
-        let mut expected: Vec<u32> = items.iter().filter(|(m, _)| m.intersects(&window)).map(|(_, i)| *i).collect();
+        let mut expected: Vec<u32> =
+            items.iter().filter(|(m, _)| m.intersects(&window)).map(|(_, i)| *i).collect();
         got.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// Point queries return exactly the items whose MBR contains the point.
-    #[test]
-    fn rtree_point_query_matches_scan(
-        mbrs in proptest::collection::vec(small_mbr(), 1..200),
-        p in city_point(),
-    ) {
-        let items: Vec<(Mbr, u32)> = mbrs.iter().cloned().zip(0u32..).collect();
+/// Point queries return exactly the items whose MBR contains the point.
+#[test]
+fn rtree_point_query_matches_scan() {
+    let mut rng = StdRng::seed_from_u64(303);
+    for case in 0..CASES {
+        let items = mbrs(&mut rng, 200);
+        let p = city_point(&mut rng);
         let tree = RTree::bulk_load(items.clone());
         let mut got: Vec<u32> = tree.search_point(&p).into_iter().copied().collect();
-        let mut expected: Vec<u32> = items.iter().filter(|(m, _)| m.contains_point(&p)).map(|(_, i)| *i).collect();
+        let mut expected: Vec<u32> =
+            items.iter().filter(|(m, _)| m.contains_point(&p)).map(|(_, i)| *i).collect();
         got.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// Nearest-neighbour search with the exact point distance agrees with a
-    /// brute-force scan.
-    #[test]
-    fn rtree_nearest_matches_scan(
-        centers in proptest::collection::vec(city_point(), 1..200),
-        q in city_point(),
-    ) {
+/// Nearest-neighbour search with the exact point distance agrees with a
+/// brute-force scan.
+#[test]
+fn rtree_nearest_matches_scan() {
+    let mut rng = StdRng::seed_from_u64(304);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..200usize);
+        let centers: Vec<GeoPoint> = (0..n).map(|_| city_point(&mut rng)).collect();
+        let q = city_point(&mut rng);
         let items: Vec<(Mbr, u32)> = centers.iter().map(Mbr::of_point).zip(0u32..).collect();
         let tree = RTree::bulk_load(items);
         let (got, got_d) = tree.nearest_by(&q, |&id| centers[id as usize].haversine_m(&q)).unwrap();
-        let best = centers
-            .iter()
-            .map(|c| c.haversine_m(&q))
-            .fold(f64::INFINITY, f64::min);
-        prop_assert!((got_d - best).abs() < 1e-9, "got {} best {}", got_d, best);
-        prop_assert!((centers[*got as usize].haversine_m(&q) - best).abs() < 1e-9);
+        let best = centers.iter().map(|c| c.haversine_m(&q)).fold(f64::INFINITY, f64::min);
+        assert!((got_d - best).abs() < 1e-9, "case {case}: got {got_d} best {best}");
+        assert!((centers[*got as usize].haversine_m(&q) - best).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// Grid candidate sets are supersets of the exact answer for point
-    /// neighbourhood queries within one cell size.
-    #[test]
-    fn grid_candidates_cover_nearby_items(
-        centers in proptest::collection::vec(city_point(), 1..150),
-        q in city_point(),
-        cell_m in 200.0f64..800.0,
-    ) {
+/// Grid candidate sets are supersets of the exact answer for point
+/// neighbourhood queries within one cell size.
+#[test]
+fn grid_candidates_cover_nearby_items() {
+    let mut rng = StdRng::seed_from_u64(305);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..150usize);
+        let centers: Vec<GeoPoint> = (0..n).map(|_| city_point(&mut rng)).collect();
+        let q = city_point(&mut rng);
+        let cell_m = rng.gen_range(200.0..800.0);
         let bounds = Mbr::new(113.8, 22.45, 114.4, 22.8);
         let mut grid = GridIndex::new(bounds, cell_m);
         for (i, c) in centers.iter().enumerate() {
@@ -105,22 +122,24 @@ proptest! {
         // Every item within one cell size of the query must be a candidate.
         for (i, c) in centers.iter().enumerate() {
             if c.haversine_m(&q) <= cell_m {
-                prop_assert!(
+                assert!(
                     candidates.contains(&(i as u32)),
-                    "item {} at distance {} missing from candidates",
-                    i,
+                    "case {case}: item {i} at distance {} missing from candidates",
                     c.haversine_m(&q)
                 );
             }
         }
     }
+}
 
-    /// Grid window queries are supersets of the exact containment answer.
-    #[test]
-    fn grid_window_candidates_cover_contained_items(
-        centers in proptest::collection::vec(city_point(), 1..150),
-        window in small_mbr(),
-    ) {
+/// Grid window queries are supersets of the exact containment answer.
+#[test]
+fn grid_window_candidates_cover_contained_items() {
+    let mut rng = StdRng::seed_from_u64(306);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..150usize);
+        let centers: Vec<GeoPoint> = (0..n).map(|_| city_point(&mut rng)).collect();
+        let window = small_mbr(&mut rng);
         let bounds = Mbr::new(113.8, 22.45, 114.4, 22.8);
         let mut grid = GridIndex::new(bounds, 400.0);
         for (i, c) in centers.iter().enumerate() {
@@ -129,7 +148,7 @@ proptest! {
         let candidates = grid.candidates_in(&window);
         for (i, c) in centers.iter().enumerate() {
             if window.contains_point(c) {
-                prop_assert!(candidates.contains(&(i as u32)));
+                assert!(candidates.contains(&(i as u32)), "case {case}: item {i}");
             }
         }
     }

@@ -1,105 +1,126 @@
-//! Property-based tests for the storage engine.
+//! Randomized invariant tests for the storage engine, compared against
+//! model structures (`BTreeMap`, plain byte buffers).
+//!
+//! Formerly written with proptest; the build environment is offline, so the
+//! same properties are now exercised with a seeded deterministic RNG.
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use streach_storage::{BPlusTree, BufferPool, InMemoryPageStore, PageStore, PostingStore, TimeList};
 
-proptest! {
-    /// The B+-tree must behave exactly like `BTreeMap` for any sequence of
-    /// insertions (including duplicate keys).
-    #[test]
-    fn btree_matches_btreemap(
-        ops in proptest::collection::vec((0u64..500, 0u64..10_000), 1..400),
-        order in 3usize..32,
-    ) {
+/// The B+-tree must behave exactly like `BTreeMap` for any sequence of
+/// insertions (including duplicate keys).
+#[test]
+fn btree_matches_btreemap() {
+    let mut rng = StdRng::seed_from_u64(201);
+    for case in 0..64 {
+        let order = rng.gen_range(3..32usize);
+        let num_ops = rng.gen_range(1..400usize);
         let mut tree = BPlusTree::with_order(order);
         let mut model = BTreeMap::new();
-        for (k, v) in ops {
+        for _ in 0..num_ops {
+            let k = rng.gen_range(0..500u64);
+            let v = rng.gen_range(0..10_000u64);
             let expected = model.insert(k, v);
             let got = tree.insert(k, v);
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected, "case {case}");
         }
-        prop_assert_eq!(tree.len(), model.len());
+        assert_eq!(tree.len(), model.len(), "case {case}");
         for (k, v) in &model {
-            prop_assert_eq!(tree.get(k), Some(v));
+            assert_eq!(tree.get(k), Some(v), "case {case}");
         }
         let tree_items: Vec<(u64, u64)> = tree.iter().into_iter().map(|(k, v)| (k, *v)).collect();
         let model_items: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
-        prop_assert_eq!(tree_items, model_items);
-        prop_assert_eq!(tree.min_key(), model.keys().next().copied());
-        prop_assert_eq!(tree.max_key(), model.keys().last().copied());
+        assert_eq!(tree_items, model_items, "case {case}");
+        assert_eq!(tree.min_key(), model.keys().next().copied(), "case {case}");
+        assert_eq!(tree.max_key(), model.keys().last().copied(), "case {case}");
     }
+}
 
-    /// Range queries must match the model's range.
-    #[test]
-    fn btree_range_matches_btreemap(
-        entries in proptest::collection::btree_map(0u64..1000, 0u64..100, 0..300),
-        lo in 0u64..1000,
-        span in 0u64..500,
-        order in 3usize..16,
-    ) {
-        let hi = lo.saturating_add(span);
+/// Range queries must match the model's range.
+#[test]
+fn btree_range_matches_btreemap() {
+    let mut rng = StdRng::seed_from_u64(202);
+    for case in 0..64 {
+        let order = rng.gen_range(3..16usize);
+        let mut entries: BTreeMap<u64, u64> = BTreeMap::new();
+        for _ in 0..rng.gen_range(0..300usize) {
+            entries.insert(rng.gen_range(0..1000u64), rng.gen_range(0..100u64));
+        }
+        let lo = rng.gen_range(0..1000u64);
+        let hi = lo.saturating_add(rng.gen_range(0..500u64));
         let mut tree = BPlusTree::with_order(order);
         for (k, v) in &entries {
             tree.insert(*k, *v);
         }
         let got: Vec<(u64, u64)> = tree.range_inclusive(lo, hi).into_iter().map(|(k, v)| (k, *v)).collect();
         let expected: Vec<(u64, u64)> = entries.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// Any set of blobs written to the posting store reads back bit-exact,
-    /// regardless of interleaving and page-boundary crossings.
-    #[test]
-    fn posting_store_blob_roundtrip(
-        blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..9000), 1..20),
-        pool_pages in 1usize..8,
-    ) {
+/// Any set of blobs written to the posting store reads back bit-exact,
+/// regardless of interleaving and page-boundary crossings.
+#[test]
+fn posting_store_blob_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(203);
+    for case in 0..32 {
+        let pool_pages = rng.gen_range(1..8usize);
+        let num_blobs = rng.gen_range(1..20usize);
+        let blobs: Vec<Vec<u8>> = (0..num_blobs)
+            .map(|_| {
+                let len = rng.gen_range(0..9000usize);
+                (0..len).map(|_| rng.gen_range(0..256u32) as u8).collect()
+            })
+            .collect();
         let store = PostingStore::new(InMemoryPageStore::new(), pool_pages);
         let handles: Vec<_> = blobs.iter().map(|b| store.append(b).unwrap()).collect();
         for (blob, handle) in blobs.iter().zip(&handles) {
-            prop_assert_eq!(&store.read(*handle).unwrap(), blob);
+            assert_eq!(&store.read(*handle).unwrap(), blob, "case {case}");
         }
         // Reading in reverse order must give the same results (cache churn).
         for (blob, handle) in blobs.iter().zip(&handles).rev() {
-            prop_assert_eq!(&store.read(*handle).unwrap(), blob);
+            assert_eq!(&store.read(*handle).unwrap(), blob, "case {case}");
         }
     }
+}
 
-    /// Time lists round-trip through encode/decode and through the store.
-    #[test]
-    fn time_list_roundtrip(
-        observations in proptest::collection::vec((0u16..30, 0u32..50_000), 0..200)
-    ) {
+/// Time lists round-trip through encode/decode and through the store.
+#[test]
+fn time_list_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(204);
+    for case in 0..64 {
         let mut list = TimeList::new();
-        for (date, id) in &observations {
-            list.add(*date, *id);
+        for _ in 0..rng.gen_range(0..200usize) {
+            list.add(rng.gen_range(0..30u32) as u16, rng.gen_range(0..50_000u32));
         }
         // Dates sorted, ids sorted and unique.
         for w in list.entries.windows(2) {
-            prop_assert!(w[0].date < w[1].date);
+            assert!(w[0].date < w[1].date, "case {case}");
         }
         for e in &list.entries {
             for w in e.traj_ids.windows(2) {
-                prop_assert!(w[0] < w[1]);
+                assert!(w[0] < w[1], "case {case}");
             }
         }
         let decoded = TimeList::decode(&list.encode()).unwrap();
-        prop_assert_eq!(&decoded, &list);
+        assert_eq!(&decoded, &list, "case {case}");
 
         let store = PostingStore::new(InMemoryPageStore::new(), 2);
         let handle = store.append_time_list(&list).unwrap();
-        prop_assert_eq!(store.read_time_list(handle).unwrap(), list);
+        assert_eq!(store.read_time_list(handle).unwrap(), list, "case {case}");
     }
+}
 
-    /// The buffer pool never changes what a page read returns, whatever the
-    /// capacity and access pattern.
-    #[test]
-    fn buffer_pool_is_transparent(
-        accesses in proptest::collection::vec(0u64..32, 1..200),
-        capacity in 1usize..16,
-    ) {
+/// The buffer pool never changes what a page read returns, whatever the
+/// capacity and access pattern.
+#[test]
+fn buffer_pool_is_transparent() {
+    let mut rng = StdRng::seed_from_u64(205);
+    for case in 0..64 {
+        let capacity = rng.gen_range(1..16usize);
         let store = InMemoryPageStore::new();
         for i in 0..32u64 {
             let id = store.allocate().unwrap();
@@ -109,13 +130,14 @@ proptest! {
             store.write_page(id, &page).unwrap();
         }
         let pool = BufferPool::new(store, capacity);
-        for id in accesses {
+        for _ in 0..rng.gen_range(1..200usize) {
+            let id = rng.gen_range(0..32u64);
             let page = pool.read_page(id).unwrap();
-            prop_assert_eq!(page.bytes()[0], id as u8);
-            prop_assert_eq!(page.bytes()[1], (id * 3) as u8);
-            prop_assert!(pool.cached_pages() <= capacity);
+            assert_eq!(page.bytes()[0], id as u8, "case {case}");
+            assert_eq!(page.bytes()[1], (id * 3) as u8, "case {case}");
+            assert!(pool.cached_pages() <= capacity, "case {case}");
         }
         let snap = pool.io_stats().snapshot();
-        prop_assert_eq!(snap.cache_misses, snap.page_reads);
+        assert_eq!(snap.cache_misses, snap.page_reads, "case {case}");
     }
 }
