@@ -1,64 +1,56 @@
-//! Criterion benchmarks for the offline index-construction stages: the
-//! ST-Index build, the per-slot Con-Index connection tables and the two
-//! spatial indexes (ablation: R-tree STR bulk load vs incremental insert).
+//! Benchmarks for the offline index-construction stages: the ST-Index build
+//! (parallel sort-based grouping), the per-slot Con-Index connection tables
+//! and the two spatial index loading strategies (ablation: R-tree STR bulk
+//! load vs incremental insert).
+//!
+//! Run with `cargo bench -p streach-bench --bench index_construction`.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streach_bench::timing::measure;
 use streach_bench::ScenarioSize;
 use streach_core::{ConIndex, IndexConfig, SpeedStats, StIndex};
 use streach_roadnet::SyntheticCity;
 use streach_spatial::RTree;
 use streach_traj::TrajectoryDataset;
 
-fn bench_st_index_build(c: &mut Criterion) {
+fn report(group: &str, name: &str, ms: f64) {
+    println!("{group:<16} {name:<22} {ms:>10.3} ms");
+}
+
+fn main() {
     let city = SyntheticCity::generate(ScenarioSize::Smoke.city());
     let network = Arc::new(city.network);
     let dataset = TrajectoryDataset::simulate(&network, ScenarioSize::Smoke.fleet());
-    let mut group = c.benchmark_group("index_build");
-    group.sample_size(10);
-    group.bench_function("st_index", |b| {
-        b.iter(|| StIndex::build(network.clone(), &dataset, &IndexConfig::default()))
+    println!("{:<16} {:<22} {:>13}", "group", "benchmark", "median");
+
+    let m = measure(1, 9, || {
+        StIndex::build(network.clone(), &dataset, &IndexConfig::default())
     });
-    group.bench_function("speed_stats", |b| {
-        b.iter(|| SpeedStats::from_dataset(&network, &dataset, 300))
-    });
+    report("index_build", "st_index", m.median_ms());
+
+    let m = measure(1, 9, || SpeedStats::from_dataset(&network, &dataset, 300));
+    report("index_build", "speed_stats", m.median_ms());
+
     let stats = Arc::new(SpeedStats::from_dataset(&network, &dataset, 300));
-    group.bench_function("con_index_one_slot", |b| {
-        b.iter(|| {
-            // A fresh index each iteration so the slot is really rebuilt.
-            let con = ConIndex::new(network.clone(), stats.clone(), &IndexConfig::default());
-            con.build_slots(&[132]);
-            con
-        })
+    let m = measure(1, 9, || {
+        // A fresh index each iteration so the slot is really rebuilt.
+        let con = ConIndex::new(network.clone(), stats.clone(), &IndexConfig::default());
+        con.build_slots(&[132]);
+        con
     });
-    group.finish();
-}
+    report("index_build", "con_index_one_slot", m.median_ms());
 
-fn bench_rtree_loading(c: &mut Criterion) {
-    let city = SyntheticCity::generate(ScenarioSize::Smoke.city());
-    let items: Vec<_> = city
-        .network
-        .segments()
-        .iter()
-        .map(|s| (s.mbr, s.id))
-        .collect();
-    let mut group = c.benchmark_group("rtree_ablation");
-    group.sample_size(20);
-    group.bench_with_input(BenchmarkId::new("str_bulk_load", items.len()), &items, |b, items| {
-        b.iter(|| RTree::bulk_load(items.clone()))
-    });
-    group.bench_with_input(BenchmarkId::new("incremental_insert", items.len()), &items, |b, items| {
-        b.iter(|| {
-            let mut t = RTree::new();
-            for (mbr, id) in items {
-                t.insert(*mbr, *id);
-            }
-            t
-        })
-    });
-    group.finish();
-}
+    let items: Vec<_> = network.segments().iter().map(|s| (s.mbr, s.id)).collect();
+    let m = measure(2, 19, || RTree::bulk_load(items.clone()));
+    report("rtree_ablation", "str_bulk_load", m.median_ms());
 
-criterion_group!(index_construction, bench_st_index_build, bench_rtree_loading);
-criterion_main!(index_construction);
+    let m = measure(2, 19, || {
+        let mut t = RTree::new();
+        for (mbr, id) in &items {
+            t.insert(*mbr, *id);
+        }
+        t
+    });
+    report("rtree_ablation", "incremental_insert", m.median_ms());
+}

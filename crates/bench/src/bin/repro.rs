@@ -36,7 +36,10 @@ impl Ctx {
         );
         let results_dir = PathBuf::from("results");
         std::fs::create_dir_all(&results_dir).expect("create results directory");
-        Self { scenario, results_dir }
+        Self {
+            scenario,
+            results_dir,
+        }
     }
 
     fn squery(&self, start_time_s: u32, duration_min: u32, prob: f64) -> SQuery {
@@ -49,13 +52,16 @@ impl Ctx {
     }
 
     fn run(&self, q: &SQuery, algo: Algorithm) -> streach_core::query::QueryOutcome {
-        self.scenario.engine.warm_con_index(q.start_time_s, q.duration_s);
+        self.scenario
+            .engine
+            .warm_con_index(q.start_time_s, q.duration_s);
         self.scenario.engine.s_query(q, algo)
     }
 
     fn write_geojson(&self, name: &str, region: &streach_core::ReachableRegion) {
         let path = self.results_dir.join(format!("{name}.geojson"));
-        std::fs::write(&path, region_to_geojson(&self.scenario.network, region)).expect("write GeoJSON");
+        std::fs::write(&path, region_to_geojson(&self.scenario.network, region))
+            .expect("write GeoJSON");
         eprintln!("[repro] wrote {}", path.display());
     }
 }
@@ -68,35 +74,65 @@ fn table4_1(ctx: &Ctx) -> Table {
     let stats = ctx.scenario.dataset.stats();
     let net = &ctx.scenario.network;
     let bounds = net.bounds();
-    let diag_km = streach_core::prelude::GeoPoint::new(bounds.min_lon, bounds.min_lat)
-        .haversine_m(&streach_core::prelude::GeoPoint::new(bounds.max_lon, bounds.max_lat))
-        / 1000.0;
+    let diag_km = streach_core::prelude::GeoPoint::new(bounds.min_lon, bounds.min_lat).haversine_m(
+        &streach_core::prelude::GeoPoint::new(bounds.max_lon, bounds.max_lat),
+    ) / 1000.0;
     let mut t = Table::new(
         "Table 4.1 — Dataset description (synthetic stand-in for the Shenzhen taxi dataset)",
         &["statistic", "value"],
     );
-    t.row(vec!["city extent (diagonal)".into(), format!("{diag_km:.1} km")]);
-    t.row(vec!["road segments (directed, re-segmented at 500 m)".into(), net.num_segments().to_string()]);
+    t.row(vec![
+        "city extent (diagonal)".into(),
+        format!("{diag_km:.1} km"),
+    ]);
+    t.row(vec![
+        "road segments (directed, re-segmented at 500 m)".into(),
+        net.num_segments().to_string(),
+    ]);
     t.row(vec!["intersections".into(), net.num_nodes().to_string()]);
-    t.row(vec!["total road length".into(), format!("{:.0} km", net.total_length_km())]);
+    t.row(vec![
+        "total road length".into(),
+        format!("{:.0} km", net.total_length_km()),
+    ]);
     t.row(vec!["duration".into(), format!("{} days", stats.num_days)]);
     t.row(vec!["number of taxis".into(), stats.num_taxis.to_string()]);
-    t.row(vec!["number of trajectories".into(), stats.num_trajectories.to_string()]);
-    t.row(vec!["segment visits (map-matched observations)".into(), stats.num_segment_visits.to_string()]);
+    t.row(vec![
+        "number of trajectories".into(),
+        stats.num_trajectories.to_string(),
+    ]);
+    t.row(vec![
+        "segment visits (map-matched observations)".into(),
+        stats.num_segment_visits.to_string(),
+    ]);
     let st = ctx.scenario.engine.st_index().stats();
-    t.row(vec!["ST-Index time lists".into(), st.num_time_lists.to_string()]);
-    t.row(vec!["ST-Index posting pages (4 KiB)".into(), st.posting_pages.to_string()]);
+    t.row(vec![
+        "ST-Index time lists".into(),
+        st.num_time_lists.to_string(),
+    ]);
+    t.row(vec![
+        "ST-Index posting pages (4 KiB)".into(),
+        st.posting_pages.to_string(),
+    ]);
     t
 }
 
 fn table4_2(_ctx: &Ctx) -> Table {
-    let mut t = Table::new("Table 4.2 — Evaluation configuration", &["parameter", "settings"]);
+    let mut t = Table::new(
+        "Table 4.2 — Evaluation configuration",
+        &["parameter", "settings"],
+    );
     t.row(vec!["duration L".into(), "{5, 10, ..., 35} min".into()]);
     t.row(vec!["probability Prob".into(), "{20%, ..., 100%}".into()]);
-    t.row(vec!["start time T".into(), "[00:00 - 24:00] (2-hour steps)".into()]);
+    t.row(vec![
+        "start time T".into(),
+        "[00:00 - 24:00] (2-hour steps)".into(),
+    ]);
     t.row(vec!["interval Δt".into(), "{1, 5, 10, 20} min".into()]);
     t.row(vec!["s-query algorithms".into(), "ES, SQMB+TBS".into()]);
-    t.row(vec!["m-query algorithms".into(), "SQMB+TBS (repeated), MQMB+TBS".into()]);
+    t.row(vec![
+        "m-query algorithms".into(),
+        "SQMB+TBS (repeated), MQMB+TBS".into(),
+    ]);
     t
 }
 
@@ -107,7 +143,13 @@ fn table4_2(_ctx: &Ctx) -> Table {
 fn fig4_1a(ctx: &Ctx) -> Table {
     let mut t = Table::new(
         "Fig 4.1(a) — processing time vs duration L (T=11:00, Prob=20%)",
-        &["L (min)", "ES (ms)", "SQMB+TBS Δt=5 (ms)", "SQMB+TBS Δt=10 (ms)", "reduction vs ES"],
+        &[
+            "L (min)",
+            "ES (ms)",
+            "SQMB+TBS Δt=5 (ms)",
+            "SQMB+TBS Δt=10 (ms)",
+            "reduction vs ES",
+        ],
     );
     let engine10 = ctx.scenario.engine_with_slot(600);
     for l in (5..=35).step_by(5) {
@@ -116,7 +158,10 @@ fn fig4_1a(ctx: &Ctx) -> Table {
         let fast5 = ctx.run(&q, Algorithm::SqmbTbs);
         engine10.warm_con_index(q.start_time_s, q.duration_s);
         let fast10 = engine10.s_query(&q, Algorithm::SqmbTbs);
-        let best = fast5.stats.running_time_ms().min(fast10.stats.running_time_ms());
+        let best = fast5
+            .stats
+            .running_time_ms()
+            .min(fast10.stats.running_time_ms());
         let reduction = 100.0 * (1.0 - best / es.stats.running_time_ms().max(1e-9));
         t.row(vec![
             l.to_string(),
@@ -132,7 +177,12 @@ fn fig4_1a(ctx: &Ctx) -> Table {
 fn fig4_1b(ctx: &Ctx) -> Table {
     let mut t = Table::new(
         "Fig 4.1(b) — reachable road length vs duration L (T=11:00, Prob=20%)",
-        &["L (min)", "road km (Δt=5)", "road km (Δt=10)", "segments (Δt=5)"],
+        &[
+            "L (min)",
+            "road km (Δt=5)",
+            "road km (Δt=10)",
+            "segments (Δt=5)",
+        ],
     );
     let engine10 = ctx.scenario.engine_with_slot(600);
     for l in (5..=35).step_by(5) {
@@ -177,7 +227,12 @@ fn fig4_2(ctx: &Ctx) -> Table {
 fn fig4_3a(ctx: &Ctx) -> Table {
     let mut t = Table::new(
         "Fig 4.3(a) — processing time vs probability (T=11:00)",
-        &["Prob", "ES L=10 (ms)", "SQMB+TBS L=10 (ms)", "SQMB+TBS L=15 (ms)"],
+        &[
+            "Prob",
+            "ES L=10 (ms)",
+            "SQMB+TBS L=10 (ms)",
+            "SQMB+TBS L=15 (ms)",
+        ],
     );
     for prob in [0.2, 0.4, 0.6, 0.8, 1.0] {
         let q10 = ctx.squery(11 * 3600, 10, prob);
@@ -257,7 +312,11 @@ fn fig4_5(ctx: &Ctx, lengths: bool) -> Table {
         } else {
             (out5.stats.running_time_ms(), out10.stats.running_time_ms())
         };
-        t.row(vec![format_hhmm(start), format!("{a:.1}"), format!("{b:.1}")]);
+        t.row(vec![
+            format_hhmm(start),
+            format!("{a:.1}"),
+            format!("{b:.1}"),
+        ]);
     }
     t
 }
@@ -288,7 +347,12 @@ fn fig4_6(ctx: &Ctx) -> Table {
 fn fig4_7(ctx: &Ctx) -> Table {
     let mut t = Table::new(
         "Fig 4.7 — processing time vs time interval Δt (T=11:00, Prob=20%)",
-        &["Δt (min)", "SQMB+TBS L=5 (ms)", "SQMB+TBS L=10 (ms)", "ES L=10 (ms)"],
+        &[
+            "Δt (min)",
+            "SQMB+TBS L=5 (ms)",
+            "SQMB+TBS L=10 (ms)",
+            "ES L=10 (ms)",
+        ],
     );
     let q10 = ctx.squery(11 * 3600, 10, 0.2);
     let es = ctx.run(&q10, Algorithm::ExhaustiveSearch);
@@ -322,11 +386,22 @@ fn fig4_8a(ctx: &Ctx) -> Table {
     );
     let locations = ctx.scenario.mquery_locations(3);
     for l in (5..=35).step_by(5) {
-        let q = MQuery { locations: locations.clone(), start_time_s: 10 * 3600, duration_s: l * 60, prob: 0.2 };
-        ctx.scenario.engine.warm_con_index(q.start_time_s, q.duration_s);
-        let repeated = ctx.scenario.engine.m_query(&q, MQueryAlgorithm::RepeatedSQuery);
+        let q = MQuery {
+            locations: locations.clone(),
+            start_time_s: 10 * 3600,
+            duration_s: l * 60,
+            prob: 0.2,
+        };
+        ctx.scenario
+            .engine
+            .warm_con_index(q.start_time_s, q.duration_s);
+        let repeated = ctx
+            .scenario
+            .engine
+            .m_query(&q, MQueryAlgorithm::RepeatedSQuery);
         let unified = ctx.scenario.engine.m_query(&q, MQueryAlgorithm::MqmbTbs);
-        let saving = 100.0 * (1.0 - unified.stats.running_time_ms() / repeated.stats.running_time_ms().max(1e-9));
+        let saving = 100.0
+            * (1.0 - unified.stats.running_time_ms() / repeated.stats.running_time_ms().max(1e-9));
         t.row(vec![
             l.to_string(),
             format!("{:.1}", repeated.stats.running_time_ms()),
@@ -349,10 +424,16 @@ fn fig4_8b(ctx: &Ctx) -> Table {
             duration_s: 20 * 60,
             prob: 0.2,
         };
-        ctx.scenario.engine.warm_con_index(q.start_time_s, q.duration_s);
-        let repeated = ctx.scenario.engine.m_query(&q, MQueryAlgorithm::RepeatedSQuery);
+        ctx.scenario
+            .engine
+            .warm_con_index(q.start_time_s, q.duration_s);
+        let repeated = ctx
+            .scenario
+            .engine
+            .m_query(&q, MQueryAlgorithm::RepeatedSQuery);
         let unified = ctx.scenario.engine.m_query(&q, MQueryAlgorithm::MqmbTbs);
-        let saving = 100.0 * (1.0 - unified.stats.running_time_ms() / repeated.stats.running_time_ms().max(1e-9));
+        let saving = 100.0
+            * (1.0 - unified.stats.running_time_ms() / repeated.stats.running_time_ms().max(1e-9));
         t.row(vec![
             n.to_string(),
             format!("{:.1}", repeated.stats.running_time_ms()),
@@ -369,8 +450,15 @@ fn fig4_9(ctx: &Ctx) -> Table {
         &["result", "segments", "road km", "file"],
     );
     let locations = ctx.scenario.mquery_locations(3);
-    let q = MQuery { locations: locations.clone(), start_time_s: 10 * 3600, duration_s: 20 * 60, prob: 0.2 };
-    ctx.scenario.engine.warm_con_index(q.start_time_s, q.duration_s);
+    let q = MQuery {
+        locations: locations.clone(),
+        start_time_s: 10 * 3600,
+        duration_s: 20 * 60,
+        prob: 0.2,
+    };
+    ctx.scenario
+        .engine
+        .warm_con_index(q.start_time_s, q.duration_s);
     let union = ctx.scenario.engine.m_query(&q, MQueryAlgorithm::MqmbTbs);
     ctx.write_geojson("fig4_9_all", &union.region);
     t.row(vec![
@@ -380,7 +468,12 @@ fn fig4_9(ctx: &Ctx) -> Table {
         "results/fig4_9_all.geojson".into(),
     ]);
     for (i, &loc) in locations.iter().enumerate() {
-        let sq = SQuery { location: loc, start_time_s: q.start_time_s, duration_s: q.duration_s, prob: q.prob };
+        let sq = SQuery {
+            location: loc,
+            start_time_s: q.start_time_s,
+            duration_s: q.duration_s,
+            prob: q.prob,
+        };
         let out = ctx.scenario.engine.s_query(&sq, Algorithm::SqmbTbs);
         let name = format!("fig4_9_location_{}", (b'A' + i as u8) as char);
         ctx.write_geojson(&name, &out.region);
@@ -401,7 +494,12 @@ fn fig4_9(ctx: &Ctx) -> Table {
 fn ablation(ctx: &Ctx) -> Table {
     let mut t = Table::new(
         "Ablation — where the speedup comes from (T=11:00, L=10 min, Prob=20%)",
-        &["variant", "runtime (ms)", "segments verified", "posting page requests"],
+        &[
+            "variant",
+            "runtime (ms)",
+            "segments verified",
+            "posting page requests",
+        ],
     );
     let q = ctx.squery(11 * 3600, 10, 0.2);
     let es = ctx.run(&q, Algorithm::ExhaustiveSearch);
@@ -409,7 +507,11 @@ fn ablation(ctx: &Ctx) -> Table {
     // Cold-cache run of the index-based algorithm.
     ctx.scenario.engine.st_index().clear_cache();
     let cold = ctx.run(&q, Algorithm::SqmbTbs);
-    for (name, o) in [("ES (baseline)", &es), ("SQMB+TBS (warm cache)", &fast), ("SQMB+TBS (cold cache)", &cold)] {
+    for (name, o) in [
+        ("ES (baseline)", &es),
+        ("SQMB+TBS (warm cache)", &fast),
+        ("SQMB+TBS (cold cache)", &cold),
+    ] {
         t.row(vec![
             name.into(),
             format!("{:.1}", o.stats.running_time_ms()),
@@ -427,10 +529,18 @@ fn ablation(ctx: &Ctx) -> Table {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
 
-    let size = if quick { ScenarioSize::Quick } else { ScenarioSize::Standard };
+    let size = if quick {
+        ScenarioSize::Quick
+    } else {
+        ScenarioSize::Standard
+    };
     let ctx = Ctx::new(size);
 
     type ExperimentFn = fn(&Ctx) -> Table;
@@ -460,14 +570,21 @@ fn main() {
             let t0 = Instant::now();
             let table = f(&ctx);
             println!("{}", table.render());
-            eprintln!("[repro] {name} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+            eprintln!(
+                "[repro] {name} done in {:.1}s\n",
+                t0.elapsed().as_secs_f64()
+            );
             ran += 1;
         }
     }
     if ran == 0 {
         eprintln!(
             "unknown experiment; available: all, {}",
-            experiments.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+            experiments
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(2);
     }

@@ -17,6 +17,8 @@
 
 pub mod report;
 pub mod scenario;
+pub mod timing;
 
 pub use report::Table;
 pub use scenario::{Scenario, ScenarioSize};
+pub use timing::{measure, Measurement};

@@ -22,7 +22,11 @@ impl Table {
 
     /// Appends one data row (must have as many cells as the header).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
         self.rows.push(cells);
     }
 

@@ -23,19 +23,46 @@ impl ScenarioSize {
     pub fn city(self) -> GeneratorConfig {
         match self {
             ScenarioSize::Smoke => GeneratorConfig::small(),
-            ScenarioSize::Quick => GeneratorConfig { cols: 17, rows: 17, seed: 2014, ..GeneratorConfig::default() },
-            ScenarioSize::Standard => GeneratorConfig { cols: 23, rows: 23, seed: 2014, ..GeneratorConfig::default() },
+            ScenarioSize::Quick => GeneratorConfig {
+                cols: 17,
+                rows: 17,
+                seed: 2014,
+                ..GeneratorConfig::default()
+            },
+            ScenarioSize::Standard => GeneratorConfig {
+                cols: 23,
+                rows: 23,
+                seed: 2014,
+                ..GeneratorConfig::default()
+            },
         }
     }
 
     /// Fleet configuration for this size (around-the-clock operation so that
     /// the start-time sweep of Fig. 4.5 has data everywhere).
     pub fn fleet(self) -> FleetConfig {
-        let base = FleetConfig { day_start_s: 0, day_end_s: 86_400, seed: 2014, ..FleetConfig::default() };
+        let base = FleetConfig {
+            day_start_s: 0,
+            day_end_s: 86_400,
+            seed: 2014,
+            ..FleetConfig::default()
+        };
         match self {
-            ScenarioSize::Smoke => FleetConfig { num_taxis: 25, num_days: 5, ..base },
-            ScenarioSize::Quick => FleetConfig { num_taxis: 60, num_days: 10, ..base },
-            ScenarioSize::Standard => FleetConfig { num_taxis: 120, num_days: 15, ..base },
+            ScenarioSize::Smoke => FleetConfig {
+                num_taxis: 25,
+                num_days: 5,
+                ..base
+            },
+            ScenarioSize::Quick => FleetConfig {
+                num_taxis: 60,
+                num_days: 10,
+                ..base
+            },
+            ScenarioSize::Standard => FleetConfig {
+                num_taxis: 120,
+                num_days: 15,
+                ..base
+            },
         }
     }
 }
@@ -68,16 +95,28 @@ impl Scenario {
         let network = Arc::new(city.network);
         let dataset = TrajectoryDataset::simulate(&network, size.fleet());
         let engine = EngineBuilder::new(network.clone(), &dataset)
-            .index_config(IndexConfig { slot_s, ..IndexConfig::default() })
+            .index_config(IndexConfig {
+                slot_s,
+                ..IndexConfig::default()
+            })
             .build();
-        Self { network, dataset, engine, query_location, size }
+        Self {
+            network,
+            dataset,
+            engine,
+            query_location,
+            size,
+        }
     }
 
     /// Rebuilds only the engine with a different Δt, reusing the network and
     /// dataset (used by the Fig. 4.7 granularity sweep).
     pub fn engine_with_slot(&self, slot_s: u32) -> ReachabilityEngine {
         EngineBuilder::new(self.network.clone(), &self.dataset)
-            .index_config(IndexConfig { slot_s, ..IndexConfig::default() })
+            .index_config(IndexConfig {
+                slot_s,
+                ..IndexConfig::default()
+            })
             .build()
     }
 
@@ -135,7 +174,10 @@ mod tests {
         assert_eq!(locs.len(), 10);
         for i in 0..locs.len() {
             for j in (i + 1)..locs.len() {
-                assert!(locs[i].haversine_m(&locs[j]) > 100.0, "locations {i} and {j} too close");
+                assert!(
+                    locs[i].haversine_m(&locs[j]) > 100.0,
+                    "locations {i} and {j} too close"
+                );
             }
         }
         // Cycling beyond 10 repeats.

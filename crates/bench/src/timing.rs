@@ -1,0 +1,78 @@
+//! A tiny measurement harness (criterion is unavailable offline).
+//!
+//! Each measurement runs a closure `iters` times after a warm-up pass and
+//! reports min/median/mean wall-clock times. Medians make the numbers robust
+//! against scheduler noise; the harness is deliberately simple — regressions
+//! of the magnitude this repository cares about (2x and up) do not need
+//! statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Summary of one measured operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+impl Measurement {
+    /// Median in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median.as_secs_f64() * 1e3
+    }
+}
+
+/// Times `f` over `iters` iterations (plus `warmup` untimed ones).
+pub fn measure<R>(warmup: usize, iters: usize, mut f: impl FnMut() -> R) -> Measurement {
+    assert!(iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / iters as u32;
+    Measurement {
+        min,
+        median,
+        mean,
+        iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let m = measure(1, 5, || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(m.min <= m.median);
+        assert!(m.median_ms() >= 0.0);
+        assert_eq!(m.iters, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_iters_rejected() {
+        let _ = measure(0, 0, || ());
+    }
+}

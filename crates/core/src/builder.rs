@@ -33,7 +33,11 @@ pub struct EngineBuilder<'a> {
 impl<'a> EngineBuilder<'a> {
     /// Starts a builder with the default [`IndexConfig`].
     pub fn new(network: Arc<RoadNetwork>, dataset: &'a TrajectoryDataset) -> Self {
-        Self { network, dataset, config: IndexConfig::default() }
+        Self {
+            network,
+            dataset,
+            config: IndexConfig::default(),
+        }
     }
 
     /// Overrides the index configuration.
@@ -51,7 +55,11 @@ impl<'a> EngineBuilder<'a> {
     /// Builds the indexes and the engine.
     pub fn build(self) -> ReachabilityEngine {
         let st_index = StIndex::build(self.network.clone(), self.dataset, &self.config);
-        let speed_stats = Arc::new(SpeedStats::from_dataset(&self.network, self.dataset, self.config.slot_s));
+        let speed_stats = Arc::new(SpeedStats::from_dataset(
+            &self.network,
+            self.dataset,
+            self.config.slot_s,
+        ));
         let con_index = ConIndex::new(self.network.clone(), speed_stats, &self.config);
         ReachabilityEngine::new(self.network, st_index, con_index, self.config)
     }
@@ -70,7 +78,12 @@ mod tests {
         let dataset = TrajectoryDataset::simulate(&network, FleetConfig::tiny());
         let engine = EngineBuilder::new(network.clone(), &dataset)
             .slot_seconds(600)
-            .index_config(IndexConfig { slot_s: 600, pool_pages: 16, read_latency_us: 0, ..Default::default() })
+            .index_config(IndexConfig {
+                slot_s: 600,
+                pool_pages: 16,
+                read_latency_us: 0,
+                ..Default::default()
+            })
             .build();
         assert_eq!(engine.config().slot_s, 600);
         assert_eq!(engine.st_index().slot_s(), 600);
@@ -83,7 +96,9 @@ mod tests {
         let city = SyntheticCity::generate(GeneratorConfig::small());
         let network = Arc::new(city.network);
         let dataset = TrajectoryDataset::simulate(&network, FleetConfig::tiny());
-        let engine = EngineBuilder::new(network, &dataset).slot_seconds(120).build();
+        let engine = EngineBuilder::new(network, &dataset)
+            .slot_seconds(120)
+            .build();
         assert_eq!(engine.config().slot_s, 120);
     }
 }

@@ -112,7 +112,11 @@ impl ConIndex {
     /// Creates a Con-Index over the network using the given historical speed
     /// statistics. Tables are built lazily; call [`ConIndex::build_slots`] to
     /// pre-build specific slots.
-    pub fn new(network: Arc<RoadNetwork>, speed_stats: Arc<SpeedStats>, config: &IndexConfig) -> Self {
+    pub fn new(
+        network: Arc<RoadNetwork>,
+        speed_stats: Arc<SpeedStats>,
+        config: &IndexConfig,
+    ) -> Self {
         assert_eq!(
             speed_stats.slot_s(),
             config.slot_s,
@@ -125,7 +129,12 @@ impl ConIndex {
             slots_per_day: config.slots_per_day(),
             fallback_min_speed_ms: config.fallback_min_speed_ms,
             max_cached_slots: config.max_cached_con_slots.max(1),
-            cache: Mutex::new(Cache { tables: HashMap::new(), lru: Vec::new(), built: 0, evicted: 0 }),
+            cache: Mutex::new(Cache {
+                tables: HashMap::new(),
+                lru: Vec::new(),
+                built: 0,
+                evicted: 0,
+            }),
         }
     }
 
@@ -188,21 +197,31 @@ impl ConIndex {
         let stats = &self.speed_stats;
         let budget = self.slot_s as f64;
         let n = network.num_segments();
-        let mut lists = Vec::with_capacity(n);
-        for seg_idx in 0..n {
-            let seg = SegmentId(seg_idx as u32);
+        // One independent pair of bounded expansions per segment —
+        // embarrassingly parallel, and the dominant cost of warming a slot.
+        let seg_ids: Vec<u32> = (0..n as u32).collect();
+        let lists = streach_par::par_map(&seg_ids, |&seg_idx| {
+            let seg = SegmentId(seg_idx);
             let far_exp = expand_within_time(network, &[seg], budget, |s| {
                 stats.max_speed_ms(network, s, slot)
             });
             let near_exp = expand_within_time(network, &[seg], budget, |s| {
                 stats.min_speed_ms(network, s, slot, self.fallback_min_speed_ms)
             });
-            let mut far: Vec<SegmentId> = far_exp.reached().into_iter().filter(|s| *s != seg).collect();
-            let mut near: Vec<SegmentId> = near_exp.reached().into_iter().filter(|s| *s != seg).collect();
+            let mut far: Vec<SegmentId> = far_exp
+                .reached()
+                .into_iter()
+                .filter(|s| *s != seg)
+                .collect();
+            let mut near: Vec<SegmentId> = near_exp
+                .reached()
+                .into_iter()
+                .filter(|s| *s != seg)
+                .collect();
             far.sort_unstable();
             near.sort_unstable();
-            lists.push(ConnectionLists { near, far });
-        }
+            ConnectionLists { near, far }
+        });
         SlotTable { slot, lists }
     }
 }
@@ -217,7 +236,10 @@ mod tests {
         let city = SyntheticCity::generate(GeneratorConfig::small());
         let network = Arc::new(city.network);
         let dataset = TrajectoryDataset::simulate(&network, FleetConfig::tiny());
-        let config = IndexConfig { max_cached_con_slots: max_cached, ..Default::default() };
+        let config = IndexConfig {
+            max_cached_con_slots: max_cached,
+            ..Default::default()
+        };
         let stats = Arc::new(SpeedStats::from_dataset(&network, &dataset, config.slot_s));
         let con = ConIndex::new(network.clone(), stats, &config);
         (network, con)
@@ -231,7 +253,10 @@ mod tests {
         for seg in network.segment_ids() {
             let lists = table.lists(seg);
             for n in &lists.near {
-                assert!(lists.far.contains(n), "near segment {n} missing from far list of {seg}");
+                assert!(
+                    lists.far.contains(n),
+                    "near segment {n} missing from far list of {seg}"
+                );
             }
             // Lists never contain the segment itself and are sorted.
             assert!(!lists.far.contains(&seg));
@@ -251,7 +276,10 @@ mod tests {
             // Direct successors are always reachable within a 5-minute slot
             // on a 500 m grid.
             for succ in network.successors(seg) {
-                assert!(far.contains(&succ), "successor {succ} of {seg} not in far list");
+                assert!(
+                    far.contains(&succ),
+                    "successor {succ} of {seg} not in far list"
+                );
             }
         }
     }
@@ -261,7 +289,10 @@ mod tests {
         let (_, con) = setup(2);
         let t1 = con.slot_table(100);
         let t1_again = con.slot_table(100);
-        assert!(Arc::ptr_eq(&t1, &t1_again), "same slot must be served from cache");
+        assert!(
+            Arc::ptr_eq(&t1, &t1_again),
+            "same slot must be served from cache"
+        );
         assert_eq!(con.stats().slots_built, 1);
         let _t2 = con.slot_table(101);
         let _t3 = con.slot_table(102); // evicts slot 100? no: 100 was most recently used before 101...
@@ -286,7 +317,11 @@ mod tests {
         let a = con.connection_lists(network.segment_ids().next().unwrap(), 5);
         let b = con.connection_lists(network.segment_ids().next().unwrap(), 5 + 288);
         assert_eq!(a, b);
-        assert_eq!(con.stats().slots_built, 1, "wrapped slot must reuse the cached table");
+        assert_eq!(
+            con.stats().slots_built,
+            1,
+            "wrapped slot must reuse the cached table"
+        );
     }
 
     #[test]
@@ -309,7 +344,10 @@ mod tests {
         let network = Arc::new(city.network);
         let dataset = TrajectoryDataset::simulate(&network, FleetConfig::tiny());
         let stats = Arc::new(SpeedStats::from_dataset(&network, &dataset, 600));
-        let config = IndexConfig { slot_s: 300, ..Default::default() };
+        let config = IndexConfig {
+            slot_s: 300,
+            ..Default::default()
+        };
         let _ = ConIndex::new(network, stats, &config);
     }
 }

@@ -56,13 +56,19 @@ mod tests {
 
     #[test]
     fn slots_per_day_rounds_up() {
-        let cfg = IndexConfig { slot_s: 7 * 60, ..IndexConfig::default() };
+        let cfg = IndexConfig {
+            slot_s: 7 * 60,
+            ..IndexConfig::default()
+        };
         assert_eq!(cfg.slots_per_day(), 206); // ceil(1440 / 7)
     }
 
     #[test]
     fn one_minute_granularity() {
-        let cfg = IndexConfig { slot_s: 60, ..IndexConfig::default() };
+        let cfg = IndexConfig {
+            slot_s: 60,
+            ..IndexConfig::default()
+        };
         assert_eq!(cfg.slots_per_day(), 1440);
     }
 }

@@ -11,7 +11,7 @@ use crate::query::es::exhaustive_search;
 use crate::query::mqmb::{mqmb, mqmb_trace_back};
 use crate::query::sqmb::{num_hops, sqmb};
 use crate::query::tbs::trace_back_search;
-use crate::query::verifier::ReachabilityVerifier;
+use crate::query::verifier::VerifierCore;
 use crate::query::{Algorithm, MQuery, MQueryAlgorithm, QueryOutcome, SQuery};
 use crate::region::ReachableRegion;
 use crate::st_index::StIndex;
@@ -37,7 +37,12 @@ impl ReachabilityEngine {
         con_index: ConIndex,
         config: IndexConfig,
     ) -> Self {
-        Self { network, st_index, con_index, config }
+        Self {
+            network,
+            st_index,
+            con_index,
+            config,
+        }
     }
 
     /// The road network.
@@ -91,13 +96,22 @@ impl ReachabilityEngine {
 
         let io_before = self.st_index.io_stats().snapshot();
         let t0 = Instant::now();
-        let (region, verified, visited, max_b, min_b) = match algorithm {
+        let (region, verified, visited, max_b, min_b, bounding_time, verify_time) = match algorithm
+        {
             Algorithm::ExhaustiveSearch => {
-                let (region, verified, visited) =
-                    exhaustive_search(&self.network, &self.st_index, query, start_segment);
-                (region, verified, visited, 0, 0)
+                let out = exhaustive_search(&self.network, &self.st_index, query, start_segment);
+                (
+                    out.region,
+                    out.verifications,
+                    out.visited,
+                    0,
+                    0,
+                    out.expansion_time,
+                    out.verify_time,
+                )
             }
             Algorithm::SqmbTbs => {
+                let tb = Instant::now();
                 let bounds = sqmb(
                     &self.con_index,
                     self.network.num_segments(),
@@ -105,19 +119,27 @@ impl ReachabilityEngine {
                     query.start_time_s,
                     query.duration_s,
                 );
-                let mut verifier = ReachabilityVerifier::new(
+                let bounding_time = tb.elapsed();
+                // verify_time covers core construction (the start segment's
+                // posting reads) plus the annulus sweep, mirroring the
+                // setup_time + verify_time sum reported for m-queries.
+                let tv = Instant::now();
+                let core = VerifierCore::new(
                     &self.st_index,
                     start_segment,
                     query.start_time_s,
                     query.duration_s,
                 );
-                let outcome = trace_back_search(&self.network, &mut verifier, &bounds, query.prob);
+                let outcome = trace_back_search(&self.network, &core, &bounds, query.prob);
+                let verify_time = tv.elapsed();
                 (
                     outcome.region,
                     outcome.verifications,
                     outcome.visited,
                     bounds.max_region.len(),
                     bounds.min_region.len(),
+                    bounding_time,
+                    verify_time,
                 )
             }
         };
@@ -128,6 +150,8 @@ impl ReachabilityEngine {
             region,
             stats: QueryStats {
                 wall_time,
+                bounding_time,
+                verify_time,
                 io: io_after.delta_since(&io_before),
                 segments_verified: verified,
                 max_bounding_size: max_b,
@@ -161,7 +185,10 @@ impl ReachabilityEngine {
                 let starts: Vec<SegmentId> = query
                     .locations
                     .iter()
-                    .map(|p| self.locate(p).expect("query location cannot be matched to the road network"))
+                    .map(|p| {
+                        self.locate(p)
+                            .expect("query location cannot be matched to the road network")
+                    })
                     .collect();
                 let io_before = self.st_index.io_stats().snapshot();
                 let t0 = Instant::now();
@@ -173,6 +200,7 @@ impl ReachabilityEngine {
                     query.start_time_s,
                     query.duration_s,
                 );
+                let bounding_time = t0.elapsed();
                 let outcome = mqmb_trace_back(
                     &self.network,
                     &self.st_index,
@@ -188,6 +216,8 @@ impl ReachabilityEngine {
                     region: outcome.region,
                     stats: QueryStats {
                         wall_time,
+                        bounding_time,
+                        verify_time: outcome.setup_time + outcome.verify_time,
                         io: io_after.delta_since(&io_before),
                         segments_verified: outcome.verifications,
                         max_bounding_size: bounds.max_region.len(),

@@ -67,7 +67,8 @@ mod tests {
     #[test]
     fn features_match_segment_count_and_are_balanced() {
         let net = SyntheticCity::generate(GeneratorConfig::small()).network;
-        let region = ReachableRegion::from_segments(&net, vec![SegmentId(0), SegmentId(5), SegmentId(9)]);
+        let region =
+            ReachableRegion::from_segments(&net, vec![SegmentId(0), SegmentId(5), SegmentId(9)]);
         let json = region_to_geojson(&net, &region);
         assert_eq!(json.matches("\"type\":\"Feature\"").count(), 3);
         assert_eq!(json.matches("LineString").count(), 3);

@@ -21,6 +21,44 @@
 //! * [`region`] / [`geojson`] — query results and their export,
 //! * [`stats`] — per-query runtime/I-O accounting used by the benchmarks.
 //!
+//! # Hot-path architecture
+//!
+//! The query path is built around three disciplines, established by the
+//! zero-allocation refactor and verified by `tests/verifier_alloc.rs` and
+//! `tests/equivalence.rs`:
+//!
+//! * **Workspace reuse + epoch stamping.** All Dijkstra runs (the ES travel
+//!   cap, MQMB's per-start ownership distances) execute on a reusable
+//!   [`DijkstraWorkspace`](streach_roadnet::DijkstraWorkspace): dense
+//!   per-segment `dist`/`stamp` arrays that are invalidated by bumping an
+//!   epoch counter instead of being cleared, with `f64::total_cmp` heap
+//!   ordering (NaN-sound, deterministic tie-breaks). A run costs
+//!   O(settled segments) and allocates nothing after the first use.
+//! * **Day-indexed, zero-allocation verification.** The reachability
+//!   verifier is split into a shareable
+//!   [`VerifierCore`](query::verifier::VerifierCore) (the start segment's
+//!   trajectory IDs as a `Vec` indexed by `date`, pre-sorted once) and a
+//!   per-worker [`VerifierScratch`](query::verifier::VerifierScratch)
+//!   (day-indexed candidate buckets, touched-day list, raw posting byte
+//!   buffer). Postings are read through
+//!   [`StIndex::read_time_list_into`](st_index::StIndex::read_time_list_into)
+//!   into the recycled buffer and decoded in place with
+//!   [`streach_storage::visit_encoded`], so each (segment, slot) posting is
+//!   read exactly once per evaluation and a warm `probability()` call
+//!   performs **zero heap allocations**.
+//! * **Parallel stages.** The embarrassingly parallel stages — annulus
+//!   verification in ES/TBS/MQMB, per-segment Con-Index table construction,
+//!   and the sort-based (slot, segment) grouping of
+//!   [`StIndex::build`](st_index::StIndex::build) — run on scoped threads
+//!   via `streach_par` (one scratch per worker, results in input order).
+//!   [`QueryStats`] reports per-stage `bounding_time`/`verify_time` so the
+//!   split is measurable per query.
+//!
+//! The naive pre-refactor implementations are preserved in
+//! [`query::reference`] as the equivalence baseline and the benchmark
+//! anchor for `BENCH_hotpath.json` (see the "Benchmarking" section of
+//! `ROADMAP.md`).
+//!
 //! # Quick start
 //!
 //! ```

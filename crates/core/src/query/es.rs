@@ -12,57 +12,94 @@
 //! Expansion is bounded by the maximum distance any vehicle could cover in
 //! the query duration (free-flow highway speed), which is what makes the
 //! search exhaustive rather than unbounded.
+//!
+//! The expansion runs on the calling thread's reusable
+//! [`DijkstraWorkspace`](streach_roadnet::DijkstraWorkspace) (dense arrays,
+//! no hashing) and the per-segment verifications — independent posting-list
+//! intersections — run in parallel, each worker holding its own
+//! [`VerifierScratch`].
 
-use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
 
-use streach_roadnet::{segment_distances_from, RoadClass, RoadNetwork, SegmentId};
+use streach_roadnet::{RoadClass, RoadNetwork, SegmentId};
 
-use crate::query::verifier::ReachabilityVerifier;
+use crate::query::verifier::{VerifierCore, VerifierScratch};
 use crate::query::SQuery;
 use crate::region::ReachableRegion;
 use crate::st_index::StIndex;
 
-/// Answers an s-query by exhaustive search. Returns the Prob-reachable
-/// region, the number of verified segments and the number of visited
-/// segments.
+/// Outcome of an exhaustive search.
+pub struct EsOutcome {
+    /// The Prob-reachable region.
+    pub region: ReachableRegion,
+    /// Number of probability verifications performed (posting reads).
+    pub verifications: usize,
+    /// Number of segments visited by the network expansion.
+    pub visited: usize,
+    /// Time spent expanding the network (the "bounding" stage of ES).
+    pub expansion_time: Duration,
+    /// Time spent verifying candidate segments against the postings.
+    pub verify_time: Duration,
+}
+
+/// Answers an s-query by exhaustive search.
 pub fn exhaustive_search(
     network: &RoadNetwork,
     st_index: &StIndex,
     query: &SQuery,
     start_segment: SegmentId,
-) -> (ReachableRegion, usize, usize) {
-    let mut verifier = ReachabilityVerifier::new(st_index, start_segment, query.start_time_s, query.duration_s);
-
+) -> EsOutcome {
     // Upper bound on how far anything can travel during L: free-flow highway
-    // speed with 10% slack.
+    // speed with 10% slack. Everything the old breadth-first expansion could
+    // reach within the cap is exactly the set Dijkstra settles. The run uses
+    // the calling thread's long-lived workspace, so after the first query on
+    // a thread the expansion allocates only the candidate list.
+    let t0 = Instant::now();
     let cap_m = query.duration_s as f64 * RoadClass::Highway.free_flow_ms() * 1.1;
-    // The distance map doubles as the visit order (network expansion).
-    let distances = segment_distances_from(network, start_segment, cap_m);
+    let (candidates, visited) = streach_roadnet::with_thread_workspace(|ws| {
+        ws.run(network, start_segment, cap_m);
+        let candidates: Vec<SegmentId> = ws
+            .settled()
+            .map(|(seg, _)| seg)
+            .filter(|seg| *seg != start_segment)
+            .collect();
+        (candidates, ws.num_settled())
+    });
+    let expansion_time = t0.elapsed();
+
+    // Verify against the trajectory postings (disk I/O) — embarrassingly
+    // parallel across candidates; every worker reuses one scratch. Core
+    // construction (the start segment's posting reads) counts toward
+    // verify_time, mirroring the SQMB+TBS and MQMB stat attribution.
+    let t1 = Instant::now();
+    let core = VerifierCore::new(
+        st_index,
+        start_segment,
+        query.start_time_s,
+        query.duration_s,
+    );
+    let prob = query.prob;
+    let passed = streach_par::par_map_with(&candidates, VerifierScratch::new, |scratch, seg| {
+        core.is_reachable(scratch, *seg, prob)
+    });
+    let verify_time = t1.elapsed();
 
     let mut reachable: Vec<SegmentId> = vec![start_segment];
-    let mut visited: HashSet<SegmentId> = HashSet::new();
-    let mut frontier: VecDeque<SegmentId> = VecDeque::new();
-    frontier.push_back(start_segment);
-    visited.insert(start_segment);
+    reachable.extend(
+        candidates
+            .iter()
+            .zip(&passed)
+            .filter(|(_, ok)| **ok)
+            .map(|(seg, _)| *seg),
+    );
 
-    while let Some(seg) = frontier.pop_front() {
-        for next in network.successors(seg) {
-            if !visited.insert(next) {
-                continue;
-            }
-            if !distances.contains_key(&next) {
-                continue; // beyond the travel-distance cap
-            }
-            // Verify against the trajectory postings (disk I/O).
-            if verifier.is_reachable(next, query.prob) {
-                reachable.push(next);
-            }
-            frontier.push_back(next);
-        }
+    EsOutcome {
+        region: ReachableRegion::from_segments(network, reachable),
+        verifications: candidates.len(),
+        visited,
+        expansion_time,
+        verify_time,
     }
-
-    let region = ReachableRegion::from_segments(network, reachable);
-    (region, verifier.verifications, visited.len())
 }
 
 #[cfg(test)]
@@ -71,7 +108,7 @@ mod tests {
     use crate::config::IndexConfig;
     use std::sync::Arc;
     use streach_geo::GeoPoint;
-    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+    use streach_roadnet::{segment_distances_from, GeneratorConfig, SyntheticCity};
     use streach_traj::{FleetConfig, TrajectoryDataset};
 
     fn setup() -> (Arc<RoadNetwork>, StIndex, GeoPoint) {
@@ -80,14 +117,30 @@ mod tests {
         let network = Arc::new(city.network);
         let dataset = TrajectoryDataset::simulate(
             &network,
-            FleetConfig { num_taxis: 30, num_days: 5, ..FleetConfig::tiny() },
+            FleetConfig {
+                num_taxis: 30,
+                num_days: 5,
+                ..FleetConfig::tiny()
+            },
         );
-        let st = StIndex::build(network.clone(), &dataset, &IndexConfig { read_latency_us: 0, ..Default::default() });
+        let st = StIndex::build(
+            network.clone(),
+            &dataset,
+            &IndexConfig {
+                read_latency_us: 0,
+                ..Default::default()
+            },
+        );
         (network, st, center)
     }
 
     fn query(center: GeoPoint, duration_s: u32, prob: f64) -> SQuery {
-        SQuery { location: center, start_time_s: 9 * 3600, duration_s, prob }
+        SQuery {
+            location: center,
+            start_time_s: 9 * 3600,
+            duration_s,
+            prob,
+        }
     }
 
     #[test]
@@ -95,14 +148,14 @@ mod tests {
         let (network, st, center) = setup();
         let q = query(center, 300, 0.2);
         let r0 = st.locate_segment(&q.location).unwrap();
-        let (region, verified, visited) = exhaustive_search(&network, &st, &q, r0);
-        assert!(region.contains(r0));
-        assert!(verified > 0);
-        assert!(visited >= region.len());
+        let out = exhaustive_search(&network, &st, &q, r0);
+        assert!(out.region.contains(r0));
+        assert!(out.verifications > 0);
+        assert!(out.visited >= out.region.len());
         // Nothing in the region is farther than the free-flow cap.
         let cap_m = q.duration_s as f64 * RoadClass::Highway.free_flow_ms() * 1.1;
         let dist = segment_distances_from(&network, r0, cap_m * 2.0);
-        for &seg in &region.segments {
+        for &seg in &out.region.segments {
             assert!(
                 dist.get(&seg).copied().unwrap_or(f64::INFINITY) <= cap_m + 1.0,
                 "{seg} beyond the cap"
@@ -114,30 +167,35 @@ mod tests {
     fn longer_duration_reaches_at_least_as_much() {
         let (network, st, center) = setup();
         let r0 = st.locate_segment(&center).unwrap();
-        let (short, _, _) = exhaustive_search(&network, &st, &query(center, 300, 0.2), r0);
-        let (long, _, _) = exhaustive_search(&network, &st, &query(center, 1200, 0.2), r0);
-        assert!(long.total_length_km >= short.total_length_km);
-        assert!(long.is_superset_of(&short));
+        let short = exhaustive_search(&network, &st, &query(center, 300, 0.2), r0);
+        let long = exhaustive_search(&network, &st, &query(center, 1200, 0.2), r0);
+        assert!(long.region.total_length_km >= short.region.total_length_km);
+        assert!(long.region.is_superset_of(&short.region));
     }
 
     #[test]
     fn higher_probability_gives_smaller_region() {
         let (network, st, center) = setup();
         let r0 = st.locate_segment(&center).unwrap();
-        let (low, _, _) = exhaustive_search(&network, &st, &query(center, 900, 0.2), r0);
-        let (high, _, _) = exhaustive_search(&network, &st, &query(center, 900, 0.9), r0);
-        assert!(high.len() <= low.len());
-        assert!(low.is_superset_of(&high));
+        let low = exhaustive_search(&network, &st, &query(center, 900, 0.2), r0);
+        let high = exhaustive_search(&network, &st, &query(center, 900, 0.9), r0);
+        assert!(high.region.len() <= low.region.len());
+        assert!(low.region.is_superset_of(&high.region));
     }
 
     #[test]
     fn query_outside_operating_hours_returns_only_start() {
         let (network, st, center) = setup();
         let r0 = st.locate_segment(&center).unwrap();
-        let q = SQuery { location: center, start_time_s: 2 * 3600, duration_s: 600, prob: 0.2 };
-        let (region, _, _) = exhaustive_search(&network, &st, &q, r0);
+        let q = SQuery {
+            location: center,
+            start_time_s: 2 * 3600,
+            duration_s: 600,
+            prob: 0.2,
+        };
+        let out = exhaustive_search(&network, &st, &q, r0);
         // No trajectories at 02:00 in the tiny fleet, so only the start
         // segment (included by definition) is returned.
-        assert_eq!(region.segments, vec![r0]);
+        assert_eq!(out.region.segments, vec![r0]);
     }
 }

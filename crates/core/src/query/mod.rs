@@ -10,6 +10,7 @@
 
 pub mod es;
 pub mod mqmb;
+pub mod reference;
 pub mod sqmb;
 pub mod tbs;
 pub mod verifier;
@@ -140,17 +141,51 @@ mod tests {
     #[test]
     fn squery_validation() {
         assert!(base_query().validate().is_ok());
-        assert!(SQuery { duration_s: 0, ..base_query() }.validate().is_err());
-        assert!(SQuery { prob: 0.0, ..base_query() }.validate().is_err());
-        assert!(SQuery { prob: 1.5, ..base_query() }.validate().is_err());
-        assert!(SQuery { start_time_s: 90_000, ..base_query() }.validate().is_err());
-        assert!(SQuery { location: GeoPoint::new(f64::NAN, 0.0), ..base_query() }.validate().is_err());
-        assert!(SQuery { prob: 1.0, ..base_query() }.validate().is_ok());
+        assert!(SQuery {
+            duration_s: 0,
+            ..base_query()
+        }
+        .validate()
+        .is_err());
+        assert!(SQuery {
+            prob: 0.0,
+            ..base_query()
+        }
+        .validate()
+        .is_err());
+        assert!(SQuery {
+            prob: 1.5,
+            ..base_query()
+        }
+        .validate()
+        .is_err());
+        assert!(SQuery {
+            start_time_s: 90_000,
+            ..base_query()
+        }
+        .validate()
+        .is_err());
+        assert!(SQuery {
+            location: GeoPoint::new(f64::NAN, 0.0),
+            ..base_query()
+        }
+        .validate()
+        .is_err());
+        assert!(SQuery {
+            prob: 1.0,
+            ..base_query()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     fn squery_end_time_clamps_to_midnight() {
-        let q = SQuery { start_time_s: 23 * 3600 + 3000, duration_s: 3600, ..base_query() };
+        let q = SQuery {
+            start_time_s: 23 * 3600 + 3000,
+            duration_s: 3600,
+            ..base_query()
+        };
         assert_eq!(q.end_time_s(), streach_traj::SECONDS_PER_DAY);
         assert_eq!(base_query().end_time_s(), 11 * 3600 + 600);
     }
@@ -168,7 +203,10 @@ mod tests {
         assert_eq!(s1.location, m.locations[1]);
         assert_eq!(s1.duration_s, 1200);
 
-        let empty = MQuery { locations: vec![], ..m.clone() };
+        let empty = MQuery {
+            locations: vec![],
+            ..m.clone()
+        };
         assert!(empty.validate().is_err());
         let bad = MQuery { prob: -0.1, ..m };
         assert!(bad.validate().is_err());

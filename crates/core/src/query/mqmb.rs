@@ -8,18 +8,30 @@
 //! reached segment is kept only if the start location whose expansion reached
 //! it is also the nearest start location (`rs = argmin dis(r0, b)`), so every
 //! segment is owned by exactly one start location and verified exactly once.
+//!
+//! `dis(r0, b)` is the *network* distance: one bounded Dijkstra per start
+//! location (on the thread's reusable dense
+//! [`DijkstraWorkspace`](streach_roadnet::DijkstraWorkspace)) precomputes all
+//! distances, instead of one shortest-path computation per (start, segment)
+//! pair. Start locations whose road network cannot reach a segment within
+//! the travel cap fall back to the euclidean distance between the query
+//! point and the segment's memoized midpoint. The owner table itself is a
+//! dense `Vec<u32>` keyed by segment index — no hashing on the hot path.
 
-use std::collections::HashMap;
+use std::time::Instant;
 
 use streach_geo::GeoPoint;
-use streach_roadnet::{RoadNetwork, SegmentId};
+use streach_roadnet::{RoadClass, RoadNetwork, SegmentId};
 
 use crate::con_index::ConIndex;
 use crate::query::sqmb::num_hops;
-use crate::query::verifier::ReachabilityVerifier;
+use crate::query::verifier::{VerifierCore, VerifierScratch};
 use crate::region::ReachableRegion;
 use crate::st_index::StIndex;
 use crate::time::slot_of;
+
+/// Sentinel for "segment not in the region / unowned".
+const NO_OWNER: u32 = u32::MAX;
 
 /// Unified bounding regions of an m-query.
 #[derive(Debug, Clone)]
@@ -28,12 +40,21 @@ pub struct MqmbBounds {
     pub max_region: Vec<SegmentId>,
     /// Unified minimum bounding region (sorted).
     pub min_region: Vec<SegmentId>,
-    /// For every segment of the maximum bounding region, the index of the
-    /// start location that owns it.
-    pub owner: HashMap<SegmentId, usize>,
+    /// Owning start-location index per segment (dense, keyed by segment
+    /// index; `u32::MAX` = not in the maximum bounding region).
+    owner: Vec<u32>,
 }
 
 impl MqmbBounds {
+    /// The start location owning `seg`, if the segment belongs to the
+    /// maximum bounding region.
+    pub fn owner_of(&self, seg: SegmentId) -> Option<usize> {
+        match self.owner.get(seg.index()).copied().unwrap_or(NO_OWNER) {
+            NO_OWNER => None,
+            i => Some(i as usize),
+        }
+    }
+
     /// Segments of the maximum bounding region outside the minimum one.
     pub fn annulus(&self) -> Vec<SegmentId> {
         let mut out = Vec::with_capacity(self.max_region.len());
@@ -50,41 +71,94 @@ impl MqmbBounds {
     }
 }
 
-/// Midpoint of a segment's geometry, used for the `dis(r0, b)` comparisons.
-fn segment_midpoint(network: &RoadNetwork, seg: SegmentId) -> GeoPoint {
-    network.segment(seg).geometry.point_at_fraction(0.5)
+/// Per-start network distances used for the `rs = argmin dis(r0, b)`
+/// ownership decisions, with a euclidean fallback for unreachable segments.
+struct OwnershipDistances<'a> {
+    network: &'a RoadNetwork,
+    start_points: &'a [GeoPoint],
+    /// Network-nearest start per segment (`NO_OWNER` = unreached by every
+    /// start within the travel cap). Built from one Dijkstra per start on
+    /// the calling thread's reused workspace, folded into this single dense
+    /// table so n starts cost one O(num_segments) array rather than n
+    /// workspaces.
+    network_nearest: Vec<u32>,
 }
 
-/// Index of the start location nearest to `p`.
-fn nearest_start(start_points: &[GeoPoint], p: &GeoPoint) -> usize {
-    start_points
-        .iter()
-        .enumerate()
-        .min_by(|a, b| {
-            a.1.fast_distance_m(p)
-                .partial_cmp(&b.1.fast_distance_m(p))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .map(|(i, _)| i)
-        .expect("at least one start location")
+impl<'a> OwnershipDistances<'a> {
+    fn new(
+        network: &'a RoadNetwork,
+        starts: &[SegmentId],
+        start_points: &'a [GeoPoint],
+        duration_s: u32,
+    ) -> Self {
+        // The same travel cap the ES baseline uses: nothing relevant to the
+        // bounding region lies farther than free-flow highway travel over the
+        // query duration (10% slack).
+        let cap_m = duration_s as f64 * RoadClass::Highway.free_flow_ms() * 1.1;
+        let n = network.num_segments();
+        let mut best_dist = vec![f64::INFINITY; n];
+        let mut network_nearest = vec![NO_OWNER; n];
+        streach_roadnet::with_thread_workspace(|ws| {
+            for (i, &s) in starts.iter().enumerate() {
+                ws.run(network, s, cap_m);
+                for (seg, d) in ws.settled() {
+                    let idx = seg.index();
+                    // Strict < keeps the lowest start index on exact ties,
+                    // so ownership is deterministic.
+                    if d < best_dist[idx] {
+                        best_dist[idx] = d;
+                        network_nearest[idx] = i as u32;
+                    }
+                }
+            }
+        });
+        Self {
+            network,
+            start_points,
+            network_nearest,
+        }
+    }
+
+    /// Index of the start location nearest to `seg` by network distance,
+    /// falling back to euclidean midpoint distance when no start reaches the
+    /// segment within the cap. Ties resolve to the lowest index, so the
+    /// result is deterministic.
+    fn nearest_start(&self, seg: SegmentId) -> usize {
+        match self.network_nearest[seg.index()] {
+            NO_OWNER => {
+                let mid = self.network.segment_midpoint(seg);
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (i, p) in self.start_points.iter().enumerate() {
+                    let d = p.fast_distance_m(&mid);
+                    if d < best_d {
+                        best = i;
+                        best_d = d;
+                    }
+                }
+                best
+            }
+            i => i as usize,
+        }
+    }
 }
 
 fn expand(
     con_index: &ConIndex,
-    network: &RoadNetwork,
+    distances: &OwnershipDistances<'_>,
+    num_segments: usize,
     starts: &[SegmentId],
-    start_points: &[GeoPoint],
     start_time_s: u32,
     duration_s: u32,
     use_far: bool,
-) -> (Vec<SegmentId>, HashMap<SegmentId, usize>) {
+) -> (Vec<SegmentId>, Vec<u32>) {
     let slot_s = con_index.slot_s();
     let k = num_hops(duration_s, slot_s);
-    let mut owner: HashMap<SegmentId, usize> = HashMap::new();
+    let mut owner: Vec<u32> = vec![NO_OWNER; num_segments];
     let mut bounding: Vec<SegmentId> = Vec::new();
     for (i, &s) in starts.iter().enumerate() {
-        if let std::collections::hash_map::Entry::Vacant(e) = owner.entry(s) {
-            e.insert(i);
+        if owner[s.index()] == NO_OWNER {
+            owner[s.index()] = i as u32;
             bounding.push(s);
         }
     }
@@ -95,18 +169,16 @@ fn expand(
         let snapshot_len = bounding.len();
         for idx in 0..snapshot_len {
             let r = bounding[idx];
-            let owner_r = owner[&r];
+            let owner_r = owner[r.index()];
             let list = if use_far { table.far(r) } else { table.near(r) };
             for &next in list {
-                if owner.contains_key(&next) {
+                if owner[next.index()] != NO_OWNER {
                     continue;
                 }
                 // Overlap elimination: keep `next` only if its nearest start
                 // location is the one whose expansion reached it.
-                let mid = segment_midpoint(network, next);
-                let rs = nearest_start(start_points, &mid);
-                if rs == owner_r {
-                    owner.insert(next, owner_r);
+                if distances.nearest_start(next) as u32 == owner_r {
+                    owner[next.index()] = owner_r;
                     bounding.push(next);
                 }
             }
@@ -126,16 +198,44 @@ pub fn mqmb(
     start_time_s: u32,
     duration_s: u32,
 ) -> MqmbBounds {
-    assert!(!starts.is_empty(), "m-query needs at least one start segment");
+    assert!(
+        !starts.is_empty(),
+        "m-query needs at least one start segment"
+    );
     assert_eq!(starts.len(), start_points.len());
-    let (max_region, owner) = expand(con_index, network, starts, start_points, start_time_s, duration_s, true);
-    let (min_region, _) = expand(con_index, network, starts, start_points, start_time_s, duration_s, false);
+    let distances = OwnershipDistances::new(network, starts, start_points, duration_s);
+    let n = network.num_segments();
+    let (max_region, owner) = expand(
+        con_index,
+        &distances,
+        n,
+        starts,
+        start_time_s,
+        duration_s,
+        true,
+    );
+    let (min_region, _) = expand(
+        con_index,
+        &distances,
+        n,
+        starts,
+        start_time_s,
+        duration_s,
+        false,
+    );
     // The minimum bounding region is contained in the maximum one by
     // construction of the speed bounds; intersect defensively so the annulus
-    // arithmetic stays valid even for degenerate speed statistics.
-    let max_set: std::collections::HashSet<SegmentId> = max_region.iter().copied().collect();
-    let min_region: Vec<SegmentId> = min_region.into_iter().filter(|s| max_set.contains(s)).collect();
-    MqmbBounds { max_region, min_region, owner }
+    // arithmetic stays valid even for degenerate speed statistics. The max
+    // region's owner table doubles as its membership test.
+    let min_region: Vec<SegmentId> = min_region
+        .into_iter()
+        .filter(|s| owner[s.index()] != NO_OWNER)
+        .collect();
+    MqmbBounds {
+        max_region,
+        min_region,
+        owner,
+    }
 }
 
 /// Outcome of the multi-location trace back search.
@@ -146,10 +246,18 @@ pub struct MqmbTbsOutcome {
     pub verifications: usize,
     /// Number of annulus segments examined.
     pub visited: usize,
+    /// Time spent constructing the per-start verifier cores.
+    pub setup_time: std::time::Duration,
+    /// Time spent verifying the unified annulus.
+    pub verify_time: std::time::Duration,
 }
 
 /// Verifies the unified annulus: every segment is checked once, against the
 /// verifier of the start location that owns it.
+///
+/// The verifications run in parallel; the per-start [`VerifierCore`]s are
+/// shared read-only across workers and each worker reuses one scratch for
+/// all segments of its chunk, whichever start they belong to.
 pub fn mqmb_trace_back(
     network: &RoadNetwork,
     st_index: &StIndex,
@@ -159,26 +267,36 @@ pub fn mqmb_trace_back(
     duration_s: u32,
     prob: f64,
 ) -> MqmbTbsOutcome {
-    let mut verifiers: Vec<ReachabilityVerifier<'_>> = starts
+    let t0 = Instant::now();
+    let cores: Vec<VerifierCore<'_>> = starts
         .iter()
-        .map(|&s| ReachabilityVerifier::new(st_index, s, start_time_s, duration_s))
+        .map(|&s| VerifierCore::new(st_index, s, start_time_s, duration_s))
         .collect();
+    let setup_time = t0.elapsed();
 
+    let t1 = Instant::now();
     let annulus = bounds.annulus();
+    let passed = streach_par::par_map_with(&annulus, VerifierScratch::new, |scratch, seg| {
+        let owner = bounds.owner_of(*seg).unwrap_or(0);
+        cores[owner].is_reachable(scratch, *seg, prob)
+    });
+    let verify_time = t1.elapsed();
+
     let mut result: Vec<SegmentId> = bounds.min_region.clone();
     result.extend_from_slice(starts);
-    let mut verifications = 0usize;
-    for &seg in &annulus {
-        let owner = bounds.owner.get(&seg).copied().unwrap_or(0);
-        if verifiers[owner].is_reachable(seg, prob) {
-            result.push(seg);
-        }
-        verifications += 1;
-    }
+    result.extend(
+        annulus
+            .iter()
+            .zip(&passed)
+            .filter(|(_, ok)| **ok)
+            .map(|(seg, _)| *seg),
+    );
     MqmbTbsOutcome {
         region: ReachableRegion::from_segments(network, result),
-        verifications,
+        verifications: annulus.len(),
         visited: annulus.len(),
+        setup_time,
+        verify_time,
     }
 }
 
@@ -206,9 +324,16 @@ mod tests {
         let network = Arc::new(city.network);
         let dataset = TrajectoryDataset::simulate(
             &network,
-            FleetConfig { num_taxis: 30, num_days: 5, ..FleetConfig::tiny() },
+            FleetConfig {
+                num_taxis: 30,
+                num_days: 5,
+                ..FleetConfig::tiny()
+            },
         );
-        let config = IndexConfig { read_latency_us: 0, ..Default::default() };
+        let config = IndexConfig {
+            read_latency_us: 0,
+            ..Default::default()
+        };
         let st = StIndex::build(network.clone(), &dataset, &config);
         let stats = Arc::new(SpeedStats::from_dataset(&network, &dataset, config.slot_s));
         let con = ConIndex::new(network.clone(), stats, &config);
@@ -221,37 +346,125 @@ mod tests {
             .iter()
             .map(|p| network.nearest_segment(p).unwrap().0)
             .collect();
-        Fixture { network, con, st, starts, start_points }
+        Fixture {
+            network,
+            con,
+            st,
+            starts,
+            start_points,
+        }
     }
 
     #[test]
     fn owners_are_assigned_and_regions_sorted() {
         let f = setup();
-        let b = mqmb(&f.con, &f.network, &f.starts, &f.start_points, 9 * 3600, 600);
+        let b = mqmb(
+            &f.con,
+            &f.network,
+            &f.starts,
+            &f.start_points,
+            9 * 3600,
+            600,
+        );
         assert!(b.max_region.windows(2).all(|w| w[0] < w[1]));
         assert!(b.min_region.windows(2).all(|w| w[0] < w[1]));
         for seg in &b.max_region {
-            assert!(b.owner.contains_key(seg), "segment {seg} has no owner");
-            assert!(b.owner[seg] < f.starts.len());
+            let owner = b.owner_of(*seg);
+            assert!(owner.is_some(), "segment {seg} has no owner");
+            assert!(owner.unwrap() < f.starts.len());
+        }
+        // Segments outside the region have no owner.
+        let member: std::collections::HashSet<_> = b.max_region.iter().copied().collect();
+        for seg in f.network.segment_ids() {
+            if !member.contains(&seg) {
+                assert_eq!(b.owner_of(seg), None);
+            }
         }
         // Every start segment is in the region and owns itself.
         for (i, s) in f.starts.iter().enumerate() {
             assert!(b.max_region.binary_search(s).is_ok());
-            assert_eq!(b.owner[s], i);
+            assert_eq!(b.owner_of(*s), Some(i));
+        }
+    }
+
+    /// Ownership follows the paper's rule `rs = argmin dis(r0, b)`,
+    /// re-derived here *independently* with the free-function Dijkstra (not
+    /// the workspace path mqmb uses), so the assignment cannot drift without
+    /// this test noticing.
+    #[test]
+    fn owners_are_the_network_nearest_start() {
+        let f = setup();
+        let duration_s = 600u32;
+        let b = mqmb(
+            &f.con,
+            &f.network,
+            &f.starts,
+            &f.start_points,
+            9 * 3600,
+            duration_s,
+        );
+        let cap_m = duration_s as f64 * streach_roadnet::RoadClass::Highway.free_flow_ms() * 1.1;
+        let dist_maps: Vec<std::collections::HashMap<SegmentId, f64>> = f
+            .starts
+            .iter()
+            .map(|&s| streach_roadnet::segment_distances_from(&f.network, s, cap_m))
+            .collect();
+        for &seg in &b.max_region {
+            let expected = {
+                let mut best = None;
+                let mut best_d = f64::INFINITY;
+                for (i, map) in dist_maps.iter().enumerate() {
+                    if let Some(&d) = map.get(&seg) {
+                        if d < best_d {
+                            best = Some(i);
+                            best_d = d;
+                        }
+                    }
+                }
+                match best {
+                    Some(i) => i,
+                    None => {
+                        // Euclidean fallback for segments no start reaches.
+                        let mid = f.network.segment_midpoint(seg);
+                        (0..f.start_points.len())
+                            .min_by(|&a, &bi| {
+                                f.start_points[a]
+                                    .fast_distance_m(&mid)
+                                    .total_cmp(&f.start_points[bi].fast_distance_m(&mid))
+                            })
+                            .unwrap()
+                    }
+                }
+            };
+            assert_eq!(
+                b.owner_of(seg),
+                Some(expected),
+                "segment {seg} owned by the wrong start"
+            );
         }
     }
 
     #[test]
     fn unified_region_is_subset_of_union_of_individual_regions() {
         let f = setup();
-        let b = mqmb(&f.con, &f.network, &f.starts, &f.start_points, 9 * 3600, 600);
+        let b = mqmb(
+            &f.con,
+            &f.network,
+            &f.starts,
+            &f.start_points,
+            9 * 3600,
+            600,
+        );
         let mut union: std::collections::HashSet<SegmentId> = std::collections::HashSet::new();
         for &s in &f.starts {
             let single = sqmb(&f.con, f.network.num_segments(), s, 9 * 3600, 600);
             union.extend(single.max_region);
         }
         for seg in &b.max_region {
-            assert!(union.contains(seg), "{seg} not in any individual bounding region");
+            assert!(
+                union.contains(seg),
+                "{seg} not in any individual bounding region"
+            );
         }
         // The unified region is meaningfully smaller than n times one region
         // when the locations overlap (1.5 km apart, 10-minute budget).
@@ -277,7 +490,14 @@ mod tests {
     #[test]
     fn trace_back_verifies_each_annulus_segment_once() {
         let f = setup();
-        let b = mqmb(&f.con, &f.network, &f.starts, &f.start_points, 9 * 3600, 600);
+        let b = mqmb(
+            &f.con,
+            &f.network,
+            &f.starts,
+            &f.start_points,
+            9 * 3600,
+            600,
+        );
         let outcome = mqmb_trace_back(&f.network, &f.st, &b, &f.starts, 9 * 3600, 600, 0.2);
         assert_eq!(outcome.verifications, b.annulus().len());
         assert_eq!(outcome.visited, b.annulus().len());
@@ -298,14 +518,21 @@ mod tests {
         // single-location regions (Fig. 4.9): allow boundary differences
         // from the overlap-elimination heuristic.
         let f = setup();
-        let b = mqmb(&f.con, &f.network, &f.starts, &f.start_points, 9 * 3600, 900);
+        let b = mqmb(
+            &f.con,
+            &f.network,
+            &f.starts,
+            &f.start_points,
+            9 * 3600,
+            900,
+        );
         let m_outcome = mqmb_trace_back(&f.network, &f.st, &b, &f.starts, 9 * 3600, 900, 0.2);
 
         let mut union_segments: Vec<SegmentId> = Vec::new();
         for &s in &f.starts {
             let sb = sqmb(&f.con, f.network.num_segments(), s, 9 * 3600, 900);
-            let mut verifier = ReachabilityVerifier::new(&f.st, s, 9 * 3600, 900);
-            let single = crate::query::tbs::trace_back_search(&f.network, &mut verifier, &sb, 0.2);
+            let core = VerifierCore::new(&f.st, s, 9 * 3600, 900);
+            let single = crate::query::tbs::trace_back_search(&f.network, &core, &sb, 0.2);
             union_segments.extend(single.region.segments);
         }
         let union = ReachableRegion::from_segments(&f.network, union_segments);

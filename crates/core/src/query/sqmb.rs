@@ -47,7 +47,7 @@ impl BoundingRegions {
 /// `L`, we round up instead of down when `L` is not a multiple of `Δt` (the
 /// extra slack is removed later by the trace back verification), and always
 /// take at least one hop.
-pub(crate) fn num_hops(duration_s: u32, slot_s: u32) -> u32 {
+pub fn num_hops(duration_s: u32, slot_s: u32) -> u32 {
     duration_s.div_ceil(slot_s).max(1)
 }
 
@@ -98,9 +98,26 @@ pub fn sqmb(
     start_time_s: u32,
     duration_s: u32,
 ) -> BoundingRegions {
-    let max_region = expand(con_index, start_segment, start_time_s, duration_s, num_segments, true);
-    let min_region = expand(con_index, start_segment, start_time_s, duration_s, num_segments, false);
-    BoundingRegions { max_region, min_region }
+    let max_region = expand(
+        con_index,
+        start_segment,
+        start_time_s,
+        duration_s,
+        num_segments,
+        true,
+    );
+    let min_region = expand(
+        con_index,
+        start_segment,
+        start_time_s,
+        duration_s,
+        num_segments,
+        false,
+    );
+    BoundingRegions {
+        max_region,
+        min_region,
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +135,11 @@ mod tests {
         let network = Arc::new(city.network);
         let dataset = TrajectoryDataset::simulate(
             &network,
-            FleetConfig { num_taxis: 20, num_days: 4, ..FleetConfig::tiny() },
+            FleetConfig {
+                num_taxis: 20,
+                num_days: 4,
+                ..FleetConfig::tiny()
+            },
         );
         let config = IndexConfig::default();
         let stats = Arc::new(SpeedStats::from_dataset(&network, &dataset, config.slot_s));
@@ -134,7 +155,7 @@ mod tests {
         assert_eq!(num_hops(299, 300), 1); // L < Δt still takes one hop
         assert_eq!(num_hops(2100, 300), 7); // L = 35 min
         assert_eq!(num_hops(2100, 600), 4); // Δt = 10 min: rounded up so k·Δt ≥ L
-        // The covered time never falls short of L.
+                                            // The covered time never falls short of L.
         for (l, dt) in [(600u32, 300u32), (900, 600), (2100, 600), (60, 300)] {
             assert!(num_hops(l, dt) * dt >= l);
         }
@@ -147,7 +168,10 @@ mod tests {
         assert!(b.max_region.contains(&start));
         assert!(b.min_region.contains(&start));
         for seg in &b.min_region {
-            assert!(b.max_region.binary_search(seg).is_ok(), "{seg} in min but not max");
+            assert!(
+                b.max_region.binary_search(seg).is_ok(),
+                "{seg} in min but not max"
+            );
         }
         assert!(b.max_region.len() >= b.min_region.len());
         // The annulus is exactly max \ min.
@@ -175,7 +199,10 @@ mod tests {
         let (network, con, start) = setup();
         let b = sqmb(&con, network.num_segments(), start, 9 * 3600, 600);
         for succ in network.successors(start) {
-            assert!(b.max_region.binary_search(&succ).is_ok(), "successor {succ} missing");
+            assert!(
+                b.max_region.binary_search(&succ).is_ok(),
+                "successor {succ} missing"
+            );
         }
     }
 

@@ -4,14 +4,16 @@
 //! Prob-reachable region: segments inside the minimum bounding region are
 //! reachable even at the historically slowest speeds, segments outside the
 //! maximum bounding region cannot be reached even at the fastest. TBS
-//! therefore only has to verify the segments *between* the two boundaries,
-//! working from the maximum bounding region back toward the minimum one:
+//! therefore only has to verify the segments *between* the two boundaries.
 //!
-//! * a segment whose reachability probability meets `Prob` joins the result,
-//! * a segment that fails pushes its not-yet-visited neighbours (excluding
-//!   the minimum bounding region) for further investigation,
-//! * every segment is marked "visited" the first time it is dequeued so that
-//!   overlapping search paths never verify it twice.
+//! Algorithm 2 phrases this as a queue working from the maximum bounding
+//! region back toward the minimum one, but because the queue starts with the
+//! *entire* annulus and a failed segment only enqueues annulus neighbours
+//! (which are already queued), the fixed point it computes is simply "verify
+//! every annulus segment exactly once". This implementation does exactly
+//! that — in parallel, since the verifications are independent posting-list
+//! intersections: the [`VerifierCore`] is shared read-only across workers
+//! and each worker reuses its own [`VerifierScratch`].
 //!
 //! The returned Prob-reachable region is the minimum bounding region plus
 //! every verified segment that met the probability threshold. The expensive
@@ -19,12 +21,10 @@
 //! core inside the minimum bounding region, which is where the exhaustive
 //! baseline spends most of its I/O.
 
-use std::collections::{HashSet, VecDeque};
-
-use streach_roadnet::{RoadNetwork, SegmentId};
+use streach_roadnet::RoadNetwork;
 
 use crate::query::sqmb::BoundingRegions;
-use crate::query::verifier::ReachabilityVerifier;
+use crate::query::verifier::{VerifierCore, VerifierScratch};
 use crate::region::ReachableRegion;
 
 /// Outcome of a trace back search.
@@ -33,57 +33,39 @@ pub struct TbsOutcome {
     pub region: ReachableRegion,
     /// Number of probability verifications performed (posting reads).
     pub verifications: usize,
-    /// Number of segments dequeued by the search.
+    /// Number of annulus segments examined by the search.
     pub visited: usize,
 }
 
 /// Runs the trace back search for one start segment.
 ///
-/// `verifier` must have been constructed for the same start segment and
-/// query window; `bounds` are the SQMB bounding regions of that start.
+/// `core` must have been constructed for the same start segment and query
+/// window; `bounds` are the SQMB bounding regions of that start.
 pub fn trace_back_search(
     network: &RoadNetwork,
-    verifier: &mut ReachabilityVerifier<'_>,
+    core: &VerifierCore<'_>,
     bounds: &BoundingRegions,
     prob: f64,
 ) -> TbsOutcome {
-    let min_set: HashSet<SegmentId> = bounds.min_region.iter().copied().collect();
-    let max_set: HashSet<SegmentId> = bounds.max_region.iter().copied().collect();
-
-    // Line 3: B ← Bmax (the segments that still need verification: the
-    // annulus between the two bounding regions).
-    let mut queue: VecDeque<SegmentId> = bounds.annulus().into();
-    let mut visited: HashSet<SegmentId> = HashSet::with_capacity(queue.len());
-    let mut result: Vec<SegmentId> = Vec::new();
-
-    let before = verifier.verifications;
-    while let Some(r) = queue.pop_front() {
-        if !visited.insert(r) {
-            continue; // already searched via another path (the "visited" mark)
-        }
-        if verifier.is_reachable(r, prob) {
-            // Line 6-7: r joins the Prob-reachable set.
-            result.push(r);
-        } else {
-            // Line 8-9: investigate r's neighbours that lie closer to the
-            // start (still inside the maximum bounding region, outside the
-            // minimum bounding region).
-            for n in network.neighbors(r) {
-                if max_set.contains(&n) && !min_set.contains(&n) && !visited.contains(&n) {
-                    queue.push_back(n);
-                }
-            }
-        }
-    }
+    let annulus = bounds.annulus();
+    let passed = streach_par::par_map_with(&annulus, VerifierScratch::new, |scratch, seg| {
+        core.is_reachable(scratch, *seg, prob)
+    });
 
     // Final region: everything reachable even at minimum speed plus the
     // verified annulus segments.
     let mut segments = bounds.min_region.clone();
-    segments.extend_from_slice(&result);
+    segments.extend(
+        annulus
+            .iter()
+            .zip(&passed)
+            .filter(|(_, ok)| **ok)
+            .map(|(seg, _)| *seg),
+    );
     TbsOutcome {
         region: ReachableRegion::from_segments(network, segments),
-        verifications: verifier.verifications - before,
-        visited: visited.len(),
+        verifications: annulus.len(),
+        visited: annulus.len(),
     }
 }
 
@@ -95,7 +77,7 @@ mod tests {
     use crate::speed_stats::SpeedStats;
     use crate::st_index::StIndex;
     use std::sync::Arc;
-    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+    use streach_roadnet::{GeneratorConfig, SegmentId, SyntheticCity};
     use streach_traj::{FleetConfig, TrajectoryDataset};
 
     struct Fixture {
@@ -111,20 +93,43 @@ mod tests {
         let network = Arc::new(city.network);
         let dataset = TrajectoryDataset::simulate(
             &network,
-            FleetConfig { num_taxis: 30, num_days: 5, ..FleetConfig::tiny() },
+            FleetConfig {
+                num_taxis: 30,
+                num_days: 5,
+                ..FleetConfig::tiny()
+            },
         );
-        let config = IndexConfig { read_latency_us: 0, ..Default::default() };
+        let config = IndexConfig {
+            read_latency_us: 0,
+            ..Default::default()
+        };
         let st = StIndex::build(network.clone(), &dataset, &config);
         let stats = Arc::new(SpeedStats::from_dataset(&network, &dataset, config.slot_s));
         let con = crate::con_index::ConIndex::new(network.clone(), stats, &config);
         let start = network.nearest_segment(&center).unwrap().0;
-        Fixture { network, st, con, start }
+        Fixture {
+            network,
+            st,
+            con,
+            start,
+        }
     }
 
-    fn run(f: &Fixture, start_time_s: u32, duration_s: u32, prob: f64) -> (TbsOutcome, BoundingRegions) {
-        let bounds = sqmb(&f.con, f.network.num_segments(), f.start, start_time_s, duration_s);
-        let mut verifier = ReachabilityVerifier::new(&f.st, f.start, start_time_s, duration_s);
-        let outcome = trace_back_search(&f.network, &mut verifier, &bounds, prob);
+    fn run(
+        f: &Fixture,
+        start_time_s: u32,
+        duration_s: u32,
+        prob: f64,
+    ) -> (TbsOutcome, BoundingRegions) {
+        let bounds = sqmb(
+            &f.con,
+            f.network.num_segments(),
+            f.start,
+            start_time_s,
+            duration_s,
+        );
+        let core = VerifierCore::new(&f.st, f.start, start_time_s, duration_s);
+        let outcome = trace_back_search(&f.network, &core, &bounds, prob);
         (outcome, bounds)
     }
 
@@ -134,7 +139,10 @@ mod tests {
         let (outcome, bounds) = run(&f, 9 * 3600, 600, 0.2);
         let max_set: std::collections::HashSet<_> = bounds.max_region.iter().copied().collect();
         for &seg in &outcome.region.segments {
-            assert!(max_set.contains(&seg), "{seg} outside the maximum bounding region");
+            assert!(
+                max_set.contains(&seg),
+                "{seg} outside the maximum bounding region"
+            );
         }
         // The minimum bounding region is always included.
         for seg in &bounds.min_region {
@@ -148,7 +156,12 @@ mod tests {
         let f = setup();
         let (outcome, bounds) = run(&f, 9 * 3600, 600, 0.2);
         let annulus = bounds.annulus().len();
-        assert!(outcome.verifications <= annulus, "verified {} > annulus {}", outcome.verifications, annulus);
+        assert!(
+            outcome.verifications <= annulus,
+            "verified {} > annulus {}",
+            outcome.verifications,
+            annulus
+        );
         assert!(outcome.visited <= annulus);
         assert!(outcome.verifications > 0, "some verification must happen");
     }
@@ -171,11 +184,11 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_paths_never_reverify() {
+    fn verifications_equal_annulus_exactly_once() {
         let f = setup();
-        let (outcome, _) = run(&f, 9 * 3600, 900, 0.5);
-        // Visited counts unique dequeues; verifications happen once per
-        // visited segment at most.
-        assert!(outcome.verifications <= outcome.visited);
+        let (outcome, bounds) = run(&f, 9 * 3600, 900, 0.5);
+        // Every annulus segment is verified exactly once, never re-verified.
+        assert_eq!(outcome.verifications, bounds.annulus().len());
+        assert_eq!(outcome.visited, outcome.verifications);
     }
 }

@@ -12,47 +12,76 @@
 //! ```
 //!
 //! Every verification reads the time lists of `r` for the slots overlapping
-//! `[T, T + L]` from the posting store — this is exactly the disk I/O the
-//! Con-Index pruning tries to minimise.
-
-use std::collections::HashMap;
+//! `[T, T + L)` from the posting store — this is exactly the disk I/O the
+//! Con-Index pruning tries to minimise. Because a query verifies hundreds of
+//! candidate segments, this module is built for a *zero-allocation steady
+//! state*:
+//!
+//! * [`VerifierCore`] holds everything immutable per query: the start
+//!   segment's trajectory IDs as a **day-indexed** table (`Vec` indexed by
+//!   `date as usize`, each day pre-sorted and deduplicated at construction),
+//!   plus the window's slot range. It is freely shared across threads.
+//! * [`VerifierScratch`] holds the per-worker mutable state: a day-indexed
+//!   candidate-ID table, the list of days touched by the current call, and
+//!   the raw posting byte buffer. All of it is recycled between calls, so
+//!   after the first few verifications a `probability` call performs **no
+//!   heap allocation** — postings are copied into the reusable byte buffer
+//!   via [`StIndex::read_time_list_into`] and decoded in place with
+//!   [`streach_storage::visit_encoded`].
+//!
+//! [`ReachabilityVerifier`] bundles one core with one scratch for the
+//! sequential call sites; parallel call sites share one core across workers
+//! and give each worker its own scratch (see `streach_par::par_map_with`).
 
 use streach_roadnet::SegmentId;
+use streach_storage::visit_encoded;
 
 use crate::st_index::StIndex;
 use crate::time::slots_overlapping;
 
-/// A reusable verifier for one (start segment, T, Δt, L) combination.
-pub struct ReachabilityVerifier<'a> {
+/// The immutable, shareable half of a verifier: one (start segment, T, Δt, L)
+/// combination.
+pub struct VerifierCore<'a> {
     st_index: &'a StIndex,
     /// Trajectory IDs that passed the start segment during `[T, T + Δt)`,
-    /// per date (sorted).
-    start_ids_by_day: HashMap<u16, Vec<u32>>,
+    /// indexed by date (sorted + deduplicated; empty = day inactive).
+    start_ids: Vec<Vec<u32>>,
+    /// Number of days with a non-empty start list.
+    active_days: usize,
+    /// Slot range overlapping the query window `[T, T + L)`.
+    window_slots: std::ops::RangeInclusive<u32>,
     /// Query window `[T, T + L)`.
     window: (u32, u32),
     num_days: u16,
-    /// Number of probability evaluations performed.
+}
+
+/// The reusable per-worker mutable half of a verifier.
+///
+/// All buffers grow to their high-water mark and are then recycled: clearing
+/// a `Vec` keeps its capacity, and only the days touched by the previous call
+/// are cleared (tracked in `touched`), so reset cost is proportional to the
+/// work actually done.
+#[derive(Default)]
+pub struct VerifierScratch {
+    /// Candidate segment's trajectory IDs, indexed by date.
+    target_ids: Vec<Vec<u32>>,
+    /// Days with a non-empty `target_ids` entry in the current call.
+    touched: Vec<u16>,
+    /// Raw encoded time-list bytes of the posting being visited.
+    bytes: Vec<u8>,
+    /// Number of probability evaluations performed with this scratch.
     pub verifications: usize,
 }
 
-/// Reads the per-day trajectory IDs of `segment` over `[start_s, end_s)`.
-fn ids_by_day(st_index: &StIndex, segment: SegmentId, start_s: u32, end_s: u32) -> HashMap<u16, Vec<u32>> {
-    let mut map: HashMap<u16, Vec<u32>> = HashMap::new();
-    for slot in slots_overlapping(start_s, end_s, st_index.slot_s()) {
-        if let Some(list) = st_index.time_list(segment, slot) {
-            for entry in &list.entries {
-                map.entry(entry.date).or_default().extend_from_slice(&entry.traj_ids);
-            }
-        }
+impl VerifierScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    for ids in map.values_mut() {
-        ids.sort_unstable();
-        ids.dedup();
-    }
-    map
 }
 
-/// Returns `true` if the two sorted slices share an element.
+/// Returns `true` if the two sorted slices share an element (duplicates are
+/// permitted; order is what matters).
 fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -65,9 +94,9 @@ fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
     false
 }
 
-impl<'a> ReachabilityVerifier<'a> {
-    /// Builds a verifier for queries starting from `start_segment` at time
-    /// `start_time_s`, with query duration `duration_s`.
+impl<'a> VerifierCore<'a> {
+    /// Builds the shared core for queries starting from `start_segment` at
+    /// time `start_time_s`, with query duration `duration_s`.
     ///
     /// `Tr(r0, T0, d)` is extracted once here (T0 = `[T, T + Δt)`), which is
     /// the first step of the trace back search.
@@ -78,45 +107,173 @@ impl<'a> ReachabilityVerifier<'a> {
         duration_s: u32,
     ) -> Self {
         let slot_s = st_index.slot_s();
-        let t0_end = start_time_s.saturating_add(slot_s).min(streach_traj::SECONDS_PER_DAY);
+        let num_days = st_index.num_days();
+        let t0_end = start_time_s
+            .saturating_add(slot_s)
+            .min(streach_traj::SECONDS_PER_DAY);
         let end = start_time_s
             .saturating_add(duration_s)
             .min(streach_traj::SECONDS_PER_DAY);
-        let start_ids_by_day = ids_by_day(st_index, start_segment, start_time_s, t0_end);
+
+        let mut start_ids: Vec<Vec<u32>> = vec![Vec::new(); num_days as usize];
+        let mut bytes = Vec::new();
+        for slot in slots_overlapping(start_time_s, t0_end, slot_s) {
+            if st_index.read_time_list_into(start_segment, slot, &mut bytes) {
+                visit_encoded(&bytes, |date, ids| {
+                    if let Some(day) = start_ids.get_mut(date as usize) {
+                        day.extend(ids);
+                    }
+                });
+            }
+        }
+        let mut active_days = 0;
+        for day in &mut start_ids {
+            if !day.is_empty() {
+                day.sort_unstable();
+                day.dedup();
+                active_days += 1;
+            }
+        }
+
         Self {
             st_index,
-            start_ids_by_day,
+            start_ids,
+            active_days,
+            window_slots: slots_overlapping(start_time_s, end, slot_s),
             window: (start_time_s, end),
-            num_days: st_index.num_days(),
-            verifications: 0,
+            num_days,
         }
     }
 
     /// Number of days on which at least one trajectory passed the start
     /// segment during `[T, T + Δt)`.
     pub fn active_days(&self) -> usize {
-        self.start_ids_by_day.len()
+        self.active_days
+    }
+
+    /// The query window `[T, T + L)`.
+    pub fn window(&self) -> (u32, u32) {
+        self.window
+    }
+
+    /// The reachable probability `probability(r, r0)` of Eq. 3.1.
+    ///
+    /// Steady-state calls perform no heap allocation: posting bytes land in
+    /// `scratch.bytes`, per-day candidate IDs accumulate in the recycled
+    /// day-indexed table, and the intersection test runs over sorted slices.
+    pub fn probability(&self, scratch: &mut VerifierScratch, segment: SegmentId) -> f64 {
+        scratch.verifications += 1;
+        if self.num_days == 0 || self.active_days == 0 {
+            return 0.0;
+        }
+        // Recycle the scratch table: clear only the previously touched days.
+        if scratch.target_ids.len() < self.num_days as usize {
+            scratch
+                .target_ids
+                .resize_with(self.num_days as usize, Vec::new);
+        }
+        for &day in &scratch.touched {
+            scratch.target_ids[day as usize].clear();
+        }
+        scratch.touched.clear();
+
+        // One posting read per (segment, slot) of the window; each entry's
+        // IDs go straight into the day bucket. Days on which the start
+        // segment saw no trajectory cannot contribute to m* and are skipped
+        // before any copying happens.
+        let touched = &mut scratch.touched;
+        let target_ids = &mut scratch.target_ids;
+        for slot in self.window_slots.clone() {
+            if self
+                .st_index
+                .read_time_list_into(segment, slot, &mut scratch.bytes)
+            {
+                visit_encoded(&scratch.bytes, |date, ids| {
+                    let day = date as usize;
+                    if day < self.start_ids.len() && !self.start_ids[day].is_empty() {
+                        let bucket = &mut target_ids[day];
+                        if bucket.is_empty() {
+                            touched.push(date);
+                        }
+                        bucket.extend(ids);
+                    }
+                });
+            }
+        }
+        if scratch.touched.is_empty() {
+            return 0.0;
+        }
+
+        let mut matching_days = 0u32;
+        for &date in &scratch.touched {
+            let bucket = &mut scratch.target_ids[date as usize];
+            // A single slot contributes a sorted run; multi-slot windows can
+            // interleave runs, so restore sortedness only when violated.
+            // (`sorted_intersects` tolerates duplicates, so no dedup needed.)
+            if !bucket.is_sorted() {
+                bucket.sort_unstable();
+            }
+            if sorted_intersects(&self.start_ids[date as usize], bucket) {
+                matching_days += 1;
+            }
+        }
+        matching_days as f64 / self.num_days as f64
+    }
+
+    /// Convenience: `probability(segment) >= prob`.
+    pub fn is_reachable(
+        &self,
+        scratch: &mut VerifierScratch,
+        segment: SegmentId,
+        prob: f64,
+    ) -> bool {
+        self.probability(scratch, segment) >= prob
+    }
+}
+
+/// A reusable verifier for one (start segment, T, Δt, L) combination:
+/// a [`VerifierCore`] bundled with one [`VerifierScratch`] for sequential
+/// call sites.
+pub struct ReachabilityVerifier<'a> {
+    core: VerifierCore<'a>,
+    scratch: VerifierScratch,
+}
+
+impl<'a> ReachabilityVerifier<'a> {
+    /// Builds a verifier for queries starting from `start_segment` at time
+    /// `start_time_s`, with query duration `duration_s`.
+    pub fn new(
+        st_index: &'a StIndex,
+        start_segment: SegmentId,
+        start_time_s: u32,
+        duration_s: u32,
+    ) -> Self {
+        Self {
+            core: VerifierCore::new(st_index, start_segment, start_time_s, duration_s),
+            scratch: VerifierScratch::new(),
+        }
+    }
+
+    /// The shareable immutable half (for parallel verification, pair it with
+    /// one [`VerifierScratch`] per worker).
+    pub fn core(&self) -> &VerifierCore<'a> {
+        &self.core
+    }
+
+    /// Number of days on which at least one trajectory passed the start
+    /// segment during `[T, T + Δt)`.
+    pub fn active_days(&self) -> usize {
+        self.core.active_days()
+    }
+
+    /// Number of probability evaluations performed.
+    pub fn verifications(&self) -> usize {
+        self.scratch.verifications
     }
 
     /// The reachable probability `probability(r, r0)` of Eq. 3.1.
     pub fn probability(&mut self, segment: SegmentId) -> f64 {
-        self.verifications += 1;
-        if self.num_days == 0 || self.start_ids_by_day.is_empty() {
-            return 0.0;
-        }
-        let target_ids = ids_by_day(self.st_index, segment, self.window.0, self.window.1);
-        if target_ids.is_empty() {
-            return 0.0;
-        }
-        let mut matching_days = 0u32;
-        for (date, start_ids) in &self.start_ids_by_day {
-            if let Some(ids) = target_ids.get(date) {
-                if sorted_intersects(start_ids, ids) {
-                    matching_days += 1;
-                }
-            }
-        }
-        matching_days as f64 / self.num_days as f64
+        self.core.probability(&mut self.scratch, segment)
     }
 
     /// Convenience: `probability(segment) >= prob`.
@@ -133,14 +290,29 @@ mod tests {
     use streach_roadnet::{GeneratorConfig, SyntheticCity};
     use streach_traj::{FleetConfig, TrajectoryDataset};
 
-    fn build() -> (Arc<streach_roadnet::RoadNetwork>, TrajectoryDataset, StIndex) {
+    fn build() -> (
+        Arc<streach_roadnet::RoadNetwork>,
+        TrajectoryDataset,
+        StIndex,
+    ) {
         let city = SyntheticCity::generate(GeneratorConfig::small());
         let network = Arc::new(city.network);
         let dataset = TrajectoryDataset::simulate(
             &network,
-            FleetConfig { num_taxis: 15, num_days: 4, ..FleetConfig::tiny() },
+            FleetConfig {
+                num_taxis: 15,
+                num_days: 4,
+                ..FleetConfig::tiny()
+            },
         );
-        let st = StIndex::build(network.clone(), &dataset, &IndexConfig { read_latency_us: 0, ..Default::default() });
+        let st = StIndex::build(
+            network.clone(),
+            &dataset,
+            &IndexConfig {
+                read_latency_us: 0,
+                ..Default::default()
+            },
+        );
         (network, dataset, st)
     }
 
@@ -151,6 +323,8 @@ mod tests {
         assert!(!sorted_intersects(&[1, 3, 5], &[2, 4, 6]));
         assert!(!sorted_intersects(&[], &[1]));
         assert!(!sorted_intersects(&[], &[]));
+        // Duplicates are fine — the inputs are sorted, not necessarily unique.
+        assert!(sorted_intersects(&[2, 2, 4], &[1, 2, 2]));
     }
 
     #[test]
@@ -162,8 +336,11 @@ mod tests {
         let mut v = ReachabilityVerifier::new(&st, visit.segment, visit.enter_time_s, 600);
         assert!(v.active_days() >= 1);
         let p = v.probability(visit.segment);
-        assert!(p > 0.0, "start segment must be reachable from itself on active days");
-        assert_eq!(v.verifications, 1);
+        assert!(
+            p > 0.0,
+            "start segment must be reachable from itself on active days"
+        );
+        assert_eq!(v.verifications(), 1);
         assert!(p <= 1.0);
         // Probability equals active days / m when the start segment is the target.
         assert!((p - v.active_days() as f64 / dataset.num_days() as f64).abs() < 1e-9);
@@ -190,8 +367,14 @@ mod tests {
         let mut long = ReachabilityVerifier::new(&st, start.segment, start.enter_time_s, 3600);
         let p_short = short.probability(later.segment);
         let p_long = long.probability(later.segment);
-        assert!(p_long >= p_short, "longer duration cannot lower the probability");
-        assert!(p_long > 0.0, "the trajectory itself reaches the later segment");
+        assert!(
+            p_long >= p_short,
+            "longer duration cannot lower the probability"
+        );
+        assert!(
+            p_long > 0.0,
+            "the trajectory itself reaches the later segment"
+        );
     }
 
     #[test]
@@ -201,7 +384,11 @@ mod tests {
         let slot = crate::time::slot_of(9 * 3600, st.slot_s());
         let start = network
             .segment_ids()
-            .max_by_key(|s| st.time_list(*s, slot).map(|l| l.num_observations()).unwrap_or(0))
+            .max_by_key(|s| {
+                st.time_list(*s, slot)
+                    .map(|l| l.num_observations())
+                    .unwrap_or(0)
+            })
             .unwrap();
         let mut v = ReachabilityVerifier::new(&st, start, 9 * 3600, 900);
         let neighbor_prob: f64 = network
@@ -221,5 +408,26 @@ mod tests {
             "neighbor {neighbor_prob} vs corner {corner_prob}"
         );
         let _ = dataset;
+    }
+
+    #[test]
+    fn shared_core_gives_identical_answers_across_scratches() {
+        let (network, dataset, st) = build();
+        let traj = &dataset.trajectories()[0];
+        let visit = traj.visits[0];
+        let core = VerifierCore::new(&st, visit.segment, visit.enter_time_s, 900);
+        let mut a = VerifierScratch::new();
+        let mut b = VerifierScratch::new();
+        for seg in network.segment_ids().take(100) {
+            let pa = core.probability(&mut a, seg);
+            let pb = core.probability(&mut b, seg);
+            assert_eq!(pa, pb, "segment {seg}");
+        }
+        // Interleaved reuse of one scratch matches a fresh scratch per call.
+        for seg in network.segment_ids().take(50) {
+            let fresh = core.probability(&mut VerifierScratch::new(), seg);
+            let reused = core.probability(&mut a, seg);
+            assert_eq!(fresh, reused, "segment {seg}");
+        }
     }
 }

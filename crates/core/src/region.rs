@@ -20,7 +20,10 @@ pub struct ReachableRegion {
 impl ReachableRegion {
     /// An empty region.
     pub fn empty() -> Self {
-        Self { segments: Vec::new(), total_length_km: 0.0 }
+        Self {
+            segments: Vec::new(),
+            total_length_km: 0.0,
+        }
     }
 
     /// Builds a region from a set of segments (deduplicating them) and
@@ -29,7 +32,10 @@ impl ReachableRegion {
         segments.sort_unstable();
         segments.dedup();
         let total_length_km = network.length_of_km(&segments);
-        Self { segments, total_length_km }
+        Self {
+            segments,
+            total_length_km,
+        }
     }
 
     /// Number of segments in the region.
@@ -117,7 +123,8 @@ mod tests {
     #[test]
     fn mbr_covers_every_segment() {
         let net = network();
-        let r = ReachableRegion::from_segments(&net, vec![SegmentId(0), SegmentId(50), SegmentId(100)]);
+        let r =
+            ReachableRegion::from_segments(&net, vec![SegmentId(0), SegmentId(50), SegmentId(100)]);
         let mbr = r.mbr(&net);
         for &s in &r.segments {
             assert!(mbr.contains(&net.segment(s).mbr));

@@ -28,7 +28,10 @@ struct MinMax {
 }
 
 impl MinMax {
-    const EMPTY: MinMax = MinMax { min: f32::INFINITY, max: f32::NEG_INFINITY };
+    const EMPTY: MinMax = MinMax {
+        min: f32::INFINITY,
+        max: f32::NEG_INFINITY,
+    };
 
     fn observe(&mut self, v: f64) {
         let v = v as f32;
@@ -192,7 +195,11 @@ mod tests {
     fn observations_are_ingested() {
         let (city, dataset) = setup();
         let stats = SpeedStats::from_dataset(&city.network, &dataset, 300);
-        assert!(stats.num_observations() > 100, "observations {}", stats.num_observations());
+        assert!(
+            stats.num_observations() > 100,
+            "observations {}",
+            stats.num_observations()
+        );
         assert!(stats.coverage() > 0.0);
         assert_eq!(stats.slot_s(), 300);
     }
@@ -205,7 +212,10 @@ mod tests {
             for slot in (0..288).step_by(17) {
                 let min = stats.min_speed_ms(&city.network, seg, slot, 1.0);
                 let max = stats.max_speed_ms(&city.network, seg, slot);
-                assert!(min <= max + 1e-9, "min {min} > max {max} for {seg} slot {slot}");
+                assert!(
+                    min <= max + 1e-9,
+                    "min {min} > max {max} for {seg} slot {slot}"
+                );
                 assert!(min > 0.0);
                 assert!(max <= 45.0 + 1e-9);
             }
@@ -221,7 +231,10 @@ mod tests {
         assert_eq!(stats.num_observations(), 0);
         let seg = city.network.segment_ids().next().unwrap();
         let class = city.network.segment(seg).class;
-        assert_eq!(stats.max_speed_ms(&city.network, seg, 10), class.free_flow_ms());
+        assert_eq!(
+            stats.max_speed_ms(&city.network, seg, 10),
+            class.free_flow_ms()
+        );
         assert!(stats.min_speed_ms(&city.network, seg, 10, 2.0) >= 2.0);
     }
 
@@ -231,7 +244,14 @@ mod tests {
         // A fleet operating around the clock so both slots are covered.
         let dataset = TrajectoryDataset::simulate(
             &city.network,
-            FleetConfig { num_taxis: 20, num_days: 3, day_start_s: 0, day_end_s: 86_400, seed: 5, ..FleetConfig::default() },
+            FleetConfig {
+                num_taxis: 20,
+                num_days: 3,
+                day_start_s: 0,
+                day_end_s: 86_400,
+                seed: 5,
+                ..FleetConfig::default()
+            },
         );
         let stats = SpeedStats::from_dataset(&city.network, &dataset, 1800);
         // Compare the class-level aggregates at 03:00 vs 07:30-08:00.

@@ -19,7 +19,6 @@
 //!   IDs) serialized into a page-based [`PostingStore`]; every read is real
 //!   page I/O, counted and optionally slowed by the simulated disk.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -79,25 +78,44 @@ pub struct StIndex {
 
 impl StIndex {
     /// Builds the ST-Index from a map-matched trajectory dataset.
-    pub fn build(network: Arc<RoadNetwork>, dataset: &TrajectoryDataset, config: &IndexConfig) -> Self {
+    ///
+    /// Observations are extracted from the trajectories in parallel and
+    /// grouped by (slot, segment) with a parallel sort rather than hash maps:
+    /// the sorted order *is* the clustered on-disk layout (slot by slot,
+    /// segment by segment), so grouping and physical placement are a single
+    /// linear scan.
+    pub fn build(
+        network: Arc<RoadNetwork>,
+        dataset: &TrajectoryDataset,
+        config: &IndexConfig,
+    ) -> Self {
         assert!(config.slot_s > 0, "slot length must be positive");
-        // Group observations by (slot, segment).
-        let mut lists: HashMap<(u32, SegmentId), TimeList> = HashMap::new();
-        let mut num_observations = 0u64;
-        for traj in dataset.trajectories() {
-            for visit in &traj.visits {
-                let slot = slot_of(visit.enter_time_s, config.slot_s);
-                lists
-                    .entry((slot, visit.segment))
-                    .or_default()
-                    .add(traj.date, traj.traj_id);
-                num_observations += 1;
-            }
+        // (slot, segment, date, traj_id) tuples, extracted in parallel.
+        let slot_s = config.slot_s;
+        let per_traj: Vec<Vec<(u32, u32, u16, u32)>> =
+            streach_par::par_map(dataset.trajectories(), |traj| {
+                traj.visits
+                    .iter()
+                    .map(|visit| {
+                        (
+                            slot_of(visit.enter_time_s, slot_s),
+                            visit.segment.0,
+                            traj.date,
+                            traj.traj_id,
+                        )
+                    })
+                    .collect()
+            });
+        let num_observations: u64 = per_traj.iter().map(|v| v.len() as u64).sum();
+        let mut obs: Vec<(u32, u32, u16, u32)> = Vec::with_capacity(num_observations as usize);
+        for mut v in per_traj {
+            obs.append(&mut v);
         }
+        streach_par::par_sort_unstable(&mut obs);
 
         // Persist the time lists slot by slot (and segment by segment within
         // a slot) so that postings of the same temporal leaf are clustered on
-        // neighbouring pages.
+        // neighbouring pages. The sorted tuple order delivers exactly that.
         let store = SimulatedDiskStore::with_latency(
             InMemoryPageStore::new(),
             Duration::from_micros(config.read_latency_us),
@@ -105,28 +123,30 @@ impl StIndex {
         );
         let postings = PostingStore::new(store, config.pool_pages);
 
-        let mut by_slot: HashMap<u32, Vec<(SegmentId, TimeList)>> = HashMap::new();
-        for ((slot, segment), list) in lists {
-            by_slot.entry(slot).or_default().push((segment, list));
-        }
-        let mut slots: Vec<u32> = by_slot.keys().copied().collect();
-        slots.sort_unstable();
-
         let mut temporal = BPlusTree::with_order(32);
         let mut num_time_lists = 0u64;
-        for slot in slots {
-            let mut entries = by_slot.remove(&slot).expect("slot present");
-            entries.sort_by_key(|(seg, _)| *seg);
-            let mut directory = SlotDirectory::default();
-            directory.entries.reserve(entries.len());
-            for (segment, list) in entries {
-                let handle = postings
-                    .append_time_list(&list)
-                    .expect("in-memory posting store cannot fail");
-                directory.entries.push((segment, handle));
-                num_time_lists += 1;
+        let mut directory = SlotDirectory::default();
+        let mut list = TimeList::new();
+        let mut i = 0;
+        while i < obs.len() {
+            let (slot, segment, _, _) = obs[i];
+            // Consume one (slot, segment) group; (date, id) pairs arrive
+            // sorted, so TimeList::add appends (duplicates are skipped).
+            list.entries.clear();
+            while i < obs.len() && obs[i].0 == slot && obs[i].1 == segment {
+                list.add(obs[i].2, obs[i].3);
+                i += 1;
             }
-            temporal.insert(slot as u64, directory);
+            let handle = postings
+                .append_time_list(&list)
+                .expect("in-memory posting store cannot fail");
+            directory.entries.push((SegmentId(segment), handle));
+            num_time_lists += 1;
+            // Close the slot's directory when the group that just ended was
+            // the slot's last.
+            if i >= obs.len() || obs[i].0 != slot {
+                temporal.insert(slot as u64, std::mem::take(&mut directory));
+            }
         }
 
         // Index construction is not part of any timed experiment; reset the
@@ -191,10 +211,7 @@ impl StIndex {
     /// Returns `None` when no trajectory traversed the segment in that slot
     /// on any day.
     pub fn time_list(&self, segment: SegmentId, slot: u32) -> Option<TimeList> {
-        let slots_per_day = streach_traj::SECONDS_PER_DAY.div_ceil(self.slot_s);
-        let slot = slot % slots_per_day;
-        let directory = self.temporal.get(&(slot as u64))?;
-        let handle = directory.get(segment)?;
+        let handle = self.lookup(segment, slot)?;
         Some(
             self.postings
                 .read_time_list(handle)
@@ -202,20 +219,60 @@ impl StIndex {
         )
     }
 
+    /// Reads the raw encoded time list of `segment` in `slot` into a
+    /// caller-owned buffer, returning `false` when no list exists.
+    ///
+    /// This is the hot-path counterpart of [`StIndex::time_list`]: the bytes
+    /// land in reusable scratch storage and are consumed through
+    /// [`streach_storage::visit_encoded`], so a warm verification performs no
+    /// heap allocation. I/O accounting is identical to [`StIndex::time_list`].
+    pub fn read_time_list_into(&self, segment: SegmentId, slot: u32, buf: &mut Vec<u8>) -> bool {
+        match self.lookup(segment, slot) {
+            Some(handle) => {
+                self.postings
+                    .read_into(handle, buf)
+                    .expect("posting store read cannot fail");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Directory lookup of the blob handle for (segment, slot), with slots
+    /// wrapping around the day.
+    fn lookup(&self, segment: SegmentId, slot: u32) -> Option<BlobHandle> {
+        let slots_per_day = streach_traj::SECONDS_PER_DAY.div_ceil(self.slot_s);
+        let slot = slot % slots_per_day;
+        let directory = self.temporal.get(&(slot as u64))?;
+        directory.get(segment)
+    }
+
     /// Trajectory IDs that traversed `segment` on `date` at any time in the
     /// half-open window `[start_s, end_s)` — `Tr(r, T_B, d)` in the paper's
     /// trace back search. The result is sorted and deduplicated.
-    pub fn ids_in_window(&self, segment: SegmentId, start_s: u32, end_s: u32, date: u16) -> Vec<u32> {
+    pub fn ids_in_window(
+        &self,
+        segment: SegmentId,
+        start_s: u32,
+        end_s: u32,
+        date: u16,
+    ) -> Vec<u32> {
+        let mut slots = slots_overlapping(start_s, end_s, self.slot_s);
+        let single_slot = slots.size_hint().0 == 1;
         let mut out: Vec<u32> = Vec::new();
-        for slot in slots_overlapping(start_s, end_s, self.slot_s) {
+        for slot in &mut slots {
             if let Some(list) = self.time_list(segment, slot) {
                 if let Some(ids) = list.ids_on(date) {
                     out.extend_from_slice(ids);
                 }
             }
         }
-        out.sort_unstable();
-        out.dedup();
+        if !single_slot {
+            // Each per-slot run is already sorted and unique; only a window
+            // spanning several slots can interleave or repeat IDs.
+            out.sort_unstable();
+            out.dedup();
+        }
         out
     }
 
@@ -229,8 +286,8 @@ impl StIndex {
     }
 
     /// All slots that have at least one time list, in ascending order.
-    pub fn populated_slots(&self) -> Vec<u32> {
-        self.temporal.iter().into_iter().map(|(k, _)| k as u32).collect()
+    pub fn populated_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.temporal.iter().into_iter().map(|(k, _)| k as u32)
     }
 }
 
@@ -244,7 +301,14 @@ mod tests {
         let city = SyntheticCity::generate(GeneratorConfig::small());
         let network = Arc::new(city.network);
         let dataset = TrajectoryDataset::simulate(&network, FleetConfig::tiny());
-        let index = StIndex::build(network.clone(), &dataset, &IndexConfig { read_latency_us: 0, ..Default::default() });
+        let index = StIndex::build(
+            network.clone(),
+            &dataset,
+            &IndexConfig {
+                read_latency_us: 0,
+                ..Default::default()
+            },
+        );
         (network, dataset, index)
     }
 
@@ -285,10 +349,20 @@ mod tests {
         let traj = &dataset.trajectories()[0];
         let visit = traj.visits[traj.visits.len() / 2];
         // A window around the visit on the right date contains the trajectory.
-        let ids = index.ids_in_window(visit.segment, visit.enter_time_s, visit.enter_time_s + 60, traj.date);
+        let ids = index.ids_in_window(
+            visit.segment,
+            visit.enter_time_s,
+            visit.enter_time_s + 60,
+            traj.date,
+        );
         assert!(ids.contains(&traj.traj_id));
         // A different (non-existent) date does not.
-        let ids_other = index.ids_in_window(visit.segment, visit.enter_time_s, visit.enter_time_s + 60, 200);
+        let ids_other = index.ids_in_window(
+            visit.segment,
+            visit.enter_time_s,
+            visit.enter_time_s + 60,
+            200,
+        );
         assert!(!ids_other.contains(&traj.traj_id));
         // A window long before the visit (01:00-01:05, fleet starts at 08:00) is empty.
         let ids_before = index.ids_in_window(visit.segment, 3600, 3900, traj.date);
@@ -312,7 +386,10 @@ mod tests {
     fn locate_segment_matches_network_lookup() {
         let (network, _, index) = build_small();
         let p = network.bounds().center();
-        assert_eq!(index.locate_segment(&p), network.nearest_segment(&p).map(|(id, _)| id));
+        assert_eq!(
+            index.locate_segment(&p),
+            network.nearest_segment(&p).map(|(id, _)| id)
+        );
     }
 
     #[test]
@@ -325,7 +402,10 @@ mod tests {
         let slot = slot_of(visit.enter_time_s, index.slot_s());
         let _ = index.time_list(visit.segment, slot);
         let snap = index.io_stats().snapshot();
-        assert!(snap.page_reads >= 1, "a cold read must touch at least one page");
+        assert!(
+            snap.page_reads >= 1,
+            "a cold read must touch at least one page"
+        );
         // Reading it again is served by the buffer pool.
         let _ = index.time_list(visit.segment, slot);
         let snap2 = index.io_stats().snapshot();
@@ -336,7 +416,7 @@ mod tests {
     #[test]
     fn populated_slots_cover_operating_hours_only() {
         let (_, _, index) = build_small();
-        let slots = index.populated_slots();
+        let slots: Vec<u32> = index.populated_slots().collect();
         assert!(!slots.is_empty());
         // Tiny fleet operates 08:00-12:00 => slots 96..144 (Δt = 5 min).
         assert!(*slots.first().unwrap() >= 90);

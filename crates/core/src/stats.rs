@@ -14,6 +14,13 @@ use streach_storage::IoStatsSnapshot;
 pub struct QueryStats {
     /// Wall-clock time spent answering the query.
     pub wall_time: Duration,
+    /// Time spent computing the bounding regions (SQMB/MQMB Con-Index hops,
+    /// or the network expansion for the ES baseline).
+    pub bounding_time: Duration,
+    /// Time spent verifying candidate segments against the trajectory
+    /// postings (the stage the indexes exist to shrink, and the stage that
+    /// runs on all cores).
+    pub verify_time: Duration,
     /// Page I/O performed while answering the query (delta over the query).
     pub io: IoStatsSnapshot,
     /// Number of road segments whose reachability probability was verified
@@ -40,6 +47,8 @@ impl QueryStats {
     pub fn merge(&self, other: &QueryStats) -> QueryStats {
         QueryStats {
             wall_time: self.wall_time + other.wall_time,
+            bounding_time: self.bounding_time + other.bounding_time,
+            verify_time: self.verify_time + other.verify_time,
             io: IoStatsSnapshot {
                 page_reads: self.io.page_reads + other.io.page_reads,
                 page_writes: self.io.page_writes + other.io.page_writes,
@@ -60,7 +69,10 @@ mod tests {
 
     #[test]
     fn running_time_conversion() {
-        let s = QueryStats { wall_time: Duration::from_millis(250), ..Default::default() };
+        let s = QueryStats {
+            wall_time: Duration::from_millis(250),
+            ..Default::default()
+        };
         assert!((s.running_time_ms() - 250.0).abs() < 1e-9);
     }
 
@@ -70,14 +82,22 @@ mod tests {
             wall_time: Duration::from_millis(100),
             segments_verified: 5,
             segments_visited: 10,
-            io: IoStatsSnapshot { page_reads: 3, cache_hits: 1, ..Default::default() },
+            io: IoStatsSnapshot {
+                page_reads: 3,
+                cache_hits: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let b = QueryStats {
             wall_time: Duration::from_millis(50),
             segments_verified: 7,
             segments_visited: 20,
-            io: IoStatsSnapshot { page_reads: 4, cache_misses: 2, ..Default::default() },
+            io: IoStatsSnapshot {
+                page_reads: 4,
+                cache_misses: 2,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let m = a.merge(&b);

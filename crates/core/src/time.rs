@@ -13,17 +13,18 @@ pub fn slot_start(slot: u32, slot_s: u32) -> u32 {
     slot * slot_s
 }
 
-/// All slot indices overlapping the half-open window `[start_s, end_s)`.
-/// Windows extending past midnight are clamped to the end of the day — the
-/// paper's queries are phrased within a single day.
-pub fn slots_overlapping(start_s: u32, end_s: u32, slot_s: u32) -> Vec<u32> {
+/// All slot indices overlapping the half-open window `[start_s, end_s)`, as
+/// an allocation-free range. Windows extending past midnight are clamped to
+/// the end of the day — the paper's queries are phrased within a single day.
+pub fn slots_overlapping(start_s: u32, end_s: u32, slot_s: u32) -> std::ops::RangeInclusive<u32> {
     if end_s <= start_s {
-        return Vec::new();
+        #[allow(clippy::reversed_empty_ranges)]
+        return 1..=0; // canonical empty range
     }
     let end_s = end_s.min(streach_traj::SECONDS_PER_DAY);
     let first = slot_of(start_s, slot_s);
     let last = slot_of(end_s.saturating_sub(1), slot_s);
-    (first..=last).collect()
+    first..=last
 }
 
 /// Formats a time of day as `HH:MM`.
@@ -55,17 +56,18 @@ mod tests {
 
     #[test]
     fn slots_overlapping_windows() {
+        let collect = |s, e, dt| slots_overlapping(s, e, dt).collect::<Vec<u32>>();
         // A window exactly one slot long.
-        assert_eq!(slots_overlapping(600, 900, 300), vec![2]);
+        assert_eq!(collect(600, 900, 300), vec![2]);
         // A window spanning two slots.
-        assert_eq!(slots_overlapping(650, 950, 300), vec![2, 3]);
+        assert_eq!(collect(650, 950, 300), vec![2, 3]);
         // A 10-minute query at 11:00 with 5-minute slots.
-        assert_eq!(slots_overlapping(11 * 3600, 11 * 3600 + 600, 300), vec![132, 133]);
+        assert_eq!(collect(11 * 3600, 11 * 3600 + 600, 300), vec![132, 133]);
         // Empty and degenerate windows.
-        assert!(slots_overlapping(500, 500, 300).is_empty());
-        assert!(slots_overlapping(900, 600, 300).is_empty());
+        assert!(collect(500, 500, 300).is_empty());
+        assert!(collect(900, 600, 300).is_empty());
         // Window clamped at the end of the day.
-        let slots = slots_overlapping(23 * 3600 + 3300, 25 * 3600, 300);
+        let slots = collect(23 * 3600 + 3300, 25 * 3600, 300);
         assert_eq!(slots.last(), Some(&287));
     }
 

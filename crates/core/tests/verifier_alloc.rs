@@ -1,0 +1,119 @@
+//! Proves the acceptance criterion of the zero-allocation hot path: after
+//! warm-up, `VerifierCore::probability` performs **zero heap allocations**
+//! per call.
+//!
+//! A counting global allocator tallies every `alloc`/`realloc` while armed.
+//! The test warms the verifier (scratch buffers grow to their high-water
+//! mark, the buffer pool caches every posting page the query touches), then
+//! re-verifies the same segments with the counter armed and asserts that no
+//! allocation happened.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use streach_core::config::IndexConfig;
+use streach_core::query::verifier::{VerifierCore, VerifierScratch};
+use streach_core::st_index::StIndex;
+use streach_roadnet::{GeneratorConfig, SegmentId, SyntheticCity};
+use streach_traj::{FleetConfig, TrajectoryDataset};
+
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warm_probability_calls_do_not_allocate() {
+    let city = SyntheticCity::generate(GeneratorConfig::small());
+    let network = Arc::new(city.network);
+    let dataset = TrajectoryDataset::simulate(
+        &network,
+        FleetConfig {
+            num_taxis: 20,
+            num_days: 5,
+            ..FleetConfig::tiny()
+        },
+    );
+    // Zero simulated latency, and a pool big enough that every posting page
+    // the query touches stays resident once read.
+    let config = IndexConfig {
+        read_latency_us: 0,
+        pool_pages: 16_384,
+        ..Default::default()
+    };
+    let st = StIndex::build(network.clone(), &dataset, &config);
+
+    // A busy daytime start segment and a spread of candidates: its
+    // successors (hot postings), a far corner (cold/absent postings), and a
+    // sweep of arbitrary segments.
+    let traj = &dataset.trajectories()[0];
+    let start = traj.visits[0];
+    let core = VerifierCore::new(&st, start.segment, start.enter_time_s, 900);
+    assert!(
+        core.active_days() > 0,
+        "start segment must be active for a meaningful test"
+    );
+
+    let candidates: Vec<SegmentId> = network.segment_ids().step_by(7).take(120).collect();
+    let mut scratch = VerifierScratch::new();
+
+    // Warm-up: grow every scratch buffer to its high-water mark and pull the
+    // touched posting pages into the buffer pool.
+    let warm: Vec<f64> = candidates
+        .iter()
+        .map(|&seg| core.probability(&mut scratch, seg))
+        .collect();
+    assert!(
+        warm.iter().any(|&p| p > 0.0),
+        "some candidate must be reachable"
+    );
+
+    // Measured pass: identical calls, armed allocator.
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    let mut measured: Vec<f64> = Vec::with_capacity(candidates.len());
+    for &seg in &candidates {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        let p = core.probability(&mut scratch, seg);
+        ARMED.store(false, Ordering::SeqCst);
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        if after != before {
+            eprintln!("segment {seg}: {} allocations (p = {p})", after - before);
+        }
+        measured.push(p);
+    }
+
+    assert_eq!(warm, measured, "warm-up and measured passes must agree");
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocations,
+        0,
+        "warm probability() calls must not allocate ({} allocations over {} calls)",
+        allocations,
+        candidates.len()
+    );
+}

@@ -87,7 +87,10 @@ impl Mbr {
 
     /// Returns `true` if the point lies inside or on the boundary.
     pub fn contains_point(&self, p: &GeoPoint) -> bool {
-        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+        p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+            && p.lat >= self.min_lat
+            && p.lat <= self.max_lat
     }
 
     /// Returns `true` if `other` is fully contained in `self`.

@@ -124,7 +124,10 @@ mod tests {
         assert!((d - 500.0).abs() < 1.0, "offset east by 500m measured {d}");
         let r = p.offset_m(0.0, -1200.0);
         let d = p.haversine_m(&r);
-        assert!((d - 1200.0).abs() < 2.0, "offset south by 1200m measured {d}");
+        assert!(
+            (d - 1200.0).abs() < 2.0,
+            "offset south by 1200m measured {d}"
+        );
     }
 
     #[test]

@@ -85,7 +85,11 @@ impl Polyline {
         for w in self.points.windows(2) {
             let seg_len = equirectangular_m(&w[0], &w[1]);
             if remaining <= seg_len {
-                let t = if seg_len <= f64::EPSILON { 0.0 } else { remaining / seg_len };
+                let t = if seg_len <= f64::EPSILON {
+                    0.0
+                } else {
+                    remaining / seg_len
+                };
                 return w[0].lerp(&w[1], t);
             }
             remaining -= seg_len;
@@ -151,7 +155,11 @@ impl Polyline {
             // Consume the segment, cutting whenever we hit the piece length.
             while walked_in_piece + seg_len >= piece_len - 1e-9 && pieces.len() + 1 < n_pieces {
                 let need = piece_len - walked_in_piece;
-                let t = if seg_len <= f64::EPSILON { 1.0 } else { need / seg_len };
+                let t = if seg_len <= f64::EPSILON {
+                    1.0
+                } else {
+                    need / seg_len
+                };
                 let cut = seg_start.lerp(&seg_end, t);
                 current.push(cut);
                 pieces.push(Polyline::new(std::mem::replace(&mut current, vec![cut])));
@@ -162,7 +170,9 @@ impl Polyline {
             if seg_len > f64::EPSILON {
                 current.push(seg_end);
                 walked_in_piece += seg_len;
-            } else if current.last() != Some(&seg_end) && equirectangular_m(current.last().unwrap(), &seg_end) > 1e-9 {
+            } else if current.last() != Some(&seg_end)
+                && equirectangular_m(current.last().unwrap(), &seg_end) > 1e-9
+            {
                 current.push(seg_end);
             }
         }
@@ -230,12 +240,24 @@ mod tests {
         // A point 300m east, 50m north of the start projects onto the first leg.
         let q = p.start().offset_m(300.0, 50.0);
         let proj = p.project(&q);
-        assert!((proj.distance_m - 50.0).abs() < 2.0, "d {}", proj.distance_m);
-        assert!((proj.offset_m - 300.0).abs() < 2.0, "offset {}", proj.offset_m);
+        assert!(
+            (proj.distance_m - 50.0).abs() < 2.0,
+            "d {}",
+            proj.distance_m
+        );
+        assert!(
+            (proj.offset_m - 300.0).abs() < 2.0,
+            "offset {}",
+            proj.offset_m
+        );
         // A point near the far end projects onto the second leg with offset ~ 1900.
         let q2 = p.end().offset_m(40.0, -100.0);
         let proj2 = p.project(&q2);
-        assert!((proj2.offset_m - 1900.0).abs() < 5.0, "offset {}", proj2.offset_m);
+        assert!(
+            (proj2.offset_m - 1900.0).abs() < 5.0,
+            "offset {}",
+            proj2.offset_m
+        );
         assert!((proj2.distance_m - 40.0).abs() < 2.0);
     }
 
@@ -276,7 +298,11 @@ mod tests {
         assert_eq!(pieces.len(), expected);
         let nominal = road.length_m() / expected as f64;
         for piece in &pieces {
-            assert!(piece.length_m() <= 505.0, "piece too long: {}", piece.length_m());
+            assert!(
+                piece.length_m() <= 505.0,
+                "piece too long: {}",
+                piece.length_m()
+            );
             assert!((piece.length_m() - nominal).abs() < 5.0);
         }
     }

@@ -37,7 +37,11 @@ fn haversine_is_symmetric_and_nonnegative() {
 fn haversine_triangle_inequality() {
     let mut rng = StdRng::seed_from_u64(102);
     for case in 0..CASES {
-        let (a, b, c) = (city_point(&mut rng), city_point(&mut rng), city_point(&mut rng));
+        let (a, b, c) = (
+            city_point(&mut rng),
+            city_point(&mut rng),
+            city_point(&mut rng),
+        );
         let ab = haversine_m(&a, &b);
         let bc = haversine_m(&b, &c);
         let ac = haversine_m(&a, &c);
@@ -53,7 +57,10 @@ fn equirectangular_tracks_haversine() {
         let h = haversine_m(&a, &b);
         let e = equirectangular_m(&a, &b);
         // At city scale the two must agree within 0.5%.
-        assert!((h - e).abs() <= 0.005 * h.max(1.0), "case {case}: h {h} vs e {e}");
+        assert!(
+            (h - e).abs() <= 0.005 * h.max(1.0),
+            "case {case}: h {h} vs e {e}"
+        );
     }
 }
 
@@ -67,7 +74,10 @@ fn offset_distance_round_trip() {
         let q = p.offset_m(dx, dy);
         let expect = (dx * dx + dy * dy).sqrt();
         let got = haversine_m(&p, &q);
-        assert!((got - expect).abs() < expect.max(1.0) * 0.01 + 1.0, "case {case}");
+        assert!(
+            (got - expect).abs() < expect.max(1.0) * 0.01 + 1.0,
+            "case {case}"
+        );
     }
 }
 
@@ -156,7 +166,10 @@ fn split_by_length_preserves_length_and_endpoints() {
         assert_eq!(pieces[0].start(), line.start(), "case {case}");
         assert_eq!(pieces.last().unwrap().end(), line.end(), "case {case}");
         for piece in &pieces {
-            assert!(piece.length_m() <= granularity + granularity * 0.01 + 1.0, "case {case}");
+            assert!(
+                piece.length_m() <= granularity + granularity * 0.01 + 1.0,
+                "case {case}"
+            );
         }
         // Contiguity between consecutive pieces.
         for w in pieces.windows(2) {
@@ -174,6 +187,10 @@ fn point_at_offset_is_on_or_near_polyline() {
         let frac = rng.gen_range(0.0..1.0);
         let p = line.point_at_fraction(frac);
         let proj = line.project(&p);
-        assert!(proj.distance_m < 1.0, "case {case}: distance {}", proj.distance_m);
+        assert!(
+            proj.distance_m < 1.0,
+            "case {case}: distance {}",
+            proj.distance_m
+        );
     }
 }

@@ -27,7 +27,9 @@ pub const MIN_PARALLEL_ITEMS: usize = 16;
 /// Number of worker threads to use for a batch of `len` items: the available
 /// hardware parallelism, capped so every worker gets a meaningful chunk.
 pub fn num_workers(len: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     hw.min(len / (MIN_PARALLEL_ITEMS / 2)).max(1)
 }
 
@@ -86,7 +88,62 @@ where
         }
     });
 
-    out.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Sorts a vector in parallel: chunks are sorted on scoped threads, then
+/// merged bottom-up on the caller thread. Used by the ST-Index build to group
+/// observation tuples by (slot, segment) without hash maps.
+///
+/// `T: Copy` keeps the merge a plain element copy; every user in this
+/// workspace sorts small plain-data tuples.
+pub fn par_sort_unstable<T: Ord + Send + Copy>(items: &mut Vec<T>) {
+    let n = items.len();
+    let workers = num_workers(n);
+    if n < 4 * MIN_PARALLEL_ITEMS || workers == 1 {
+        items.sort_unstable();
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for piece in items.chunks_mut(chunk) {
+            scope.spawn(move || piece.sort_unstable());
+        }
+    });
+    // Bottom-up merge of the sorted runs.
+    let mut src = std::mem::take(items);
+    let mut dst: Vec<T> = Vec::with_capacity(n);
+    let mut run = chunk;
+    while run < src.len() {
+        dst.clear();
+        let mut i = 0;
+        while i < src.len() {
+            let mid = (i + run).min(src.len());
+            let end = (i + 2 * run).min(src.len());
+            merge_into(&src[i..mid], &src[mid..end], &mut dst);
+            i = end;
+        }
+        std::mem::swap(&mut src, &mut dst);
+        run *= 2;
+    }
+    *items = src;
+}
+
+fn merge_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 #[cfg(test)]
@@ -99,7 +156,11 @@ mod tests {
         for n in [0usize, 1, 7, MIN_PARALLEL_ITEMS, 1000] {
             let items: Vec<usize> = (0..n).collect();
             let out = par_map(&items, |x| x * 2);
-            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "n = {n}");
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * 2).collect::<Vec<_>>(),
+                "n = {n}"
+            );
         }
     }
 
@@ -130,7 +191,10 @@ mod tests {
             },
         );
         assert_eq!(out.len(), items.len());
-        assert!(out.iter().any(|&c| c > 1), "state must be reused across items");
+        assert!(
+            out.iter().any(|&c| c > 1),
+            "state must be reused across items"
+        );
     }
 
     #[test]
@@ -138,6 +202,27 @@ mod tests {
         assert_eq!(num_workers(0), 1);
         assert!(num_workers(1_000_000) >= 1);
         assert!(num_workers(MIN_PARALLEL_ITEMS) <= MIN_PARALLEL_ITEMS);
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        // Deterministic pseudo-random input (LCG), various sizes around the
+        // parallel threshold.
+        for n in [0usize, 1, 5, 63, 64, 65, 1000, 10_000] {
+            let mut x = 0x2545F4914F6CDD1Du64;
+            let mut v: Vec<u64> = (0..n)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    x >> 16
+                })
+                .collect();
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            par_sort_unstable(&mut v);
+            assert_eq!(v, expected, "n = {n}");
+        }
     }
 
     #[test]

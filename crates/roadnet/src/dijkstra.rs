@@ -1,4 +1,19 @@
 //! Shortest paths over the road network.
+//!
+//! The query hot path runs many Dijkstra expansions per query (the ES
+//! distance cap, MQMB's per-start ownership distances), so the search state
+//! lives in a reusable [`DijkstraWorkspace`]: dense per-segment arrays that
+//! are *epoch-stamped* instead of cleared — starting a new run bumps a
+//! counter, and a slot is only considered initialised when its stamp matches
+//! the current epoch. A run therefore costs O(visited) regardless of how
+//! large the network is, performs no hashing, and after the first run on a
+//! network performs no allocation at all.
+//!
+//! Priorities are ordered with [`f64::total_cmp`], which is a total order
+//! even in the presence of NaN (the previous `Cost` newtype fell back to
+//! `Ordering::Equal`, which can silently corrupt the binary-heap invariant).
+//! Ties are broken by segment ID so heap order — and therefore the visit
+//! order — is fully deterministic.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -6,49 +21,192 @@ use std::collections::{BinaryHeap, HashMap};
 use crate::graph::{NodeId, RoadNetwork};
 use crate::segment::SegmentId;
 
-#[derive(PartialEq)]
-struct Cost(f64);
-impl Eq for Cost {}
-impl PartialOrd for Cost {
+/// A heap entry ordered by distance via `total_cmp`, with the item index as
+/// a deterministic tie-breaker. Shared with the time-budgeted expansion in
+/// [`crate::expansion`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct HeapEntry {
+    pub(crate) dist: f64,
+    pub(crate) item: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Cost {
+
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.item.cmp(&other.item))
     }
 }
 
-/// Network distances (in meters) from the *end* of `start` to the *end* of
-/// every segment reachable within `max_distance_m`, traversing segments in
-/// their stated direction. The start segment itself has distance zero.
+/// Reusable dense-array state for segment-level Dijkstra runs.
 ///
-/// This is the `dis(r0, r)` used by the MQMB overlap-elimination rule: when a
-/// road segment falls inside several per-location bounding regions, it is
-/// kept only for the start location it is closest to.
+/// One workspace serves any number of consecutive runs, including runs over
+/// different networks (the arrays grow to the largest segment count seen).
+/// It is intentionally *not* shared across threads: each worker owns one.
+#[derive(Debug, Default)]
+pub struct DijkstraWorkspace {
+    dist: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Segment indices settled by the current run, in settling order.
+    settled: Vec<u32>,
+}
+
+impl DijkstraWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new run over a graph with `n` items: bumps the epoch and
+    /// grows the arrays if needed. Only touched slots are ever re-read.
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrap-around (once per 2^32 runs): reset all stamps.
+                self.stamp.fill(0);
+                1
+            }
+        };
+        self.heap.clear();
+        self.settled.clear();
+    }
+
+    #[inline]
+    fn tentative(&self, idx: usize) -> f64 {
+        if self.stamp[idx] == self.epoch {
+            self.dist[idx]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn relax(&mut self, idx: usize, d: f64) {
+        self.dist[idx] = d;
+        self.stamp[idx] = self.epoch;
+        self.heap.push(Reverse(HeapEntry {
+            dist: d,
+            item: idx as u32,
+        }));
+    }
+
+    /// Network distances (in meters) from the *end* of `start` to the *end*
+    /// of every segment reachable within `max_distance_m`, traversing
+    /// segments in their stated direction. The start segment itself has
+    /// distance zero. Results are queried with [`DijkstraWorkspace::distance`]
+    /// or iterated with [`DijkstraWorkspace::settled`] until the next run.
+    ///
+    /// This is the `dis(r0, r)` used by the MQMB overlap-elimination rule:
+    /// when a road segment falls inside several per-location bounding
+    /// regions, it is kept only for the start location it is closest to.
+    pub fn run(&mut self, network: &RoadNetwork, start: SegmentId, max_distance_m: f64) {
+        self.run_until(network, start, max_distance_m, |_| false);
+    }
+
+    /// Like [`DijkstraWorkspace::run`], but stops early as soon as `done`
+    /// returns `true` for a settled segment (used for point-to-point
+    /// queries).
+    pub fn run_until<F>(
+        &mut self,
+        network: &RoadNetwork,
+        start: SegmentId,
+        max_distance_m: f64,
+        mut done: F,
+    ) where
+        F: FnMut(SegmentId) -> bool,
+    {
+        self.begin(network.num_segments());
+        self.relax(start.index(), 0.0);
+        while let Some(Reverse(HeapEntry { dist: d, item })) = self.heap.pop() {
+            let seg = SegmentId(item);
+            if d > self.tentative(item as usize) {
+                continue; // stale heap entry
+            }
+            self.settled.push(item);
+            if done(seg) {
+                return;
+            }
+            for next in network.successors(seg) {
+                let nd = d + network.segment(next).length_m;
+                if nd <= max_distance_m && nd < self.tentative(next.index()) {
+                    self.relax(next.index(), nd);
+                }
+            }
+        }
+    }
+
+    /// Distance of `seg` from the start of the most recent run, if reached.
+    #[inline]
+    pub fn distance(&self, seg: SegmentId) -> Option<f64> {
+        let idx = seg.index();
+        if idx < self.stamp.len() && self.stamp[idx] == self.epoch {
+            Some(self.dist[idx])
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` when `seg` was reached by the most recent run.
+    #[inline]
+    pub fn reached(&self, seg: SegmentId) -> bool {
+        self.distance(seg).is_some()
+    }
+
+    /// Segments settled by the most recent run with their distances, in
+    /// settling (ascending-distance) order.
+    pub fn settled(&self) -> impl Iterator<Item = (SegmentId, f64)> + '_ {
+        self.settled
+            .iter()
+            .map(|&i| (SegmentId(i), self.dist[i as usize]))
+    }
+
+    /// Number of segments settled by the most recent run.
+    pub fn num_settled(&self) -> usize {
+        self.settled.len()
+    }
+}
+
+thread_local! {
+    static THREAD_WORKSPACE: std::cell::RefCell<DijkstraWorkspace> =
+        std::cell::RefCell::new(DijkstraWorkspace::new());
+}
+
+/// Runs `f` with the calling thread's long-lived [`DijkstraWorkspace`].
+///
+/// This is how the query hot paths (the ES travel cap, MQMB's per-start
+/// ownership distances) get cross-*query* reuse of the dense arrays: the
+/// workspace lives for the thread, so after the first query on a thread no
+/// Dijkstra run allocates. Must not be called re-entrantly from `f`.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut DijkstraWorkspace) -> R) -> R {
+    THREAD_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+/// Network distances from `start` as a map (compatibility wrapper around
+/// [`DijkstraWorkspace`]; hot paths should hold a workspace and use
+/// [`DijkstraWorkspace::run`] directly to avoid the per-call allocations).
 pub fn segment_distances_from(
     network: &RoadNetwork,
     start: SegmentId,
     max_distance_m: f64,
 ) -> HashMap<SegmentId, f64> {
-    let mut dist: HashMap<SegmentId, f64> = HashMap::new();
-    let mut heap: BinaryHeap<(Reverse<Cost>, SegmentId)> = BinaryHeap::new();
-    dist.insert(start, 0.0);
-    heap.push((Reverse(Cost(0.0)), start));
-    while let Some((Reverse(Cost(d)), seg)) = heap.pop() {
-        if d > *dist.get(&seg).unwrap_or(&f64::INFINITY) {
-            continue;
-        }
-        for next in network.successors(seg) {
-            let nd = d + network.segment(next).length_m;
-            if nd <= max_distance_m && nd < *dist.get(&next).unwrap_or(&f64::INFINITY) {
-                dist.insert(next, nd);
-                heap.push((Reverse(Cost(nd)), next));
-            }
-        }
-    }
-    dist
+    let mut ws = DijkstraWorkspace::new();
+    ws.run(network, start, max_distance_m);
+    ws.settled().collect()
 }
 
 /// Network distance in meters from `from` to `to` (end-of-segment to
@@ -60,29 +218,9 @@ pub fn shortest_segment_distance(
     to: SegmentId,
     max_distance_m: f64,
 ) -> Option<f64> {
-    if from == to {
-        return Some(0.0);
-    }
-    let mut dist: HashMap<SegmentId, f64> = HashMap::new();
-    let mut heap: BinaryHeap<(Reverse<Cost>, SegmentId)> = BinaryHeap::new();
-    dist.insert(from, 0.0);
-    heap.push((Reverse(Cost(0.0)), from));
-    while let Some((Reverse(Cost(d)), seg)) = heap.pop() {
-        if seg == to {
-            return Some(d);
-        }
-        if d > *dist.get(&seg).unwrap_or(&f64::INFINITY) {
-            continue;
-        }
-        for next in network.successors(seg) {
-            let nd = d + network.segment(next).length_m;
-            if nd <= max_distance_m && nd < *dist.get(&next).unwrap_or(&f64::INFINITY) {
-                dist.insert(next, nd);
-                heap.push((Reverse(Cost(nd)), next));
-            }
-        }
-    }
-    None
+    let mut ws = DijkstraWorkspace::new();
+    ws.run_until(network, from, max_distance_m, |seg| seg == to);
+    ws.distance(to)
 }
 
 /// Shortest path between two intersections by travel distance. Returns the
@@ -99,10 +237,14 @@ pub fn shortest_path_between_nodes(
     let n = network.num_nodes();
     let mut dist = vec![f64::INFINITY; n];
     let mut via: Vec<Option<SegmentId>> = vec![None; n];
-    let mut heap: BinaryHeap<(Reverse<Cost>, NodeId)> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
     dist[from.index()] = 0.0;
-    heap.push((Reverse(Cost(0.0)), from));
-    while let Some((Reverse(Cost(d)), node)) = heap.pop() {
+    heap.push(Reverse(HeapEntry {
+        dist: 0.0,
+        item: from.0,
+    }));
+    while let Some(Reverse(HeapEntry { dist: d, item })) = heap.pop() {
+        let node = NodeId(item);
         if node == to {
             break;
         }
@@ -115,7 +257,10 @@ pub fn shortest_path_between_nodes(
             if nd < dist[seg.end_node.index()] {
                 dist[seg.end_node.index()] = nd;
                 via[seg.end_node.index()] = Some(seg_id);
-                heap.push((Reverse(Cost(nd)), seg.end_node));
+                heap.push(Reverse(HeapEntry {
+                    dist: nd,
+                    item: seg.end_node.0,
+                }));
             }
         }
     }
@@ -210,7 +355,9 @@ mod tests {
     #[test]
     fn segment_distances_respect_budget() {
         let net = grid();
-        let (start, _) = net.nearest_segment(&GeoPoint::new(114.0, 22.5).offset_m(250.0, 0.0)).unwrap();
+        let (start, _) = net
+            .nearest_segment(&GeoPoint::new(114.0, 22.5).offset_m(250.0, 0.0))
+            .unwrap();
         let dist = segment_distances_from(&net, start, 1200.0);
         assert_eq!(dist[&start], 0.0);
         assert!(dist.len() > 1);
@@ -228,13 +375,18 @@ mod tests {
     #[test]
     fn shortest_segment_distance_matches_distance_map() {
         let net = grid();
-        let (start, _) = net.nearest_segment(&GeoPoint::new(114.0, 22.5).offset_m(250.0, 0.0)).unwrap();
+        let (start, _) = net
+            .nearest_segment(&GeoPoint::new(114.0, 22.5).offset_m(250.0, 0.0))
+            .unwrap();
         let dist = segment_distances_from(&net, start, 4000.0);
         for (&seg, &d) in dist.iter().take(20) {
             let single = shortest_segment_distance(&net, start, seg, 4000.0).unwrap();
             assert!((single - d).abs() < 1e-9);
         }
-        assert_eq!(shortest_segment_distance(&net, start, start, 100.0), Some(0.0));
+        assert_eq!(
+            shortest_segment_distance(&net, start, start, 100.0),
+            Some(0.0)
+        );
     }
 
     #[test]
@@ -254,7 +406,125 @@ mod tests {
             },
         ];
         let net = RoadNetwork::from_roads(&roads);
-        assert_eq!(shortest_segment_distance(&net, SegmentId(0), SegmentId(1), 1e9), None);
+        assert_eq!(
+            shortest_segment_distance(&net, SegmentId(0), SegmentId(1), 1e9),
+            None
+        );
         assert!(shortest_path_between_nodes(&net, NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn workspace_reuse_across_runs_matches_fresh_runs() {
+        let net = grid();
+        let mut ws = DijkstraWorkspace::new();
+        let starts: Vec<SegmentId> = net.segment_ids().take(8).collect();
+        for &start in &starts {
+            ws.run(&net, start, 1700.0);
+            let fresh = segment_distances_from(&net, start, 1700.0);
+            assert_eq!(ws.num_settled(), fresh.len(), "start {start}");
+            for (seg, d) in ws.settled() {
+                assert!((fresh[&seg] - d).abs() < 1e-9, "start {start} seg {seg}");
+            }
+            // Segments beyond the budget are reported unreached.
+            for seg in net.segment_ids() {
+                assert_eq!(
+                    ws.reached(seg),
+                    fresh.contains_key(&seg),
+                    "start {start} seg {seg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn settled_order_is_ascending_distance() {
+        let net = grid();
+        let mut ws = DijkstraWorkspace::new();
+        ws.run(&net, SegmentId(0), 5000.0);
+        let dists: Vec<f64> = ws.settled().map(|(_, d)| d).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Regression for the NaN-unsound `Ord` of the old `Cost` newtype: a
+    /// chain of degenerate (sub-meter, effectively zero-length) segments
+    /// produces many exactly-tied priorities; the heap order must stay a
+    /// total order and distances must match a fresh brute-force run.
+    #[test]
+    fn degenerate_zero_length_segments_keep_heap_order_sound() {
+        let a = GeoPoint::new(114.0, 22.5);
+        let mut roads = Vec::new();
+        // A star of 6 one-way micro-segments (0.3 m) all tied at ~0 cost,
+        // followed by a normal road out of the cluster.
+        let mut p = a;
+        for _ in 0..6 {
+            let q = p.offset_m(0.3, 0.0);
+            roads.push(RawRoad {
+                geometry: Polyline::straight(p, q),
+                class: RoadClass::Local,
+                direction: Direction::TwoWay,
+            });
+            p = q;
+        }
+        roads.push(RawRoad {
+            geometry: Polyline::straight(p, p.offset_m(400.0, 0.0)),
+            class: RoadClass::Local,
+            direction: Direction::OneWay,
+        });
+        let net = RoadNetwork::from_roads(&roads);
+        let mut ws = DijkstraWorkspace::new();
+        ws.run(&net, SegmentId(0), 1e9);
+        // Every segment the chain reaches is settled exactly once, with
+        // finite, monotone distances.
+        let mut seen = std::collections::HashSet::new();
+        let mut last = 0.0f64;
+        for (seg, d) in ws.settled() {
+            assert!(seen.insert(seg), "segment {seg} settled twice");
+            assert!(d.is_finite());
+            assert!(d >= last, "settling order went backwards");
+            last = d;
+        }
+        assert!(ws.num_settled() >= 7, "settled {}", ws.num_settled());
+    }
+
+    /// `total_cmp` heap entries are totally ordered even for NaN priorities
+    /// (the old `unwrap_or(Equal)` fallback violated transitivity).
+    #[test]
+    fn heap_entry_total_order_with_nan() {
+        let nan = HeapEntry {
+            dist: f64::NAN,
+            item: 1,
+        };
+        let one = HeapEntry { dist: 1.0, item: 2 };
+        let inf = HeapEntry {
+            dist: f64::INFINITY,
+            item: 3,
+        };
+        // total_cmp places +NaN above +inf; what matters is consistency.
+        assert_eq!(nan.cmp(&nan), std::cmp::Ordering::Equal);
+        assert_eq!(nan.cmp(&one), std::cmp::Ordering::Greater);
+        assert_eq!(one.cmp(&nan), std::cmp::Ordering::Less);
+        assert_eq!(inf.cmp(&nan), std::cmp::Ordering::Less);
+        // Antisymmetry + transitivity over a mixed set: sorting must not panic
+        // and must be idempotent.
+        let mut v = vec![
+            nan,
+            one,
+            inf,
+            HeapEntry {
+                dist: f64::NAN,
+                item: 0,
+            },
+        ];
+        v.sort();
+        let w = {
+            let mut w = v.clone();
+            w.sort();
+            w
+        };
+        // NaN != NaN under PartialEq, so compare through the total order.
+        assert!(v
+            .iter()
+            .zip(&w)
+            .all(|(a, b)| a.cmp(b) == std::cmp::Ordering::Equal));
     }
 }

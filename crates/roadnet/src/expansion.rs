@@ -10,6 +10,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use crate::dijkstra::HeapEntry;
 use crate::graph::RoadNetwork;
 use crate::segment::SegmentId;
 
@@ -44,20 +45,6 @@ impl ExpansionResult {
     }
 }
 
-#[derive(PartialEq)]
-struct Cost(f64);
-impl Eq for Cost {}
-impl PartialOrd for Cost {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Cost {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
-    }
-}
-
 /// Expands the network from `start_segments`, traversing each segment at the
 /// speed (m/s) returned by `speed_ms`, and returns every segment whose
 /// earliest arrival time is within `budget_s` seconds.
@@ -76,12 +63,16 @@ where
     F: FnMut(SegmentId) -> f64,
 {
     let mut arrival: HashMap<SegmentId, f64> = HashMap::new();
-    let mut heap: BinaryHeap<(Reverse<Cost>, SegmentId)> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
     for &s in start_segments {
         arrival.insert(s, 0.0);
-        heap.push((Reverse(Cost(0.0)), s));
+        heap.push(Reverse(HeapEntry {
+            dist: 0.0,
+            item: s.0,
+        }));
     }
-    while let Some((Reverse(Cost(t)), seg)) = heap.pop() {
+    while let Some(Reverse(HeapEntry { dist: t, item })) = heap.pop() {
+        let seg = SegmentId(item);
         if t > *arrival.get(&seg).unwrap_or(&f64::INFINITY) {
             continue;
         }
@@ -94,7 +85,10 @@ where
             let nt = t + cost;
             if nt <= budget_s && nt < *arrival.get(&next).unwrap_or(&f64::INFINITY) {
                 arrival.insert(next, nt);
-                heap.push((Reverse(Cost(nt)), next));
+                heap.push(Reverse(HeapEntry {
+                    dist: nt,
+                    item: next.0,
+                }));
             }
         }
     }
@@ -155,7 +149,13 @@ mod tests {
     fn zero_speed_blocks_expansion() {
         let net = chain();
         // Segment 2 is impassable.
-        let result = expand_within_time(&net, &[SegmentId(0)], 1e6, |s| if s == SegmentId(2) { 0.0 } else { 10.0 });
+        let result = expand_within_time(&net, &[SegmentId(0)], 1e6, |s| {
+            if s == SegmentId(2) {
+                0.0
+            } else {
+                10.0
+            }
+        });
         assert!(result.contains(SegmentId(1)));
         assert!(!result.contains(SegmentId(2)));
         assert!(!result.contains(SegmentId(5)));

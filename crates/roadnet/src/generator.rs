@@ -64,12 +64,22 @@ impl Default for GeneratorConfig {
 impl GeneratorConfig {
     /// A small city (good for unit tests): 9×9 grid, ~4 km across.
     pub fn small() -> Self {
-        Self { cols: 9, rows: 9, seed: 7, ..Self::default() }
+        Self {
+            cols: 9,
+            rows: 9,
+            seed: 7,
+            ..Self::default()
+        }
     }
 
     /// A medium city used by the examples: 21×21 grid, ~10 km across.
     pub fn medium() -> Self {
-        Self { cols: 21, rows: 21, seed: 11, ..Self::default() }
+        Self {
+            cols: 21,
+            rows: 21,
+            seed: 11,
+            ..Self::default()
+        }
     }
 
     /// Approximate extent of the city in kilometres, `(east-west, north-south)`.
@@ -93,7 +103,10 @@ impl SyntheticCity {
     /// Generates the city deterministically from `config.seed`.
     #[allow(clippy::needless_range_loop)] // grid[i][j] indexing is clearer than iterator chains here
     pub fn generate(config: GeneratorConfig) -> Self {
-        assert!(config.cols >= 2 && config.rows >= 2, "city needs at least a 2x2 grid");
+        assert!(
+            config.cols >= 2 && config.rows >= 2,
+            "city needs at least a 2x2 grid"
+        );
         assert!(config.block_m > 0.0, "block size must be positive");
         let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -102,8 +115,16 @@ impl SyntheticCity {
         for i in 0..config.cols {
             let mut column = Vec::with_capacity(config.rows);
             for j in 0..config.rows {
-                let jitter_x = if config.jitter_m > 0.0 { rng.gen_range(-config.jitter_m..config.jitter_m) } else { 0.0 };
-                let jitter_y = if config.jitter_m > 0.0 { rng.gen_range(-config.jitter_m..config.jitter_m) } else { 0.0 };
+                let jitter_x = if config.jitter_m > 0.0 {
+                    rng.gen_range(-config.jitter_m..config.jitter_m)
+                } else {
+                    0.0
+                };
+                let jitter_y = if config.jitter_m > 0.0 {
+                    rng.gen_range(-config.jitter_m..config.jitter_m)
+                } else {
+                    0.0
+                };
                 column.push(config.origin.offset_m(
                     i as f64 * config.block_m + jitter_x,
                     j as f64 * config.block_m + jitter_y,
@@ -113,7 +134,9 @@ impl SyntheticCity {
         }
 
         let class_of_line = |index: usize| -> RoadClass {
-            if config.highway_period > 0 && index % config.highway_period == config.highway_period / 2 {
+            if config.highway_period > 0
+                && index % config.highway_period == config.highway_period / 2
+            {
                 RoadClass::Highway
             } else if config.primary_period > 0 && index.is_multiple_of(config.primary_period) {
                 RoadClass::Primary
@@ -149,7 +172,9 @@ impl SyntheticCity {
         }
         // One diagonal expressway crossing the city, to break the pure grid
         // topology (long trips naturally route onto it).
-        let diag_points: Vec<GeoPoint> = (0..config.cols.min(config.rows)).map(|k| grid[k][k]).collect();
+        let diag_points: Vec<GeoPoint> = (0..config.cols.min(config.rows))
+            .map(|k| grid[k][k])
+            .collect();
         if diag_points.len() >= 2 {
             for w in diag_points.windows(2) {
                 roads.push(RawRoad {
@@ -184,17 +209,36 @@ mod tests {
         let b = SyntheticCity::generate(GeneratorConfig::small());
         assert_eq!(a.network.num_segments(), b.network.num_segments());
         assert_eq!(a.network.num_nodes(), b.network.num_nodes());
-        let pa = a.network.segment(crate::segment::SegmentId(10)).geometry.start();
-        let pb = b.network.segment(crate::segment::SegmentId(10)).geometry.start();
+        let pa = a
+            .network
+            .segment(crate::segment::SegmentId(10))
+            .geometry
+            .start();
+        let pb = b
+            .network
+            .segment(crate::segment::SegmentId(10))
+            .geometry
+            .start();
         assert_eq!(pa, pb);
     }
 
     #[test]
     fn different_seeds_differ() {
         let a = SyntheticCity::generate(GeneratorConfig::small());
-        let b = SyntheticCity::generate(GeneratorConfig { seed: 99, ..GeneratorConfig::small() });
-        let pa = a.network.segment(crate::segment::SegmentId(10)).geometry.start();
-        let pb = b.network.segment(crate::segment::SegmentId(10)).geometry.start();
+        let b = SyntheticCity::generate(GeneratorConfig {
+            seed: 99,
+            ..GeneratorConfig::small()
+        });
+        let pa = a
+            .network
+            .segment(crate::segment::SegmentId(10))
+            .geometry
+            .start();
+        let pb = b
+            .network
+            .segment(crate::segment::SegmentId(10))
+            .geometry
+            .start();
         assert_ne!(pa, pb);
     }
 
@@ -261,7 +305,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "2x2")]
     fn degenerate_grid_rejected() {
-        SyntheticCity::generate(GeneratorConfig { cols: 1, ..GeneratorConfig::small() });
+        SyntheticCity::generate(GeneratorConfig {
+            cols: 1,
+            ..GeneratorConfig::small()
+        });
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub struct RoadNetwork {
     out_segments: Vec<Vec<SegmentId>>,
     /// Incoming segments per node.
     in_segments: Vec<Vec<SegmentId>>,
+    /// Geometric midpoint of every segment, memoized at construction time:
+    /// the MQMB overlap-elimination rule compares `dis(r0, b)` for every
+    /// newly reached segment, and recomputing the midpoint from the polyline
+    /// on each comparison dominated its cost.
+    midpoints: Vec<GeoPoint>,
     rtree: RTree<SegmentId>,
 }
 
@@ -113,8 +118,19 @@ impl RoadNetwork {
         }
 
         let rtree = RTree::bulk_load(segments.iter().map(|s| (s.mbr, s.id)).collect());
+        let midpoints = segments
+            .iter()
+            .map(|s| s.geometry.point_at_fraction(0.5))
+            .collect();
 
-        Self { nodes, segments, out_segments, in_segments, rtree }
+        Self {
+            nodes,
+            segments,
+            out_segments,
+            in_segments,
+            midpoints,
+            rtree,
+        }
     }
 
     /// Number of intersections.
@@ -135,6 +151,12 @@ impl RoadNetwork {
     /// The segment record for an ID.
     pub fn segment(&self, id: SegmentId) -> &RoadSegment {
         &self.segments[id.index()]
+    }
+
+    /// Memoized geometric midpoint of a segment (`point_at_fraction(0.5)`).
+    #[inline]
+    pub fn segment_midpoint(&self, id: SegmentId) -> GeoPoint {
+        self.midpoints[id.index()]
     }
 
     /// All segments.
@@ -184,7 +206,10 @@ impl RoadNetwork {
         let seg = self.segment(id);
         let mut out: Vec<SegmentId> = Vec::new();
         for node in [seg.start_node, seg.end_node] {
-            for &other in self.out_segments[node.index()].iter().chain(self.in_segments[node.index()].iter()) {
+            for &other in self.out_segments[node.index()]
+                .iter()
+                .chain(self.in_segments[node.index()].iter())
+            {
                 if other != id && !out.contains(&other) {
                     out.push(other);
                 }
@@ -197,7 +222,9 @@ impl RoadNetwork {
     /// distance in meters. Returns `None` on an empty network.
     pub fn nearest_segment(&self, p: &GeoPoint) -> Option<(SegmentId, f64)> {
         self.rtree
-            .nearest_by(p, |id| self.segments[id.index()].geometry.project(p).distance_m)
+            .nearest_by(p, |id| {
+                self.segments[id.index()].geometry.project(p).distance_m
+            })
             .map(|(id, d)| (*id, d))
     }
 
@@ -343,7 +370,10 @@ mod tests {
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap();
         assert_eq!(net.segment(found).geometry.project(&probe).distance_m, d);
-        assert!((d - brute_d).abs() < 1e-9, "found {found:?} vs brute {brute:?}");
+        assert!(
+            (d - brute_d).abs() < 1e-9,
+            "found {found:?} vs brute {brute:?}"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod graph;
 pub mod resegment;
 pub mod segment;
 
-pub use dijkstra::{segment_distances_from, shortest_path_between_nodes, shortest_segment_distance};
+pub use dijkstra::{
+    segment_distances_from, shortest_path_between_nodes, shortest_segment_distance,
+    with_thread_workspace, DijkstraWorkspace,
+};
 pub use expansion::{expand_within_time, ExpansionResult};
 pub use generator::{GeneratorConfig, SyntheticCity};
 pub use graph::{NodeId, RawRoad, RoadNetwork};

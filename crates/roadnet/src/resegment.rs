@@ -22,7 +22,11 @@ pub fn resegment_roads(roads: &[RawRoad], granularity_m: f64) -> Vec<RawRoad> {
             out.push(road.clone());
         } else {
             for piece in road.geometry.split_by_length(granularity_m) {
-                out.push(RawRoad { geometry: piece, class: road.class, direction: road.direction });
+                out.push(RawRoad {
+                    geometry: piece,
+                    class: road.class,
+                    direction: road.direction,
+                });
             }
         }
     }
@@ -70,8 +74,10 @@ mod tests {
         let out = resegment_roads(&roads, 500.0);
         // The 4.8 km highway becomes 10 pieces of 480 m; the street stays.
         assert_eq!(out.len(), 11);
-        let highway_pieces: Vec<&RawRoad> =
-            out.iter().filter(|r| r.class == RoadClass::Highway).collect();
+        let highway_pieces: Vec<&RawRoad> = out
+            .iter()
+            .filter(|r| r.class == RoadClass::Highway)
+            .collect();
         assert_eq!(highway_pieces.len(), 10);
         for piece in &highway_pieces {
             assert!(piece.geometry.length_m() <= 505.0);

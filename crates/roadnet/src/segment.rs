@@ -61,7 +61,12 @@ impl RoadClass {
 
     /// All classes, ordered from fastest to slowest.
     pub fn all() -> [RoadClass; 4] {
-        [RoadClass::Highway, RoadClass::Primary, RoadClass::Secondary, RoadClass::Local]
+        [
+            RoadClass::Highway,
+            RoadClass::Primary,
+            RoadClass::Secondary,
+            RoadClass::Local,
+        ]
     }
 }
 
@@ -110,7 +115,17 @@ impl RoadSegment {
     ) -> Self {
         let length_m = geometry.length_m();
         let mbr = geometry.mbr();
-        Self { id, start_node, end_node, geometry, length_m, class, direction, mbr, twin: None }
+        Self {
+            id,
+            start_node,
+            end_node,
+            geometry,
+            length_m,
+            class,
+            direction,
+            mbr,
+            twin: None,
+        }
     }
 
     /// Free-flow traversal time of the segment in seconds.

@@ -30,7 +30,11 @@ fn arb_road(rng: &mut StdRng) -> RawRoad {
     RawRoad {
         geometry: Polyline::straight(a, b),
         class: arb_class(rng),
-        direction: if rng.gen_bool(0.5) { Direction::TwoWay } else { Direction::OneWay },
+        direction: if rng.gen_bool(0.5) {
+            Direction::TwoWay
+        } else {
+            Direction::OneWay
+        },
     }
 }
 
@@ -50,9 +54,15 @@ fn resegmentation_preserves_length() {
         let before: f64 = roads.iter().map(|r| r.geometry.length_m()).sum();
         let out = resegment_roads(&roads, granularity);
         let after: f64 = out.iter().map(|r| r.geometry.length_m()).sum();
-        assert!((before - after).abs() < before.max(1.0) * 0.01 + 1.0, "case {case}");
+        assert!(
+            (before - after).abs() < before.max(1.0) * 0.01 + 1.0,
+            "case {case}"
+        );
         for piece in &out {
-            assert!(piece.geometry.length_m() <= granularity * 1.02 + 1.0, "case {case}");
+            assert!(
+                piece.geometry.length_m() <= granularity * 1.02 + 1.0,
+                "case {case}"
+            );
         }
         assert!(out.len() >= roads.len(), "case {case}");
     }
@@ -114,7 +124,10 @@ fn nearest_segment_matches_bruteforce() {
             .iter()
             .map(|s| s.geometry.project(&q).distance_m)
             .fold(f64::INFINITY, f64::min);
-        assert!((d - brute).abs() < 1e-6, "case {case}: got {d} brute {brute}");
+        assert!(
+            (d - brute).abs() < 1e-6,
+            "case {case}: got {d} brute {brute}"
+        );
     }
 }
 
@@ -125,16 +138,30 @@ fn expansion_monotonicity() {
     for case in 0..12 {
         let seed = rng.gen_range(0..1000u64);
         let budget = rng.gen_range(30.0..600.0);
-        let city = SyntheticCity::generate(GeneratorConfig { seed, ..GeneratorConfig::small() });
+        let city = SyntheticCity::generate(GeneratorConfig {
+            seed,
+            ..GeneratorConfig::small()
+        });
         let net = &city.network;
         let (start, _) = net.nearest_segment(&city.central_point()).unwrap();
-        let slow = expand_within_time(net, &[start], budget, |s| net.segment(s).class.free_flow_ms() * 0.5);
-        let fast = expand_within_time(net, &[start], budget, |s| net.segment(s).class.free_flow_ms());
-        let longer =
-            expand_within_time(net, &[start], budget * 2.0, |s| net.segment(s).class.free_flow_ms() * 0.5);
+        let slow = expand_within_time(net, &[start], budget, |s| {
+            net.segment(s).class.free_flow_ms() * 0.5
+        });
+        let fast = expand_within_time(net, &[start], budget, |s| {
+            net.segment(s).class.free_flow_ms()
+        });
+        let longer = expand_within_time(net, &[start], budget * 2.0, |s| {
+            net.segment(s).class.free_flow_ms() * 0.5
+        });
         for seg in slow.reached() {
-            assert!(fast.contains(seg), "case {case}: faster speeds must reach a superset");
-            assert!(longer.contains(seg), "case {case}: longer budget must reach a superset");
+            assert!(
+                fast.contains(seg),
+                "case {case}: faster speeds must reach a superset"
+            );
+            assert!(
+                longer.contains(seg),
+                "case {case}: longer budget must reach a superset"
+            );
         }
         // Arrival times never exceed the budget.
         for (_, t) in fast.arrival_s.iter() {
@@ -150,7 +177,10 @@ fn dijkstra_distances_are_consistent() {
     let mut rng = StdRng::seed_from_u64(405);
     for case in 0..12 {
         let seed = rng.gen_range(0..1000u64);
-        let city = SyntheticCity::generate(GeneratorConfig { seed, ..GeneratorConfig::small() });
+        let city = SyntheticCity::generate(GeneratorConfig {
+            seed,
+            ..GeneratorConfig::small()
+        });
         let net = &city.network;
         let (start, _) = net.nearest_segment(&city.central_point()).unwrap();
         let dist = segment_distances_from(net, start, 2500.0);

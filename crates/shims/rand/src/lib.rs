@@ -55,7 +55,14 @@ pub mod rngs {
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
-            Self { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
         }
     }
 
@@ -74,7 +81,10 @@ pub mod rngs {
         }
 
         fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
-            assert!(range.start < range.end, "gen_range requires a non-empty range");
+            assert!(
+                range.start < range.end,
+                "gen_range requires a non-empty range"
+            );
             T::sample_half_open(self, range.start, range.end)
         }
     }
@@ -158,6 +168,9 @@ mod tests {
     fn gen_bool_tracks_probability() {
         let mut rng = StdRng::seed_from_u64(3);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
-        assert!((2000..3000).contains(&hits), "{hits} hits of 10000 at p=0.25");
+        assert!(
+            (2000..3000).contains(&hits),
+            "{hits} hits of 10000 at p=0.25"
+        );
     }
 }

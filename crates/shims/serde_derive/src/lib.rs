@@ -15,16 +15,12 @@ fn parse_item(input: TokenStream) -> (String, Vec<String>) {
     let mut tokens = input.into_iter().peekable();
     // Skip attributes (`# [ ... ]`) and visibility/keyword tokens until the
     // `struct`/`enum`/`union` keyword.
-    while let Some(tt) = tokens.next() {
-        match tt {
-            TokenTree::Ident(ref id)
-                if id.to_string() == "struct"
-                    || id.to_string() == "enum"
-                    || id.to_string() == "union" =>
-            {
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(ref id) = tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
                 break;
             }
-            _ => continue,
         }
     }
     let name = match tokens.next() {
@@ -69,7 +65,8 @@ fn impl_marker(trait_name: &str, input: TokenStream) -> TokenStream {
         let params = generics.join(", ");
         format!("impl<{params}> ::serde::{trait_name} for {name}<{params}> {{}}")
     };
-    code.parse().expect("serde shim derive: generated impl must parse")
+    code.parse()
+        .expect("serde shim derive: generated impl must parse")
 }
 
 /// No-op `Serialize` derive.

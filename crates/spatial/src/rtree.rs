@@ -73,7 +73,6 @@ impl<T> Node<T> {
             }
         }
     }
-
 }
 
 /// An R-tree mapping bounding rectangles to items of type `T`.
@@ -95,7 +94,10 @@ impl<T: Clone> Default for RTree<T> {
 impl<T: Clone> RTree<T> {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        Self { root: Node::Leaf(Vec::new()), len: 0 }
+        Self {
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
     }
 
     /// Bulk loads a tree from `(mbr, item)` pairs using the Sort-Tile-
@@ -130,7 +132,10 @@ impl<T: Clone> RTree<T> {
             for chunk in slice.chunks(MAX_ENTRIES) {
                 let entries = chunk
                     .iter()
-                    .map(|(mbr, item)| LeafEntry { mbr: *mbr, item: item.clone() })
+                    .map(|(mbr, item)| LeafEntry {
+                        mbr: *mbr,
+                        item: item.clone(),
+                    })
                     .collect();
                 leaves.push(Node::Leaf(entries));
             }
@@ -140,7 +145,10 @@ impl<T: Clone> RTree<T> {
         while level.len() > 1 {
             let mut children: Vec<Child<T>> = level
                 .into_iter()
-                .map(|node| Child { mbr: node.mbr(), node: Box::new(node) })
+                .map(|node| Child {
+                    mbr: node.mbr(),
+                    node: Box::new(node),
+                })
                 .collect();
             children.sort_by(|a, b| {
                 a.mbr
@@ -183,7 +191,10 @@ impl<T: Clone> RTree<T> {
             }
             level = parents;
         }
-        Self { root: level.pop().expect("non-empty"), len }
+        Self {
+            root: level.pop().expect("non-empty"),
+            len,
+        }
     }
 
     /// Number of items stored.
@@ -216,8 +227,14 @@ impl<T: Clone> RTree<T> {
                 if entries.len() > MAX_ENTRIES {
                     let (a, b) = Self::split_leaf(std::mem::take(entries));
                     Some((
-                        Child { mbr: a.mbr(), node: Box::new(a) },
-                        Child { mbr: b.mbr(), node: Box::new(b) },
+                        Child {
+                            mbr: a.mbr(),
+                            node: Box::new(a),
+                        },
+                        Child {
+                            mbr: b.mbr(),
+                            node: Box::new(b),
+                        },
                     ))
                 } else {
                     None
@@ -247,8 +264,14 @@ impl<T: Clone> RTree<T> {
                     if children.len() > MAX_ENTRIES {
                         let (a, b) = Self::split_internal(std::mem::take(children));
                         return Some((
-                            Child { mbr: a.mbr(), node: Box::new(a) },
-                            Child { mbr: b.mbr(), node: Box::new(b) },
+                            Child {
+                                mbr: a.mbr(),
+                                node: Box::new(a),
+                            },
+                            Child {
+                                mbr: b.mbr(),
+                                node: Box::new(b),
+                            },
                         ));
                     }
                 }
@@ -347,7 +370,9 @@ impl<T: Clone> RTree<T> {
         }
         impl Ord for HeapKey {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+                self.0
+                    .partial_cmp(&other.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             }
         }
 
@@ -587,9 +612,13 @@ mod tests {
         // Pseudo-random but deterministic scatter.
         let mut x = 12345u64;
         for id in 0..300u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dx = ((x >> 16) % 20_000) as f64 - 10_000.0;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dy = ((x >> 16) % 20_000) as f64 - 10_000.0;
             let p = center.offset_m(dx, dy);
             positions.push(p);
@@ -598,7 +627,9 @@ mod tests {
         let t = RTree::bulk_load(items);
         for q_idx in [0usize, 7, 133, 299] {
             let q = positions[q_idx].offset_m(37.0, -81.0);
-            let (got, got_d) = t.nearest_by(&q, |&id| positions[id as usize].haversine_m(&q)).unwrap();
+            let (got, got_d) = t
+                .nearest_by(&q, |&id| positions[id as usize].haversine_m(&q))
+                .unwrap();
             let (want, want_d) = positions
                 .iter()
                 .enumerate()

@@ -40,8 +40,11 @@ fn rtree_bulk_window_query_matches_scan() {
         let tree = RTree::bulk_load(items.clone());
         assert_eq!(tree.len(), items.len(), "case {case}");
         let mut got: Vec<u32> = tree.search_mbr(&window).into_iter().copied().collect();
-        let mut expected: Vec<u32> =
-            items.iter().filter(|(m, _)| m.intersects(&window)).map(|(_, i)| *i).collect();
+        let mut expected: Vec<u32> = items
+            .iter()
+            .filter(|(m, _)| m.intersects(&window))
+            .map(|(_, i)| *i)
+            .collect();
         got.sort_unstable();
         expected.sort_unstable();
         assert_eq!(got, expected, "case {case}");
@@ -60,8 +63,11 @@ fn rtree_insert_window_query_matches_scan() {
             tree.insert(*m, *i);
         }
         let mut got: Vec<u32> = tree.search_mbr(&window).into_iter().copied().collect();
-        let mut expected: Vec<u32> =
-            items.iter().filter(|(m, _)| m.intersects(&window)).map(|(_, i)| *i).collect();
+        let mut expected: Vec<u32> = items
+            .iter()
+            .filter(|(m, _)| m.intersects(&window))
+            .map(|(_, i)| *i)
+            .collect();
         got.sort_unstable();
         expected.sort_unstable();
         assert_eq!(got, expected, "case {case}");
@@ -77,8 +83,11 @@ fn rtree_point_query_matches_scan() {
         let p = city_point(&mut rng);
         let tree = RTree::bulk_load(items.clone());
         let mut got: Vec<u32> = tree.search_point(&p).into_iter().copied().collect();
-        let mut expected: Vec<u32> =
-            items.iter().filter(|(m, _)| m.contains_point(&p)).map(|(_, i)| *i).collect();
+        let mut expected: Vec<u32> = items
+            .iter()
+            .filter(|(m, _)| m.contains_point(&p))
+            .map(|(_, i)| *i)
+            .collect();
         got.sort_unstable();
         expected.sort_unstable();
         assert_eq!(got, expected, "case {case}");
@@ -96,10 +105,21 @@ fn rtree_nearest_matches_scan() {
         let q = city_point(&mut rng);
         let items: Vec<(Mbr, u32)> = centers.iter().map(Mbr::of_point).zip(0u32..).collect();
         let tree = RTree::bulk_load(items);
-        let (got, got_d) = tree.nearest_by(&q, |&id| centers[id as usize].haversine_m(&q)).unwrap();
-        let best = centers.iter().map(|c| c.haversine_m(&q)).fold(f64::INFINITY, f64::min);
-        assert!((got_d - best).abs() < 1e-9, "case {case}: got {got_d} best {best}");
-        assert!((centers[*got as usize].haversine_m(&q) - best).abs() < 1e-9, "case {case}");
+        let (got, got_d) = tree
+            .nearest_by(&q, |&id| centers[id as usize].haversine_m(&q))
+            .unwrap();
+        let best = centers
+            .iter()
+            .map(|c| c.haversine_m(&q))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (got_d - best).abs() < 1e-9,
+            "case {case}: got {got_d} best {best}"
+        );
+        assert!(
+            (centers[*got as usize].haversine_m(&q) - best).abs() < 1e-9,
+            "case {case}"
+        );
     }
 }
 

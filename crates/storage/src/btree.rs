@@ -53,7 +53,10 @@ impl<K: Ord + Copy, V> BPlusTree<K, V> {
         assert!(order >= 3, "B+-tree order must be at least 3");
         Self {
             order,
-            root: Node::Leaf { keys: Vec::new(), values: Vec::new() },
+            root: Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            },
             len: 0,
         }
     }
@@ -78,9 +81,15 @@ impl<K: Ord + Copy, V> BPlusTree<K, V> {
         if let Some((sep, right)) = split {
             let old_root = std::mem::replace(
                 &mut self.root,
-                Node::Leaf { keys: Vec::new(), values: Vec::new() },
+                Node::Leaf {
+                    keys: Vec::new(),
+                    values: Vec::new(),
+                },
             );
-            self.root = Node::Internal { keys: vec![sep], children: vec![old_root, right] };
+            self.root = Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            };
         }
         replaced
     }
@@ -157,7 +166,9 @@ impl<K: Ord + Copy, V> BPlusTree<K, V> {
         loop {
             match node {
                 Node::Leaf { keys, .. } => return keys.last().copied(),
-                Node::Internal { children, .. } => node = children.last().expect("internal node has children"),
+                Node::Internal { children, .. } => {
+                    node = children.last().expect("internal node has children")
+                }
             }
         }
     }
@@ -214,29 +225,41 @@ impl<K: Ord + Copy, V> BPlusTree<K, V> {
     /// (if any) and, when the node had to split, the separator key plus the
     /// new right sibling.
     #[allow(clippy::type_complexity)]
-    fn insert_rec(node: &mut Node<K, V>, key: K, value: V, order: usize) -> (Option<V>, Option<(K, Node<K, V>)>) {
+    fn insert_rec(
+        node: &mut Node<K, V>,
+        key: K,
+        value: V,
+        order: usize,
+    ) -> (Option<V>, Option<(K, Node<K, V>)>) {
         match node {
-            Node::Leaf { keys, values } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => {
-                        let old = std::mem::replace(&mut values[i], value);
-                        (Some(old), None)
-                    }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        values.insert(i, value);
-                        if keys.len() >= order {
-                            let mid = keys.len() / 2;
-                            let right_keys = keys.split_off(mid);
-                            let right_values = values.split_off(mid);
-                            let sep = right_keys[0];
-                            (None, Some((sep, Node::Leaf { keys: right_keys, values: right_values })))
-                        } else {
-                            (None, None)
-                        }
+            Node::Leaf { keys, values } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    let old = std::mem::replace(&mut values[i], value);
+                    (Some(old), None)
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    values.insert(i, value);
+                    if keys.len() >= order {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_values = values.split_off(mid);
+                        let sep = right_keys[0];
+                        (
+                            None,
+                            Some((
+                                sep,
+                                Node::Leaf {
+                                    keys: right_keys,
+                                    values: right_values,
+                                },
+                            )),
+                        )
+                    } else {
+                        (None, None)
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|k| *k <= key);
                 let (replaced, split) = Self::insert_rec(&mut children[idx], key, value, order);
@@ -249,7 +272,10 @@ impl<K: Ord + Copy, V> BPlusTree<K, V> {
                         let right_keys = keys.split_off(mid + 1);
                         keys.pop(); // remove the separator that moves up
                         let right_children = children.split_off(mid + 1);
-                        let right = Node::Internal { keys: right_keys, children: right_children };
+                        let right = Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        };
                         return (replaced, Some((up, right)));
                     }
                 }

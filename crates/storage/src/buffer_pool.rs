@@ -25,8 +25,11 @@ pub struct BufferPool<S: PageStore> {
 }
 
 struct LruInner {
-    /// page id -> (page, clock of last use)
-    map: HashMap<PageId, (Page, u64)>,
+    /// page id -> (page, clock of last use). Pages are `Arc`d so a read can
+    /// take a reference out of the critical section with one atomic bump —
+    /// parallel verification workers must not serialize on the pool lock for
+    /// the duration of their posting-byte copies.
+    map: HashMap<PageId, (Arc<Page>, u64)>,
     clock: u64,
 }
 
@@ -38,7 +41,10 @@ impl<S: PageStore> BufferPool<S> {
         Self {
             store,
             capacity,
-            inner: Mutex::new(LruInner { map: HashMap::with_capacity(capacity), clock: 0 }),
+            inner: Mutex::new(LruInner {
+                map: HashMap::with_capacity(capacity),
+                clock: 0,
+            }),
             stats,
         }
     }
@@ -68,31 +74,52 @@ impl<S: PageStore> BufferPool<S> {
         self.store.allocate()
     }
 
-    /// Reads a page through the cache.
-    pub fn read_page(&self, id: PageId) -> StorageResult<Page> {
-        {
-            let mut inner = self.inner.lock();
-            inner.clock += 1;
-            let clock = inner.clock;
-            if let Some((page, last_used)) = inner.map.get_mut(&id) {
-                *last_used = clock;
-                self.stats.record_hit();
-                return Ok(page.clone());
-            }
+    /// Runs `f` against a page without handing out an owned copy: on a cache
+    /// hit the pooled page is retained with one `Arc` bump (no allocation,
+    /// no byte copy) and the closure runs *outside* the pool lock, so
+    /// parallel verification workers never serialize on each other's reads.
+    /// This is the backbone of the query hot path — posting reads copy the
+    /// bytes they need straight into a caller-owned scratch buffer.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
+        if let Some(page) = self.lookup(id) {
+            self.stats.record_hit();
+            return Ok(f(&page));
         }
         self.stats.record_miss();
-        let page = self.store.read_page(id)?;
+        let page = Arc::new(self.store.read_page(id)?);
+        let result = f(&page);
+        self.insert(id, page);
+        Ok(result)
+    }
+
+    /// Reads a page through the cache.
+    pub fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        self.with_page(id, |page| page.clone())
+    }
+
+    /// Cache lookup: refreshes the LRU stamp and hands the page out with one
+    /// reference-count bump.
+    fn lookup(&self, id: PageId) -> Option<Arc<Page>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let (page, last_used) = inner.map.get_mut(&id)?;
+        *last_used = clock;
+        Some(Arc::clone(page))
+    }
+
+    /// Inserts a freshly fetched page, evicting the least recently used
+    /// entry if the pool is full.
+    fn insert(&self, id: PageId, page: Arc<Page>) {
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&id) {
-            // Evict the least recently used entry.
             if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, used))| *used) {
                 inner.map.remove(&victim);
             }
         }
-        inner.map.insert(id, (page.clone(), clock));
-        Ok(page)
+        inner.map.insert(id, (page, clock));
     }
 
     /// Writes a page through the cache (write-through: the underlying store
@@ -103,7 +130,7 @@ impl<S: PageStore> BufferPool<S> {
         inner.clock += 1;
         let clock = inner.clock;
         if let Some(entry) = inner.map.get_mut(&id) {
-            *entry = (page.clone(), clock);
+            *entry = (Arc::new(page.clone()), clock);
         }
         Ok(())
     }

@@ -38,4 +38,4 @@ pub use page::{PageId, PAGE_SIZE};
 pub use pagestore::{
     FilePageStore, InMemoryPageStore, PageStore, SimulatedDiskStore, StorageError, StorageResult,
 };
-pub use postings::{BlobHandle, PostingStore, TimeList, TimeListEntry};
+pub use postings::{visit_encoded, BlobHandle, IdIter, PostingStore, TimeList, TimeListEntry};

@@ -28,7 +28,10 @@ pub enum StorageError {
 impl std::fmt::Display for StorageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StorageError::PageOutOfBounds { requested, allocated } => {
+            StorageError::PageOutOfBounds {
+                requested,
+                allocated,
+            } => {
                 write!(f, "page {requested} out of bounds ({allocated} allocated)")
             }
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
@@ -111,10 +114,12 @@ impl PageStore for InMemoryPageStore {
 
     fn read_page(&self, id: PageId) -> StorageResult<Page> {
         let pages = self.pages.lock();
-        let page = pages.get(id as usize).ok_or(StorageError::PageOutOfBounds {
-            requested: id,
-            allocated: pages.len() as u64,
-        })?;
+        let page = pages
+            .get(id as usize)
+            .ok_or(StorageError::PageOutOfBounds {
+                requested: id,
+                allocated: pages.len() as u64,
+            })?;
         self.stats.record_reads(1);
         Ok(page.clone())
     }
@@ -124,7 +129,10 @@ impl PageStore for InMemoryPageStore {
         let len = pages.len() as u64;
         let slot = pages
             .get_mut(id as usize)
-            .ok_or(StorageError::PageOutOfBounds { requested: id, allocated: len })?;
+            .ok_or(StorageError::PageOutOfBounds {
+                requested: id,
+                allocated: len,
+            })?;
         *slot = page.clone();
         self.stats.record_writes(1);
         Ok(())
@@ -188,7 +196,10 @@ impl PageStore for FilePageStore {
     fn read_page(&self, id: PageId) -> StorageResult<Page> {
         let n = *self.num_pages.lock();
         if id >= n {
-            return Err(StorageError::PageOutOfBounds { requested: id, allocated: n });
+            return Err(StorageError::PageOutOfBounds {
+                requested: id,
+                allocated: n,
+            });
         }
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
@@ -201,7 +212,10 @@ impl PageStore for FilePageStore {
     fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
         let n = *self.num_pages.lock();
         if id >= n {
-            return Err(StorageError::PageOutOfBounds { requested: id, allocated: n });
+            return Err(StorageError::PageOutOfBounds {
+                requested: id,
+                allocated: n,
+            });
         }
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
@@ -242,7 +256,11 @@ impl<S: PageStore> SimulatedDiskStore<S> {
 
     /// Wraps `inner` with explicit read/write latencies.
     pub fn with_latency(inner: S, read_latency: Duration, write_latency: Duration) -> Self {
-        Self { inner, read_latency, write_latency }
+        Self {
+            inner,
+            read_latency,
+            write_latency,
+        }
     }
 
     /// Read latency applied per page.
@@ -317,7 +335,10 @@ mod tests {
         let store = InMemoryPageStore::new();
         assert!(matches!(
             store.read_page(3),
-            Err(StorageError::PageOutOfBounds { requested: 3, allocated: 0 })
+            Err(StorageError::PageOutOfBounds {
+                requested: 3,
+                allocated: 0
+            })
         ));
         assert!(store.write_page(0, &Page::zeroed()).is_err());
     }
@@ -371,7 +392,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = StorageError::PageOutOfBounds { requested: 9, allocated: 2 };
+        let e = StorageError::PageOutOfBounds {
+            requested: 9,
+            allocated: 2,
+        };
         assert!(e.to_string().contains("page 9"));
     }
 }

@@ -56,7 +56,13 @@ impl TimeList {
                 }
             }
             Err(i) => {
-                self.entries.insert(i, TimeListEntry { date, traj_ids: vec![traj_id] });
+                self.entries.insert(
+                    i,
+                    TimeListEntry {
+                        date,
+                        traj_ids: vec![traj_id],
+                    },
+                );
             }
         }
     }
@@ -123,6 +129,69 @@ impl TimeList {
     }
 }
 
+/// Iterator over the trajectory IDs of one date entry inside an encoded
+/// time list (see [`visit_encoded`]). Decodes lazily from the raw bytes, so
+/// visiting a posting never materialises intermediate `Vec`s.
+#[derive(Debug, Clone)]
+pub struct IdIter<'a> {
+    buf: &'a [u8],
+}
+
+impl Iterator for IdIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        Some(self.buf.get_u32_le())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.buf.len() / 4;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for IdIter<'_> {}
+
+/// Walks a [`TimeList::encode`]d buffer without materialising a [`TimeList`],
+/// calling `f(date, ids)` for every date entry. Returns `false` (after
+/// visiting the well-formed prefix) when the buffer is malformed.
+///
+/// This is the allocation-free counterpart of [`TimeList::decode`]: the
+/// verifier reads each posting's bytes into a reusable scratch buffer and
+/// consumes them through this cursor, so a warm verification performs no
+/// heap allocation at all.
+pub fn visit_encoded<'a, F>(mut buf: &'a [u8], mut f: F) -> bool
+where
+    F: FnMut(u16, IdIter<'a>),
+{
+    if buf.remaining() < 4 {
+        return false;
+    }
+    let n = buf.get_u32_le() as usize;
+    for _ in 0..n {
+        if buf.remaining() < 6 {
+            return false;
+        }
+        let date = buf.get_u16_le();
+        let count = buf.get_u32_le() as usize;
+        if buf.remaining() < count * 4 {
+            return false;
+        }
+        f(
+            date,
+            IdIter {
+                buf: &buf[..count * 4],
+            },
+        );
+        buf.advance(count * 4);
+    }
+    true
+}
+
 /// Location of a blob inside a [`PostingStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BlobHandle {
@@ -184,7 +253,10 @@ impl<S: PageStore> PostingStore<S> {
     /// Appends a blob and returns its handle.
     pub fn append(&self, bytes: &[u8]) -> StorageResult<BlobHandle> {
         let mut tail = self.tail.lock();
-        let handle = BlobHandle { offset: *tail, len: bytes.len() as u32 };
+        let handle = BlobHandle {
+            offset: *tail,
+            len: bytes.len() as u32,
+        };
         let mut written = 0usize;
         let mut offset = *tail;
         while written < bytes.len() {
@@ -195,7 +267,8 @@ impl<S: PageStore> PostingStore<S> {
             }
             let mut page = self.pool.store().read_page(page_id)?;
             let chunk = (PAGE_SIZE - in_page).min(bytes.len() - written);
-            page.bytes_mut()[in_page..in_page + chunk].copy_from_slice(&bytes[written..written + chunk]);
+            page.bytes_mut()[in_page..in_page + chunk]
+                .copy_from_slice(&bytes[written..written + chunk]);
             self.pool.write_page(page_id, &page)?;
             written += chunk;
             offset += chunk as u64;
@@ -207,18 +280,30 @@ impl<S: PageStore> PostingStore<S> {
     /// Reads a blob back.
     pub fn read(&self, handle: BlobHandle) -> StorageResult<Vec<u8>> {
         let mut out = Vec::with_capacity(handle.len as usize);
+        self.read_into(handle, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads a blob into a caller-owned buffer (cleared first). Cache hits
+    /// copy straight out of the pooled page, so a warm read performs no
+    /// allocation beyond what `out`'s capacity already covers — this is the
+    /// read path the reachability verifier uses for every posting access.
+    pub fn read_into(&self, handle: BlobHandle, out: &mut Vec<u8>) -> StorageResult<()> {
+        out.clear();
+        out.reserve(handle.len as usize);
         let mut remaining = handle.len as usize;
         let mut offset = handle.offset;
         while remaining > 0 {
             let page_id = offset / PAGE_SIZE as u64;
             let in_page = (offset % PAGE_SIZE as u64) as usize;
-            let page = self.pool.read_page(page_id)?;
             let chunk = (PAGE_SIZE - in_page).min(remaining);
-            out.extend_from_slice(&page.bytes()[in_page..in_page + chunk]);
+            self.pool.with_page(page_id, |page| {
+                out.extend_from_slice(&page.bytes()[in_page..in_page + chunk]);
+            })?;
             remaining -= chunk;
             offset += chunk as u64;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Appends a [`TimeList`] and returns its handle.
@@ -291,10 +376,28 @@ mod tests {
     fn blob_handle_page_span() {
         assert_eq!(BlobHandle { offset: 0, len: 0 }.pages_spanned(), 0);
         assert_eq!(BlobHandle { offset: 0, len: 1 }.pages_spanned(), 1);
-        assert_eq!(BlobHandle { offset: 0, len: PAGE_SIZE as u32 }.pages_spanned(), 1);
-        assert_eq!(BlobHandle { offset: 0, len: PAGE_SIZE as u32 + 1 }.pages_spanned(), 2);
         assert_eq!(
-            BlobHandle { offset: PAGE_SIZE as u64 - 1, len: 2 }.pages_spanned(),
+            BlobHandle {
+                offset: 0,
+                len: PAGE_SIZE as u32
+            }
+            .pages_spanned(),
+            1
+        );
+        assert_eq!(
+            BlobHandle {
+                offset: 0,
+                len: PAGE_SIZE as u32 + 1
+            }
+            .pages_spanned(),
+            2
+        );
+        assert_eq!(
+            BlobHandle {
+                offset: PAGE_SIZE as u64 - 1,
+                len: 2
+            }
+            .pages_spanned(),
             2
         );
     }
@@ -313,7 +416,9 @@ mod tests {
     #[test]
     fn append_read_roundtrip_across_pages() {
         let store = PostingStore::new(InMemoryPageStore::new(), 8);
-        let blob: Vec<u8> = (0..(PAGE_SIZE * 3 + 123)).map(|i| (i % 251) as u8).collect();
+        let blob: Vec<u8> = (0..(PAGE_SIZE * 3 + 123))
+            .map(|i| (i % 251) as u8)
+            .collect();
         let before = store.append(b"prefix").unwrap();
         let handle = store.append(&blob).unwrap();
         assert_eq!(store.read(handle).unwrap(), blob);
@@ -350,8 +455,48 @@ mod tests {
         assert_eq!(after_first.cache_misses, 1);
         store.read(handle).unwrap();
         let after_second = store.io_stats().snapshot();
-        assert_eq!(after_second.cache_misses, 1, "second read should hit the pool");
+        assert_eq!(
+            after_second.cache_misses, 1,
+            "second read should hit the pool"
+        );
         assert_eq!(after_second.cache_hits, 1);
+    }
+
+    #[test]
+    fn visit_encoded_matches_decode() {
+        let list = sample_list();
+        let bytes = list.encode();
+        let mut seen: Vec<(u16, Vec<u32>)> = Vec::new();
+        assert!(visit_encoded(&bytes, |date, ids| seen.push((date, ids.collect()))));
+        let expected: Vec<(u16, Vec<u32>)> = list
+            .entries
+            .iter()
+            .map(|e| (e.date, e.traj_ids.clone()))
+            .collect();
+        assert_eq!(seen, expected);
+        // Truncated buffers are reported as malformed.
+        assert!(!visit_encoded(&bytes[..bytes.len() - 1], |_, _| {}));
+        assert!(!visit_encoded(&[], |_, _| {}));
+        // An empty list is valid and visits nothing.
+        assert!(visit_encoded(&TimeList::new().encode(), |_, _| panic!(
+            "no entries"
+        )));
+    }
+
+    #[test]
+    fn read_into_reuses_buffer() {
+        let store = PostingStore::new(InMemoryPageStore::new(), 8);
+        let h1 = store.append(b"first blob").unwrap();
+        let h2 = store.append(&[9u8; 6000]).unwrap();
+        let mut buf = Vec::new();
+        store.read_into(h1, &mut buf).unwrap();
+        assert_eq!(buf, b"first blob");
+        store.read_into(h2, &mut buf).unwrap();
+        assert_eq!(buf, vec![9u8; 6000]);
+        let cap = buf.capacity();
+        store.read_into(h1, &mut buf).unwrap();
+        assert_eq!(buf, b"first blob");
+        assert_eq!(buf.capacity(), cap, "re-read must not reallocate");
     }
 
     #[test]

@@ -8,7 +8,9 @@ use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use streach_storage::{BPlusTree, BufferPool, InMemoryPageStore, PageStore, PostingStore, TimeList};
+use streach_storage::{
+    BPlusTree, BufferPool, InMemoryPageStore, PageStore, PostingStore, TimeList,
+};
 
 /// The B+-tree must behave exactly like `BTreeMap` for any sequence of
 /// insertions (including duplicate keys).
@@ -55,7 +57,11 @@ fn btree_range_matches_btreemap() {
         for (k, v) in &entries {
             tree.insert(*k, *v);
         }
-        let got: Vec<(u64, u64)> = tree.range_inclusive(lo, hi).into_iter().map(|(k, v)| (k, *v)).collect();
+        let got: Vec<(u64, u64)> = tree
+            .range_inclusive(lo, hi)
+            .into_iter()
+            .map(|(k, v)| (k, *v))
+            .collect();
         let expected: Vec<(u64, u64)> = entries.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
         assert_eq!(got, expected, "case {case}");
     }

@@ -38,13 +38,20 @@ pub struct RawTrajectory {
 impl RawTrajectory {
     /// Creates an empty trajectory.
     pub fn new(traj_id: u32, date: u16) -> Self {
-        Self { traj_id, date, records: Vec::new() }
+        Self {
+            traj_id,
+            date,
+            records: Vec::new(),
+        }
     }
 
     /// Appends a record, asserting that time does not go backwards.
     pub fn push(&mut self, record: GpsRecord) {
         if let Some(last) = self.records.last() {
-            debug_assert!(record.time_s >= last.time_s, "GPS records must be time-ordered");
+            debug_assert!(
+                record.time_s >= last.time_s,
+                "GPS records must be time-ordered"
+            );
         }
         self.records.push(record);
     }
@@ -82,7 +89,13 @@ mod tests {
     use super::*;
 
     fn record(t: u32, lon: f64, lat: f64) -> GpsRecord {
-        GpsRecord { traj_id: 1, point: GeoPoint::new(lon, lat), speed_ms: 10.0, time_s: t, date: 0 }
+        GpsRecord {
+            traj_id: 1,
+            point: GeoPoint::new(lon, lat),
+            speed_ms: 10.0,
+            time_s: t,
+            date: 0,
+        }
     }
 
     #[test]

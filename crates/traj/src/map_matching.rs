@@ -43,7 +43,11 @@ pub struct MatchedTrajectory {
 impl MatchedTrajectory {
     /// Creates an empty matched trajectory.
     pub fn new(traj_id: u32, date: u16) -> Self {
-        Self { traj_id, date, visits: Vec::new() }
+        Self {
+            traj_id,
+            date,
+            visits: Vec::new(),
+        }
     }
 
     /// Number of segment visits.
@@ -62,7 +66,10 @@ impl MatchedTrajectory {
             if last.segment == visit.segment {
                 return;
             }
-            debug_assert!(visit.enter_time_s >= last.enter_time_s, "visits must be time-ordered");
+            debug_assert!(
+                visit.enter_time_s >= last.enter_time_s,
+                "visits must be time-ordered"
+            );
         }
         self.visits.push(visit);
     }
@@ -89,7 +96,12 @@ impl<'a> MapMatcher<'a> {
         for seg in network.segments() {
             grid.insert(&seg.mbr, seg.id);
         }
-        Self { network, grid, max_match_distance_m, continuity_bonus_m: 25.0 }
+        Self {
+            network,
+            grid,
+            max_match_distance_m,
+            continuity_bonus_m: 25.0,
+        }
     }
 
     /// Matches one raw trajectory.
@@ -126,7 +138,10 @@ impl<'a> MapMatcher<'a> {
                     .map(|(id, _)| id)
             });
             if let Some(seg) = chosen {
-                matched.push(SegmentVisit { segment: seg, enter_time_s: rec.time_s });
+                matched.push(SegmentVisit {
+                    segment: seg,
+                    enter_time_s: rec.time_s,
+                });
                 previous = Some(seg);
             }
         }
@@ -144,7 +159,11 @@ pub fn map_match(network: &RoadNetwork, raw: &[RawTrajectory]) -> Vec<MatchedTra
 /// Returns the fraction of visits in `matched` whose segment (or its twin)
 /// also appears in `truth` — a simple quality metric used by tests and the
 /// pre-processing example.
-pub fn match_agreement(network: &RoadNetwork, matched: &MatchedTrajectory, truth: &MatchedTrajectory) -> f64 {
+pub fn match_agreement(
+    network: &RoadNetwork,
+    matched: &MatchedTrajectory,
+    truth: &MatchedTrajectory,
+) -> f64 {
     if matched.visits.is_empty() {
         return 0.0;
     }
@@ -156,7 +175,11 @@ pub fn match_agreement(network: &RoadNetwork, matched: &MatchedTrajectory, truth
             std::iter::once(v.segment).chain(twin)
         })
         .collect();
-    let hits = matched.visits.iter().filter(|v| truth_set.contains(&v.segment)).count();
+    let hits = matched
+        .visits
+        .iter()
+        .filter(|v| truth_set.contains(&v.segment))
+        .count();
     hits as f64 / matched.visits.len() as f64
 }
 
@@ -270,7 +293,11 @@ mod tests {
         let matched = map_match(&net, &[raw])[0].clone();
         // No segment may be immediately followed by its twin.
         for w in matched.visits.windows(2) {
-            assert_ne!(Some(w[1].segment), net.segment(w[0].segment).twin, "U-turn artefact");
+            assert_ne!(
+                Some(w[1].segment),
+                net.segment(w[0].segment).twin,
+                "U-turn artefact"
+            );
         }
     }
 

@@ -99,8 +99,14 @@ impl<'a> FleetSimulator<'a> {
     /// Creates a simulator. Panics on an empty network or inconsistent
     /// configuration.
     pub fn new(network: &'a RoadNetwork, config: FleetConfig) -> Self {
-        assert!(network.num_segments() > 0, "cannot simulate on an empty network");
-        assert!(config.day_end_s > config.day_start_s, "day must have positive length");
+        assert!(
+            network.num_segments() > 0,
+            "cannot simulate on an empty network"
+        );
+        assert!(
+            config.day_end_s > config.day_start_s,
+            "day must have positive length"
+        );
         assert!(config.gps_interval_s > 0, "GPS interval must be positive");
         Self { network, config }
     }
@@ -113,14 +119,20 @@ impl<'a> FleetSimulator<'a> {
     /// Simulates the whole fleet, returning only the map-matched ground
     /// truth (cheap; used to build large datasets).
     pub fn simulate_matched(&self) -> Vec<MatchedTrajectory> {
-        self.simulate_internal(false).into_iter().map(|d| d.matched).collect()
+        self.simulate_internal(false)
+            .into_iter()
+            .map(|d| d.matched)
+            .collect()
     }
 
     /// Simulates the whole fleet, returning raw GPS trajectories together
     /// with their ground-truth matched counterparts (used to validate the
     /// map-matching step).
     pub fn simulate_with_gps(&self) -> Vec<(RawTrajectory, MatchedTrajectory)> {
-        self.simulate_internal(true).into_iter().map(|d| (d.raw, d.matched)).collect()
+        self.simulate_internal(true)
+            .into_iter()
+            .map(|d| (d.raw, d.matched))
+            .collect()
     }
 
     fn simulate_internal(&self, emit_gps: bool) -> Vec<DayResult> {
@@ -192,7 +204,10 @@ impl<'a> FleetSimulator<'a> {
 
         while time < cfg.day_end_s as f64 {
             let seg = self.network.segment(current);
-            matched.push(SegmentVisit { segment: current, enter_time_s: time as u32 });
+            matched.push(SegmentVisit {
+                segment: current,
+                enter_time_s: time as u32,
+            });
 
             // Travel speed on this segment right now.
             let noise = 1.0 + rng.gen_range(-cfg.speed_noise..cfg.speed_noise);
@@ -304,7 +319,14 @@ mod tests {
     #[test]
     fn gps_fixes_are_near_the_visited_segments() {
         let city = small_city();
-        let sim = FleetSimulator::new(&city.network, FleetConfig { num_taxis: 2, num_days: 1, ..FleetConfig::tiny() });
+        let sim = FleetSimulator::new(
+            &city.network,
+            FleetConfig {
+                num_taxis: 2,
+                num_days: 1,
+                ..FleetConfig::tiny()
+            },
+        );
         let pairs = sim.simulate_with_gps();
         assert_eq!(pairs.len(), 2);
         for (raw, matched) in &pairs {
@@ -349,7 +371,11 @@ mod tests {
     #[should_panic(expected = "positive length")]
     fn invalid_day_window_rejected() {
         let city = small_city();
-        let cfg = FleetConfig { day_start_s: 10, day_end_s: 10, ..FleetConfig::tiny() };
+        let cfg = FleetConfig {
+            day_start_s: 10,
+            day_end_s: 10,
+            ..FleetConfig::tiny()
+        };
         let _ = FleetSimulator::new(&city.network, cfg);
     }
 }

@@ -25,7 +25,11 @@ pub struct SpeedProfile {
 
 impl Default for SpeedProfile {
     fn default() -> Self {
-        Self { rush_hour_floor: 0.35, daytime_factor: 0.85, night_factor: 1.0 }
+        Self {
+            rush_hour_floor: 0.35,
+            daytime_factor: 0.85,
+            night_factor: 1.0,
+        }
     }
 }
 
@@ -96,7 +100,10 @@ mod tests {
         let night = p.congestion_factor(hhmm(1, 0));
         assert!(morning < 0.5, "morning factor {morning}");
         assert!(evening < 0.5, "evening factor {evening}");
-        assert!(midday > morning + 0.2, "midday {midday} vs morning {morning}");
+        assert!(
+            midday > morning + 0.2,
+            "midday {midday} vs morning {morning}"
+        );
         assert!(night > midday, "night {night} vs midday {midday}");
     }
 
@@ -117,7 +124,10 @@ mod tests {
             let pr = p.speed_ms(RoadClass::Primary, t);
             let s = p.speed_ms(RoadClass::Secondary, t);
             let l = p.speed_ms(RoadClass::Local, t);
-            assert!(h > pr && pr > s && s > l, "speeds not ordered at t={t}: {h} {pr} {s} {l}");
+            assert!(
+                h > pr && pr > s && s > l,
+                "speeds not ordered at t={t}: {h} {pr} {s} {l}"
+            );
             assert!(l > 1.0, "local speed collapsed at t={t}");
         }
     }
@@ -125,8 +135,10 @@ mod tests {
     #[test]
     fn rush_hour_slows_highways_more_in_relative_terms() {
         let p = SpeedProfile::default();
-        let highway_ratio = p.speed_ms(RoadClass::Highway, hhmm(7, 45)) / RoadClass::Highway.free_flow_ms();
-        let local_ratio = p.speed_ms(RoadClass::Local, hhmm(7, 45)) / RoadClass::Local.free_flow_ms();
+        let highway_ratio =
+            p.speed_ms(RoadClass::Highway, hhmm(7, 45)) / RoadClass::Highway.free_flow_ms();
+        let local_ratio =
+            p.speed_ms(RoadClass::Local, hhmm(7, 45)) / RoadClass::Local.free_flow_ms();
         assert!(highway_ratio < local_ratio);
     }
 

@@ -35,8 +35,17 @@ pub struct TrajectoryDataset {
 
 impl TrajectoryDataset {
     /// Wraps already map-matched trajectories.
-    pub fn from_matched(trajectories: Vec<MatchedTrajectory>, num_taxis: usize, num_days: u16) -> Self {
-        Self { trajectories, num_taxis, num_days, num_gps_records: 0 }
+    pub fn from_matched(
+        trajectories: Vec<MatchedTrajectory>,
+        num_taxis: usize,
+        num_days: u16,
+    ) -> Self {
+        Self {
+            trajectories,
+            num_taxis,
+            num_days,
+            num_gps_records: 0,
+        }
     }
 
     /// Simulates a fleet and returns its (ground-truth matched) dataset.
@@ -59,7 +68,12 @@ impl TrajectoryDataset {
         let num_gps_records: u64 = pairs.iter().map(|(raw, _)| raw.len() as u64).sum();
         let raws: Vec<_> = pairs.into_iter().map(|(raw, _)| raw).collect();
         let matched = map_match(network, &raws);
-        Self { trajectories: matched, num_taxis, num_days, num_gps_records }
+        Self {
+            trajectories: matched,
+            num_taxis,
+            num_days,
+            num_gps_records,
+        }
     }
 
     /// The trajectories.
@@ -103,7 +117,10 @@ mod tests {
         let stats = ds.stats();
         assert_eq!(stats.num_taxis, cfg.num_taxis);
         assert_eq!(stats.num_days, cfg.num_days);
-        assert_eq!(stats.num_trajectories, cfg.num_taxis * cfg.num_days as usize);
+        assert_eq!(
+            stats.num_trajectories,
+            cfg.num_taxis * cfg.num_days as usize
+        );
         assert!(stats.num_segment_visits > 0);
         assert_eq!(stats.num_gps_records, 0);
         assert_eq!(ds.trajectories().len(), stats.num_trajectories);
@@ -112,7 +129,11 @@ mod tests {
     #[test]
     fn map_matched_pipeline_agrees_with_ground_truth() {
         let city = SyntheticCity::generate(GeneratorConfig::small());
-        let cfg = FleetConfig { num_taxis: 3, num_days: 1, ..FleetConfig::tiny() };
+        let cfg = FleetConfig {
+            num_taxis: 3,
+            num_days: 1,
+            ..FleetConfig::tiny()
+        };
         // Ground truth.
         let sim = FleetSimulator::new(&city.network, cfg.clone());
         let pairs = sim.simulate_with_gps();
@@ -140,6 +161,9 @@ mod tests {
             ds1.num_taxis(),
             ds1.num_days(),
         );
-        assert_eq!(ds1.stats().num_segment_visits, ds2.stats().num_segment_visits);
+        assert_eq!(
+            ds1.stats().num_segment_visits,
+            ds2.stats().num_segment_visits
+        );
     }
 }

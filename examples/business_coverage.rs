@@ -23,7 +23,11 @@ fn main() {
 
     let dataset = TrajectoryDataset::simulate(
         &network,
-        FleetConfig { num_taxis: 80, num_days: 12, ..FleetConfig::default() },
+        FleetConfig {
+            num_taxis: 80,
+            num_days: 12,
+            ..FleetConfig::default()
+        },
     );
     let engine = EngineBuilder::new(network.clone(), &dataset).build();
 
@@ -44,9 +48,15 @@ fn main() {
     };
     engine.warm_con_index(query.start_time_s, query.duration_s);
 
-    println!("business coverage of {} branches (T = 10:00, L = 20 min, Prob = 20%):\n", branches.len());
+    println!(
+        "business coverage of {} branches (T = 10:00, L = 20 min, Prob = 20%):\n",
+        branches.len()
+    );
     for (name, algo) in [
-        ("repeated s-queries (SQMB+TBS x n)", MQueryAlgorithm::RepeatedSQuery),
+        (
+            "repeated s-queries (SQMB+TBS x n)",
+            MQueryAlgorithm::RepeatedSQuery,
+        ),
         ("m-query (MQMB+TBS)", MQueryAlgorithm::MqmbTbs),
     ] {
         let outcome = engine.m_query(&query, algo);
@@ -63,7 +73,12 @@ fn main() {
     println!("\nper-branch coverage:");
     for (i, &branch) in branches.iter().enumerate() {
         let outcome = engine.s_query(
-            &SQuery { location: branch, start_time_s: query.start_time_s, duration_s: query.duration_s, prob: query.prob },
+            &SQuery {
+                location: branch,
+                start_time_s: query.start_time_s,
+                duration_s: query.duration_s,
+                prob: query.prob,
+            },
             Algorithm::SqmbTbs,
         );
         println!(

@@ -24,7 +24,13 @@ fn main() {
     // Around-the-clock fleet so night-time reachability is observable.
     let dataset = TrajectoryDataset::simulate(
         &network,
-        FleetConfig { num_taxis: 90, num_days: 12, day_start_s: 0, day_end_s: 86_400, ..FleetConfig::default() },
+        FleetConfig {
+            num_taxis: 90,
+            num_days: 12,
+            day_start_s: 0,
+            day_end_s: 86_400,
+            ..FleetConfig::default()
+        },
     );
     let engine = EngineBuilder::new(network.clone(), &dataset).build();
 
@@ -56,8 +62,15 @@ fn main() {
             let outcome = engine.s_query(&query, Algorithm::SqmbTbs);
             coverage[i] = outcome.region.total_length_km;
         }
-        let loss = if coverage[0] > 0.0 { (1.0 - coverage[1] / coverage[0]) * 100.0 } else { 0.0 };
-        println!("{:<18} {:>14.2} {:>14.2} {:>16.1}", name, coverage[0], coverage[1], loss);
+        let loss = if coverage[0] > 0.0 {
+            (1.0 - coverage[1] / coverage[0]) * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:<18} {:>14.2} {:>14.2} {:>16.1}",
+            name, coverage[0], coverage[1], loss
+        );
         if best.map(|(_, km)| coverage[1] > km).unwrap_or(true) {
             best = Some((name, coverage[1]));
         }

@@ -22,12 +22,19 @@ fn main() {
 
     let dataset = TrajectoryDataset::simulate(
         &network,
-        FleetConfig { num_taxis: 80, num_days: 12, ..FleetConfig::default() },
+        FleetConfig {
+            num_taxis: 80,
+            num_days: 12,
+            ..FleetConfig::default()
+        },
     );
     let engine = EngineBuilder::new(network.clone(), &dataset).build();
 
     println!("reachable region around the mall (L = 15 min, Prob = 20%):\n");
-    println!("{:<12} {:>10} {:>14} {:>12}", "start time", "segments", "road km", "runtime ms");
+    println!(
+        "{:<12} {:>10} {:>14} {:>12}",
+        "start time", "segments", "road km", "runtime ms"
+    );
 
     let mut results = Vec::new();
     for hour in [1u32, 6, 10, 13, 18, 21] {
@@ -57,12 +64,25 @@ fn main() {
 
     // The headline observation of Fig. 1.2: the 13:00 region beats the 18:00
     // (rush hour) region.
-    let at = |h: u32| results.iter().find(|(hour, _)| *hour == h).map(|(_, km)| *km).unwrap_or(0.0);
+    let at = |h: u32| {
+        results
+            .iter()
+            .find(|(hour, _)| *hour == h)
+            .map(|(_, km)| *km)
+            .unwrap_or(0.0)
+    };
     println!(
         "\n13:00 reach = {:.1} km vs 18:00 reach = {:.1} km  ({}).",
         at(13),
         at(18),
-        if at(13) > at(18) { "rush hour shrinks the coupon zone" } else { "no rush-hour effect detected" }
+        if at(13) > at(18) {
+            "rush hour shrinks the coupon zone"
+        } else {
+            "no rush-hour effect detected"
+        }
     );
-    println!("GeoJSON files written to {}", std::env::temp_dir().display());
+    println!(
+        "GeoJSON files written to {}",
+        std::env::temp_dir().display()
+    );
 }

@@ -10,16 +10,26 @@ use streach::prelude::*;
 use streach::traj::map_matching::map_match;
 use streach::traj::FleetSimulator;
 
-fn build_engine(num_taxis: usize, num_days: u16) -> (Arc<RoadNetwork>, ReachabilityEngine, GeoPoint) {
+fn build_engine(
+    num_taxis: usize,
+    num_days: u16,
+) -> (Arc<RoadNetwork>, ReachabilityEngine, GeoPoint) {
     let city = SyntheticCity::generate(GeneratorConfig::small());
     let center = city.central_point();
     let network = Arc::new(city.network);
     let dataset = TrajectoryDataset::simulate(
         &network,
-        FleetConfig { num_taxis, num_days, ..FleetConfig::tiny() },
+        FleetConfig {
+            num_taxis,
+            num_days,
+            ..FleetConfig::tiny()
+        },
     );
     let engine = EngineBuilder::new(network.clone(), &dataset)
-        .index_config(IndexConfig { read_latency_us: 0, ..Default::default() })
+        .index_config(IndexConfig {
+            read_latency_us: 0,
+            ..Default::default()
+        })
         .build();
     (network, engine, center)
 }
@@ -31,7 +41,11 @@ fn full_preprocessing_pipeline_produces_queryable_indexes() {
     let network = Arc::new(city.network);
 
     // Raw GPS emission + map matching (the paper's pre-processing module).
-    let fleet = FleetConfig { num_taxis: 6, num_days: 2, ..FleetConfig::tiny() };
+    let fleet = FleetConfig {
+        num_taxis: 6,
+        num_days: 2,
+        ..FleetConfig::tiny()
+    };
     let sim = FleetSimulator::new(&network, fleet.clone());
     let pairs = sim.simulate_with_gps();
     let raw: Vec<_> = pairs.iter().map(|(r, _)| r.clone()).collect();
@@ -41,7 +55,10 @@ fn full_preprocessing_pipeline_produces_queryable_indexes() {
 
     let dataset = TrajectoryDataset::from_matched(matched, fleet.num_taxis, fleet.num_days);
     let engine = EngineBuilder::new(network.clone(), &dataset)
-        .index_config(IndexConfig { read_latency_us: 0, ..Default::default() })
+        .index_config(IndexConfig {
+            read_latency_us: 0,
+            ..Default::default()
+        })
         .build();
 
     // The indexes are non-trivial.
@@ -49,7 +66,12 @@ fn full_preprocessing_pipeline_produces_queryable_indexes() {
 
     // A query at a time the fleet was active returns a region containing the
     // start segment.
-    let q = SQuery { location: center, start_time_s: 9 * 3600, duration_s: 600, prob: 0.2 };
+    let q = SQuery {
+        location: center,
+        start_time_s: 9 * 3600,
+        duration_s: 600,
+        prob: 0.2,
+    };
     let outcome = engine.s_query(&q, Algorithm::SqmbTbs);
     let r0 = engine.locate(&center).unwrap();
     assert!(outcome.region.contains(r0));
@@ -59,7 +81,12 @@ fn full_preprocessing_pipeline_produces_queryable_indexes() {
 #[test]
 fn sqmb_tbs_and_es_agree_on_verified_segments() {
     let (network, engine, center) = build_engine(25, 4);
-    let q = SQuery { location: center, start_time_s: 9 * 3600, duration_s: 600, prob: 0.25 };
+    let q = SQuery {
+        location: center,
+        start_time_s: 9 * 3600,
+        duration_s: 600,
+        prob: 0.25,
+    };
     engine.warm_con_index(q.start_time_s, q.duration_s);
 
     let es = engine.s_query(&q, Algorithm::ExhaustiveSearch);
@@ -102,7 +129,11 @@ fn mquery_union_semantics_and_efficiency() {
 
     let (network, engine, center) = build_engine(25, 4);
     let q = MQuery {
-        locations: vec![center, center.offset_m(1200.0, 600.0), center.offset_m(-900.0, -900.0)],
+        locations: vec![
+            center,
+            center.offset_m(1200.0, 600.0),
+            center.offset_m(-900.0, -900.0),
+        ],
         start_time_s: 9 * 3600,
         duration_s: 900,
         prob: 0.2,
@@ -144,7 +175,12 @@ fn probability_threshold_is_monotone_end_to_end() {
     engine.warm_con_index(9 * 3600, 900);
     let mut previous_len = usize::MAX;
     for prob in [0.2, 0.4, 0.6, 0.8, 1.0] {
-        let q = SQuery { location: center, start_time_s: 9 * 3600, duration_s: 900, prob };
+        let q = SQuery {
+            location: center,
+            start_time_s: 9 * 3600,
+            duration_s: 900,
+            prob,
+        };
         let outcome = engine.s_query(&q, Algorithm::SqmbTbs);
         assert!(
             outcome.region.len() <= previous_len,
@@ -157,10 +193,18 @@ fn probability_threshold_is_monotone_end_to_end() {
 #[test]
 fn geojson_export_of_query_result_is_well_formed() {
     let (network, engine, center) = build_engine(15, 3);
-    let q = SQuery { location: center, start_time_s: 9 * 3600, duration_s: 600, prob: 0.2 };
+    let q = SQuery {
+        location: center,
+        start_time_s: 9 * 3600,
+        duration_s: 600,
+        prob: 0.2,
+    };
     let outcome = engine.s_query(&q, Algorithm::SqmbTbs);
     let geojson = region_to_geojson(&network, &outcome.region);
     assert!(geojson.starts_with("{\"type\":\"FeatureCollection\""));
-    assert_eq!(geojson.matches("\"type\":\"Feature\"").count(), outcome.region.len());
+    assert_eq!(
+        geojson.matches("\"type\":\"Feature\"").count(),
+        outcome.region.len()
+    );
     assert_eq!(geojson.matches('{').count(), geojson.matches('}').count());
 }

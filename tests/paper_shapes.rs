@@ -29,7 +29,10 @@ fn engine_with_all_day_fleet() -> (ReachabilityEngine, GeoPoint) {
         },
     );
     let engine = EngineBuilder::new(network, &dataset)
-        .index_config(IndexConfig { read_latency_us: 0, ..Default::default() })
+        .index_config(IndexConfig {
+            read_latency_us: 0,
+            ..Default::default()
+        })
         .build();
     (engine, center)
 }
@@ -39,13 +42,24 @@ fn reachable_length_grows_with_duration() {
     let (engine, center) = engine_with_all_day_fleet();
     let mut lengths = Vec::new();
     for minutes in [5u32, 15, 30] {
-        let q = SQuery { location: center, start_time_s: 11 * 3600, duration_s: minutes * 60, prob: 0.2 };
+        let q = SQuery {
+            location: center,
+            start_time_s: 11 * 3600,
+            duration_s: minutes * 60,
+            prob: 0.2,
+        };
         engine.warm_con_index(q.start_time_s, q.duration_s);
         let outcome = engine.s_query(&q, Algorithm::SqmbTbs);
         lengths.push(outcome.region.total_length_km);
     }
-    assert!(lengths[1] > lengths[0], "15-minute region must beat 5-minute region: {lengths:?}");
-    assert!(lengths[2] >= lengths[1], "30-minute region must not shrink: {lengths:?}");
+    assert!(
+        lengths[1] > lengths[0],
+        "15-minute region must beat 5-minute region: {lengths:?}"
+    );
+    assert!(
+        lengths[2] >= lengths[1],
+        "30-minute region must not shrink: {lengths:?}"
+    );
 }
 
 #[test]
@@ -55,12 +69,20 @@ fn region_shrinks_with_probability_but_verifications_stay_flat() {
     let mut lengths = Vec::new();
     let mut verifications = Vec::new();
     for prob in [0.2, 0.6, 1.0] {
-        let q = SQuery { location: center, start_time_s: 11 * 3600, duration_s: 900, prob };
+        let q = SQuery {
+            location: center,
+            start_time_s: 11 * 3600,
+            duration_s: 900,
+            prob,
+        };
         let outcome = engine.s_query(&q, Algorithm::SqmbTbs);
         lengths.push(outcome.region.total_length_km);
         verifications.push(outcome.stats.segments_verified);
     }
-    assert!(lengths[0] >= lengths[1] && lengths[1] >= lengths[2], "lengths {lengths:?}");
+    assert!(
+        lengths[0] >= lengths[1] && lengths[1] >= lengths[2],
+        "lengths {lengths:?}"
+    );
     // The number of verifications (the cost driver) does not depend on Prob:
     // the bounding regions are identical for every threshold.
     assert_eq!(verifications[0], verifications[1]);
@@ -72,10 +94,19 @@ fn rush_hour_region_is_smaller_than_night_region() {
     let (engine, center) = engine_with_all_day_fleet();
     let mut by_time = Vec::new();
     for hour in [3u32, 8] {
-        let q = SQuery { location: center, start_time_s: hour * 3600, duration_s: 600, prob: 0.2 };
+        let q = SQuery {
+            location: center,
+            start_time_s: hour * 3600,
+            duration_s: 600,
+            prob: 0.2,
+        };
         engine.warm_con_index(q.start_time_s, q.duration_s);
         let outcome = engine.s_query(&q, Algorithm::SqmbTbs);
-        by_time.push((hour, outcome.region.total_length_km, outcome.stats.max_bounding_size));
+        by_time.push((
+            hour,
+            outcome.region.total_length_km,
+            outcome.stats.max_bounding_size,
+        ));
     }
     let (_, night_km, night_bound) = by_time[0];
     let (_, rush_km, rush_bound) = by_time[1];
@@ -85,13 +116,21 @@ fn rush_hour_region_is_smaller_than_night_region() {
     );
     // The mechanism the paper describes: slower maximum speeds shrink the
     // maximum bounding region, which in turn reduces work.
-    assert!(night_bound > rush_bound, "bounding region must shrink at rush hour");
+    assert!(
+        night_bound > rush_bound,
+        "bounding region must shrink at rush hour"
+    );
 }
 
 #[test]
 fn index_based_algorithm_reduces_verifications_substantially() {
     let (engine, center) = engine_with_all_day_fleet();
-    let q = SQuery { location: center, start_time_s: 11 * 3600, duration_s: 600, prob: 0.2 };
+    let q = SQuery {
+        location: center,
+        start_time_s: 11 * 3600,
+        duration_s: 600,
+        prob: 0.2,
+    };
     engine.warm_con_index(q.start_time_s, q.duration_s);
     let es = engine.s_query(&q, Algorithm::ExhaustiveSearch);
     let fast = engine.s_query(&q, Algorithm::SqmbTbs);
@@ -105,7 +144,10 @@ fn index_based_algorithm_reduces_verifications_substantially() {
         es.stats.segments_verified
     );
     // And it reads fewer posting pages.
-    assert!(fast.stats.io.cache_misses + fast.stats.io.cache_hits <= es.stats.io.cache_misses + es.stats.io.cache_hits);
+    assert!(
+        fast.stats.io.cache_misses + fast.stats.io.cache_hits
+            <= es.stats.io.cache_misses + es.stats.io.cache_hits
+    );
 }
 
 #[test]
@@ -117,18 +159,37 @@ fn time_interval_granularity_leaves_result_roughly_stable() {
     let network = Arc::new(city.network);
     let dataset = TrajectoryDataset::simulate(
         &network,
-        FleetConfig { num_taxis: 40, num_days: 6, day_start_s: 0, day_end_s: 86_400, seed: 99, ..FleetConfig::default() },
+        FleetConfig {
+            num_taxis: 40,
+            num_days: 6,
+            day_start_s: 0,
+            day_end_s: 86_400,
+            seed: 99,
+            ..FleetConfig::default()
+        },
     );
     let mut lengths = Vec::new();
     for slot_s in [300u32, 600] {
         let engine = EngineBuilder::new(network.clone(), &dataset)
-            .index_config(IndexConfig { slot_s, read_latency_us: 0, ..Default::default() })
+            .index_config(IndexConfig {
+                slot_s,
+                read_latency_us: 0,
+                ..Default::default()
+            })
             .build();
-        let q = SQuery { location: center, start_time_s: 11 * 3600, duration_s: 1200, prob: 0.2 };
+        let q = SQuery {
+            location: center,
+            start_time_s: 11 * 3600,
+            duration_s: 1200,
+            prob: 0.2,
+        };
         engine.warm_con_index(q.start_time_s, q.duration_s);
         let outcome = engine.s_query(&q, Algorithm::SqmbTbs);
         lengths.push(outcome.region.total_length_km);
     }
     let ratio = lengths[0].min(lengths[1]) / lengths[0].max(lengths[1]).max(1e-9);
-    assert!(ratio > 0.5, "Δt = 5 vs 10 min changed the result too much: {lengths:?}");
+    assert!(
+        ratio > 0.5,
+        "Δt = 5 vs 10 min changed the result too much: {lengths:?}"
+    );
 }
