@@ -523,6 +523,104 @@ fn ablation(ctx: &Ctx) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Snapshot persistence — cold vs warm start
+// ---------------------------------------------------------------------------
+
+/// Cold-start experiment: persist the engine, reopen it from disk without
+/// the trajectory dataset, and compare (a) startup cost against a full
+/// rebuild and (b) query results bit-for-bit. The reopened engine serves
+/// its postings from a real `FilePageStore`, so the reported page reads are
+/// genuine disk I/O.
+fn snapshot(ctx: &Ctx) -> Table {
+    use streach_core::prelude::ReachabilityEngine;
+    use streach_core::EngineBuilder;
+
+    let dir = std::env::temp_dir().join(format!("streach-repro-snapshot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let network = ctx.scenario.network.clone();
+    let config = ctx.scenario.engine.config().clone();
+
+    let t0 = Instant::now();
+    ctx.scenario
+        .engine
+        .save_snapshot(&dir)
+        .expect("save snapshot");
+    let save_s = t0.elapsed().as_secs_f64();
+
+    // Warm start: rebuild everything from the raw trajectory dataset.
+    let t1 = Instant::now();
+    let rebuilt = EngineBuilder::new(network.clone(), &ctx.scenario.dataset)
+        .index_config(config.clone())
+        .build();
+    let rebuild_s = t1.elapsed().as_secs_f64();
+
+    // Cold start: reopen from disk; the dataset is not consulted at all.
+    let t2 = Instant::now();
+    let reopened = ReachabilityEngine::open_snapshot(&dir, network).expect("open snapshot");
+    let open_s = t2.elapsed().as_secs_f64();
+
+    // Round-trip check: the canonical query answers bit-identically on the
+    // rebuilt and the reopened engine, and the cold engine pays real I/O.
+    let q = ctx.squery(11 * 3600, 10, 0.2);
+    rebuilt.warm_con_index(q.start_time_s, q.duration_s);
+    reopened.warm_con_index(q.start_time_s, q.duration_s);
+    let warm_out = rebuilt.s_query(&q, Algorithm::SqmbTbs);
+    reopened.st_index().clear_cache();
+    reopened.st_index().io_stats().reset();
+    let cold_out = reopened.s_query(&q, Algorithm::SqmbTbs);
+    assert_eq!(
+        warm_out.region.segments, cold_out.region.segments,
+        "snapshot round-trip must answer bit-identically"
+    );
+    assert!(
+        cold_out.stats.io.page_reads > 0,
+        "cold open must read pages from disk"
+    );
+
+    let snap_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("snapshot dir")
+        .flatten()
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut t = Table::new(
+        "Snapshot persistence — cold start (open from disk) vs warm start (rebuild)",
+        &["stage", "value"],
+    );
+    t.row(vec![
+        "rebuild indexes from trajectories".into(),
+        format!("{rebuild_s:.2} s"),
+    ]);
+    t.row(vec![
+        "save snapshot (fsync)".into(),
+        format!("{save_s:.2} s"),
+    ]);
+    t.row(vec![
+        "open snapshot (cold start)".into(),
+        format!("{open_s:.2} s"),
+    ]);
+    t.row(vec![
+        "cold-start speedup over rebuild".into(),
+        format!("{:.0}x", rebuild_s / open_s.max(1e-9)),
+    ]);
+    t.row(vec![
+        "snapshot size on disk".into(),
+        format!("{:.1} MiB", snap_bytes as f64 / (1024.0 * 1024.0)),
+    ]);
+    t.row(vec![
+        "cold s-query page reads (real disk)".into(),
+        cold_out.stats.io.page_reads.to_string(),
+    ]);
+    t.row(vec![
+        "round-trip result".into(),
+        "bit-identical to rebuilt engine".into(),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------------
 // main
 // ---------------------------------------------------------------------------
 
@@ -561,6 +659,7 @@ fn main() {
         ("fig4_8b", fig4_8b),
         ("fig4_9", fig4_9),
         ("ablation", ablation),
+        ("snapshot", snapshot),
     ];
 
     let run_all = which.contains(&"all");

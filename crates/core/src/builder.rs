@@ -63,6 +63,19 @@ impl<'a> EngineBuilder<'a> {
         let con_index = ConIndex::new(self.network.clone(), speed_stats, &self.config);
         ReachabilityEngine::new(self.network, st_index, con_index, self.config)
     }
+
+    /// Builds the indexes, persists them into `dir` as an engine snapshot
+    /// (see [`crate::snapshot`]) and returns the freshly built engine. A
+    /// later process reopens the same engine with
+    /// [`ReachabilityEngine::open_snapshot`] — no trajectory data needed.
+    pub fn save_snapshot<P: AsRef<std::path::Path>>(
+        self,
+        dir: P,
+    ) -> streach_storage::StorageResult<ReachabilityEngine> {
+        let engine = self.build();
+        engine.save_snapshot(dir)?;
+        Ok(engine)
+    }
 }
 
 #[cfg(test)]

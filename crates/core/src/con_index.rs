@@ -72,6 +72,11 @@ impl SlotTable {
         &self.lists[segment.index()]
     }
 
+    /// Every segment's lists in segment-ID order (snapshot export).
+    pub(crate) fn all_lists(&self) -> &[ConnectionLists] {
+        &self.lists
+    }
+
     /// Total number of IDs stored in this table.
     pub fn total_entries(&self) -> usize {
         self.lists.iter().map(|l| l.near.len() + l.far.len()).sum()
@@ -141,6 +146,43 @@ impl ConIndex {
     /// The temporal granularity Δt in seconds.
     pub fn slot_s(&self) -> u32 {
         self.slot_s
+    }
+
+    /// The historical speed statistics the tables are derived from.
+    pub(crate) fn speed_stats(&self) -> &Arc<SpeedStats> {
+        &self.speed_stats
+    }
+
+    /// The currently cached connection tables in ascending slot order
+    /// (snapshot export).
+    pub(crate) fn export_cached_tables(&self) -> Vec<(u32, Arc<SlotTable>)> {
+        let cache = self.cache.lock();
+        let mut out: Vec<(u32, Arc<SlotTable>)> = cache
+            .tables
+            .iter()
+            .map(|(slot, table)| (*slot, Arc::clone(table)))
+            .collect();
+        out.sort_unstable_by_key(|(slot, _)| *slot);
+        out
+    }
+
+    /// Installs pre-built connection tables (snapshot import). Tables beyond
+    /// the cache capacity are dropped in insertion order, matching a cold
+    /// rebuild followed by the same access sequence.
+    pub(crate) fn install_tables(&self, tables: Vec<(u32, Vec<ConnectionLists>)>) {
+        let mut cache = self.cache.lock();
+        for (slot, lists) in tables {
+            let slot = slot % self.slots_per_day;
+            cache
+                .tables
+                .insert(slot, Arc::new(SlotTable { slot, lists }));
+            cache.lru.retain(|s| *s != slot);
+            cache.lru.push(slot);
+            while cache.tables.len() > self.max_cached_slots {
+                let victim = cache.lru.remove(0);
+                cache.tables.remove(&victim);
+            }
+        }
     }
 
     /// Cache statistics.

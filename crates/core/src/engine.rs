@@ -12,7 +12,7 @@ use crate::query::mqmb::{mqmb, mqmb_trace_back};
 use crate::query::sqmb::{num_hops, sqmb};
 use crate::query::tbs::trace_back_search;
 use crate::query::verifier::VerifierCore;
-use crate::query::{Algorithm, MQuery, MQueryAlgorithm, QueryOutcome, SQuery};
+use crate::query::{Algorithm, MQuery, MQueryAlgorithm, QueryError, QueryOutcome, SQuery};
 use crate::region::ReachableRegion;
 use crate::st_index::StIndex;
 use crate::stats::QueryStats;
@@ -65,6 +65,30 @@ impl ReachabilityEngine {
         &self.config
     }
 
+    /// Persists the engine into a snapshot directory (see
+    /// [`crate::snapshot`]): the ST-Index posting heap as a real page file
+    /// plus a checksummed container holding the temporal directory, the
+    /// speed statistics, the cached Con-Index tables and the configuration.
+    /// Both files are fsynced before this returns.
+    pub fn save_snapshot<P: AsRef<std::path::Path>>(
+        &self,
+        dir: P,
+    ) -> streach_storage::StorageResult<()> {
+        crate::snapshot::save(self, dir.as_ref())
+    }
+
+    /// Reopens an engine from a snapshot directory **without touching the
+    /// trajectory dataset**. The road network is a static input and is
+    /// validated against the fingerprint stored in the snapshot; posting
+    /// reads on the reopened engine are genuine page I/O against the
+    /// snapshot's page file.
+    pub fn open_snapshot<P: AsRef<std::path::Path>>(
+        dir: P,
+        network: Arc<RoadNetwork>,
+    ) -> streach_storage::StorageResult<Self> {
+        crate::snapshot::open(dir.as_ref(), network)
+    }
+
     /// Pre-builds the Con-Index connection tables a query (or a whole sweep
     /// of queries) will need, so that query timings reflect pure query
     /// processing — the paper builds its indexes offline.
@@ -83,16 +107,59 @@ impl ReachabilityEngine {
         self.st_index.locate_segment(location)
     }
 
+    /// Maps a query location to its start road segment, returning a typed
+    /// error instead of `None` when the location matches nothing — either
+    /// because the network is empty or because the nearest segment is
+    /// farther than [`ReachabilityEngine::MAX_MATCH_DISTANCE_M`] (a request
+    /// from outside the serviced area must not silently snap to a boundary
+    /// segment).
+    pub fn try_locate(&self, location: &streach_geo::GeoPoint) -> Result<SegmentId, QueryError> {
+        self.locate_indexed(location, 0)
+    }
+
+    /// Maximum distance (meters) between a query location and its matched
+    /// road segment before the location counts as off-network.
+    pub const MAX_MATCH_DISTANCE_M: f64 = 5_000.0;
+
+    fn locate_indexed(
+        &self,
+        location: &streach_geo::GeoPoint,
+        index: usize,
+    ) -> Result<SegmentId, QueryError> {
+        if !location.is_finite() {
+            return Err(QueryError::InvalidQuery(
+                "query location must be finite".into(),
+            ));
+        }
+        match self.network.nearest_segment(location) {
+            Some((segment, distance_m)) if distance_m <= Self::MAX_MATCH_DISTANCE_M => Ok(segment),
+            _ => Err(QueryError::LocationOffNetwork {
+                index,
+                location: *location,
+            }),
+        }
+    }
+
     /// Answers a single-location ST reachability query.
     ///
     /// # Panics
     /// Panics if the query is invalid (see [`SQuery::validate`]) or if the
-    /// location cannot be matched to a road segment.
+    /// location cannot be matched to a road segment. A serving process
+    /// should use [`ReachabilityEngine::try_s_query`] instead.
     pub fn s_query(&self, query: &SQuery, algorithm: Algorithm) -> QueryOutcome {
-        query.validate().expect("invalid s-query");
-        let start_segment = self
-            .locate(&query.location)
-            .expect("query location cannot be matched to the road network");
+        self.try_s_query(query, algorithm).expect("invalid s-query")
+    }
+
+    /// Answers a single-location ST reachability query, reporting malformed
+    /// queries and off-network locations as a [`QueryError`] instead of
+    /// aborting the process.
+    pub fn try_s_query(
+        &self,
+        query: &SQuery,
+        algorithm: Algorithm,
+    ) -> Result<QueryOutcome, QueryError> {
+        query.validate()?;
+        let start_segment = self.try_locate(&query.location)?;
 
         let io_before = self.st_index.io_stats().snapshot();
         let t0 = Instant::now();
@@ -146,7 +213,7 @@ impl ReachabilityEngine {
         let wall_time = t0.elapsed();
         let io_after = self.st_index.io_stats().snapshot();
 
-        QueryOutcome {
+        Ok(QueryOutcome {
             region,
             stats: QueryStats {
                 wall_time,
@@ -158,7 +225,7 @@ impl ReachabilityEngine {
                 min_bounding_size: min_b,
                 segments_visited: visited,
             },
-        }
+        })
     }
 
     /// Answers a multi-location ST reachability query.
@@ -168,28 +235,45 @@ impl ReachabilityEngine {
     /// baseline of Section 4.3); with [`MQueryAlgorithm::MqmbTbs`] the
     /// unified MQMB bounding region is verified once.
     pub fn m_query(&self, query: &MQuery, algorithm: MQueryAlgorithm) -> QueryOutcome {
-        query.validate().expect("invalid m-query");
+        self.try_m_query(query, algorithm).expect("invalid m-query")
+    }
+
+    /// Answers a multi-location ST reachability query, reporting malformed
+    /// queries and off-network locations as a [`QueryError`] instead of
+    /// aborting the process.
+    pub fn try_m_query(
+        &self,
+        query: &MQuery,
+        algorithm: MQueryAlgorithm,
+    ) -> Result<QueryOutcome, QueryError> {
+        query.validate()?;
         match algorithm {
             MQueryAlgorithm::RepeatedSQuery => {
                 let mut region = ReachableRegion::empty();
                 let mut stats = QueryStats::default();
                 for i in 0..query.locations.len() {
                     let sub = query.sub_query(i);
-                    let outcome = self.s_query(&sub, Algorithm::SqmbTbs);
+                    let outcome = self.try_s_query(&sub, Algorithm::SqmbTbs).map_err(|e| {
+                        // Attribute an off-network location to its m-query index.
+                        match e {
+                            QueryError::LocationOffNetwork { location, .. } => {
+                                QueryError::LocationOffNetwork { index: i, location }
+                            }
+                            other => other,
+                        }
+                    })?;
                     region = region.union(&self.network, &outcome.region);
                     stats = stats.merge(&outcome.stats);
                 }
-                QueryOutcome { region, stats }
+                Ok(QueryOutcome { region, stats })
             }
             MQueryAlgorithm::MqmbTbs => {
                 let starts: Vec<SegmentId> = query
                     .locations
                     .iter()
-                    .map(|p| {
-                        self.locate(p)
-                            .expect("query location cannot be matched to the road network")
-                    })
-                    .collect();
+                    .enumerate()
+                    .map(|(i, p)| self.locate_indexed(p, i))
+                    .collect::<Result<_, _>>()?;
                 let io_before = self.st_index.io_stats().snapshot();
                 let t0 = Instant::now();
                 let bounds = mqmb(
@@ -212,7 +296,7 @@ impl ReachabilityEngine {
                 );
                 let wall_time = t0.elapsed();
                 let io_after = self.st_index.io_stats().snapshot();
-                QueryOutcome {
+                Ok(QueryOutcome {
                     region: outcome.region,
                     stats: QueryStats {
                         wall_time,
@@ -224,8 +308,124 @@ impl ReachabilityEngine {
                         min_bounding_size: bounds.min_region.len(),
                         segments_visited: outcome.visited,
                     },
-                }
+                })
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EngineBuilder;
+    use std::sync::Arc;
+    use streach_geo::GeoPoint;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+    use streach_traj::{FleetConfig, TrajectoryDataset};
+
+    fn engine() -> ReachabilityEngine {
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(&network, FleetConfig::tiny());
+        EngineBuilder::new(network, &dataset)
+            .index_config(IndexConfig {
+                read_latency_us: 0,
+                ..Default::default()
+            })
+            .build()
+    }
+
+    #[test]
+    fn try_s_query_reports_invalid_parameters() {
+        let e = engine();
+        let q = SQuery {
+            location: e.network().bounds().center(),
+            start_time_s: 9 * 3600,
+            duration_s: 0,
+            prob: 0.2,
+        };
+        match e.try_s_query(&q, Algorithm::SqmbTbs) {
+            Err(QueryError::InvalidQuery(reason)) => {
+                assert!(reason.contains("duration"), "{reason}")
+            }
+            other => panic!("expected InvalidQuery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_locate_rejects_non_finite_locations() {
+        let e = engine();
+        let err = e.try_locate(&GeoPoint::new(f64::NAN, 0.0)).unwrap_err();
+        assert!(matches!(err, QueryError::InvalidQuery(_)));
+        assert!(e.try_locate(&e.network().bounds().center()).is_ok());
+    }
+
+    #[test]
+    fn try_locate_rejects_far_off_network_locations() {
+        let e = engine();
+        // Finite, but on the other side of the planet — snapping it to a
+        // boundary segment would serve a nonsense region.
+        let far = GeoPoint::new(0.0, 0.0);
+        match e.try_locate(&far) {
+            Err(QueryError::LocationOffNetwork { index: 0, location }) => {
+                assert_eq!(location, far)
+            }
+            other => panic!("expected LocationOffNetwork, got {other:?}"),
+        }
+        // The Option-returning nearest lookup still matches (uncapped).
+        assert!(e.locate(&far).is_some());
+    }
+
+    #[test]
+    fn try_m_query_attributes_the_offending_location() {
+        let e = engine();
+        let far = GeoPoint::new(0.0, 0.0);
+        let m = MQuery {
+            locations: vec![e.network().bounds().center(), far],
+            start_time_s: 9 * 3600,
+            duration_s: 600,
+            prob: 0.2,
+        };
+        for algo in [MQueryAlgorithm::MqmbTbs, MQueryAlgorithm::RepeatedSQuery] {
+            match e.try_m_query(&m, algo).unwrap_err() {
+                QueryError::LocationOffNetwork { index, location } => {
+                    assert_eq!(index, 1, "{algo:?} must blame location #1");
+                    assert_eq!(location, far);
+                }
+                other => panic!("{algo:?}: expected LocationOffNetwork, got {other}"),
+            }
+        }
+        // NaN locations are still rejected as invalid before any matching.
+        let nan = MQuery {
+            locations: vec![e.network().bounds().center(), GeoPoint::new(f64::NAN, 1.0)],
+            ..m
+        };
+        let err = e.try_m_query(&nan, MQueryAlgorithm::MqmbTbs).unwrap_err();
+        assert!(matches!(err, QueryError::InvalidQuery(_)), "{err}");
+    }
+
+    #[test]
+    fn try_s_query_matches_panicking_wrapper() {
+        let e = engine();
+        let q = SQuery {
+            location: e.network().bounds().center(),
+            start_time_s: 9 * 3600,
+            duration_s: 600,
+            prob: 0.2,
+        };
+        let a = e.try_s_query(&q, Algorithm::SqmbTbs).unwrap();
+        let b = e.s_query(&q, Algorithm::SqmbTbs);
+        assert_eq!(a.region.segments, b.region.segments);
+    }
+
+    #[test]
+    fn query_error_displays() {
+        let e1 = QueryError::InvalidQuery("bad".into());
+        assert!(e1.to_string().contains("bad"));
+        let e2 = QueryError::LocationOffNetwork {
+            index: 2,
+            location: GeoPoint::new(114.0, 22.5),
+        };
+        assert!(e2.to_string().contains("#2"));
     }
 }

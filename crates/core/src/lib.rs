@@ -18,6 +18,8 @@
 //!   tying indexes and algorithms together behind one public API,
 //! * [`builder`] — index construction from a road network plus a
 //!   map-matched trajectory dataset,
+//! * [`snapshot`] — engine persistence: save a built engine to a snapshot
+//!   directory and reopen it cold, without the trajectory dataset,
 //! * [`region`] / [`geojson`] — query results and their export,
 //! * [`stats`] — per-query runtime/I-O accounting used by the benchmarks.
 //!
@@ -98,6 +100,7 @@ pub mod engine;
 pub mod geojson;
 pub mod query;
 pub mod region;
+pub mod snapshot;
 pub mod speed_stats;
 pub mod st_index;
 pub mod stats;
@@ -107,7 +110,7 @@ pub use builder::EngineBuilder;
 pub use con_index::{ConIndex, ConnectionLists};
 pub use config::IndexConfig;
 pub use engine::ReachabilityEngine;
-pub use query::{Algorithm, MQuery, QueryOutcome, SQuery};
+pub use query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
 pub use region::ReachableRegion;
 pub use speed_stats::SpeedStats;
 pub use st_index::StIndex;
@@ -119,7 +122,7 @@ pub mod prelude {
     pub use crate::config::IndexConfig;
     pub use crate::engine::ReachabilityEngine;
     pub use crate::geojson::region_to_geojson;
-    pub use crate::query::{Algorithm, MQuery, QueryOutcome, SQuery};
+    pub use crate::query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
     pub use crate::region::ReachableRegion;
     pub use crate::stats::QueryStats;
     pub use streach_geo::GeoPoint;

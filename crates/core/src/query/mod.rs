@@ -20,6 +20,37 @@ use streach_geo::GeoPoint;
 use crate::region::ReachableRegion;
 use crate::stats::QueryStats;
 
+/// A query that cannot be answered — as a value, not a panic, so a serving
+/// process survives malformed requests and off-network locations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query parameters are invalid (zero duration, probability outside
+    /// `(0, 1]`, non-finite location, start time outside the day).
+    InvalidQuery(String),
+    /// A query location could not be matched to any road segment.
+    LocationOffNetwork {
+        /// Index of the offending location (always 0 for an s-query).
+        index: usize,
+        /// The location that failed to match.
+        location: GeoPoint,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::InvalidQuery(reason) => write!(f, "invalid query: {reason}"),
+            QueryError::LocationOffNetwork { index, location } => write!(
+                f,
+                "query location #{index} ({:.5}, {:.5}) cannot be matched to the road network",
+                location.lon, location.lat
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// A single-location spatio-temporal reachability query
 /// `q = (S, T, L, Prob)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,24 +66,35 @@ pub struct SQuery {
 }
 
 impl SQuery {
-    /// End of the query window `T + L`, clamped to the end of the day.
+    /// End of the query window `T + L`. Values past the day length indicate
+    /// a cross-midnight window, which the engine evaluates with wrap-around
+    /// slot semantics (the day is treated as circular, like the indexes do).
     pub fn end_time_s(&self) -> u32 {
-        (self.start_time_s + self.duration_s).min(streach_traj::SECONDS_PER_DAY)
+        self.start_time_s + self.duration_s
     }
 
     /// Validates the query parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), QueryError> {
         if !self.location.is_finite() {
-            return Err("query location must be finite".into());
+            return Err(QueryError::InvalidQuery(
+                "query location must be finite".into(),
+            ));
         }
         if self.duration_s == 0 {
-            return Err("query duration must be positive".into());
+            return Err(QueryError::InvalidQuery(
+                "query duration must be positive".into(),
+            ));
         }
         if !(0.0 < self.prob && self.prob <= 1.0) {
-            return Err(format!("probability must be in (0, 1], got {}", self.prob));
+            return Err(QueryError::InvalidQuery(format!(
+                "probability must be in (0, 1], got {}",
+                self.prob
+            )));
         }
         if self.start_time_s >= streach_traj::SECONDS_PER_DAY {
-            return Err("start time must be within one day".into());
+            return Err(QueryError::InvalidQuery(
+                "start time must be within one day".into(),
+            ));
         }
         Ok(())
     }
@@ -84,9 +126,11 @@ impl MQuery {
     }
 
     /// Validates the query parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), QueryError> {
         if self.locations.is_empty() {
-            return Err("an m-query needs at least one location".into());
+            return Err(QueryError::InvalidQuery(
+                "an m-query needs at least one location".into(),
+            ));
         }
         for (i, _) in self.locations.iter().enumerate() {
             self.sub_query(i).validate()?;
@@ -180,13 +224,14 @@ mod tests {
     }
 
     #[test]
-    fn squery_end_time_clamps_to_midnight() {
+    fn squery_end_time_may_cross_midnight() {
         let q = SQuery {
             start_time_s: 23 * 3600 + 3000,
             duration_s: 3600,
             ..base_query()
         };
-        assert_eq!(q.end_time_s(), streach_traj::SECONDS_PER_DAY);
+        assert_eq!(q.end_time_s(), 23 * 3600 + 3000 + 3600);
+        assert!(q.end_time_s() > streach_traj::SECONDS_PER_DAY);
         assert_eq!(base_query().end_time_s(), 11 * 3600 + 600);
     }
 

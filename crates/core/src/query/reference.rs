@@ -79,13 +79,12 @@ impl<'a> NaiveVerifier<'a> {
         start_time_s: u32,
         duration_s: u32,
     ) -> Self {
+        // Same cross-midnight wrap semantics as the optimized verifier: the
+        // window is half-open and may extend past midnight, in which case
+        // `slots_overlapping` wraps onto the beginning of the day.
         let slot_s = st_index.slot_s();
-        let t0_end = start_time_s
-            .saturating_add(slot_s)
-            .min(streach_traj::SECONDS_PER_DAY);
-        let end = start_time_s
-            .saturating_add(duration_s)
-            .min(streach_traj::SECONDS_PER_DAY);
+        let t0_end = start_time_s.saturating_add(slot_s);
+        let end = start_time_s.saturating_add(duration_s);
         Self {
             st_index,
             start_ids_by_day: ids_by_day(st_index, start_segment, start_time_s, t0_end),

@@ -48,9 +48,11 @@ pub struct VerifierCore<'a> {
     start_ids: Vec<Vec<u32>>,
     /// Number of days with a non-empty start list.
     active_days: usize,
-    /// Slot range overlapping the query window `[T, T + L)`.
-    window_slots: std::ops::RangeInclusive<u32>,
-    /// Query window `[T, T + L)`.
+    /// Slots overlapping the query window `[T, T + L)`, wrapping past
+    /// midnight (the same circular-day semantics the indexes use).
+    window_slots: crate::time::SlotWindow,
+    /// Query window `[T, T + L)`; the end may exceed the day length, in
+    /// which case the window wraps.
     window: (u32, u32),
     num_days: u16,
 }
@@ -108,12 +110,11 @@ impl<'a> VerifierCore<'a> {
     ) -> Self {
         let slot_s = st_index.slot_s();
         let num_days = st_index.num_days();
-        let t0_end = start_time_s
-            .saturating_add(slot_s)
-            .min(streach_traj::SECONDS_PER_DAY);
-        let end = start_time_s
-            .saturating_add(duration_s)
-            .min(streach_traj::SECONDS_PER_DAY);
+        // Windows wrap past midnight instead of clamping: the bounding phase
+        // (SQMB / Con-Index) has always used modular slot arithmetic, and the
+        // verifier must read exactly the slots the bounds were computed over.
+        let t0_end = start_time_s.saturating_add(slot_s);
+        let end = start_time_s.saturating_add(duration_s);
 
         let mut start_ids: Vec<Vec<u32>> = vec![Vec::new(); num_days as usize];
         let mut bytes = Vec::new();

@@ -1,0 +1,491 @@
+//! Engine snapshots: persist a built [`ReachabilityEngine`] to disk and
+//! reopen it without touching the trajectory dataset.
+//!
+//! The paper's indexes are built *offline* over a 194 GB dataset; rebuilding
+//! them from raw trajectories on every process start would dwarf any query
+//! cost. A snapshot captures everything the engine derives from the data:
+//!
+//! * the **ST-Index** — its temporal directory (slot → segment → blob
+//!   handle) in the snapshot container and its posting heap as a raw page
+//!   file reopened through [`streach_storage::FilePageStore`], so a cold
+//!   start serves queries with *real* page I/O against real disk pages,
+//! * the **Con-Index** — the historical [`SpeedStats`] the tables are
+//!   derived from (tables for any slot can be rebuilt without the dataset)
+//!   plus every currently cached connection table, so a warmed engine
+//!   reopens warm,
+//! * the [`IndexConfig`] the indexes were built with.
+//!
+//! The **road network is not serialized** — it is a static input (generated
+//! deterministically or loaded from map data), not a derivative of the
+//! trajectories. [`ReachabilityEngine::open_snapshot`] takes the network as
+//! an argument and validates it against a structural fingerprint stored in
+//! the snapshot, so opening a snapshot against the wrong city fails loudly
+//! instead of answering garbage.
+//!
+//! # Files
+//!
+//! A snapshot directory holds:
+//!
+//! * `index.snap` — the [`streach_storage::snapshot`] container (versioned
+//!   header, named sections, CRC-32 per section and over the file),
+//! * `postings.pages` — the ST-Index posting heap, one 4 KiB page per
+//!   [`streach_storage::PAGE_SIZE`] slot, written with `fsync`.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut};
+use streach_roadnet::{RoadNetwork, SegmentId};
+use streach_storage::{
+    BlobHandle, Crc32, FilePageStore, PageStore, PostingStore, SimulatedDiskStore, SnapshotReader,
+    SnapshotWriter, StorageError, StorageResult,
+};
+
+use crate::con_index::{ConIndex, ConnectionLists};
+use crate::config::IndexConfig;
+use crate::engine::ReachabilityEngine;
+use crate::speed_stats::SpeedStats;
+use crate::st_index::{StIndex, StIndexStats, StIndexStore};
+
+/// File name of the snapshot container inside a snapshot directory.
+pub const CONTAINER_FILE: &str = "index.snap";
+/// File name of the posting-heap page file inside a snapshot directory.
+pub const PAGES_FILE: &str = "postings.pages";
+
+const SEC_CONFIG: &str = "config";
+const SEC_NETWORK: &str = "network";
+const SEC_PAGES_META: &str = "pages_meta";
+const SEC_ST_INDEX: &str = "st_index";
+const SEC_SPEED_STATS: &str = "speed_stats";
+const SEC_CON_TABLES: &str = "con_tables";
+
+/// Structural fingerprint of a road network (FNV-1a over segment count,
+/// node count and every segment's length/class/topology), used to reject
+/// opening a snapshot against a different network.
+pub fn network_fingerprint(network: &RoadNetwork) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    mix(network.num_segments() as u64);
+    mix(network.num_nodes() as u64);
+    for seg in network.segments() {
+        mix(seg.length_m.to_bits());
+        mix(seg.start_node.0 as u64);
+        mix(seg.end_node.0 as u64);
+        mix(seg.class as u64);
+    }
+    hash
+}
+
+fn encode_config(config: &IndexConfig) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    buf.put_u32_le(config.slot_s);
+    buf.put_u64_le(config.pool_pages as u64);
+    buf.put_u64_le(config.read_latency_us);
+    buf.put_u64_le(config.max_cached_con_slots as u64);
+    buf.put_u64_le(config.fallback_min_speed_ms.to_bits());
+    buf
+}
+
+fn decode_config(mut buf: &[u8]) -> StorageResult<IndexConfig> {
+    if buf.remaining() != 36 {
+        return Err(StorageError::corrupt("config section has wrong length"));
+    }
+    let config = IndexConfig {
+        slot_s: buf.get_u32_le(),
+        pool_pages: buf.get_u64_le() as usize,
+        read_latency_us: buf.get_u64_le(),
+        max_cached_con_slots: buf.get_u64_le() as usize,
+        fallback_min_speed_ms: f64::from_bits(buf.get_u64_le()),
+    };
+    if config.slot_s == 0 || config.pool_pages == 0 {
+        return Err(StorageError::corrupt("config section has invalid values"));
+    }
+    Ok(config)
+}
+
+/// ST-Index metadata: scalars, construction stats and the temporal
+/// directory.
+fn encode_st_index(st: &StIndex) -> Vec<u8> {
+    let directory = st.directory_entries();
+    let entries: usize = directory.iter().map(|(_, e)| e.len()).sum();
+    let mut buf = Vec::with_capacity(64 + directory.len() * 12 + entries * 16);
+    buf.put_u32_le(st.slot_s());
+    buf.put_u16_le(st.num_days());
+    let stats = st.stats();
+    buf.put_u64_le(stats.num_time_lists);
+    buf.put_u64_le(stats.num_observations);
+    buf.put_u64_le(stats.posting_bytes);
+    buf.put_u64_le(stats.posting_pages);
+    buf.put_u64_le(st.postings().size_bytes());
+    buf.put_u32_le(directory.len() as u32);
+    for (slot, entries) in &directory {
+        buf.put_u32_le(*slot);
+        buf.put_u32_le(entries.len() as u32);
+        for (seg, handle) in entries {
+            buf.put_u32_le(seg.0);
+            buf.put_u64_le(handle.offset);
+            buf.put_u32_le(handle.len);
+        }
+    }
+    buf
+}
+
+struct StIndexParts {
+    slot_s: u32,
+    num_days: u16,
+    stats: StIndexStats,
+    tail: u64,
+    directory: Vec<(u32, Vec<(SegmentId, BlobHandle)>)>,
+}
+
+fn decode_st_index(mut buf: &[u8]) -> StorageResult<StIndexParts> {
+    let corrupt = || StorageError::corrupt("st_index section truncated");
+    if buf.remaining() < 50 {
+        return Err(corrupt());
+    }
+    let slot_s = buf.get_u32_le();
+    let num_days = buf.get_u16_le();
+    let stats = StIndexStats {
+        num_time_lists: buf.get_u64_le(),
+        num_observations: buf.get_u64_le(),
+        posting_bytes: buf.get_u64_le(),
+        posting_pages: buf.get_u64_le(),
+    };
+    let tail = buf.get_u64_le();
+    let num_slots = buf.get_u32_le() as usize;
+    // File-supplied count: cap the pre-allocation by what the buffer could
+    // possibly hold (8 bytes minimum per slot record).
+    let mut directory = Vec::with_capacity(num_slots.min(buf.remaining() / 8));
+    let mut prev_slot: Option<u32> = None;
+    for _ in 0..num_slots {
+        if buf.remaining() < 8 {
+            return Err(corrupt());
+        }
+        let slot = buf.get_u32_le();
+        if prev_slot.is_some_and(|p| p >= slot) {
+            return Err(StorageError::corrupt("st_index directory slots not sorted"));
+        }
+        prev_slot = Some(slot);
+        let num_entries = buf.get_u32_le() as usize;
+        if buf.remaining() < num_entries * 16 {
+            return Err(corrupt());
+        }
+        let mut entries = Vec::with_capacity(num_entries);
+        let mut prev_seg: Option<u32> = None;
+        for _ in 0..num_entries {
+            let seg = buf.get_u32_le();
+            let offset = buf.get_u64_le();
+            let len = buf.get_u32_le();
+            if prev_seg.is_some_and(|p| p >= seg) {
+                return Err(StorageError::corrupt(
+                    "st_index directory entries not sorted",
+                ));
+            }
+            prev_seg = Some(seg);
+            if offset.checked_add(len as u64).is_none_or(|end| end > tail) {
+                return Err(StorageError::corrupt(
+                    "st_index blob handle points past the posting heap",
+                ));
+            }
+            entries.push((SegmentId(seg), BlobHandle { offset, len }));
+        }
+        directory.push((slot, entries));
+    }
+    if buf.remaining() != 0 {
+        return Err(StorageError::corrupt("st_index section has trailing bytes"));
+    }
+    if slot_s == 0 {
+        return Err(StorageError::corrupt("st_index slot length is zero"));
+    }
+    Ok(StIndexParts {
+        slot_s,
+        num_days,
+        stats,
+        tail,
+        directory,
+    })
+}
+
+fn encode_con_tables(tables: &[(u32, Arc<crate::con_index::SlotTable>)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.put_u32_le(tables.len() as u32);
+    for (slot, table) in tables {
+        buf.put_u32_le(*slot);
+        let lists = table.all_lists();
+        buf.put_u32_le(lists.len() as u32);
+        for l in lists {
+            buf.put_u32_le(l.near.len() as u32);
+            for seg in &l.near {
+                buf.put_u32_le(seg.0);
+            }
+            buf.put_u32_le(l.far.len() as u32);
+            for seg in &l.far {
+                buf.put_u32_le(seg.0);
+            }
+        }
+    }
+    buf
+}
+
+fn decode_con_tables(
+    mut buf: &[u8],
+    num_segments: usize,
+) -> StorageResult<Vec<(u32, Vec<ConnectionLists>)>> {
+    let corrupt = || StorageError::corrupt("con_tables section truncated");
+    if buf.remaining() < 4 {
+        return Err(corrupt());
+    }
+    let num_tables = buf.get_u32_le() as usize;
+    // File-supplied count: cap the pre-allocation by the remaining bytes.
+    let mut tables = Vec::with_capacity(num_tables.min(buf.remaining() / 8));
+    for _ in 0..num_tables {
+        if buf.remaining() < 8 {
+            return Err(corrupt());
+        }
+        let slot = buf.get_u32_le();
+        let num_lists = buf.get_u32_le() as usize;
+        if num_lists != num_segments {
+            return Err(StorageError::corrupt(
+                "con_tables table size does not match the network",
+            ));
+        }
+        let mut lists = Vec::with_capacity(num_lists);
+        for _ in 0..num_lists {
+            let read_ids = |buf: &mut &[u8]| -> StorageResult<Vec<SegmentId>> {
+                if buf.remaining() < 4 {
+                    return Err(corrupt());
+                }
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n * 4 {
+                    return Err(corrupt());
+                }
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(SegmentId(buf.get_u32_le()));
+                }
+                Ok(ids)
+            };
+            let near = read_ids(&mut buf)?;
+            let far = read_ids(&mut buf)?;
+            lists.push(ConnectionLists { near, far });
+        }
+        tables.push((slot, lists));
+    }
+    if buf.remaining() != 0 {
+        return Err(StorageError::corrupt(
+            "con_tables section has trailing bytes",
+        ));
+    }
+    Ok(tables)
+}
+
+/// Writes the engine's snapshot into `dir` (created if missing): the
+/// container file plus the posting page file, both fsynced.
+///
+/// Both files are staged under `.tmp` names and renamed into place only
+/// after they are fully written and synced, so re-saving over an existing
+/// snapshot never destroys it on a crash mid-save. The container stores the
+/// page file's length and CRC-32, so a torn pair (crash between the two
+/// renames) — or any later bit rot in the page file — is rejected at open
+/// instead of silently serving mismatched postings.
+pub(crate) fn save(engine: &ReachabilityEngine, dir: &Path) -> StorageResult<()> {
+    std::fs::create_dir_all(dir)?;
+    let pages_tmp = dir.join(format!("{PAGES_FILE}.tmp"));
+    let container_tmp = dir.join(format!("{CONTAINER_FILE}.tmp"));
+
+    // 1. Export the posting heap page by page onto real disk, checksumming
+    //    as we go. The source store is read underneath the latency shim —
+    //    export is an offline bulk copy, not simulated query I/O.
+    let postings = engine.st_index().postings();
+    let source = postings.store().inner();
+    let target = FilePageStore::create(&pages_tmp)?;
+    let mut pages_crc = Crc32::new();
+    for page_id in 0..source.num_pages() {
+        let page = source.read_page(page_id)?;
+        pages_crc.update(page.bytes());
+        let id = target.allocate()?;
+        debug_assert_eq!(id, page_id);
+        target.write_page(page_id, &page)?;
+    }
+    target.flush()?;
+    let num_pages = target.num_pages();
+
+    // 2. Everything else goes into the checksummed container.
+    let mut writer = SnapshotWriter::new();
+    writer.add_section(SEC_CONFIG, encode_config(engine.config()));
+    let mut network = Vec::with_capacity(8);
+    network.put_u64_le(network_fingerprint(engine.network()));
+    writer.add_section(SEC_NETWORK, network);
+    let mut pages_meta = Vec::with_capacity(12);
+    pages_meta.put_u64_le(num_pages);
+    pages_meta.put_u32_le(pages_crc.finalize());
+    writer.add_section(SEC_PAGES_META, pages_meta);
+    writer.add_section(SEC_ST_INDEX, encode_st_index(engine.st_index()));
+    writer.add_section(SEC_SPEED_STATS, engine.con_index().speed_stats().encode());
+    writer.add_section(
+        SEC_CON_TABLES,
+        encode_con_tables(&engine.con_index().export_cached_tables()),
+    );
+    writer.finish(&container_tmp)?;
+
+    // 3. Publish: the container rename is the commit point; the pages CRC
+    //    stored inside it pins exactly which page file it belongs to.
+    std::fs::rename(&pages_tmp, dir.join(PAGES_FILE))?;
+    std::fs::rename(&container_tmp, dir.join(CONTAINER_FILE))?;
+    Ok(())
+}
+
+/// Stream-verifies the page file against the length and CRC recorded in the
+/// container.
+fn verify_pages_file(path: &Path, expected_pages: u64, expected_crc: u32) -> StorageResult<()> {
+    use std::io::Read as _;
+    let mut file = std::fs::File::open(path)?;
+    let mut crc = Crc32::new();
+    let mut buf = vec![0u8; 1 << 20];
+    let mut total = 0u64;
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        crc.update(&buf[..n]);
+        total += n as u64;
+    }
+    if total != expected_pages * streach_storage::PAGE_SIZE as u64 {
+        return Err(StorageError::corrupt(format!(
+            "posting page file has {total} bytes, expected {expected_pages} pages"
+        )));
+    }
+    if crc.finalize() != expected_crc {
+        return Err(StorageError::corrupt(
+            "posting page file checksum mismatch (torn save or bit rot)",
+        ));
+    }
+    Ok(())
+}
+
+/// Reopens an engine from the snapshot in `dir` against the given road
+/// network. Fails with [`StorageError::Corrupt`] when the snapshot is
+/// damaged or was built over a different network.
+pub(crate) fn open(dir: &Path, network: Arc<RoadNetwork>) -> StorageResult<ReachabilityEngine> {
+    let reader = SnapshotReader::open(dir.join(CONTAINER_FILE))?;
+
+    let mut fp_section = reader.section(SEC_NETWORK)?;
+    if fp_section.remaining() != 8 {
+        return Err(StorageError::corrupt("network section has wrong length"));
+    }
+    let stored_fp = fp_section.get_u64_le();
+    let actual_fp = network_fingerprint(&network);
+    if stored_fp != actual_fp {
+        return Err(StorageError::corrupt(format!(
+            "snapshot was built over a different road network \
+             (stored fingerprint {stored_fp:#018x}, got {actual_fp:#018x})"
+        )));
+    }
+
+    let config = decode_config(reader.section(SEC_CONFIG)?)?;
+    let parts = decode_st_index(reader.section(SEC_ST_INDEX)?)?;
+    if parts.slot_s != config.slot_s {
+        return Err(StorageError::corrupt(
+            "st_index slot length disagrees with the config section",
+        ));
+    }
+
+    // Verify the page file belongs to this container (length + CRC), then
+    // reopen the posting heap over it — read-only, so snapshots deployed as
+    // immutable artifacts still serve — behind the same latency shim the
+    // in-memory backend uses (zero latency still counts page reads — and
+    // here they are genuine disk reads).
+    let mut pages_meta = reader.section(SEC_PAGES_META)?;
+    if pages_meta.remaining() != 12 {
+        return Err(StorageError::corrupt("pages_meta section has wrong length"));
+    }
+    let expected_pages = pages_meta.get_u64_le();
+    let expected_crc = pages_meta.get_u32_le();
+    let pages_path = dir.join(PAGES_FILE);
+    verify_pages_file(&pages_path, expected_pages, expected_crc)?;
+    let file_store = FilePageStore::open_read_only(&pages_path)?;
+    if file_store.num_pages() < parts.tail.div_ceil(streach_storage::PAGE_SIZE as u64) {
+        return Err(StorageError::corrupt(
+            "posting page file is shorter than the posting heap",
+        ));
+    }
+    let store: StIndexStore = SimulatedDiskStore::with_latency(
+        Box::new(file_store) as Box<dyn PageStore>,
+        Duration::from_micros(config.read_latency_us),
+        Duration::ZERO,
+    );
+    let postings = PostingStore::with_tail(store, config.pool_pages, parts.tail);
+    let st_index = StIndex::from_parts(
+        network.clone(),
+        parts.slot_s,
+        parts.num_days,
+        parts.stats,
+        parts.directory,
+        postings,
+    );
+
+    let speed_stats = Arc::new(
+        SpeedStats::decode(reader.section(SEC_SPEED_STATS)?)
+            .ok_or_else(|| StorageError::corrupt("speed_stats section is malformed"))?,
+    );
+    if speed_stats.slot_s() != config.slot_s {
+        return Err(StorageError::corrupt(
+            "speed_stats granularity disagrees with the config section",
+        ));
+    }
+    let con_index = ConIndex::new(network.clone(), speed_stats, &config);
+    con_index.install_tables(decode_con_tables(
+        reader.section(SEC_CON_TABLES)?,
+        network.num_segments(),
+    )?);
+
+    Ok(ReachabilityEngine::new(
+        network, st_index, con_index, config,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+
+    #[test]
+    fn fingerprint_is_deterministic_and_discriminates() {
+        let a = SyntheticCity::generate(GeneratorConfig::small()).network;
+        let b = SyntheticCity::generate(GeneratorConfig::small()).network;
+        assert_eq!(network_fingerprint(&a), network_fingerprint(&b));
+        let other = SyntheticCity::generate(GeneratorConfig {
+            seed: 77,
+            ..GeneratorConfig::small()
+        })
+        .network;
+        assert_ne!(network_fingerprint(&a), network_fingerprint(&other));
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let config = IndexConfig {
+            slot_s: 600,
+            pool_pages: 33,
+            read_latency_us: 17,
+            max_cached_con_slots: 9,
+            fallback_min_speed_ms: 2.75,
+        };
+        let decoded = decode_config(&encode_config(&config)).unwrap();
+        assert_eq!(decoded.slot_s, 600);
+        assert_eq!(decoded.pool_pages, 33);
+        assert_eq!(decoded.read_latency_us, 17);
+        assert_eq!(decoded.max_cached_con_slots, 9);
+        assert_eq!(decoded.fallback_min_speed_ms, 2.75);
+        assert!(decode_config(&[1, 2, 3]).is_err());
+    }
+}

@@ -7,6 +7,7 @@
 //! trajectory dataset, with per-class per-slot fallbacks for pairs that were
 //! never observed.
 
+use bytes::{Buf, BufMut};
 use streach_roadnet::{RoadClass, RoadNetwork, SegmentId};
 use streach_traj::TrajectoryDataset;
 
@@ -177,6 +178,90 @@ impl SpeedStats {
         };
         (observed_min * MIN_SPEED_MARGIN).max(fallback_min).min(cap)
     }
+
+    /// Serializes the statistics for an engine snapshot.
+    ///
+    /// Layout: `slot_s`, `slots_per_day`, `num_segments` and `observations`
+    /// header, then the dense per-(slot, segment) min/max table and the
+    /// per-(slot, class) fallback table as IEEE-754 `f32` bit patterns.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut buf =
+            Vec::with_capacity(32 + self.per_segment.len() * 8 + self.per_class.len() * 32);
+        buf.put_u32_le(self.slot_s);
+        buf.put_u32_le(self.slots_per_day);
+        buf.put_u64_le(self.num_segments as u64);
+        buf.put_u64_le(self.observations);
+        buf.put_u64_le(self.per_segment.len() as u64);
+        for cell in &self.per_segment {
+            buf.put_u32_le(cell.min.to_bits());
+            buf.put_u32_le(cell.max.to_bits());
+        }
+        buf.put_u64_le(self.per_class.len() as u64);
+        for classes in &self.per_class {
+            for cell in classes {
+                buf.put_u32_le(cell.min.to_bits());
+                buf.put_u32_le(cell.max.to_bits());
+            }
+        }
+        buf
+    }
+
+    /// Deserializes statistics previously produced by [`SpeedStats::encode`].
+    /// Returns `None` when the buffer is malformed or internally
+    /// inconsistent.
+    pub(crate) fn decode(mut buf: &[u8]) -> Option<Self> {
+        if buf.remaining() < 32 {
+            return None;
+        }
+        let slot_s = buf.get_u32_le();
+        let slots_per_day = buf.get_u32_le();
+        let num_segments_u64 = buf.get_u64_le();
+        let observations = buf.get_u64_le();
+        if slot_s == 0 || slots_per_day != streach_traj::SECONDS_PER_DAY.div_ceil(slot_s) {
+            return None;
+        }
+        // All lengths are file-supplied: validate with overflow-checked
+        // arithmetic against the actual buffer size before any allocation.
+        let per_segment_len = buf.get_u64_le();
+        let expected_len = (slots_per_day as u64).checked_mul(num_segments_u64)?;
+        if per_segment_len != expected_len
+            || per_segment_len > (buf.remaining() as u64).saturating_sub(8) / 8
+        {
+            return None;
+        }
+        let num_segments = num_segments_u64 as usize;
+        let per_segment_len = per_segment_len as usize;
+        let mut per_segment = Vec::with_capacity(per_segment_len);
+        for _ in 0..per_segment_len {
+            per_segment.push(MinMax {
+                min: f32::from_bits(buf.get_u32_le()),
+                max: f32::from_bits(buf.get_u32_le()),
+            });
+        }
+        let per_class_len = buf.get_u64_le() as usize;
+        if per_class_len != slots_per_day as usize || buf.remaining() != per_class_len * 32 {
+            return None;
+        }
+        let mut per_class = Vec::with_capacity(per_class_len);
+        for _ in 0..per_class_len {
+            let mut classes = [MinMax::EMPTY; 4];
+            for cell in &mut classes {
+                *cell = MinMax {
+                    min: f32::from_bits(buf.get_u32_le()),
+                    max: f32::from_bits(buf.get_u32_le()),
+                };
+            }
+            per_class.push(classes);
+        }
+        Some(Self {
+            slot_s,
+            slots_per_day,
+            num_segments,
+            per_segment,
+            per_class,
+            observations,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +356,33 @@ mod tests {
             night_sum / n,
             rush_sum / n
         );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_bit_exact() {
+        let (city, dataset) = setup();
+        let stats = SpeedStats::from_dataset(&city.network, &dataset, 300);
+        let decoded = SpeedStats::decode(&stats.encode()).expect("round trip");
+        assert_eq!(decoded.slot_s(), stats.slot_s());
+        assert_eq!(decoded.num_observations(), stats.num_observations());
+        for seg in city.network.segment_ids().step_by(7) {
+            for slot in (0..288).step_by(13) {
+                assert_eq!(
+                    decoded.max_speed_ms(&city.network, seg, slot).to_bits(),
+                    stats.max_speed_ms(&city.network, seg, slot).to_bits(),
+                );
+                assert_eq!(
+                    decoded
+                        .min_speed_ms(&city.network, seg, slot, 1.5)
+                        .to_bits(),
+                    stats.min_speed_ms(&city.network, seg, slot, 1.5).to_bits(),
+                );
+            }
+        }
+        // Truncated buffers are rejected, not misread.
+        let bytes = stats.encode();
+        assert!(SpeedStats::decode(&bytes[..bytes.len() - 3]).is_none());
+        assert!(SpeedStats::decode(&[]).is_none());
     }
 
     #[test]

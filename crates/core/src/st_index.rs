@@ -25,16 +25,18 @@ use std::time::Duration;
 use streach_geo::GeoPoint;
 use streach_roadnet::{RoadNetwork, SegmentId};
 use streach_storage::{
-    BPlusTree, BlobHandle, InMemoryPageStore, IoStats, PostingStore, SimulatedDiskStore, TimeList,
+    BPlusTree, BlobHandle, InMemoryPageStore, IoStats, PageStore, PostingStore, SimulatedDiskStore,
+    TimeList,
 };
 use streach_traj::TrajectoryDataset;
 
 use crate::config::IndexConfig;
 use crate::time::{slot_of, slots_overlapping};
 
-/// Page store backing the ST-Index: an in-memory store wrapped in the
-/// simulated-latency disk.
-pub type StIndexStore = SimulatedDiskStore<InMemoryPageStore>;
+/// Page store backing the ST-Index: any [`PageStore`] backend (in-memory for
+/// fresh builds, [`streach_storage::FilePageStore`] for reopened snapshots)
+/// behind the simulated-latency disk wrapper.
+pub type StIndexStore = SimulatedDiskStore<Box<dyn PageStore>>;
 
 /// Directory of one temporal leaf: for every road segment traversed during
 /// the slot, the handle of its time list in the posting store.
@@ -117,7 +119,7 @@ impl StIndex {
         // a slot) so that postings of the same temporal leaf are clustered on
         // neighbouring pages. The sorted tuple order delivers exactly that.
         let store = SimulatedDiskStore::with_latency(
-            InMemoryPageStore::new(),
+            Box::new(InMemoryPageStore::new()) as Box<dyn PageStore>,
             Duration::from_micros(config.read_latency_us),
             Duration::ZERO,
         );
@@ -170,6 +172,48 @@ impl StIndex {
         }
     }
 
+    /// Reassembles an ST-Index from snapshot parts: a reopened posting
+    /// store plus the decoded temporal directory. Used by
+    /// [`crate::snapshot`]; the directory entries of each slot must be
+    /// sorted by segment ID (they are persisted that way).
+    pub(crate) fn from_parts(
+        network: Arc<RoadNetwork>,
+        slot_s: u32,
+        num_days: u16,
+        stats: StIndexStats,
+        directory: Vec<(u32, Vec<(SegmentId, BlobHandle)>)>,
+        postings: PostingStore<StIndexStore>,
+    ) -> Self {
+        let mut temporal = BPlusTree::with_order(32);
+        for (slot, entries) in directory {
+            debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+            temporal.insert(slot as u64, SlotDirectory { entries });
+        }
+        Self {
+            network,
+            slot_s,
+            num_days,
+            temporal,
+            postings,
+            stats,
+        }
+    }
+
+    /// The temporal directory as (slot, entries) pairs in slot order — the
+    /// snapshot serialization of the temporal B+-tree.
+    pub(crate) fn directory_entries(&self) -> Vec<(u32, Vec<(SegmentId, BlobHandle)>)> {
+        self.temporal
+            .iter()
+            .into_iter()
+            .map(|(slot, dir)| (slot as u32, dir.entries.clone()))
+            .collect()
+    }
+
+    /// The posting store (page export during snapshots).
+    pub(crate) fn postings(&self) -> &PostingStore<StIndexStore> {
+        &self.postings
+    }
+
     /// The temporal granularity Δt in seconds.
     pub fn slot_s(&self) -> u32 {
         self.slot_s
@@ -210,6 +254,14 @@ impl StIndex {
     /// Reads the time list of `segment` in `slot` from the posting store.
     /// Returns `None` when no trajectory traversed the segment in that slot
     /// on any day.
+    ///
+    /// # Panics
+    /// Panics if the underlying page store fails the read. Blob handles are
+    /// range-validated against the heap at snapshot open, so on a healthy
+    /// store this cannot fire; a *disk fault* on a file-backed store (file
+    /// truncated or deleted after open, EIO) still aborts — plumbing
+    /// `StorageResult` through the zero-allocation verification pipeline is
+    /// tracked as a ROADMAP open item.
     pub fn time_list(&self, segment: SegmentId, slot: u32) -> Option<TimeList> {
         let handle = self.lookup(segment, slot)?;
         Some(
@@ -249,7 +301,9 @@ impl StIndex {
 
     /// Trajectory IDs that traversed `segment` on `date` at any time in the
     /// half-open window `[start_s, end_s)` — `Tr(r, T_B, d)` in the paper's
-    /// trace back search. The result is sorted and deduplicated.
+    /// trace back search. The result is sorted and deduplicated. Windows
+    /// extending past midnight wrap onto the beginning of the (same) day,
+    /// matching the modular slot arithmetic of [`StIndex::time_list`].
     pub fn ids_in_window(
         &self,
         segment: SegmentId,

@@ -1,7 +1,7 @@
 //! An LRU buffer pool in front of a page store.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 
@@ -17,6 +17,21 @@ use crate::pagestore::{PageStore, StorageResult};
 /// This mirrors the original system, where repeated accesses to the same
 /// ST-Index posting pages (e.g. the start segment's time list) are served
 /// from memory while the bulk of the trace-back search still pays disk I/O.
+///
+/// # Concurrency
+///
+/// * **In-flight fetch coalescing.** When several threads miss on the same
+///   page simultaneously (common during parallel annulus verification, where
+///   neighbouring segments share posting pages), exactly one thread — the
+///   *leader* — issues the physical store read; the others block on the
+///   in-flight entry and are handed the fetched page. One miss and one
+///   physical `page_reads` increment are recorded for the leader; followers
+///   record cache hits, since their request is served from memory. If the
+///   leader's read fails, followers fall back to their own store read.
+/// * **O(1) eviction.** Recency order lives in an intrusive doubly-linked
+///   list threaded through a slab of nodes, so refreshing a page on a cache
+///   hit and selecting the LRU victim on a miss are both constant time —
+///   the previous implementation scanned the whole pool per eviction.
 pub struct BufferPool<S: PageStore> {
     store: S,
     capacity: usize,
@@ -24,13 +39,148 @@ pub struct BufferPool<S: PageStore> {
     stats: Arc<IoStats>,
 }
 
+/// Slab index standing in for "no node".
+const NIL: u32 = u32::MAX;
+
+struct Node {
+    /// Pages are `Arc`d so a read can take a reference out of the critical
+    /// section with one atomic bump — parallel verification workers must not
+    /// serialize on the pool lock for the duration of their posting-byte
+    /// copies.
+    page: Arc<Page>,
+    id: PageId,
+    prev: u32,
+    next: u32,
+}
+
 struct LruInner {
-    /// page id -> (page, clock of last use). Pages are `Arc`d so a read can
-    /// take a reference out of the critical section with one atomic bump —
-    /// parallel verification workers must not serialize on the pool lock for
-    /// the duration of their posting-byte copies.
-    map: HashMap<PageId, (Arc<Page>, u64)>,
-    clock: u64,
+    /// page id -> slab index of its node.
+    map: HashMap<PageId, u32>,
+    /// Node slab; the recency list is threaded through `prev`/`next`. The
+    /// slab never shrinks below the pool capacity: eviction reuses the
+    /// victim's slot in place and [`BufferPool::clear`] empties it wholesale.
+    nodes: Vec<Node>,
+    /// Most recently used node, or [`NIL`].
+    head: u32,
+    /// Least recently used node (the eviction victim), or [`NIL`].
+    tail: u32,
+    /// Fetches currently being performed by a leader thread.
+    in_flight: HashMap<PageId, Arc<InFlight>>,
+}
+
+/// Rendezvous point for threads waiting on a page another thread is
+/// currently fetching. `std::sync` primitives are used directly because the
+/// `parking_lot` shim has no condition variables.
+struct InFlight {
+    /// `None` while the fetch is in progress; `Some(Some(page))` on success,
+    /// `Some(None)` when the leader's read failed (followers then retry on
+    /// their own).
+    slot: StdMutex<Option<Option<Arc<Page>>>>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        Self {
+            slot: StdMutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, page: Option<Arc<Page>>) {
+        *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(page);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Option<Arc<Page>> {
+        let mut guard = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = guard.as_ref() {
+                return outcome.clone();
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl LruInner {
+    /// Detaches a node from the recency list (it stays in the slab).
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let node = &self.nodes[idx as usize];
+            (node.prev, node.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Prepends a detached node at the most-recently-used position.
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let node = &mut self.nodes[idx as usize];
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    /// Refreshes a resident page's recency and returns it. O(1).
+    fn touch(&mut self, id: PageId) -> Option<Arc<Page>> {
+        let idx = *self.map.get(&id)?;
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(Arc::clone(&self.nodes[idx as usize].page))
+    }
+
+    /// Inserts (or refreshes) a page, evicting the LRU victim when full.
+    /// O(1): the victim is the list tail, its slab slot is reused in place.
+    fn insert(&mut self, id: PageId, page: Arc<Page>, capacity: usize) {
+        if let Some(&idx) = self.map.get(&id) {
+            self.nodes[idx as usize].page = page;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        let idx = if self.map.len() >= capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let node = &mut self.nodes[victim as usize];
+            self.map.remove(&node.id);
+            node.page = page;
+            node.id = id;
+            victim
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                page,
+                id,
+                prev: NIL,
+                next: NIL,
+            });
+            idx
+        };
+        self.map.insert(id, idx);
+        self.push_front(idx);
+    }
 }
 
 impl<S: PageStore> BufferPool<S> {
@@ -43,7 +193,10 @@ impl<S: PageStore> BufferPool<S> {
             capacity,
             inner: Mutex::new(LruInner {
                 map: HashMap::with_capacity(capacity),
-                clock: 0,
+                nodes: Vec::with_capacity(capacity),
+                head: NIL,
+                tail: NIL,
+                in_flight: HashMap::new(),
             }),
             stats,
         }
@@ -74,6 +227,62 @@ impl<S: PageStore> BufferPool<S> {
         self.store.allocate()
     }
 
+    /// Fetches a page through the cache, coalescing concurrent misses.
+    fn fetch(&self, id: PageId) -> StorageResult<Arc<Page>> {
+        enum Role {
+            Hit(Arc<Page>),
+            Follower(Arc<InFlight>),
+            Leader(Arc<InFlight>),
+        }
+        let role = {
+            let mut inner = self.inner.lock();
+            if let Some(page) = inner.touch(id) {
+                Role::Hit(page)
+            } else if let Some(pending) = inner.in_flight.get(&id) {
+                Role::Follower(Arc::clone(pending))
+            } else {
+                let pending = Arc::new(InFlight::new());
+                inner.in_flight.insert(id, Arc::clone(&pending));
+                Role::Leader(pending)
+            }
+        };
+        match role {
+            Role::Hit(page) => {
+                self.stats.record_hit();
+                Ok(page)
+            }
+            Role::Follower(pending) => match pending.wait() {
+                Some(page) => {
+                    // Served from memory without touching the store: a hit.
+                    self.stats.record_hit();
+                    Ok(page)
+                }
+                // Leader failed; retry independently (rare path).
+                None => self.fetch(id),
+            },
+            Role::Leader(pending) => {
+                self.stats.record_miss();
+                let result = self.store.read_page(id);
+                let mut inner = self.inner.lock();
+                inner.in_flight.remove(&id);
+                match result {
+                    Ok(page) => {
+                        let page = Arc::new(page);
+                        inner.insert(id, Arc::clone(&page), self.capacity);
+                        drop(inner);
+                        pending.publish(Some(page.clone()));
+                        Ok(page)
+                    }
+                    Err(e) => {
+                        drop(inner);
+                        pending.publish(None);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
     /// Runs `f` against a page without handing out an owned copy: on a cache
     /// hit the pooled page is retained with one `Arc` bump (no allocation,
     /// no byte copy) and the closure runs *outside* the pool lock, so
@@ -81,15 +290,8 @@ impl<S: PageStore> BufferPool<S> {
     /// This is the backbone of the query hot path — posting reads copy the
     /// bytes they need straight into a caller-owned scratch buffer.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
-        if let Some(page) = self.lookup(id) {
-            self.stats.record_hit();
-            return Ok(f(&page));
-        }
-        self.stats.record_miss();
-        let page = Arc::new(self.store.read_page(id)?);
-        let result = f(&page);
-        self.insert(id, page);
-        Ok(result)
+        let page = self.fetch(id)?;
+        Ok(f(&page))
     }
 
     /// Reads a page through the cache.
@@ -97,54 +299,32 @@ impl<S: PageStore> BufferPool<S> {
         self.with_page(id, |page| page.clone())
     }
 
-    /// Cache lookup: refreshes the LRU stamp and hands the page out with one
-    /// reference-count bump.
-    fn lookup(&self, id: PageId) -> Option<Arc<Page>> {
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        let (page, last_used) = inner.map.get_mut(&id)?;
-        *last_used = clock;
-        Some(Arc::clone(page))
-    }
-
-    /// Inserts a freshly fetched page, evicting the least recently used
-    /// entry if the pool is full.
-    fn insert(&self, id: PageId, page: Arc<Page>) {
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&id) {
-            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, used))| *used) {
-                inner.map.remove(&victim);
-            }
-        }
-        inner.map.insert(id, (page, clock));
-    }
-
     /// Writes a page through the cache (write-through: the underlying store
     /// is updated immediately and the cached copy refreshed).
     pub fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
         self.store.write_page(id, page)?;
         let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        if let Some(entry) = inner.map.get_mut(&id) {
-            *entry = (Arc::new(page.clone()), clock);
+        if inner.map.contains_key(&id) {
+            inner.insert(id, Arc::new(page.clone()), self.capacity);
         }
         Ok(())
     }
 
     /// Drops every cached page (counters are unaffected).
     pub fn clear(&self) {
-        self.inner.lock().map.clear();
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.nodes.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pagestore::InMemoryPageStore;
+    use crate::pagestore::{InMemoryPageStore, SimulatedDiskStore};
+    use std::time::Duration;
 
     fn store_with_pages(n: u64) -> InMemoryPageStore {
         let store = InMemoryPageStore::new();
@@ -237,5 +417,124 @@ mod tests {
                 assert_eq!(page.bytes()[0], i as u8, "round {round}");
             }
         }
+    }
+
+    /// The heart of the coalescing fix: many threads missing the same page
+    /// at once must issue exactly one physical read — the previous pool let
+    /// every thread fetch and double-count `page_reads`.
+    #[test]
+    fn concurrent_misses_coalesce_to_one_read() {
+        // A slow store keeps the fetch in flight long enough for every
+        // thread to pile up on the same page.
+        let slow = SimulatedDiskStore::with_latency(
+            store_with_pages(1),
+            Duration::from_millis(20),
+            Duration::ZERO,
+        );
+        let pool = BufferPool::new(slow, 4);
+        std::thread::scope(|scope| {
+            let pool = &pool;
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let page = pool.read_page(0).unwrap();
+                        assert_eq!(page.bytes()[0], 0);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let snap = pool.io_stats().snapshot();
+        assert_eq!(snap.page_reads, 1, "exactly one physical read");
+        assert_eq!(snap.cache_misses, 1, "exactly one miss (the leader)");
+        assert_eq!(snap.cache_hits, 7, "followers are served from memory");
+    }
+
+    /// Coalescing across different pages must not serialize: concurrent
+    /// fetches of distinct pages still each read once.
+    #[test]
+    fn distinct_pages_fetch_independently() {
+        let pool = BufferPool::new(store_with_pages(8), 8);
+        std::thread::scope(|scope| {
+            let pool = &pool;
+            let handles: Vec<_> = (0..8u64)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let page = pool.read_page(i).unwrap();
+                        assert_eq!(page.bytes()[0], i as u8);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let snap = pool.io_stats().snapshot();
+        assert_eq!(snap.page_reads, 8);
+        assert_eq!(snap.cache_misses, 8);
+    }
+
+    /// A failed leader read must not poison followers: they fall back to
+    /// their own fetch (which fails the same way for a truly missing page).
+    #[test]
+    fn leader_failure_propagates_as_error() {
+        let pool = BufferPool::new(store_with_pages(1), 4);
+        assert!(pool.read_page(5).is_err());
+        // The in-flight entry is cleaned up: a later valid read still works.
+        assert_eq!(pool.read_page(0).unwrap().bytes()[0], 0);
+    }
+
+    /// The intrusive-list LRU agrees with a naive reference model over a
+    /// long pseudo-random access sequence (unlink/push_front/evict paths all
+    /// exercised).
+    #[test]
+    fn intrusive_lru_matches_reference_model() {
+        let pool = BufferPool::new(store_with_pages(32), 5);
+        let mut model: Vec<u64> = Vec::new(); // most recent at the back
+        let mut state = 0x1234_5678_u64;
+        for round in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let id = (state >> 33) % 32;
+            assert_eq!(pool.read_page(id).unwrap().bytes()[0], id as u8);
+            model.retain(|x| *x != id);
+            model.push(id);
+            if model.len() > 5 {
+                model.remove(0);
+            }
+            assert_eq!(pool.cached_pages(), model.len(), "round {round}");
+        }
+        // Every page the model says is resident must be served as a hit.
+        pool.io_stats().reset();
+        for &id in &model {
+            pool.read_page(id).unwrap();
+        }
+        assert_eq!(
+            pool.io_stats().snapshot().cache_misses,
+            0,
+            "model and pool disagree on residency"
+        );
+    }
+
+    /// Recency order survives the intrusive list: heavy touch traffic keeps the
+    /// hottest pages resident.
+    #[test]
+    fn frequently_touched_pages_survive_churn() {
+        let pool = BufferPool::new(store_with_pages(10), 3);
+        pool.read_page(0).unwrap();
+        for i in 1..10u64 {
+            pool.read_page(i).unwrap();
+            pool.read_page(0).unwrap(); // keep page 0 hot
+        }
+        pool.io_stats().reset();
+        pool.read_page(0).unwrap();
+        assert_eq!(
+            pool.io_stats().snapshot().cache_hits,
+            1,
+            "hot page must still be resident"
+        );
     }
 }

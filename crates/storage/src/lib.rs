@@ -19,7 +19,9 @@
 //! * [`btree`] — a from-scratch B+-tree used for the ST-Index *temporal
 //!   index* over Δt time slots,
 //! * [`postings`] — an append-only blob heap storing the serialized time
-//!   lists (trajectory-ID posting lists) across pages.
+//!   lists (trajectory-ID posting lists) across pages,
+//! * [`snapshot`] — the versioned, checksummed snapshot container format
+//!   used by engine snapshots (named sections + CRC-32 seals).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,12 +32,14 @@ pub mod iostats;
 pub mod page;
 pub mod pagestore;
 pub mod postings;
+pub mod snapshot;
 
 pub use btree::BPlusTree;
 pub use buffer_pool::BufferPool;
 pub use iostats::{IoStats, IoStatsSnapshot};
-pub use page::{PageId, PAGE_SIZE};
+pub use page::{Page, PageId, PAGE_SIZE};
 pub use pagestore::{
     FilePageStore, InMemoryPageStore, PageStore, SimulatedDiskStore, StorageError, StorageResult,
 };
 pub use postings::{visit_encoded, BlobHandle, IdIter, PostingStore, TimeList, TimeListEntry};
+pub use snapshot::{Crc32, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 use crate::iostats::IoStats;
 use crate::page::{Page, PageId, PAGE_SIZE};
 
-/// Errors produced by page stores.
+/// Errors produced by page stores and the snapshot format.
 #[derive(Debug)]
 pub enum StorageError {
     /// The requested page does not exist.
@@ -23,6 +23,28 @@ pub enum StorageError {
     },
     /// An underlying I/O error (file backend only).
     Io(std::io::Error),
+    /// Persisted data failed validation (bad magic, checksum mismatch,
+    /// truncation, malformed section).
+    Corrupt {
+        /// Human-readable description of what failed to validate.
+        context: String,
+    },
+    /// A persisted file was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+}
+
+impl StorageError {
+    /// Shorthand for a [`StorageError::Corrupt`] with the given context.
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        StorageError::Corrupt {
+            context: context.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -35,6 +57,13 @@ impl std::fmt::Display for StorageError {
                 write!(f, "page {requested} out of bounds ({allocated} allocated)")
             }
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt { context } => write!(f, "corrupt data: {context}"),
+            StorageError::UnsupportedVersion { found, expected } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (expected {expected})"
+                )
+            }
         }
     }
 }
@@ -67,8 +96,38 @@ pub trait PageStore: Send + Sync {
     /// Number of pages currently allocated.
     fn num_pages(&self) -> u64;
 
+    /// Forces buffered writes down to durable storage (fsync for file
+    /// backends; a no-op for memory backends).
+    fn flush(&self) -> StorageResult<()>;
+
     /// The shared I/O statistics handle.
     fn io_stats(&self) -> Arc<IoStats>;
+}
+
+impl PageStore for Box<dyn PageStore> {
+    fn allocate(&self) -> StorageResult<PageId> {
+        (**self).allocate()
+    }
+
+    fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        (**self).read_page(id)
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        (**self).write_page(id, page)
+    }
+
+    fn num_pages(&self) -> u64 {
+        (**self).num_pages()
+    }
+
+    fn flush(&self) -> StorageResult<()> {
+        (**self).flush()
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        (**self).io_stats()
+    }
 }
 
 /// A purely in-memory page store.
@@ -142,12 +201,22 @@ impl PageStore for InMemoryPageStore {
         self.pages.lock().len() as u64
     }
 
+    fn flush(&self) -> StorageResult<()> {
+        Ok(())
+    }
+
     fn io_stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
 }
 
-/// A file-backed page store. Pages are stored contiguously in a single file.
+/// A file-backed page store: the real-disk backend behind engine snapshots.
+///
+/// Pages are stored contiguously in a single file at page-aligned offsets
+/// (`page_id * PAGE_SIZE`), so every `read_page`/`write_page` is one aligned
+/// `pread`/`pwrite`-shaped access. [`PageStore::flush`] calls `fsync`, and
+/// physical reads/writes are counted through the same [`IoStats`] handle the
+/// in-memory backend uses — query I/O accounting is backend-independent.
 pub struct FilePageStore {
     file: Mutex<File>,
     num_pages: Mutex<u64>,
@@ -157,6 +226,12 @@ pub struct FilePageStore {
 impl FilePageStore {
     /// Creates (or truncates) a page file at `path`.
     pub fn create<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        Self::create_with_stats(path, IoStats::new_shared())
+    }
+
+    /// Creates (or truncates) a page file sharing the given statistics
+    /// handle.
+    pub fn create_with_stats<P: AsRef<Path>>(path: P, stats: Arc<IoStats>) -> StorageResult<Self> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -166,18 +241,43 @@ impl FilePageStore {
         Ok(Self {
             file: Mutex::new(file),
             num_pages: Mutex::new(0),
-            stats: IoStats::new_shared(),
+            stats,
         })
     }
 
-    /// Opens an existing page file at `path`.
+    /// Opens an existing page file at `path` for reading and writing.
+    /// Rejects files whose length is not page-aligned (a truncated or
+    /// foreign file).
     pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::open_with_stats(path, IoStats::new_shared())
+    }
+
+    /// Opens an existing page file sharing the given statistics handle.
+    pub fn open_with_stats<P: AsRef<Path>>(path: P, stats: Arc<IoStats>) -> StorageResult<Self> {
+        Self::open_impl(path.as_ref(), stats, true)
+    }
+
+    /// Opens an existing page file **read-only** — the mode snapshot cold
+    /// opens use, so a snapshot deployed as a read-only artifact (chmod 444,
+    /// read-only volume mount) still serves queries. `write_page` and
+    /// `allocate` on a read-only store fail with [`StorageError::Io`].
+    pub fn open_read_only<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        Self::open_impl(path.as_ref(), IoStats::new_shared(), false)
+    }
+
+    fn open_impl(path: &Path, stats: Arc<IoStats>, writable: bool) -> StorageResult<Self> {
+        let file = OpenOptions::new().read(true).write(writable).open(path)?;
         let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::corrupt(format!(
+                "page file {} has length {len}, not a multiple of the page size",
+                path.display()
+            )));
+        }
         Ok(Self {
             file: Mutex::new(file),
             num_pages: Mutex::new(len / PAGE_SIZE as u64),
-            stats: IoStats::new_shared(),
+            stats,
         })
     }
 }
@@ -228,6 +328,11 @@ impl PageStore for FilePageStore {
         *self.num_pages.lock()
     }
 
+    fn flush(&self) -> StorageResult<()> {
+        self.file.lock().sync_all()?;
+        Ok(())
+    }
+
     fn io_stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
@@ -268,6 +373,12 @@ impl<S: PageStore> SimulatedDiskStore<S> {
         self.read_latency
     }
 
+    /// The wrapped store, bypassing the latency model (bulk page export
+    /// during snapshots).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
     fn spin(duration: Duration) {
         if duration.is_zero() {
             return;
@@ -298,6 +409,10 @@ impl<S: PageStore> PageStore for SimulatedDiskStore<S> {
 
     fn num_pages(&self) -> u64 {
         self.inner.num_pages()
+    }
+
+    fn flush(&self) -> StorageResult<()> {
+        self.inner.flush()
     }
 
     fn io_stats(&self) -> Arc<IoStats> {
@@ -397,5 +512,46 @@ mod tests {
             allocated: 2,
         };
         assert!(e.to_string().contains("page 9"));
+        assert!(StorageError::corrupt("bad crc")
+            .to_string()
+            .contains("bad crc"));
+        let v = StorageError::UnsupportedVersion {
+            found: 9,
+            expected: 1,
+        };
+        assert!(v.to_string().contains("version 9"));
+    }
+
+    #[test]
+    fn file_store_flush_persists_and_rejects_misaligned_files() {
+        let dir = std::env::temp_dir().join(format!("streach-flush-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        {
+            let store = FilePageStore::create(&path).unwrap();
+            let id = store.allocate().unwrap();
+            store.write_page(id, &Page::from_slice(b"durable")).unwrap();
+            store.flush().unwrap();
+        }
+        // Append garbage so the length is no longer page-aligned.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xFF; 17]).unwrap();
+        }
+        assert!(matches!(
+            FilePageStore::open(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn boxed_store_forwards_everything() {
+        let boxed: Box<dyn PageStore> = Box::new(InMemoryPageStore::new());
+        roundtrip(&boxed);
+        assert_eq!(boxed.num_pages(), 1);
+        assert!(boxed.flush().is_ok());
+        assert_eq!(boxed.io_stats().snapshot().page_reads, 1);
     }
 }

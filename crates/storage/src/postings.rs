@@ -230,6 +230,27 @@ impl<S: PageStore> PostingStore<S> {
         }
     }
 
+    /// Reopens a posting store over an already-populated page store (e.g. a
+    /// [`crate::FilePageStore`] holding a snapshot's posting heap), restoring
+    /// the append cursor to `tail` bytes.
+    pub fn with_tail(store: S, pool_pages: usize, tail: u64) -> Self {
+        Self {
+            pool: BufferPool::new(store, pool_pages),
+            tail: Mutex::new(tail),
+        }
+    }
+
+    /// Access to the underlying page store (page export during snapshots,
+    /// direct allocation during bulk loads).
+    pub fn store(&self) -> &S {
+        self.pool.store()
+    }
+
+    /// Flushes the underlying store (fsync for file backends).
+    pub fn flush(&self) -> StorageResult<()> {
+        self.pool.store().flush()
+    }
+
     /// The shared I/O statistics handle.
     pub fn io_stats(&self) -> Arc<IoStats> {
         self.pool.io_stats()

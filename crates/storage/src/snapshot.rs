@@ -1,0 +1,348 @@
+//! The on-disk snapshot container format.
+//!
+//! An engine snapshot is a directory with two files: a page file holding the
+//! raw posting pages (read back through [`crate::FilePageStore`]) and a
+//! *snapshot container* holding everything else — index directories, speed
+//! statistics, connection tables, configuration — as named, checksummed
+//! sections.
+//!
+//! # Layout
+//!
+//! ```text
+//! [magic "STRSNAP\0" : 8 bytes]
+//! [format version    : u32 LE]
+//! [section count     : u32 LE]
+//! per section:
+//!     [name length   : u16 LE]
+//!     [name          : UTF-8 bytes]
+//!     [payload length: u64 LE]
+//!     [payload CRC-32: u32 LE]
+//!     [payload bytes]
+//! [file CRC-32       : u32 LE]   -- over everything before it
+//! ```
+//!
+//! Every payload carries its own CRC-32 (IEEE), and the whole file is sealed
+//! by a trailing CRC, so truncation, bit rot and foreign files are all
+//! rejected with [`StorageError::Corrupt`] instead of being deserialized
+//! into garbage. A version bump turns old files into
+//! [`StorageError::UnsupportedVersion`] — never a silent misread.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+
+use crate::pagestore::{StorageError, StorageResult};
+
+/// Magic bytes opening every snapshot container.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"STRSNAP\0";
+
+/// Snapshot format version written (and required) by this build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Streaming CRC-32 (IEEE 802.3, reflected) accumulator. Implemented
+/// locally — the offline build has no checksum crate — and verified against
+/// the standard check value in the tests below.
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh accumulator.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+        self.state = crc;
+    }
+
+    /// Returns the checksum of everything fed so far.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes` in one call.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finalize()
+}
+
+/// Writes a snapshot container: named sections appended in order, sealed by
+/// [`SnapshotWriter::finish`].
+pub struct SnapshotWriter {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Starts an empty container.
+    pub fn new() -> Self {
+        Self {
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a named section. Names must be unique within one container.
+    pub fn add_section(&mut self, name: &str, payload: Vec<u8>) {
+        debug_assert!(
+            self.sections.iter().all(|(n, _)| n != name),
+            "duplicate snapshot section {name}"
+        );
+        self.sections.push((name.to_string(), payload));
+    }
+
+    /// Serializes the container to `path` and fsyncs it.
+    pub fn finish<P: AsRef<Path>>(self, path: P) -> StorageResult<()> {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_slice(&SNAPSHOT_MAGIC);
+        buf.put_u32_le(SNAPSHOT_VERSION);
+        buf.put_u32_le(self.sections.len() as u32);
+        for (name, payload) in &self.sections {
+            buf.put_u16_le(name.len() as u16);
+            buf.put_slice(name.as_bytes());
+            buf.put_u64_le(payload.len() as u64);
+            buf.put_u32_le(crc32(payload));
+            buf.put_slice(payload);
+        }
+        let seal = crc32(&buf);
+        buf.put_u32_le(seal);
+
+        let mut file = File::create(path)?;
+        file.write_all(&buf)?;
+        file.sync_all()?;
+        Ok(())
+    }
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reads and validates a snapshot container into memory.
+pub struct SnapshotReader {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotReader {
+    /// Opens, checksums and parses the container at `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let path = path.as_ref();
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Self::parse(&bytes).map_err(|e| match e {
+            StorageError::Corrupt { context } => StorageError::Corrupt {
+                context: format!("{}: {context}", path.display()),
+            },
+            other => other,
+        })
+    }
+
+    /// Parses a container from memory.
+    pub fn parse(bytes: &[u8]) -> StorageResult<Self> {
+        let header_len = SNAPSHOT_MAGIC.len() + 4 + 4;
+        if bytes.len() < header_len + 4 {
+            return Err(StorageError::corrupt("snapshot shorter than its header"));
+        }
+        let (body, seal) = bytes.split_at(bytes.len() - 4);
+        let expected_seal = u32::from_le_bytes(seal.try_into().expect("4 bytes"));
+        if crc32(body) != expected_seal {
+            return Err(StorageError::corrupt(
+                "file checksum mismatch (truncated or corrupted snapshot)",
+            ));
+        }
+
+        let mut cursor: &[u8] = body;
+        let mut magic = [0u8; 8];
+        cursor.copy_to_slice(&mut magic);
+        if magic != SNAPSHOT_MAGIC {
+            return Err(StorageError::corrupt("bad snapshot magic"));
+        }
+        let version = cursor.get_u32_le();
+        if version != SNAPSHOT_VERSION {
+            return Err(StorageError::UnsupportedVersion {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let count = cursor.get_u32_le() as usize;
+        // The count is attacker-controlled until each section proves itself;
+        // never pre-allocate more than the remaining bytes could hold (a
+        // section is at least 14 bytes: name length + payload length + CRC).
+        let mut sections = Vec::with_capacity(count.min(cursor.remaining() / 14));
+        for i in 0..count {
+            if cursor.remaining() < 2 {
+                return Err(StorageError::corrupt(format!("section {i}: missing name")));
+            }
+            let name_len = cursor.get_u16_le() as usize;
+            if cursor.remaining() < name_len + 12 {
+                return Err(StorageError::corrupt(format!("section {i}: truncated")));
+            }
+            let name = String::from_utf8(cursor[..name_len].to_vec())
+                .map_err(|_| StorageError::corrupt(format!("section {i}: non-UTF-8 name")))?;
+            cursor.advance(name_len);
+            let payload_len = cursor.get_u64_le() as usize;
+            let payload_crc = cursor.get_u32_le();
+            if cursor.remaining() < payload_len {
+                return Err(StorageError::corrupt(format!(
+                    "section {name}: payload truncated"
+                )));
+            }
+            let payload = cursor[..payload_len].to_vec();
+            cursor.advance(payload_len);
+            if crc32(&payload) != payload_crc {
+                return Err(StorageError::corrupt(format!(
+                    "section {name}: checksum mismatch"
+                )));
+            }
+            sections.push((name, payload));
+        }
+        if cursor.remaining() != 0 {
+            return Err(StorageError::corrupt("trailing bytes after last section"));
+        }
+        Ok(Self { sections })
+    }
+
+    /// Names of the sections in file order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The payload of a named section, or a [`StorageError::Corrupt`]
+    /// explaining which section is missing.
+    pub fn section(&self, name: &str) -> StorageResult<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+            .ok_or_else(|| StorageError::corrupt(format!("missing snapshot section {name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_standard_check_value() {
+        // The canonical CRC-32/IEEE check: crc32("123456789") == 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Streaming in pieces equals one shot.
+        let mut streamed = Crc32::new();
+        streamed.update(b"1234");
+        streamed.update(b"");
+        streamed.update(b"56789");
+        assert_eq!(streamed.finalize(), 0xCBF4_3926);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("streach-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let path = tmp("roundtrip.snap");
+        let mut w = SnapshotWriter::new();
+        w.add_section("alpha", b"hello".to_vec());
+        w.add_section("beta", vec![7u8; 10_000]);
+        w.add_section("empty", Vec::new());
+        w.finish(&path).unwrap();
+
+        let r = SnapshotReader::open(&path).unwrap();
+        assert_eq!(
+            r.section_names().collect::<Vec<_>>(),
+            vec!["alpha", "beta", "empty"]
+        );
+        assert_eq!(r.section("alpha").unwrap(), b"hello");
+        assert_eq!(r.section("beta").unwrap(), &[7u8; 10_000][..]);
+        assert_eq!(r.section("empty").unwrap(), b"");
+        assert!(matches!(
+            r.section("gamma"),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let path = tmp("truncated.snap");
+        let mut w = SnapshotWriter::new();
+        w.add_section("data", vec![42u8; 5000]);
+        w.finish(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [bytes.len() - 1, bytes.len() / 2, 10, 0] {
+            assert!(
+                matches!(
+                    SnapshotReader::parse(&bytes[..cut]),
+                    Err(StorageError::Corrupt { .. })
+                ),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_header_and_payload_are_rejected() {
+        let path = tmp("corrupt.snap");
+        let mut w = SnapshotWriter::new();
+        w.add_section("data", b"payload-bytes".to_vec());
+        w.finish(&path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // Flip a magic byte.
+        let mut bad = clean.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            SnapshotReader::parse(&bad),
+            Err(StorageError::Corrupt { .. })
+        ));
+
+        // Flip a payload byte (both the section CRC and the seal catch it).
+        let mut bad = clean.clone();
+        let n = bad.len();
+        bad[n - 10] ^= 0x01;
+        assert!(matches!(
+            SnapshotReader::parse(&bad),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected_as_unsupported() {
+        let path = tmp("version.snap");
+        let mut w = SnapshotWriter::new();
+        w.add_section("data", b"x".to_vec());
+        w.finish(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Bump the version field and re-seal the file checksum.
+        bytes[8] = 99;
+        let n = bytes.len();
+        let seal = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&seal.to_le_bytes());
+        assert!(matches!(
+            SnapshotReader::parse(&bytes),
+            Err(StorageError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+}

@@ -1,0 +1,299 @@
+//! Engine snapshot round-trip suite: build → save → open must answer a
+//! fixed query workload **bit-identically** to the freshly built engine,
+//! with genuine page I/O on the cold open — plus loud rejection of
+//! corrupted, truncated and mismatched snapshots.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use streach::prelude::*;
+use streach::storage::StorageError;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("streach-snapshot-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn build_inputs() -> (Arc<RoadNetwork>, TrajectoryDataset) {
+    let city = SyntheticCity::generate(GeneratorConfig::small());
+    let network = Arc::new(city.network);
+    let dataset = TrajectoryDataset::simulate(
+        &network,
+        FleetConfig {
+            num_taxis: 20,
+            num_days: 4,
+            day_start_s: 0,
+            day_end_s: 86_400,
+            seed: 31,
+            ..FleetConfig::default()
+        },
+    );
+    (network, dataset)
+}
+
+fn config() -> IndexConfig {
+    IndexConfig {
+        read_latency_us: 0,
+        ..Default::default()
+    }
+}
+
+/// The fixed s-query suite every snapshot assertion sweeps — includes a
+/// cross-midnight start so wrap semantics survive persistence too.
+fn squery_suite(location: GeoPoint) -> Vec<SQuery> {
+    let mut out = Vec::new();
+    for (start, duration) in [
+        (9 * 3600u32, 600u32),
+        (12 * 3600, 1500),
+        (18 * 3600 + 900, 300),
+        (23 * 3600 + 55 * 60, 600),
+    ] {
+        for prob in [0.25, 0.75] {
+            out.push(SQuery {
+                location,
+                start_time_s: start,
+                duration_s: duration,
+                prob,
+            });
+        }
+    }
+    out
+}
+
+#[test]
+fn snapshot_roundtrip_answers_bit_identically() {
+    let (network, dataset) = build_inputs();
+    let dir = tmp_dir("roundtrip");
+    let center = network.bounds().center();
+
+    // Build, warm the slots the suite needs, save.
+    let built = streach::core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(config())
+        .build();
+    for q in squery_suite(center) {
+        built.warm_con_index(q.start_time_s, q.duration_s);
+    }
+    built.save_snapshot(&dir).expect("save snapshot");
+
+    // Reopen cold — the dataset is not in scope here at all.
+    let reopened = ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("open snapshot");
+
+    // The Con-Index comes back warm: tables restored, none rebuilt.
+    let con_stats = reopened.con_index().stats();
+    assert!(con_stats.cached_slots > 0, "warmed tables must be restored");
+    assert_eq!(con_stats.slots_built, 0, "no table may be rebuilt on open");
+
+    // Cold open must pay real page I/O on the first posting reads.
+    reopened.st_index().clear_cache();
+    reopened.st_index().io_stats().reset();
+
+    for (i, q) in squery_suite(center).iter().enumerate() {
+        for algo in [Algorithm::SqmbTbs, Algorithm::ExhaustiveSearch] {
+            let a = built.s_query(q, algo);
+            let b = reopened.s_query(q, algo);
+            assert_eq!(
+                a.region.segments, b.region.segments,
+                "query #{i} ({algo:?}) region diverged after reopen"
+            );
+            assert_eq!(
+                a.region.total_length_km.to_bits(),
+                b.region.total_length_km.to_bits(),
+                "query #{i} ({algo:?}) length diverged after reopen"
+            );
+        }
+    }
+
+    let io = reopened.st_index().io_stats().snapshot();
+    assert!(
+        io.page_reads > 0,
+        "cold open must read pages from the snapshot's page file"
+    );
+
+    // M-queries round-trip too.
+    let m = MQuery {
+        locations: vec![center, center.offset_m(1200.0, -800.0)],
+        start_time_s: 10 * 3600,
+        duration_s: 900,
+        prob: 0.25,
+    };
+    use streach::core::query::MQueryAlgorithm;
+    let a = built.m_query(&m, MQueryAlgorithm::MqmbTbs);
+    let b = reopened.m_query(&m, MQueryAlgorithm::MqmbTbs);
+    assert_eq!(a.region.segments, b.region.segments);
+    assert_eq!(
+        a.region.total_length_km.to_bits(),
+        b.region.total_length_km.to_bits()
+    );
+
+    // Index metadata survives verbatim.
+    assert_eq!(built.st_index().stats(), reopened.st_index().stats());
+    assert_eq!(built.st_index().num_days(), reopened.st_index().num_days());
+    assert_eq!(built.config().slot_s, reopened.config().slot_s);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_container_is_rejected() {
+    let (network, dataset) = build_inputs();
+    let dir = tmp_dir("corrupt");
+    streach::core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(config())
+        .save_snapshot(&dir)
+        .expect("save snapshot");
+
+    let container = dir.join(streach::core::snapshot::CONTAINER_FILE);
+    let mut bytes = std::fs::read(&container).unwrap();
+
+    // Flip one byte in the header.
+    bytes[3] ^= 0xFF;
+    std::fs::write(&container, &bytes).unwrap();
+    assert!(matches!(
+        ReachabilityEngine::open_snapshot(&dir, network.clone()),
+        Err(StorageError::Corrupt { .. })
+    ));
+
+    // Restore, then truncate the container mid-section.
+    bytes[3] ^= 0xFF;
+    std::fs::write(&container, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(
+        ReachabilityEngine::open_snapshot(&dir, network.clone()),
+        Err(StorageError::Corrupt { .. })
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_page_file_is_rejected() {
+    let (network, dataset) = build_inputs();
+    let dir = tmp_dir("truncated-pages");
+    streach::core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(config())
+        .save_snapshot(&dir)
+        .expect("save snapshot");
+
+    let pages = dir.join(streach::core::snapshot::PAGES_FILE);
+    let bytes = std::fs::read(&pages).unwrap();
+    assert!(bytes.len() > streach::storage::PAGE_SIZE);
+
+    // Cutting mid-page breaks alignment; cutting at a page boundary leaves
+    // the heap short. Both must be rejected at open time.
+    std::fs::write(&pages, &bytes[..bytes.len() - 100]).unwrap();
+    assert!(matches!(
+        ReachabilityEngine::open_snapshot(&dir, network.clone()),
+        Err(StorageError::Corrupt { .. })
+    ));
+    std::fs::write(&pages, &bytes[..streach::storage::PAGE_SIZE]).unwrap();
+    assert!(matches!(
+        ReachabilityEngine::open_snapshot(&dir, network.clone()),
+        Err(StorageError::Corrupt { .. })
+    ));
+
+    // Bit rot inside a posting page (length intact) must also be caught —
+    // the container pins the page file's CRC.
+    let mut rotten = bytes.clone();
+    let mid = rotten.len() / 2;
+    rotten[mid] ^= 0x40;
+    std::fs::write(&pages, &rotten).unwrap();
+    assert!(matches!(
+        ReachabilityEngine::open_snapshot(&dir, network.clone()),
+        Err(StorageError::Corrupt { .. })
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A snapshot deployed as an immutable artifact (read-only files) must
+/// still open and serve queries — cold opens never write.
+#[test]
+#[cfg(unix)]
+fn read_only_snapshot_opens_and_serves() {
+    use std::os::unix::fs::PermissionsExt;
+
+    let (network, dataset) = build_inputs();
+    let dir = tmp_dir("read-only");
+    let built = streach::core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(config())
+        .build();
+    built.save_snapshot(&dir).expect("save snapshot");
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        std::fs::set_permissions(entry.path(), std::fs::Permissions::from_mode(0o444)).unwrap();
+    }
+
+    let reopened = ReachabilityEngine::open_snapshot(&dir, network.clone())
+        .expect("read-only snapshot must open");
+    let q = squery_suite(network.bounds().center())[0];
+    let a = built.s_query(&q, Algorithm::SqmbTbs);
+    let b = reopened.s_query(&q, Algorithm::SqmbTbs);
+    assert_eq!(a.region.segments, b.region.segments);
+
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        std::fs::set_permissions(entry.path(), std::fs::Permissions::from_mode(0o644)).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Re-saving over an existing snapshot directory stages and renames, so the
+/// directory always holds a complete, openable snapshot.
+#[test]
+fn resave_over_existing_snapshot_keeps_it_openable() {
+    let (network, dataset) = build_inputs();
+    let dir = tmp_dir("resave");
+    let built = streach::core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(config())
+        .build();
+    built.save_snapshot(&dir).expect("first save");
+    built.save_snapshot(&dir).expect("re-save over existing");
+    // No stale staging files are left behind.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names.iter().all(|n| !n.ends_with(".tmp")),
+        "staging files left behind: {names:?}"
+    );
+    let reopened = ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("open");
+    assert_eq!(built.st_index().stats(), reopened.st_index().stats());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_rejects_a_different_network() {
+    let (network, dataset) = build_inputs();
+    let dir = tmp_dir("wrong-network");
+    streach::core::EngineBuilder::new(network, &dataset)
+        .index_config(config())
+        .save_snapshot(&dir)
+        .expect("save snapshot");
+
+    let other = Arc::new(
+        SyntheticCity::generate(GeneratorConfig {
+            seed: 4242,
+            ..GeneratorConfig::small()
+        })
+        .network,
+    );
+    match ReachabilityEngine::open_snapshot(&dir, other) {
+        Err(StorageError::Corrupt { context }) => {
+            assert!(context.contains("different road network"), "{context}")
+        }
+        Err(e) => panic!("expected network-mismatch rejection, got {e}"),
+        Ok(_) => panic!("a snapshot must not open against a different network"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_snapshot_directory_is_an_io_error() {
+    let network = Arc::new(SyntheticCity::generate(GeneratorConfig::small()).network);
+    let missing = tmp_dir("does-not-exist");
+    assert!(matches!(
+        ReachabilityEngine::open_snapshot(&missing, network),
+        Err(StorageError::Io(_))
+    ));
+}
