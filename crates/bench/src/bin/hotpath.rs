@@ -164,11 +164,13 @@ fn bench_squery(
     let baseline = measure(2, 9, || {
         let bounds = sqmb(con, network.num_segments(), start, start_time, duration);
         naive_trace_back_search(st.network(), st, &bounds, start, start_time, duration, prob)
+            .expect("fault-free store")
     });
     let optimized = measure(2, 9, || {
         let bounds = sqmb(con, network.num_segments(), start, start_time, duration);
-        let verifier = ReachabilityVerifier::new(st, start, start_time, duration);
-        trace_back_search(st.network(), verifier.core(), &bounds, prob)
+        let verifier =
+            ReachabilityVerifier::new(st, start, start_time, duration).expect("fault-free store");
+        trace_back_search(st.network(), verifier.core(), &bounds, prob).expect("fault-free store")
     });
     Row {
         name: format!("sqmb_tbs_L{minutes}min"),
@@ -192,8 +194,12 @@ fn bench_es(
         duration_s: duration,
         prob: 0.2,
     };
-    let baseline = measure(1, 5, || naive_exhaustive_search(network, st, &q, start));
-    let optimized = measure(1, 5, || exhaustive_search(network, st, &q, start));
+    let baseline = measure(1, 5, || {
+        naive_exhaustive_search(network, st, &q, start).expect("fault-free store")
+    });
+    let optimized = measure(1, 5, || {
+        exhaustive_search(network, st, &q, start).expect("fault-free store")
+    });
     Row {
         name: format!("es_L{minutes}min"),
         baseline,

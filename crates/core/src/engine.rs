@@ -86,7 +86,27 @@ impl ReachabilityEngine {
         dir: P,
         network: Arc<RoadNetwork>,
     ) -> streach_storage::StorageResult<Self> {
-        crate::snapshot::open(dir.as_ref(), network)
+        Self::open_snapshot_with_store(dir, network, |store| store)
+    }
+
+    /// Like [`ReachabilityEngine::open_snapshot`], but lets the caller wrap
+    /// the snapshot's page store before the engine takes ownership — the
+    /// hook behind fault injection
+    /// ([`streach_storage::FaultInjectingPageStore`] in
+    /// `tests/fault_injection.rs`), and useful for any instrumentation
+    /// wrapper (metrics, tracing) that should sit under the buffer pool.
+    /// The wrapper sees the already-validated [`streach_storage::FilePageStore`];
+    /// whatever it returns serves every posting read of the engine's life.
+    pub fn open_snapshot_with_store<P, F>(
+        dir: P,
+        network: Arc<RoadNetwork>,
+        wrap: F,
+    ) -> streach_storage::StorageResult<Self>
+    where
+        P: AsRef<std::path::Path>,
+        F: FnOnce(Box<dyn streach_storage::PageStore>) -> Box<dyn streach_storage::PageStore>,
+    {
+        crate::snapshot::open(dir.as_ref(), network, wrap)
     }
 
     /// Pre-builds the Con-Index connection tables a query (or a whole sweep
@@ -143,16 +163,19 @@ impl ReachabilityEngine {
     /// Answers a single-location ST reachability query.
     ///
     /// # Panics
-    /// Panics if the query is invalid (see [`SQuery::validate`]) or if the
-    /// location cannot be matched to a road segment. A serving process
-    /// should use [`ReachabilityEngine::try_s_query`] instead.
+    /// Panics if the query is invalid (see [`SQuery::validate`]), if the
+    /// location cannot be matched to a road segment, or if a posting read
+    /// hits a disk fault. A serving process should use
+    /// [`ReachabilityEngine::try_s_query`] instead.
     pub fn s_query(&self, query: &SQuery, algorithm: Algorithm) -> QueryOutcome {
         self.try_s_query(query, algorithm).expect("invalid s-query")
     }
 
     /// Answers a single-location ST reachability query, reporting malformed
-    /// queries and off-network locations as a [`QueryError`] instead of
-    /// aborting the process.
+    /// queries, off-network locations **and storage faults** as a
+    /// [`QueryError`] instead of aborting the process. A
+    /// [`QueryError::Storage`] leaves the engine fully usable — the next
+    /// fault-free query is served normally.
     pub fn try_s_query(
         &self,
         query: &SQuery,
@@ -166,7 +189,7 @@ impl ReachabilityEngine {
         let (region, verified, visited, max_b, min_b, bounding_time, verify_time) = match algorithm
         {
             Algorithm::ExhaustiveSearch => {
-                let out = exhaustive_search(&self.network, &self.st_index, query, start_segment);
+                let out = exhaustive_search(&self.network, &self.st_index, query, start_segment)?;
                 (
                     out.region,
                     out.verifications,
@@ -196,8 +219,8 @@ impl ReachabilityEngine {
                     start_segment,
                     query.start_time_s,
                     query.duration_s,
-                );
-                let outcome = trace_back_search(&self.network, &core, &bounds, query.prob);
+                )?;
+                let outcome = trace_back_search(&self.network, &core, &bounds, query.prob)?;
                 let verify_time = tv.elapsed();
                 (
                     outcome.region,
@@ -239,8 +262,8 @@ impl ReachabilityEngine {
     }
 
     /// Answers a multi-location ST reachability query, reporting malformed
-    /// queries and off-network locations as a [`QueryError`] instead of
-    /// aborting the process.
+    /// queries, off-network locations and storage faults as a
+    /// [`QueryError`] instead of aborting the process.
     pub fn try_m_query(
         &self,
         query: &MQuery,
@@ -293,7 +316,7 @@ impl ReachabilityEngine {
                     query.start_time_s,
                     query.duration_s,
                     query.prob,
-                );
+                )?;
                 let wall_time = t0.elapsed();
                 let io_after = self.st_index.io_stats().snapshot();
                 Ok(QueryOutcome {

@@ -55,6 +55,21 @@
 //!   via `streach_par` (one scratch per worker, results in input order).
 //!   [`QueryStats`] reports per-stage `bounding_time`/`verify_time` so the
 //!   split is measurable per query.
+//! * **Fallible storage on the hot path.** Every posting read from
+//!   [`StIndex::read_time_list_into`](st_index::StIndex::read_time_list_into)
+//!   through [`VerifierCore::probability`](query::verifier::VerifierCore::probability)
+//!   and the parallel ES/TBS/MQMB workers
+//!   (`streach_par::try_par_map_with`: first error wins, remaining work
+//!   cancelled) up to
+//!   [`ReachabilityEngine::try_s_query`](engine::ReachabilityEngine::try_s_query) /
+//!   [`try_m_query`](engine::ReachabilityEngine::try_m_query) returns a
+//!   `Result`: a disk fault mid-query surfaces as
+//!   [`QueryError::Storage`](query::QueryError::Storage) (page id +
+//!   backend context) and the engine keeps serving. The deterministic
+//!   fault-injection harness (`streach_storage::FaultInjectingPageStore`
+//!   under [`ReachabilityEngine::open_snapshot_with_store`](engine::ReachabilityEngine::open_snapshot_with_store),
+//!   driven by `tests/fault_injection.rs`) scripts an EIO at every
+//!   posting-read ordinal of every pipeline to keep the error paths honest.
 //!
 //! The naive pre-refactor implementations are preserved in
 //! [`query::reference`] as the equivalence baseline and the benchmark

@@ -22,6 +22,7 @@
 use std::time::{Duration, Instant};
 
 use streach_roadnet::{RoadClass, RoadNetwork, SegmentId};
+use streach_storage::StorageResult;
 
 use crate::query::verifier::{VerifierCore, VerifierScratch};
 use crate::query::SQuery;
@@ -42,13 +43,15 @@ pub struct EsOutcome {
     pub verify_time: Duration,
 }
 
-/// Answers an s-query by exhaustive search.
+/// Answers an s-query by exhaustive search. Fallible: every candidate
+/// verification reads postings, and a storage fault anywhere in the batch
+/// cancels the remaining work and surfaces as `Err`.
 pub fn exhaustive_search(
     network: &RoadNetwork,
     st_index: &StIndex,
     query: &SQuery,
     start_segment: SegmentId,
-) -> EsOutcome {
+) -> StorageResult<EsOutcome> {
     // Upper bound on how far anything can travel during L: free-flow highway
     // speed with 10% slack. Everything the old breadth-first expansion could
     // reach within the cap is exactly the set Dijkstra settles. The run uses
@@ -77,11 +80,12 @@ pub fn exhaustive_search(
         start_segment,
         query.start_time_s,
         query.duration_s,
-    );
+    )?;
     let prob = query.prob;
-    let passed = streach_par::par_map_with(&candidates, VerifierScratch::new, |scratch, seg| {
-        core.is_reachable(scratch, *seg, prob)
-    });
+    let passed =
+        streach_par::try_par_map_with(&candidates, VerifierScratch::new, |scratch, seg| {
+            core.is_reachable(scratch, *seg, prob)
+        })?;
     let verify_time = t1.elapsed();
 
     let mut reachable: Vec<SegmentId> = vec![start_segment];
@@ -93,13 +97,13 @@ pub fn exhaustive_search(
             .map(|(seg, _)| *seg),
     );
 
-    EsOutcome {
+    Ok(EsOutcome {
         region: ReachableRegion::from_segments(network, reachable),
         verifications: candidates.len(),
         visited,
         expansion_time,
         verify_time,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -148,7 +152,7 @@ mod tests {
         let (network, st, center) = setup();
         let q = query(center, 300, 0.2);
         let r0 = st.locate_segment(&q.location).unwrap();
-        let out = exhaustive_search(&network, &st, &q, r0);
+        let out = exhaustive_search(&network, &st, &q, r0).unwrap();
         assert!(out.region.contains(r0));
         assert!(out.verifications > 0);
         assert!(out.visited >= out.region.len());
@@ -167,8 +171,8 @@ mod tests {
     fn longer_duration_reaches_at_least_as_much() {
         let (network, st, center) = setup();
         let r0 = st.locate_segment(&center).unwrap();
-        let short = exhaustive_search(&network, &st, &query(center, 300, 0.2), r0);
-        let long = exhaustive_search(&network, &st, &query(center, 1200, 0.2), r0);
+        let short = exhaustive_search(&network, &st, &query(center, 300, 0.2), r0).unwrap();
+        let long = exhaustive_search(&network, &st, &query(center, 1200, 0.2), r0).unwrap();
         assert!(long.region.total_length_km >= short.region.total_length_km);
         assert!(long.region.is_superset_of(&short.region));
     }
@@ -177,8 +181,8 @@ mod tests {
     fn higher_probability_gives_smaller_region() {
         let (network, st, center) = setup();
         let r0 = st.locate_segment(&center).unwrap();
-        let low = exhaustive_search(&network, &st, &query(center, 900, 0.2), r0);
-        let high = exhaustive_search(&network, &st, &query(center, 900, 0.9), r0);
+        let low = exhaustive_search(&network, &st, &query(center, 900, 0.2), r0).unwrap();
+        let high = exhaustive_search(&network, &st, &query(center, 900, 0.9), r0).unwrap();
         assert!(high.region.len() <= low.region.len());
         assert!(low.region.is_superset_of(&high.region));
     }
@@ -193,7 +197,7 @@ mod tests {
             duration_s: 600,
             prob: 0.2,
         };
-        let out = exhaustive_search(&network, &st, &q, r0);
+        let out = exhaustive_search(&network, &st, &q, r0).unwrap();
         // No trajectories at 02:00 in the tiny fleet, so only the start
         // segment (included by definition) is returned.
         assert_eq!(out.region.segments, vec![r0]);

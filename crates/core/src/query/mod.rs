@@ -21,7 +21,18 @@ use crate::region::ReachableRegion;
 use crate::stats::QueryStats;
 
 /// A query that cannot be answered — as a value, not a panic, so a serving
-/// process survives malformed requests and off-network locations.
+/// process survives malformed requests, off-network locations **and disk
+/// faults**: every posting read of the query hot path (from
+/// [`streach_storage::PageStore`] through
+/// [`verifier::VerifierCore::probability`] to
+/// [`crate::ReachabilityEngine::try_s_query`] /
+/// [`crate::ReachabilityEngine::try_m_query`]) is fallible, so an `EIO`,
+/// a truncated page file or a torn page mid-query surfaces as
+/// [`QueryError::Storage`] and the engine stays able to serve the next
+/// fault-free query. The deterministic fault-injection harness
+/// ([`streach_storage::FaultInjectingPageStore`], exercised by
+/// `tests/fault_injection.rs`) drives every pipeline through scripted
+/// failures to keep that guarantee honest.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {
     /// The query parameters are invalid (zero duration, probability outside
@@ -34,6 +45,19 @@ pub enum QueryError {
         /// The location that failed to match.
         location: GeoPoint,
     },
+    /// A posting read failed at the storage layer mid-query: a disk fault
+    /// (EIO, truncation after open) or corrupted posting bytes (torn or
+    /// zeroed page under a range-valid handle). Carries the faulting page
+    /// id when the storage layer attributed one, plus the backend context.
+    /// The query did **not** produce a region — a partial verification is
+    /// never returned as if it were complete.
+    Storage {
+        /// Page id of the failed read, when known.
+        page: Option<u64>,
+        /// Rendered description of the underlying storage failure,
+        /// including the backend it was reading from.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -45,11 +69,24 @@ impl std::fmt::Display for QueryError {
                 "query location #{index} ({:.5}, {:.5}) cannot be matched to the road network",
                 location.lon, location.lat
             ),
+            QueryError::Storage { page, context } => match page {
+                Some(page) => write!(f, "storage fault on page {page} mid-query: {context}"),
+                None => write!(f, "storage fault mid-query: {context}"),
+            },
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+impl From<streach_storage::StorageError> for QueryError {
+    fn from(e: streach_storage::StorageError) -> Self {
+        QueryError::Storage {
+            page: e.page_id(),
+            context: e.to_string(),
+        }
+    }
+}
 
 /// A single-location spatio-temporal reachability query
 /// `q = (S, T, L, Prob)`.

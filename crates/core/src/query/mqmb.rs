@@ -22,6 +22,7 @@ use std::time::Instant;
 
 use streach_geo::GeoPoint;
 use streach_roadnet::{RoadClass, RoadNetwork, SegmentId};
+use streach_storage::StorageResult;
 
 use crate::con_index::ConIndex;
 use crate::query::sqmb::num_hops;
@@ -257,7 +258,10 @@ pub struct MqmbTbsOutcome {
 ///
 /// The verifications run in parallel; the per-start [`VerifierCore`]s are
 /// shared read-only across workers and each worker reuses one scratch for
-/// all segments of its chunk, whichever start they belong to.
+/// all segments of its chunk, whichever start they belong to. Fallible end
+/// to end: core construction reads the start segments' postings and every
+/// annulus verification reads the candidate's — a storage fault anywhere
+/// cancels the remaining work and surfaces as `Err`.
 pub fn mqmb_trace_back(
     network: &RoadNetwork,
     st_index: &StIndex,
@@ -266,20 +270,20 @@ pub fn mqmb_trace_back(
     start_time_s: u32,
     duration_s: u32,
     prob: f64,
-) -> MqmbTbsOutcome {
+) -> StorageResult<MqmbTbsOutcome> {
     let t0 = Instant::now();
     let cores: Vec<VerifierCore<'_>> = starts
         .iter()
         .map(|&s| VerifierCore::new(st_index, s, start_time_s, duration_s))
-        .collect();
+        .collect::<StorageResult<_>>()?;
     let setup_time = t0.elapsed();
 
     let t1 = Instant::now();
     let annulus = bounds.annulus();
-    let passed = streach_par::par_map_with(&annulus, VerifierScratch::new, |scratch, seg| {
+    let passed = streach_par::try_par_map_with(&annulus, VerifierScratch::new, |scratch, seg| {
         let owner = bounds.owner_of(*seg).unwrap_or(0);
         cores[owner].is_reachable(scratch, *seg, prob)
-    });
+    })?;
     let verify_time = t1.elapsed();
 
     let mut result: Vec<SegmentId> = bounds.min_region.clone();
@@ -291,13 +295,13 @@ pub fn mqmb_trace_back(
             .filter(|(_, ok)| **ok)
             .map(|(seg, _)| *seg),
     );
-    MqmbTbsOutcome {
+    Ok(MqmbTbsOutcome {
         region: ReachableRegion::from_segments(network, result),
         verifications: annulus.len(),
         visited: annulus.len(),
         setup_time,
         verify_time,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -498,7 +502,8 @@ mod tests {
             9 * 3600,
             600,
         );
-        let outcome = mqmb_trace_back(&f.network, &f.st, &b, &f.starts, 9 * 3600, 600, 0.2);
+        let outcome =
+            mqmb_trace_back(&f.network, &f.st, &b, &f.starts, 9 * 3600, 600, 0.2).unwrap();
         assert_eq!(outcome.verifications, b.annulus().len());
         assert_eq!(outcome.visited, b.annulus().len());
         // All start segments are in the result.
@@ -526,13 +531,14 @@ mod tests {
             9 * 3600,
             900,
         );
-        let m_outcome = mqmb_trace_back(&f.network, &f.st, &b, &f.starts, 9 * 3600, 900, 0.2);
+        let m_outcome =
+            mqmb_trace_back(&f.network, &f.st, &b, &f.starts, 9 * 3600, 900, 0.2).unwrap();
 
         let mut union_segments: Vec<SegmentId> = Vec::new();
         for &s in &f.starts {
             let sb = sqmb(&f.con, f.network.num_segments(), s, 9 * 3600, 900);
-            let core = VerifierCore::new(&f.st, s, 9 * 3600, 900);
-            let single = crate::query::tbs::trace_back_search(&f.network, &core, &sb, 0.2);
+            let core = VerifierCore::new(&f.st, s, 9 * 3600, 900).unwrap();
+            let single = crate::query::tbs::trace_back_search(&f.network, &core, &sb, 0.2).unwrap();
             union_segments.extend(single.region.segments);
         }
         let union = ReachableRegion::from_segments(&f.network, union_segments);

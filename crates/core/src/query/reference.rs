@@ -13,11 +13,14 @@
 //!    speedup of the optimized path against this code on the same scenario
 //!    (recorded in `BENCH_hotpath.json`).
 //!
-//! Keep this module boring. It is deliberately *not* written for speed.
+//! Keep this module boring. It is deliberately *not* written for speed. Like
+//! the optimized pipeline, it propagates storage faults as `Err` — the
+//! fault-injection campaign drives both paths through the same scripts.
 
 use std::collections::HashMap;
 
 use streach_roadnet::{segment_distances_from, RoadClass, RoadNetwork, SegmentId};
+use streach_storage::StorageResult;
 
 use crate::query::sqmb::BoundingRegions;
 use crate::query::SQuery;
@@ -32,10 +35,10 @@ fn ids_by_day(
     segment: SegmentId,
     start_s: u32,
     end_s: u32,
-) -> HashMap<u16, Vec<u32>> {
+) -> StorageResult<HashMap<u16, Vec<u32>>> {
     let mut map: HashMap<u16, Vec<u32>> = HashMap::new();
     for slot in slots_overlapping(start_s, end_s, st_index.slot_s()) {
-        if let Some(list) = st_index.time_list(segment, slot) {
+        if let Some(list) = st_index.time_list(segment, slot)? {
             for entry in &list.entries {
                 map.entry(entry.date)
                     .or_default()
@@ -47,7 +50,7 @@ fn ids_by_day(
         ids.sort_unstable();
         ids.dedup();
     }
-    map
+    Ok(map)
 }
 
 fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
@@ -78,29 +81,29 @@ impl<'a> NaiveVerifier<'a> {
         start_segment: SegmentId,
         start_time_s: u32,
         duration_s: u32,
-    ) -> Self {
+    ) -> StorageResult<Self> {
         // Same cross-midnight wrap semantics as the optimized verifier: the
         // window is half-open and may extend past midnight, in which case
         // `slots_overlapping` wraps onto the beginning of the day.
         let slot_s = st_index.slot_s();
         let t0_end = start_time_s.saturating_add(slot_s);
         let end = start_time_s.saturating_add(duration_s);
-        Self {
+        Ok(Self {
             st_index,
-            start_ids_by_day: ids_by_day(st_index, start_segment, start_time_s, t0_end),
+            start_ids_by_day: ids_by_day(st_index, start_segment, start_time_s, t0_end)?,
             window: (start_time_s, end),
             num_days: st_index.num_days(),
-        }
+        })
     }
 
     /// The reachable probability `probability(r, r0)` of Eq. 3.1.
-    pub fn probability(&self, segment: SegmentId) -> f64 {
+    pub fn probability(&self, segment: SegmentId) -> StorageResult<f64> {
         if self.num_days == 0 || self.start_ids_by_day.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
-        let target_ids = ids_by_day(self.st_index, segment, self.window.0, self.window.1);
+        let target_ids = ids_by_day(self.st_index, segment, self.window.0, self.window.1)?;
         if target_ids.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
         let mut matching_days = 0u32;
         for (date, start_ids) in &self.start_ids_by_day {
@@ -110,7 +113,7 @@ impl<'a> NaiveVerifier<'a> {
                 }
             }
         }
-        matching_days as f64 / self.num_days as f64
+        Ok(matching_days as f64 / self.num_days as f64)
     }
 }
 
@@ -121,13 +124,13 @@ pub fn naive_exhaustive_search(
     st_index: &StIndex,
     query: &SQuery,
     start_segment: SegmentId,
-) -> ReachableRegion {
+) -> StorageResult<ReachableRegion> {
     let verifier = NaiveVerifier::new(
         st_index,
         start_segment,
         query.start_time_s,
         query.duration_s,
-    );
+    )?;
     let cap_m = query.duration_s as f64 * RoadClass::Highway.free_flow_ms() * 1.1;
     let distances = segment_distances_from(network, start_segment, cap_m);
 
@@ -144,13 +147,13 @@ pub fn naive_exhaustive_search(
             if !distances.contains_key(&next) {
                 continue;
             }
-            if verifier.probability(next) >= query.prob {
+            if verifier.probability(next)? >= query.prob {
                 reachable.push(next);
             }
             frontier.push_back(next);
         }
     }
-    ReachableRegion::from_segments(network, reachable)
+    Ok(ReachableRegion::from_segments(network, reachable))
 }
 
 /// The pre-optimization trace back search: the sequential annulus queue of
@@ -163,8 +166,8 @@ pub fn naive_trace_back_search(
     start_time_s: u32,
     duration_s: u32,
     prob: f64,
-) -> ReachableRegion {
-    let verifier = NaiveVerifier::new(st_index, start_segment, start_time_s, duration_s);
+) -> StorageResult<ReachableRegion> {
+    let verifier = NaiveVerifier::new(st_index, start_segment, start_time_s, duration_s)?;
     let min_set: std::collections::HashSet<SegmentId> = bounds.min_region.iter().copied().collect();
     let max_set: std::collections::HashSet<SegmentId> = bounds.max_region.iter().copied().collect();
     let mut queue: std::collections::VecDeque<SegmentId> = bounds.annulus().into();
@@ -174,7 +177,7 @@ pub fn naive_trace_back_search(
         if !visited.insert(r) {
             continue;
         }
-        if verifier.probability(r) >= prob {
+        if verifier.probability(r)? >= prob {
             result.push(r);
         } else {
             for n in network.neighbors(r) {
@@ -186,5 +189,5 @@ pub fn naive_trace_back_search(
     }
     let mut segments = bounds.min_region.clone();
     segments.extend_from_slice(&result);
-    ReachableRegion::from_segments(network, segments)
+    Ok(ReachableRegion::from_segments(network, segments))
 }

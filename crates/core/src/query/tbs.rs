@@ -22,6 +22,7 @@
 //! baseline spends most of its I/O.
 
 use streach_roadnet::RoadNetwork;
+use streach_storage::StorageResult;
 
 use crate::query::sqmb::BoundingRegions;
 use crate::query::verifier::{VerifierCore, VerifierScratch};
@@ -41,16 +42,21 @@ pub struct TbsOutcome {
 ///
 /// `core` must have been constructed for the same start segment and query
 /// window; `bounds` are the SQMB bounding regions of that start.
+///
+/// Verification reads postings, so the search is fallible: a storage fault
+/// in any worker wins over the batch (`streach_par::try_par_map_with`
+/// cancels the remaining verifications cleanly) and no partial region is
+/// returned.
 pub fn trace_back_search(
     network: &RoadNetwork,
     core: &VerifierCore<'_>,
     bounds: &BoundingRegions,
     prob: f64,
-) -> TbsOutcome {
+) -> StorageResult<TbsOutcome> {
     let annulus = bounds.annulus();
-    let passed = streach_par::par_map_with(&annulus, VerifierScratch::new, |scratch, seg| {
+    let passed = streach_par::try_par_map_with(&annulus, VerifierScratch::new, |scratch, seg| {
         core.is_reachable(scratch, *seg, prob)
-    });
+    })?;
 
     // Final region: everything reachable even at minimum speed plus the
     // verified annulus segments.
@@ -62,11 +68,11 @@ pub fn trace_back_search(
             .filter(|(_, ok)| **ok)
             .map(|(seg, _)| *seg),
     );
-    TbsOutcome {
+    Ok(TbsOutcome {
         region: ReachableRegion::from_segments(network, segments),
         verifications: annulus.len(),
         visited: annulus.len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -128,8 +134,8 @@ mod tests {
             start_time_s,
             duration_s,
         );
-        let core = VerifierCore::new(&f.st, f.start, start_time_s, duration_s);
-        let outcome = trace_back_search(&f.network, &core, &bounds, prob);
+        let core = VerifierCore::new(&f.st, f.start, start_time_s, duration_s).unwrap();
+        let outcome = trace_back_search(&f.network, &core, &bounds, prob).unwrap();
         (outcome, bounds)
     }
 

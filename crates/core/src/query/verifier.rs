@@ -34,7 +34,7 @@
 //! and give each worker its own scratch (see `streach_par::par_map_with`).
 
 use streach_roadnet::SegmentId;
-use streach_storage::visit_encoded;
+use streach_storage::{visit_encoded, StorageResult};
 
 use crate::st_index::StIndex;
 use crate::time::slots_overlapping;
@@ -101,13 +101,15 @@ impl<'a> VerifierCore<'a> {
     /// time `start_time_s`, with query duration `duration_s`.
     ///
     /// `Tr(r0, T0, d)` is extracted once here (T0 = `[T, T + Δt)`), which is
-    /// the first step of the trace back search.
+    /// the first step of the trace back search. The start segment's posting
+    /// reads are real page I/O, so construction is fallible: a disk fault or
+    /// malformed posting surfaces as `Err` instead of aborting the process.
     pub fn new(
         st_index: &'a StIndex,
         start_segment: SegmentId,
         start_time_s: u32,
         duration_s: u32,
-    ) -> Self {
+    ) -> StorageResult<Self> {
         let slot_s = st_index.slot_s();
         let num_days = st_index.num_days();
         // Windows wrap past midnight instead of clamping: the bounding phase
@@ -119,12 +121,15 @@ impl<'a> VerifierCore<'a> {
         let mut start_ids: Vec<Vec<u32>> = vec![Vec::new(); num_days as usize];
         let mut bytes = Vec::new();
         for slot in slots_overlapping(start_time_s, t0_end, slot_s) {
-            if st_index.read_time_list_into(start_segment, slot, &mut bytes) {
-                visit_encoded(&bytes, |date, ids| {
+            if st_index.read_time_list_into(start_segment, slot, &mut bytes)? {
+                let well_formed = visit_encoded(&bytes, |date, ids| {
                     if let Some(day) = start_ids.get_mut(date as usize) {
                         day.extend(ids);
                     }
                 });
+                if !well_formed {
+                    return Err(st_index.malformed_posting(start_segment, slot));
+                }
             }
         }
         let mut active_days = 0;
@@ -136,14 +141,14 @@ impl<'a> VerifierCore<'a> {
             }
         }
 
-        Self {
+        Ok(Self {
             st_index,
             start_ids,
             active_days,
             window_slots: slots_overlapping(start_time_s, end, slot_s),
             window: (start_time_s, end),
             num_days,
-        }
+        })
     }
 
     /// Number of days on which at least one trajectory passed the start
@@ -162,10 +167,19 @@ impl<'a> VerifierCore<'a> {
     /// Steady-state calls perform no heap allocation: posting bytes land in
     /// `scratch.bytes`, per-day candidate IDs accumulate in the recycled
     /// day-indexed table, and the intersection test runs over sorted slices.
-    pub fn probability(&self, scratch: &mut VerifierScratch, segment: SegmentId) -> f64 {
+    ///
+    /// Every call reads postings, so the result is a [`StorageResult`]: a
+    /// disk fault (`EIO`, truncation after open) or a structurally invalid
+    /// posting (torn/zeroed page) is reported as `Err` — never a panic, and
+    /// never a silently wrong probability computed from a partial read.
+    pub fn probability(
+        &self,
+        scratch: &mut VerifierScratch,
+        segment: SegmentId,
+    ) -> StorageResult<f64> {
         scratch.verifications += 1;
         if self.num_days == 0 || self.active_days == 0 {
-            return 0.0;
+            return Ok(0.0);
         }
         // Recycle the scratch table: clear only the previously touched days.
         if scratch.target_ids.len() < self.num_days as usize {
@@ -187,9 +201,9 @@ impl<'a> VerifierCore<'a> {
         for slot in self.window_slots.clone() {
             if self
                 .st_index
-                .read_time_list_into(segment, slot, &mut scratch.bytes)
+                .read_time_list_into(segment, slot, &mut scratch.bytes)?
             {
-                visit_encoded(&scratch.bytes, |date, ids| {
+                let well_formed = visit_encoded(&scratch.bytes, |date, ids| {
                     let day = date as usize;
                     if day < self.start_ids.len() && !self.start_ids[day].is_empty() {
                         let bucket = &mut target_ids[day];
@@ -199,10 +213,13 @@ impl<'a> VerifierCore<'a> {
                         bucket.extend(ids);
                     }
                 });
+                if !well_formed {
+                    return Err(self.st_index.malformed_posting(segment, slot));
+                }
             }
         }
         if scratch.touched.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
 
         let mut matching_days = 0u32;
@@ -218,7 +235,7 @@ impl<'a> VerifierCore<'a> {
                 matching_days += 1;
             }
         }
-        matching_days as f64 / self.num_days as f64
+        Ok(matching_days as f64 / self.num_days as f64)
     }
 
     /// Convenience: `probability(segment) >= prob`.
@@ -227,8 +244,8 @@ impl<'a> VerifierCore<'a> {
         scratch: &mut VerifierScratch,
         segment: SegmentId,
         prob: f64,
-    ) -> bool {
-        self.probability(scratch, segment) >= prob
+    ) -> StorageResult<bool> {
+        Ok(self.probability(scratch, segment)? >= prob)
     }
 }
 
@@ -242,17 +259,19 @@ pub struct ReachabilityVerifier<'a> {
 
 impl<'a> ReachabilityVerifier<'a> {
     /// Builds a verifier for queries starting from `start_segment` at time
-    /// `start_time_s`, with query duration `duration_s`.
+    /// `start_time_s`, with query duration `duration_s`. Fallible for the
+    /// same reason [`VerifierCore::new`] is: the start segment's postings
+    /// are read here.
     pub fn new(
         st_index: &'a StIndex,
         start_segment: SegmentId,
         start_time_s: u32,
         duration_s: u32,
-    ) -> Self {
-        Self {
-            core: VerifierCore::new(st_index, start_segment, start_time_s, duration_s),
+    ) -> StorageResult<Self> {
+        Ok(Self {
+            core: VerifierCore::new(st_index, start_segment, start_time_s, duration_s)?,
             scratch: VerifierScratch::new(),
-        }
+        })
     }
 
     /// The shareable immutable half (for parallel verification, pair it with
@@ -273,13 +292,13 @@ impl<'a> ReachabilityVerifier<'a> {
     }
 
     /// The reachable probability `probability(r, r0)` of Eq. 3.1.
-    pub fn probability(&mut self, segment: SegmentId) -> f64 {
+    pub fn probability(&mut self, segment: SegmentId) -> StorageResult<f64> {
         self.core.probability(&mut self.scratch, segment)
     }
 
     /// Convenience: `probability(segment) >= prob`.
-    pub fn is_reachable(&mut self, segment: SegmentId, prob: f64) -> bool {
-        self.probability(segment) >= prob
+    pub fn is_reachable(&mut self, segment: SegmentId, prob: f64) -> StorageResult<bool> {
+        Ok(self.probability(segment)? >= prob)
     }
 }
 
@@ -334,9 +353,9 @@ mod tests {
         // Pick a (segment, time) straight out of the data so it is active.
         let traj = &dataset.trajectories()[0];
         let visit = traj.visits[0];
-        let mut v = ReachabilityVerifier::new(&st, visit.segment, visit.enter_time_s, 600);
+        let mut v = ReachabilityVerifier::new(&st, visit.segment, visit.enter_time_s, 600).unwrap();
         assert!(v.active_days() >= 1);
-        let p = v.probability(visit.segment);
+        let p = v.probability(visit.segment).unwrap();
         assert!(
             p > 0.0,
             "start segment must be reachable from itself on active days"
@@ -352,9 +371,9 @@ mod tests {
         let (network, _, st) = build();
         let seg = network.segment_ids().next().unwrap();
         // 02:00: the tiny fleet does not operate, so no trajectory passes r0.
-        let mut v = ReachabilityVerifier::new(&st, seg, 2 * 3600, 600);
+        let mut v = ReachabilityVerifier::new(&st, seg, 2 * 3600, 600).unwrap();
         assert_eq!(v.active_days(), 0);
-        assert_eq!(v.probability(seg), 0.0);
+        assert_eq!(v.probability(seg).unwrap(), 0.0);
     }
 
     #[test]
@@ -364,10 +383,12 @@ mod tests {
         let start = traj.visits[0];
         // A segment the same trajectory visits a bit later.
         let later = traj.visits[traj.visits.len().min(8) - 1];
-        let mut short = ReachabilityVerifier::new(&st, start.segment, start.enter_time_s, 120);
-        let mut long = ReachabilityVerifier::new(&st, start.segment, start.enter_time_s, 3600);
-        let p_short = short.probability(later.segment);
-        let p_long = long.probability(later.segment);
+        let mut short =
+            ReachabilityVerifier::new(&st, start.segment, start.enter_time_s, 120).unwrap();
+        let mut long =
+            ReachabilityVerifier::new(&st, start.segment, start.enter_time_s, 3600).unwrap();
+        let p_short = short.probability(later.segment).unwrap();
+        let p_long = long.probability(later.segment).unwrap();
         assert!(
             p_long >= p_short,
             "longer duration cannot lower the probability"
@@ -387,15 +408,16 @@ mod tests {
             .segment_ids()
             .max_by_key(|s| {
                 st.time_list(*s, slot)
+                    .unwrap()
                     .map(|l| l.num_observations())
                     .unwrap_or(0)
             })
             .unwrap();
-        let mut v = ReachabilityVerifier::new(&st, start, 9 * 3600, 900);
+        let mut v = ReachabilityVerifier::new(&st, start, 9 * 3600, 900).unwrap();
         let neighbor_prob: f64 = network
             .successors(start)
             .iter()
-            .map(|s| v.probability(*s))
+            .map(|s| v.probability(*s).unwrap())
             .fold(0.0, f64::max);
         // A far-away corner segment is very unlikely to be reached in 15 minutes.
         let bounds = network.bounds();
@@ -403,7 +425,7 @@ mod tests {
             .nearest_segment(&streach_geo::GeoPoint::new(bounds.min_lon, bounds.min_lat))
             .unwrap()
             .0;
-        let corner_prob = v.probability(corner);
+        let corner_prob = v.probability(corner).unwrap();
         assert!(
             neighbor_prob >= corner_prob,
             "neighbor {neighbor_prob} vs corner {corner_prob}"
@@ -416,18 +438,18 @@ mod tests {
         let (network, dataset, st) = build();
         let traj = &dataset.trajectories()[0];
         let visit = traj.visits[0];
-        let core = VerifierCore::new(&st, visit.segment, visit.enter_time_s, 900);
+        let core = VerifierCore::new(&st, visit.segment, visit.enter_time_s, 900).unwrap();
         let mut a = VerifierScratch::new();
         let mut b = VerifierScratch::new();
         for seg in network.segment_ids().take(100) {
-            let pa = core.probability(&mut a, seg);
-            let pb = core.probability(&mut b, seg);
+            let pa = core.probability(&mut a, seg).unwrap();
+            let pb = core.probability(&mut b, seg).unwrap();
             assert_eq!(pa, pb, "segment {seg}");
         }
         // Interleaved reuse of one scratch matches a fresh scratch per call.
         for seg in network.segment_ids().take(50) {
-            let fresh = core.probability(&mut VerifierScratch::new(), seg);
-            let reused = core.probability(&mut a, seg);
+            let fresh = core.probability(&mut VerifierScratch::new(), seg).unwrap();
+            let reused = core.probability(&mut a, seg).unwrap();
             assert_eq!(fresh, reused, "segment {seg}");
         }
     }

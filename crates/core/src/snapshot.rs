@@ -374,8 +374,17 @@ fn verify_pages_file(path: &Path, expected_pages: u64, expected_crc: u32) -> Sto
 
 /// Reopens an engine from the snapshot in `dir` against the given road
 /// network. Fails with [`StorageError::Corrupt`] when the snapshot is
-/// damaged or was built over a different network.
-pub(crate) fn open(dir: &Path, network: Arc<RoadNetwork>) -> StorageResult<ReachabilityEngine> {
+/// damaged or was built over a different network. `wrap` sees the validated
+/// page store before the engine takes ownership (identity for plain opens;
+/// a fault-injection or instrumentation wrapper otherwise).
+pub(crate) fn open<F>(
+    dir: &Path,
+    network: Arc<RoadNetwork>,
+    wrap: F,
+) -> StorageResult<ReachabilityEngine>
+where
+    F: FnOnce(Box<dyn PageStore>) -> Box<dyn PageStore>,
+{
     let reader = SnapshotReader::open(dir.join(CONTAINER_FILE))?;
 
     let mut fp_section = reader.section(SEC_NETWORK)?;
@@ -419,7 +428,7 @@ pub(crate) fn open(dir: &Path, network: Arc<RoadNetwork>) -> StorageResult<Reach
         ));
     }
     let store: StIndexStore = SimulatedDiskStore::with_latency(
-        Box::new(file_store) as Box<dyn PageStore>,
+        wrap(Box::new(file_store) as Box<dyn PageStore>),
         Duration::from_micros(config.read_latency_us),
         Duration::ZERO,
     );

@@ -26,7 +26,7 @@ use streach_geo::GeoPoint;
 use streach_roadnet::{RoadNetwork, SegmentId};
 use streach_storage::{
     BPlusTree, BlobHandle, InMemoryPageStore, IoStats, PageStore, PostingStore, SimulatedDiskStore,
-    TimeList,
+    StorageError, StorageResult, TimeList,
 };
 use streach_traj::TrajectoryDataset;
 
@@ -252,42 +252,56 @@ impl StIndex {
     }
 
     /// Reads the time list of `segment` in `slot` from the posting store.
-    /// Returns `None` when no trajectory traversed the segment in that slot
-    /// on any day.
+    /// Returns `Ok(None)` when no trajectory traversed the segment in that
+    /// slot on any day.
     ///
-    /// # Panics
-    /// Panics if the underlying page store fails the read. Blob handles are
-    /// range-validated against the heap at snapshot open, so on a healthy
-    /// store this cannot fire; a *disk fault* on a file-backed store (file
-    /// truncated or deleted after open, EIO) still aborts — plumbing
-    /// `StorageResult` through the zero-allocation verification pipeline is
-    /// tracked as a ROADMAP open item.
-    pub fn time_list(&self, segment: SegmentId, slot: u32) -> Option<TimeList> {
-        let handle = self.lookup(segment, slot)?;
-        Some(
-            self.postings
-                .read_time_list(handle)
-                .expect("posting store read cannot fail"),
-        )
+    /// Blob handles are range-validated against the heap at snapshot open,
+    /// so on a healthy store a read cannot fail; a *disk fault* on a
+    /// file-backed store (file truncated or deleted after open, EIO) or
+    /// corrupted posting bytes surface as `Err` — never a panic, so a
+    /// serving process degrades instead of aborting.
+    pub fn time_list(&self, segment: SegmentId, slot: u32) -> StorageResult<Option<TimeList>> {
+        match self.lookup(segment, slot) {
+            Some(handle) => Ok(Some(self.postings.read_time_list(handle)?)),
+            None => Ok(None),
+        }
     }
 
     /// Reads the raw encoded time list of `segment` in `slot` into a
-    /// caller-owned buffer, returning `false` when no list exists.
+    /// caller-owned buffer, returning `Ok(false)` when no list exists and
+    /// `Err` on a disk fault.
     ///
     /// This is the hot-path counterpart of [`StIndex::time_list`]: the bytes
     /// land in reusable scratch storage and are consumed through
     /// [`streach_storage::visit_encoded`], so a warm verification performs no
     /// heap allocation. I/O accounting is identical to [`StIndex::time_list`].
-    pub fn read_time_list_into(&self, segment: SegmentId, slot: u32, buf: &mut Vec<u8>) -> bool {
+    /// The bytes are **not** structurally validated here (that would cost an
+    /// extra pass); the consumer must treat a `false` from `visit_encoded`
+    /// as corruption — [`StIndex::malformed_posting`] builds the matching
+    /// error.
+    pub fn read_time_list_into(
+        &self,
+        segment: SegmentId,
+        slot: u32,
+        buf: &mut Vec<u8>,
+    ) -> StorageResult<bool> {
         match self.lookup(segment, slot) {
             Some(handle) => {
-                self.postings
-                    .read_into(handle, buf)
-                    .expect("posting store read cannot fail");
-                true
+                self.postings.read_into(handle, buf)?;
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
+    }
+
+    /// The error describing a posting of `segment` in `slot` whose bytes
+    /// failed structural validation (`visit_encoded` returned `false`):
+    /// a torn or zeroed page under a range-valid handle.
+    pub fn malformed_posting(&self, segment: SegmentId, slot: u32) -> StorageError {
+        StorageError::corrupt(format!(
+            "encoded time list of segment {segment} in slot {slot} is malformed \
+             (torn page or corrupted posting heap)"
+        ))
     }
 
     /// Directory lookup of the blob handle for (segment, slot), with slots
@@ -310,12 +324,12 @@ impl StIndex {
         start_s: u32,
         end_s: u32,
         date: u16,
-    ) -> Vec<u32> {
+    ) -> StorageResult<Vec<u32>> {
         let mut slots = slots_overlapping(start_s, end_s, self.slot_s);
         let single_slot = slots.size_hint().0 == 1;
         let mut out: Vec<u32> = Vec::new();
         for slot in &mut slots {
-            if let Some(list) = self.time_list(segment, slot) {
+            if let Some(list) = self.time_list(segment, slot)? {
                 if let Some(ids) = list.ids_on(date) {
                     out.extend_from_slice(ids);
                 }
@@ -327,7 +341,7 @@ impl StIndex {
             out.sort_unstable();
             out.dedup();
         }
-        out
+        Ok(out)
     }
 
     /// Returns `true` if any trajectory traversed `segment` during `slot` on
@@ -390,6 +404,7 @@ mod tests {
                 let slot = slot_of(visit.enter_time_s, index.slot_s());
                 let list = index
                     .time_list(visit.segment, slot)
+                    .expect("in-memory read cannot fault")
                     .expect("visited segment must have a time list");
                 let ids = list.ids_on(traj.date).expect("date entry present");
                 assert!(ids.contains(&traj.traj_id));
@@ -403,23 +418,29 @@ mod tests {
         let traj = &dataset.trajectories()[0];
         let visit = traj.visits[traj.visits.len() / 2];
         // A window around the visit on the right date contains the trajectory.
-        let ids = index.ids_in_window(
-            visit.segment,
-            visit.enter_time_s,
-            visit.enter_time_s + 60,
-            traj.date,
-        );
+        let ids = index
+            .ids_in_window(
+                visit.segment,
+                visit.enter_time_s,
+                visit.enter_time_s + 60,
+                traj.date,
+            )
+            .unwrap();
         assert!(ids.contains(&traj.traj_id));
         // A different (non-existent) date does not.
-        let ids_other = index.ids_in_window(
-            visit.segment,
-            visit.enter_time_s,
-            visit.enter_time_s + 60,
-            200,
-        );
+        let ids_other = index
+            .ids_in_window(
+                visit.segment,
+                visit.enter_time_s,
+                visit.enter_time_s + 60,
+                200,
+            )
+            .unwrap();
         assert!(!ids_other.contains(&traj.traj_id));
         // A window long before the visit (01:00-01:05, fleet starts at 08:00) is empty.
-        let ids_before = index.ids_in_window(visit.segment, 3600, 3900, traj.date);
+        let ids_before = index
+            .ids_in_window(visit.segment, 3600, 3900, traj.date)
+            .unwrap();
         assert!(ids_before.is_empty());
         // Results are sorted and unique.
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
@@ -431,9 +452,9 @@ mod tests {
         // Slot 0 corresponds to 00:00-00:05; the tiny fleet only operates
         // from 08:00, so no list exists there.
         let seg = network.segment_ids().next().unwrap();
-        assert_eq!(index.time_list(seg, 0), None);
+        assert_eq!(index.time_list(seg, 0).unwrap(), None);
         assert!(!index.has_entry(seg, 0));
-        assert!(index.ids_in_window(seg, 0, 300, 0).is_empty());
+        assert!(index.ids_in_window(seg, 0, 300, 0).unwrap().is_empty());
     }
 
     #[test]

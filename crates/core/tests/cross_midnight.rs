@@ -93,7 +93,8 @@ fn ids_in_window_wraps_past_midnight() {
         .next()
         .expect("around-the-clock fleet must produce visits in slot 0");
     let wrapped =
-        f.st.ids_in_window(seg, LATE_START, LATE_START + DURATION, date);
+        f.st.ids_in_window(seg, LATE_START, LATE_START + DURATION, date)
+            .unwrap();
     assert!(
         wrapped.contains(&id),
         "wrapped window must reach slot 0 of the same date"
@@ -102,7 +103,8 @@ fn ids_in_window_wraps_past_midnight() {
     // trajectory also drove the segment in the last slot of the day, which
     // the sorted result makes cheap to allow for).
     let clamped =
-        f.st.ids_in_window(seg, LATE_START, streach_traj::SECONDS_PER_DAY, date);
+        f.st.ids_in_window(seg, LATE_START, streach_traj::SECONDS_PER_DAY, date)
+            .unwrap();
     assert!(clamped.len() <= wrapped.len());
 }
 
@@ -113,13 +115,13 @@ fn ids_in_window_wraps_past_midnight() {
 fn verifier_matches_reference_across_midnight() {
     let f = fixture();
     let start = f.network.nearest_segment(&f.center).unwrap().0;
-    let naive = NaiveVerifier::new(&f.st, start, LATE_START, DURATION);
-    let core = VerifierCore::new(&f.st, start, LATE_START, DURATION);
+    let naive = NaiveVerifier::new(&f.st, start, LATE_START, DURATION).unwrap();
+    let core = VerifierCore::new(&f.st, start, LATE_START, DURATION).unwrap();
     let mut scratch = VerifierScratch::new();
     let mut nonzero = 0usize;
     for seg in f.network.segment_ids() {
-        let expected = naive.probability(seg);
-        let got = core.probability(&mut scratch, seg);
+        let expected = naive.probability(seg).unwrap();
+        let got = core.probability(&mut scratch, seg).unwrap();
         assert_eq!(got, expected, "cross-midnight probability for {seg}");
         if got > 0.0 {
             nonzero += 1;
@@ -145,11 +147,12 @@ fn sqmb_tbs_matches_reference_across_midnight() {
             LATE_START,
             DURATION,
         );
-        let core = VerifierCore::new(&f.st, start, LATE_START, DURATION);
-        let optimized = trace_back_search(&f.network, &core, &bounds, prob);
+        let core = VerifierCore::new(&f.st, start, LATE_START, DURATION).unwrap();
+        let optimized = trace_back_search(&f.network, &core, &bounds, prob).unwrap();
         let naive = naive_trace_back_search(
             &f.network, &f.st, &bounds, start, LATE_START, DURATION, prob,
-        );
+        )
+        .unwrap();
         assert_eq!(
             optimized.region.segments, naive.segments,
             "cross-midnight TBS mismatch at prob={prob}"
@@ -168,8 +171,8 @@ fn es_matches_reference_across_midnight() {
         duration_s: DURATION,
         prob: 0.25,
     };
-    let optimized = exhaustive_search(&f.network, &f.st, &q, start);
-    let naive = naive_exhaustive_search(&f.network, &f.st, &q, start);
+    let optimized = exhaustive_search(&f.network, &f.st, &q, start).unwrap();
+    let naive = naive_exhaustive_search(&f.network, &f.st, &q, start).unwrap();
     assert_eq!(
         optimized.region.segments, naive.segments,
         "cross-midnight ES mismatch"
@@ -185,14 +188,14 @@ fn wrap_extends_the_clamped_window() {
     let start = f.network.nearest_segment(&f.center).unwrap().0;
     // Clamped semantics == a query whose duration stops exactly at midnight.
     let clamped_duration = streach_traj::SECONDS_PER_DAY - LATE_START;
-    let wrapped = VerifierCore::new(&f.st, start, LATE_START, DURATION);
-    let clamped = VerifierCore::new(&f.st, start, LATE_START, clamped_duration);
+    let wrapped = VerifierCore::new(&f.st, start, LATE_START, DURATION).unwrap();
+    let clamped = VerifierCore::new(&f.st, start, LATE_START, clamped_duration).unwrap();
     let mut s1 = VerifierScratch::new();
     let mut s2 = VerifierScratch::new();
     let mut strictly_higher = 0usize;
     for seg in f.network.segment_ids() {
-        let pw = wrapped.probability(&mut s1, seg);
-        let pc = clamped.probability(&mut s2, seg);
+        let pw = wrapped.probability(&mut s1, seg).unwrap();
+        let pc = clamped.probability(&mut s2, seg).unwrap();
         assert!(
             pw >= pc,
             "wrap lowered the probability of {seg}: {pw} < {pc}"

@@ -80,12 +80,12 @@ fn optimized_verifier_matches_naive_probabilities() {
     let f = fixture();
     let start = f.network.nearest_segment(&f.center).unwrap().0;
     for (t, l, _) in grid() {
-        let naive = NaiveVerifier::new(&f.st, start, t, l);
-        let core = VerifierCore::new(&f.st, start, t, l);
+        let naive = NaiveVerifier::new(&f.st, start, t, l).unwrap();
+        let core = VerifierCore::new(&f.st, start, t, l).unwrap();
         let mut scratch = VerifierScratch::new();
         for seg in f.network.segment_ids().step_by(3) {
-            let expected = naive.probability(seg);
-            let got = core.probability(&mut scratch, seg);
+            let expected = naive.probability(seg).unwrap();
+            let got = core.probability(&mut scratch, seg).unwrap();
             assert_eq!(got, expected, "T={t} L={l} segment {seg}");
         }
     }
@@ -103,8 +103,8 @@ fn optimized_es_matches_naive_es() {
             duration_s: l,
             prob,
         };
-        let optimized = exhaustive_search(&f.network, &f.st, &q, start);
-        let naive = naive_exhaustive_search(&f.network, &f.st, &q, start);
+        let optimized = exhaustive_search(&f.network, &f.st, &q, start).unwrap();
+        let naive = naive_exhaustive_search(&f.network, &f.st, &q, start).unwrap();
         assert_eq!(
             optimized.region.segments, naive.segments,
             "ES mismatch at T={t} L={l} prob={prob}"
@@ -120,9 +120,9 @@ fn optimized_tbs_matches_naive_tbs() {
     let start = f.network.nearest_segment(&f.center).unwrap().0;
     for (t, l, prob) in grid() {
         let bounds = sqmb(&f.con, f.network.num_segments(), start, t, l);
-        let verifier = ReachabilityVerifier::new(&f.st, start, t, l);
-        let optimized = trace_back_search(&f.network, verifier.core(), &bounds, prob);
-        let naive = naive_trace_back_search(&f.network, &f.st, &bounds, start, t, l, prob);
+        let verifier = ReachabilityVerifier::new(&f.st, start, t, l).unwrap();
+        let optimized = trace_back_search(&f.network, verifier.core(), &bounds, prob).unwrap();
+        let naive = naive_trace_back_search(&f.network, &f.st, &bounds, start, t, l, prob).unwrap();
         assert_eq!(
             optimized.region.segments, naive.segments,
             "TBS mismatch at T={t} L={l} prob={prob}"
@@ -155,10 +155,10 @@ fn sqmb_tbs_matches_es_baseline_on_verified_segments() {
             duration_s: l,
             prob,
         };
-        let es = exhaustive_search(&f.network, &f.st, &q, start);
+        let es = exhaustive_search(&f.network, &f.st, &q, start).unwrap();
         let bounds = sqmb(&f.con, f.network.num_segments(), start, t, l);
-        let verifier = ReachabilityVerifier::new(&f.st, start, t, l);
-        let tbs = trace_back_search(&f.network, verifier.core(), &bounds, prob);
+        let verifier = ReachabilityVerifier::new(&f.st, start, t, l).unwrap();
+        let tbs = trace_back_search(&f.network, verifier.core(), &bounds, prob).unwrap();
 
         let es_set: std::collections::HashSet<_> = es.region.segments.iter().copied().collect();
         let tbs_set: std::collections::HashSet<_> = tbs.region.segments.iter().copied().collect();
@@ -197,11 +197,15 @@ fn single_location_mqmb_matches_squery_pipeline() {
     let start = f.network.nearest_segment(&f.center).unwrap().0;
     for (t, l, prob) in grid() {
         let bounds = sqmb(&f.con, f.network.num_segments(), start, t, l);
-        let verifier = ReachabilityVerifier::new(&f.st, start, t, l);
-        let s_region = trace_back_search(&f.network, verifier.core(), &bounds, prob).region;
+        let verifier = ReachabilityVerifier::new(&f.st, start, t, l).unwrap();
+        let s_region = trace_back_search(&f.network, verifier.core(), &bounds, prob)
+            .unwrap()
+            .region;
 
         let m_bounds = mqmb(&f.con, &f.network, &[start], &[f.center], t, l);
-        let m_region = mqmb_trace_back(&f.network, &f.st, &m_bounds, &[start], t, l, prob).region;
+        let m_region = mqmb_trace_back(&f.network, &f.st, &m_bounds, &[start], t, l, prob)
+            .unwrap()
+            .region;
         // The m-query result additionally pins the start segment into the
         // region; the s-query pipeline includes it through the minimum
         // bounding region, so the sets must agree exactly.
@@ -228,18 +232,18 @@ fn multi_location_mqmb_matches_naive_owner_verification() {
         .collect();
     for (t, l, prob) in [(9 * 3600u32, 900u32, 0.2f64), (11 * 3600, 1500, 0.5)] {
         let bounds = mqmb(&f.con, &f.network, &starts, &start_points, t, l);
-        let optimized = mqmb_trace_back(&f.network, &f.st, &bounds, &starts, t, l, prob);
+        let optimized = mqmb_trace_back(&f.network, &f.st, &bounds, &starts, t, l, prob).unwrap();
 
         // Naive: sequential owner-routed verification with fresh hash maps.
         let verifiers: Vec<NaiveVerifier<'_>> = starts
             .iter()
-            .map(|&s| NaiveVerifier::new(&f.st, s, t, l))
+            .map(|&s| NaiveVerifier::new(&f.st, s, t, l).unwrap())
             .collect();
         let mut segments: Vec<SegmentId> = bounds.min_region.clone();
         segments.extend_from_slice(&starts);
         for seg in bounds.annulus() {
             let owner = bounds.owner_of(seg).unwrap_or(0);
-            if verifiers[owner].probability(seg) >= prob {
+            if verifiers[owner].probability(seg).unwrap() >= prob {
                 segments.push(seg);
             }
         }
@@ -247,6 +251,78 @@ fn multi_location_mqmb_matches_naive_owner_verification() {
         assert_eq!(
             optimized.region.segments, naive.segments,
             "MQMB mismatch at T={t} L={l} prob={prob}"
+        );
+    }
+}
+
+/// Satellite guard for the fallible plumbing: on a fault-free store the
+/// `try_*` pipelines must return **bit-identical** regions to the panicking
+/// wrappers for every algorithm on the whole grid — the error paths ride
+/// along the hot path without perturbing a single probability.
+#[test]
+fn fallible_pipelines_match_panicking_wrappers_on_fault_free_store() {
+    use streach_core::query::{Algorithm, MQuery, MQueryAlgorithm};
+
+    let city = SyntheticCity::generate(GeneratorConfig::small());
+    let center = city.central_point();
+    let network = Arc::new(city.network);
+    let dataset = TrajectoryDataset::simulate(
+        &network,
+        FleetConfig {
+            num_taxis: 30,
+            num_days: 5,
+            day_start_s: 8 * 3600,
+            day_end_s: 14 * 3600,
+            seed: 7,
+            ..FleetConfig::default()
+        },
+    );
+    let engine = streach_core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(IndexConfig {
+            read_latency_us: 0,
+            ..Default::default()
+        })
+        .build();
+
+    for (t, l, prob) in grid() {
+        let q = streach_core::query::SQuery {
+            location: center,
+            start_time_s: t,
+            duration_s: l,
+            prob,
+        };
+        for algo in [Algorithm::SqmbTbs, Algorithm::ExhaustiveSearch] {
+            let fallible = engine.try_s_query(&q, algo).expect("fault-free store");
+            let panicking = engine.s_query(&q, algo);
+            assert_eq!(
+                fallible.region.segments, panicking.region.segments,
+                "{algo:?} region diverged at T={t} L={l} prob={prob}"
+            );
+            assert_eq!(
+                fallible.region.total_length_km.to_bits(),
+                panicking.region.total_length_km.to_bits(),
+                "{algo:?} length diverged at T={t} L={l} prob={prob}"
+            );
+        }
+    }
+
+    let m = MQuery {
+        locations: vec![center, center.offset_m(1500.0, 0.0)],
+        start_time_s: 9 * 3600,
+        duration_s: 900,
+        prob: 0.2,
+    };
+    for algo in [MQueryAlgorithm::MqmbTbs, MQueryAlgorithm::RepeatedSQuery] {
+        let fallible = engine.try_m_query(&m, algo).expect("fault-free store");
+        let panicking = engine.m_query(&m, algo);
+        assert_eq!(
+            fallible.region.segments, panicking.region.segments,
+            "{algo:?} m-query region diverged"
+        );
+        assert_eq!(
+            fallible.region.total_length_km.to_bits(),
+            panicking.region.total_length_km.to_bits(),
+            "{algo:?} m-query length diverged"
         );
     }
 }

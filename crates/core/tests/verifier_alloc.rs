@@ -72,7 +72,7 @@ fn warm_probability_calls_do_not_allocate() {
     // sweep of arbitrary segments.
     let traj = &dataset.trajectories()[0];
     let start = traj.visits[0];
-    let core = VerifierCore::new(&st, start.segment, start.enter_time_s, 900);
+    let core = VerifierCore::new(&st, start.segment, start.enter_time_s, 900).unwrap();
     assert!(
         core.active_days() > 0,
         "start segment must be active for a meaningful test"
@@ -85,7 +85,7 @@ fn warm_probability_calls_do_not_allocate() {
     // touched posting pages into the buffer pool.
     let warm: Vec<f64> = candidates
         .iter()
-        .map(|&seg| core.probability(&mut scratch, seg))
+        .map(|&seg| core.probability(&mut scratch, seg).unwrap())
         .collect();
     assert!(
         warm.iter().any(|&p| p > 0.0),
@@ -98,7 +98,7 @@ fn warm_probability_calls_do_not_allocate() {
     for &seg in &candidates {
         let before = ALLOCATIONS.load(Ordering::SeqCst);
         ARMED.store(true, Ordering::SeqCst);
-        let p = core.probability(&mut scratch, seg);
+        let p = core.probability(&mut scratch, seg).unwrap();
         ARMED.store(false, Ordering::SeqCst);
         let after = ALLOCATIONS.load(Ordering::SeqCst);
         if after != before {

@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 
 use crate::iostats::IoStats;
 use crate::page::{Page, PageId};
-use crate::pagestore::{PageStore, StorageResult};
+use crate::pagestore::{PageStore, StorageError, StorageResult};
 
 /// A fixed-capacity LRU cache of pages.
 ///
@@ -228,55 +228,66 @@ impl<S: PageStore> BufferPool<S> {
     }
 
     /// Fetches a page through the cache, coalescing concurrent misses.
+    ///
+    /// Failure contract: a failed physical read is **never** inserted into
+    /// the cache and its in-flight entry is removed before the error is
+    /// published, so every waiter observes the failure (directly or through
+    /// its own retried read) and a later fetch goes back to the store
+    /// instead of being served a phantom page. Errors are annotated with
+    /// the page id and backend ([`StorageError::PageRead`]).
     fn fetch(&self, id: PageId) -> StorageResult<Arc<Page>> {
         enum Role {
             Hit(Arc<Page>),
             Follower(Arc<InFlight>),
             Leader(Arc<InFlight>),
         }
-        let role = {
-            let mut inner = self.inner.lock();
-            if let Some(page) = inner.touch(id) {
-                Role::Hit(page)
-            } else if let Some(pending) = inner.in_flight.get(&id) {
-                Role::Follower(Arc::clone(pending))
-            } else {
-                let pending = Arc::new(InFlight::new());
-                inner.in_flight.insert(id, Arc::clone(&pending));
-                Role::Leader(pending)
-            }
-        };
-        match role {
-            Role::Hit(page) => {
-                self.stats.record_hit();
-                Ok(page)
-            }
-            Role::Follower(pending) => match pending.wait() {
-                Some(page) => {
-                    // Served from memory without touching the store: a hit.
-                    self.stats.record_hit();
-                    Ok(page)
-                }
-                // Leader failed; retry independently (rare path).
-                None => self.fetch(id),
-            },
-            Role::Leader(pending) => {
-                self.stats.record_miss();
-                let result = self.store.read_page(id);
+        // A follower whose leader failed retries from the top (rare path);
+        // iterative so a persistently failing page cannot grow the stack.
+        loop {
+            let role = {
                 let mut inner = self.inner.lock();
-                inner.in_flight.remove(&id);
-                match result {
-                    Ok(page) => {
-                        let page = Arc::new(page);
-                        inner.insert(id, Arc::clone(&page), self.capacity);
-                        drop(inner);
-                        pending.publish(Some(page.clone()));
-                        Ok(page)
+                if let Some(page) = inner.touch(id) {
+                    Role::Hit(page)
+                } else if let Some(pending) = inner.in_flight.get(&id) {
+                    Role::Follower(Arc::clone(pending))
+                } else {
+                    let pending = Arc::new(InFlight::new());
+                    inner.in_flight.insert(id, Arc::clone(&pending));
+                    Role::Leader(pending)
+                }
+            };
+            match role {
+                Role::Hit(page) => {
+                    self.stats.record_hit();
+                    return Ok(page);
+                }
+                Role::Follower(pending) => match pending.wait() {
+                    Some(page) => {
+                        // Served from memory without touching the store: a hit.
+                        self.stats.record_hit();
+                        return Ok(page);
                     }
-                    Err(e) => {
-                        drop(inner);
-                        pending.publish(None);
-                        Err(e)
+                    // Leader failed; retry independently.
+                    None => continue,
+                },
+                Role::Leader(pending) => {
+                    self.stats.record_miss();
+                    let result = self.store.read_page(id);
+                    let mut inner = self.inner.lock();
+                    inner.in_flight.remove(&id);
+                    match result {
+                        Ok(page) => {
+                            let page = Arc::new(page);
+                            inner.insert(id, Arc::clone(&page), self.capacity);
+                            drop(inner);
+                            pending.publish(Some(page.clone()));
+                            return Ok(page);
+                        }
+                        Err(e) => {
+                            drop(inner);
+                            pending.publish(None);
+                            return Err(StorageError::page_read(id, self.store.backend_name(), e));
+                        }
                     }
                 }
             }
@@ -517,6 +528,82 @@ mod tests {
             0,
             "model and pool disagree on residency"
         );
+    }
+
+    /// Regression (fault-injection): when a coalesced fetch fails, the page
+    /// must NOT be cached, every concurrent waiter must observe the error
+    /// (directly or through its own retried read against the dead disk),
+    /// and — once the disk recovers — a later retry must go back to the
+    /// store instead of being served a phantom cached page.
+    #[test]
+    fn failed_coalesced_fetch_is_not_cached_and_waiters_all_error() {
+        use crate::fault::FaultInjectingPageStore;
+
+        let inner = store_with_pages(1);
+        let faulty = FaultInjectingPageStore::with_seed(Box::new(inner), 7);
+        let ctl = faulty.controller();
+        // A dead disk with enough per-read latency that all threads pile up
+        // on the same in-flight fetch before the leader's read fails.
+        ctl.fail_reads_from(0);
+        ctl.set_read_latency(Duration::from_millis(20));
+        let pool = BufferPool::new(faulty, 4);
+
+        let results: Vec<StorageResult<Arc<Page>>> = std::thread::scope(|scope| {
+            let pool = &pool;
+            let handles: Vec<_> = (0..8).map(|_| scope.spawn(move || pool.fetch(0))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, r) in results.iter().enumerate() {
+            let err = r.as_ref().expect_err("waiter must observe the failure");
+            assert!(
+                matches!(err, StorageError::PageRead { page: 0, .. }),
+                "waiter {i}: failed fetch must be annotated with the page id, got {err}"
+            );
+            assert!(
+                err.to_string().contains("injected EIO"),
+                "waiter {i}: {err}"
+            );
+        }
+        assert_eq!(pool.cached_pages(), 0, "a failed fetch must not be cached");
+
+        // Disk recovers: the retry must hit the store again (a physical
+        // read, not a cache hit on a phantom page).
+        ctl.clear();
+        let physical_before = pool.io_stats().snapshot().page_reads;
+        let page = pool.read_page(0).expect("retry after recovery");
+        assert_eq!(page.bytes()[0], 0);
+        assert!(
+            pool.io_stats().snapshot().page_reads > physical_before,
+            "retry after a failed fetch must re-read from disk"
+        );
+    }
+
+    /// A one-shot fault on the leader's read leaves followers able to
+    /// recover on their own retried read — and exactly one of the retries
+    /// repopulates the cache.
+    #[test]
+    fn followers_recover_when_only_the_leader_read_faults() {
+        use crate::fault::{FaultInjectingPageStore, ReadFault};
+
+        let inner = store_with_pages(1);
+        let faulty = FaultInjectingPageStore::with_seed(Box::new(inner), 3);
+        let ctl = faulty.controller();
+        ctl.fail_read_at(0, ReadFault::Eio); // only the first physical read
+        ctl.set_read_latency(Duration::from_millis(20));
+        let pool = BufferPool::new(faulty, 4);
+
+        let results: Vec<StorageResult<Arc<Page>>> = std::thread::scope(|scope| {
+            let pool = &pool;
+            let handles: Vec<_> = (0..6).map(|_| scope.spawn(move || pool.fetch(0))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // The leader fails; every follower retries and succeeds on read #1+.
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!(failures, 1, "exactly the leader observes the one-shot EIO");
+        for r in results.iter().filter(|r| r.is_ok()) {
+            assert_eq!(r.as_ref().unwrap().bytes()[0], 0);
+        }
+        assert_eq!(pool.cached_pages(), 1, "the successful retry is cached");
     }
 
     /// Recency order survives the intrusive list: heavy touch traffic keeps the

@@ -14,6 +14,9 @@
 //!   in-memory backend, a file backend, and a simulated-latency wrapper that
 //!   emulates the cost of a spinning disk / remote store,
 //! * [`buffer_pool`] — an LRU buffer pool in front of any page store,
+//! * [`fault`] — a deterministic, scriptable fault-injection wrapper
+//!   ([`FaultInjectingPageStore`](fault::FaultInjectingPageStore)) used to
+//!   drive the query pipelines through EIO, torn pages and zeroed pages,
 //! * [`iostats`] — shared atomic I/O counters, so query processing code can
 //!   report page reads/hits exactly like the paper reports running time,
 //! * [`btree`] — a from-scratch B+-tree used for the ST-Index *temporal
@@ -28,6 +31,7 @@
 
 pub mod btree;
 pub mod buffer_pool;
+pub mod fault;
 pub mod iostats;
 pub mod page;
 pub mod pagestore;
@@ -36,6 +40,7 @@ pub mod snapshot;
 
 pub use btree::BPlusTree;
 pub use buffer_pool::BufferPool;
+pub use fault::{FaultController, FaultInjectingPageStore, ReadFault};
 pub use iostats::{IoStats, IoStatsSnapshot};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pagestore::{

@@ -36,6 +36,19 @@ pub enum StorageError {
         /// Version this build reads and writes.
         expected: u32,
     },
+    /// A physical page read failed. The buffer pool annotates every failed
+    /// fetch with the page id and the backend it was reading from, so a
+    /// query-level error can name the exact page that faulted instead of a
+    /// bare `EIO`.
+    PageRead {
+        /// Page id of the failed read.
+        page: PageId,
+        /// Short name of the backend the read was issued against (see
+        /// [`PageStore::backend_name`]).
+        backend: &'static str,
+        /// The underlying failure.
+        source: Box<StorageError>,
+    },
 }
 
 impl StorageError {
@@ -43,6 +56,30 @@ impl StorageError {
     pub fn corrupt(context: impl Into<String>) -> Self {
         StorageError::Corrupt {
             context: context.into(),
+        }
+    }
+
+    /// Annotates `source` as a failed read of `page` against `backend`.
+    /// Already-annotated errors are passed through unchanged (the page that
+    /// faulted first is the one worth reporting).
+    pub fn page_read(page: PageId, backend: &'static str, source: StorageError) -> Self {
+        match source {
+            already @ StorageError::PageRead { .. } => already,
+            source => StorageError::PageRead {
+                page,
+                backend,
+                source: Box::new(source),
+            },
+        }
+    }
+
+    /// The page id this error is attributed to, when the failing layer
+    /// recorded one.
+    pub fn page_id(&self) -> Option<PageId> {
+        match self {
+            StorageError::PageRead { page, .. } => Some(*page),
+            StorageError::PageOutOfBounds { requested, .. } => Some(*requested),
+            _ => None,
         }
     }
 }
@@ -64,11 +101,26 @@ impl std::fmt::Display for StorageError {
                     "unsupported format version {found} (expected {expected})"
                 )
             }
+            StorageError::PageRead {
+                page,
+                backend,
+                source,
+            } => {
+                write!(f, "reading page {page} from {backend} store: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for StorageError {}
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::PageRead { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for StorageError {
     fn from(e: std::io::Error) -> Self {
@@ -102,6 +154,13 @@ pub trait PageStore: Send + Sync {
 
     /// The shared I/O statistics handle.
     fn io_stats(&self) -> Arc<IoStats>;
+
+    /// Short human-readable name of the backend, used to annotate read
+    /// failures (see [`StorageError::PageRead`]). Wrappers report their own
+    /// name; the page id pins the failure regardless of nesting.
+    fn backend_name(&self) -> &'static str {
+        "page"
+    }
 }
 
 impl PageStore for Box<dyn PageStore> {
@@ -127,6 +186,10 @@ impl PageStore for Box<dyn PageStore> {
 
     fn io_stats(&self) -> Arc<IoStats> {
         (**self).io_stats()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
     }
 }
 
@@ -207,6 +270,10 @@ impl PageStore for InMemoryPageStore {
 
     fn io_stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "in-memory"
     }
 }
 
@@ -336,6 +403,10 @@ impl PageStore for FilePageStore {
     fn io_stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
+
+    fn backend_name(&self) -> &'static str {
+        "file"
+    }
 }
 
 /// Wraps another page store and adds a fixed latency to every physical page
@@ -417,6 +488,10 @@ impl<S: PageStore> PageStore for SimulatedDiskStore<S> {
 
     fn io_stats(&self) -> Arc<IoStats> {
         self.inner.io_stats()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
     }
 }
 

@@ -103,7 +103,11 @@ impl TimeList {
     }
 
     /// Deserializes a time list previously produced by [`TimeList::encode`].
-    /// Returns `None` when the buffer is malformed.
+    /// Returns `None` when the buffer is malformed — including when trailing
+    /// bytes remain after the declared entries. The strict length check
+    /// matters for fault tolerance: a torn or zeroed page turns a stored
+    /// list into a shorter "valid" prefix (e.g. a zeroed entry count) that
+    /// would otherwise decode silently into wrong data.
     pub fn decode(mut buf: &[u8]) -> Option<Self> {
         if buf.remaining() < 4 {
             return None;
@@ -124,6 +128,9 @@ impl TimeList {
                 traj_ids.push(buf.get_u32_le());
             }
             entries.push(TimeListEntry { date, traj_ids });
+        }
+        if buf.remaining() != 0 {
+            return None;
         }
         Some(Self { entries })
     }
@@ -158,12 +165,17 @@ impl ExactSizeIterator for IdIter<'_> {}
 
 /// Walks a [`TimeList::encode`]d buffer without materialising a [`TimeList`],
 /// calling `f(date, ids)` for every date entry. Returns `false` (after
-/// visiting the well-formed prefix) when the buffer is malformed.
+/// visiting the well-formed prefix) when the buffer is malformed — like
+/// [`TimeList::decode`], a buffer with trailing bytes after the declared
+/// entries is malformed, so a torn or zeroed page cannot masquerade as a
+/// shorter valid list. A caller that sees `false` must treat the posting as
+/// corrupt, never as "fewer entries".
 ///
 /// This is the allocation-free counterpart of [`TimeList::decode`]: the
 /// verifier reads each posting's bytes into a reusable scratch buffer and
 /// consumes them through this cursor, so a warm verification performs no
 /// heap allocation at all.
+#[must_use = "a false return means the posting bytes are corrupt"]
 pub fn visit_encoded<'a, F>(mut buf: &'a [u8], mut f: F) -> bool
 where
     F: FnMut(u16, IdIter<'a>),
@@ -189,7 +201,7 @@ where
         );
         buf.advance(count * 4);
     }
-    true
+    buf.remaining() == 0
 }
 
 /// Location of a blob inside a [`PostingStore`].
@@ -332,11 +344,20 @@ impl<S: PageStore> PostingStore<S> {
         self.append(&list.encode())
     }
 
-    /// Reads a [`TimeList`] back. Panics if the blob does not decode, which
-    /// indicates memory corruption or a mismatched handle.
+    /// Reads a [`TimeList`] back. A blob that fails to decode — a torn or
+    /// zeroed page under a range-valid handle, or a mismatched handle — is
+    /// reported as [`crate::StorageError::Corrupt`], never a panic: a disk
+    /// fault mid-query must surface as an error the serving process can
+    /// handle.
     pub fn read_time_list(&self, handle: BlobHandle) -> StorageResult<TimeList> {
         let bytes = self.read(handle)?;
-        Ok(TimeList::decode(&bytes).expect("stored time list must decode"))
+        TimeList::decode(&bytes).ok_or_else(|| {
+            crate::StorageError::corrupt(format!(
+                "time list blob at offset {} (len {}) failed to decode \
+                 (torn page or corrupted posting heap)",
+                handle.offset, handle.len
+            ))
+        })
     }
 }
 

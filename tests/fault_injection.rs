@@ -1,0 +1,318 @@
+//! Fault-injection campaign over the query pipelines.
+//!
+//! A reopened snapshot serves queries off a real page file; this suite wraps
+//! that store in a [`FaultInjectingPageStore`] and drives **every** query
+//! pipeline (SQMB+TBS, ES, MQMB, repeated s-query — single-threaded and
+//! parallel) through scripted failures:
+//!
+//! * an `EIO` at **every distinct posting-read ordinal** of a known query
+//!   must surface as a typed [`QueryError::Storage`] — never a panic, never
+//!   a silently wrong region — and must leave the engine able to serve the
+//!   next fault-free query bit-identically to the baseline;
+//! * torn and zeroed pages must either be rejected (strict posting decode)
+//!   or leave the result bit-identical — a partial page can never shift a
+//!   probability;
+//! * seeded probabilistic faults reproduce deterministically, so a failing
+//!   run is reproducible from the seed printed in its assertion message
+//!   (override with `STREACH_FAULT_SEED`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use streach::prelude::*;
+use streach::storage::{FaultController, FaultInjectingPageStore, ReadFault};
+use streach_core::query::MQueryAlgorithm;
+
+/// Seed for the fault scripts; override with `STREACH_FAULT_SEED` to
+/// reproduce a CI failure locally (every assertion message embeds it).
+fn fault_seed() -> u64 {
+    std::env::var("STREACH_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_260_728)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("streach-fault-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small all-day scenario: every pipeline below has live postings to read.
+fn build_snapshot(dir: &PathBuf) -> Arc<RoadNetwork> {
+    let city = SyntheticCity::generate(GeneratorConfig::small());
+    let network = Arc::new(city.network);
+    let dataset = TrajectoryDataset::simulate(
+        &network,
+        FleetConfig {
+            num_taxis: 12,
+            num_days: 3,
+            day_start_s: 8 * 3600,
+            day_end_s: 12 * 3600,
+            seed: 5,
+            ..FleetConfig::default()
+        },
+    );
+    streach::core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(IndexConfig {
+            read_latency_us: 0,
+            ..Default::default()
+        })
+        .save_snapshot(dir)
+        .expect("save snapshot");
+    network
+}
+
+/// Reopens the snapshot with a fault-injection wrapper under the buffer
+/// pool, returning the engine and the script controller.
+fn reopen_with_faults(
+    dir: &PathBuf,
+    network: Arc<RoadNetwork>,
+    seed: u64,
+) -> (ReachabilityEngine, FaultController) {
+    let mut controller = None;
+    let engine = ReachabilityEngine::open_snapshot_with_store(dir, network, |store| {
+        let faulty = FaultInjectingPageStore::with_seed(store, seed);
+        controller = Some(faulty.controller());
+        Box::new(faulty)
+    })
+    .expect("open snapshot with fault wrapper");
+    (engine, controller.expect("wrapper installed"))
+}
+
+/// What a pipeline run yields: the region's segments, or the error.
+type RunResult = Result<Vec<SegmentId>, QueryError>;
+
+/// One query pipeline under test.
+struct Pipeline {
+    name: &'static str,
+    run: Box<dyn Fn(&ReachabilityEngine) -> RunResult>,
+}
+
+fn pipelines(center: GeoPoint) -> Vec<Pipeline> {
+    let s_query = SQuery {
+        location: center,
+        start_time_s: 9 * 3600,
+        duration_s: 300,
+        prob: 0.25,
+    };
+    let m_query = MQuery {
+        locations: vec![center, center.offset_m(900.0, -600.0)],
+        start_time_s: 9 * 3600,
+        duration_s: 300,
+        prob: 0.25,
+    };
+    vec![
+        Pipeline {
+            name: "sqmb_tbs",
+            run: Box::new(move |e| {
+                e.try_s_query(&s_query, Algorithm::SqmbTbs)
+                    .map(|o| o.region.segments)
+            }),
+        },
+        Pipeline {
+            name: "es",
+            run: Box::new(move |e| {
+                e.try_s_query(&s_query, Algorithm::ExhaustiveSearch)
+                    .map(|o| o.region.segments)
+            }),
+        },
+        Pipeline {
+            name: "mqmb",
+            run: Box::new({
+                let m = m_query.clone();
+                move |e| {
+                    e.try_m_query(&m, MQueryAlgorithm::MqmbTbs)
+                        .map(|o| o.region.segments)
+                }
+            }),
+        },
+        Pipeline {
+            name: "repeated_squery",
+            run: Box::new(move |e| {
+                e.try_m_query(&m_query, MQueryAlgorithm::RepeatedSQuery)
+                    .map(|o| o.region.segments)
+            }),
+        },
+    ]
+}
+
+/// The core campaign: for every pipeline and for both the single-threaded
+/// and the parallel verification paths, fail each distinct posting-read
+/// ordinal of the query with an `EIO` and assert a typed storage error plus
+/// full engine usability afterwards.
+#[test]
+fn eio_at_every_posting_read_ordinal_yields_typed_error_and_engine_survives() {
+    let seed = fault_seed();
+    let dir = tmp_dir("eio-campaign");
+    let network = build_snapshot(&dir);
+    let center = network.bounds().center();
+    let (engine, ctl) = reopen_with_faults(&dir, network, seed);
+
+    for workers in [1usize, 4] {
+        streach_par::with_worker_override(workers, || {
+            for pipeline in pipelines(center) {
+                let name = pipeline.name;
+                // Baseline: fault-free, cold cache — counts the distinct
+                // posting-page reads this query performs.
+                ctl.clear();
+                engine.st_index().clear_cache();
+                let before = ctl.reads_observed();
+                let baseline = (pipeline.run)(&engine).unwrap_or_else(|e| {
+                    panic!("[seed {seed}] {name}/w{workers}: fault-free baseline failed: {e}")
+                });
+                let reads = ctl.reads_observed() - before;
+                assert!(
+                    reads > 0,
+                    "[seed {seed}] {name}/w{workers}: query must read postings"
+                );
+
+                for ordinal in 0..reads {
+                    // Script: the (ordinal)-th physical read of this run
+                    // fails with EIO.
+                    engine.st_index().clear_cache();
+                    ctl.fail_read_at(ctl.reads_observed() + ordinal, ReadFault::Eio);
+                    match (pipeline.run)(&engine) {
+                        Err(QueryError::Storage { page, context }) => {
+                            assert!(
+                                page.is_some(),
+                                "[seed {seed}] {name}/w{workers} read #{ordinal}: \
+                                 storage error must carry the faulting page id ({context})"
+                            );
+                            assert!(
+                                context.contains("injected EIO"),
+                                "[seed {seed}] {name}/w{workers} read #{ordinal}: \
+                                 context must surface the backend failure, got: {context}"
+                            );
+                        }
+                        Err(other) => panic!(
+                            "[seed {seed}] {name}/w{workers} read #{ordinal}: \
+                             expected QueryError::Storage, got {other}"
+                        ),
+                        Ok(_) => panic!(
+                            "[seed {seed}] {name}/w{workers} read #{ordinal}: \
+                             a failed posting read must not produce a region"
+                        ),
+                    }
+                    // The engine stays usable: the next fault-free query
+                    // answers bit-identically to the baseline.
+                    ctl.clear();
+                    engine.st_index().clear_cache();
+                    let after = (pipeline.run)(&engine).unwrap_or_else(|e| {
+                        panic!(
+                            "[seed {seed}] {name}/w{workers} read #{ordinal}: \
+                             engine unusable after fault: {e}"
+                        )
+                    });
+                    assert_eq!(
+                        after, baseline,
+                        "[seed {seed}] {name}/w{workers} read #{ordinal}: \
+                         post-fault region diverged from the baseline"
+                    );
+                }
+            }
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Torn and zeroed pages under range-valid handles: the strict posting
+/// decode must reject the damage (typed error) or — when the damaged half
+/// holds no byte of the postings actually read — leave the result
+/// bit-identical. A silently different region is the one outcome that must
+/// never happen.
+#[test]
+fn torn_and_zeroed_pages_never_shift_a_region() {
+    let seed = fault_seed();
+    let dir = tmp_dir("torn-pages");
+    let network = build_snapshot(&dir);
+    let center = network.bounds().center();
+    let (engine, ctl) = reopen_with_faults(&dir, network, seed);
+
+    for pipeline in pipelines(center) {
+        let name = pipeline.name;
+        ctl.clear();
+        engine.st_index().clear_cache();
+        let before = ctl.reads_observed();
+        let baseline = (pipeline.run)(&engine).expect("fault-free baseline");
+        let reads = ctl.reads_observed() - before;
+
+        let mut rejected = 0usize;
+        for (fault, label) in [
+            (ReadFault::TornPage, "torn"),
+            (ReadFault::ZeroedPage, "zeroed"),
+        ] {
+            for ordinal in 0..reads {
+                engine.st_index().clear_cache();
+                ctl.fail_read_at(ctl.reads_observed() + ordinal, fault);
+                match (pipeline.run)(&engine) {
+                    Err(QueryError::Storage { .. }) => rejected += 1,
+                    Err(other) => panic!(
+                        "[seed {seed}] {name} {label} page at read #{ordinal}: \
+                         expected QueryError::Storage, got {other}"
+                    ),
+                    Ok(region) => assert_eq!(
+                        region, baseline,
+                        "[seed {seed}] {name} {label} page at read #{ordinal}: \
+                         SILENTLY WRONG REGION — corrupt posting bytes were used"
+                    ),
+                }
+                ctl.clear();
+            }
+        }
+        assert!(
+            rejected > 0,
+            "[seed {seed}] {name}: at least one torn/zeroed page must hit \
+             live posting bytes and be rejected by the strict decode"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Seeded probabilistic faults: under a p=0.08 EIO rate every outcome is
+/// either a typed storage error or the exact baseline region, and the
+/// engine keeps serving across the whole storm.
+#[test]
+fn probabilistic_fault_storm_degrades_gracefully_and_deterministically() {
+    let seed = fault_seed();
+    let dir = tmp_dir("fault-storm");
+    let network = build_snapshot(&dir);
+    let center = network.bounds().center();
+    let (engine, ctl) = reopen_with_faults(&dir, network, seed);
+
+    let pipeline = &pipelines(center)[0]; // SQMB+TBS, the paper's main path
+    engine.st_index().clear_cache();
+    let baseline = (pipeline.run)(&engine).expect("fault-free baseline");
+
+    ctl.set_read_fault_probability(0.08);
+    let outcomes: Vec<bool> = (0..40)
+        .map(|round| {
+            engine.st_index().clear_cache();
+            match (pipeline.run)(&engine) {
+                Ok(region) => {
+                    assert_eq!(
+                        region, baseline,
+                        "[seed {seed}] storm round {round}: surviving query diverged"
+                    );
+                    true
+                }
+                Err(QueryError::Storage { .. }) => false,
+                Err(other) => {
+                    panic!("[seed {seed}] storm round {round}: unexpected error {other}")
+                }
+            }
+        })
+        .collect();
+    assert!(
+        outcomes.iter().any(|ok| *ok) && outcomes.iter().any(|ok| !ok),
+        "[seed {seed}] p=0.08 over 40 queries should both fail and succeed \
+         (got {} successes)",
+        outcomes.iter().filter(|ok| **ok).count()
+    );
+
+    // After the storm: clean service, bit-identical to the baseline.
+    ctl.clear();
+    engine.st_index().clear_cache();
+    assert_eq!((pipeline.run)(&engine).expect("post-storm query"), baseline);
+    std::fs::remove_dir_all(&dir).ok();
+}

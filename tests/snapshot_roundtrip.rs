@@ -297,3 +297,114 @@ fn missing_snapshot_directory_is_an_io_error() {
         Err(StorageError::Io(_))
     ));
 }
+
+/// Corruption matrix: one flipped byte in **every named section** of
+/// `index.snap` (plus the magic, version, section count and trailing seal)
+/// and in a sampled sweep of `postings.pages` offsets must each be rejected
+/// at open with a descriptive `StorageError::Corrupt` — no flipped byte
+/// anywhere in a snapshot may ever reach query processing.
+#[test]
+fn corruption_matrix_every_container_section_and_sampled_page_bytes() {
+    let (network, dataset) = build_inputs();
+    let dir = tmp_dir("corruption-matrix");
+    streach::core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(config())
+        .save_snapshot(&dir)
+        .expect("save snapshot");
+
+    let container = dir.join(streach::core::snapshot::CONTAINER_FILE);
+    let clean = std::fs::read(&container).unwrap();
+
+    // Walk the documented container layout (magic, version, count, then
+    // [name_len u16][name][payload_len u64][payload crc u32][payload]) to
+    // find one byte inside every section's payload and header.
+    let mut targets: Vec<(String, usize)> = vec![
+        ("magic".into(), 2),
+        ("version".into(), 8),
+        ("section-count".into(), 12),
+        ("file-seal".into(), clean.len() - 2),
+    ];
+    let section_count = u32::from_le_bytes(clean[12..16].try_into().unwrap()) as usize;
+    let mut cursor = 16usize;
+    for _ in 0..section_count {
+        let name_len = u16::from_le_bytes(clean[cursor..cursor + 2].try_into().unwrap()) as usize;
+        let name = String::from_utf8(clean[cursor + 2..cursor + 2 + name_len].to_vec()).unwrap();
+        let payload_len = u64::from_le_bytes(
+            clean[cursor + 2 + name_len..cursor + 10 + name_len]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let payload_start = cursor + 14 + name_len;
+        // One byte in the section header (its CRC field) and, for non-empty
+        // sections, one byte in the middle of the payload.
+        targets.push((format!("{name}:header-crc"), cursor + 10 + name_len));
+        if payload_len > 0 {
+            targets.push((format!("{name}:payload"), payload_start + payload_len / 2));
+        }
+        cursor = payload_start + payload_len;
+    }
+    let known: Vec<&str> = targets.iter().map(|(n, _)| n.as_str()).collect();
+    for expected in [
+        "config:payload",
+        "network:payload",
+        "pages_meta:payload",
+        "st_index:payload",
+        "speed_stats:payload",
+        "con_tables:payload",
+    ] {
+        assert!(
+            known.contains(&expected),
+            "container is missing section target {expected} (found {known:?})"
+        );
+    }
+
+    for (name, offset) in targets {
+        let mut bad = clean.clone();
+        bad[offset] ^= 0x20;
+        std::fs::write(&container, &bad).unwrap();
+        match ReachabilityEngine::open_snapshot(&dir, network.clone()) {
+            Err(StorageError::Corrupt { context }) => assert!(
+                !context.is_empty(),
+                "corruption in {name} must come with a description"
+            ),
+            Err(StorageError::UnsupportedVersion { .. }) if name == "version" => {}
+            Err(e) => panic!("corruption in {name} (offset {offset}): unexpected error {e}"),
+            Ok(_) => panic!("corruption in {name} (offset {offset}) was not rejected"),
+        }
+    }
+    std::fs::write(&container, &clean).unwrap();
+
+    // The page file: a flipped byte at a spread of offsets (page starts,
+    // mid-page, page ends, EOF) is caught by the pages CRC pinned in the
+    // container.
+    let pages = dir.join(streach::core::snapshot::PAGES_FILE);
+    let clean_pages = std::fs::read(&pages).unwrap();
+    let n = clean_pages.len();
+    let page = streach::storage::PAGE_SIZE;
+    let mut offsets: Vec<usize> = vec![0, 1, page - 1, page, page + page / 2, n / 2, n - 1];
+    for k in 1..8 {
+        offsets.push((k * n / 8 / page) * page + (k * 97) % page);
+    }
+    offsets.retain(|&o| o < n);
+    offsets.sort_unstable();
+    offsets.dedup();
+    for offset in offsets {
+        let mut bad = clean_pages.clone();
+        bad[offset] ^= 0x01;
+        std::fs::write(&pages, &bad).unwrap();
+        match ReachabilityEngine::open_snapshot(&dir, network.clone()) {
+            Err(StorageError::Corrupt { context }) => assert!(
+                context.contains("checksum") || context.contains("corrupt"),
+                "page flip at {offset}: undescriptive error: {context}"
+            ),
+            Err(e) => panic!("page flip at {offset}: unexpected error {e}"),
+            Ok(_) => panic!("page flip at offset {offset} was not rejected at open"),
+        }
+    }
+    std::fs::write(&pages, &clean_pages).unwrap();
+    assert!(
+        ReachabilityEngine::open_snapshot(&dir, network).is_ok(),
+        "restored snapshot must open again"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
