@@ -1,0 +1,248 @@
+//! `ingest` — measures the streaming-ingest subsystem end to end and
+//! records the result in `BENCH_ingest.json`.
+//!
+//! ```text
+//! cargo run --release -p streach-bench --bin ingest [-- --quick]
+//! ```
+//!
+//! Scenario: a base fleet is built and snapshotted, the snapshot is
+//! reopened as a serving engine, and the remaining fleet-days arrive as
+//! trajectory-point batches. Measured:
+//!
+//! * **WAL-backed ingest throughput** (points/s through append + fsync +
+//!   delta merge) and **volatile ingest throughput** (no WAL — isolates
+//!   the durability cost),
+//! * **query latency** (SQMB+TBS median) before ingest, over base + delta,
+//!   and after compaction,
+//! * **incremental vs full snapshot save** (the incremental path skips the
+//!   unchanged base page file) and **compaction** wall time.
+//!
+//! The run doubles as a correctness smoke: the ingested engine's answer to
+//! a probe workload must be bit-identical to a from-scratch build on the
+//! combined dataset, and the process exits non-zero otherwise.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use streach_bench::timing::measure;
+use streach_core::prelude::*;
+use streach_core::EngineBuilder;
+use streach_traj::points_of;
+
+struct Scale {
+    label: &'static str,
+    taxis: usize,
+    base_days: u16,
+    extra_days: u16,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        Scale {
+            label: "quick",
+            taxis: 10,
+            base_days: 3,
+            extra_days: 2,
+        }
+    } else {
+        Scale {
+            label: "standard",
+            taxis: 40,
+            base_days: 6,
+            extra_days: 3,
+        }
+    };
+    eprintln!(
+        "[ingest] scenario ({}): {} taxis, {} base + {} ingested days",
+        scale.label, scale.taxis, scale.base_days, scale.extra_days
+    );
+
+    let city = SyntheticCity::generate(GeneratorConfig::small());
+    let network = Arc::new(city.network);
+    let center = network.bounds().center();
+    let full = TrajectoryDataset::simulate(
+        &network,
+        FleetConfig {
+            num_taxis: scale.taxis,
+            num_days: scale.base_days + scale.extra_days,
+            day_start_s: 8 * 3600,
+            day_end_s: 12 * 3600,
+            seed: 77,
+            ..FleetConfig::default()
+        },
+    );
+    let base = TrajectoryDataset::from_matched(
+        full.trajectories()
+            .iter()
+            .filter(|t| t.date < scale.base_days)
+            .cloned()
+            .collect(),
+        scale.taxis,
+        scale.base_days,
+    );
+    let batches: Vec<Vec<streach_traj::TrajPoint>> = full
+        .trajectories()
+        .iter()
+        .filter(|t| t.date >= scale.base_days)
+        .map(|t| points_of(t).collect())
+        .collect();
+    let total_points: usize = batches.iter().map(Vec::len).sum();
+    let config = IndexConfig {
+        read_latency_us: 0,
+        ..Default::default()
+    };
+
+    let dir = tmp_dir("bench");
+    let t0 = Instant::now();
+    EngineBuilder::new(network.clone(), &base)
+        .index_config(config.clone())
+        .save_snapshot(&dir)
+        .expect("save base snapshot");
+    let base_build_s = t0.elapsed().as_secs_f64();
+
+    let probe = SQuery {
+        location: center,
+        start_time_s: 9 * 3600,
+        duration_s: 600,
+        prob: 0.25,
+    };
+
+    // Serving engine: reopen + WAL-backed ingest.
+    let engine = ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("open snapshot");
+    engine.warm_con_index(probe.start_time_s, probe.duration_s);
+    let latency_before = measure(2, 9, || engine.s_query(&probe, Algorithm::SqmbTbs));
+
+    let wal_path = dir.join("ingest.wal");
+    engine.attach_wal(&wal_path).expect("attach WAL");
+    let t0 = Instant::now();
+    for batch in &batches {
+        engine.ingest(batch).expect("WAL-backed ingest");
+    }
+    let wal_ingest_s = t0.elapsed().as_secs_f64();
+
+    // Volatile ingest on a second reopen, for the durability overhead.
+    let volatile = ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("reopen");
+    let t0 = Instant::now();
+    for batch in &batches {
+        volatile.ingest(batch).expect("volatile ingest");
+    }
+    let volatile_ingest_s = t0.elapsed().as_secs_f64();
+    drop(volatile);
+
+    let delta = engine.st_index().delta_stats();
+    engine.warm_con_index(probe.start_time_s, probe.duration_s);
+    let latency_delta = measure(2, 9, || engine.s_query(&probe, Algorithm::SqmbTbs));
+
+    // Snapshot costs: incremental (base page file reused) vs full.
+    let t0 = Instant::now();
+    engine
+        .save_incremental_snapshot(&dir)
+        .expect("incremental save");
+    let incremental_save_s = t0.elapsed().as_secs_f64();
+    let full_dir = tmp_dir("bench-full");
+    let t0 = Instant::now();
+    engine.save_snapshot(&full_dir).expect("full save");
+    let full_save_s = t0.elapsed().as_secs_f64();
+
+    // Compaction, then the sealed-base query latency.
+    let mut engine = engine;
+    let t0 = Instant::now();
+    engine.compact().expect("compact");
+    let compact_s = t0.elapsed().as_secs_f64();
+    engine.warm_con_index(probe.start_time_s, probe.duration_s);
+    let latency_compacted = measure(2, 9, || engine.s_query(&probe, Algorithm::SqmbTbs));
+
+    // Correctness smoke: bit-identical to the from-scratch combined build.
+    let rebuilt = EngineBuilder::new(network.clone(), &full)
+        .index_config(config.clone())
+        .build();
+    let a = engine.s_query(&probe, Algorithm::SqmbTbs);
+    let b = rebuilt.s_query(&probe, Algorithm::SqmbTbs);
+    let identical = a.region.segments == b.region.segments
+        && a.region.total_length_km.to_bits() == b.region.total_length_km.to_bits();
+
+    let wal_points_per_s = total_points as f64 / wal_ingest_s.max(1e-9);
+    let volatile_points_per_s = total_points as f64 / volatile_ingest_s.max(1e-9);
+    println!("{:<38} {:>14}", "metric", "value");
+    println!("{:<38} {:>14}", "ingested points", total_points);
+    println!(
+        "{:<38} {:>14}",
+        "ingest batches (WAL records)",
+        batches.len()
+    );
+    println!(
+        "{:<38} {:>14.0}",
+        "WAL-backed ingest points/s", wal_points_per_s
+    );
+    println!(
+        "{:<38} {:>14.0}",
+        "volatile ingest points/s", volatile_points_per_s
+    );
+    println!("{:<38} {:>14}", "delta lists", delta.delta_lists);
+    println!("{:<38} {:>14}", "delta bytes", delta.delta_bytes);
+    println!("{:<38} {:>14.3}", "base build+save (s)", base_build_s);
+    println!(
+        "{:<38} {:>14.3}",
+        "incremental save (s)", incremental_save_s
+    );
+    println!("{:<38} {:>14.3}", "full save (s)", full_save_s);
+    println!("{:<38} {:>14.3}", "compaction (s)", compact_s);
+    println!(
+        "{:<38} {:>14.3}",
+        "s-query before ingest (ms)",
+        latency_before.median_ms()
+    );
+    println!(
+        "{:<38} {:>14.3}",
+        "s-query base+delta (ms)",
+        latency_delta.median_ms()
+    );
+    println!(
+        "{:<38} {:>14.3}",
+        "s-query compacted (ms)",
+        latency_compacted.median_ms()
+    );
+    println!("{:<38} {:>14}", "ingested == rebuilt (probe)", identical);
+
+    let json = format!(
+        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}\n}}\n",
+        scale.label,
+        scale.taxis,
+        scale.base_days,
+        scale.extra_days,
+        total_points,
+        batches.len(),
+        wal_points_per_s,
+        volatile_points_per_s,
+        delta.delta_lists,
+        delta.delta_bytes,
+        base_build_s,
+        incremental_save_s,
+        full_save_s,
+        compact_s,
+        latency_before.median_ms(),
+        latency_delta.median_ms(),
+        latency_compacted.median_ms(),
+        identical
+    );
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    eprintln!("[ingest] wrote BENCH_ingest.json");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&full_dir).ok();
+    if !identical {
+        eprintln!("[ingest] ERROR: ingested engine diverged from the from-scratch rebuild");
+        std::process::exit(1);
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "streach-ingest-bench-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

@@ -61,7 +61,15 @@ impl<'a> EngineBuilder<'a> {
             self.config.slot_s,
         ));
         let con_index = ConIndex::new(self.network.clone(), speed_stats, &self.config);
-        ReachabilityEngine::new(self.network, st_index, con_index, self.config)
+        let engine = ReachabilityEngine::new(self.network, st_index, con_index, self.config);
+        // Seed the streaming-ingest last-visit table with each
+        // trajectory's final visit, so points that *continue* a trajectory
+        // already in the batch data derive the same boundary speed pair
+        // (and same-segment dedup) a from-scratch build on the combined
+        // data would — the ingest-equivalence guarantee holds for
+        // mid-trajectory continuation, not just whole new fleet-days.
+        engine.seed_last_visit(self.dataset);
+        engine
     }
 
     /// Builds the indexes, persists them into `dir` as an engine snapshot

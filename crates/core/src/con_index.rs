@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use streach_roadnet::{expand_within_time, RoadNetwork, SegmentId};
 
 use crate::config::IndexConfig;
@@ -94,7 +94,15 @@ struct Cache {
 /// The Con-Index.
 pub struct ConIndex {
     network: Arc<RoadNetwork>,
-    speed_stats: Arc<SpeedStats>,
+    /// The historical speed statistics the tables derive from. Behind a
+    /// copy-on-write `RwLock<Arc<..>>` so streaming ingest can fold new
+    /// observations in while an in-flight table build keeps reading its own
+    /// consistent version.
+    speed_stats: RwLock<Arc<SpeedStats>>,
+    /// Bumped on every statistics update; a table built against an older
+    /// version is served to its in-flight query but never cached, so an
+    /// ingest racing a table build cannot pin stale Near/Far lists.
+    stats_version: std::sync::atomic::AtomicU64,
     slot_s: u32,
     slots_per_day: u32,
     fallback_min_speed_ms: f64,
@@ -129,7 +137,8 @@ impl ConIndex {
         );
         Self {
             network,
-            speed_stats,
+            speed_stats: RwLock::new(speed_stats),
+            stats_version: std::sync::atomic::AtomicU64::new(0),
             slot_s: config.slot_s,
             slots_per_day: config.slots_per_day(),
             fallback_min_speed_ms: config.fallback_min_speed_ms,
@@ -148,9 +157,72 @@ impl ConIndex {
         self.slot_s
     }
 
-    /// The historical speed statistics the tables are derived from.
-    pub(crate) fn speed_stats(&self) -> &Arc<SpeedStats> {
-        &self.speed_stats
+    /// The historical speed statistics the tables are derived from (the
+    /// current version; ingest may publish a newer one later).
+    pub(crate) fn speed_stats(&self) -> Arc<SpeedStats> {
+        Arc::clone(&self.speed_stats.read())
+    }
+
+    /// Number of (segment, slot, trajectory) speed observations currently
+    /// folded into the statistics — batch-built plus ingested. Two engines
+    /// over the same logical dataset must agree on this count, which makes
+    /// it the cheap outside probe for ingest/rebuild equivalence of the
+    /// speed pipeline on the fault-free path. After a mid-ingest storage
+    /// failure, at-least-once replay may re-apply a record: the min/max
+    /// data converges (idempotent), but this counter can over-count the
+    /// re-applied observations.
+    pub fn speed_observations(&self) -> u64 {
+        self.speed_stats.read().num_observations()
+    }
+
+    /// Folds new consecutive-visit pairs into the speed statistics
+    /// (copy-on-write; see [`SpeedStats::observe_pair`]) and — when at
+    /// least one pair produced a valid observation — drops the cached
+    /// connection tables of exactly the slots the pairs touch: a speed
+    /// observation for slot `s` only changes that slot's statistics cells,
+    /// so other slots' Near/Far lists stay valid and continuous streaming
+    /// ingest does not flatten the whole table cache. Returns the number
+    /// of valid observations.
+    pub(crate) fn apply_speed_pairs(
+        &self,
+        network: &RoadNetwork,
+        pairs: &[(SegmentId, u32, u32)],
+    ) -> usize {
+        if pairs.is_empty() {
+            return 0;
+        }
+        let observed = {
+            let mut guard = self.speed_stats.write();
+            let stats = Arc::make_mut(&mut guard);
+            pairs
+                .iter()
+                .filter(|(segment, enter, next_enter)| {
+                    stats.observe_pair(network, *segment, *enter, *next_enter)
+                })
+                .count()
+        };
+        if observed > 0 {
+            let mut touched: Vec<u32> = pairs
+                .iter()
+                .map(|(_, enter, _)| crate::time::slot_of(*enter, self.slot_s))
+                .collect();
+            touched.sort_unstable();
+            touched.dedup();
+            // Bump the version and drop the stale tables under the cache
+            // lock, so a concurrent `slot_table` build that started
+            // against the old statistics observes the bump and skips
+            // caching.
+            let mut cache = self.cache.lock();
+            self.stats_version
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            for slot in touched {
+                if cache.tables.remove(&slot).is_some() {
+                    cache.lru.retain(|s| *s != slot);
+                    cache.evicted += 1;
+                }
+            }
+        }
+        observed
     }
 
     /// The currently cached connection tables in ascending slot order
@@ -214,9 +286,17 @@ impl ConIndex {
                 return table;
             }
         }
+        let version = self.stats_version.load(std::sync::atomic::Ordering::SeqCst);
         let table = Arc::new(self.build_table(slot));
         let mut cache = self.cache.lock();
         cache.built += 1;
+        if self.stats_version.load(std::sync::atomic::Ordering::SeqCst) != version {
+            // An ingest updated the statistics while this table was being
+            // built: serve it to the caller (its query began before the
+            // update) but do not cache it — the next query rebuilds from
+            // the current statistics.
+            return table;
+        }
         cache.tables.insert(slot, Arc::clone(&table));
         cache.lru.retain(|s| *s != slot);
         cache.lru.push(slot);
@@ -236,7 +316,9 @@ impl ConIndex {
 
     fn build_table(&self, slot: u32) -> SlotTable {
         let network = &self.network;
-        let stats = &self.speed_stats;
+        // Pin one consistent stats version for the whole build; a
+        // concurrent ingest publishes a new Arc without disturbing it.
+        let stats = self.speed_stats();
         let budget = self.slot_s as f64;
         let n = network.num_segments();
         // One independent pair of bounded expansions per segment —

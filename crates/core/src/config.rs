@@ -22,6 +22,11 @@ pub struct IndexConfig {
     /// Fallback minimum speed (m/s) used in Near-list construction for
     /// segments with no historical observation in a slot.
     pub fallback_min_speed_ms: f64,
+    /// Number of automatic retries (deterministic doubling backoff) the
+    /// posting buffer pool makes when a physical page read fails with a
+    /// *transient* error (`EIO`-class). `0` surfaces every fault
+    /// immediately.
+    pub read_retries: u32,
 }
 
 impl Default for IndexConfig {
@@ -32,6 +37,7 @@ impl Default for IndexConfig {
             read_latency_us: 40,
             max_cached_con_slots: 64,
             fallback_min_speed_ms: 2.0,
+            read_retries: streach_storage::DEFAULT_READ_RETRIES,
         }
     }
 }

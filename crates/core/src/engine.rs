@@ -3,10 +3,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use streach_roadnet::{RoadNetwork, SegmentId};
+use streach_storage::{StorageError, StorageResult, Wal};
+use streach_traj::TrajPoint;
 
 use crate::con_index::ConIndex;
 use crate::config::IndexConfig;
+use crate::ingest::{IngestOutcome, IngestState, LastVisit, LastVisitMap, WalAttach};
 use crate::query::es::exhaustive_search;
 use crate::query::mqmb::{mqmb, mqmb_trace_back};
 use crate::query::sqmb::{num_hops, sqmb};
@@ -14,7 +18,8 @@ use crate::query::tbs::trace_back_search;
 use crate::query::verifier::VerifierCore;
 use crate::query::{Algorithm, MQuery, MQueryAlgorithm, QueryError, QueryOutcome, SQuery};
 use crate::region::ReachableRegion;
-use crate::st_index::StIndex;
+use crate::snapshot::StoreRole;
+use crate::st_index::{DeltaStats, StIndex};
 use crate::stats::QueryStats;
 use crate::time::slot_of;
 
@@ -28,6 +33,23 @@ pub struct ReachabilityEngine {
     st_index: StIndex,
     con_index: ConIndex,
     config: IndexConfig,
+    /// Streaming-ingest state: the attached WAL, its bookkeeping and the
+    /// per-trajectory last-visit table (see [`crate::ingest`]). Held for
+    /// the duration of a snapshot save, so saves see a frozen delta.
+    ingest: Mutex<IngestState>,
+    /// (pages, CRC-32) of the base posting page file this engine was opened
+    /// from, if any — lets an incremental save skip re-exporting an
+    /// unchanged base heap. Cleared by [`ReachabilityEngine::compact`].
+    base_pages: Mutex<Option<(u64, u32)>>,
+    /// Sequence number of the most recently committed delta page file (see
+    /// [`crate::snapshot::delta_pages_file`]); each save publishes the next
+    /// one so a crash mid-save never clobbers the previous checkpoint.
+    delta_seq: std::sync::atomic::AtomicU64,
+    /// The snapshot directory this engine was opened from (or first saved
+    /// to): the only directory whose saves may rotate the WAL — a backup
+    /// save elsewhere must not discard records the home snapshot has not
+    /// folded in.
+    snapshot_home: Mutex<Option<std::path::PathBuf>>,
 }
 
 impl ReachabilityEngine {
@@ -42,7 +64,84 @@ impl ReachabilityEngine {
             st_index,
             con_index,
             config,
+            ingest: Mutex::new(IngestState::default()),
+            base_pages: Mutex::new(None),
+            delta_seq: std::sync::atomic::AtomicU64::new(0),
+            snapshot_home: Mutex::new(None),
         }
+    }
+
+    /// The sequence number the next saved delta page file should use.
+    pub(crate) fn next_delta_seq(&self) -> u64 {
+        self.delta_seq.load(std::sync::atomic::Ordering::SeqCst) + 1
+    }
+
+    /// Records the sequence number of a committed delta page file.
+    pub(crate) fn commit_delta_seq(&self, seq: u64) {
+        self.delta_seq
+            .fetch_max(seq, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Records the directory this engine's snapshot state lives in.
+    pub(crate) fn set_snapshot_home(&self, dir: &std::path::Path) {
+        let mut home = self.snapshot_home.lock();
+        if home.is_none() {
+            *home = std::fs::canonicalize(dir).ok();
+        }
+    }
+
+    /// Installs the metadata a snapshot open recovered: the base page
+    /// file's identity and the WAL bookkeeping (see [`crate::snapshot`]).
+    pub(crate) fn install_snapshot_meta(
+        &self,
+        base_pages: (u64, u32),
+        wal_generation: u64,
+        wal_applied: u64,
+        last_visit: LastVisitMap,
+    ) {
+        *self.base_pages.lock() = Some(base_pages);
+        let mut state = self.ingest.lock();
+        state.wal_generation = wal_generation;
+        state.wal_applied = wal_applied;
+        state.last_visit = last_visit;
+    }
+
+    /// Seeds the last-visit table from a batch dataset (see
+    /// [`crate::builder::EngineBuilder::build`]).
+    pub(crate) fn seed_last_visit(&self, dataset: &streach_traj::TrajectoryDataset) {
+        let mut state = self.ingest.lock();
+        for traj in dataset.trajectories() {
+            if let Some(last) = traj.visits.last() {
+                state.last_visit.insert(
+                    (traj.traj_id, traj.date),
+                    LastVisit {
+                        segment: last.segment.0,
+                        enter_time_s: last.enter_time_s,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The ingest bookkeeping to persist, captured under the ingest lock
+    /// the caller already holds for the whole save.
+    pub(crate) fn encode_ingest_meta(state: &IngestState) -> Vec<u8> {
+        crate::ingest::encode_ingest_meta(
+            state.wal_generation,
+            state.wal_applied,
+            &state.last_visit,
+        )
+    }
+
+    /// The recorded identity of the base page file, if this engine still
+    /// serves the heap it was opened from.
+    pub(crate) fn base_pages_identity(&self) -> Option<(u64, u32)> {
+        *self.base_pages.lock()
+    }
+
+    /// Records the identity of a freshly exported base page file.
+    pub(crate) fn set_base_pages_identity(&self, identity: (u64, u32)) {
+        *self.base_pages.lock() = Some(identity);
     }
 
     /// The road network.
@@ -66,15 +165,59 @@ impl ReachabilityEngine {
     }
 
     /// Persists the engine into a snapshot directory (see
-    /// [`crate::snapshot`]): the ST-Index posting heap as a real page file
-    /// plus a checksummed container holding the temporal directory, the
-    /// speed statistics, the cached Con-Index tables and the configuration.
-    /// Both files are fsynced before this returns.
+    /// [`crate::snapshot`]): the ST-Index posting heap as a real page file,
+    /// the delta heap of any ingested data as a second page file, plus a
+    /// checksummed container holding the temporal and delta directories,
+    /// the speed statistics, the cached Con-Index tables, the ingest
+    /// bookkeeping and the configuration. All files are fsynced before this
+    /// returns. The ingest lock is held throughout, so the saved state is a
+    /// consistent cut even while other threads keep querying.
     pub fn save_snapshot<P: AsRef<std::path::Path>>(
         &self,
         dir: P,
     ) -> streach_storage::StorageResult<()> {
-        crate::snapshot::save(self, dir.as_ref())
+        self.save_impl(dir.as_ref(), false)
+    }
+
+    /// Like [`ReachabilityEngine::save_snapshot`], but skips re-exporting
+    /// the base posting page file when the target directory already holds
+    /// the heap this engine was opened from (length-checked here; the
+    /// CRC-32 recorded in the container is verified at open, so in-place
+    /// rot cannot be served) — the fast path for a serving process that
+    /// periodically checkpoints its streaming ingest: only the container,
+    /// the small delta heap and the bookkeeping are rewritten.
+    pub fn save_incremental_snapshot<P: AsRef<std::path::Path>>(
+        &self,
+        dir: P,
+    ) -> streach_storage::StorageResult<()> {
+        self.save_impl(dir.as_ref(), true)
+    }
+
+    fn save_impl(&self, dir: &std::path::Path, incremental: bool) -> StorageResult<()> {
+        let mut state = self.ingest.lock();
+        crate::snapshot::save(self, dir, incremental, &state)?;
+        self.set_snapshot_home(dir);
+        // Every WAL record this snapshot covers never needs replaying:
+        // start a fresh generation — but ONLY when the save went to the
+        // engine's home directory. A backup saved elsewhere must not
+        // discard records the home snapshot (the one a restart will open)
+        // has not folded in. Also suppressed when a failed application
+        // left unapplied records in the log — those must survive for the
+        // next attach to replay.
+        let saved_to_home = std::fs::canonicalize(dir)
+            .ok()
+            .zip(self.snapshot_home.lock().clone())
+            .is_some_and(|(a, b)| a == b);
+        if saved_to_home && !state.prefix_broken {
+            if let Some(wal) = &state.wal {
+                if wal.records() == state.wal_applied {
+                    let generation = wal.rotate()?;
+                    state.wal_generation = generation;
+                    state.wal_applied = 0;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Reopens an engine from a snapshot directory **without touching the
@@ -106,7 +249,242 @@ impl ReachabilityEngine {
         P: AsRef<std::path::Path>,
         F: FnOnce(Box<dyn streach_storage::PageStore>) -> Box<dyn streach_storage::PageStore>,
     {
+        let mut wrap = Some(wrap);
+        Self::open_snapshot_with_stores(dir, network, move |role, store| match role {
+            StoreRole::Base => (wrap.take().expect("base store is wrapped once"))(store),
+            StoreRole::Delta => store,
+        })
+    }
+
+    /// The most general snapshot open: `wrap` is called once per page store
+    /// the engine will read from — the sealed **base** heap and the
+    /// **delta** heap of previously ingested data (in that order) — so
+    /// fault injection and instrumentation cover the streaming-ingest read
+    /// and write paths too.
+    pub fn open_snapshot_with_stores<P, F>(
+        dir: P,
+        network: Arc<RoadNetwork>,
+        wrap: F,
+    ) -> streach_storage::StorageResult<Self>
+    where
+        P: AsRef<std::path::Path>,
+        F: FnMut(
+            StoreRole,
+            Box<dyn streach_storage::PageStore>,
+        ) -> Box<dyn streach_storage::PageStore>,
+    {
         crate::snapshot::open(dir.as_ref(), network, wrap)
+    }
+
+    /// Attaches a write-ahead log at `path` (created if missing) and
+    /// replays every record the engine's snapshot has not folded in yet:
+    /// after a crash the delta postings, speed statistics and day count are
+    /// reconstructed exactly. Records already covered by the snapshot
+    /// (matching generation, applied prefix) are skipped. Subsequent
+    /// [`ReachabilityEngine::ingest`] calls log through this WAL.
+    pub fn attach_wal<P: AsRef<std::path::Path>>(&self, path: P) -> StorageResult<WalAttach> {
+        let (wal, records, recovery) = Wal::open(path)?;
+        self.attach_wal_impl(wal, records, recovery)
+    }
+
+    /// Like [`ReachabilityEngine::attach_wal`], with the WAL's appends
+    /// scripted by a fault controller (crash-recovery campaigns; see
+    /// [`streach_storage::fault`]).
+    pub fn attach_wal_with_controller<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+        controller: streach_storage::FaultController,
+    ) -> StorageResult<WalAttach> {
+        let (wal, records, recovery) = Wal::open_with_controller(path, controller)?;
+        self.attach_wal_impl(wal, records, recovery)
+    }
+
+    fn attach_wal_impl(
+        &self,
+        wal: Wal,
+        records: Vec<Vec<u8>>,
+        recovery: streach_storage::WalRecovery,
+    ) -> StorageResult<WalAttach> {
+        let mut state = self.ingest.lock();
+        if state.wal.is_some() {
+            return Err(StorageError::corrupt(
+                "a write-ahead log is already attached to this engine",
+            ));
+        }
+        // Records of the generation the snapshot knows are skipped up to
+        // the applied prefix; a rotated (newer) generation replays in full.
+        let records_skipped = if recovery.generation == state.wal_generation {
+            state.wal_applied.min(recovery.records)
+        } else {
+            0
+        };
+        state.wal_generation = recovery.generation;
+        state.wal_applied = records_skipped;
+        state.prefix_broken = false;
+
+        let mut records_replayed = 0u64;
+        let mut points_replayed = 0u64;
+        for (index, record) in records.iter().enumerate().skip(records_skipped as usize) {
+            let points = crate::ingest::decode_batch(record)?;
+            // A CRC-valid record can still carry points this engine cannot
+            // apply (e.g. a WAL written against a different network — logs,
+            // unlike snapshots, carry no fingerprint): reject it typed
+            // instead of indexing out of bounds.
+            self.validate_points(&points).map_err(|e| {
+                StorageError::corrupt(format!("WAL record #{index} failed validation: {e}"))
+            })?;
+            self.apply_batch(&points, &mut state)?;
+            state.wal_applied += 1;
+            records_replayed += 1;
+            points_replayed += points.len() as u64;
+        }
+        state.wal = Some(wal);
+        Ok(WalAttach {
+            generation: recovery.generation,
+            records_skipped,
+            records_replayed,
+            points_replayed,
+            truncated_bytes: recovery.truncated_bytes,
+        })
+    }
+
+    /// Ingests a batch of map-matched trajectory points into the serving
+    /// engine — no rebuild, no downtime. When a WAL is attached
+    /// ([`ReachabilityEngine::attach_wal`]) the batch is framed, appended
+    /// and fsynced **before** it is applied, so an acknowledged batch
+    /// survives a crash; without one, ingest is volatile (tests, bulk
+    /// loads). Application folds the points into the ST-Index delta
+    /// postings, derives consecutive-visit speed observations for the
+    /// Con-Index statistics (cached connection tables are invalidated when
+    /// any were produced) and raises the day count `m` — after which every
+    /// query pipeline answers over base + delta exactly as a from-scratch
+    /// rebuild on the combined data would.
+    ///
+    /// Batches are validated up front: a point naming a segment outside
+    /// the road network is rejected before anything is logged or applied.
+    pub fn ingest(&self, points: &[TrajPoint]) -> StorageResult<IngestOutcome> {
+        self.validate_points(points)?;
+
+        let mut state = self.ingest.lock();
+        let mut wal_ordinal = None;
+        if let Some(wal) = &state.wal {
+            let ordinal = wal.append(&crate::ingest::encode_batch(points))?;
+            if let Err(e) = wal.sync() {
+                // The record is in the log but not provably durable, and it
+                // was not applied: freeze the applied prefix so the next
+                // attach replays it (idempotently) if it did survive.
+                state.prefix_broken = true;
+                return Err(e);
+            }
+            wal_ordinal = Some(ordinal);
+        }
+        match self.apply_batch(points, &mut state) {
+            Ok((lists_touched, speed_observations)) => {
+                if wal_ordinal.is_some() {
+                    state.mark_applied();
+                }
+                Ok(IngestOutcome {
+                    points: points.len(),
+                    lists_touched,
+                    speed_observations,
+                    wal_ordinal,
+                })
+            }
+            Err(e) => {
+                // The record is durable but its application failed: freeze
+                // the applied prefix so replay at the next attach redoes it
+                // (idempotently), and keep the log from rotating past it.
+                if wal_ordinal.is_some() {
+                    state.prefix_broken = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Rejects batches this engine cannot apply — shared by live ingest
+    /// (before anything is logged) and WAL replay (before anything is
+    /// indexed).
+    fn validate_points(&self, points: &[TrajPoint]) -> StorageResult<()> {
+        for (i, p) in points.iter().enumerate() {
+            if p.segment.index() >= self.network.num_segments() {
+                return Err(StorageError::corrupt(format!(
+                    "ingest batch rejected: point #{i} names segment {} but the \
+                     network has {} segments",
+                    p.segment,
+                    self.network.num_segments()
+                )));
+            }
+            if p.date == u16::MAX {
+                return Err(StorageError::corrupt(format!(
+                    "ingest batch rejected: point #{i} uses reserved date {}",
+                    u16::MAX
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one decoded batch to the index structures. Shared by live
+    /// ingest and WAL replay so both paths are bit-identical.
+    fn apply_batch(
+        &self,
+        points: &[TrajPoint],
+        state: &mut IngestState,
+    ) -> StorageResult<(usize, usize)> {
+        // Normalize exactly like `MatchedTrajectory::push`: a point
+        // re-entering the segment its trajectory is already on is dropped,
+        // so a raw feed and the batch pipeline index the same visits.
+        let mut normalized: Vec<TrajPoint> = Vec::with_capacity(points.len());
+        let mut pairs: Vec<(SegmentId, u32, u32)> = Vec::new();
+        let mut staged_last: std::collections::HashMap<(u32, u16), LastVisit> =
+            std::collections::HashMap::new();
+        let mut max_date = 0u16;
+        for p in points {
+            let key = (p.traj_id, p.date);
+            let prev = staged_last.get(&key).or_else(|| state.last_visit.get(&key));
+            if let Some(prev) = prev {
+                if prev.segment == p.segment.0 {
+                    continue;
+                }
+                pairs.push((SegmentId(prev.segment), prev.enter_time_s, p.enter_time_s));
+            }
+            staged_last.insert(
+                key,
+                LastVisit {
+                    segment: p.segment.0,
+                    enter_time_s: p.enter_time_s,
+                },
+            );
+            max_date = max_date.max(p.date);
+            normalized.push(*p);
+        }
+        if normalized.is_empty() {
+            return Ok((0, 0));
+        }
+
+        let lists_touched = self.st_index.apply_points(&normalized)?;
+        // Only commit the derived state once the posting writes stuck: a
+        // retried batch after a delta write fault recomputes the same
+        // pairs (the merge side is idempotent, the speed side must not be
+        // double-fed).
+        let speed_observations = self.con_index.apply_speed_pairs(&self.network, &pairs);
+        state.last_visit.extend(staged_last);
+        self.st_index.raise_num_days(max_date + 1);
+        Ok((lists_touched, speed_observations))
+    }
+
+    /// Folds the ingested delta tail into a new sealed ST-Index base (see
+    /// [`StIndex::compact`]): queries afterwards are bit-identical, the
+    /// delta heap is empty, and the next snapshot save re-exports the (new)
+    /// base page file. Statistics-wise the result matches a from-scratch
+    /// build on the combined data. Returns what was folded.
+    pub fn compact(&mut self) -> StorageResult<DeltaStats> {
+        let folded = self.st_index.compact()?;
+        if folded.delta_lists > 0 {
+            *self.base_pages.lock() = None;
+        }
+        Ok(folded)
     }
 
     /// Pre-builds the Con-Index connection tables a query (or a whole sweep

@@ -1,0 +1,267 @@
+//! Streaming ingest: WAL-backed trajectory appends into a serving engine.
+//!
+//! A built (or reopened) [`crate::ReachabilityEngine`] is a *sealed*
+//! artifact: its ST-Index base heap and speed statistics describe the data
+//! it was constructed over. This module lets the engine keep absorbing the
+//! fleet's new trajectory points without a rebuild:
+//!
+//! 1. [`ReachabilityEngine::attach_wal`](crate::ReachabilityEngine::attach_wal)
+//!    opens (or recovers) a [`streach_storage::Wal`] and replays every
+//!    record the current snapshot has not folded in yet, reconstructing the
+//!    delta tail exactly as it was before the crash/restart.
+//! 2. [`ReachabilityEngine::ingest`](crate::ReachabilityEngine::ingest)
+//!    appends a batch of [`TrajPoint`]s: the batch is framed and fsynced
+//!    into the WAL first (durability), then folded into the ST-Index delta
+//!    postings, the online [`crate::SpeedStats`] and the day count.
+//! 3. [`ReachabilityEngine::save_incremental_snapshot`](crate::ReachabilityEngine::save_incremental_snapshot)
+//!    chains the delta sections onto the snapshot container, after which
+//!    the WAL is rotated — folded records never replay again.
+//!
+//! Replay and re-application are **idempotent** (time-list merges are
+//! sorted-set inserts; speed min/max aggregation is order-insensitive), so
+//! at-least-once delivery after a torn WAL tail converges to the same
+//! engine a from-scratch build on the combined dataset produces.
+
+use std::collections::HashMap;
+
+use bytes::{Buf, BufMut};
+use streach_storage::{StorageError, StorageResult, Wal};
+use streach_traj::TrajPoint;
+
+/// Outcome of one [`crate::ReachabilityEngine::ingest`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Number of trajectory points in the batch.
+    pub points: usize,
+    /// Number of (slot, segment) delta time lists created or re-merged.
+    pub lists_touched: usize,
+    /// Number of valid speed observations folded into the Con-Index
+    /// statistics (cached connection tables are invalidated when > 0).
+    pub speed_observations: usize,
+    /// WAL record ordinal the batch was logged under, when a WAL is
+    /// attached.
+    pub wal_ordinal: Option<u64>,
+}
+
+/// Outcome of attaching (and replaying) a write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalAttach {
+    /// Generation of the attached log.
+    pub generation: u64,
+    /// Records skipped because the snapshot had already folded them in.
+    pub records_skipped: u64,
+    /// Records replayed into the engine.
+    pub records_replayed: u64,
+    /// Trajectory points contained in the replayed records.
+    pub points_replayed: u64,
+    /// Bytes of torn WAL tail discarded during recovery.
+    pub truncated_bytes: u64,
+}
+
+/// The last segment visit seen per (trajectory, date) — the state needed to
+/// turn a point stream into the consecutive-visit speed pairs the batch
+/// build derives from `windows(2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LastVisit {
+    pub segment: u32,
+    pub enter_time_s: u32,
+}
+
+/// Last visit per (traj_id, date) — the table replayed from snapshots.
+pub(crate) type LastVisitMap = HashMap<(u32, u16), LastVisit>;
+
+/// Mutable ingest state of an engine, behind one mutex: the attached WAL,
+/// the WAL bookkeeping persisted in snapshots, and the per-trajectory
+/// last-visit table.
+#[derive(Default)]
+pub(crate) struct IngestState {
+    pub wal: Option<Wal>,
+    /// Generation of the WAL whose prefix the engine state covers.
+    pub wal_generation: u64,
+    /// Length of the fully-applied record prefix of that generation.
+    pub wal_applied: u64,
+    /// Set when a record was logged but its application failed: the
+    /// applied-prefix counter freezes (replay after restart re-applies the
+    /// tail idempotently) and rotation is suppressed.
+    pub prefix_broken: bool,
+    /// Last visit per (traj_id, date), for speed-pair extraction.
+    pub last_visit: LastVisitMap,
+}
+
+impl IngestState {
+    /// Records that one more WAL record is fully applied (no-op once the
+    /// prefix is broken).
+    pub fn mark_applied(&mut self) {
+        if !self.prefix_broken {
+            self.wal_applied += 1;
+        }
+    }
+}
+
+/// Encodes a batch of trajectory points as a WAL record payload.
+///
+/// Layout: `u32` point count, then per point `u32 traj_id`, `u16 date`,
+/// `u32 segment`, `u32 enter_time_s`.
+pub(crate) fn encode_batch(points: &[TrajPoint]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + points.len() * 14);
+    buf.put_u32_le(points.len() as u32);
+    for p in points {
+        buf.put_u32_le(p.traj_id);
+        buf.put_u16_le(p.date);
+        buf.put_u32_le(p.segment.0);
+        buf.put_u32_le(p.enter_time_s);
+    }
+    buf
+}
+
+/// Decodes a WAL record payload back into trajectory points. Strict like
+/// every decoder in this workspace: a short buffer or trailing bytes is
+/// `Corrupt`, never a silently shorter batch.
+pub(crate) fn decode_batch(mut buf: &[u8]) -> StorageResult<Vec<TrajPoint>> {
+    let corrupt = || StorageError::corrupt("WAL ingest record is malformed");
+    if buf.remaining() < 4 {
+        return Err(corrupt());
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() != n * 14 {
+        return Err(corrupt());
+    }
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        points.push(TrajPoint {
+            traj_id: buf.get_u32_le(),
+            date: buf.get_u16_le(),
+            segment: streach_roadnet::SegmentId(buf.get_u32_le()),
+            enter_time_s: buf.get_u32_le(),
+        });
+    }
+    Ok(points)
+}
+
+/// Serializes the ingest bookkeeping for the snapshot container:
+/// generation, applied-prefix length and the last-visit table.
+pub(crate) fn encode_ingest_meta(
+    generation: u64,
+    applied: u64,
+    last_visit: &LastVisitMap,
+) -> Vec<u8> {
+    let mut entries: Vec<(&(u32, u16), &LastVisit)> = last_visit.iter().collect();
+    entries.sort_unstable_by_key(|(k, _)| **k);
+    let mut buf = Vec::with_capacity(20 + entries.len() * 14);
+    buf.put_u64_le(generation);
+    buf.put_u64_le(applied);
+    buf.put_u32_le(entries.len() as u32);
+    for ((traj_id, date), visit) in entries {
+        buf.put_u32_le(*traj_id);
+        buf.put_u16_le(*date);
+        buf.put_u32_le(visit.segment);
+        buf.put_u32_le(visit.enter_time_s);
+    }
+    buf
+}
+
+/// Deserializes the ingest bookkeeping section.
+pub(crate) fn decode_ingest_meta(mut buf: &[u8]) -> StorageResult<(u64, u64, LastVisitMap)> {
+    let corrupt = || StorageError::corrupt("ingest_meta section is malformed");
+    if buf.remaining() < 20 {
+        return Err(corrupt());
+    }
+    let generation = buf.get_u64_le();
+    let applied = buf.get_u64_le();
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() != n * 14 {
+        return Err(corrupt());
+    }
+    let mut last_visit = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let traj_id = buf.get_u32_le();
+        let date = buf.get_u16_le();
+        let visit = LastVisit {
+            segment: buf.get_u32_le(),
+            enter_time_s: buf.get_u32_le(),
+        };
+        last_visit.insert((traj_id, date), visit);
+    }
+    Ok((generation, applied, last_visit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streach_roadnet::SegmentId;
+
+    fn sample_points() -> Vec<TrajPoint> {
+        vec![
+            TrajPoint {
+                traj_id: 7,
+                date: 3,
+                segment: SegmentId(99),
+                enter_time_s: 32_400,
+            },
+            TrajPoint {
+                traj_id: 7,
+                date: 3,
+                segment: SegmentId(100),
+                enter_time_s: 32_455,
+            },
+            TrajPoint {
+                traj_id: 8,
+                date: 4,
+                segment: SegmentId(0),
+                enter_time_s: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn batch_roundtrip_and_strictness() {
+        let points = sample_points();
+        let bytes = encode_batch(&points);
+        assert_eq!(decode_batch(&bytes).unwrap(), points);
+        assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), Vec::new());
+        // Truncated or padded buffers are rejected.
+        assert!(decode_batch(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_batch(&[]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_batch(&padded).is_err());
+    }
+
+    #[test]
+    fn ingest_meta_roundtrip() {
+        let mut last_visit = HashMap::new();
+        last_visit.insert(
+            (7, 3),
+            LastVisit {
+                segment: 100,
+                enter_time_s: 32_455,
+            },
+        );
+        last_visit.insert(
+            (8, 4),
+            LastVisit {
+                segment: 0,
+                enter_time_s: 0,
+            },
+        );
+        let bytes = encode_ingest_meta(5, 12, &last_visit);
+        let (generation, applied, decoded) = decode_ingest_meta(&bytes).unwrap();
+        assert_eq!(generation, 5);
+        assert_eq!(applied, 12);
+        assert_eq!(decoded, last_visit);
+        // Determinism: the map serializes in sorted key order.
+        assert_eq!(bytes, encode_ingest_meta(5, 12, &decoded));
+        assert!(decode_ingest_meta(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn applied_prefix_freezes_once_broken() {
+        let mut state = IngestState::default();
+        state.mark_applied();
+        state.mark_applied();
+        assert_eq!(state.wal_applied, 2);
+        state.prefix_broken = true;
+        state.mark_applied();
+        assert_eq!(state.wal_applied, 2, "broken prefix must not advance");
+    }
+}

@@ -113,6 +113,7 @@ pub mod con_index;
 pub mod config;
 pub mod engine;
 pub mod geojson;
+pub mod ingest;
 pub mod query;
 pub mod region;
 pub mod snapshot;
@@ -125,10 +126,12 @@ pub use builder::EngineBuilder;
 pub use con_index::{ConIndex, ConnectionLists};
 pub use config::IndexConfig;
 pub use engine::ReachabilityEngine;
+pub use ingest::{IngestOutcome, WalAttach};
 pub use query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
 pub use region::ReachableRegion;
+pub use snapshot::StoreRole;
 pub use speed_stats::SpeedStats;
-pub use st_index::StIndex;
+pub use st_index::{DeltaStats, StIndex};
 pub use stats::QueryStats;
 
 /// Convenient re-exports for downstream users (examples, benches, tests).
@@ -137,10 +140,11 @@ pub mod prelude {
     pub use crate::config::IndexConfig;
     pub use crate::engine::ReachabilityEngine;
     pub use crate::geojson::region_to_geojson;
+    pub use crate::ingest::{IngestOutcome, WalAttach};
     pub use crate::query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
     pub use crate::region::ReachableRegion;
     pub use crate::stats::QueryStats;
     pub use streach_geo::GeoPoint;
     pub use streach_roadnet::{GeneratorConfig, RoadNetwork, SegmentId, SyntheticCity};
-    pub use streach_traj::{FleetConfig, TrajectoryDataset};
+    pub use streach_traj::{points_of, FleetConfig, TrajPoint, TrajectoryDataset};
 }

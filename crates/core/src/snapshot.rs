@@ -28,8 +28,23 @@
 //!
 //! * `index.snap` — the [`streach_storage::snapshot`] container (versioned
 //!   header, named sections, CRC-32 per section and over the file),
-//! * `postings.pages` — the ST-Index posting heap, one 4 KiB page per
-//!   [`streach_storage::PAGE_SIZE`] slot, written with `fsync`.
+//! * `postings.pages` — the sealed-base ST-Index posting heap, one 4 KiB
+//!   page per [`streach_storage::PAGE_SIZE`] slot, written with `fsync`,
+//! * `deltas.pages` — the streaming-ingest delta posting heap (empty when
+//!   nothing was ingested since the base was sealed).
+//!
+//! # Incremental snapshots
+//!
+//! Streaming ingest ([`crate::ingest`]) chains three *delta sections* onto
+//! the container — `delta_pages_meta` (length + CRC of `deltas.pages`),
+//! `delta_dir` (the (slot, segment) → handle override directory) and
+//! `ingest_meta` (WAL generation, applied-record prefix, per-trajectory
+//! last-visit table). [`ReachabilityEngine::save_incremental_snapshot`]
+//! skips re-exporting `postings.pages` when the target directory already
+//! holds the base heap the engine was opened from (length-checked at save;
+//! the CRC pinned in the container is verified at open), so a periodic
+//! checkpoint of a serving process rewrites only the container and the
+//! small delta heap.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -38,20 +53,50 @@ use std::time::Duration;
 use bytes::{Buf, BufMut};
 use streach_roadnet::{RoadNetwork, SegmentId};
 use streach_storage::{
-    BlobHandle, Crc32, FilePageStore, PageStore, PostingStore, SimulatedDiskStore, SnapshotReader,
-    SnapshotWriter, StorageError, StorageResult,
+    BlobHandle, Crc32, FilePageStore, InMemoryPageStore, PageStore, PostingStore,
+    SimulatedDiskStore, SnapshotReader, SnapshotWriter, StorageError, StorageResult,
 };
 
 use crate::con_index::{ConIndex, ConnectionLists};
 use crate::config::IndexConfig;
 use crate::engine::ReachabilityEngine;
+use crate::ingest::IngestState;
 use crate::speed_stats::SpeedStats;
 use crate::st_index::{StIndex, StIndexStats, StIndexStore};
 
 /// File name of the snapshot container inside a snapshot directory.
 pub const CONTAINER_FILE: &str = "index.snap";
-/// File name of the posting-heap page file inside a snapshot directory.
+/// File name of the base posting-heap page file inside a snapshot
+/// directory.
 pub const PAGES_FILE: &str = "postings.pages";
+/// File-name prefix of the delta posting-heap page files inside a snapshot
+/// directory (see [`delta_pages_file`]).
+pub const DELTA_PAGES_PREFIX: &str = "deltas";
+
+/// File name of the delta page file with the given save sequence number.
+///
+/// Unlike the base heap, the delta heap is rewritten on **every**
+/// checkpoint, and the WAL records it covers may have been rotated away —
+/// overwriting the previous delta file in place would make a crash between
+/// the two publish renames destroy the only remaining copy of ingested
+/// data. Each save therefore writes a fresh `deltas.<seq>.pages`; the
+/// container names the sequence it belongs to, and superseded delta files
+/// are deleted only after the new container is committed.
+pub fn delta_pages_file(seq: u64) -> String {
+    format!("{DELTA_PAGES_PREFIX}.{seq}.pages")
+}
+
+/// Which page store a snapshot-open wrapper is being offered (see
+/// [`ReachabilityEngine::open_snapshot_with_stores`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreRole {
+    /// The sealed-base posting heap (`postings.pages`, read-only).
+    Base,
+    /// The delta posting heap of previously ingested data, loaded into a
+    /// writable in-memory store so further ingest never mutates the
+    /// snapshot artifacts.
+    Delta,
+}
 
 const SEC_CONFIG: &str = "config";
 const SEC_NETWORK: &str = "network";
@@ -59,6 +104,9 @@ const SEC_PAGES_META: &str = "pages_meta";
 const SEC_ST_INDEX: &str = "st_index";
 const SEC_SPEED_STATS: &str = "speed_stats";
 const SEC_CON_TABLES: &str = "con_tables";
+const SEC_DELTA_PAGES_META: &str = "delta_pages_meta";
+const SEC_DELTA_DIR: &str = "delta_dir";
+const SEC_INGEST_META: &str = "ingest_meta";
 
 /// Structural fingerprint of a road network (FNV-1a over segment count,
 /// node count and every segment's length/class/topology), used to reject
@@ -85,17 +133,18 @@ pub fn network_fingerprint(network: &RoadNetwork) -> u64 {
 }
 
 fn encode_config(config: &IndexConfig) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(32);
+    let mut buf = Vec::with_capacity(40);
     buf.put_u32_le(config.slot_s);
     buf.put_u64_le(config.pool_pages as u64);
     buf.put_u64_le(config.read_latency_us);
     buf.put_u64_le(config.max_cached_con_slots as u64);
     buf.put_u64_le(config.fallback_min_speed_ms.to_bits());
+    buf.put_u32_le(config.read_retries);
     buf
 }
 
 fn decode_config(mut buf: &[u8]) -> StorageResult<IndexConfig> {
-    if buf.remaining() != 36 {
+    if buf.remaining() != 40 {
         return Err(StorageError::corrupt("config section has wrong length"));
     }
     let config = IndexConfig {
@@ -104,6 +153,7 @@ fn decode_config(mut buf: &[u8]) -> StorageResult<IndexConfig> {
         read_latency_us: buf.get_u64_le(),
         max_cached_con_slots: buf.get_u64_le() as usize,
         fallback_min_speed_ms: f64::from_bits(buf.get_u64_le()),
+        read_retries: buf.get_u32_le(),
     };
     if config.slot_s == 0 || config.pool_pages == 0 {
         return Err(StorageError::corrupt("config section has invalid values"));
@@ -287,38 +337,127 @@ fn decode_con_tables(
     Ok(tables)
 }
 
-/// Writes the engine's snapshot into `dir` (created if missing): the
-/// container file plus the posting page file, both fsynced.
-///
-/// Both files are staged under `.tmp` names and renamed into place only
-/// after they are fully written and synced, so re-saving over an existing
-/// snapshot never destroys it on a crash mid-save. The container stores the
-/// page file's length and CRC-32, so a torn pair (crash between the two
-/// renames) — or any later bit rot in the page file — is rejected at open
-/// instead of silently serving mismatched postings.
-pub(crate) fn save(engine: &ReachabilityEngine, dir: &Path) -> StorageResult<()> {
-    std::fs::create_dir_all(dir)?;
-    let pages_tmp = dir.join(format!("{PAGES_FILE}.tmp"));
-    let container_tmp = dir.join(format!("{CONTAINER_FILE}.tmp"));
+/// The delta directory: ((slot, segment), handle) entries in key order.
+fn encode_delta_dir(entries: &[((u32, u32), BlobHandle)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + entries.len() * 20);
+    buf.put_u32_le(entries.len() as u32);
+    for ((slot, segment), handle) in entries {
+        buf.put_u32_le(*slot);
+        buf.put_u32_le(*segment);
+        buf.put_u64_le(handle.offset);
+        buf.put_u32_le(handle.len);
+    }
+    buf
+}
 
-    // 1. Export the posting heap page by page onto real disk, checksumming
-    //    as we go. The source store is read underneath the latency shim —
-    //    export is an offline bulk copy, not simulated query I/O.
-    let postings = engine.st_index().postings();
-    let source = postings.store().inner();
-    let target = FilePageStore::create(&pages_tmp)?;
-    let mut pages_crc = Crc32::new();
+fn decode_delta_dir(mut buf: &[u8], tail: u64) -> StorageResult<Vec<((u32, u32), BlobHandle)>> {
+    let corrupt = || StorageError::corrupt("delta_dir section truncated");
+    if buf.remaining() < 4 {
+        return Err(corrupt());
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() != n * 20 {
+        return Err(corrupt());
+    }
+    let mut entries = Vec::with_capacity(n);
+    let mut prev: Option<(u32, u32)> = None;
+    for _ in 0..n {
+        let key = (buf.get_u32_le(), buf.get_u32_le());
+        if prev.is_some_and(|p| p >= key) {
+            return Err(StorageError::corrupt("delta_dir entries not sorted"));
+        }
+        prev = Some(key);
+        let offset = buf.get_u64_le();
+        let len = buf.get_u32_le();
+        if offset.checked_add(len as u64).is_none_or(|end| end > tail) {
+            return Err(StorageError::corrupt(
+                "delta_dir blob handle points past the delta heap",
+            ));
+        }
+        entries.push((key, BlobHandle { offset, len }));
+    }
+    Ok(entries)
+}
+
+/// Exports every page of `source` into a fresh page file at `path`,
+/// returning (pages, CRC-32). The source is read underneath the latency
+/// shim — export is an offline bulk copy, not simulated query I/O.
+fn export_pages(source: &dyn PageStore, path: &Path) -> StorageResult<(u64, u32)> {
+    let target = FilePageStore::create(path)?;
+    let mut crc = Crc32::new();
     for page_id in 0..source.num_pages() {
         let page = source.read_page(page_id)?;
-        pages_crc.update(page.bytes());
+        crc.update(page.bytes());
         let id = target.allocate()?;
         debug_assert_eq!(id, page_id);
         target.write_page(page_id, &page)?;
     }
     target.flush()?;
-    let num_pages = target.num_pages();
+    Ok((target.num_pages(), crc.finalize()))
+}
 
-    // 2. Everything else goes into the checksummed container.
+/// Writes the engine's snapshot into `dir` (created if missing): the
+/// container file plus the base and delta posting page files, all fsynced.
+/// The caller holds the engine's ingest lock, so the delta tail cannot
+/// move underneath the export.
+///
+/// Files are staged under `.tmp` names and renamed into place only after
+/// they are fully written and synced, so re-saving over an existing
+/// snapshot never destroys it on a crash mid-save. The container stores
+/// each page file's length and CRC-32, so a torn set (crash between the
+/// renames) — or any later bit rot in a page file — is rejected at open
+/// instead of silently serving mismatched postings.
+///
+/// With `incremental`, the base page file is left untouched when the
+/// target directory already holds the exact heap this engine serves
+/// (length + CRC verified against the identity recorded at open).
+pub(crate) fn save(
+    engine: &ReachabilityEngine,
+    dir: &Path,
+    incremental: bool,
+    ingest_state: &IngestState,
+) -> StorageResult<()> {
+    std::fs::create_dir_all(dir)?;
+    let container_tmp = dir.join(format!("{CONTAINER_FILE}.tmp"));
+
+    // 1. The base posting heap: reuse the published file when incremental
+    //    and it still has the length the recorded identity expects (a full
+    //    CRC pass here would make every checkpoint O(base); the CRC pinned
+    //    in the container is verified at open, so in-place rot cannot be
+    //    served — and re-exporting from the same rotten file would not
+    //    save it either). Anything missing or resized is re-exported.
+    let pages_path = dir.join(PAGES_FILE);
+    let reusable = if incremental {
+        engine.base_pages_identity().filter(|(pages, _)| {
+            std::fs::metadata(&pages_path)
+                .is_ok_and(|m| m.len() == pages * streach_storage::PAGE_SIZE as u64)
+        })
+    } else {
+        None
+    };
+    let mut base_tmp = None;
+    let (num_pages, pages_crc) = match reusable {
+        Some(identity) => identity,
+        None => {
+            let tmp = dir.join(format!("{PAGES_FILE}.tmp"));
+            let identity = export_pages(engine.st_index().postings().store().inner(), &tmp)?;
+            base_tmp = Some(tmp);
+            identity
+        }
+    };
+
+    // 2. The delta posting heap (empty file when nothing was ingested),
+    //    under a fresh sequence-numbered name: the previous delta file is
+    //    never touched until the new container is committed.
+    let delta_seq = engine.next_delta_seq();
+    let delta_name = delta_pages_file(delta_seq);
+    let delta_tmp = dir.join(format!("{delta_name}.tmp"));
+    let (delta_pages, delta_crc) = export_pages(
+        engine.st_index().delta_postings().store().inner(),
+        &delta_tmp,
+    )?;
+
+    // 3. Everything else goes into the checksummed container.
     let mut writer = SnapshotWriter::new();
     writer.add_section(SEC_CONFIG, encode_config(engine.config()));
     let mut network = Vec::with_capacity(8);
@@ -326,7 +465,7 @@ pub(crate) fn save(engine: &ReachabilityEngine, dir: &Path) -> StorageResult<()>
     writer.add_section(SEC_NETWORK, network);
     let mut pages_meta = Vec::with_capacity(12);
     pages_meta.put_u64_le(num_pages);
-    pages_meta.put_u32_le(pages_crc.finalize());
+    pages_meta.put_u32_le(pages_crc);
     writer.add_section(SEC_PAGES_META, pages_meta);
     writer.add_section(SEC_ST_INDEX, encode_st_index(engine.st_index()));
     writer.add_section(SEC_SPEED_STATS, engine.con_index().speed_stats().encode());
@@ -334,12 +473,52 @@ pub(crate) fn save(engine: &ReachabilityEngine, dir: &Path) -> StorageResult<()>
         SEC_CON_TABLES,
         encode_con_tables(&engine.con_index().export_cached_tables()),
     );
+    let mut delta_meta = Vec::with_capacity(28);
+    delta_meta.put_u64_le(delta_pages);
+    delta_meta.put_u32_le(delta_crc);
+    delta_meta.put_u64_le(engine.st_index().delta_postings().size_bytes());
+    delta_meta.put_u64_le(delta_seq);
+    writer.add_section(SEC_DELTA_PAGES_META, delta_meta);
+    writer.add_section(
+        SEC_DELTA_DIR,
+        encode_delta_dir(&engine.st_index().delta_directory_entries()),
+    );
+    writer.add_section(
+        SEC_INGEST_META,
+        ReachabilityEngine::encode_ingest_meta(ingest_state),
+    );
     writer.finish(&container_tmp)?;
 
-    // 3. Publish: the container rename is the commit point; the pages CRC
-    //    stored inside it pins exactly which page file it belongs to.
-    std::fs::rename(&pages_tmp, dir.join(PAGES_FILE))?;
+    // 4. Publish: every artifact was staged under a `.tmp` (or fresh
+    //    sequence-numbered) name, so a failure before the container rename
+    //    leaves the previous snapshot fully openable — the old container
+    //    still references the old, untouched delta file. The container
+    //    rename is the commit point. Residual window (pre-existing, full
+    //    saves only): when the base heap itself was re-exported over an
+    //    existing snapshot, a crash between the two renames below leaves a
+    //    torn base/container pair that is rejected at open; the engine
+    //    still holds that state and can simply re-save.
+    std::fs::rename(&delta_tmp, dir.join(&delta_name))?;
+    if let Some(tmp) = base_tmp {
+        std::fs::rename(&tmp, &pages_path)?;
+        engine.set_base_pages_identity((num_pages, pages_crc));
+    }
     std::fs::rename(&container_tmp, dir.join(CONTAINER_FILE))?;
+    engine.commit_delta_seq(delta_seq);
+
+    // 5. Garbage-collect superseded delta files — everything matching the
+    //    prefix except the one the just-committed container references.
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(DELTA_PAGES_PREFIX)
+                && name.ends_with(".pages")
+                && name != delta_name
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
     Ok(())
 }
 
@@ -374,16 +553,17 @@ fn verify_pages_file(path: &Path, expected_pages: u64, expected_crc: u32) -> Sto
 
 /// Reopens an engine from the snapshot in `dir` against the given road
 /// network. Fails with [`StorageError::Corrupt`] when the snapshot is
-/// damaged or was built over a different network. `wrap` sees the validated
-/// page store before the engine takes ownership (identity for plain opens;
-/// a fault-injection or instrumentation wrapper otherwise).
+/// damaged or was built over a different network. `wrap` sees each
+/// validated page store — [`StoreRole::Base`], then [`StoreRole::Delta`] —
+/// before the engine takes ownership (identity for plain opens; a
+/// fault-injection or instrumentation wrapper otherwise).
 pub(crate) fn open<F>(
     dir: &Path,
     network: Arc<RoadNetwork>,
-    wrap: F,
+    mut wrap: F,
 ) -> StorageResult<ReachabilityEngine>
 where
-    F: FnOnce(Box<dyn PageStore>) -> Box<dyn PageStore>,
+    F: FnMut(StoreRole, Box<dyn PageStore>) -> Box<dyn PageStore>,
 {
     let reader = SnapshotReader::open(dir.join(CONTAINER_FILE))?;
 
@@ -427,12 +607,64 @@ where
             "posting page file is shorter than the posting heap",
         ));
     }
+    let io = file_store.io_stats();
     let store: StIndexStore = SimulatedDiskStore::with_latency(
-        wrap(Box::new(file_store) as Box<dyn PageStore>),
+        wrap(StoreRole::Base, Box::new(file_store) as Box<dyn PageStore>),
         Duration::from_micros(config.read_latency_us),
         Duration::ZERO,
     );
-    let postings = PostingStore::with_tail(store, config.pool_pages, parts.tail);
+    let postings = PostingStore::with_tail_and_retries(
+        store,
+        config.pool_pages,
+        parts.tail,
+        config.read_retries,
+    );
+
+    // The delta heap of previously ingested data: verified against its
+    // recorded length + CRC, then copied into a writable in-memory store
+    // (further ingest must never mutate the snapshot artifacts). The copy
+    // shares the base heap's I/O counters, so base and delta reads are
+    // accounted identically.
+    let mut delta_meta = reader.section(SEC_DELTA_PAGES_META)?;
+    if delta_meta.remaining() != 28 {
+        return Err(StorageError::corrupt(
+            "delta_pages_meta section has wrong length",
+        ));
+    }
+    let delta_expected_pages = delta_meta.get_u64_le();
+    let delta_expected_crc = delta_meta.get_u32_le();
+    let delta_tail = delta_meta.get_u64_le();
+    let delta_seq = delta_meta.get_u64_le();
+    if delta_tail.div_ceil(streach_storage::PAGE_SIZE as u64) > delta_expected_pages {
+        return Err(StorageError::corrupt(
+            "delta page file is shorter than the delta heap",
+        ));
+    }
+    let delta_path = dir.join(delta_pages_file(delta_seq));
+    verify_pages_file(&delta_path, delta_expected_pages, delta_expected_crc)?;
+    let delta_mem = InMemoryPageStore::with_stats(io);
+    {
+        let delta_file = FilePageStore::open_read_only(&delta_path)?;
+        for page_id in 0..delta_file.num_pages() {
+            let page = delta_file.read_page(page_id)?;
+            let id = delta_mem.allocate()?;
+            debug_assert_eq!(id, page_id);
+            delta_mem.write_page(page_id, &page)?;
+        }
+    }
+    let delta_store: StIndexStore = SimulatedDiskStore::with_latency(
+        wrap(StoreRole::Delta, Box::new(delta_mem) as Box<dyn PageStore>),
+        Duration::from_micros(config.read_latency_us),
+        Duration::ZERO,
+    );
+    let delta_postings = PostingStore::with_tail_and_retries(
+        delta_store,
+        config.pool_pages,
+        delta_tail,
+        config.read_retries,
+    );
+    let delta_directory = decode_delta_dir(reader.section(SEC_DELTA_DIR)?, delta_tail)?;
+
     let st_index = StIndex::from_parts(
         network.clone(),
         parts.slot_s,
@@ -440,6 +672,8 @@ where
         parts.stats,
         parts.directory,
         postings,
+        delta_postings,
+        delta_directory,
     );
 
     let speed_stats = Arc::new(
@@ -457,9 +691,19 @@ where
         network.num_segments(),
     )?);
 
-    Ok(ReachabilityEngine::new(
-        network, st_index, con_index, config,
-    ))
+    let (wal_generation, wal_applied, last_visit) =
+        crate::ingest::decode_ingest_meta(reader.section(SEC_INGEST_META)?)?;
+
+    let engine = ReachabilityEngine::new(network, st_index, con_index, config);
+    engine.install_snapshot_meta(
+        (expected_pages, expected_crc),
+        wal_generation,
+        wal_applied,
+        last_visit,
+    );
+    engine.commit_delta_seq(delta_seq);
+    engine.set_snapshot_home(dir);
+    Ok(engine)
 }
 
 #[cfg(test)]
@@ -488,6 +732,7 @@ mod tests {
             read_latency_us: 17,
             max_cached_con_slots: 9,
             fallback_min_speed_ms: 2.75,
+            read_retries: 5,
         };
         let decoded = decode_config(&encode_config(&config)).unwrap();
         assert_eq!(decoded.slot_s, 600);
@@ -495,6 +740,7 @@ mod tests {
         assert_eq!(decoded.read_latency_us, 17);
         assert_eq!(decoded.max_cached_con_slots, 9);
         assert_eq!(decoded.fallback_min_speed_ms, 2.75);
+        assert_eq!(decoded.read_retries, 5);
         assert!(decode_config(&[1, 2, 3]).is_err());
     }
 }

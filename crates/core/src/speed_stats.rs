@@ -47,6 +47,11 @@ impl MinMax {
 
 /// Minimum and maximum observed traversal speed for every
 /// (road segment, time slot) pair.
+///
+/// `Clone` supports the copy-on-write update path of streaming ingest: the
+/// Con-Index keeps the stats behind an `Arc` and clones only when an update
+/// races with a reader holding the previous version.
+#[derive(Clone)]
 pub struct SpeedStats {
     slot_s: u32,
     slots_per_day: u32,
@@ -88,20 +93,41 @@ impl SpeedStats {
         };
         for traj in dataset.trajectories() {
             for w in traj.visits.windows(2) {
-                let seg = network.segment(w[0].segment);
-                let dt = w[1].enter_time_s.saturating_sub(w[0].enter_time_s);
-                if dt == 0 {
-                    continue;
-                }
-                let speed = seg.length_m / dt as f64;
-                if !(MIN_PLAUSIBLE_SPEED_MS..=MAX_PLAUSIBLE_SPEED_MS).contains(&speed) {
-                    continue;
-                }
-                let slot = slot_of(w[0].enter_time_s, slot_s);
-                stats.observe(w[0].segment, seg.class, slot, speed);
+                stats.observe_pair(network, w[0].segment, w[0].enter_time_s, w[1].enter_time_s);
             }
         }
         stats
+    }
+
+    /// Ingests one consecutive-visit pair: the trajectory entered `segment`
+    /// at `enter_time_s` and entered the *next* segment at
+    /// `next_enter_time_s`. Returns `true` when the pair produced a valid
+    /// speed observation (implausibly slow/fast traversals and zero-length
+    /// intervals are discarded, as in the batch build).
+    ///
+    /// This is the single observation path shared by the batch construction
+    /// ([`SpeedStats::from_dataset`]) and the streaming ingest, so an engine
+    /// that ingested a trajectory point by point holds **bit-identical**
+    /// statistics to one rebuilt from scratch on the combined dataset.
+    pub fn observe_pair(
+        &mut self,
+        network: &RoadNetwork,
+        segment: SegmentId,
+        enter_time_s: u32,
+        next_enter_time_s: u32,
+    ) -> bool {
+        let seg = network.segment(segment);
+        let dt = next_enter_time_s.saturating_sub(enter_time_s);
+        if dt == 0 {
+            return false;
+        }
+        let speed = seg.length_m / dt as f64;
+        if !(MIN_PLAUSIBLE_SPEED_MS..=MAX_PLAUSIBLE_SPEED_MS).contains(&speed) {
+            return false;
+        }
+        let slot = slot_of(enter_time_s, self.slot_s);
+        self.observe(segment, seg.class, slot, speed);
+        true
     }
 
     fn observe(&mut self, segment: SegmentId, class: RoadClass, slot: u32, speed: f64) {

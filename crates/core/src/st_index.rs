@@ -18,17 +18,37 @@
 //! * the **time lists** are [`TimeList`] posting lists (date → trajectory
 //!   IDs) serialized into a page-based [`PostingStore`]; every read is real
 //!   page I/O, counted and optionally slowed by the simulated disk.
+//!
+//! # Streaming ingest: sealed base + delta tail
+//!
+//! The index is split into a **sealed base** (the temporal directory and
+//! posting heap produced by [`StIndex::build`] or reopened from a snapshot
+//! — never mutated) and a **delta tail** that absorbs trajectory points
+//! ingested after open ([`StIndex::apply_points`]). The delta keeps, per
+//! (slot, segment) pair it has touched, a *fully merged* time list (base
+//! observations ∪ ingested observations) appended to its own posting heap;
+//! a delta entry therefore **overrides** the base entry on the read path,
+//! which keeps every reader — [`StIndex::time_list`],
+//! [`StIndex::read_time_list_into`], [`StIndex::ids_in_window`] — a single
+//! posting read with unchanged circular-day slot semantics. When no point
+//! was ever ingested the delta check is one relaxed atomic load, so the
+//! sealed-base hot path is untouched. [`StIndex::compact`] folds the delta
+//! back into a fresh sealed base (bit-identical to a from-scratch build on
+//! the combined data) and empties the tail.
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU16, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::{Mutex, RwLock};
 use streach_geo::GeoPoint;
 use streach_roadnet::{RoadNetwork, SegmentId};
 use streach_storage::{
     BPlusTree, BlobHandle, InMemoryPageStore, IoStats, PageStore, PostingStore, SimulatedDiskStore,
     StorageError, StorageResult, TimeList,
 };
-use streach_traj::TrajectoryDataset;
+use streach_traj::{TrajPoint, TrajectoryDataset};
 
 use crate::config::IndexConfig;
 use crate::time::{slot_of, slots_overlapping};
@@ -62,20 +82,65 @@ pub struct StIndexStats {
     pub num_time_lists: u64,
     /// Number of (segment, slot, date, trajectory) observations indexed.
     pub num_observations: u64,
-    /// Bytes of posting data written.
+    /// Bytes of posting data written to the **sealed base** heap.
     pub posting_bytes: u64,
-    /// Pages allocated in the posting store.
+    /// Pages allocated in the **sealed base** posting store.
     pub posting_pages: u64,
+}
+
+/// Size statistics of the mutable delta tail (streaming ingest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Number of (slot, segment) pairs currently overridden by the delta.
+    pub delta_lists: u64,
+    /// Bytes appended to the delta posting heap (including superseded
+    /// versions of re-ingested lists; compaction reclaims them).
+    pub delta_bytes: u64,
+    /// Pages allocated in the delta posting heap.
+    pub delta_pages: u64,
+}
+
+/// Where a (segment, slot) time list currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ListRef {
+    /// In the sealed base heap.
+    Base(BlobHandle),
+    /// In the delta heap — a fully merged list that overrides the base.
+    Delta(BlobHandle),
+}
+
+/// The mutable delta tail: merged override lists keyed by (slot, segment),
+/// stored in their own append-only posting heap.
+struct DeltaTail {
+    postings: PostingStore<StIndexStore>,
+    /// (slot, segment) → handle of the current merged list in the delta
+    /// heap. `BTreeMap` keeps snapshot serialization and compaction
+    /// deterministic without a sort.
+    directory: RwLock<BTreeMap<(u32, u32), BlobHandle>>,
+    /// Number of directory entries, readable without the lock: the hot
+    /// path's fast "no deltas" check.
+    len: AtomicUsize,
+}
+
+impl DeltaTail {
+    fn lookup(&self, slot: u32, segment: SegmentId) -> Option<BlobHandle> {
+        if self.len.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        self.directory.read().get(&(slot, segment.0)).copied()
+    }
 }
 
 /// The ST-Index.
 pub struct StIndex {
     network: Arc<RoadNetwork>,
     slot_s: u32,
-    num_days: u16,
+    /// `m` in Eq. 3.1 — grows as later fleet-days are ingested.
+    num_days: AtomicU16,
     temporal: BPlusTree<u64, SlotDirectory>,
     postings: PostingStore<StIndexStore>,
-    stats: StIndexStats,
+    delta: DeltaTail,
+    stats: Mutex<StIndexStats>,
 }
 
 impl StIndex {
@@ -118,12 +183,22 @@ impl StIndex {
         // Persist the time lists slot by slot (and segment by segment within
         // a slot) so that postings of the same temporal leaf are clustered on
         // neighbouring pages. The sorted tuple order delivers exactly that.
+        // Base and delta heap share one I/O counter handle, so query
+        // accounting covers both read paths.
+        let io = IoStats::new_shared();
         let store = SimulatedDiskStore::with_latency(
-            Box::new(InMemoryPageStore::new()) as Box<dyn PageStore>,
+            Box::new(InMemoryPageStore::with_stats(Arc::clone(&io))) as Box<dyn PageStore>,
             Duration::from_micros(config.read_latency_us),
             Duration::ZERO,
         );
-        let postings = PostingStore::new(store, config.pool_pages);
+        let postings =
+            PostingStore::with_tail_and_retries(store, config.pool_pages, 0, config.read_retries);
+        let delta = Self::empty_delta(
+            io,
+            Duration::from_micros(config.read_latency_us),
+            config.pool_pages,
+            config.read_retries,
+        );
 
         let mut temporal = BPlusTree::with_order(32);
         let mut num_time_lists = 0u64;
@@ -165,17 +240,41 @@ impl StIndex {
         Self {
             network,
             slot_s: config.slot_s,
-            num_days: dataset.num_days(),
+            num_days: AtomicU16::new(dataset.num_days()),
             temporal,
             postings,
-            stats,
+            delta,
+            stats: Mutex::new(stats),
+        }
+    }
+
+    /// A fresh, empty delta tail: an in-memory heap behind the same
+    /// simulated-latency shim and I/O counters as the base heap.
+    fn empty_delta(
+        io: Arc<IoStats>,
+        read_latency: Duration,
+        pool_pages: usize,
+        read_retries: u32,
+    ) -> DeltaTail {
+        let store = SimulatedDiskStore::with_latency(
+            Box::new(InMemoryPageStore::with_stats(io)) as Box<dyn PageStore>,
+            read_latency,
+            Duration::ZERO,
+        );
+        DeltaTail {
+            postings: PostingStore::with_tail_and_retries(store, pool_pages, 0, read_retries),
+            directory: RwLock::new(BTreeMap::new()),
+            len: AtomicUsize::new(0),
         }
     }
 
     /// Reassembles an ST-Index from snapshot parts: a reopened posting
-    /// store plus the decoded temporal directory. Used by
-    /// [`crate::snapshot`]; the directory entries of each slot must be
-    /// sorted by segment ID (they are persisted that way).
+    /// store plus the decoded temporal directory, and the delta tail
+    /// (posting store plus (slot, segment) → handle entries; both empty for
+    /// a snapshot that never ingested). Used by [`crate::snapshot`]; the
+    /// directory entries of each slot must be sorted by segment ID (they
+    /// are persisted that way).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         network: Arc<RoadNetwork>,
         slot_s: u32,
@@ -183,19 +282,28 @@ impl StIndex {
         stats: StIndexStats,
         directory: Vec<(u32, Vec<(SegmentId, BlobHandle)>)>,
         postings: PostingStore<StIndexStore>,
+        delta_postings: PostingStore<StIndexStore>,
+        delta_directory: Vec<((u32, u32), BlobHandle)>,
     ) -> Self {
         let mut temporal = BPlusTree::with_order(32);
         for (slot, entries) in directory {
             debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
             temporal.insert(slot as u64, SlotDirectory { entries });
         }
+        let map: BTreeMap<(u32, u32), BlobHandle> = delta_directory.into_iter().collect();
+        let delta = DeltaTail {
+            postings: delta_postings,
+            len: AtomicUsize::new(map.len()),
+            directory: RwLock::new(map),
+        };
         Self {
             network,
             slot_s,
-            num_days,
+            num_days: AtomicU16::new(num_days),
             temporal,
             postings,
-            stats,
+            delta,
+            stats: Mutex::new(stats),
         }
     }
 
@@ -209,9 +317,25 @@ impl StIndex {
             .collect()
     }
 
-    /// The posting store (page export during snapshots).
+    /// The base posting store (page export during snapshots).
     pub(crate) fn postings(&self) -> &PostingStore<StIndexStore> {
         &self.postings
+    }
+
+    /// The delta posting store (page export during incremental snapshots).
+    pub(crate) fn delta_postings(&self) -> &PostingStore<StIndexStore> {
+        &self.delta.postings
+    }
+
+    /// The delta directory as ((slot, segment), handle) pairs in key order —
+    /// the snapshot serialization of the delta tail.
+    pub(crate) fn delta_directory_entries(&self) -> Vec<((u32, u32), BlobHandle)> {
+        self.delta
+            .directory
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
     }
 
     /// The temporal granularity Δt in seconds.
@@ -219,9 +343,15 @@ impl StIndex {
         self.slot_s
     }
 
-    /// Number of days (`m` in Eq. 3.1) the indexed dataset spans.
+    /// Number of days (`m` in Eq. 3.1) the indexed data spans — grows as
+    /// later fleet-days are ingested.
     pub fn num_days(&self) -> u16 {
-        self.num_days
+        self.num_days.load(Ordering::Relaxed)
+    }
+
+    /// Raises the day count to cover ingested dates ≥ the current span.
+    pub(crate) fn raise_num_days(&self, num_days: u16) {
+        self.num_days.fetch_max(num_days, Ordering::Relaxed);
     }
 
     /// The road network the index was built over.
@@ -229,19 +359,30 @@ impl StIndex {
         &self.network
     }
 
-    /// Construction statistics.
+    /// Construction statistics (sealed base heap).
     pub fn stats(&self) -> StIndexStats {
-        self.stats
+        *self.stats.lock()
     }
 
-    /// Shared I/O counters of the posting store.
+    /// Size statistics of the mutable delta tail.
+    pub fn delta_stats(&self) -> DeltaStats {
+        DeltaStats {
+            delta_lists: self.delta.len.load(Ordering::Relaxed) as u64,
+            delta_bytes: self.delta.postings.size_bytes(),
+            delta_pages: self.delta.postings.num_pages(),
+        }
+    }
+
+    /// Shared I/O counters of the posting stores (base and delta).
     pub fn io_stats(&self) -> Arc<IoStats> {
         self.postings.io_stats()
     }
 
-    /// Drops all cached posting pages (for cold-cache measurements).
+    /// Drops all cached posting pages (for cold-cache measurements) from
+    /// both the base and the delta buffer pool.
     pub fn clear_cache(&self) {
         self.postings.clear_cache();
+        self.delta.postings.clear_cache();
     }
 
     /// Maps a query location to its start road segment `r0` using the
@@ -262,7 +403,8 @@ impl StIndex {
     /// serving process degrades instead of aborting.
     pub fn time_list(&self, segment: SegmentId, slot: u32) -> StorageResult<Option<TimeList>> {
         match self.lookup(segment, slot) {
-            Some(handle) => Ok(Some(self.postings.read_time_list(handle)?)),
+            Some(ListRef::Base(handle)) => Ok(Some(self.postings.read_time_list(handle)?)),
+            Some(ListRef::Delta(handle)) => Ok(Some(self.delta.postings.read_time_list(handle)?)),
             None => Ok(None),
         }
     }
@@ -286,8 +428,12 @@ impl StIndex {
         buf: &mut Vec<u8>,
     ) -> StorageResult<bool> {
         match self.lookup(segment, slot) {
-            Some(handle) => {
+            Some(ListRef::Base(handle)) => {
                 self.postings.read_into(handle, buf)?;
+                Ok(true)
+            }
+            Some(ListRef::Delta(handle)) => {
+                self.delta.postings.read_into(handle, buf)?;
                 Ok(true)
             }
             None => Ok(false),
@@ -305,12 +451,17 @@ impl StIndex {
     }
 
     /// Directory lookup of the blob handle for (segment, slot), with slots
-    /// wrapping around the day.
-    fn lookup(&self, segment: SegmentId, slot: u32) -> Option<BlobHandle> {
+    /// wrapping around the day. A delta entry holds the fully merged list
+    /// and therefore overrides the base entry; with no deltas the check is
+    /// one relaxed atomic load.
+    fn lookup(&self, segment: SegmentId, slot: u32) -> Option<ListRef> {
         let slots_per_day = streach_traj::SECONDS_PER_DAY.div_ceil(self.slot_s);
         let slot = slot % slots_per_day;
+        if let Some(handle) = self.delta.lookup(slot, segment) {
+            return Some(ListRef::Delta(handle));
+        }
         let directory = self.temporal.get(&(slot as u64))?;
-        directory.get(segment)
+        directory.get(segment).map(ListRef::Base)
     }
 
     /// Trajectory IDs that traversed `segment` on `date` at any time in the
@@ -345,17 +496,175 @@ impl StIndex {
     }
 
     /// Returns `true` if any trajectory traversed `segment` during `slot` on
-    /// any day (reads the temporal directory only — no posting I/O).
+    /// any day (reads the directories only — no posting I/O).
     pub fn has_entry(&self, segment: SegmentId, slot: u32) -> bool {
-        self.temporal
-            .get(&(slot as u64))
-            .map(|d| d.get(segment).is_some())
-            .unwrap_or(false)
+        self.lookup(segment, slot).is_some()
     }
 
-    /// All slots that have at least one time list, in ascending order.
+    /// All slots that have at least one time list (base or delta), in
+    /// ascending order.
     pub fn populated_slots(&self) -> impl Iterator<Item = u32> + '_ {
-        self.temporal.iter().into_iter().map(|(k, _)| k as u32)
+        let mut slots: std::collections::BTreeSet<u32> = self
+            .temporal
+            .iter()
+            .into_iter()
+            .map(|(k, _)| k as u32)
+            .collect();
+        if self.delta.len.load(Ordering::Relaxed) > 0 {
+            slots.extend(self.delta.directory.read().keys().map(|(slot, _)| *slot));
+        }
+        slots.into_iter()
+    }
+
+    /// Applies a batch of ingested trajectory points to the delta tail.
+    ///
+    /// Points are grouped by (slot, segment) exactly like
+    /// [`StIndex::build`] groups its observation tuples; for every touched
+    /// pair the current list (delta if present, else base, else empty) is
+    /// merged with the new (date, trajectory) observations and the merged
+    /// encoding is appended to the delta heap. Since [`TimeList::add`] is a
+    /// sorted-set insert, the merge is idempotent and order-insensitive:
+    /// re-applying a batch (WAL replay after a crash) or applying batches
+    /// in any interleaving converges to the same lists a from-scratch build
+    /// on the combined data produces.
+    ///
+    /// Returns the number of (slot, segment) lists touched. On `Err`
+    /// (a read fault on the current list, or a write fault appending the
+    /// merged one) a prefix of the groups may already be applied; because
+    /// the merge is idempotent, retrying the same batch completes the
+    /// remainder without duplicating anything.
+    pub(crate) fn apply_points(&self, points: &[TrajPoint]) -> StorageResult<usize> {
+        if points.is_empty() {
+            return Ok(0);
+        }
+        let mut obs: Vec<(u32, u32, u16, u32)> = points
+            .iter()
+            .map(|p| {
+                (
+                    slot_of(p.enter_time_s, self.slot_s),
+                    p.segment.0,
+                    p.date,
+                    p.traj_id,
+                )
+            })
+            .collect();
+        obs.sort_unstable();
+
+        let mut touched = 0usize;
+        let mut i = 0;
+        while i < obs.len() {
+            let group_start = i;
+            let (slot, segment) = (obs[i].0, obs[i].1);
+            let (mut list, is_new) = match self.lookup(SegmentId(segment), slot) {
+                Some(ListRef::Delta(handle)) => {
+                    (self.delta.postings.read_time_list(handle)?, false)
+                }
+                Some(ListRef::Base(handle)) => (self.postings.read_time_list(handle)?, false),
+                None => (TimeList::new(), true),
+            };
+            while i < obs.len() && obs[i].0 == slot && obs[i].1 == segment {
+                list.add(obs[i].2, obs[i].3);
+                i += 1;
+            }
+            let handle = self.delta.postings.append_time_list(&list)?;
+            let mut directory = self.delta.directory.write();
+            directory.insert((slot, segment), handle);
+            self.delta.len.store(directory.len(), Ordering::Relaxed);
+            drop(directory);
+            // Stats are committed per group, so a batch that faults midway
+            // has counted exactly the groups it applied: the retry counts
+            // only the remainder's new lists (its re-merged groups resolve
+            // as existing delta entries), keeping `num_time_lists` exact.
+            // `num_observations` counts re-processed points again on such
+            // a retry — the documented at-least-once counter semantics.
+            let mut stats = self.stats.lock();
+            if is_new {
+                stats.num_time_lists += 1;
+            }
+            stats.num_observations += (i - group_start) as u64;
+            drop(stats);
+            touched += 1;
+        }
+        Ok(touched)
+    }
+
+    /// Folds the delta tail into a **new sealed base**: every (slot,
+    /// segment) list — overridden or untouched — is laid out slot by slot,
+    /// segment by segment in a fresh in-memory heap, a new temporal
+    /// directory is built over it and the delta is emptied. The result is
+    /// byte-identical to the heap [`StIndex::build`] would produce on the
+    /// combined data, so post-compaction queries and snapshots are
+    /// bit-exact with a from-scratch rebuild.
+    ///
+    /// The per-list blob copies are read in parallel via `streach_par`
+    /// worker threads (the dominant cost); the ordered append into the new
+    /// heap is a single linear pass. On `Err` (a read fault while copying)
+    /// the index is left untouched.
+    pub(crate) fn compact(&mut self) -> StorageResult<DeltaStats> {
+        let folded = self.delta_stats();
+        if folded.delta_lists == 0 {
+            return Ok(folded);
+        }
+
+        // Merged directory: base entries overridden by delta entries, in
+        // (slot, segment) order — the clustered layout `build` produces.
+        let mut merged: BTreeMap<(u32, u32), ListRef> = BTreeMap::new();
+        for (slot, dir) in self.temporal.iter() {
+            for (segment, handle) in &dir.entries {
+                merged.insert((slot as u32, segment.0), ListRef::Base(*handle));
+            }
+        }
+        for (key, handle) in self.delta.directory.read().iter() {
+            merged.insert(*key, ListRef::Delta(*handle));
+        }
+
+        // Copy every blob out (parallel reads against both heaps).
+        let entries: Vec<((u32, u32), ListRef)> = merged.into_iter().collect();
+        let blobs: Vec<Vec<u8>> = streach_par::try_par_map_with(
+            &entries,
+            Vec::new,
+            |buf: &mut Vec<u8>, (_, list_ref)| -> StorageResult<Vec<u8>> {
+                match list_ref {
+                    ListRef::Base(handle) => self.postings.read_into(*handle, buf)?,
+                    ListRef::Delta(handle) => self.delta.postings.read_into(*handle, buf)?,
+                }
+                Ok(buf.clone())
+            },
+        )?;
+
+        // Lay the new sealed base out in order.
+        let io = self.postings.io_stats();
+        let read_latency = self.postings.store().read_latency();
+        let pool_pages = self.postings.pool_capacity();
+        let read_retries = self.postings.read_retries();
+        let store = SimulatedDiskStore::with_latency(
+            Box::new(InMemoryPageStore::with_stats(Arc::clone(&io))) as Box<dyn PageStore>,
+            read_latency,
+            Duration::ZERO,
+        );
+        let new_postings = PostingStore::with_tail_and_retries(store, pool_pages, 0, read_retries);
+        let mut temporal = BPlusTree::with_order(32);
+        let mut directory = SlotDirectory::default();
+        let mut num_time_lists = 0u64;
+        for (index, ((slot, segment), _)) in entries.iter().enumerate() {
+            let handle = new_postings.append(&blobs[index])?;
+            directory.entries.push((SegmentId(*segment), handle));
+            num_time_lists += 1;
+            let next_slot = entries.get(index + 1).map(|((s, _), _)| *s);
+            if next_slot != Some(*slot) {
+                temporal.insert(*slot as u64, std::mem::take(&mut directory));
+            }
+        }
+
+        // Swap in the new base, reset the delta tail.
+        self.postings = new_postings;
+        self.temporal = temporal;
+        self.delta = Self::empty_delta(io, read_latency, pool_pages, read_retries);
+        let mut stats = self.stats.lock();
+        stats.num_time_lists = num_time_lists;
+        stats.posting_bytes = self.postings.size_bytes();
+        stats.posting_pages = self.postings.num_pages();
+        Ok(folded)
     }
 }
 

@@ -35,9 +35,21 @@ use crate::pagestore::{PageStore, StorageError, StorageResult};
 pub struct BufferPool<S: PageStore> {
     store: S,
     capacity: usize,
+    /// Number of *extra* physical read attempts made when a fetch fails
+    /// with a transient error (see [`StorageError::is_transient`]).
+    read_retries: u32,
     inner: Mutex<LruInner>,
     stats: Arc<IoStats>,
 }
+
+/// Default number of transient-read retries per fetch (so a fetch makes at
+/// most `1 + DEFAULT_READ_RETRIES` physical attempts).
+pub const DEFAULT_READ_RETRIES: u32 = 2;
+
+/// Base backoff before the first retry; each further retry doubles it. The
+/// wait is spin-based (like [`crate::SimulatedDiskStore`]) so the schedule
+/// is deterministic at microsecond scale.
+const RETRY_BACKOFF_BASE_US: u64 = 50;
 
 /// Slab index standing in for "no node".
 const NIL: u32 = u32::MAX;
@@ -184,13 +196,24 @@ impl LruInner {
 }
 
 impl<S: PageStore> BufferPool<S> {
-    /// Creates a buffer pool caching up to `capacity` pages.
+    /// Creates a buffer pool caching up to `capacity` pages, with the
+    /// default transient-read retry budget ([`DEFAULT_READ_RETRIES`]).
     pub fn new(store: S, capacity: usize) -> Self {
+        Self::with_retries(store, capacity, DEFAULT_READ_RETRIES)
+    }
+
+    /// Creates a buffer pool with an explicit retry budget: a fetch whose
+    /// physical read fails with a *transient* error (`EIO`-class, see
+    /// [`StorageError::is_transient`]) is retried up to `read_retries`
+    /// times with a deterministic doubling backoff before the failure is
+    /// surfaced. `0` disables retries entirely.
+    pub fn with_retries(store: S, capacity: usize, read_retries: u32) -> Self {
         assert!(capacity > 0, "buffer pool capacity must be positive");
         let stats = store.io_stats();
         Self {
             store,
             capacity,
+            read_retries,
             inner: Mutex::new(LruInner {
                 map: HashMap::with_capacity(capacity),
                 nodes: Vec::with_capacity(capacity),
@@ -199,6 +222,39 @@ impl<S: PageStore> BufferPool<S> {
                 in_flight: HashMap::new(),
             }),
             stats,
+        }
+    }
+
+    /// The configured transient-read retry budget.
+    pub fn read_retries(&self) -> u32 {
+        self.read_retries
+    }
+
+    /// One physical read with the bounded transient-error retry loop. The
+    /// backoff schedule is deterministic (50 µs, 100 µs, ... spin-waited),
+    /// so a test scripting an ordinal-addressed fault observes the same
+    /// attempt sequence on every run. Returns the page together with the
+    /// number of attempts actually made.
+    fn read_with_retries(&self, id: PageId) -> (Result<Page, StorageError>, u32) {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.store.read_page(id) {
+                Ok(page) => return (Ok(page), attempt),
+                Err(e) if e.is_transient() && attempt <= self.read_retries => {
+                    Self::backoff(attempt);
+                }
+                Err(e) => return (Err(e), attempt),
+            }
+        }
+    }
+
+    /// Deterministic doubling backoff before retry number `attempt`.
+    fn backoff(attempt: u32) {
+        let wait = std::time::Duration::from_micros(RETRY_BACKOFF_BASE_US << (attempt - 1).min(10));
+        let start = std::time::Instant::now();
+        while start.elapsed() < wait {
+            std::hint::spin_loop();
         }
     }
 
@@ -228,13 +284,16 @@ impl<S: PageStore> BufferPool<S> {
     }
 
     /// Fetches a page through the cache, coalescing concurrent misses.
+    /// The leader's physical read runs the bounded transient-retry loop
+    /// ([`BufferPool::with_retries`]), so a one-shot `EIO` is absorbed
+    /// without any waiter observing it.
     ///
     /// Failure contract: a failed physical read is **never** inserted into
     /// the cache and its in-flight entry is removed before the error is
     /// published, so every waiter observes the failure (directly or through
     /// its own retried read) and a later fetch goes back to the store
     /// instead of being served a phantom page. Errors are annotated with
-    /// the page id and backend ([`StorageError::PageRead`]).
+    /// the page id, backend and attempt count ([`StorageError::PageRead`]).
     fn fetch(&self, id: PageId) -> StorageResult<Arc<Page>> {
         enum Role {
             Hit(Arc<Page>),
@@ -272,7 +331,7 @@ impl<S: PageStore> BufferPool<S> {
                 },
                 Role::Leader(pending) => {
                     self.stats.record_miss();
-                    let result = self.store.read_page(id);
+                    let (result, attempts) = self.read_with_retries(id);
                     let mut inner = self.inner.lock();
                     inner.in_flight.remove(&id);
                     match result {
@@ -286,7 +345,12 @@ impl<S: PageStore> BufferPool<S> {
                         Err(e) => {
                             drop(inner);
                             pending.publish(None);
-                            return Err(StorageError::page_read(id, self.store.backend_name(), e));
+                            return Err(StorageError::page_read(
+                                id,
+                                self.store.backend_name(),
+                                attempts,
+                                e,
+                            ));
                         }
                     }
                 }
@@ -578,9 +642,9 @@ mod tests {
         );
     }
 
-    /// A one-shot fault on the leader's read leaves followers able to
-    /// recover on their own retried read — and exactly one of the retries
-    /// repopulates the cache.
+    /// With retries disabled, a one-shot fault on the leader's read leaves
+    /// followers able to recover on their own retried read — and exactly
+    /// one of the retries repopulates the cache.
     #[test]
     fn followers_recover_when_only_the_leader_read_faults() {
         use crate::fault::{FaultInjectingPageStore, ReadFault};
@@ -590,7 +654,7 @@ mod tests {
         let ctl = faulty.controller();
         ctl.fail_read_at(0, ReadFault::Eio); // only the first physical read
         ctl.set_read_latency(Duration::from_millis(20));
-        let pool = BufferPool::new(faulty, 4);
+        let pool = BufferPool::with_retries(faulty, 4, 0);
 
         let results: Vec<StorageResult<Arc<Page>>> = std::thread::scope(|scope| {
             let pool = &pool;
@@ -604,6 +668,62 @@ mod tests {
             assert_eq!(r.as_ref().unwrap().bytes()[0], 0);
         }
         assert_eq!(pool.cached_pages(), 1, "the successful retry is cached");
+    }
+
+    /// The automatic retry absorbs a transient one-shot `EIO`: the fetch
+    /// succeeds, the caller never sees the fault, and the extra physical
+    /// attempt is observable through the fault controller.
+    #[test]
+    fn transient_eio_is_absorbed_by_the_retry_budget() {
+        use crate::fault::{FaultInjectingPageStore, ReadFault};
+
+        let inner = store_with_pages(1);
+        let faulty = FaultInjectingPageStore::with_seed(Box::new(inner), 9);
+        let ctl = faulty.controller();
+        ctl.fail_read_at(0, ReadFault::Eio);
+        let pool = BufferPool::new(faulty, 4); // default retry budget
+        let page = pool.read_page(0).expect("retry must absorb the EIO");
+        assert_eq!(page.bytes()[0], 0);
+        assert_eq!(ctl.reads_observed(), 2, "one failed + one retried read");
+        assert_eq!(pool.cached_pages(), 1, "the retried read is cached");
+        // Two consecutive one-shot faults still fit the default budget.
+        pool.clear();
+        ctl.fail_read_at(2, ReadFault::Eio);
+        ctl.fail_read_at(3, ReadFault::Eio);
+        assert!(pool.read_page(0).is_ok());
+        assert_eq!(ctl.reads_observed(), 5);
+    }
+
+    /// A persistent fault exhausts the budget and surfaces annotated with
+    /// the attempt count; non-transient errors are not retried at all.
+    #[test]
+    fn persistent_eio_exhausts_budget_and_corrupt_is_not_retried() {
+        use crate::fault::FaultInjectingPageStore;
+
+        let inner = store_with_pages(1);
+        let faulty = FaultInjectingPageStore::with_seed(Box::new(inner), 13);
+        let ctl = faulty.controller();
+        ctl.fail_reads_from(0); // dead disk
+        let pool = BufferPool::with_retries(faulty, 4, 2);
+        let err = pool.read_page(0).unwrap_err();
+        match &err {
+            StorageError::PageRead { page, attempts, .. } => {
+                assert_eq!(*page, 0);
+                assert_eq!(*attempts, 3, "budget of 2 retries = 3 attempts");
+            }
+            other => panic!("expected PageRead annotation, got {other}"),
+        }
+        assert!(err.to_string().contains("after 3 attempts"), "{err}");
+        assert_eq!(ctl.reads_observed(), 3);
+        // Out-of-bounds is permanent: exactly one attempt.
+        ctl.clear();
+        let before = ctl.reads_observed();
+        assert!(pool.read_page(9).is_err());
+        assert_eq!(
+            ctl.reads_observed(),
+            before + 1,
+            "non-transient failures must not burn the retry budget"
+        );
     }
 
     /// Recency order survives the intrusive list: heavy touch traffic keeps the

@@ -22,6 +22,15 @@
 //! remains usable after the store has been boxed into an engine, which is
 //! how the fault-injection test campaign scripts faults mid-life against a
 //! reopened snapshot.
+//!
+//! The controller also scripts the **write path** of the streaming-ingest
+//! subsystem: ordinal-addressed page-write `EIO`s (the delta posting heap
+//! appends through `write_page`) and WAL append faults (`EIO` before any
+//! byte lands, or a torn append simulating a crash mid-write — see
+//! [`AppendFault`] and [`crate::Wal::open_with_controller`]). A detached
+//! controller ([`FaultController::detached`]) can drive a WAL alone or be
+//! shared between a WAL and a store via
+//! [`FaultInjectingPageStore::with_controller`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,6 +55,20 @@ pub enum ReadFault {
     ZeroedPage,
 }
 
+/// What an injected [`crate::Wal`] append failure looks like. Scripted by
+/// **record ordinal** (not attempt ordinal) and consumed one-shot, so a
+/// failed-and-retried append is not re-failed by the same script entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendFault {
+    /// The append fails with an I/O error before any byte reaches the file;
+    /// a retry of the same record can succeed.
+    Eio,
+    /// A simulated crash mid-append: half the frame is persisted, then the
+    /// "process dies" — the WAL handle is poisoned and only a re-open (which
+    /// truncates the torn tail) recovers.
+    TornAppend,
+}
+
 #[derive(Default)]
 struct FaultPlan {
     /// Ordinal-addressed one-shot read faults.
@@ -54,6 +77,13 @@ struct FaultPlan {
     fail_reads_from: Option<u64>,
     /// Per-read `EIO` probability, decided by `mix(seed, ordinal)`.
     read_fault_probability: f64,
+    /// Ordinal-addressed one-shot page-write `EIO`s.
+    write_faults: std::collections::HashSet<u64>,
+    /// Every page write with ordinal >= this fails with `EIO`.
+    fail_writes_from: Option<u64>,
+    /// Record-ordinal-addressed one-shot WAL append faults (consumed on
+    /// use).
+    append_faults: std::collections::HashMap<u64, AppendFault>,
     /// Number of upcoming `flush` calls to fail with `EIO`.
     failing_flushes: u64,
     /// Extra latency per physical read.
@@ -63,6 +93,8 @@ struct FaultPlan {
 struct FaultState {
     seed: u64,
     reads: AtomicU64,
+    writes: AtomicU64,
+    appends: AtomicU64,
     flushes: AtomicU64,
     plan: Mutex<FaultPlan>,
 }
@@ -75,6 +107,24 @@ pub struct FaultController {
 }
 
 impl FaultController {
+    /// Creates a controller that is not (yet) attached to any store: the
+    /// handle for scripting [`crate::Wal`] append faults
+    /// ([`crate::Wal::open_with_controller`]), or for sharing one script
+    /// between a store ([`FaultInjectingPageStore::with_controller`]) and a
+    /// WAL.
+    pub fn detached(seed: u64) -> Self {
+        Self {
+            state: Arc::new(FaultState {
+                seed,
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                appends: AtomicU64::new(0),
+                flushes: AtomicU64::new(0),
+                plan: Mutex::new(FaultPlan::default()),
+            }),
+        }
+    }
+
     /// The seed probabilistic faults are derived from.
     pub fn seed(&self) -> u64 {
         self.state.seed
@@ -84,6 +134,17 @@ impl FaultController {
     /// attempt counts, including ones that were failed by the script).
     pub fn reads_observed(&self) -> u64 {
         self.state.reads.load(Ordering::SeqCst)
+    }
+
+    /// Number of page writes the store has been asked for so far (every
+    /// attempt counts, including scripted failures).
+    pub fn writes_observed(&self) -> u64 {
+        self.state.writes.load(Ordering::SeqCst)
+    }
+
+    /// Number of WAL append attempts consulted against this script.
+    pub fn appends_observed(&self) -> u64 {
+        self.state.appends.load(Ordering::SeqCst)
     }
 
     /// Scripts a one-shot fault for the read with the given lifetime
@@ -102,6 +163,32 @@ impl FaultController {
     /// `(seed, ordinal)`.
     pub fn set_read_fault_probability(&self, p: f64) {
         self.state.plan.lock().read_fault_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// Scripts a one-shot `EIO` for the page write with the given lifetime
+    /// ordinal (0-based). Page writes are the delta-heap append path of the
+    /// streaming-ingest subsystem.
+    pub fn fail_write_at(&self, ordinal: u64) {
+        self.state.plan.lock().write_faults.insert(ordinal);
+    }
+
+    /// Fails every page write from `ordinal` onward with `EIO`.
+    pub fn fail_writes_from(&self, ordinal: u64) {
+        self.state.plan.lock().fail_writes_from = Some(ordinal);
+    }
+
+    /// Scripts a one-shot fault for the WAL append of the given **record
+    /// ordinal** (0-based within the log's current generation). The script
+    /// entry is consumed when it fires, so a retried append succeeds.
+    pub fn fail_append_at(&self, ordinal: u64, fault: AppendFault) {
+        self.state.plan.lock().append_faults.insert(ordinal, fault);
+    }
+
+    /// Consults (and consumes) the append script for `record_ordinal`.
+    /// Called by [`crate::Wal::append`] when the log carries a controller.
+    pub(crate) fn next_append_fault(&self, record_ordinal: u64) -> Option<AppendFault> {
+        self.state.appends.fetch_add(1, Ordering::SeqCst);
+        self.state.plan.lock().append_faults.remove(&record_ordinal)
     }
 
     /// Fails the next `n` `flush` calls with `EIO`.
@@ -153,14 +240,15 @@ impl FaultInjectingPageStore {
     /// Wraps `inner` with an empty script; `seed` drives the probabilistic
     /// fault decisions.
     pub fn with_seed(inner: Box<dyn PageStore>, seed: u64) -> Self {
+        Self::with_controller(inner, &FaultController::detached(seed))
+    }
+
+    /// Wraps `inner` under an existing controller, sharing its script and
+    /// counters — e.g. one script driving both a page store and a WAL.
+    pub fn with_controller(inner: Box<dyn PageStore>, controller: &FaultController) -> Self {
         Self {
             inner,
-            state: Arc::new(FaultState {
-                seed,
-                reads: AtomicU64::new(0),
-                flushes: AtomicU64::new(0),
-                plan: Mutex::new(FaultPlan::default()),
-            }),
+            state: Arc::clone(&controller.state),
         }
     }
 
@@ -234,6 +322,15 @@ impl PageStore for FaultInjectingPageStore {
     }
 
     fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        let ordinal = self.state.writes.fetch_add(1, Ordering::SeqCst);
+        let faulted = {
+            let mut plan = self.state.plan.lock();
+            plan.write_faults.remove(&ordinal)
+                || plan.fail_writes_from.is_some_and(|from| ordinal >= from)
+        };
+        if faulted {
+            return Err(Self::injected_eio(ordinal, self.state.seed, "write"));
+        }
         self.inner.write_page(id, page)
     }
 
@@ -350,6 +447,40 @@ mod tests {
         );
         let c = decisions(8);
         assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn scripted_write_faults_hit_exact_ordinals() {
+        let store = store_with_pages(2);
+        let ctl = store.controller();
+        ctl.fail_write_at(1);
+        let page = Page::zeroed();
+        assert!(store.write_page(0, &page).is_ok()); // write ordinal 0
+        let err = store.write_page(0, &page).unwrap_err(); // ordinal 1
+        assert!(err.to_string().contains("injected EIO on write"), "{err}");
+        assert!(store.write_page(0, &page).is_ok()); // one-shot
+        assert_eq!(ctl.writes_observed(), 3);
+        // A dead write path stays dead until cleared.
+        ctl.fail_writes_from(3);
+        assert!(store.write_page(1, &page).is_err());
+        assert!(store.write_page(1, &page).is_err());
+        ctl.clear();
+        assert!(store.write_page(1, &page).is_ok());
+    }
+
+    #[test]
+    fn shared_controller_drives_store_and_counts_independently() {
+        let inner = InMemoryPageStore::new();
+        inner.allocate().unwrap();
+        let ctl = FaultController::detached(11);
+        let store = FaultInjectingPageStore::with_controller(Box::new(inner), &ctl);
+        assert_eq!(ctl.seed(), 11);
+        ctl.fail_read_at(0, ReadFault::Eio);
+        assert!(store.read_page(0).is_err());
+        assert!(store.read_page(0).is_ok());
+        assert_eq!(ctl.reads_observed(), 2);
+        assert_eq!(ctl.writes_observed(), 0);
+        assert_eq!(ctl.appends_observed(), 0);
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //! * [`postings`] — an append-only blob heap storing the serialized time
 //!   lists (trajectory-ID posting lists) across pages,
 //! * [`snapshot`] — the versioned, checksummed snapshot container format
-//!   used by engine snapshots (named sections + CRC-32 seals).
+//!   used by engine snapshots (named sections + CRC-32 seals),
+//! * [`wal`] — the CRC-framed, generation-stamped write-ahead log behind
+//!   streaming ingest (deterministic torn-tail recovery, scriptable append
+//!   faults).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,10 +40,11 @@ pub mod page;
 pub mod pagestore;
 pub mod postings;
 pub mod snapshot;
+pub mod wal;
 
 pub use btree::BPlusTree;
-pub use buffer_pool::BufferPool;
-pub use fault::{FaultController, FaultInjectingPageStore, ReadFault};
+pub use buffer_pool::{BufferPool, DEFAULT_READ_RETRIES};
+pub use fault::{AppendFault, FaultController, FaultInjectingPageStore, ReadFault};
 pub use iostats::{IoStats, IoStatsSnapshot};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pagestore::{
@@ -48,3 +52,4 @@ pub use pagestore::{
 };
 pub use postings::{visit_encoded, BlobHandle, IdIter, PostingStore, TimeList, TimeListEntry};
 pub use snapshot::{Crc32, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use wal::{Wal, WalRecovery, WAL_MAGIC, WAL_VERSION};

@@ -37,15 +37,19 @@ pub enum StorageError {
         expected: u32,
     },
     /// A physical page read failed. The buffer pool annotates every failed
-    /// fetch with the page id and the backend it was reading from, so a
-    /// query-level error can name the exact page that faulted instead of a
-    /// bare `EIO`.
+    /// fetch with the page id, the backend it was reading from and the
+    /// number of attempts it made (transient faults are retried with a
+    /// bounded deterministic backoff), so a query-level error can name the
+    /// exact page that faulted instead of a bare `EIO`.
     PageRead {
         /// Page id of the failed read.
         page: PageId,
         /// Short name of the backend the read was issued against (see
         /// [`PageStore::backend_name`]).
         backend: &'static str,
+        /// Number of physical read attempts made before giving up (1 =
+        /// no retry was possible or budgeted).
+        attempts: u32,
         /// The underlying failure.
         source: Box<StorageError>,
     },
@@ -59,17 +63,36 @@ impl StorageError {
         }
     }
 
-    /// Annotates `source` as a failed read of `page` against `backend`.
-    /// Already-annotated errors are passed through unchanged (the page that
-    /// faulted first is the one worth reporting).
-    pub fn page_read(page: PageId, backend: &'static str, source: StorageError) -> Self {
+    /// Annotates `source` as a failed read of `page` against `backend`
+    /// after `attempts` physical attempts. Already-annotated errors are
+    /// passed through unchanged (the page that faulted first is the one
+    /// worth reporting).
+    pub fn page_read(
+        page: PageId,
+        backend: &'static str,
+        attempts: u32,
+        source: StorageError,
+    ) -> Self {
         match source {
             already @ StorageError::PageRead { .. } => already,
             source => StorageError::PageRead {
                 page,
                 backend,
+                attempts,
                 source: Box::new(source),
             },
+        }
+    }
+
+    /// Whether this failure is plausibly transient — worth retrying with a
+    /// backoff. Only raw I/O errors qualify: a page that is out of bounds,
+    /// corrupt, or written by an incompatible version will not get better
+    /// by asking again.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io(_) => true,
+            StorageError::PageRead { source, .. } => source.is_transient(),
+            _ => false,
         }
     }
 
@@ -104,9 +127,18 @@ impl std::fmt::Display for StorageError {
             StorageError::PageRead {
                 page,
                 backend,
+                attempts,
                 source,
             } => {
-                write!(f, "reading page {page} from {backend} store: {source}")
+                if *attempts > 1 {
+                    write!(
+                        f,
+                        "reading page {page} from {backend} store \
+                         (after {attempts} attempts): {source}"
+                    )
+                } else {
+                    write!(f, "reading page {page} from {backend} store: {source}")
+                }
             }
         }
     }

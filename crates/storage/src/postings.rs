@@ -234,22 +234,50 @@ pub struct PostingStore<S: PageStore> {
 
 impl<S: PageStore> PostingStore<S> {
     /// Creates a posting store over `store`, caching up to `pool_pages`
-    /// pages.
+    /// pages, with the default transient-read retry budget.
     pub fn new(store: S, pool_pages: usize) -> Self {
-        Self {
-            pool: BufferPool::new(store, pool_pages),
-            tail: Mutex::new(0),
-        }
+        Self::with_tail_and_retries(
+            store,
+            pool_pages,
+            0,
+            crate::buffer_pool::DEFAULT_READ_RETRIES,
+        )
     }
 
     /// Reopens a posting store over an already-populated page store (e.g. a
     /// [`crate::FilePageStore`] holding a snapshot's posting heap), restoring
     /// the append cursor to `tail` bytes.
     pub fn with_tail(store: S, pool_pages: usize, tail: u64) -> Self {
+        Self::with_tail_and_retries(
+            store,
+            pool_pages,
+            tail,
+            crate::buffer_pool::DEFAULT_READ_RETRIES,
+        )
+    }
+
+    /// Full-control constructor: append cursor at `tail` bytes and an
+    /// explicit transient-read retry budget for the buffer pool.
+    pub fn with_tail_and_retries(
+        store: S,
+        pool_pages: usize,
+        tail: u64,
+        read_retries: u32,
+    ) -> Self {
         Self {
-            pool: BufferPool::new(store, pool_pages),
+            pool: BufferPool::with_retries(store, pool_pages, read_retries),
             tail: Mutex::new(tail),
         }
+    }
+
+    /// The buffer pool's page capacity.
+    pub fn pool_capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// The buffer pool's transient-read retry budget.
+    pub fn read_retries(&self) -> u32 {
+        self.pool.read_retries()
     }
 
     /// Access to the underlying page store (page export during snapshots,

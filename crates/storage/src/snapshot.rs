@@ -39,7 +39,11 @@ use crate::pagestore::{StorageError, StorageResult};
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"STRSNAP\0";
 
 /// Snapshot format version written (and required) by this build.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history: 1 — original container; 2 — `config` section grew
+/// `read_retries`, and the streaming-ingest sections (`delta_pages_meta`,
+/// `delta_dir`, `ingest_meta`) plus the `deltas.pages` file are required.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Streaming CRC-32 (IEEE 802.3, reflected) accumulator. Implemented
 /// locally — the offline build has no checksum crate — and verified against

@@ -1,0 +1,577 @@
+//! The streaming-ingest write-ahead log.
+//!
+//! A serving engine that accepts new trajectory points after open needs a
+//! durability story that survives a crash mid-append: the in-memory delta
+//! postings are rebuilt by *replaying* this log, so the log — not the delta
+//! heap — is the source of truth for everything ingested since the last
+//! snapshot.
+//!
+//! # Format
+//!
+//! ```text
+//! [magic "STRWAL\0\0" : 8 bytes]
+//! [format version     : u32 LE]
+//! [generation         : u64 LE]
+//! per record:
+//!     [payload length : u32 LE]
+//!     [CRC-32         : u32 LE]   -- over the length bytes + payload
+//!     [payload bytes]
+//! ```
+//!
+//! Records are opaque byte blobs framed with a length and a CRC-32 seal.
+//! There is no terminator: the log is append-only and a crash can leave a
+//! torn frame at the tail. [`Wal::open`] recovers **deterministically**: it
+//! scans frames from the start, stops at the first frame that is short or
+//! fails its checksum, truncates the file back to the end of the last valid
+//! frame and reports how many bytes were dropped. Re-opening an already
+//! recovered log is a no-op, so recovery is idempotent.
+//!
+//! The **generation** counter ties a log to the snapshot it extends: an
+//! engine snapshot records `(generation, records_applied)`, and replay on
+//! attach skips the records the snapshot has already folded in. Rotating the
+//! log ([`Wal::rotate`]) bumps the generation and starts an empty file, which
+//! is what a successful incremental snapshot save does — records folded into
+//! the snapshot never need replaying again.
+//!
+//! # Fault injection
+//!
+//! A log opened with [`Wal::open_with_controller`] consults the shared
+//! [`FaultController`] script before every append, so the ingest
+//! crash-recovery campaign can "kill" the process at any record ordinal:
+//! [`AppendFault::TornAppend`] persists half a frame and poisons the handle
+//! (the process is dead; only re-opening recovers), exactly what a power cut
+//! mid-`write` leaves behind.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::fault::{AppendFault, FaultController};
+use crate::pagestore::{StorageError, StorageResult};
+use crate::snapshot::Crc32;
+
+/// Magic bytes opening every write-ahead log.
+pub const WAL_MAGIC: [u8; 8] = *b"STRWAL\0\0";
+
+/// WAL format version written (and required) by this build.
+pub const WAL_VERSION: u32 = 1;
+
+/// Header length in bytes: magic + version + generation.
+const HEADER_LEN: u64 = 8 + 4 + 8;
+
+/// Frame header length in bytes: payload length + CRC-32.
+const FRAME_HEADER_LEN: usize = 8;
+
+/// What [`Wal::open`] found (and fixed) in an existing log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Generation of the opened log.
+    pub generation: u64,
+    /// Number of intact records recovered.
+    pub records: u64,
+    /// Bytes of torn tail discarded (0 for a cleanly closed log).
+    pub truncated_bytes: u64,
+}
+
+struct WalState {
+    file: File,
+    generation: u64,
+    /// Number of valid records (the ordinal of the next append).
+    records: u64,
+    /// Byte offset of the end of the last valid record.
+    tail: u64,
+    /// Set when an append died mid-frame (injected torn append, or a real
+    /// I/O error that could not be rewound): the handle refuses further
+    /// appends and only a fresh [`Wal::open`] — which truncates the torn
+    /// tail — recovers.
+    poisoned: bool,
+}
+
+/// An append-only, CRC-framed write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    controller: Option<FaultController>,
+    state: Mutex<WalState>,
+}
+
+fn frame_crc(payload: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&(payload.len() as u32).to_le_bytes());
+    crc.update(payload);
+    crc.finalize()
+}
+
+/// Writes (and fsyncs) the log header — the single definition of its
+/// layout, shared by creation and rotation.
+fn write_header(file: &mut File, generation: u64) -> StorageResult<()> {
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    header.extend_from_slice(&WAL_MAGIC);
+    header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    header.extend_from_slice(&generation.to_le_bytes());
+    file.write_all(&header)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, recovering a torn tail, and
+    /// returns the handle together with every intact record payload.
+    pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<(Self, Vec<Vec<u8>>, WalRecovery)> {
+        Self::open_impl(path.as_ref(), None)
+    }
+
+    /// Like [`Wal::open`], but every append first consults the fault
+    /// script shared through `controller` (see [`FaultController`]).
+    pub fn open_with_controller<P: AsRef<Path>>(
+        path: P,
+        controller: FaultController,
+    ) -> StorageResult<(Self, Vec<Vec<u8>>, WalRecovery)> {
+        Self::open_impl(path.as_ref(), Some(controller))
+    }
+
+    fn open_impl(
+        path: &Path,
+        controller: Option<FaultController>,
+    ) -> StorageResult<(Self, Vec<Vec<u8>>, WalRecovery)> {
+        if !path.exists() {
+            let wal = Self::create_at(path, 1, controller)?;
+            let recovery = WalRecovery {
+                generation: 1,
+                records: 0,
+                truncated_bytes: 0,
+            };
+            return Ok((wal, Vec::new(), recovery));
+        }
+
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_LEN as usize {
+            return Err(StorageError::corrupt(format!(
+                "WAL {} shorter than its header",
+                path.display()
+            )));
+        }
+        if bytes[..8] != WAL_MAGIC {
+            return Err(StorageError::corrupt(format!(
+                "WAL {} has bad magic",
+                path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != WAL_VERSION {
+            return Err(StorageError::UnsupportedVersion {
+                found: version,
+                expected: WAL_VERSION,
+            });
+        }
+        let generation = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+
+        // Scan frames; the first short or checksum-failing frame marks the
+        // torn tail. Everything before it is the consistent prefix.
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        let mut offset = HEADER_LEN as usize;
+        loop {
+            let remaining = bytes.len() - offset;
+            if remaining < FRAME_HEADER_LEN {
+                break;
+            }
+            let len =
+                u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 b"));
+            if remaining - FRAME_HEADER_LEN < len {
+                break; // torn payload
+            }
+            let payload = &bytes[offset + FRAME_HEADER_LEN..offset + FRAME_HEADER_LEN + len];
+            if frame_crc(payload) != crc {
+                break; // torn or corrupted frame
+            }
+            records.push(payload.to_vec());
+            offset += FRAME_HEADER_LEN + len;
+        }
+
+        let tail = offset as u64;
+        let truncated_bytes = bytes.len() as u64 - tail;
+        if truncated_bytes > 0 {
+            file.set_len(tail)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(tail))?;
+
+        let recovery = WalRecovery {
+            generation,
+            records: records.len() as u64,
+            truncated_bytes,
+        };
+        let wal = Self {
+            path: path.to_path_buf(),
+            controller,
+            state: Mutex::new(WalState {
+                file,
+                generation,
+                records: records.len() as u64,
+                tail,
+                poisoned: false,
+            }),
+        };
+        Ok((wal, records, recovery))
+    }
+
+    fn create_at(
+        path: &Path,
+        generation: u64,
+        controller: Option<FaultController>,
+    ) -> StorageResult<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        write_header(&mut file, generation)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            controller,
+            state: Mutex::new(WalState {
+                file,
+                generation,
+                records: 0,
+                tail: HEADER_LEN,
+                poisoned: false,
+            }),
+        })
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The current generation.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().generation
+    }
+
+    /// Number of durable records in the log.
+    pub fn records(&self) -> u64 {
+        self.state.lock().records
+    }
+
+    /// Total bytes of the log file (header + frames).
+    pub fn len_bytes(&self) -> u64 {
+        self.state.lock().tail
+    }
+
+    /// Appends one record and returns its ordinal (0-based within the
+    /// current generation). The append is all-or-nothing: on failure the
+    /// file is rewound to the previous record boundary, except for an
+    /// injected torn append (a simulated crash), which leaves the torn tail
+    /// in place and poisons the handle.
+    pub fn append(&self, payload: &[u8]) -> StorageResult<u64> {
+        let mut state = self.state.lock();
+        if state.poisoned {
+            return Err(StorageError::corrupt(format!(
+                "WAL {} is poisoned by a failed append; re-open to recover",
+                self.path.display()
+            )));
+        }
+        let ordinal = state.records;
+
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&frame_crc(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+
+        if let Some(ctl) = &self.controller {
+            match ctl.next_append_fault(ordinal) {
+                None => {}
+                Some(AppendFault::Eio) => {
+                    return Err(StorageError::Io(std::io::Error::other(format!(
+                        "injected EIO on WAL append #{ordinal} (fault seed {})",
+                        ctl.seed()
+                    ))));
+                }
+                Some(AppendFault::TornAppend) => {
+                    // Simulated crash mid-write: half the frame reaches the
+                    // disk, the process is gone. The handle is poisoned;
+                    // recovery happens at the next open.
+                    let tail = state.tail;
+                    state.file.seek(SeekFrom::Start(tail))?;
+                    state.file.write_all(&frame[..frame.len() / 2])?;
+                    state.file.sync_all()?;
+                    state.poisoned = true;
+                    return Err(StorageError::Io(std::io::Error::other(format!(
+                        "injected torn WAL append #{ordinal} (fault seed {})",
+                        ctl.seed()
+                    ))));
+                }
+            }
+        }
+
+        let tail = state.tail;
+        let write = (|| -> StorageResult<()> {
+            state.file.seek(SeekFrom::Start(tail))?;
+            state.file.write_all(&frame)?;
+            Ok(())
+        })();
+        match write {
+            Ok(()) => {
+                state.tail += frame.len() as u64;
+                state.records += 1;
+                Ok(ordinal)
+            }
+            Err(e) => {
+                // Rewind the possibly partial frame; if even that fails the
+                // handle is poisoned and only a re-open recovers.
+                if state.file.set_len(tail).is_err() {
+                    state.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Forces appended records down to durable storage (`fsync`).
+    pub fn sync(&self) -> StorageResult<()> {
+        let state = self.state.lock();
+        state.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Starts a fresh, empty generation: a new log file with `generation +
+    /// 1` is staged and atomically renamed over the current one. Called
+    /// after an incremental snapshot save — every record of the old
+    /// generation is folded into the snapshot and never needs replaying.
+    /// Returns the new generation.
+    pub fn rotate(&self) -> StorageResult<u64> {
+        let mut state = self.state.lock();
+        let next_gen = state.generation + 1;
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            write_header(&mut file, next_gen)?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // From here the on-disk log IS the new generation: if re-acquiring
+        // a handle to it fails, the old handle must not keep accepting
+        // appends — they would land (and fsync!) on the unlinked old inode
+        // and silently vanish at the next open. Poison until re-opened.
+        let reopen = (|| -> StorageResult<File> {
+            let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+            file.seek(SeekFrom::Start(HEADER_LEN))?;
+            Ok(file)
+        })();
+        match reopen {
+            Ok(file) => {
+                state.file = file;
+                state.generation = next_gen;
+                state.records = 0;
+                state.tail = HEADER_LEN;
+                state.poisoned = false;
+                Ok(next_gen)
+            }
+            Err(e) => {
+                state.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::ReadFault;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("streach-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn create_append_reopen_roundtrip() {
+        let path = tmp("roundtrip.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, records, recovery) = Wal::open(&path).unwrap();
+            assert!(records.is_empty());
+            assert_eq!(recovery.generation, 1);
+            assert_eq!(wal.append(b"alpha").unwrap(), 0);
+            assert_eq!(wal.append(b"").unwrap(), 1);
+            assert_eq!(wal.append(&[7u8; 5000]).unwrap(), 2);
+            wal.sync().unwrap();
+            assert_eq!(wal.records(), 3);
+        }
+        let (wal, records, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(recovery.records, 3);
+        assert_eq!(recovery.truncated_bytes, 0);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], b"alpha");
+        assert_eq!(records[1], b"");
+        assert_eq!(records[2], vec![7u8; 5000]);
+        assert_eq!(wal.generation(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Crash simulation: for every truncation point of the file — each
+    /// record boundary and several mid-frame cuts — recovery must yield
+    /// exactly the longest valid prefix and truncate the file back to it.
+    #[test]
+    fn recovery_truncates_torn_tail_at_every_cut() {
+        let path = tmp("cuts.wal");
+        let _ = std::fs::remove_file(&path);
+        let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 10 + i as usize * 37]).collect();
+        let mut boundaries = vec![HEADER_LEN as usize];
+        {
+            let (wal, _, _) = Wal::open(&path).unwrap();
+            for p in &payloads {
+                wal.append(p).unwrap();
+                boundaries.push(wal.len_bytes() as usize);
+            }
+            wal.sync().unwrap();
+        }
+        let clean = std::fs::read(&path).unwrap();
+
+        for cut in (HEADER_LEN as usize..=clean.len()).step_by(7).chain(
+            boundaries.iter().copied().chain(
+                boundaries
+                    .iter()
+                    .map(|b| b + 1)
+                    .filter(|b| *b <= clean.len()),
+            ),
+        ) {
+            let cut_path = tmp("cuts-case.wal");
+            std::fs::write(&cut_path, &clean[..cut]).unwrap();
+            let (wal, records, recovery) = Wal::open(&cut_path).unwrap();
+            // The expected prefix: every record whose frame ends at or
+            // before the cut.
+            let expected = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+            assert_eq!(records.len(), expected, "cut at {cut}");
+            assert_eq!(recovery.records, expected as u64, "cut at {cut}");
+            assert_eq!(&records[..], &payloads[..expected], "cut at {cut}");
+            // The file is truncated to the consistent prefix, so re-opening
+            // reports no further truncation.
+            assert_eq!(wal.len_bytes() as usize, boundaries[expected]);
+            drop(wal);
+            let (_, again, recovery2) = Wal::open(&cut_path).unwrap();
+            assert_eq!(again.len(), expected, "cut at {cut}: recovery idempotent");
+            assert_eq!(recovery2.truncated_bytes, 0, "cut at {cut}");
+            std::fs::remove_file(&cut_path).ok();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_record_bytes_cut_the_replay_prefix() {
+        let path = tmp("bitrot.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, _, _) = Wal::open(&path).unwrap();
+            wal.append(b"first-record").unwrap();
+            wal.append(b"second-record").unwrap();
+            wal.sync().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte inside the second record's payload.
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, records, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 1, "corrupt record must end the prefix");
+        assert_eq!(records[0], b"first-record");
+        assert!(recovery.truncated_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_and_versioned_files_are_rejected() {
+        let path = tmp("foreign.wal");
+        std::fs::write(&path, b"definitely not a wal header").unwrap();
+        assert!(matches!(
+            Wal::open(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // A future version is rejected as unsupported, not misread.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Wal::open(&path),
+            Err(StorageError::UnsupportedVersion { found: 99, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rotation_bumps_generation_and_empties_the_log() {
+        let path = tmp("rotate.wal");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(b"old-generation").unwrap();
+        assert_eq!(wal.rotate().unwrap(), 2);
+        assert_eq!(wal.records(), 0);
+        assert_eq!(wal.append(b"new-generation").unwrap(), 0);
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, records, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(recovery.generation, 2);
+        assert_eq!(records, vec![b"new-generation".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_torn_append_poisons_until_reopen() {
+        let path = tmp("torn-append.wal");
+        let _ = std::fs::remove_file(&path);
+        let ctl = FaultController::detached(77);
+        ctl.fail_append_at(1, AppendFault::TornAppend);
+        let (wal, _, _) = Wal::open_with_controller(&path, ctl.clone()).unwrap();
+        wal.append(b"survives").unwrap();
+        let err = wal.append(b"dies-mid-write").unwrap_err();
+        assert!(err.to_string().contains("torn WAL append"), "{err}");
+        assert!(err.to_string().contains("seed 77"), "{err}");
+        // The handle is dead — the "process" crashed.
+        assert!(wal.append(b"after-crash").is_err());
+        drop(wal);
+        // Re-open: the torn frame is truncated away, the prefix survives.
+        let (wal, records, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(records, vec![b"survives".to_vec()]);
+        assert!(recovery.truncated_bytes > 0, "torn tail must be dropped");
+        assert_eq!(wal.append(b"back-in-business").unwrap(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_eio_append_is_retryable() {
+        let path = tmp("eio-append.wal");
+        let _ = std::fs::remove_file(&path);
+        let ctl = FaultController::detached(5);
+        ctl.fail_append_at(0, AppendFault::Eio);
+        let (wal, _, _) = Wal::open_with_controller(&path, ctl.clone()).unwrap();
+        let err = wal.append(b"rejected").unwrap_err();
+        assert!(err.to_string().contains("injected EIO"), "{err}");
+        // Nothing was written; the same payload appends cleanly afterwards.
+        assert_eq!(wal.append(b"accepted").unwrap(), 0);
+        drop(wal);
+        let (_, records, _) = Wal::open(&path).unwrap();
+        assert_eq!(records, vec![b"accepted".to_vec()]);
+        // Read-fault scripting on the same controller does not interfere.
+        ctl.fail_read_at(0, ReadFault::Eio);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -31,7 +31,7 @@ pub use gps::{GpsRecord, RawTrajectory};
 pub use map_matching::{map_match, MatchedTrajectory, SegmentVisit};
 pub use simulator::{FleetConfig, FleetSimulator};
 pub use speed_profile::SpeedProfile;
-pub use store::{DatasetStats, TrajectoryDataset};
+pub use store::{points_of, DatasetStats, TrajPoint, TrajectoryDataset};
 
 /// Number of seconds in a day.
 pub const SECONDS_PER_DAY: u32 = 24 * 3600;

@@ -23,6 +23,34 @@ pub struct DatasetStats {
     pub num_gps_records: u64,
 }
 
+/// One map-matched trajectory point in flattened *streaming* form: the unit
+/// of the ingest pipeline. A [`MatchedTrajectory`] is the batch view of the
+/// same data ([`points_of`] flattens one into its points); an online feed
+/// delivers points directly in this shape as taxis report in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrajPoint {
+    /// Trajectory ID (same numbering as [`MatchedTrajectory::traj_id`]).
+    pub traj_id: u32,
+    /// Day index of the observation.
+    pub date: u16,
+    /// The road segment entered.
+    pub segment: streach_roadnet::SegmentId,
+    /// Time of day (seconds after midnight) the segment was entered.
+    pub enter_time_s: u32,
+}
+
+/// Flattens a [`MatchedTrajectory`] into its stream of [`TrajPoint`]s, in
+/// visit order. Feeding these points to a streaming ingest in order is
+/// equivalent to having had the trajectory in the batch dataset.
+pub fn points_of(traj: &MatchedTrajectory) -> impl Iterator<Item = TrajPoint> + '_ {
+    traj.visits.iter().map(|visit| TrajPoint {
+        traj_id: traj.traj_id,
+        date: traj.date,
+        segment: visit.segment,
+        enter_time_s: visit.enter_time_s,
+    })
+}
+
 /// The historical trajectory database `TR` over which reachability queries
 /// are answered.
 #[derive(Debug, Clone, Default)]

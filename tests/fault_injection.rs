@@ -1,27 +1,38 @@
-//! Fault-injection campaign over the query pipelines.
+//! Fault-injection campaign over the query and ingest pipelines.
 //!
 //! A reopened snapshot serves queries off a real page file; this suite wraps
 //! that store in a [`FaultInjectingPageStore`] and drives **every** query
 //! pipeline (SQMB+TBS, ES, MQMB, repeated s-query — single-threaded and
 //! parallel) through scripted failures:
 //!
-//! * an `EIO` at **every distinct posting-read ordinal** of a known query
-//!   must surface as a typed [`QueryError::Storage`] — never a panic, never
-//!   a silently wrong region — and must leave the engine able to serve the
-//!   next fault-free query bit-identically to the baseline;
+//! * a **transient** `EIO` at every distinct posting-read ordinal of a
+//!   known query is absorbed by the buffer pool's bounded retry — the
+//!   query answers bit-identically and the caller never sees the fault;
+//! * a **persistent** `EIO` from any ordinal onward exhausts the retry
+//!   budget and surfaces as a typed [`QueryError::Storage`] (annotated
+//!   with the attempt count) — never a panic, never a silently wrong
+//!   region — and leaves the engine able to serve the next fault-free
+//!   query bit-identically to the baseline;
 //! * torn and zeroed pages must either be rejected (strict posting decode)
 //!   or leave the result bit-identical — a partial page can never shift a
 //!   probability;
 //! * seeded probabilistic faults reproduce deterministically, so a failing
 //!   run is reproducible from the seed printed in its assertion message
 //!   (override with `STREACH_FAULT_SEED`).
+//!
+//! The streaming-ingest subsystem gets its own crash-recovery campaign:
+//! a torn WAL append ("kill") at **every record ordinal**, reopen, assert
+//! the consistent prefix; plus delta-heap write faults at every page-write
+//! ordinal of an ingest batch and persistent delta read faults under live
+//! queries.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use streach::prelude::*;
-use streach::storage::{FaultController, FaultInjectingPageStore, ReadFault};
+use streach::storage::{AppendFault, FaultController, FaultInjectingPageStore, ReadFault};
 use streach_core::query::MQueryAlgorithm;
+use streach_core::StoreRole;
 
 /// Seed for the fault scripts; override with `STREACH_FAULT_SEED` to
 /// reproduce a CI failure locally (every assertion message embeds it).
@@ -38,8 +49,10 @@ fn tmp_dir(name: &str) -> PathBuf {
     dir
 }
 
-/// A small all-day scenario: every pipeline below has live postings to read.
-fn build_snapshot(dir: &PathBuf) -> Arc<RoadNetwork> {
+/// A small all-day scenario: every pipeline below has live postings to
+/// read. `read_retries` is persisted in the snapshot's config, so the
+/// reopened engine inherits it.
+fn build_snapshot_with_retries(dir: &PathBuf, read_retries: u32) -> Arc<RoadNetwork> {
     let city = SyntheticCity::generate(GeneratorConfig::small());
     let network = Arc::new(city.network);
     let dataset = TrajectoryDataset::simulate(
@@ -56,11 +69,45 @@ fn build_snapshot(dir: &PathBuf) -> Arc<RoadNetwork> {
     streach::core::EngineBuilder::new(network.clone(), &dataset)
         .index_config(IndexConfig {
             read_latency_us: 0,
+            read_retries,
             ..Default::default()
         })
         .save_snapshot(dir)
         .expect("save snapshot");
     network
+}
+
+fn build_snapshot(dir: &PathBuf) -> Arc<RoadNetwork> {
+    build_snapshot_with_retries(dir, IndexConfig::default().read_retries)
+}
+
+/// A later fleet (dates 3..5) over the same network, flattened into ingest
+/// batches — one batch per trajectory, in a deterministic order.
+fn extra_batches(network: &Arc<RoadNetwork>) -> Vec<Vec<TrajPoint>> {
+    let extra = TrajectoryDataset::simulate(
+        network,
+        FleetConfig {
+            num_taxis: 6,
+            num_days: 2,
+            day_start_s: 8 * 3600,
+            day_end_s: 12 * 3600,
+            seed: 99,
+            ..FleetConfig::default()
+        },
+    );
+    extra
+        .trajectories()
+        .iter()
+        .map(|traj| {
+            points_of(traj)
+                .map(|mut p| {
+                    // Shift onto days after the base dataset's 0..3.
+                    p.date += 3;
+                    p
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Reopens the snapshot with a fault-injection wrapper under the buffer
@@ -137,10 +184,16 @@ fn pipelines(center: GeoPoint) -> Vec<Pipeline> {
     ]
 }
 
-/// The core campaign: for every pipeline and for both the single-threaded
-/// and the parallel verification paths, fail each distinct posting-read
-/// ordinal of the query with an `EIO` and assert a typed storage error plus
-/// full engine usability afterwards.
+/// The core campaign, for every pipeline on both the single-threaded and
+/// the parallel verification paths, at each distinct posting-read ordinal
+/// of the query:
+///
+/// * a **one-shot** `EIO` is absorbed by the automatic bounded-backoff
+///   retry — the query succeeds bit-identically and pays exactly one extra
+///   physical attempt;
+/// * a **persistent** `EIO` (dead disk from that ordinal on) exhausts the
+///   budget and surfaces as a typed storage error annotated with the
+///   attempt count, after which the engine serves the baseline again.
 #[test]
 fn eio_at_every_posting_read_ordinal_yields_typed_error_and_engine_survives() {
     let seed = fault_seed();
@@ -148,6 +201,8 @@ fn eio_at_every_posting_read_ordinal_yields_typed_error_and_engine_survives() {
     let network = build_snapshot(&dir);
     let center = network.bounds().center();
     let (engine, ctl) = reopen_with_faults(&dir, network, seed);
+    let budget = engine.config().read_retries;
+    assert!(budget > 0, "campaign requires the default retry budget");
 
     for workers in [1usize, 4] {
         streach_par::with_worker_override(workers, || {
@@ -167,11 +222,39 @@ fn eio_at_every_posting_read_ordinal_yields_typed_error_and_engine_survives() {
                     "[seed {seed}] {name}/w{workers}: query must read postings"
                 );
 
-                for ordinal in 0..reads {
-                    // Script: the (ordinal)-th physical read of this run
-                    // fails with EIO.
+                // Release CI sweeps every ordinal; debug builds (tier-1
+                // `cargo test`) sample every other one to stay inside the
+                // pre-retry campaign's time budget.
+                let step = if cfg!(debug_assertions) { 2 } else { 1 };
+                for ordinal in (0..reads).step_by(step) {
+                    // (a) One-shot EIO at this ordinal: the retry absorbs
+                    // it — same region, one extra physical attempt, no
+                    // error surfaces.
                     engine.st_index().clear_cache();
-                    ctl.fail_read_at(ctl.reads_observed() + ordinal, ReadFault::Eio);
+                    let run_start = ctl.reads_observed();
+                    ctl.fail_read_at(run_start + ordinal, ReadFault::Eio);
+                    let absorbed = (pipeline.run)(&engine).unwrap_or_else(|e| {
+                        panic!(
+                            "[seed {seed}] {name}/w{workers} read #{ordinal}: \
+                             a one-shot EIO must be absorbed by the retry, got {e}"
+                        )
+                    });
+                    assert_eq!(
+                        absorbed, baseline,
+                        "[seed {seed}] {name}/w{workers} read #{ordinal}: \
+                         retried query diverged from the baseline"
+                    );
+                    assert!(
+                        ctl.reads_observed() - run_start > reads,
+                        "[seed {seed}] {name}/w{workers} read #{ordinal}: \
+                         absorbing the fault must cost an extra physical attempt"
+                    );
+
+                    // (b) Dead disk from this ordinal on: the budget is
+                    // exhausted and a typed error names the page, the
+                    // backend failure and the attempts made.
+                    engine.st_index().clear_cache();
+                    ctl.fail_reads_from(ctl.reads_observed() + ordinal);
                     match (pipeline.run)(&engine) {
                         Err(QueryError::Storage { page, context }) => {
                             assert!(
@@ -184,6 +267,11 @@ fn eio_at_every_posting_read_ordinal_yields_typed_error_and_engine_survives() {
                                 "[seed {seed}] {name}/w{workers} read #{ordinal}: \
                                  context must surface the backend failure, got: {context}"
                             );
+                            assert!(
+                                context.contains(&format!("after {} attempts", budget + 1)),
+                                "[seed {seed}] {name}/w{workers} read #{ordinal}: \
+                                 context must surface the exhausted retry budget, got: {context}"
+                            );
                         }
                         Err(other) => panic!(
                             "[seed {seed}] {name}/w{workers} read #{ordinal}: \
@@ -191,7 +279,7 @@ fn eio_at_every_posting_read_ordinal_yields_typed_error_and_engine_survives() {
                         ),
                         Ok(_) => panic!(
                             "[seed {seed}] {name}/w{workers} read #{ordinal}: \
-                             a failed posting read must not produce a region"
+                             a dead disk must not produce a region"
                         ),
                     }
                     // The engine stays usable: the next fault-free query
@@ -271,12 +359,14 @@ fn torn_and_zeroed_pages_never_shift_a_region() {
 
 /// Seeded probabilistic faults: under a p=0.08 EIO rate every outcome is
 /// either a typed storage error or the exact baseline region, and the
-/// engine keeps serving across the whole storm.
+/// engine keeps serving across the whole storm. Retries are disabled via
+/// the snapshot's config so the storm hits the error path at full rate —
+/// the retry-enabled behaviour is covered by the ordinal campaign.
 #[test]
 fn probabilistic_fault_storm_degrades_gracefully_and_deterministically() {
     let seed = fault_seed();
     let dir = tmp_dir("fault-storm");
-    let network = build_snapshot(&dir);
+    let network = build_snapshot_with_retries(&dir, 0);
     let center = network.bounds().center();
     let (engine, ctl) = reopen_with_faults(&dir, network, seed);
 
@@ -314,5 +404,251 @@ fn probabilistic_fault_storm_degrades_gracefully_and_deterministically() {
     ctl.clear();
     engine.st_index().clear_cache();
     assert_eq!((pipeline.run)(&engine).expect("post-storm query"), baseline);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs every pipeline and collects its region — the comparison unit of the
+/// ingest campaigns below.
+fn all_regions(engine: &ReachabilityEngine, center: GeoPoint) -> Vec<(String, Vec<SegmentId>)> {
+    pipelines(center)
+        .iter()
+        .map(|p| {
+            (
+                p.name.to_string(),
+                (p.run)(engine).unwrap_or_else(|e| panic!("{}: {e}", p.name)),
+            )
+        })
+        .collect()
+}
+
+/// The ingest crash-recovery campaign: "kill" the process (torn WAL append)
+/// at **every record ordinal** of a batch sequence, reopen the snapshot,
+/// re-attach the WAL and assert the engine recovered exactly the consistent
+/// prefix — bit-identical, on all four pipelines, to an engine that
+/// ingested precisely those batches.
+#[test]
+fn ingest_crash_at_every_wal_record_ordinal_recovers_the_consistent_prefix() {
+    let seed = fault_seed();
+    let dir = tmp_dir("ingest-crash");
+    let network = build_snapshot(&dir);
+    let center = network.bounds().center();
+    let batches = extra_batches(&network);
+    let kill_points = batches.len().min(4); // keep the reopen loop bounded
+
+    for k in 0..kill_points {
+        let wal_path = dir.join(format!("crash-{k}.wal"));
+        let _ = std::fs::remove_file(&wal_path);
+        let ctl = FaultController::detached(seed);
+        ctl.fail_append_at(k as u64, AppendFault::TornAppend);
+
+        // The "process": ingests until the injected crash kills its WAL.
+        let engine =
+            ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("open snapshot");
+        engine
+            .attach_wal_with_controller(&wal_path, ctl)
+            .expect("attach fresh WAL");
+        for (i, batch) in batches.iter().enumerate() {
+            let outcome = engine.ingest(batch);
+            match i.cmp(&k) {
+                std::cmp::Ordering::Less => {
+                    let outcome = outcome.unwrap_or_else(|e| {
+                        panic!("[seed {seed}] kill@{k}: batch {i} must ingest: {e}")
+                    });
+                    assert_eq!(outcome.wal_ordinal, Some(i as u64));
+                }
+                std::cmp::Ordering::Equal => {
+                    let err = outcome.expect_err("the scripted torn append must fail");
+                    assert!(
+                        err.to_string().contains("torn WAL append"),
+                        "[seed {seed}] kill@{k}: {err}"
+                    );
+                }
+                std::cmp::Ordering::Greater => {
+                    assert!(
+                        outcome.is_err(),
+                        "[seed {seed}] kill@{k}: the dead process must not accept batch {i}"
+                    );
+                }
+            }
+        }
+        drop(engine);
+
+        // Recovery: reopen the snapshot, attach the torn WAL — the torn
+        // frame is truncated, the prefix replays.
+        let recovered =
+            ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("reopen snapshot");
+        let attach = recovered.attach_wal(&wal_path).expect("recover WAL");
+        assert_eq!(
+            attach.records_replayed, k as u64,
+            "[seed {seed}] kill@{k}: exactly the consistent prefix replays"
+        );
+        assert_eq!(attach.records_skipped, 0, "[seed {seed}] kill@{k}");
+        assert!(
+            attach.truncated_bytes > 0,
+            "[seed {seed}] kill@{k}: the torn frame must be discarded"
+        );
+
+        // Reference: a fresh engine that (volatilely) ingested exactly the
+        // surviving prefix.
+        let reference =
+            ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("reference open");
+        for batch in &batches[..k] {
+            reference.ingest(batch).expect("reference ingest");
+        }
+        assert_eq!(
+            all_regions(&recovered, center),
+            all_regions(&reference, center),
+            "[seed {seed}] kill@{k}: recovered engine diverged from the prefix reference"
+        );
+        std::fs::remove_file(&wal_path).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Delta-heap write faults: an `EIO` at a spread of page-write ordinals of
+/// an ingest batch (first, last, and evenly spaced between — the batch is
+/// one trajectory, so the spread covers new-list creation and re-merges)
+/// fails the ingest cleanly (typed error, engine keeps serving), and —
+/// because the delta merge is idempotent — a clean retry of the same batch
+/// converges to the exact pre-fault state.
+#[test]
+fn delta_write_faults_fail_ingest_cleanly_and_retry_converges() {
+    let seed = fault_seed();
+    let dir = tmp_dir("delta-write");
+    let network = build_snapshot(&dir);
+    let center = network.bounds().center();
+    let batch: Vec<TrajPoint> = extra_batches(&network).swap_remove(0);
+
+    let mut delta_ctl = None;
+    let engine =
+        ReachabilityEngine::open_snapshot_with_stores(&dir, network.clone(), |role, store| {
+            match role {
+                StoreRole::Base => store,
+                StoreRole::Delta => {
+                    let faulty = FaultInjectingPageStore::with_seed(store, seed);
+                    delta_ctl = Some(faulty.controller());
+                    Box::new(faulty)
+                }
+            }
+        })
+        .expect("open snapshot with delta fault wrapper");
+    let ctl = delta_ctl.expect("delta wrapper installed");
+
+    // Clean first ingest: the converged target state, and the write count
+    // one application of this batch performs.
+    let writes_before = ctl.writes_observed();
+    engine.ingest(&batch).expect("clean ingest");
+    let writes_per_ingest = ctl.writes_observed() - writes_before;
+    assert!(
+        writes_per_ingest > 0,
+        "[seed {seed}] ingest must write delta pages"
+    );
+    let target = all_regions(&engine, center);
+
+    let mut ordinals: Vec<u64> = (0..8)
+        .map(|i| i * writes_per_ingest.saturating_sub(1) / 7)
+        .collect();
+    ordinals.dedup();
+    for ordinal in ordinals {
+        // Re-apply the same batch (idempotent), failing its ordinal-th
+        // delta page write.
+        ctl.fail_write_at(ctl.writes_observed() + ordinal);
+        let err = engine
+            .ingest(&batch)
+            .expect_err("scripted write fault must fail the ingest");
+        assert!(
+            err.to_string().contains("injected EIO on write"),
+            "[seed {seed}] write #{ordinal}: {err}"
+        );
+        // The engine keeps serving, then a clean retry converges.
+        ctl.clear();
+        assert_eq!(
+            all_regions(&engine, center),
+            target,
+            "[seed {seed}] write #{ordinal}: partial ingest must not shift any region"
+        );
+        engine.ingest(&batch).expect("retry after fault");
+        assert_eq!(
+            all_regions(&engine, center),
+            target,
+            "[seed {seed}] write #{ordinal}: retried ingest diverged"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Delta-heap read faults under live queries: after an ingest, a dead delta
+/// disk surfaces as a typed storage error on every pipeline that touches
+/// delta postings, and recovery restores the exact post-ingest regions.
+#[test]
+fn delta_read_faults_surface_as_typed_errors_and_recover() {
+    let seed = fault_seed();
+    let dir = tmp_dir("delta-read");
+    let network = build_snapshot(&dir);
+    let center = network.bounds().center();
+    let batch: Vec<TrajPoint> = extra_batches(&network)
+        .into_iter()
+        .take(4)
+        .flatten()
+        .collect();
+
+    let mut delta_ctl = None;
+    let engine =
+        ReachabilityEngine::open_snapshot_with_stores(&dir, network.clone(), |role, store| {
+            match role {
+                StoreRole::Base => store,
+                StoreRole::Delta => {
+                    let faulty = FaultInjectingPageStore::with_seed(store, seed);
+                    delta_ctl = Some(faulty.controller());
+                    Box::new(faulty)
+                }
+            }
+        })
+        .expect("open snapshot with delta fault wrapper");
+    let ctl = delta_ctl.expect("delta wrapper installed");
+    engine.ingest(&batch).expect("ingest");
+
+    for pipeline in pipelines(center) {
+        let name = pipeline.name;
+        ctl.clear();
+        engine.st_index().clear_cache();
+        let before = ctl.reads_observed();
+        let baseline = (pipeline.run)(&engine)
+            .unwrap_or_else(|e| panic!("[seed {seed}] {name}: post-ingest baseline: {e}"));
+        let delta_reads = ctl.reads_observed() - before;
+        assert!(
+            delta_reads > 0,
+            "[seed {seed}] {name}: the query must read delta postings after ingest"
+        );
+
+        // A spread of ordinals caps the sweep on delta-heavy queries.
+        let step = (delta_reads / 12).max(1) as usize;
+        for ordinal in (0..delta_reads).step_by(step) {
+            engine.st_index().clear_cache();
+            ctl.fail_reads_from(ctl.reads_observed() + ordinal);
+            match (pipeline.run)(&engine) {
+                Err(QueryError::Storage { context, .. }) => assert!(
+                    context.contains("injected EIO"),
+                    "[seed {seed}] {name} delta read #{ordinal}: {context}"
+                ),
+                Err(other) => panic!(
+                    "[seed {seed}] {name} delta read #{ordinal}: \
+                     expected QueryError::Storage, got {other}"
+                ),
+                Ok(_) => panic!(
+                    "[seed {seed}] {name} delta read #{ordinal}: \
+                     a dead delta disk must not produce a region"
+                ),
+            }
+            ctl.clear();
+            engine.st_index().clear_cache();
+            let after = (pipeline.run)(&engine)
+                .unwrap_or_else(|e| panic!("[seed {seed}] {name}: recovery query: {e}"));
+            assert_eq!(
+                after, baseline,
+                "[seed {seed}] {name} delta read #{ordinal}: recovery diverged"
+            );
+        }
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
