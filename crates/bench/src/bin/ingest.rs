@@ -2,8 +2,16 @@
 //! records the result in `BENCH_ingest.json`.
 //!
 //! ```text
-//! cargo run --release -p streach-bench --bin ingest [-- --quick]
+//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries]
 //! ```
+//!
+//! `--group-commit` runs only the multi-writer WAL group-commit comparison
+//! (1 vs 4 concurrent ingest threads sharing fsyncs); `--concurrent-queries`
+//! runs only the queries-under-ingest-load section (query latency while a
+//! writer ingests and a background [`MaintenanceController`] auto-checkpoints
+//! and compacts). With neither flag every section runs and the results —
+//! including both new sections — are written to `BENCH_ingest.json`; a
+//! mode-only run prints its table without touching the JSON.
 //!
 //! Scenario: a base fleet is built and snapshotted, the snapshot is
 //! reopened as a serving engine, and the remaining fleet-days arrive as
@@ -27,8 +35,123 @@ use std::time::Instant;
 
 use streach_bench::timing::measure;
 use streach_core::prelude::*;
-use streach_core::EngineBuilder;
+use streach_core::{EngineBuilder, MaintenanceConfig, MaintenanceController};
 use streach_traj::points_of;
+
+/// Multi-writer group-commit comparison: the same batch stream ingested by
+/// 1 and by `writers` concurrent threads through one WAL each (round-robin
+/// partition). Returns points/s per writer count; asserts both converge on
+/// the same probe answer.
+fn run_group_commit(
+    dir: &std::path::Path,
+    network: &Arc<RoadNetwork>,
+    batches: &[Vec<TrajPoint>],
+    probe: &SQuery,
+    writers: usize,
+) -> (f64, f64) {
+    let total_points: usize = batches.iter().map(Vec::len).sum();
+    let mut throughput = [0.0f64; 2];
+    let mut expected: Option<Vec<SegmentId>> = None;
+    for (case, count) in [(0usize, 1usize), (1, writers)] {
+        let engine = Arc::new(
+            ReachabilityEngine::open_snapshot(dir, network.clone()).expect("open snapshot"),
+        );
+        let wal = dir.join(format!("group-{count}.wal"));
+        let _ = std::fs::remove_file(&wal);
+        engine.attach_wal(&wal).expect("attach WAL");
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for w in 0..count {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    for batch in batches.iter().skip(w).step_by(count) {
+                        engine.ingest(batch).expect("group-commit ingest");
+                    }
+                });
+            }
+        });
+        throughput[case] = total_points as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        let region = engine.s_query(probe, Algorithm::SqmbTbs).region.segments;
+        match &expected {
+            None => expected = Some(region),
+            Some(e) => assert_eq!(
+                e, &region,
+                "concurrent group-commit ingest diverged from single-writer"
+            ),
+        }
+        std::fs::remove_file(&wal).ok();
+    }
+    (throughput[0], throughput[1])
+}
+
+/// Queries racing ingest + background maintenance: 2 query threads hammer
+/// the probe while the main thread ingests every batch through the WAL and
+/// a [`MaintenanceController`] auto-checkpoints / compacts on its own
+/// cadence. Returns (ingest points/s, query median ms under load,
+/// checkpoints, compactions).
+fn run_concurrent_queries(
+    dir: &std::path::Path,
+    network: &Arc<RoadNetwork>,
+    batches: &[Vec<TrajPoint>],
+    probe: &SQuery,
+) -> (f64, f64, u64, u64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let total_points: usize = batches.iter().map(Vec::len).sum();
+    let engine =
+        Arc::new(ReachabilityEngine::open_snapshot(dir, network.clone()).expect("open snapshot"));
+    engine.attach_wal(dir.join("ingest.wal")).expect("attach");
+    let controller =
+        MaintenanceController::spawn(Arc::clone(&engine), dir, MaintenanceConfig::default());
+    engine.warm_con_index(probe.start_time_s, probe.duration_s);
+    let stop = AtomicBool::new(false);
+    let (elapsed, mut latencies) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let t = Instant::now();
+                        let _ = engine.s_query(probe, Algorithm::SqmbTbs);
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        for batch in batches {
+            engine.ingest(batch).expect("ingest under query load");
+        }
+        let elapsed = t0.elapsed();
+        controller.run_now();
+        stop.store(true, Ordering::Relaxed);
+        let latencies: Vec<f64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("query thread"))
+            .collect();
+        (elapsed, latencies)
+    });
+    let stats = controller.stats();
+    let errors = controller.shutdown();
+    assert!(
+        errors.is_empty(),
+        "maintenance errors under load: {errors:?}"
+    );
+    latencies.sort_by(f64::total_cmp);
+    let median = latencies
+        .get(latencies.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
+    (
+        total_points as f64 / elapsed.as_secs_f64().max(1e-9),
+        median,
+        stats.checkpoints,
+        stats.compactions,
+    )
+}
 
 struct Scale {
     label: &'static str,
@@ -38,7 +161,11 @@ struct Scale {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only_group = args.iter().any(|a| a == "--group-commit");
+    let only_concurrent = args.iter().any(|a| a == "--concurrent-queries");
+    let run_all = !(only_group || only_concurrent);
     let scale = if quick {
         Scale {
             label: "quick",
@@ -91,12 +218,15 @@ fn main() {
     let total_points: usize = batches.iter().map(Vec::len).sum();
     let config = IndexConfig {
         read_latency_us: 0,
+        // Low enough that the concurrent-queries section genuinely fires
+        // auto-checkpoints at bench scale.
+        auto_checkpoint_bytes: 64 * 1024,
         ..Default::default()
     };
 
     let dir = tmp_dir("bench");
     let t0 = Instant::now();
-    EngineBuilder::new(network.clone(), &base)
+    let built = EngineBuilder::new(network.clone(), &base)
         .index_config(config.clone())
         .save_snapshot(&dir)
         .expect("save base snapshot");
@@ -108,6 +238,60 @@ fn main() {
         duration_s: 600,
         prob: 0.25,
     };
+
+    // --- Group commit: 1 vs N concurrent WAL writers (pristine snapshot) --
+    let group_writers = 4usize;
+    let (mut group_1w, mut group_nw) = (f64::NAN, f64::NAN);
+    if run_all || only_group {
+        let (one, many) = run_group_commit(&dir, &network, &batches, &probe, group_writers);
+        group_1w = one;
+        group_nw = many;
+        println!(
+            "{:<38} {:>14.0}",
+            "group-commit 1 writer points/s", group_1w
+        );
+        println!(
+            "{:<38} {:>14.0}",
+            format!("group-commit {group_writers} writers points/s"),
+            group_nw
+        );
+    }
+
+    // --- Queries racing ingest + background maintenance (own dir copy) ----
+    let (mut cq_ingest, mut cq_median, mut cq_ckpts, mut cq_compactions) =
+        (f64::NAN, f64::NAN, 0u64, 0u64);
+    if run_all || only_concurrent {
+        let cq_dir = tmp_dir("bench-concurrent");
+        built
+            .save_snapshot(&cq_dir)
+            .expect("save concurrent-section snapshot");
+        let (ingest_ps, median, ckpts, compactions) =
+            run_concurrent_queries(&cq_dir, &network, &batches, &probe);
+        cq_ingest = ingest_ps;
+        cq_median = median;
+        cq_ckpts = ckpts;
+        cq_compactions = compactions;
+        println!(
+            "{:<38} {:>14.0}",
+            "ingest points/s under query load", cq_ingest
+        );
+        println!(
+            "{:<38} {:>14.3}",
+            "s-query median under ingest (ms)", cq_median
+        );
+        println!("{:<38} {:>14}", "auto-checkpoints under load", cq_ckpts);
+        println!(
+            "{:<38} {:>14}",
+            "background compactions under load", cq_compactions
+        );
+        std::fs::remove_dir_all(&cq_dir).ok();
+    }
+    drop(built);
+    if !run_all {
+        std::fs::remove_dir_all(&dir).ok();
+        eprintln!("[ingest] mode-only run: BENCH_ingest.json left untouched");
+        return;
+    }
 
     // Serving engine: reopen + WAL-backed ingest.
     let engine = ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("open snapshot");
@@ -147,7 +331,6 @@ fn main() {
     let full_save_s = t0.elapsed().as_secs_f64();
 
     // Compaction, then the sealed-base query latency.
-    let mut engine = engine;
     let t0 = Instant::now();
     engine.compact().expect("compact");
     let compact_s = t0.elapsed().as_secs_f64();
@@ -207,7 +390,7 @@ fn main() {
     println!("{:<38} {:>14}", "ingested == rebuilt (probe)", identical);
 
     let json = format!(
-        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}\n}}\n",
+        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}\n}}\n",
         scale.label,
         scale.taxis,
         scale.base_days,
@@ -216,6 +399,13 @@ fn main() {
         batches.len(),
         wal_points_per_s,
         volatile_points_per_s,
+        group_writers,
+        group_1w,
+        group_nw,
+        cq_ingest,
+        cq_median,
+        cq_ckpts,
+        cq_compactions,
         delta.delta_lists,
         delta.delta_bytes,
         base_build_s,

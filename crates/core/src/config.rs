@@ -27,6 +27,11 @@ pub struct IndexConfig {
     /// *transient* error (`EIO`-class). `0` surfaces every fault
     /// immediately.
     pub read_retries: u32,
+    /// Delta-heap size (bytes of appended postings) at which the background
+    /// maintenance worker ([`crate::maintenance`]) triggers an automatic
+    /// incremental checkpoint of the serving engine. `0` disables
+    /// auto-checkpointing; the worker then only compacts.
+    pub auto_checkpoint_bytes: u64,
 }
 
 impl Default for IndexConfig {
@@ -38,6 +43,7 @@ impl Default for IndexConfig {
             max_cached_con_slots: 64,
             fallback_min_speed_ms: 2.0,
             read_retries: streach_storage::DEFAULT_READ_RETRIES,
+            auto_checkpoint_bytes: 8 * 1024 * 1024,
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The high-level reachability query engine.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -35,8 +35,14 @@ pub struct ReachabilityEngine {
     config: IndexConfig,
     /// Streaming-ingest state: the attached WAL, its bookkeeping and the
     /// per-trajectory last-visit table (see [`crate::ingest`]). Held for
-    /// the duration of a snapshot save, so saves see a frozen delta.
-    ingest: Mutex<IngestState>,
+    /// the duration of a snapshot save or a compaction, so maintenance
+    /// sees a frozen delta — queries never touch this lock. A `std` mutex
+    /// (not the parking_lot shim) so group-committed ingest callers can
+    /// block on [`ReachabilityEngine::apply_cv`] for their apply turn.
+    ingest: std::sync::Mutex<IngestState>,
+    /// Wakes ingest callers waiting to apply their WAL record in ordinal
+    /// order, and callers parked behind a rotation.
+    apply_cv: Condvar,
     /// (pages, CRC-32) of the base posting page file this engine was opened
     /// from, if any — lets an incremental save skip re-exporting an
     /// unchanged base heap. Cleared by [`ReachabilityEngine::compact`].
@@ -64,11 +70,26 @@ impl ReachabilityEngine {
             st_index,
             con_index,
             config,
-            ingest: Mutex::new(IngestState::default()),
+            ingest: std::sync::Mutex::new(IngestState::default()),
+            apply_cv: Condvar::new(),
             base_pages: Mutex::new(None),
             delta_seq: std::sync::atomic::AtomicU64::new(0),
             snapshot_home: Mutex::new(None),
         }
+    }
+
+    /// Locks the ingest state (poisoning is translated to "keep going with
+    /// the inner data", matching the parking_lot behaviour used elsewhere).
+    fn ingest_state(&self) -> std::sync::MutexGuard<'_, IngestState> {
+        self.ingest.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Parks the caller on the apply condition variable.
+    fn wait_apply_turn<'a>(
+        &self,
+        guard: std::sync::MutexGuard<'a, IngestState>,
+    ) -> std::sync::MutexGuard<'a, IngestState> {
+        self.apply_cv.wait(guard).unwrap_or_else(|e| e.into_inner())
     }
 
     /// The sequence number the next saved delta page file should use.
@@ -100,7 +121,7 @@ impl ReachabilityEngine {
         last_visit: LastVisitMap,
     ) {
         *self.base_pages.lock() = Some(base_pages);
-        let mut state = self.ingest.lock();
+        let mut state = self.ingest_state();
         state.wal_generation = wal_generation;
         state.wal_applied = wal_applied;
         state.last_visit = last_visit;
@@ -109,7 +130,7 @@ impl ReachabilityEngine {
     /// Seeds the last-visit table from a batch dataset (see
     /// [`crate::builder::EngineBuilder::build`]).
     pub(crate) fn seed_last_visit(&self, dataset: &streach_traj::TrajectoryDataset) {
-        let mut state = self.ingest.lock();
+        let mut state = self.ingest_state();
         for traj in dataset.trajectories() {
             if let Some(last) = traj.visits.last() {
                 state.last_visit.insert(
@@ -194,7 +215,7 @@ impl ReachabilityEngine {
     }
 
     fn save_impl(&self, dir: &std::path::Path, incremental: bool) -> StorageResult<()> {
-        let mut state = self.ingest.lock();
+        let mut state = self.ingest_state();
         crate::snapshot::save(self, dir, incremental, &state)?;
         self.set_snapshot_home(dir);
         // Every WAL record this snapshot covers never needs replaying:
@@ -203,17 +224,22 @@ impl ReachabilityEngine {
         // discard records the home snapshot (the one a restart will open)
         // has not folded in. Also suppressed when a failed application
         // left unapplied records in the log — those must survive for the
-        // next attach to replay.
+        // next attach to replay. The "is every record folded in?" check and
+        // the rotation are atomic inside the WAL, so a group-commit append
+        // racing this checkpoint can never be discarded: either it landed
+        // before the check (rotation is skipped, the record replays from
+        // the log) or it lands in the fresh generation.
         let saved_to_home = std::fs::canonicalize(dir)
             .ok()
             .zip(self.snapshot_home.lock().clone())
             .is_some_and(|(a, b)| a == b);
         if saved_to_home && !state.prefix_broken {
             if let Some(wal) = &state.wal {
-                if wal.records() == state.wal_applied {
-                    let generation = wal.rotate()?;
+                if let Some(generation) = wal.rotate_if_applied(state.wal_applied)? {
                     state.wal_generation = generation;
                     state.wal_applied = 0;
+                    state.apply_cursor = 0;
+                    self.apply_cv.notify_all();
                 }
             }
         }
@@ -305,7 +331,7 @@ impl ReachabilityEngine {
         records: Vec<Vec<u8>>,
         recovery: streach_storage::WalRecovery,
     ) -> StorageResult<WalAttach> {
-        let mut state = self.ingest.lock();
+        let mut state = self.ingest_state();
         if state.wal.is_some() {
             return Err(StorageError::corrupt(
                 "a write-ahead log is already attached to this engine",
@@ -338,7 +364,10 @@ impl ReachabilityEngine {
             records_replayed += 1;
             points_replayed += points.len() as u64;
         }
-        state.wal = Some(wal);
+        // Every record in the log is now folded in; the next appended
+        // record gets ordinal `recovery.records` and applies first.
+        state.apply_cursor = recovery.records;
+        state.wal = Some(Arc::new(wal));
         Ok(WalAttach {
             generation: recovery.generation,
             records_skipped,
@@ -360,43 +389,103 @@ impl ReachabilityEngine {
     /// query pipeline answers over base + delta exactly as a from-scratch
     /// rebuild on the combined data would.
     ///
+    /// **Concurrent callers group-commit.** The WAL append and fsync run
+    /// without the engine's ingest lock, so N simultaneous `ingest` calls
+    /// share one physical fsync ([`streach_storage::Wal::sync`]); a failed
+    /// group fsync fails every caller in the group and freezes the applied
+    /// prefix (replay after reopen re-applies the survivors idempotently).
+    /// Application then proceeds strictly in WAL-record order, so the live
+    /// engine is bit-identical to what replaying the log would build.
+    ///
     /// Batches are validated up front: a point naming a segment outside
     /// the road network is rejected before anything is logged or applied.
     pub fn ingest(&self, points: &[TrajPoint]) -> StorageResult<IngestOutcome> {
         self.validate_points(points)?;
 
-        let mut state = self.ingest.lock();
-        let mut wal_ordinal = None;
-        if let Some(wal) = &state.wal {
-            let ordinal = wal.append(&crate::ingest::encode_batch(points))?;
-            if let Err(e) = wal.sync() {
-                // The record is in the log but not provably durable, and it
-                // was not applied: freeze the applied prefix so the next
-                // attach replays it (idempotently) if it did survive.
-                state.prefix_broken = true;
-                return Err(e);
-            }
-            wal_ordinal = Some(ordinal);
-        }
-        match self.apply_batch(points, &mut state) {
-            Ok((lists_touched, speed_observations)) => {
-                if wal_ordinal.is_some() {
-                    state.mark_applied();
+        let wal = loop {
+            // Snapshot the attachment without holding the ingest lock —
+            // the durability phase below must run lock-free so concurrent
+            // callers can batch into one fsync. (The peek lives in its own
+            // statement so the guard is dropped before the match arms run.)
+            let attached = { self.ingest_state().wal.clone() };
+            match attached {
+                Some(wal) => break wal,
+                None => {
+                    // Volatile path (no WAL): apply under the lock. Re-check
+                    // the attachment — an `attach_wal` may have won the race
+                    // between the peek above and this lock.
+                    let mut state = self.ingest_state();
+                    if state.wal.is_some() {
+                        continue;
+                    }
+                    let (lists_touched, speed_observations) =
+                        self.apply_batch(points, &mut state)?;
+                    return Ok(IngestOutcome {
+                        points: points.len(),
+                        lists_touched,
+                        speed_observations,
+                        wal_ordinal: None,
+                    });
                 }
+            }
+        };
+
+        // Durability first, without the ingest lock: append, then group
+        // fsync. A failed append leaves nothing in the log (or a poisoned
+        // handle after a torn append) — nothing to skip or freeze.
+        let ordinal = wal.append(&crate::ingest::encode_batch(points))?;
+        // Our record is appended but not yet applied, which pins the
+        // generation: a checkpoint's `rotate_if_applied` cannot pass it.
+        let generation = wal.generation();
+        if let Err(e) = wal.sync() {
+            // The record is in the log but not provably durable — and
+            // neither is any other record of its commit group — and it was
+            // not applied: freeze the applied prefix so the next attach
+            // replays it (idempotently) if it did survive, and advance the
+            // apply cursor past it so later group-committed records do not
+            // wait forever for a record that will never apply live.
+            let mut state = self.ingest_state();
+            state.prefix_broken = true;
+            while state.wal_generation == generation && state.apply_cursor < ordinal {
+                state = self.wait_apply_turn(state);
+            }
+            if state.wal_generation == generation && state.apply_cursor == ordinal {
+                state.apply_cursor = ordinal + 1;
+                self.apply_cv.notify_all();
+            }
+            return Err(e);
+        }
+
+        // Apply strictly in WAL order: live application order then matches
+        // replay order bit-exactly (the last-visit table and the derived
+        // speed pairs are order-sensitive across batches of one
+        // trajectory).
+        let mut state = self.ingest_state();
+        while state.wal_generation == generation && state.apply_cursor < ordinal {
+            state = self.wait_apply_turn(state);
+        }
+        debug_assert!(
+            state.wal_generation == generation && state.apply_cursor == ordinal,
+            "apply ordering lost track of record {generation}/{ordinal}"
+        );
+        let applied = self.apply_batch(points, &mut state);
+        state.apply_cursor = state.apply_cursor.max(ordinal + 1);
+        self.apply_cv.notify_all();
+        match applied {
+            Ok((lists_touched, speed_observations)) => {
+                state.mark_applied();
                 Ok(IngestOutcome {
                     points: points.len(),
                     lists_touched,
                     speed_observations,
-                    wal_ordinal,
+                    wal_ordinal: Some(ordinal),
                 })
             }
             Err(e) => {
                 // The record is durable but its application failed: freeze
                 // the applied prefix so replay at the next attach redoes it
                 // (idempotently), and keep the log from rotating past it.
-                if wal_ordinal.is_some() {
-                    state.prefix_broken = true;
-                }
+                state.prefix_broken = true;
                 Err(e)
             }
         }
@@ -479,7 +568,17 @@ impl ReachabilityEngine {
     /// delta heap is empty, and the next snapshot save re-exports the (new)
     /// base page file. Statistics-wise the result matches a from-scratch
     /// build on the combined data. Returns what was folded.
-    pub fn compact(&mut self) -> StorageResult<DeltaStats> {
+    ///
+    /// Safe to call on a **serving** engine: the new base is built off to
+    /// the side and published with one atomic pointer swap, so concurrent
+    /// queries never block and never observe a half-compacted index —
+    /// readers in flight simply finish on the old base. Ingest and
+    /// snapshot saves are excluded for the duration (they share the ingest
+    /// lock); on error the old base keeps serving and the call is
+    /// retryable. The background [`crate::maintenance::MaintenanceController`]
+    /// invokes this off the caller's thread.
+    pub fn compact(&self) -> StorageResult<DeltaStats> {
+        let _ingest = self.ingest_state();
         let folded = self.st_index.compact()?;
         if folded.delta_lists > 0 {
             *self.base_pages.lock() = None;

@@ -11,11 +11,16 @@
 //!    delta tail exactly as it was before the crash/restart.
 //! 2. [`ReachabilityEngine::ingest`](crate::ReachabilityEngine::ingest)
 //!    appends a batch of [`TrajPoint`]s: the batch is framed and fsynced
-//!    into the WAL first (durability), then folded into the ST-Index delta
-//!    postings, the online [`crate::SpeedStats`] and the day count.
+//!    into the WAL first (durability; concurrent callers **group-commit**,
+//!    sharing one physical fsync), then folded — strictly in WAL-record
+//!    order — into the ST-Index delta postings, the online
+//!    [`crate::SpeedStats`] and the day count.
 //! 3. [`ReachabilityEngine::save_incremental_snapshot`](crate::ReachabilityEngine::save_incremental_snapshot)
 //!    chains the delta sections onto the snapshot container, after which
-//!    the WAL is rotated — folded records never replay again.
+//!    the WAL is rotated — folded records never replay again. The
+//!    background [`crate::maintenance::MaintenanceController`] triggers
+//!    this automatically when the delta heap crosses
+//!    [`IndexConfig::auto_checkpoint_bytes`](crate::IndexConfig::auto_checkpoint_bytes).
 //!
 //! Replay and re-application are **idempotent** (time-list merges are
 //! sorted-set inserts; speed min/max aggregation is order-insensitive), so
@@ -23,6 +28,7 @@
 //! engine a from-scratch build on the combined dataset produces.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 use streach_storage::{StorageError, StorageResult, Wal};
@@ -72,17 +78,26 @@ pub(crate) type LastVisitMap = HashMap<(u32, u16), LastVisit>;
 
 /// Mutable ingest state of an engine, behind one mutex: the attached WAL,
 /// the WAL bookkeeping persisted in snapshots, and the per-trajectory
-/// last-visit table.
+/// last-visit table. The WAL handle itself is shared (`Arc`) so that
+/// group-committed ingest callers can append + fsync **without** holding
+/// this mutex — only the application phase serializes through it.
 #[derive(Default)]
 pub(crate) struct IngestState {
-    pub wal: Option<Wal>,
+    pub wal: Option<Arc<Wal>>,
     /// Generation of the WAL whose prefix the engine state covers.
     pub wal_generation: u64,
     /// Length of the fully-applied record prefix of that generation.
     pub wal_applied: u64,
-    /// Set when a record was logged but its application failed: the
-    /// applied-prefix counter freezes (replay after restart re-applies the
-    /// tail idempotently) and rotation is suppressed.
+    /// Ordinal (within `wal_generation`) of the next record to fold into
+    /// the index. Group-committed ingest callers apply strictly in WAL
+    /// order — live application is then bit-identical to replay — and this
+    /// cursor, unlike `wal_applied`, keeps advancing past records whose
+    /// group fsync failed (they are skipped live and recovered by replay).
+    pub apply_cursor: u64,
+    /// Set when a record was logged but its application failed (or its
+    /// group fsync did): the applied-prefix counter freezes (replay after
+    /// restart re-applies the tail idempotently) and rotation is
+    /// suppressed.
     pub prefix_broken: bool,
     /// Last visit per (traj_id, date), for speed-pair extraction.
     pub last_visit: LastVisitMap,

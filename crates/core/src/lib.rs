@@ -70,6 +70,15 @@
 //!   under [`ReachabilityEngine::open_snapshot_with_store`](engine::ReachabilityEngine::open_snapshot_with_store),
 //!   driven by `tests/fault_injection.rs`) scripts an EIO at every
 //!   posting-read ordinal of every pipeline to keep the error paths honest.
+//! * **Online maintenance.** The ST-Index state (sealed base + delta tail)
+//!   sits behind one swappable `Arc`: readers pin a consistent pair per
+//!   read, so compaction builds its new base off to the side and publishes
+//!   it with a single pointer swap — queries never block on maintenance.
+//!   [`maintenance::MaintenanceController`] runs auto-checkpoints and
+//!   compactions on a background thread, and WAL group commit lets
+//!   concurrent ingest callers share one fsync
+//!   (`tests/concurrent_maintenance.rs` pins the whole story with a seeded
+//!   deterministic harness).
 //!
 //! The naive pre-refactor implementations are preserved in
 //! [`query::reference`] as the equivalence baseline and the benchmark
@@ -114,6 +123,7 @@ pub mod config;
 pub mod engine;
 pub mod geojson;
 pub mod ingest;
+pub mod maintenance;
 pub mod query;
 pub mod region;
 pub mod snapshot;
@@ -127,6 +137,9 @@ pub use con_index::{ConIndex, ConnectionLists};
 pub use config::IndexConfig;
 pub use engine::ReachabilityEngine;
 pub use ingest::{IngestOutcome, WalAttach};
+pub use maintenance::{
+    MaintenanceConfig, MaintenanceController, MaintenanceError, MaintenanceStats,
+};
 pub use query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
 pub use region::ReachableRegion;
 pub use snapshot::StoreRole;
@@ -141,6 +154,7 @@ pub mod prelude {
     pub use crate::engine::ReachabilityEngine;
     pub use crate::geojson::region_to_geojson;
     pub use crate::ingest::{IngestOutcome, WalAttach};
+    pub use crate::maintenance::{MaintenanceConfig, MaintenanceController};
     pub use crate::query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
     pub use crate::region::ReachableRegion;
     pub use crate::stats::QueryStats;

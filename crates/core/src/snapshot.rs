@@ -133,18 +133,19 @@ pub fn network_fingerprint(network: &RoadNetwork) -> u64 {
 }
 
 fn encode_config(config: &IndexConfig) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(40);
+    let mut buf = Vec::with_capacity(48);
     buf.put_u32_le(config.slot_s);
     buf.put_u64_le(config.pool_pages as u64);
     buf.put_u64_le(config.read_latency_us);
     buf.put_u64_le(config.max_cached_con_slots as u64);
     buf.put_u64_le(config.fallback_min_speed_ms.to_bits());
     buf.put_u32_le(config.read_retries);
+    buf.put_u64_le(config.auto_checkpoint_bytes);
     buf
 }
 
 fn decode_config(mut buf: &[u8]) -> StorageResult<IndexConfig> {
-    if buf.remaining() != 40 {
+    if buf.remaining() != 48 {
         return Err(StorageError::corrupt("config section has wrong length"));
     }
     let config = IndexConfig {
@@ -154,6 +155,7 @@ fn decode_config(mut buf: &[u8]) -> StorageResult<IndexConfig> {
         max_cached_con_slots: buf.get_u64_le() as usize,
         fallback_min_speed_ms: f64::from_bits(buf.get_u64_le()),
         read_retries: buf.get_u32_le(),
+        auto_checkpoint_bytes: buf.get_u64_le(),
     };
     if config.slot_s == 0 || config.pool_pages == 0 {
         return Err(StorageError::corrupt("config section has invalid values"));
@@ -162,9 +164,9 @@ fn decode_config(mut buf: &[u8]) -> StorageResult<IndexConfig> {
 }
 
 /// ST-Index metadata: scalars, construction stats and the temporal
-/// directory.
-fn encode_st_index(st: &StIndex) -> Vec<u8> {
-    let directory = st.directory_entries();
+/// directory — all read from the one state pinned for this save.
+fn encode_st_index(st: &StIndex, pinned: &crate::st_index::PinnedState) -> Vec<u8> {
+    let directory = pinned.directory_entries();
     let entries: usize = directory.iter().map(|(_, e)| e.len()).sum();
     let mut buf = Vec::with_capacity(64 + directory.len() * 12 + entries * 16);
     buf.put_u32_le(st.slot_s());
@@ -174,7 +176,7 @@ fn encode_st_index(st: &StIndex) -> Vec<u8> {
     buf.put_u64_le(stats.num_observations);
     buf.put_u64_le(stats.posting_bytes);
     buf.put_u64_le(stats.posting_pages);
-    buf.put_u64_le(st.postings().size_bytes());
+    buf.put_u64_le(pinned.base_postings().size_bytes());
     buf.put_u32_le(directory.len() as u32);
     for (slot, entries) in &directory {
         buf.put_u32_le(*slot);
@@ -420,6 +422,12 @@ pub(crate) fn save(
     std::fs::create_dir_all(dir)?;
     let container_tmp = dir.join(format!("{CONTAINER_FILE}.tmp"));
 
+    // Pin one (base, delta) state for the whole save. The caller holds the
+    // ingest lock, which also excludes compaction, so this pinned pair is
+    // the engine's state for the save's entire duration — while concurrent
+    // queries keep being served from it untouched.
+    let pinned = engine.st_index().pin_state();
+
     // 1. The base posting heap: reuse the published file when incremental
     //    and it still has the length the recorded identity expects (a full
     //    CRC pass here would make every checkpoint O(base); the CRC pinned
@@ -440,7 +448,7 @@ pub(crate) fn save(
         Some(identity) => identity,
         None => {
             let tmp = dir.join(format!("{PAGES_FILE}.tmp"));
-            let identity = export_pages(engine.st_index().postings().store().inner(), &tmp)?;
+            let identity = export_pages(pinned.base_postings().store().inner(), &tmp)?;
             base_tmp = Some(tmp);
             identity
         }
@@ -452,10 +460,8 @@ pub(crate) fn save(
     let delta_seq = engine.next_delta_seq();
     let delta_name = delta_pages_file(delta_seq);
     let delta_tmp = dir.join(format!("{delta_name}.tmp"));
-    let (delta_pages, delta_crc) = export_pages(
-        engine.st_index().delta_postings().store().inner(),
-        &delta_tmp,
-    )?;
+    let (delta_pages, delta_crc) =
+        export_pages(pinned.delta_postings().store().inner(), &delta_tmp)?;
 
     // 3. Everything else goes into the checksummed container.
     let mut writer = SnapshotWriter::new();
@@ -467,7 +473,7 @@ pub(crate) fn save(
     pages_meta.put_u64_le(num_pages);
     pages_meta.put_u32_le(pages_crc);
     writer.add_section(SEC_PAGES_META, pages_meta);
-    writer.add_section(SEC_ST_INDEX, encode_st_index(engine.st_index()));
+    writer.add_section(SEC_ST_INDEX, encode_st_index(engine.st_index(), &pinned));
     writer.add_section(SEC_SPEED_STATS, engine.con_index().speed_stats().encode());
     writer.add_section(
         SEC_CON_TABLES,
@@ -476,12 +482,12 @@ pub(crate) fn save(
     let mut delta_meta = Vec::with_capacity(28);
     delta_meta.put_u64_le(delta_pages);
     delta_meta.put_u32_le(delta_crc);
-    delta_meta.put_u64_le(engine.st_index().delta_postings().size_bytes());
+    delta_meta.put_u64_le(pinned.delta_postings().size_bytes());
     delta_meta.put_u64_le(delta_seq);
     writer.add_section(SEC_DELTA_PAGES_META, delta_meta);
     writer.add_section(
         SEC_DELTA_DIR,
-        encode_delta_dir(&engine.st_index().delta_directory_entries()),
+        encode_delta_dir(&pinned.delta_directory_entries()),
     );
     writer.add_section(
         SEC_INGEST_META,
@@ -733,6 +739,7 @@ mod tests {
             max_cached_con_slots: 9,
             fallback_min_speed_ms: 2.75,
             read_retries: 5,
+            auto_checkpoint_bytes: 123_456,
         };
         let decoded = decode_config(&encode_config(&config)).unwrap();
         assert_eq!(decoded.slot_s, 600);
@@ -741,6 +748,7 @@ mod tests {
         assert_eq!(decoded.max_cached_con_slots, 9);
         assert_eq!(decoded.fallback_min_speed_ms, 2.75);
         assert_eq!(decoded.read_retries, 5);
+        assert_eq!(decoded.auto_checkpoint_bytes, 123_456);
         assert!(decode_config(&[1, 2, 3]).is_err());
     }
 }

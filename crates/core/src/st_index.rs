@@ -35,6 +35,19 @@
 //! sealed-base hot path is untouched. [`StIndex::compact`] folds the delta
 //! back into a fresh sealed base (bit-identical to a from-scratch build on
 //! the combined data) and empties the tail.
+//!
+//! # Online maintenance: the atomic state swap
+//!
+//! The sealed base and the delta tail live together in one immutable
+//! `IndexState` behind `RwLock<Arc<IndexState>>`. Every reader **pins** the
+//! current state with a single `Arc` clone and performs its directory
+//! lookup and posting read against that pinned pair — always a consistent
+//! (base, delta) combination. Compaction builds the new sealed base
+//! entirely off to the side (reading the pinned old state) and publishes it
+//! with **one pointer swap**: readers in flight simply finish on the old
+//! base, which the `Arc` keeps alive, and no query ever blocks on
+//! compaction. Mutation (ingest application, compaction publishing) is
+//! serialized by the engine's ingest lock, which queries never touch.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU16, AtomicUsize, Ordering};
@@ -131,15 +144,110 @@ impl DeltaTail {
     }
 }
 
+/// The sealed base of the index: the temporal directory plus its posting
+/// heap. Produced by [`StIndex::build`], a snapshot open or a compaction —
+/// and never mutated afterwards; compaction replaces it wholesale.
+struct SealedBase {
+    temporal: BPlusTree<u64, SlotDirectory>,
+    postings: PostingStore<StIndexStore>,
+}
+
+/// One consistent (sealed base, delta tail) pair. Readers pin the current
+/// state with a single `Arc` clone; compaction publishes a replacement with
+/// one pointer swap while in-flight readers finish on the old state.
+struct IndexState {
+    base: SealedBase,
+    delta: DeltaTail,
+}
+
+impl IndexState {
+    /// Directory lookup of the blob handle for (segment, slot) — the slot
+    /// already wrapped into the day. A delta entry holds the fully merged
+    /// list and therefore overrides the base entry; with no deltas the
+    /// check is one relaxed atomic load.
+    fn lookup(&self, segment: SegmentId, slot: u32) -> Option<ListRef> {
+        if let Some(handle) = self.delta.lookup(slot, segment) {
+            return Some(ListRef::Delta(handle));
+        }
+        let directory = self.base.temporal.get(&(slot as u64))?;
+        directory.get(segment).map(ListRef::Base)
+    }
+
+    /// Reads a located list from whichever heap owns it.
+    fn read_time_list(&self, list_ref: ListRef) -> StorageResult<TimeList> {
+        match list_ref {
+            ListRef::Base(handle) => self.base.postings.read_time_list(handle),
+            ListRef::Delta(handle) => self.delta.postings.read_time_list(handle),
+        }
+    }
+
+    /// Reads a located list's raw encoding into `buf` from whichever heap
+    /// owns it.
+    fn read_into(&self, list_ref: ListRef, buf: &mut Vec<u8>) -> StorageResult<()> {
+        match list_ref {
+            ListRef::Base(handle) => self.base.postings.read_into(handle, buf),
+            ListRef::Delta(handle) => self.delta.postings.read_into(handle, buf),
+        }
+    }
+
+    /// Size statistics of this state's delta tail.
+    fn delta_stats(&self) -> DeltaStats {
+        DeltaStats {
+            delta_lists: self.delta.len.load(Ordering::Relaxed) as u64,
+            delta_bytes: self.delta.postings.size_bytes(),
+            delta_pages: self.delta.postings.num_pages(),
+        }
+    }
+}
+
+/// A pinned, immutable view of the index state, handed to the snapshot
+/// writer so one consistent (base, delta) pair backs the whole save.
+pub(crate) struct PinnedState(Arc<IndexState>);
+
+impl PinnedState {
+    /// The sealed-base posting store.
+    pub(crate) fn base_postings(&self) -> &PostingStore<StIndexStore> {
+        &self.0.base.postings
+    }
+
+    /// The delta posting store.
+    pub(crate) fn delta_postings(&self) -> &PostingStore<StIndexStore> {
+        &self.0.delta.postings
+    }
+
+    /// The temporal directory as (slot, entries) pairs in slot order.
+    pub(crate) fn directory_entries(&self) -> Vec<(u32, Vec<(SegmentId, BlobHandle)>)> {
+        self.0
+            .base
+            .temporal
+            .iter()
+            .into_iter()
+            .map(|(slot, dir)| (slot as u32, dir.entries.clone()))
+            .collect()
+    }
+
+    /// The delta directory as ((slot, segment), handle) pairs in key order.
+    pub(crate) fn delta_directory_entries(&self) -> Vec<((u32, u32), BlobHandle)> {
+        self.0
+            .delta
+            .directory
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+}
+
 /// The ST-Index.
 pub struct StIndex {
     network: Arc<RoadNetwork>,
     slot_s: u32,
     /// `m` in Eq. 3.1 — grows as later fleet-days are ingested.
     num_days: AtomicU16,
-    temporal: BPlusTree<u64, SlotDirectory>,
-    postings: PostingStore<StIndexStore>,
-    delta: DeltaTail,
+    /// The swappable (sealed base, delta tail) pair; see the module docs.
+    /// Readers hold the lock only for the `Arc` clone, writers (compaction)
+    /// only for the pointer swap — neither ever blocks behind real work.
+    state: RwLock<Arc<IndexState>>,
     stats: Mutex<StIndexStats>,
 }
 
@@ -241,11 +349,32 @@ impl StIndex {
             network,
             slot_s: config.slot_s,
             num_days: AtomicU16::new(dataset.num_days()),
-            temporal,
-            postings,
-            delta,
+            state: RwLock::new(Arc::new(IndexState {
+                base: SealedBase { temporal, postings },
+                delta,
+            })),
             stats: Mutex::new(stats),
         }
+    }
+
+    /// Pins the current (base, delta) state: one `Arc` clone under a read
+    /// lock held for nanoseconds. The pinned pair stays alive (and
+    /// readable) even if a concurrent compaction publishes a new base.
+    fn pin(&self) -> Arc<IndexState> {
+        Arc::clone(&self.state.read())
+    }
+
+    /// Pins the current state for a snapshot save. The caller holds the
+    /// engine's ingest lock, so the pinned pair *is* the index for the
+    /// whole save — neither ingest nor compaction can move it.
+    pub(crate) fn pin_state(&self) -> PinnedState {
+        PinnedState(self.pin())
+    }
+
+    /// Wraps a slot number into the day (circular-day semantics).
+    fn wrap_slot(&self, slot: u32) -> u32 {
+        let slots_per_day = streach_traj::SECONDS_PER_DAY.div_ceil(self.slot_s);
+        slot % slots_per_day
     }
 
     /// A fresh, empty delta tail: an in-memory heap behind the same
@@ -300,42 +429,12 @@ impl StIndex {
             network,
             slot_s,
             num_days: AtomicU16::new(num_days),
-            temporal,
-            postings,
-            delta,
+            state: RwLock::new(Arc::new(IndexState {
+                base: SealedBase { temporal, postings },
+                delta,
+            })),
             stats: Mutex::new(stats),
         }
-    }
-
-    /// The temporal directory as (slot, entries) pairs in slot order — the
-    /// snapshot serialization of the temporal B+-tree.
-    pub(crate) fn directory_entries(&self) -> Vec<(u32, Vec<(SegmentId, BlobHandle)>)> {
-        self.temporal
-            .iter()
-            .into_iter()
-            .map(|(slot, dir)| (slot as u32, dir.entries.clone()))
-            .collect()
-    }
-
-    /// The base posting store (page export during snapshots).
-    pub(crate) fn postings(&self) -> &PostingStore<StIndexStore> {
-        &self.postings
-    }
-
-    /// The delta posting store (page export during incremental snapshots).
-    pub(crate) fn delta_postings(&self) -> &PostingStore<StIndexStore> {
-        &self.delta.postings
-    }
-
-    /// The delta directory as ((slot, segment), handle) pairs in key order —
-    /// the snapshot serialization of the delta tail.
-    pub(crate) fn delta_directory_entries(&self) -> Vec<((u32, u32), BlobHandle)> {
-        self.delta
-            .directory
-            .read()
-            .iter()
-            .map(|(k, v)| (*k, *v))
-            .collect()
     }
 
     /// The temporal granularity Δt in seconds.
@@ -366,23 +465,20 @@ impl StIndex {
 
     /// Size statistics of the mutable delta tail.
     pub fn delta_stats(&self) -> DeltaStats {
-        DeltaStats {
-            delta_lists: self.delta.len.load(Ordering::Relaxed) as u64,
-            delta_bytes: self.delta.postings.size_bytes(),
-            delta_pages: self.delta.postings.num_pages(),
-        }
+        self.pin().delta_stats()
     }
 
     /// Shared I/O counters of the posting stores (base and delta).
     pub fn io_stats(&self) -> Arc<IoStats> {
-        self.postings.io_stats()
+        self.pin().base.postings.io_stats()
     }
 
     /// Drops all cached posting pages (for cold-cache measurements) from
     /// both the base and the delta buffer pool.
     pub fn clear_cache(&self) {
-        self.postings.clear_cache();
-        self.delta.postings.clear_cache();
+        let state = self.pin();
+        state.base.postings.clear_cache();
+        state.delta.postings.clear_cache();
     }
 
     /// Maps a query location to its start road segment `r0` using the
@@ -402,9 +498,9 @@ impl StIndex {
     /// corrupted posting bytes surface as `Err` — never a panic, so a
     /// serving process degrades instead of aborting.
     pub fn time_list(&self, segment: SegmentId, slot: u32) -> StorageResult<Option<TimeList>> {
-        match self.lookup(segment, slot) {
-            Some(ListRef::Base(handle)) => Ok(Some(self.postings.read_time_list(handle)?)),
-            Some(ListRef::Delta(handle)) => Ok(Some(self.delta.postings.read_time_list(handle)?)),
+        let state = self.pin();
+        match state.lookup(segment, self.wrap_slot(slot)) {
+            Some(list_ref) => Ok(Some(state.read_time_list(list_ref)?)),
             None => Ok(None),
         }
     }
@@ -427,13 +523,10 @@ impl StIndex {
         slot: u32,
         buf: &mut Vec<u8>,
     ) -> StorageResult<bool> {
-        match self.lookup(segment, slot) {
-            Some(ListRef::Base(handle)) => {
-                self.postings.read_into(handle, buf)?;
-                Ok(true)
-            }
-            Some(ListRef::Delta(handle)) => {
-                self.delta.postings.read_into(handle, buf)?;
+        let state = self.pin();
+        match state.lookup(segment, self.wrap_slot(slot)) {
+            Some(list_ref) => {
+                state.read_into(list_ref, buf)?;
                 Ok(true)
             }
             None => Ok(false),
@@ -450,25 +543,13 @@ impl StIndex {
         ))
     }
 
-    /// Directory lookup of the blob handle for (segment, slot), with slots
-    /// wrapping around the day. A delta entry holds the fully merged list
-    /// and therefore overrides the base entry; with no deltas the check is
-    /// one relaxed atomic load.
-    fn lookup(&self, segment: SegmentId, slot: u32) -> Option<ListRef> {
-        let slots_per_day = streach_traj::SECONDS_PER_DAY.div_ceil(self.slot_s);
-        let slot = slot % slots_per_day;
-        if let Some(handle) = self.delta.lookup(slot, segment) {
-            return Some(ListRef::Delta(handle));
-        }
-        let directory = self.temporal.get(&(slot as u64))?;
-        directory.get(segment).map(ListRef::Base)
-    }
-
     /// Trajectory IDs that traversed `segment` on `date` at any time in the
     /// half-open window `[start_s, end_s)` — `Tr(r, T_B, d)` in the paper's
     /// trace back search. The result is sorted and deduplicated. Windows
     /// extending past midnight wrap onto the beginning of the (same) day,
-    /// matching the modular slot arithmetic of [`StIndex::time_list`].
+    /// matching the modular slot arithmetic of [`StIndex::time_list`]. The
+    /// whole window reads one pinned (base, delta) state, so a concurrent
+    /// compaction can never mix layouts mid-window.
     pub fn ids_in_window(
         &self,
         segment: SegmentId,
@@ -476,12 +557,13 @@ impl StIndex {
         end_s: u32,
         date: u16,
     ) -> StorageResult<Vec<u32>> {
+        let state = self.pin();
         let mut slots = slots_overlapping(start_s, end_s, self.slot_s);
         let single_slot = slots.size_hint().0 == 1;
         let mut out: Vec<u32> = Vec::new();
         for slot in &mut slots {
-            if let Some(list) = self.time_list(segment, slot)? {
-                if let Some(ids) = list.ids_on(date) {
+            if let Some(list_ref) = state.lookup(segment, self.wrap_slot(slot)) {
+                if let Some(ids) = state.read_time_list(list_ref)?.ids_on(date) {
                     out.extend_from_slice(ids);
                 }
             }
@@ -498,20 +580,22 @@ impl StIndex {
     /// Returns `true` if any trajectory traversed `segment` during `slot` on
     /// any day (reads the directories only — no posting I/O).
     pub fn has_entry(&self, segment: SegmentId, slot: u32) -> bool {
-        self.lookup(segment, slot).is_some()
+        self.pin().lookup(segment, self.wrap_slot(slot)).is_some()
     }
 
     /// All slots that have at least one time list (base or delta), in
     /// ascending order.
     pub fn populated_slots(&self) -> impl Iterator<Item = u32> + '_ {
-        let mut slots: std::collections::BTreeSet<u32> = self
+        let state = self.pin();
+        let mut slots: std::collections::BTreeSet<u32> = state
+            .base
             .temporal
             .iter()
             .into_iter()
             .map(|(k, _)| k as u32)
             .collect();
-        if self.delta.len.load(Ordering::Relaxed) > 0 {
-            slots.extend(self.delta.directory.read().keys().map(|(slot, _)| *slot));
+        if state.delta.len.load(Ordering::Relaxed) > 0 {
+            slots.extend(state.delta.directory.read().keys().map(|(slot, _)| *slot));
         }
         slots.into_iter()
     }
@@ -533,10 +617,15 @@ impl StIndex {
     /// merged one) a prefix of the groups may already be applied; because
     /// the merge is idempotent, retrying the same batch completes the
     /// remainder without duplicating anything.
+    ///
+    /// Callers serialize through the engine's ingest lock, so the pinned
+    /// state cannot be swapped (compacted) away mid-application; concurrent
+    /// queries keep reading throughout.
     pub(crate) fn apply_points(&self, points: &[TrajPoint]) -> StorageResult<usize> {
         if points.is_empty() {
             return Ok(0);
         }
+        let state = self.pin();
         let mut obs: Vec<(u32, u32, u16, u32)> = points
             .iter()
             .map(|p| {
@@ -555,21 +644,18 @@ impl StIndex {
         while i < obs.len() {
             let group_start = i;
             let (slot, segment) = (obs[i].0, obs[i].1);
-            let (mut list, is_new) = match self.lookup(SegmentId(segment), slot) {
-                Some(ListRef::Delta(handle)) => {
-                    (self.delta.postings.read_time_list(handle)?, false)
-                }
-                Some(ListRef::Base(handle)) => (self.postings.read_time_list(handle)?, false),
+            let (mut list, is_new) = match state.lookup(SegmentId(segment), self.wrap_slot(slot)) {
+                Some(list_ref) => (state.read_time_list(list_ref)?, false),
                 None => (TimeList::new(), true),
             };
             while i < obs.len() && obs[i].0 == slot && obs[i].1 == segment {
                 list.add(obs[i].2, obs[i].3);
                 i += 1;
             }
-            let handle = self.delta.postings.append_time_list(&list)?;
-            let mut directory = self.delta.directory.write();
+            let handle = state.delta.postings.append_time_list(&list)?;
+            let mut directory = state.delta.directory.write();
             directory.insert((slot, segment), handle);
-            self.delta.len.store(directory.len(), Ordering::Relaxed);
+            state.delta.len.store(directory.len(), Ordering::Relaxed);
             drop(directory);
             // Stats are committed per group, so a batch that faults midway
             // has counted exactly the groups it applied: the retry counts
@@ -599,9 +685,17 @@ impl StIndex {
     /// The per-list blob copies are read in parallel via `streach_par`
     /// worker threads (the dominant cost); the ordered append into the new
     /// heap is a single linear pass. On `Err` (a read fault while copying)
-    /// the index is left untouched.
-    pub(crate) fn compact(&mut self) -> StorageResult<DeltaStats> {
-        let folded = self.delta_stats();
+    /// the index is left untouched: the old base keeps serving and the
+    /// compaction is retryable.
+    ///
+    /// The whole fold runs against a pinned state **off to the side** —
+    /// concurrent queries keep reading the old (base, delta) pair the whole
+    /// time — and the result is published with one pointer swap. Callers
+    /// serialize through the engine's ingest lock, so the delta cannot grow
+    /// between the pin and the swap.
+    pub(crate) fn compact(&self) -> StorageResult<DeltaStats> {
+        let state = self.pin();
+        let folded = state.delta_stats();
         if folded.delta_lists == 0 {
             return Ok(folded);
         }
@@ -609,12 +703,12 @@ impl StIndex {
         // Merged directory: base entries overridden by delta entries, in
         // (slot, segment) order — the clustered layout `build` produces.
         let mut merged: BTreeMap<(u32, u32), ListRef> = BTreeMap::new();
-        for (slot, dir) in self.temporal.iter() {
+        for (slot, dir) in state.base.temporal.iter() {
             for (segment, handle) in &dir.entries {
                 merged.insert((slot as u32, segment.0), ListRef::Base(*handle));
             }
         }
-        for (key, handle) in self.delta.directory.read().iter() {
+        for (key, handle) in state.delta.directory.read().iter() {
             merged.insert(*key, ListRef::Delta(*handle));
         }
 
@@ -624,19 +718,16 @@ impl StIndex {
             &entries,
             Vec::new,
             |buf: &mut Vec<u8>, (_, list_ref)| -> StorageResult<Vec<u8>> {
-                match list_ref {
-                    ListRef::Base(handle) => self.postings.read_into(*handle, buf)?,
-                    ListRef::Delta(handle) => self.delta.postings.read_into(*handle, buf)?,
-                }
+                state.read_into(*list_ref, buf)?;
                 Ok(buf.clone())
             },
         )?;
 
         // Lay the new sealed base out in order.
-        let io = self.postings.io_stats();
-        let read_latency = self.postings.store().read_latency();
-        let pool_pages = self.postings.pool_capacity();
-        let read_retries = self.postings.read_retries();
+        let io = state.base.postings.io_stats();
+        let read_latency = state.base.postings.store().read_latency();
+        let pool_pages = state.base.postings.pool_capacity();
+        let read_retries = state.base.postings.read_retries();
         let store = SimulatedDiskStore::with_latency(
             Box::new(InMemoryPageStore::with_stats(Arc::clone(&io))) as Box<dyn PageStore>,
             read_latency,
@@ -655,15 +746,24 @@ impl StIndex {
                 temporal.insert(*slot as u64, std::mem::take(&mut directory));
             }
         }
+        let posting_bytes = new_postings.size_bytes();
+        let posting_pages = new_postings.num_pages();
 
-        // Swap in the new base, reset the delta tail.
-        self.postings = new_postings;
-        self.temporal = temporal;
-        self.delta = Self::empty_delta(io, read_latency, pool_pages, read_retries);
+        // Publish: one pointer swap. Readers in flight finish on the old
+        // state (kept alive by their pinned `Arc`s); new readers see the
+        // fresh sealed base and an empty delta tail.
+        let new_state = Arc::new(IndexState {
+            base: SealedBase {
+                temporal,
+                postings: new_postings,
+            },
+            delta: Self::empty_delta(io, read_latency, pool_pages, read_retries),
+        });
+        *self.state.write() = new_state;
         let mut stats = self.stats.lock();
         stats.num_time_lists = num_time_lists;
-        stats.posting_bytes = self.postings.size_bytes();
-        stats.posting_pages = self.postings.num_pages();
+        stats.posting_bytes = posting_bytes;
+        stats.posting_pages = posting_pages;
         Ok(folded)
     }
 }

@@ -84,6 +84,13 @@ struct FaultPlan {
     /// Record-ordinal-addressed one-shot WAL append faults (consumed on
     /// use).
     append_faults: std::collections::HashMap<u64, AppendFault>,
+    /// Attempt-ordinal-addressed one-shot WAL append faults: stable under
+    /// WAL rotation, which resets record ordinals per generation.
+    append_attempt_faults: std::collections::HashMap<u64, AppendFault>,
+    /// Attempt-ordinal-addressed one-shot WAL fsync `EIO`s.
+    sync_faults: std::collections::HashSet<u64>,
+    /// Number of upcoming WAL fsync attempts to fail with `EIO`.
+    failing_syncs: u64,
     /// Number of upcoming `flush` calls to fail with `EIO`.
     failing_flushes: u64,
     /// Extra latency per physical read.
@@ -95,6 +102,7 @@ struct FaultState {
     reads: AtomicU64,
     writes: AtomicU64,
     appends: AtomicU64,
+    syncs: AtomicU64,
     flushes: AtomicU64,
     plan: Mutex<FaultPlan>,
 }
@@ -119,6 +127,7 @@ impl FaultController {
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
                 appends: AtomicU64::new(0),
+                syncs: AtomicU64::new(0),
                 flushes: AtomicU64::new(0),
                 plan: Mutex::new(FaultPlan::default()),
             }),
@@ -184,11 +193,62 @@ impl FaultController {
         self.state.plan.lock().append_faults.insert(ordinal, fault);
     }
 
+    /// Scripts a one-shot fault for the WAL append with the given lifetime
+    /// **attempt ordinal** (0-based, counted across generations) — the
+    /// addressing a campaign needs when checkpoints may rotate the log
+    /// (and reset record ordinals) at nondeterministic points.
+    pub fn fail_append_attempt_at(&self, attempt: u64, fault: AppendFault) {
+        self.state
+            .plan
+            .lock()
+            .append_attempt_faults
+            .insert(attempt, fault);
+    }
+
     /// Consults (and consumes) the append script for `record_ordinal`.
     /// Called by [`crate::Wal::append`] when the log carries a controller.
     pub(crate) fn next_append_fault(&self, record_ordinal: u64) -> Option<AppendFault> {
-        self.state.appends.fetch_add(1, Ordering::SeqCst);
-        self.state.plan.lock().append_faults.remove(&record_ordinal)
+        let attempt = self.state.appends.fetch_add(1, Ordering::SeqCst);
+        let mut plan = self.state.plan.lock();
+        plan.append_faults
+            .remove(&record_ordinal)
+            .or_else(|| plan.append_attempt_faults.remove(&attempt))
+    }
+
+    /// Number of WAL fsync attempts consulted against this script. With
+    /// group commit, one attempt can cover many concurrently appended
+    /// records.
+    pub fn syncs_observed(&self) -> u64 {
+        self.state.syncs.load(Ordering::SeqCst)
+    }
+
+    /// Scripts a one-shot `EIO` for the WAL fsync with the given lifetime
+    /// **attempt ordinal** (0-based, counted per physical `sync_all`).
+    pub fn fail_sync_at(&self, ordinal: u64) {
+        self.state.plan.lock().sync_faults.insert(ordinal);
+    }
+
+    /// Fails the next `n` WAL fsync attempts with `EIO` — the scripting
+    /// shape for multi-writer group-commit campaigns, where the number of
+    /// physical fsyncs under a concurrent batch depends on timing.
+    pub fn fail_next_syncs(&self, n: u64) {
+        self.state.plan.lock().failing_syncs = n;
+    }
+
+    /// Consults (and consumes) the fsync script. Called by
+    /// [`crate::Wal::sync`]'s group-commit leader when the log carries a
+    /// controller; returns the faulted attempt ordinal.
+    pub(crate) fn next_sync_fault(&self) -> Option<u64> {
+        let ordinal = self.state.syncs.fetch_add(1, Ordering::SeqCst);
+        let mut plan = self.state.plan.lock();
+        if plan.sync_faults.remove(&ordinal) {
+            return Some(ordinal);
+        }
+        if plan.failing_syncs > 0 {
+            plan.failing_syncs -= 1;
+            return Some(ordinal);
+        }
+        None
     }
 
     /// Fails the next `n` `flush` calls with `EIO`.

@@ -42,8 +42,9 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"STRSNAP\0";
 ///
 /// Version history: 1 — original container; 2 — `config` section grew
 /// `read_retries`, and the streaming-ingest sections (`delta_pages_meta`,
-/// `delta_dir`, `ingest_meta`) plus the `deltas.pages` file are required.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// `delta_dir`, `ingest_meta`) plus the `deltas.pages` file are required;
+/// 3 — `config` section grew `auto_checkpoint_bytes` (online maintenance).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Streaming CRC-32 (IEEE 802.3, reflected) accumulator. Implemented
 /// locally — the offline build has no checksum crate — and verified against

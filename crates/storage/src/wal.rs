@@ -31,7 +31,23 @@
 //! attach skips the records the snapshot has already folded in. Rotating the
 //! log ([`Wal::rotate`]) bumps the generation and starts an empty file, which
 //! is what a successful incremental snapshot save does — records folded into
-//! the snapshot never need replaying again.
+//! the snapshot never need replaying again. [`Wal::rotate_if_applied`] is
+//! the race-free variant a concurrent engine uses: the "is every record
+//! folded in?" check and the rotation happen under one lock, so an append
+//! that slips in between can never be silently discarded.
+//!
+//! # Group commit
+//!
+//! [`Wal::sync`] implements **group commit**: one caller becomes the fsync
+//! leader while later callers wait; a single physical `fsync` covers every
+//! frame appended before it started, so N concurrent writers pay ~1 fsync
+//! instead of N. Appends keep landing *while* the leader's fsync is in
+//! flight (the file handle is cloned out of the lock), which is where the
+//! batching comes from. A failed fsync fails the **whole group** — the
+//! leader and every waiter whose frames the attempt covered — so callers
+//! can freeze their applied prefix for every record in the group; frames
+//! appended after the attempt's snapshot contend for a fresh fsync instead
+//! of inheriting an error that never touched their bytes.
 //!
 //! # Fault injection
 //!
@@ -89,11 +105,41 @@ struct WalState {
     poisoned: bool,
 }
 
+/// Group-commit bookkeeping: how far the file is provably durable, and
+/// whether an fsync is currently in flight. Guarded by a `std` mutex so
+/// waiters can block on the condition variable.
+struct SyncState {
+    /// Generation the durability watermark belongs to (rotation resets it).
+    generation: u64,
+    /// Byte offset up to which the current generation is fsynced.
+    synced_tail: u64,
+    /// An fsync leader is currently running; later callers wait and are
+    /// covered by (or fail with) its outcome.
+    in_flight: bool,
+    /// Count of failed fsync attempts — waiters compare it against the
+    /// value at wait entry to learn an fsync failed while they waited.
+    failures: u64,
+    /// (generation, tail) the most recent failed attempt would have
+    /// covered: only waiters whose frames fall inside it are in the failed
+    /// group; later appenders contend for a fresh fsync instead of
+    /// inheriting an error that never touched their bytes.
+    failed_generation: u64,
+    failed_tail: u64,
+    /// Message of the most recent fsync failure, surfaced to waiters.
+    last_error: String,
+}
+
 /// An append-only, CRC-framed write-ahead log.
 pub struct Wal {
     path: PathBuf,
     controller: Option<FaultController>,
     state: Mutex<WalState>,
+    sync_state: std::sync::Mutex<SyncState>,
+    sync_cv: std::sync::Condvar,
+}
+
+fn lock_sync(wal: &Wal) -> std::sync::MutexGuard<'_, SyncState> {
+    wal.sync_state.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn frame_crc(payload: &[u8]) -> u32 {
@@ -215,6 +261,19 @@ impl Wal {
                 tail,
                 poisoned: false,
             }),
+            // Conservative watermark: the recovered bytes survived on disk,
+            // but nothing proves they were ever fsynced — the first `sync`
+            // call after open pays one real fsync to cover them.
+            sync_state: std::sync::Mutex::new(SyncState {
+                generation,
+                synced_tail: HEADER_LEN,
+                in_flight: false,
+                failures: 0,
+                failed_generation: 0,
+                failed_tail: 0,
+                last_error: String::new(),
+            }),
+            sync_cv: std::sync::Condvar::new(),
         };
         Ok((wal, records, recovery))
     }
@@ -246,6 +305,16 @@ impl Wal {
                 tail: HEADER_LEN,
                 poisoned: false,
             }),
+            sync_state: std::sync::Mutex::new(SyncState {
+                generation,
+                synced_tail: HEADER_LEN,
+                in_flight: false,
+                failures: 0,
+                failed_generation: 0,
+                failed_tail: 0,
+                last_error: String::new(),
+            }),
+            sync_cv: std::sync::Condvar::new(),
         })
     }
 
@@ -338,11 +407,107 @@ impl Wal {
         }
     }
 
-    /// Forces appended records down to durable storage (`fsync`).
+    /// Forces appended records down to durable storage — with **group
+    /// commit**: concurrent callers share one physical `fsync`.
+    ///
+    /// The call returns `Ok` once every byte appended *before this call*
+    /// is durable, whether this caller ran the fsync itself (the leader)
+    /// or was covered by another caller's. A failed fsync fails exactly
+    /// the callers it covered: the leader returns the backend error, and
+    /// each waiter whose frames fell inside the failed attempt gets an
+    /// error naming the group failure — so callers can freeze their
+    /// applied prefix for the whole group. A caller whose frames landed
+    /// *after* the failed attempt's snapshot was never fsynced at all; it
+    /// contends for a fresh fsync instead of inheriting the error.
     pub fn sync(&self) -> StorageResult<()> {
-        let state = self.state.lock();
-        state.file.sync_all()?;
-        Ok(())
+        // Everything appended before this call — in particular the
+        // caller's own record — ends at or before this tail.
+        let (generation, target) = {
+            let state = self.state.lock();
+            (state.generation, state.tail)
+        };
+        // Covered when the watermark passed the target — or when the whole
+        // generation was rotated away, which only happens once every one of
+        // its records is folded into a snapshot (or the caller explicitly
+        // discarded it with `rotate`).
+        let covered =
+            |group: &SyncState| group.generation != generation || group.synced_tail >= target;
+        let mut group = lock_sync(self);
+        loop {
+            if covered(&group) {
+                return Ok(());
+            }
+            if group.in_flight {
+                let failures_at_entry = group.failures;
+                group = self.sync_cv.wait(group).unwrap_or_else(|e| e.into_inner());
+                if covered(&group) {
+                    return Ok(());
+                }
+                if group.failures != failures_at_entry
+                    && group.failed_generation == generation
+                    && group.failed_tail >= target
+                {
+                    // The failed attempt covered our frames: we are part of
+                    // the failed group. (A caller whose frames landed after
+                    // the attempt's snapshot was never fsynced at all — it
+                    // loops and contends for a fresh fsync instead.)
+                    return Err(StorageError::Io(std::io::Error::other(format!(
+                        "WAL group fsync failed for the batch containing this \
+                         record: {}",
+                        group.last_error
+                    ))));
+                }
+                continue;
+            }
+            // Become the leader: fsync once for every frame appended so
+            // far. The file handle is cloned out of the lock so concurrent
+            // appends keep landing while the fsync runs — they form the
+            // next group. The (generation, tail) snapshot is taken before
+            // the fsync, so success never overstates coverage and failure
+            // blames exactly the frames the attempt covered.
+            group.in_flight = true;
+            drop(group);
+            let (clone_result, fsync_generation, fsync_tail) = {
+                let state = self.state.lock();
+                (state.file.try_clone(), state.generation, state.tail)
+            };
+            let result = clone_result.map_err(StorageError::from).and_then(|file| {
+                if let Some(ctl) = &self.controller {
+                    if let Some(ordinal) = ctl.next_sync_fault() {
+                        return Err(StorageError::Io(std::io::Error::other(format!(
+                            "injected EIO on WAL fsync #{ordinal} (fault seed {})",
+                            ctl.seed()
+                        ))));
+                    }
+                }
+                file.sync_all()?;
+                Ok(())
+            });
+            group = lock_sync(self);
+            group.in_flight = false;
+            match result {
+                Ok(()) => {
+                    if fsync_generation > group.generation {
+                        group.generation = fsync_generation;
+                        group.synced_tail = fsync_tail;
+                    } else if fsync_generation == group.generation && fsync_tail > group.synced_tail
+                    {
+                        group.synced_tail = fsync_tail;
+                    }
+                    // (A stale fsync of a rotated-away generation updates
+                    // nothing; the loop re-checks coverage either way.)
+                    self.sync_cv.notify_all();
+                }
+                Err(e) => {
+                    group.failures += 1;
+                    group.failed_generation = fsync_generation;
+                    group.failed_tail = fsync_tail;
+                    group.last_error = e.to_string();
+                    self.sync_cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Starts a fresh, empty generation: a new log file with `generation +
@@ -352,6 +517,24 @@ impl Wal {
     /// Returns the new generation.
     pub fn rotate(&self) -> StorageResult<u64> {
         let mut state = self.state.lock();
+        self.rotate_locked(&mut state)
+    }
+
+    /// Rotates **only if** the log still holds exactly `applied_records`
+    /// records — the check and the rotation are atomic under the state
+    /// lock, so a record appended concurrently by another ingest caller
+    /// can never be discarded by a checkpoint that raced it. Returns the
+    /// new generation, or `None` when the log moved on (or is poisoned)
+    /// and rotation was skipped.
+    pub fn rotate_if_applied(&self, applied_records: u64) -> StorageResult<Option<u64>> {
+        let mut state = self.state.lock();
+        if state.poisoned || state.records != applied_records {
+            return Ok(None);
+        }
+        self.rotate_locked(&mut state).map(Some)
+    }
+
+    fn rotate_locked(&self, state: &mut WalState) -> StorageResult<u64> {
         let next_gen = state.generation + 1;
         let tmp = self.path.with_extension("wal.tmp");
         {
@@ -380,6 +563,12 @@ impl Wal {
                 state.records = 0;
                 state.tail = HEADER_LEN;
                 state.poisoned = false;
+                // The staged header was fsynced before the rename: the new
+                // generation starts durable up to its header.
+                let mut group = lock_sync(self);
+                group.generation = next_gen;
+                group.synced_tail = HEADER_LEN;
+                self.sync_cv.notify_all();
                 Ok(next_gen)
             }
             Err(e) => {
@@ -531,6 +720,85 @@ mod tests {
         let (_, records, recovery) = Wal::open(&path).unwrap();
         assert_eq!(recovery.generation, 2);
         assert_eq!(records, vec![b"new-generation".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Group commit: concurrent appenders each call `sync` and every record
+    /// must be durable afterwards — one fsync may cover many records, but
+    /// never fewer than the caller's own.
+    #[test]
+    fn group_commit_covers_every_concurrent_append() {
+        let path = tmp(&format!("group-{:?}.wal", std::thread::current().id()));
+        let _ = std::fs::remove_file(&path);
+        let (wal, _, _) = Wal::open(&path).unwrap();
+        let writers = 8usize;
+        let per_writer = 5usize;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let wal = &wal;
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        let payload = format!("writer-{w}-record-{i}");
+                        wal.append(payload.as_bytes()).expect("append");
+                        wal.sync().expect("group sync");
+                    }
+                });
+            }
+        });
+        assert_eq!(wal.records(), (writers * per_writer) as u64);
+        drop(wal);
+        let (_, records, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(recovery.truncated_bytes, 0, "every acked record durable");
+        let mut seen: Vec<String> = records
+            .iter()
+            .map(|r| String::from_utf8(r.clone()).unwrap())
+            .collect();
+        seen.sort();
+        let mut expected: Vec<String> = (0..writers)
+            .flat_map(|w| (0..per_writer).map(move |i| format!("writer-{w}-record-{i}")))
+            .collect();
+        expected.sort();
+        assert_eq!(seen, expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rotate_if_applied_is_atomic_with_the_record_count() {
+        let path = tmp("rotate-if.wal");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        // An outstanding (unapplied) record blocks rotation.
+        assert_eq!(wal.rotate_if_applied(1).unwrap(), None);
+        assert_eq!(wal.generation(), 1);
+        assert_eq!(wal.records(), 2);
+        // Everything applied: rotation proceeds.
+        assert_eq!(wal.rotate_if_applied(2).unwrap(), Some(2));
+        assert_eq!(wal.records(), 0);
+        // A record appended into the new generation blocks again.
+        wal.append(b"three").unwrap();
+        assert_eq!(wal.rotate_if_applied(0).unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_sync_fault_fails_the_group_and_is_retryable() {
+        let path = tmp("sync-eio.wal");
+        let _ = std::fs::remove_file(&path);
+        let ctl = FaultController::detached(13);
+        ctl.fail_next_syncs(1);
+        let (wal, _, _) = Wal::open_with_controller(&path, ctl.clone()).unwrap();
+        wal.append(b"record").unwrap();
+        let err = wal.sync().unwrap_err();
+        assert!(err.to_string().contains("WAL fsync"), "{err}");
+        assert!(err.to_string().contains("seed 13"), "{err}");
+        assert_eq!(ctl.syncs_observed(), 1);
+        // The record is still in the log; a later fsync covers it.
+        wal.sync().expect("retried fsync succeeds");
+        drop(wal);
+        let (_, records, _) = Wal::open(&path).unwrap();
+        assert_eq!(records, vec![b"record".to_vec()]);
         std::fs::remove_file(&path).ok();
     }
 

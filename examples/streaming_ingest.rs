@@ -140,7 +140,6 @@ fn main() {
     );
 
     // --- Maintenance: fold the delta into a new sealed base --------------
-    let mut recovered = recovered;
     let t2 = Instant::now();
     let folded = recovered.compact().expect("compact");
     println!(

@@ -25,6 +25,13 @@
 //! the consistent prefix; plus delta-heap write faults at every page-write
 //! ordinal of an ingest batch and persistent delta read faults under live
 //! queries.
+//!
+//! The online-maintenance campaigns extend the crash story to background
+//! work: EIO / torn appends at every attempt ordinal **while a
+//! [`MaintenanceController`] owns the checkpoints**, a compaction that
+//! fails mid-copy (old base keeps serving, retry succeeds), and a
+//! multi-writer group-commit fsync failure (the applied prefix freezes for
+//! every record in the group; replay after reopen converges idempotently).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -32,7 +39,7 @@ use std::sync::Arc;
 use streach::prelude::*;
 use streach::storage::{AppendFault, FaultController, FaultInjectingPageStore, ReadFault};
 use streach_core::query::MQueryAlgorithm;
-use streach_core::StoreRole;
+use streach_core::{MaintenanceConfig, MaintenanceController, StoreRole};
 
 /// Seed for the fault scripts; override with `STREACH_FAULT_SEED` to
 /// reproduce a CI failure locally (every assertion message embeds it).
@@ -574,6 +581,315 @@ fn delta_write_faults_fail_ingest_cleanly_and_retry_converges() {
             "[seed {seed}] write #{ordinal}: retried ingest diverged"
         );
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Background-maintenance crash campaign: an `EIO` or a torn WAL append at
+/// **every append-attempt ordinal** while a [`MaintenanceController`] owns
+/// the checkpoints (kicked after every batch, so rotations race the
+/// appends). An `EIO` append is retryable and the engine converges on the
+/// full batch set; a torn append kills the "process" — reopening the
+/// (checkpoint-mutated) snapshot directory and re-attaching the WAL must
+/// recover exactly the acknowledged prefix, bit-identically to a reference
+/// engine that ingested precisely those batches.
+#[test]
+fn wal_faults_under_background_checkpoints_recover_the_consistent_prefix() {
+    let seed = fault_seed();
+    // The builder engine is saved once per campaign iteration (checkpoints
+    // mutate the live directory) plus once for pristine reference opens.
+    let city = SyntheticCity::generate(GeneratorConfig::small());
+    let network = Arc::new(city.network);
+    let dataset = TrajectoryDataset::simulate(
+        &network,
+        FleetConfig {
+            num_taxis: 12,
+            num_days: 3,
+            day_start_s: 8 * 3600,
+            day_end_s: 12 * 3600,
+            seed: 5,
+            ..FleetConfig::default()
+        },
+    );
+    let base_engine = streach::core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(IndexConfig {
+            read_latency_us: 0,
+            // Any delta warrants a checkpoint: every maintenance pass
+            // between batches does real checkpoint + rotation work.
+            auto_checkpoint_bytes: 1,
+            ..Default::default()
+        })
+        .build();
+    let ref_dir = tmp_dir("maint-ref");
+    base_engine.save_snapshot(&ref_dir).expect("save reference");
+    let batches = extra_batches(&network);
+    let center = network.bounds().center();
+    let kill_points = batches.len().min(3);
+    let mut checkpoints_owned = 0u64;
+
+    for fault in [AppendFault::Eio, AppendFault::TornAppend] {
+        for k in 0..kill_points {
+            let label = format!("{fault:?}@{k}");
+            let dir = tmp_dir(&format!("maint-live-{fault:?}-{k}"));
+            base_engine.save_snapshot(&dir).expect("save live dir");
+            let ctl = FaultController::detached(seed);
+            // Attempt ordinals are stable under rotation, so the k-th
+            // ingest's append fails no matter how the racing checkpoints
+            // sliced the generations.
+            ctl.fail_append_attempt_at(k as u64, fault);
+
+            let engine = Arc::new(
+                ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("open live"),
+            );
+            engine
+                .attach_wal_with_controller(dir.join("ingest.wal"), ctl)
+                .expect("attach WAL");
+            let controller = MaintenanceController::spawn(
+                Arc::clone(&engine),
+                &dir,
+                MaintenanceConfig {
+                    poll_interval: std::time::Duration::from_millis(5),
+                    compact_delta_ratio: Some(0.25),
+                    ..Default::default()
+                },
+            );
+
+            let mut acknowledged = 0usize;
+            let mut dead = false;
+            for (i, batch) in batches.iter().enumerate() {
+                let outcome = engine.ingest(batch);
+                match (i.cmp(&(k)), fault, dead) {
+                    (_, _, true) => assert!(
+                        outcome.is_err(),
+                        "[seed {seed}] {label}: the dead process must reject batch {i}"
+                    ),
+                    (std::cmp::Ordering::Less, _, _) => {
+                        outcome.unwrap_or_else(|e| {
+                            panic!("[seed {seed}] {label}: batch {i} must ingest: {e}")
+                        });
+                        acknowledged += 1;
+                        // The maintenance thread owns a checkpoint while
+                        // the next append (and possibly the crash) lands.
+                        controller.kick();
+                    }
+                    (std::cmp::Ordering::Equal, AppendFault::Eio, _) => {
+                        let err = outcome.expect_err("scripted EIO append must fail");
+                        assert!(
+                            err.to_string().contains("injected EIO on WAL append"),
+                            "[seed {seed}] {label}: {err}"
+                        );
+                        // Nothing was logged; the same batch retries clean.
+                        engine.ingest(batch).unwrap_or_else(|e| {
+                            panic!("[seed {seed}] {label}: retry after EIO failed: {e}")
+                        });
+                        acknowledged += 1;
+                        controller.kick();
+                    }
+                    (std::cmp::Ordering::Equal, AppendFault::TornAppend, _) => {
+                        let err = outcome.expect_err("scripted torn append must crash");
+                        assert!(
+                            err.to_string().contains("torn WAL append"),
+                            "[seed {seed}] {label}: {err}"
+                        );
+                        dead = true;
+                    }
+                    (std::cmp::Ordering::Greater, _, _) => {
+                        outcome.unwrap_or_else(|e| {
+                            panic!("[seed {seed}] {label}: batch {i} must ingest: {e}")
+                        });
+                        acknowledged += 1;
+                        controller.kick();
+                    }
+                }
+            }
+            // Let the worker finish its in-flight pass, then account for it.
+            controller.run_now();
+            let stats = controller.stats();
+            checkpoints_owned += stats.checkpoints;
+            let errors = controller.shutdown();
+            assert!(
+                errors.is_empty(),
+                "[seed {seed}] {label}: background maintenance must survive the \
+                 WAL fault untouched: {errors:?}"
+            );
+            drop(engine);
+
+            // Recovery: the checkpoint-mutated directory plus the WAL tail
+            // must reconstruct exactly the acknowledged batches.
+            let recovered = ReachabilityEngine::open_snapshot(&dir, network.clone())
+                .unwrap_or_else(|e| panic!("[seed {seed}] {label}: reopen failed: {e}"));
+            recovered
+                .attach_wal(dir.join("ingest.wal"))
+                .unwrap_or_else(|e| panic!("[seed {seed}] {label}: re-attach failed: {e}"));
+            let reference = ReachabilityEngine::open_snapshot(&ref_dir, network.clone())
+                .expect("open reference");
+            for batch in batches.iter().take(acknowledged) {
+                reference.ingest(batch).expect("reference ingest");
+            }
+            assert_eq!(
+                all_regions(&recovered, center),
+                all_regions(&reference, center),
+                "[seed {seed}] {label}: recovered engine diverged from the \
+                 {acknowledged}-batch reference"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    assert!(
+        checkpoints_owned > 0,
+        "[seed {seed}] the campaign must have raced real background checkpoints"
+    );
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+/// A compaction that fails mid-copy (dead disk part-way through the blob
+/// copy) must leave the old base serving bit-identically — and be
+/// retryable: after the fault clears, the same `compact()` folds the delta
+/// and queries still match.
+#[test]
+fn compaction_failing_mid_copy_leaves_old_base_serving_and_is_retryable() {
+    let seed = fault_seed();
+    let dir = tmp_dir("compact-midcopy");
+    let network = build_snapshot(&dir);
+    let center = network.bounds().center();
+    let batches = extra_batches(&network);
+
+    let ctl = FaultController::detached(seed);
+    let engine = ReachabilityEngine::open_snapshot_with_stores(&dir, network.clone(), {
+        let ctl = ctl.clone();
+        move |_role, store| Box::new(FaultInjectingPageStore::with_controller(store, &ctl))
+    })
+    .expect("open snapshot with fault wrapper on both heaps");
+    for batch in &batches {
+        engine.ingest(batch).expect("ingest");
+    }
+    let baseline = all_regions(&engine, center);
+    let delta_before = engine.st_index().delta_stats();
+    assert!(delta_before.delta_lists > 0);
+
+    // Kill the disk a few reads into the copy: the fold dies mid-flight.
+    engine.st_index().clear_cache();
+    ctl.fail_reads_from(ctl.reads_observed() + 5);
+    let err = engine
+        .compact()
+        .expect_err("a dead disk mid-copy must fail the compaction");
+    assert!(
+        err.to_string().contains("injected EIO"),
+        "[seed {seed}] compaction error must surface the backend fault: {err}"
+    );
+
+    // The old base (and the delta tail) keep serving, bit-identically.
+    ctl.clear();
+    assert_eq!(
+        engine.st_index().delta_stats(),
+        delta_before,
+        "[seed {seed}] a failed compaction must leave the delta untouched"
+    );
+    engine.st_index().clear_cache();
+    assert_eq!(
+        all_regions(&engine, center),
+        baseline,
+        "[seed {seed}] a failed compaction must not shift any region"
+    );
+
+    // Retry: the same call now folds the delta, and nothing moved.
+    let folded = engine.compact().expect("retried compaction");
+    assert_eq!(folded.delta_lists, delta_before.delta_lists);
+    assert_eq!(engine.st_index().delta_stats(), Default::default());
+    assert_eq!(
+        all_regions(&engine, center),
+        baseline,
+        "[seed {seed}] retried compaction diverged"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Group-commit durability: a multi-writer batch whose fsync fails must
+/// fail **every** caller in the group and freeze the applied prefix for all
+/// of their records — none applies live, all replay idempotently after a
+/// reopen, and clean retries converge.
+#[test]
+fn group_commit_fsync_eio_freezes_the_applied_prefix_for_the_whole_group() {
+    let seed = fault_seed();
+    let dir = tmp_dir("group-fsync");
+    let network = build_snapshot(&dir);
+    let center = network.bounds().center();
+    let batches: Vec<Vec<TrajPoint>> = extra_batches(&network).into_iter().take(3).collect();
+    let writers = batches.len();
+
+    let ctl = FaultController::detached(seed);
+    let engine =
+        Arc::new(ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("open snapshot"));
+    engine
+        .attach_wal_with_controller(dir.join("group.wal"), ctl.clone())
+        .expect("attach WAL");
+    let pristine = all_regions(&engine, center);
+
+    // Every physical fsync under the concurrent batch fails.
+    ctl.fail_next_syncs(u64::MAX / 2);
+    let outcomes: Vec<Result<IngestOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .iter()
+            .map(|batch| {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || engine.ingest(batch).map_err(|e| e.to_string()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    ctl.clear();
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let err = outcome
+            .as_ref()
+            .expect_err("every record of the failed group must error");
+        assert!(
+            err.contains("fsync"),
+            "[seed {seed}] writer {i}: the group fsync failure must surface: {err}"
+        );
+    }
+
+    // Nothing of the failed group applied live: the engine still answers
+    // like the pristine snapshot.
+    assert_eq!(
+        all_regions(&engine, center),
+        pristine,
+        "[seed {seed}] records of a failed group must not apply live"
+    );
+
+    // Clean retries converge (idempotent merges), even though the applied
+    // prefix stays frozen until the next attach.
+    for batch in &batches {
+        engine.ingest(batch).expect("clean retry");
+    }
+    let reference = ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("reference");
+    for batch in &batches {
+        reference.ingest(batch).expect("reference ingest");
+    }
+    let target = all_regions(&reference, center);
+    assert_eq!(
+        all_regions(&engine, center),
+        target,
+        "[seed {seed}] retried group diverged from the reference"
+    );
+    drop(engine);
+
+    // Crash + reopen: the frozen prefix forces a full replay — the
+    // failed-but-durable records plus their retries, 2 per batch — and
+    // idempotent application converges on the same engine.
+    let recovered =
+        ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("reopen after crash");
+    let attach = recovered
+        .attach_wal(dir.join("group.wal"))
+        .expect("replay WAL");
+    assert_eq!(
+        attach.records_replayed,
+        2 * writers as u64,
+        "[seed {seed}] the frozen prefix must replay the whole group and its retries"
+    );
+    assert_eq!(
+        all_regions(&recovered, center),
+        target,
+        "[seed {seed}] replayed engine diverged"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -195,7 +195,6 @@ fn ingested_engine_matches_rebuilt_engine_bit_exactly() {
 
     // Compaction folds the delta into a sealed base that matches the
     // rebuilt engine's layout exactly — stats and all.
-    let mut ingested = ingested;
     let folded = ingested.compact().expect("compact");
     assert!(folded.delta_lists > 0);
     assert_eq!(ingested.st_index().delta_stats(), Default::default());
@@ -302,7 +301,6 @@ fn wal_backed_lifecycle_roundtrips_through_incremental_snapshots() {
         );
         assert_bit_identical(&engine, &rebuilt, "recovered engine vs rebuilt");
 
-        let mut engine = engine;
         engine.compact().expect("compact");
         assert_eq!(
             engine.st_index().stats(),
@@ -525,7 +523,6 @@ fn mid_trajectory_continuation_matches_rebuilt_engine() {
     );
     assert_bit_identical(&ingested, &rebuilt, "continued vs rebuilt");
 
-    let mut ingested = ingested;
     ingested.compact().expect("compact");
     assert_eq!(
         ingested.st_index().stats(),
