@@ -2,16 +2,22 @@
 //! records the result in `BENCH_ingest.json`.
 //!
 //! ```text
-//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries]
+//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries] [-- --cold-path]
 //! ```
 //!
 //! `--group-commit` runs only the multi-writer WAL group-commit comparison
 //! (1 vs 4 concurrent ingest threads sharing fsyncs); `--concurrent-queries`
 //! runs only the queries-under-ingest-load section (query latency while a
 //! writer ingests and a background [`MaintenanceController`] auto-checkpoints
-//! and compacts). With neither flag every section runs and the results —
-//! including both new sections — are written to `BENCH_ingest.json`; a
-//! mode-only run prints its table without touching the JSON.
+//! and compacts); `--cold-path` runs only the cold-path storage comparison
+//! (bytes on disk, cold-open time and cold-query latency, raw vs
+//! delta/varint-compressed postings × file vs mmap backend — **gated**: the
+//! compressed `postings.pages` must be at least [`COLD_PATH_RATIO_GATE`]×
+//! smaller than the raw one and the mmap backend must answer bit-identically
+//! to the file backend, or the process exits non-zero). With no mode flag
+//! every section runs and the results — including the `cold_path` object —
+//! are written to `BENCH_ingest.json`; a mode-only run prints its table
+//! (and enforces its gates) without touching the JSON.
 //!
 //! Scenario: a base fleet is built and snapshotted, the snapshot is
 //! reopened as a serving engine, and the remaining fleet-days arrive as
@@ -35,8 +41,104 @@ use std::time::Instant;
 
 use streach_bench::timing::measure;
 use streach_core::prelude::*;
-use streach_core::{EngineBuilder, MaintenanceConfig, MaintenanceController};
+use streach_core::{
+    EngineBuilder, MaintenanceConfig, MaintenanceController, PostingEncoding, StorageBackend,
+};
 use streach_traj::points_of;
+
+/// The compressed `postings.pages` must be at least this factor smaller
+/// than the raw-encoded one (checked on every `--cold-path` run).
+const COLD_PATH_RATIO_GATE: f64 = 1.5;
+
+/// One cold-path measurement cell: a snapshot encoding served by a backend.
+struct ColdCell {
+    label: &'static str,
+    open_s: f64,
+    cold_query_ms: f64,
+}
+
+/// Cold-path storage comparison: the same fleet snapshotted twice — raw
+/// (untagged fixed-width) and delta/varint-compressed postings — then each
+/// snapshot cold-opened and probed through both sealed-page backends
+/// (buffered file reads and the read-only memory mapping). Returns the
+/// page-file sizes, the four measurement cells, the compressed run's
+/// decoded/resident ratio, and whether every backend/encoding combination
+/// answered the probe bit-identically.
+fn run_cold_path(
+    network: &Arc<RoadNetwork>,
+    dataset: &TrajectoryDataset,
+    config: &IndexConfig,
+    probe: &SQuery,
+) -> (u64, u64, Vec<ColdCell>, f64, bool) {
+    let mut pages_bytes = [0u64; 2];
+    let mut dirs = Vec::new();
+    for (i, encoding) in [PostingEncoding::LegacyRaw, PostingEncoding::Delta]
+        .into_iter()
+        .enumerate()
+    {
+        let dir = tmp_dir(&format!("bench-cold-{i}"));
+        EngineBuilder::new(network.clone(), dataset)
+            .index_config(IndexConfig {
+                posting_encoding: encoding,
+                ..config.clone()
+            })
+            .save_snapshot(&dir)
+            .expect("save cold-path snapshot");
+        pages_bytes[i] = std::fs::metadata(dir.join(streach_core::snapshot::PAGES_FILE))
+            .expect("pages file")
+            .len();
+        dirs.push(dir);
+    }
+
+    let labels = ["raw/file", "raw/mmap", "compressed/file", "compressed/mmap"];
+    let mut cells = Vec::new();
+    let mut regions: Vec<(Vec<SegmentId>, u64)> = Vec::new();
+    let mut decode_ratio = 1.0;
+    for (i, dir) in dirs.iter().enumerate() {
+        for (j, backend) in [StorageBackend::File, StorageBackend::Mmap]
+            .into_iter()
+            .enumerate()
+        {
+            let t0 = Instant::now();
+            let engine =
+                ReachabilityEngine::open_snapshot_with_backend(dir, network.clone(), backend)
+                    .expect("cold open");
+            let open_s = t0.elapsed().as_secs_f64();
+            engine.warm_con_index(probe.start_time_s, probe.duration_s);
+            engine.st_index().clear_cache();
+            engine.st_index().io_stats().reset();
+            let t0 = Instant::now();
+            let outcome = engine.s_query(probe, Algorithm::SqmbTbs);
+            let cold_query_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let io = engine.st_index().io_stats().snapshot();
+            if i == 1 {
+                decode_ratio = io.decode_ratio();
+            }
+            cells.push(ColdCell {
+                label: labels[i * 2 + j],
+                open_s,
+                cold_query_ms,
+            });
+            regions.push((
+                outcome.region.segments,
+                outcome.region.total_length_km.to_bits(),
+            ));
+        }
+    }
+    // Every cell must answer identically: mmap vs file within an encoding,
+    // and compressed vs raw across encodings.
+    let identical = regions.iter().all(|r| *r == regions[0]);
+    for dir in dirs {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    (
+        pages_bytes[0],
+        pages_bytes[1],
+        cells,
+        decode_ratio,
+        identical,
+    )
+}
 
 /// Multi-writer group-commit comparison: the same batch stream ingested by
 /// 1 and by `writers` concurrent threads through one WAL each (round-robin
@@ -165,7 +267,8 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let only_group = args.iter().any(|a| a == "--group-commit");
     let only_concurrent = args.iter().any(|a| a == "--concurrent-queries");
-    let run_all = !(only_group || only_concurrent);
+    let only_cold = args.iter().any(|a| a == "--cold-path");
+    let run_all = !(only_group || only_concurrent || only_cold);
     let scale = if quick {
         Scale {
             label: "quick",
@@ -286,6 +389,74 @@ fn main() {
         );
         std::fs::remove_dir_all(&cq_dir).ok();
     }
+
+    // --- Cold path: raw vs compressed postings × file vs mmap backend -----
+    let mut cold_json = String::new();
+    if run_all || only_cold {
+        let (raw_bytes, compressed_bytes, cells, decode_ratio, cold_identical) =
+            run_cold_path(&network, &full, &config, &probe);
+        let ratio = raw_bytes as f64 / (compressed_bytes as f64).max(1.0);
+        println!(
+            "{:<38} {:>14}",
+            "cold-path raw postings.pages bytes", raw_bytes
+        );
+        println!(
+            "{:<38} {:>14}",
+            "cold-path compressed bytes", compressed_bytes
+        );
+        println!("{:<38} {:>14.2}", "cold-path compression ratio", ratio);
+        println!(
+            "{:<38} {:>14.2}",
+            "cold-path decode ratio (logical/disk)", decode_ratio
+        );
+        for cell in &cells {
+            println!(
+                "{:<38} {:>6.3}s {:>6.3}ms",
+                format!("cold open / query [{}]", cell.label),
+                cell.open_s,
+                cell.cold_query_ms
+            );
+        }
+        println!(
+            "{:<38} {:>14}",
+            "cold-path all cells identical", cold_identical
+        );
+        let cell_json: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"combo\": \"{}\", \"open_s\": {:.4}, \"cold_query_ms\": {:.4}}}",
+                    c.label, c.open_s, c.cold_query_ms
+                )
+            })
+            .collect();
+        cold_json = format!(
+            ",\n  \"cold_path\": {{\"raw_pages_bytes\": {}, \"compressed_pages_bytes\": {}, \"compression_ratio\": {:.4}, \"ratio_gate\": {:.1}, \"decode_ratio\": {:.4}, \"mmap_matches_file\": {}, \"cells\": [{}]}}",
+            raw_bytes,
+            compressed_bytes,
+            ratio,
+            COLD_PATH_RATIO_GATE,
+            decode_ratio,
+            cold_identical,
+            cell_json.join(", ")
+        );
+        let mut cold_failed = false;
+        if ratio < COLD_PATH_RATIO_GATE {
+            eprintln!(
+                "[ingest] ERROR: cold-path compression ratio {ratio:.2} is below the {COLD_PATH_RATIO_GATE}x gate"
+            );
+            cold_failed = true;
+        }
+        if !cold_identical {
+            eprintln!(
+                "[ingest] ERROR: cold-path backend/encoding combinations diverged on the probe"
+            );
+            cold_failed = true;
+        }
+        if cold_failed {
+            std::process::exit(1);
+        }
+    }
     drop(built);
     if !run_all {
         std::fs::remove_dir_all(&dir).ok();
@@ -390,7 +561,7 @@ fn main() {
     println!("{:<38} {:>14}", "ingested == rebuilt (probe)", identical);
 
     let json = format!(
-        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}\n}}\n",
+        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}{}\n}}\n",
         scale.label,
         scale.taxis,
         scale.base_days,
@@ -415,7 +586,8 @@ fn main() {
         latency_before.median_ms(),
         latency_delta.median_ms(),
         latency_compacted.median_ms(),
-        identical
+        identical,
+        cold_json
     );
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
     eprintln!("[ingest] wrote BENCH_ingest.json");

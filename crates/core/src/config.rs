@@ -1,6 +1,7 @@
 //! Index construction configuration.
 
 use serde::{Deserialize, Serialize};
+use streach_storage::{PostingEncoding, StorageBackend};
 
 /// Configuration of the ST-Index and Con-Index construction.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,6 +33,15 @@ pub struct IndexConfig {
     /// incremental checkpoint of the serving engine. `0` disables
     /// auto-checkpointing; the worker then only compacts.
     pub auto_checkpoint_bytes: u64,
+    /// Physical backend serving the snapshot's sealed page files on open:
+    /// buffered file reads or a read-only memory mapping. Recorded in the
+    /// snapshot config; overridable per open (benchmarks compare both).
+    pub storage_backend: StorageBackend,
+    /// Wire encoding of the posting heaps. New engines default to the
+    /// delta/varint encoding; v3 snapshots reopen as
+    /// [`PostingEncoding::LegacyRaw`] so their untagged heaps (and every
+    /// blob appended to them afterwards) stay self-consistent.
+    pub posting_encoding: PostingEncoding,
 }
 
 impl Default for IndexConfig {
@@ -44,6 +54,8 @@ impl Default for IndexConfig {
             fallback_min_speed_ms: 2.0,
             read_retries: streach_storage::DEFAULT_READ_RETRIES,
             auto_checkpoint_bytes: 8 * 1024 * 1024,
+            storage_backend: StorageBackend::default(),
+            posting_encoding: PostingEncoding::default(),
         }
     }
 }

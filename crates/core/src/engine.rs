@@ -258,6 +258,20 @@ impl ReachabilityEngine {
         Self::open_snapshot_with_store(dir, network, |store| store)
     }
 
+    /// Like [`ReachabilityEngine::open_snapshot`], but serves the sealed
+    /// page files through an explicit [`streach_storage::StorageBackend`]
+    /// instead of the one recorded in the snapshot config: buffered file
+    /// reads (`File`) or a read-only memory mapping (`Mmap`). The override
+    /// only affects how pages are *read*; the on-disk bytes and every query
+    /// answer are identical across backends.
+    pub fn open_snapshot_with_backend<P: AsRef<std::path::Path>>(
+        dir: P,
+        network: Arc<RoadNetwork>,
+        backend: streach_storage::StorageBackend,
+    ) -> streach_storage::StorageResult<Self> {
+        Self::open_snapshot_with_stores_and_backend(dir, network, Some(backend), |_, store| store)
+    }
+
     /// Like [`ReachabilityEngine::open_snapshot`], but lets the caller wrap
     /// the snapshot's page store before the engine takes ownership — the
     /// hook behind fault injection
@@ -299,7 +313,28 @@ impl ReachabilityEngine {
             Box<dyn streach_storage::PageStore>,
         ) -> Box<dyn streach_storage::PageStore>,
     {
-        crate::snapshot::open(dir.as_ref(), network, wrap)
+        Self::open_snapshot_with_stores_and_backend(dir, network, None, wrap)
+    }
+
+    /// [`ReachabilityEngine::open_snapshot_with_stores`] plus an optional
+    /// [`streach_storage::StorageBackend`] override for the sealed page
+    /// files (`None` uses the backend recorded in the snapshot config).
+    /// Fault campaigns use this to run the same wrap script against both
+    /// the buffered-file and the memory-mapped backend.
+    pub fn open_snapshot_with_stores_and_backend<P, F>(
+        dir: P,
+        network: Arc<RoadNetwork>,
+        backend: Option<streach_storage::StorageBackend>,
+        wrap: F,
+    ) -> streach_storage::StorageResult<Self>
+    where
+        P: AsRef<std::path::Path>,
+        F: FnMut(
+            StoreRole,
+            Box<dyn streach_storage::PageStore>,
+        ) -> Box<dyn streach_storage::PageStore>,
+    {
+        crate::snapshot::open(dir.as_ref(), network, backend, wrap)
     }
 
     /// Attaches a write-ahead log at `path` (created if missing) and

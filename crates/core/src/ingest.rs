@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
-use streach_storage::{StorageError, StorageResult, Wal};
+use streach_storage::{get_varint_u32, put_varint_u32, StorageError, StorageResult, Wal};
 use streach_traj::TrajPoint;
 
 /// Outcome of one [`crate::ReachabilityEngine::ingest`] call.
@@ -113,33 +113,67 @@ impl IngestState {
     }
 }
 
+/// Tag byte opening a varint-encoded WAL batch record. The legacy format
+/// opens with the little-endian `u32` point count instead; `decode_batch`
+/// accepts both (see there for how the formats are told apart).
+const WAL_BATCH_TAG_VARINT: u8 = 0x01;
+
 /// Encodes a batch of trajectory points as a WAL record payload.
 ///
-/// Layout: `u32` point count, then per point `u32 traj_id`, `u16 date`,
-/// `u32 segment`, `u32 enter_time_s`.
+/// Layout (varint format, shared with the posting heap's delta encoding —
+/// see `streach_storage::postings` for the canonical-varint rules):
+/// tag byte `0x01`, varint point count, then per point varint `traj_id`,
+/// varint `date`, varint `segment`, varint `enter_time_s`. Fleet IDs and
+/// intra-day timestamps are small, so batches shrink to roughly half the
+/// legacy fixed-width 14 bytes/point.
 pub(crate) fn encode_batch(points: &[TrajPoint]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(4 + points.len() * 14);
-    buf.put_u32_le(points.len() as u32);
+    let mut buf = Vec::with_capacity(6 + points.len() * 8);
+    buf.push(WAL_BATCH_TAG_VARINT);
+    put_varint_u32(&mut buf, points.len() as u32);
     for p in points {
-        buf.put_u32_le(p.traj_id);
-        buf.put_u16_le(p.date);
-        buf.put_u32_le(p.segment.0);
-        buf.put_u32_le(p.enter_time_s);
+        put_varint_u32(&mut buf, p.traj_id);
+        put_varint_u32(&mut buf, u32::from(p.date));
+        put_varint_u32(&mut buf, p.segment.0);
+        put_varint_u32(&mut buf, p.enter_time_s);
     }
     buf
 }
 
-/// Decodes a WAL record payload back into trajectory points. Strict like
-/// every decoder in this workspace: a short buffer or trailing bytes is
-/// `Corrupt`, never a silently shorter batch.
-pub(crate) fn decode_batch(mut buf: &[u8]) -> StorageResult<Vec<TrajPoint>> {
-    let corrupt = || StorageError::corrupt("WAL ingest record is malformed");
+/// Decodes the varint batch body following the tag byte. Strict: any
+/// varint failure, a date outside `u16`, or trailing bytes is `None`.
+fn decode_batch_varint(mut buf: &[u8]) -> Option<Vec<TrajPoint>> {
+    let n = get_varint_u32(&mut buf)? as usize;
+    // The count is untrusted until the points prove themselves: clamp the
+    // pre-allocation to what the buffer could possibly hold (≥ 4 bytes per
+    // point — four varints of at least one byte each).
+    let mut points = Vec::with_capacity(n.min(buf.remaining() / 4));
+    for _ in 0..n {
+        let traj_id = get_varint_u32(&mut buf)?;
+        let date = u16::try_from(get_varint_u32(&mut buf)?).ok()?;
+        let segment = streach_roadnet::SegmentId(get_varint_u32(&mut buf)?);
+        let enter_time_s = get_varint_u32(&mut buf)?;
+        points.push(TrajPoint {
+            traj_id,
+            date,
+            segment,
+            enter_time_s,
+        });
+    }
+    if !buf.is_empty() {
+        return None;
+    }
+    Some(points)
+}
+
+/// Decodes the legacy fixed-width batch body (LE `u32` count + 14 bytes per
+/// point). Strict: the buffer length must match the count exactly.
+fn decode_batch_legacy(mut buf: &[u8]) -> Option<Vec<TrajPoint>> {
     if buf.remaining() < 4 {
-        return Err(corrupt());
+        return None;
     }
     let n = buf.get_u32_le() as usize;
     if buf.remaining() != n * 14 {
-        return Err(corrupt());
+        return None;
     }
     let mut points = Vec::with_capacity(n);
     for _ in 0..n {
@@ -150,7 +184,29 @@ pub(crate) fn decode_batch(mut buf: &[u8]) -> StorageResult<Vec<TrajPoint>> {
             enter_time_s: buf.get_u32_le(),
         });
     }
-    Ok(points)
+    Some(points)
+}
+
+/// Decodes a WAL record payload back into trajectory points, accepting both
+/// the varint format written by `encode_batch` and the legacy fixed-width
+/// format of pre-existing logs. Strict like every decoder in this
+/// workspace: a short buffer or trailing bytes is `Corrupt`, never a
+/// silently shorter batch.
+///
+/// Format dispatch: a first byte of `0x01` is *tried* as the varint tag
+/// first; on strict-parse failure the payload falls back to the legacy
+/// decoder. (A legacy batch can legitimately start with `0x01` — a count
+/// with low byte 1 — but its count high bytes then read as a tiny varint
+/// count that leaves the fixed-width points as trailing bytes, so the
+/// varint parse always rejects it and the fallback decodes it correctly.)
+pub(crate) fn decode_batch(buf: &[u8]) -> StorageResult<Vec<TrajPoint>> {
+    let corrupt = || StorageError::corrupt("WAL ingest record is malformed");
+    if let Some((&WAL_BATCH_TAG_VARINT, body)) = buf.split_first() {
+        if let Some(points) = decode_batch_varint(body) {
+            return Ok(points);
+        }
+    }
+    decode_batch_legacy(buf).ok_or_else(corrupt)
 }
 
 /// Serializes the ingest bookkeeping for the snapshot container:
@@ -240,6 +296,54 @@ mod tests {
         let mut padded = bytes.clone();
         padded.push(0);
         assert!(decode_batch(&padded).is_err());
+        // The varint format beats the legacy 4 + 14n fixed-width layout.
+        assert!(bytes.len() < 4 + points.len() * 14);
+    }
+
+    /// The legacy fixed-width payload of pre-existing WALs.
+    fn encode_batch_legacy(points: &[TrajPoint]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4 + points.len() * 14);
+        buf.put_u32_le(points.len() as u32);
+        for p in points {
+            buf.put_u32_le(p.traj_id);
+            buf.put_u16_le(p.date);
+            buf.put_u32_le(p.segment.0);
+            buf.put_u32_le(p.enter_time_s);
+        }
+        buf
+    }
+
+    #[test]
+    fn legacy_fixed_width_batches_still_decode() {
+        let points = sample_points();
+        let legacy = encode_batch_legacy(&points);
+        assert_eq!(decode_batch(&legacy).unwrap(), points);
+        assert_eq!(decode_batch(&encode_batch_legacy(&[])).unwrap(), Vec::new());
+        // The dispatch ambiguity case: a single-point legacy batch opens
+        // with 0x01 (count low byte), same as the varint tag. The varint
+        // parse must reject it and the fallback must decode it.
+        let one = vec![points[0]];
+        let legacy_one = encode_batch_legacy(&one);
+        assert_eq!(legacy_one[0], 0x01);
+        assert_eq!(decode_batch(&legacy_one).unwrap(), one);
+        // Legacy strictness survives the dual-accept path.
+        assert!(decode_batch(&legacy[..legacy.len() - 1]).is_err());
+        let mut padded = legacy;
+        padded.push(0);
+        assert!(decode_batch(&padded).is_err());
+    }
+
+    #[test]
+    fn varint_batch_rejects_out_of_range_dates() {
+        // date is u16 on the wire; a varint body claiming a larger value
+        // must be rejected, not truncated.
+        let mut buf = vec![0x01u8];
+        put_varint_u32(&mut buf, 1); // count
+        put_varint_u32(&mut buf, 7); // traj_id
+        put_varint_u32(&mut buf, 70_000); // date: exceeds u16
+        put_varint_u32(&mut buf, 99); // segment
+        put_varint_u32(&mut buf, 0); // enter_time_s
+        assert!(decode_batch(&buf).is_err());
     }
 
     #[test]

@@ -45,8 +45,9 @@
 //!   buffer). Postings are read through
 //!   [`StIndex::read_time_list_into`](st_index::StIndex::read_time_list_into)
 //!   into the recycled buffer and decoded in place with
-//!   [`streach_storage::visit_encoded`], so each (segment, slot) posting is
-//!   read exactly once per evaluation and a warm `probability()` call
+//!   [`streach_storage::visit_posting`] (encoding-aware: raw fixed-width and
+//!   delta/varint heaps take the same path), so each (segment, slot) posting
+//!   is read exactly once per evaluation and a warm `probability()` call
 //!   performs **zero heap allocations**.
 //! * **Parallel stages.** The embarrassingly parallel stages — annulus
 //!   verification in ES/TBS/MQMB, per-segment Con-Index table construction,
@@ -146,6 +147,7 @@ pub use snapshot::StoreRole;
 pub use speed_stats::SpeedStats;
 pub use st_index::{DeltaStats, StIndex};
 pub use stats::QueryStats;
+pub use streach_storage::{PostingEncoding, StorageBackend};
 
 /// Convenient re-exports for downstream users (examples, benches, tests).
 pub mod prelude {

@@ -27,14 +27,17 @@
 //!   after the first few verifications a `probability` call performs **no
 //!   heap allocation** — postings are copied into the reusable byte buffer
 //!   via [`StIndex::read_time_list_into`] and decoded in place with
-//!   [`streach_storage::visit_encoded`].
+//!   [`streach_storage::visit_posting`] (the encoding-aware walker: raw
+//!   fixed-width and delta/varint blobs take the same zero-allocation path).
 //!
 //! [`ReachabilityVerifier`] bundles one core with one scratch for the
 //! sequential call sites; parallel call sites share one core across workers
 //! and give each worker its own scratch (see `streach_par::par_map_with`).
 
+use std::sync::Arc;
+
 use streach_roadnet::SegmentId;
-use streach_storage::{visit_encoded, StorageResult};
+use streach_storage::{visit_posting, IoStats, PostingEncoding, StorageResult};
 
 use crate::st_index::StIndex;
 use crate::time::slots_overlapping;
@@ -55,6 +58,13 @@ pub struct VerifierCore<'a> {
     /// which case the window wraps.
     window: (u32, u32),
     num_days: u16,
+    /// Wire encoding of the posting heaps, fetched once at construction so
+    /// the per-verification hot loop never touches the index lock for it.
+    encoding: PostingEncoding,
+    /// Shared I/O counters: every posting visited here reports its decoded
+    /// (fixed-width-equivalent) vs resident (stored) byte counts, making the
+    /// compression win observable per query.
+    io: Arc<IoStats>,
 }
 
 /// The reusable per-worker mutable half of a verifier.
@@ -118,11 +128,16 @@ impl<'a> VerifierCore<'a> {
         let t0_end = start_time_s.saturating_add(slot_s);
         let end = start_time_s.saturating_add(duration_s);
 
+        let encoding = st_index.posting_encoding();
+        let io = st_index.io_stats();
         let mut start_ids: Vec<Vec<u32>> = vec![Vec::new(); num_days as usize];
         let mut bytes = Vec::new();
         for slot in slots_overlapping(start_time_s, t0_end, slot_s) {
             if st_index.read_time_list_into(start_segment, slot, &mut bytes)? {
-                let well_formed = visit_encoded(&bytes, |date, ids| {
+                let (mut dates, mut ids_seen) = (0u64, 0u64);
+                let well_formed = visit_posting(&bytes, encoding, |date, ids| {
+                    dates += 1;
+                    ids_seen += ids.len() as u64;
                     if let Some(day) = start_ids.get_mut(date as usize) {
                         day.extend(ids);
                     }
@@ -130,6 +145,7 @@ impl<'a> VerifierCore<'a> {
                 if !well_formed {
                     return Err(st_index.malformed_posting(start_segment, slot));
                 }
+                io.record_posting_decode(4 + dates * 6 + ids_seen * 4, bytes.len() as u64);
             }
         }
         let mut active_days = 0;
@@ -148,6 +164,8 @@ impl<'a> VerifierCore<'a> {
             window_slots: slots_overlapping(start_time_s, end, slot_s),
             window: (start_time_s, end),
             num_days,
+            encoding,
+            io,
         })
     }
 
@@ -203,7 +221,10 @@ impl<'a> VerifierCore<'a> {
                 .st_index
                 .read_time_list_into(segment, slot, &mut scratch.bytes)?
             {
-                let well_formed = visit_encoded(&scratch.bytes, |date, ids| {
+                let (mut dates, mut ids_seen) = (0u64, 0u64);
+                let well_formed = visit_posting(&scratch.bytes, self.encoding, |date, ids| {
+                    dates += 1;
+                    ids_seen += ids.len() as u64;
                     let day = date as usize;
                     if day < self.start_ids.len() && !self.start_ids[day].is_empty() {
                         let bucket = &mut target_ids[day];
@@ -216,6 +237,10 @@ impl<'a> VerifierCore<'a> {
                 if !well_formed {
                     return Err(self.st_index.malformed_posting(segment, slot));
                 }
+                self.io.record_posting_decode(
+                    4 + dates * 6 + ids_seen * 4,
+                    scratch.bytes.len() as u64,
+                );
             }
         }
         if scratch.touched.is_empty() {

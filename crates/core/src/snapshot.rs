@@ -53,8 +53,9 @@ use std::time::Duration;
 use bytes::{Buf, BufMut};
 use streach_roadnet::{RoadNetwork, SegmentId};
 use streach_storage::{
-    BlobHandle, Crc32, FilePageStore, InMemoryPageStore, PageStore, PostingStore,
-    SimulatedDiskStore, SnapshotReader, SnapshotWriter, StorageError, StorageResult,
+    BlobHandle, Crc32, FilePageStore, InMemoryPageStore, MmapPageStore, PageStore, PostingEncoding,
+    PostingStore, SimulatedDiskStore, SnapshotReader, SnapshotWriter, StorageBackend, StorageError,
+    StorageResult,
 };
 
 use crate::con_index::{ConIndex, ConnectionLists};
@@ -133,7 +134,7 @@ pub fn network_fingerprint(network: &RoadNetwork) -> u64 {
 }
 
 fn encode_config(config: &IndexConfig) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(48);
+    let mut buf = Vec::with_capacity(50);
     buf.put_u32_le(config.slot_s);
     buf.put_u64_le(config.pool_pages as u64);
     buf.put_u64_le(config.read_latency_us);
@@ -141,14 +142,22 @@ fn encode_config(config: &IndexConfig) -> Vec<u8> {
     buf.put_u64_le(config.fallback_min_speed_ms.to_bits());
     buf.put_u32_le(config.read_retries);
     buf.put_u64_le(config.auto_checkpoint_bytes);
+    buf.put_u8(config.storage_backend.config_byte());
+    buf.put_u8(config.posting_encoding.config_byte());
     buf
 }
 
-fn decode_config(mut buf: &[u8]) -> StorageResult<IndexConfig> {
-    if buf.remaining() != 48 {
+/// Decodes the `config` section. Container version 3 wrote 48 bytes — those
+/// snapshots predate the storage-backend choice and the tagged posting
+/// encodings, so they reopen as `File` + `LegacyRaw` (the heap on disk *is*
+/// untagged, and every blob appended later must stay consistent with it).
+/// Version 4 appends one byte each for backend and encoding.
+fn decode_config(mut buf: &[u8], container_version: u32) -> StorageResult<IndexConfig> {
+    let expected_len = if container_version >= 4 { 50 } else { 48 };
+    if buf.remaining() != expected_len {
         return Err(StorageError::corrupt("config section has wrong length"));
     }
-    let config = IndexConfig {
+    let mut config = IndexConfig {
         slot_s: buf.get_u32_le(),
         pool_pages: buf.get_u64_le() as usize,
         read_latency_us: buf.get_u64_le(),
@@ -156,7 +165,15 @@ fn decode_config(mut buf: &[u8]) -> StorageResult<IndexConfig> {
         fallback_min_speed_ms: f64::from_bits(buf.get_u64_le()),
         read_retries: buf.get_u32_le(),
         auto_checkpoint_bytes: buf.get_u64_le(),
+        storage_backend: StorageBackend::File,
+        posting_encoding: PostingEncoding::LegacyRaw,
     };
+    if container_version >= 4 {
+        config.storage_backend = StorageBackend::from_config_byte(buf.get_u8())
+            .ok_or_else(|| StorageError::corrupt("config section has unknown storage backend"))?;
+        config.posting_encoding = PostingEncoding::from_config_byte(buf.get_u8())
+            .ok_or_else(|| StorageError::corrupt("config section has unknown posting encoding"))?;
+    }
     if config.slot_s == 0 || config.pool_pages == 0 {
         return Err(StorageError::corrupt("config section has invalid values"));
     }
@@ -557,15 +574,30 @@ fn verify_pages_file(path: &Path, expected_pages: u64, expected_crc: u32) -> Sto
     Ok(())
 }
 
+/// Opens a sealed (read-only) page file through the chosen physical
+/// backend. Both backends apply the same alignment validation and return
+/// bit-identical pages; they differ only in the transport (read syscalls vs
+/// a shared memory mapping).
+fn open_sealed_pages(path: &Path, backend: StorageBackend) -> StorageResult<Box<dyn PageStore>> {
+    Ok(match backend {
+        StorageBackend::File => Box::new(FilePageStore::open_read_only(path)?),
+        StorageBackend::Mmap => Box::new(MmapPageStore::open(path)?),
+    })
+}
+
 /// Reopens an engine from the snapshot in `dir` against the given road
 /// network. Fails with [`StorageError::Corrupt`] when the snapshot is
 /// damaged or was built over a different network. `wrap` sees each
 /// validated page store — [`StoreRole::Base`], then [`StoreRole::Delta`] —
 /// before the engine takes ownership (identity for plain opens; a
 /// fault-injection or instrumentation wrapper otherwise).
+/// `backend_override` replaces the [`StorageBackend`] recorded in the
+/// snapshot config for this open (and for every subsequent save from the
+/// opened engine).
 pub(crate) fn open<F>(
     dir: &Path,
     network: Arc<RoadNetwork>,
+    backend_override: Option<StorageBackend>,
     mut wrap: F,
 ) -> StorageResult<ReachabilityEngine>
 where
@@ -586,7 +618,10 @@ where
         )));
     }
 
-    let config = decode_config(reader.section(SEC_CONFIG)?)?;
+    let mut config = decode_config(reader.section(SEC_CONFIG)?, reader.version())?;
+    if let Some(backend) = backend_override {
+        config.storage_backend = backend;
+    }
     let parts = decode_st_index(reader.section(SEC_ST_INDEX)?)?;
     if parts.slot_s != config.slot_s {
         return Err(StorageError::corrupt(
@@ -607,23 +642,24 @@ where
     let expected_crc = pages_meta.get_u32_le();
     let pages_path = dir.join(PAGES_FILE);
     verify_pages_file(&pages_path, expected_pages, expected_crc)?;
-    let file_store = FilePageStore::open_read_only(&pages_path)?;
-    if file_store.num_pages() < parts.tail.div_ceil(streach_storage::PAGE_SIZE as u64) {
+    let base_store = open_sealed_pages(&pages_path, config.storage_backend)?;
+    if base_store.num_pages() < parts.tail.div_ceil(streach_storage::PAGE_SIZE as u64) {
         return Err(StorageError::corrupt(
             "posting page file is shorter than the posting heap",
         ));
     }
-    let io = file_store.io_stats();
+    let io = base_store.io_stats();
     let store: StIndexStore = SimulatedDiskStore::with_latency(
-        wrap(StoreRole::Base, Box::new(file_store) as Box<dyn PageStore>),
+        wrap(StoreRole::Base, base_store),
         Duration::from_micros(config.read_latency_us),
         Duration::ZERO,
     );
-    let postings = PostingStore::with_tail_and_retries(
+    let postings = PostingStore::with_options(
         store,
         config.pool_pages,
         parts.tail,
         config.read_retries,
+        config.posting_encoding,
     );
 
     // The delta heap of previously ingested data: verified against its
@@ -650,9 +686,9 @@ where
     verify_pages_file(&delta_path, delta_expected_pages, delta_expected_crc)?;
     let delta_mem = InMemoryPageStore::with_stats(io);
     {
-        let delta_file = FilePageStore::open_read_only(&delta_path)?;
-        for page_id in 0..delta_file.num_pages() {
-            let page = delta_file.read_page(page_id)?;
+        let delta_src = open_sealed_pages(&delta_path, config.storage_backend)?;
+        for page_id in 0..delta_src.num_pages() {
+            let page = delta_src.read_page(page_id)?;
             let id = delta_mem.allocate()?;
             debug_assert_eq!(id, page_id);
             delta_mem.write_page(page_id, &page)?;
@@ -663,11 +699,12 @@ where
         Duration::from_micros(config.read_latency_us),
         Duration::ZERO,
     );
-    let delta_postings = PostingStore::with_tail_and_retries(
+    let delta_postings = PostingStore::with_options(
         delta_store,
         config.pool_pages,
         delta_tail,
         config.read_retries,
+        config.posting_encoding,
     );
     let delta_directory = decode_delta_dir(reader.section(SEC_DELTA_DIR)?, delta_tail)?;
 
@@ -740,8 +777,12 @@ mod tests {
             fallback_min_speed_ms: 2.75,
             read_retries: 5,
             auto_checkpoint_bytes: 123_456,
+            storage_backend: StorageBackend::Mmap,
+            posting_encoding: PostingEncoding::Delta,
         };
-        let decoded = decode_config(&encode_config(&config)).unwrap();
+        let bytes = encode_config(&config);
+        assert_eq!(bytes.len(), 50);
+        let decoded = decode_config(&bytes, streach_storage::SNAPSHOT_VERSION).unwrap();
         assert_eq!(decoded.slot_s, 600);
         assert_eq!(decoded.pool_pages, 33);
         assert_eq!(decoded.read_latency_us, 17);
@@ -749,6 +790,29 @@ mod tests {
         assert_eq!(decoded.fallback_min_speed_ms, 2.75);
         assert_eq!(decoded.read_retries, 5);
         assert_eq!(decoded.auto_checkpoint_bytes, 123_456);
-        assert!(decode_config(&[1, 2, 3]).is_err());
+        assert_eq!(decoded.storage_backend, StorageBackend::Mmap);
+        assert_eq!(decoded.posting_encoding, PostingEncoding::Delta);
+        assert!(decode_config(&[1, 2, 3], streach_storage::SNAPSHOT_VERSION).is_err());
+    }
+
+    #[test]
+    fn legacy_v3_config_decodes_as_untagged_file_backend() {
+        // A version-3 container's config section is the first 48 bytes of
+        // the modern layout; it must reopen with the legacy heap encoding.
+        let modern = encode_config(&IndexConfig::default());
+        let legacy = &modern[..48];
+        let decoded = decode_config(legacy, 3).unwrap();
+        assert_eq!(decoded.storage_backend, StorageBackend::File);
+        assert_eq!(decoded.posting_encoding, PostingEncoding::LegacyRaw);
+        // Length/version mismatches in either direction are rejected.
+        assert!(decode_config(legacy, 4).is_err());
+        assert!(decode_config(&modern, 3).is_err());
+        // Unknown enum bytes are corruption, not defaults.
+        let mut bad = modern.clone();
+        bad[48] = 0xEE;
+        assert!(decode_config(&bad, 4).is_err());
+        let mut bad = modern;
+        bad[49] = 0xEE;
+        assert!(decode_config(&bad, 4).is_err());
     }
 }

@@ -58,8 +58,8 @@ use parking_lot::{Mutex, RwLock};
 use streach_geo::GeoPoint;
 use streach_roadnet::{RoadNetwork, SegmentId};
 use streach_storage::{
-    BPlusTree, BlobHandle, InMemoryPageStore, IoStats, PageStore, PostingStore, SimulatedDiskStore,
-    StorageError, StorageResult, TimeList,
+    BPlusTree, BlobHandle, InMemoryPageStore, IoStats, PageStore, PostingEncoding, PostingStore,
+    SimulatedDiskStore, StorageError, StorageResult, TimeList,
 };
 use streach_traj::{TrajPoint, TrajectoryDataset};
 
@@ -299,13 +299,19 @@ impl StIndex {
             Duration::from_micros(config.read_latency_us),
             Duration::ZERO,
         );
-        let postings =
-            PostingStore::with_tail_and_retries(store, config.pool_pages, 0, config.read_retries);
+        let postings = PostingStore::with_options(
+            store,
+            config.pool_pages,
+            0,
+            config.read_retries,
+            config.posting_encoding,
+        );
         let delta = Self::empty_delta(
             io,
             Duration::from_micros(config.read_latency_us),
             config.pool_pages,
             config.read_retries,
+            config.posting_encoding,
         );
 
         let mut temporal = BPlusTree::with_order(32);
@@ -384,6 +390,7 @@ impl StIndex {
         read_latency: Duration,
         pool_pages: usize,
         read_retries: u32,
+        encoding: PostingEncoding,
     ) -> DeltaTail {
         let store = SimulatedDiskStore::with_latency(
             Box::new(InMemoryPageStore::with_stats(io)) as Box<dyn PageStore>,
@@ -391,7 +398,7 @@ impl StIndex {
             Duration::ZERO,
         );
         DeltaTail {
-            postings: PostingStore::with_tail_and_retries(store, pool_pages, 0, read_retries),
+            postings: PostingStore::with_options(store, pool_pages, 0, read_retries, encoding),
             directory: RwLock::new(BTreeMap::new()),
             len: AtomicUsize::new(0),
         }
@@ -473,6 +480,14 @@ impl StIndex {
         self.pin().base.postings.io_stats()
     }
 
+    /// The wire encoding of the posting heaps (base and delta always
+    /// agree). Zero-copy readers pass this to
+    /// [`streach_storage::visit_posting`] when walking bytes fetched via
+    /// [`StIndex::read_time_list_into`].
+    pub fn posting_encoding(&self) -> PostingEncoding {
+        self.pin().base.postings.encoding()
+    }
+
     /// Drops all cached posting pages (for cold-cache measurements) from
     /// both the base and the delta buffer pool.
     pub fn clear_cache(&self) {
@@ -511,10 +526,11 @@ impl StIndex {
     ///
     /// This is the hot-path counterpart of [`StIndex::time_list`]: the bytes
     /// land in reusable scratch storage and are consumed through
-    /// [`streach_storage::visit_encoded`], so a warm verification performs no
+    /// [`streach_storage::visit_posting`] (passing
+    /// [`StIndex::posting_encoding`]), so a warm verification performs no
     /// heap allocation. I/O accounting is identical to [`StIndex::time_list`].
     /// The bytes are **not** structurally validated here (that would cost an
-    /// extra pass); the consumer must treat a `false` from `visit_encoded`
+    /// extra pass); the consumer must treat a `false` from `visit_posting`
     /// as corruption — [`StIndex::malformed_posting`] builds the matching
     /// error.
     pub fn read_time_list_into(
@@ -534,7 +550,7 @@ impl StIndex {
     }
 
     /// The error describing a posting of `segment` in `slot` whose bytes
-    /// failed structural validation (`visit_encoded` returned `false`):
+    /// failed structural validation (`visit_posting` returned `false`):
     /// a torn or zeroed page under a range-valid handle.
     pub fn malformed_posting(&self, segment: SegmentId, slot: u32) -> StorageError {
         StorageError::corrupt(format!(
@@ -728,12 +744,16 @@ impl StIndex {
         let read_latency = state.base.postings.store().read_latency();
         let pool_pages = state.base.postings.pool_capacity();
         let read_retries = state.base.postings.read_retries();
+        // Blob bytes are copied verbatim below, so the new heap keeps the
+        // old heap's encoding — tagged blobs stay tagged, legacy heaps stay
+        // untagged and self-consistent.
+        let encoding = state.base.postings.encoding();
         let store = SimulatedDiskStore::with_latency(
             Box::new(InMemoryPageStore::with_stats(Arc::clone(&io))) as Box<dyn PageStore>,
             read_latency,
             Duration::ZERO,
         );
-        let new_postings = PostingStore::with_tail_and_retries(store, pool_pages, 0, read_retries);
+        let new_postings = PostingStore::with_options(store, pool_pages, 0, read_retries, encoding);
         let mut temporal = BPlusTree::with_order(32);
         let mut directory = SlotDirectory::default();
         let mut num_time_lists = 0u64;
@@ -757,7 +777,7 @@ impl StIndex {
                 temporal,
                 postings: new_postings,
             },
-            delta: Self::empty_delta(io, read_latency, pool_pages, read_retries),
+            delta: Self::empty_delta(io, read_latency, pool_pages, read_retries, encoding),
         });
         *self.state.write() = new_state;
         let mut stats = self.stats.lock();

@@ -54,6 +54,8 @@ impl QueryStats {
                 page_writes: self.io.page_writes + other.io.page_writes,
                 cache_hits: self.io.cache_hits + other.io.cache_hits,
                 cache_misses: self.io.cache_misses + other.io.cache_misses,
+                bytes_decoded: self.io.bytes_decoded + other.io.bytes_decoded,
+                bytes_resident: self.io.bytes_resident + other.io.bytes_resident,
             },
             segments_verified: self.segments_verified + other.segments_verified,
             max_bounding_size: self.max_bounding_size + other.max_bounding_size,
@@ -107,6 +109,30 @@ mod tests {
         assert_eq!(m.io.page_reads, 7);
         assert_eq!(m.io.cache_hits, 1);
         assert_eq!(m.io.cache_misses, 2);
+    }
+
+    #[test]
+    fn merge_adds_decode_accounting() {
+        let a = QueryStats {
+            io: IoStatsSnapshot {
+                bytes_decoded: 100,
+                bytes_resident: 40,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let b = QueryStats {
+            io: IoStatsSnapshot {
+                bytes_decoded: 50,
+                bytes_resident: 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.io.bytes_decoded, 150);
+        assert_eq!(m.io.bytes_resident, 60);
+        assert!((m.io.decode_ratio() - 2.5).abs() < 1e-12);
     }
 
     #[test]

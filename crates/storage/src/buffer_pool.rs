@@ -18,6 +18,13 @@ use crate::pagestore::{PageStore, StorageError, StorageResult};
 /// ST-Index posting pages (e.g. the start segment's time list) are served
 /// from memory while the bulk of the trace-back search still pays disk I/O.
 ///
+/// Pages are cached in their **on-disk encoding**: with delta/varint
+/// posting compression (see [`crate::postings`]) a pool slot holds the
+/// compressed bytes, so the same `pool_pages` budget keeps roughly
+/// `decode_ratio` times more postings resident. [`IoStats`] splits the two
+/// views as `bytes_resident` (stored bytes fetched) vs `bytes_decoded`
+/// (fixed-width-equivalent bytes produced by decoding them).
+///
 /// # Concurrency
 ///
 /// * **In-flight fetch coalescing.** When several threads miss on the same

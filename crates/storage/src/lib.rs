@@ -17,6 +17,8 @@
 //! * [`fault`] — a deterministic, scriptable fault-injection wrapper
 //!   ([`FaultInjectingPageStore`](fault::FaultInjectingPageStore)) used to
 //!   drive the query pipelines through EIO, torn pages and zeroed pages,
+//! * [`mmap`] — a read-only memory-mapped backend for sealed snapshot page
+//!   files, serving `read_page` straight out of the mapping,
 //! * [`iostats`] — shared atomic I/O counters, so query processing code can
 //!   report page reads/hits exactly like the paper reports running time,
 //! * [`btree`] — a from-scratch B+-tree used for the ST-Index *temporal
@@ -36,6 +38,7 @@ pub mod btree;
 pub mod buffer_pool;
 pub mod fault;
 pub mod iostats;
+pub mod mmap;
 pub mod page;
 pub mod pagestore;
 pub mod postings;
@@ -46,10 +49,16 @@ pub use btree::BPlusTree;
 pub use buffer_pool::{BufferPool, DEFAULT_READ_RETRIES};
 pub use fault::{AppendFault, FaultController, FaultInjectingPageStore, ReadFault};
 pub use iostats::{IoStats, IoStatsSnapshot};
+pub use mmap::{MmapPageStore, StorageBackend};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pagestore::{
     FilePageStore, InMemoryPageStore, PageStore, SimulatedDiskStore, StorageError, StorageResult,
 };
-pub use postings::{visit_encoded, BlobHandle, IdIter, PostingStore, TimeList, TimeListEntry};
-pub use snapshot::{Crc32, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use postings::{
+    get_varint_u32, posting_sizes, put_varint_u32, visit_encoded, visit_posting, BlobHandle,
+    IdIter, PostingEncoding, PostingStore, TimeList, TimeListEntry,
+};
+pub use snapshot::{
+    Crc32, SnapshotReader, SnapshotWriter, MIN_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use wal::{Wal, WalRecovery, WAL_MAGIC, WAL_VERSION};

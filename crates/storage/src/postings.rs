@@ -10,6 +10,75 @@
 //! are written contiguously (spanning page boundaries when necessary) and
 //! addressed by a [`BlobHandle`]. Reads go through a [`BufferPool`], so every
 //! posting access pays for exactly the pages it touches unless cached.
+//!
+//! # Wire formats
+//!
+//! Three encodings exist, selected by [`PostingEncoding`]. All multi-byte
+//! fixed-width integers are little-endian; varints are canonical LEB128
+//! (see below).
+//!
+//! ## `LegacyRaw` — untagged fixed-width (v3 snapshot heaps)
+//!
+//! ```text
+//! u32  entry count n
+//! n × {
+//!     u16  date               (absolute day index)
+//!     u32  id count k
+//!     k × u32  trajectory id  (sorted ascending)
+//! }
+//! ```
+//!
+//! No leading tag byte: the first byte of a legacy blob is the low byte of
+//! the entry count. Heaps written before the encoding-version bump are
+//! decoded with this layout, chosen by the snapshot container version — the
+//! format is never sniffed from the bytes.
+//!
+//! ## `Raw` — tagged fixed-width
+//!
+//! ```text
+//! u8   tag = 0x00
+//! ...  LegacyRaw body (exact layout above)
+//! ```
+//!
+//! ## `Delta` — tagged delta/varint (the default)
+//!
+//! ```text
+//! u8   tag = 0x01
+//! varint  entry count n
+//! n × {
+//!     varint  date            (entry 0: absolute day index;
+//!                              entry i>0: delta from previous date, ≥ 1)
+//!     varint  id count k      (k = 0 allowed)
+//!     if k > 0:
+//!         varint  first id    (absolute)
+//!         (k-1) × varint gap  (difference from previous id, ≥ 1)
+//! }
+//! ```
+//!
+//! Dates and trajectory IDs are strictly ascending in a well-formed time
+//! list, so deltas and gaps are always ≥ 1 — a zero delta/gap byte (such as
+//! a zeroed page tail) is rejected as malformed, never absorbed.
+//!
+//! ## Canonical varints
+//!
+//! A `u32` varint is 1–5 bytes of LEB128: seven payload bits per byte,
+//! least-significant group first, high bit set on every byte except the
+//! last. Decoding is *canonical*: a terminating byte with a zero payload
+//! after at least one continuation byte (an overlong encoding such as
+//! `80 00`) is rejected, and the fifth byte may carry only the top four
+//! bits of the `u32` and must terminate (`byte & 0xF0 == 0`). Every `u32`
+//! therefore has exactly one accepted byte sequence, which makes the whole
+//! blob encoding injective: any byte string that decodes at all re-encodes
+//! to itself, so a corrupted blob can never silently masquerade as a
+//! shorter (or padded) valid list.
+//!
+//! # Strictness
+//!
+//! All decoders reject trailing bytes, truncated streams, overlong varints,
+//! zero date-deltas/id-gaps and arithmetic overflow of the running date/id.
+//! A torn or zeroed page under a range-valid handle surfaces as
+//! [`StorageError::Corrupt`](crate::StorageError::Corrupt), never as a
+//! shorter valid list.
 
 use std::sync::Arc;
 
@@ -20,6 +89,125 @@ use crate::buffer_pool::BufferPool;
 use crate::iostats::IoStats;
 use crate::page::{Page, PAGE_SIZE};
 use crate::pagestore::{PageStore, StorageResult};
+
+/// Tag byte for the tagged fixed-width encoding.
+const TAG_RAW: u8 = 0x00;
+/// Tag byte for the tagged delta/varint encoding.
+const TAG_DELTA: u8 = 0x01;
+
+/// On-disk encoding of the serialized time lists in a posting heap.
+///
+/// The encoding of a heap is recorded in the snapshot container (and in the
+/// engine config), never inferred from blob bytes. Tagged heaps additionally
+/// carry one tag byte per blob, so [`Raw`](Self::Raw) and
+/// [`Delta`](Self::Delta) blobs may coexist in one heap — compaction copies
+/// blob bytes verbatim and the reader dispatches on the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PostingEncoding {
+    /// Untagged fixed-width layout written by v3 snapshots. Kept readable
+    /// forever; never written by new snapshots.
+    LegacyRaw,
+    /// Tagged fixed-width layout: tag byte `0x00` followed by the legacy
+    /// body. Useful as an uncompressed baseline inside versioned heaps.
+    Raw,
+    /// Tagged delta/varint layout: tag byte `0x01`, dates as deltas, sorted
+    /// trajectory IDs as first value + varint gaps. The default for new
+    /// snapshots.
+    #[default]
+    Delta,
+}
+
+impl PostingEncoding {
+    /// Whether blobs in this encoding carry a leading tag byte.
+    pub fn is_tagged(self) -> bool {
+        !matches!(self, Self::LegacyRaw)
+    }
+
+    /// Stable single-byte identifier used in snapshot configs.
+    pub fn config_byte(self) -> u8 {
+        match self {
+            Self::LegacyRaw => 0,
+            Self::Raw => 1,
+            Self::Delta => 2,
+        }
+    }
+
+    /// Inverse of [`config_byte`](Self::config_byte).
+    pub fn from_config_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Self::LegacyRaw),
+            1 => Some(Self::Raw),
+            2 => Some(Self::Delta),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (bench labels, error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::LegacyRaw => "legacy-raw",
+            Self::Raw => "raw",
+            Self::Delta => "delta",
+        }
+    }
+}
+
+impl std::str::FromStr for PostingEncoding {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "legacy-raw" => Ok(Self::LegacyRaw),
+            "raw" => Ok(Self::Raw),
+            "delta" => Ok(Self::Delta),
+            other => Err(format!(
+                "unknown posting encoding {other:?} (expected legacy-raw, raw or delta)"
+            )),
+        }
+    }
+}
+
+/// Appends `v` to `buf` as a canonical LEB128 varint (1–5 bytes).
+pub fn put_varint_u32(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads a canonical LEB128 varint from the front of `buf`, advancing it.
+///
+/// Returns `None` on truncation, on an overlong encoding (a terminating
+/// byte with zero payload after a continuation byte, e.g. `80 00`), and on
+/// a fifth byte that either continues or carries bits beyond the top four
+/// of a `u32`. Exactly one byte sequence is accepted per value, so the
+/// codec is injective.
+pub fn get_varint_u32(buf: &mut &[u8]) -> Option<u32> {
+    let mut out: u32 = 0;
+    for i in 0..5u32 {
+        let (&byte, rest) = buf.split_first()?;
+        *buf = rest;
+        let payload = (byte & 0x7F) as u32;
+        if i == 4 && byte & 0xF0 != 0 {
+            // The fifth byte may carry only bits 28..32 and must terminate.
+            return None;
+        }
+        out |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            if i > 0 && payload == 0 {
+                // Overlong: canonical encodings never end in a zero payload.
+                return None;
+            }
+            return Some(out);
+        }
+    }
+    None
+}
 
 /// The trajectory IDs observed on a given date.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -85,12 +273,42 @@ impl TimeList {
         self.entries.iter().map(|e| e.traj_ids.len()).sum()
     }
 
-    /// Serializes the time list.
-    ///
-    /// Layout: `u32` entry count, then per entry `u16 date`, `u32 id count`,
-    /// `u32` ids.
+    /// Size in bytes of the fixed-width ([`PostingEncoding::LegacyRaw`])
+    /// serialization: the logical "decompressed" footprint of this list.
+    pub fn raw_encoded_size(&self) -> u64 {
+        4 + 6 * self.num_dates() as u64 + 4 * self.num_observations() as u64
+    }
+
+    /// Serializes the time list in the untagged fixed-width layout (see the
+    /// [module docs](self) for the byte-level format).
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(4 + self.entries.len() * 8 + self.num_observations() * 4);
+        let mut buf = Vec::with_capacity(self.raw_encoded_size() as usize);
+        self.encode_raw_into(&mut buf);
+        buf
+    }
+
+    /// Serializes the time list in `encoding`. Entries must be strictly
+    /// ascending by date with strictly ascending IDs per entry — the
+    /// invariant [`TimeList::add`] maintains.
+    pub fn encode_as(&self, encoding: PostingEncoding) -> Vec<u8> {
+        match encoding {
+            PostingEncoding::LegacyRaw => self.encode(),
+            PostingEncoding::Raw => {
+                let mut buf = Vec::with_capacity(1 + self.raw_encoded_size() as usize);
+                buf.push(TAG_RAW);
+                self.encode_raw_into(&mut buf);
+                buf
+            }
+            PostingEncoding::Delta => {
+                let mut buf = Vec::with_capacity(1 + self.raw_encoded_size() as usize);
+                buf.push(TAG_DELTA);
+                self.encode_delta_into(&mut buf);
+                buf
+            }
+        }
+    }
+
+    fn encode_raw_into(&self, buf: &mut Vec<u8>) {
         buf.put_u32_le(self.entries.len() as u32);
         for entry in &self.entries {
             buf.put_u16_le(entry.date);
@@ -99,21 +317,50 @@ impl TimeList {
                 buf.put_u32_le(*id);
             }
         }
-        buf
     }
 
-    /// Deserializes a time list previously produced by [`TimeList::encode`].
-    /// Returns `None` when the buffer is malformed — including when trailing
-    /// bytes remain after the declared entries. The strict length check
-    /// matters for fault tolerance: a torn or zeroed page turns a stored
-    /// list into a shorter "valid" prefix (e.g. a zeroed entry count) that
-    /// would otherwise decode silently into wrong data.
+    fn encode_delta_into(&self, buf: &mut Vec<u8>) {
+        put_varint_u32(buf, self.entries.len() as u32);
+        let mut prev_date = 0u32;
+        for (i, entry) in self.entries.iter().enumerate() {
+            let date = entry.date as u32;
+            if i == 0 {
+                put_varint_u32(buf, date);
+            } else {
+                debug_assert!(date > prev_date, "dates must be strictly ascending");
+                put_varint_u32(buf, date.wrapping_sub(prev_date));
+            }
+            prev_date = date;
+            put_varint_u32(buf, entry.traj_ids.len() as u32);
+            let mut prev_id = 0u32;
+            for (j, &id) in entry.traj_ids.iter().enumerate() {
+                if j == 0 {
+                    put_varint_u32(buf, id);
+                } else {
+                    debug_assert!(id > prev_id, "ids must be strictly ascending");
+                    put_varint_u32(buf, id.wrapping_sub(prev_id));
+                }
+                prev_id = id;
+            }
+        }
+    }
+
+    /// Deserializes an untagged fixed-width time list produced by
+    /// [`TimeList::encode`]. Returns `None` when the buffer is malformed —
+    /// including when trailing bytes remain after the declared entries. The
+    /// strict length check matters for fault tolerance: a torn or zeroed
+    /// page turns a stored list into a shorter "valid" prefix (e.g. a
+    /// zeroed entry count) that would otherwise decode silently into wrong
+    /// data.
     pub fn decode(mut buf: &[u8]) -> Option<Self> {
         if buf.remaining() < 4 {
             return None;
         }
         let n = buf.get_u32_le() as usize;
-        let mut entries = Vec::with_capacity(n);
+        // The count is untrusted until the entries prove themselves: never
+        // pre-allocate more than the remaining bytes could hold (an entry
+        // is at least 6 bytes), or a corrupted count aborts on allocation.
+        let mut entries = Vec::with_capacity(n.min(buf.remaining() / 6));
         for _ in 0..n {
             if buf.remaining() < 6 {
                 return None;
@@ -134,14 +381,75 @@ impl TimeList {
         }
         Some(Self { entries })
     }
+
+    /// Deserializes a time list stored under `encoding`. For tagged
+    /// encodings the actual layout is chosen by the blob's tag byte, so
+    /// [`Raw`](PostingEncoding::Raw)- and
+    /// [`Delta`](PostingEncoding::Delta)-tagged blobs both decode from a
+    /// tagged heap. Strict in the same way as [`TimeList::decode`]: any
+    /// malformation — unknown tag, truncation, trailing bytes, overlong
+    /// varints, zero/non-monotone deltas — returns `None`.
+    pub fn decode_as(encoding: PostingEncoding, buf: &[u8]) -> Option<Self> {
+        match encoding {
+            PostingEncoding::LegacyRaw => Self::decode(buf),
+            PostingEncoding::Raw | PostingEncoding::Delta => {
+                let (&tag, body) = buf.split_first()?;
+                match tag {
+                    TAG_RAW => Self::decode(body),
+                    TAG_DELTA => Self::decode_delta_body(body),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    fn decode_delta_body(body: &[u8]) -> Option<Self> {
+        let mut entries = Vec::new();
+        if !visit_delta_body(body, |date, ids| {
+            entries.push(TimeListEntry {
+                date,
+                traj_ids: ids.collect(),
+            });
+        }) {
+            return None;
+        }
+        Some(Self { entries })
+    }
 }
 
 /// Iterator over the trajectory IDs of one date entry inside an encoded
-/// time list (see [`visit_encoded`]). Decodes lazily from the raw bytes, so
-/// visiting a posting never materialises intermediate `Vec`s.
+/// time list (see [`visit_posting`]). Decodes lazily from the raw bytes, so
+/// visiting a posting never materialises intermediate `Vec`s — this holds
+/// for both the fixed-width and the delta/varint layouts.
 #[derive(Debug, Clone)]
 pub struct IdIter<'a> {
     buf: &'a [u8],
+    remaining: usize,
+    prev: u32,
+    first: bool,
+    delta: bool,
+}
+
+impl<'a> IdIter<'a> {
+    fn raw(buf: &'a [u8]) -> Self {
+        Self {
+            remaining: buf.len() / 4,
+            buf,
+            prev: 0,
+            first: true,
+            delta: false,
+        }
+    }
+
+    fn delta(buf: &'a [u8], count: usize) -> Self {
+        Self {
+            buf,
+            remaining: count,
+            prev: 0,
+            first: true,
+            delta: true,
+        }
+    }
 }
 
 impl Iterator for IdIter<'_> {
@@ -149,32 +457,53 @@ impl Iterator for IdIter<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<u32> {
-        if self.buf.len() < 4 {
+        if self.remaining == 0 {
             return None;
         }
-        Some(self.buf.get_u32_le())
+        self.remaining -= 1;
+        if self.delta {
+            // The slice handed to a delta IdIter was pre-validated by the
+            // visitor's scan, so decoding cannot fail or overflow here.
+            let Some(v) = get_varint_u32(&mut self.buf) else {
+                self.remaining = 0;
+                return None;
+            };
+            self.prev = if self.first {
+                v
+            } else {
+                self.prev.wrapping_add(v)
+            };
+            self.first = false;
+            Some(self.prev)
+        } else {
+            if self.buf.len() < 4 {
+                self.remaining = 0;
+                return None;
+            }
+            Some(self.buf.get_u32_le())
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.buf.len() / 4;
-        (n, Some(n))
+        (self.remaining, Some(self.remaining))
     }
 }
 
 impl ExactSizeIterator for IdIter<'_> {}
 
-/// Walks a [`TimeList::encode`]d buffer without materialising a [`TimeList`],
-/// calling `f(date, ids)` for every date entry. Returns `false` (after
-/// visiting the well-formed prefix) when the buffer is malformed — like
-/// [`TimeList::decode`], a buffer with trailing bytes after the declared
-/// entries is malformed, so a torn or zeroed page cannot masquerade as a
-/// shorter valid list. A caller that sees `false` must treat the posting as
-/// corrupt, never as "fewer entries".
+/// Walks a [`TimeList::encode`]d (untagged fixed-width) buffer without
+/// materialising a [`TimeList`], calling `f(date, ids)` for every date
+/// entry. Returns `false` (after visiting the well-formed prefix) when the
+/// buffer is malformed — like [`TimeList::decode`], a buffer with trailing
+/// bytes after the declared entries is malformed, so a torn or zeroed page
+/// cannot masquerade as a shorter valid list. A caller that sees `false`
+/// must treat the posting as corrupt, never as "fewer entries".
 ///
 /// This is the allocation-free counterpart of [`TimeList::decode`]: the
 /// verifier reads each posting's bytes into a reusable scratch buffer and
 /// consumes them through this cursor, so a warm verification performs no
-/// heap allocation at all.
+/// heap allocation at all. For encoding-aware visiting (tagged heaps), use
+/// [`visit_posting`].
 #[must_use = "a false return means the posting bytes are corrupt"]
 pub fn visit_encoded<'a, F>(mut buf: &'a [u8], mut f: F) -> bool
 where
@@ -193,15 +522,126 @@ where
         if buf.remaining() < count * 4 {
             return false;
         }
-        f(
-            date,
-            IdIter {
-                buf: &buf[..count * 4],
-            },
-        );
+        f(date, IdIter::raw(&buf[..count * 4]));
         buf.advance(count * 4);
     }
     buf.remaining() == 0
+}
+
+/// Walks the body of a delta/varint blob (after its tag byte). Each entry's
+/// id stream is scanned once up front — validating every gap (non-zero, no
+/// overflow) and finding its extent — before `f` receives a lazy
+/// [`IdIter`] over exactly those bytes, keeping the path allocation-free.
+fn visit_delta_body<'a, F>(mut buf: &'a [u8], mut f: F) -> bool
+where
+    F: FnMut(u16, IdIter<'a>),
+{
+    let Some(n) = get_varint_u32(&mut buf) else {
+        return false;
+    };
+    let mut prev_date = 0u32;
+    for i in 0..n {
+        let Some(date_field) = get_varint_u32(&mut buf) else {
+            return false;
+        };
+        let date = if i == 0 {
+            date_field
+        } else if date_field == 0 {
+            return false;
+        } else {
+            match prev_date.checked_add(date_field) {
+                Some(d) => d,
+                None => return false,
+            }
+        };
+        if date > u16::MAX as u32 {
+            return false;
+        }
+        prev_date = date;
+        let Some(count) = get_varint_u32(&mut buf) else {
+            return false;
+        };
+        let ids_start = buf;
+        if count > 0 {
+            let Some(first) = get_varint_u32(&mut buf) else {
+                return false;
+            };
+            let mut prev_id = first;
+            for _ in 1..count {
+                let Some(gap) = get_varint_u32(&mut buf) else {
+                    return false;
+                };
+                if gap == 0 {
+                    return false;
+                }
+                match prev_id.checked_add(gap) {
+                    Some(id) => prev_id = id,
+                    None => return false,
+                }
+            }
+        }
+        let ids_len = ids_start.len() - buf.len();
+        f(
+            date as u16,
+            IdIter::delta(&ids_start[..ids_len], count as usize),
+        );
+    }
+    buf.is_empty()
+}
+
+/// Encoding-aware counterpart of [`visit_encoded`]: walks a posting blob
+/// stored under `encoding`, calling `f(date, ids)` per date entry without
+/// materialising a [`TimeList`]. Tagged heaps dispatch on the blob's tag
+/// byte (so raw- and delta-tagged blobs may coexist); an unknown tag or any
+/// malformation returns `false`, which callers must treat as corruption.
+#[must_use = "a false return means the posting bytes are corrupt"]
+pub fn visit_posting<'a, F>(buf: &'a [u8], encoding: PostingEncoding, f: F) -> bool
+where
+    F: FnMut(u16, IdIter<'a>),
+{
+    match encoding {
+        PostingEncoding::LegacyRaw => visit_encoded(buf, f),
+        PostingEncoding::Raw | PostingEncoding::Delta => {
+            let Some((&tag, body)) = buf.split_first() else {
+                return false;
+            };
+            match tag {
+                TAG_RAW => visit_encoded(body, f),
+                TAG_DELTA => visit_delta_body(body, f),
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Computes the `(bytes_decoded, bytes_resident)` accounting pair for one
+/// encoded posting blob (see [`IoStats::record_posting_decode`]):
+/// `bytes_resident` is the blob's stored footprint (`buf.len()`), and
+/// `bytes_decoded` is the logical fixed-width footprint the blob expands
+/// to. Returns `None` when the blob is malformed.
+pub fn posting_sizes(buf: &[u8], encoding: PostingEncoding) -> Option<(u64, u64)> {
+    let resident = buf.len() as u64;
+    match encoding {
+        PostingEncoding::LegacyRaw => Some((resident, resident)),
+        PostingEncoding::Raw | PostingEncoding::Delta => {
+            let (&tag, body) = buf.split_first()?;
+            match tag {
+                TAG_RAW => Some((body.len() as u64, resident)),
+                TAG_DELTA => {
+                    let mut dates = 0u64;
+                    let mut ids = 0u64;
+                    if !visit_delta_body(body, |_, iter| {
+                        dates += 1;
+                        ids += iter.len() as u64;
+                    }) {
+                        return None;
+                    }
+                    Some((4 + dates * 6 + ids * 4, resident))
+                }
+                _ => None,
+            }
+        }
+    }
 }
 
 /// Location of a blob inside a [`PostingStore`].
@@ -226,15 +666,19 @@ impl BlobHandle {
 }
 
 /// An append-only heap of byte blobs stored across fixed-size pages, read
-/// through an LRU buffer pool.
+/// through an LRU buffer pool. Time lists appended through
+/// [`append_time_list`](Self::append_time_list) are serialized in the
+/// heap's configured [`PostingEncoding`].
 pub struct PostingStore<S: PageStore> {
     pool: BufferPool<S>,
     tail: Mutex<u64>,
+    encoding: PostingEncoding,
 }
 
 impl<S: PageStore> PostingStore<S> {
     /// Creates a posting store over `store`, caching up to `pool_pages`
-    /// pages, with the default transient-read retry budget.
+    /// pages, with the default transient-read retry budget and the default
+    /// posting encoding.
     pub fn new(store: S, pool_pages: usize) -> Self {
         Self::with_tail_and_retries(
             store,
@@ -256,18 +700,43 @@ impl<S: PageStore> PostingStore<S> {
         )
     }
 
-    /// Full-control constructor: append cursor at `tail` bytes and an
-    /// explicit transient-read retry budget for the buffer pool.
+    /// Constructor with an append cursor at `tail` bytes and an explicit
+    /// transient-read retry budget, using the default posting encoding.
     pub fn with_tail_and_retries(
         store: S,
         pool_pages: usize,
         tail: u64,
         read_retries: u32,
     ) -> Self {
+        Self::with_options(
+            store,
+            pool_pages,
+            tail,
+            read_retries,
+            PostingEncoding::default(),
+        )
+    }
+
+    /// Full-control constructor: append cursor, retry budget and posting
+    /// encoding. `encoding` must match how the heap's existing blobs were
+    /// written (a v3 snapshot heap is `LegacyRaw`; new heaps are tagged).
+    pub fn with_options(
+        store: S,
+        pool_pages: usize,
+        tail: u64,
+        read_retries: u32,
+        encoding: PostingEncoding,
+    ) -> Self {
         Self {
             pool: BufferPool::with_retries(store, pool_pages, read_retries),
             tail: Mutex::new(tail),
+            encoding,
         }
+    }
+
+    /// The posting encoding this heap reads and writes.
+    pub fn encoding(&self) -> PostingEncoding {
+        self.encoding
     }
 
     /// The buffer pool's page capacity.
@@ -367,30 +836,42 @@ impl<S: PageStore> PostingStore<S> {
         Ok(())
     }
 
-    /// Appends a [`TimeList`] and returns its handle.
+    /// Appends a [`TimeList`] serialized in the heap's encoding and returns
+    /// its handle.
     pub fn append_time_list(&self, list: &TimeList) -> StorageResult<BlobHandle> {
-        self.append(&list.encode())
+        self.append(&list.encode_as(self.encoding))
     }
 
     /// Reads a [`TimeList`] back. A blob that fails to decode — a torn or
-    /// zeroed page under a range-valid handle, or a mismatched handle — is
-    /// reported as [`crate::StorageError::Corrupt`], never a panic: a disk
-    /// fault mid-query must surface as an error the serving process can
-    /// handle.
+    /// zeroed page under a range-valid handle, a mismatched handle, or an
+    /// encoding mismatch — is reported as
+    /// [`crate::StorageError::Corrupt`], never a panic: a disk fault
+    /// mid-query must surface as an error the serving process can handle.
+    /// Successful decodes record their
+    /// [`bytes_decoded`/`bytes_resident`](IoStats::record_posting_decode)
+    /// accounting on the shared [`IoStats`].
     pub fn read_time_list(&self, handle: BlobHandle) -> StorageResult<TimeList> {
         let bytes = self.read(handle)?;
-        TimeList::decode(&bytes).ok_or_else(|| {
+        let list = TimeList::decode_as(self.encoding, &bytes).ok_or_else(|| {
             crate::StorageError::corrupt(format!(
-                "time list blob at offset {} (len {}) failed to decode \
-                 (torn page or corrupted posting heap)",
-                handle.offset, handle.len
+                "time list blob at offset {} (len {}, encoding {}) failed to decode \
+                 (torn page, corrupted posting heap, or encoding mismatch)",
+                handle.offset,
+                handle.len,
+                self.encoding.name()
             ))
-        })
+        })?;
+        self.pool
+            .io_stats()
+            .record_posting_decode(list.raw_encoded_size(), handle.len as u64);
+        Ok(list)
     }
 }
 
-// A page full of zero bytes decodes as an empty time list, which is why the
-// heap never needs tombstones: unused space is simply never addressed.
+// In the legacy fixed-width layout a page full of zero bytes decodes as an
+// empty time list, which is why the heap never needs tombstones: unused
+// space is simply never addressed. Tagged blobs are sized exactly by their
+// handle, so the same property holds trivially.
 #[allow(dead_code)]
 fn _zero_page_decodes() {
     debug_assert!(TimeList::decode(&Page::zeroed().bytes()[..4]).is_some());
@@ -401,6 +882,12 @@ mod tests {
     use super::*;
     use crate::pagestore::InMemoryPageStore;
 
+    const ALL_ENCODINGS: [PostingEncoding; 3] = [
+        PostingEncoding::LegacyRaw,
+        PostingEncoding::Raw,
+        PostingEncoding::Delta,
+    ];
+
     fn sample_list() -> TimeList {
         let mut list = TimeList::new();
         list.add(3, 100);
@@ -408,6 +895,34 @@ mod tests {
         list.add(3, 7);
         list.add(3, 7); // duplicate, ignored
         list.add(29, 65000);
+        list
+    }
+
+    /// SplitMix64 — the workspace's deterministic-test RNG idiom.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_list(state: &mut u64) -> TimeList {
+        let mut list = TimeList::new();
+        let num_dates = (splitmix64(state) % 8) as u16;
+        for _ in 0..num_dates {
+            let date = (splitmix64(state) % 30) as u16;
+            let num_ids = splitmix64(state) % 12;
+            for _ in 0..num_ids {
+                let id = match splitmix64(state) % 4 {
+                    0 => (splitmix64(state) % 64) as u32,           // dense cluster
+                    1 => splitmix64(state) as u32,                  // full range
+                    2 => u32::MAX - (splitmix64(state) % 8) as u32, // near max
+                    _ => (splitmix64(state) % 100_000) as u32,      // fleet-scale
+                };
+                list.add(date, id);
+            }
+        }
         list
     }
 
@@ -440,6 +955,244 @@ mod tests {
         assert!(TimeList::decode(&bytes[..bytes.len() - 1]).is_none());
         assert!(TimeList::decode(&bytes[..2]).is_none());
         assert!(TimeList::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn varint_roundtrip_edge_values() {
+        let values = [
+            0u32,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            0x1F_FFFF,
+            0x20_0000,
+            0x0FFF_FFFF,
+            0x1000_0000,
+            u32::MAX - 1,
+            u32::MAX,
+        ];
+        for &v in &values {
+            let mut buf = Vec::new();
+            put_varint_u32(&mut buf, v);
+            assert!(buf.len() <= 5);
+            let mut cursor = buf.as_slice();
+            assert_eq!(get_varint_u32(&mut cursor), Some(v), "value {v:#x}");
+            assert!(cursor.is_empty(), "value {v:#x} left trailing bytes");
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_truncated_and_overflow() {
+        // Overlong encodings of small values.
+        for overlong in [
+            &[0x80, 0x00][..],
+            &[0x81, 0x80, 0x00][..],
+            &[0xFF, 0x80, 0x80, 0x80, 0x00][..],
+        ] {
+            let mut cursor = overlong;
+            assert_eq!(get_varint_u32(&mut cursor), None, "bytes {overlong:02x?}");
+        }
+        // Truncated streams (continuation bit set, nothing follows).
+        for truncated in [&[0x80][..], &[0xFF, 0xFF][..], &[][..]] {
+            let mut cursor = truncated;
+            assert_eq!(get_varint_u32(&mut cursor), None);
+        }
+        // A fifth byte must terminate and fit in the top 4 bits of a u32.
+        let mut too_long = &[0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01][..];
+        assert_eq!(get_varint_u32(&mut too_long), None);
+        let mut overflow = &[0xFFu8, 0xFF, 0xFF, 0xFF, 0x10][..];
+        assert_eq!(get_varint_u32(&mut overflow), None);
+        // The canonical maximum is accepted.
+        let mut max = &[0xFFu8, 0xFF, 0xFF, 0xFF, 0x0F][..];
+        assert_eq!(get_varint_u32(&mut max), Some(u32::MAX));
+    }
+
+    #[test]
+    fn varint_decode_is_canonical() {
+        // Every accepted 1..=3-byte sequence re-encodes to itself, so no two
+        // byte strings decode to the same value (injectivity, sampled).
+        let mut state = 0xC0FF_EE00_1234_5678u64;
+        for _ in 0..2000 {
+            let len = 1 + (splitmix64(&mut state) % 3) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| splitmix64(&mut state) as u8).collect();
+            let mut cursor = bytes.as_slice();
+            if let Some(v) = get_varint_u32(&mut cursor) {
+                let consumed = &bytes[..bytes.len() - cursor.len()];
+                let mut re = Vec::new();
+                put_varint_u32(&mut re, v);
+                assert_eq!(re, consumed, "non-canonical accept of {bytes:02x?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_as_roundtrips_adversarial_lists() {
+        let dense = TimeList {
+            entries: vec![TimeListEntry {
+                date: 0,
+                traj_ids: (0..512u32).collect(),
+            }],
+        };
+        let lists = vec![
+            TimeList::new(),
+            TimeList {
+                // A date with zero observations is unreachable through
+                // `add`, but the wire format supports it (k = 0).
+                entries: vec![TimeListEntry {
+                    date: 7,
+                    traj_ids: vec![],
+                }],
+            },
+            TimeList {
+                entries: vec![TimeListEntry {
+                    date: u16::MAX,
+                    traj_ids: vec![0],
+                }],
+            },
+            TimeList {
+                entries: vec![TimeListEntry {
+                    date: 1,
+                    traj_ids: vec![u32::MAX],
+                }],
+            },
+            TimeList {
+                entries: vec![TimeListEntry {
+                    date: 2,
+                    traj_ids: vec![0, u32::MAX],
+                }],
+            },
+            dense,
+            sample_list(),
+        ];
+        for list in &lists {
+            for encoding in ALL_ENCODINGS {
+                let bytes = list.encode_as(encoding);
+                let back = TimeList::decode_as(encoding, &bytes)
+                    .unwrap_or_else(|| panic!("{} failed on {list:?}", encoding.name()));
+                assert_eq!(&back, list, "{} roundtrip", encoding.name());
+                // visit_posting agrees with decode_as.
+                let mut seen = TimeList::new();
+                let mut visited_entries = Vec::new();
+                assert!(visit_posting(&bytes, encoding, |date, ids| {
+                    visited_entries.push(TimeListEntry {
+                        date,
+                        traj_ids: ids.collect(),
+                    });
+                }));
+                seen.entries = visited_entries;
+                assert_eq!(&seen, list, "{} visit", encoding.name());
+                // Accounting pair: decoded is the fixed-width footprint.
+                let (decoded, resident) = posting_sizes(&bytes, encoding).unwrap();
+                assert_eq!(decoded, list.raw_encoded_size());
+                assert_eq!(resident, bytes.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_property_roundtrip_all_encodings() {
+        let mut state = 0x5EED_0000_0000_0001u64;
+        for _ in 0..300 {
+            let list = random_list(&mut state);
+            for encoding in ALL_ENCODINGS {
+                let bytes = list.encode_as(encoding);
+                assert_eq!(TimeList::decode_as(encoding, &bytes).as_ref(), Some(&list));
+                // Strictness: every strict prefix and any appended byte is
+                // rejected — a flip can never shorten or pad a list.
+                if !bytes.is_empty() {
+                    assert!(
+                        TimeList::decode_as(encoding, &bytes[..bytes.len() - 1]).is_none(),
+                        "{} accepted a truncated blob",
+                        encoding.name()
+                    );
+                }
+                let mut padded = bytes.clone();
+                padded.push(0);
+                assert!(
+                    TimeList::decode_as(encoding, &padded).is_none(),
+                    "{} accepted a padded blob",
+                    encoding.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_decode_accepts_only_canonical_bytes() {
+        // Injectivity end-to-end: any single-byte corruption of a delta blob
+        // either fails to decode, or decodes to a list whose re-encoding is
+        // exactly the corrupted bytes (i.e. the decoder never silently
+        // reinterprets bytes as a different-length list). It never yields
+        // the original list.
+        let mut state = 0xDE17_A000_0000_0002u64;
+        for _ in 0..40 {
+            let list = random_list(&mut state);
+            let bytes = list.encode_as(PostingEncoding::Delta);
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut flipped = bytes.clone();
+                    flipped[i] ^= 1 << bit;
+                    if let Some(back) = TimeList::decode_as(PostingEncoding::Delta, &flipped) {
+                        assert_ne!(back, list, "flip at byte {i} bit {bit} was invisible");
+                        assert_eq!(
+                            back.encode_as(PostingEncoding::Delta),
+                            flipped,
+                            "non-canonical accept after flip at byte {i} bit {bit}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_decode_rejects_non_monotone_streams() {
+        // Hand-built bodies exercising each strictness rule. Tag byte first.
+        let reject = |body: &[u8]| {
+            let mut blob = vec![TAG_DELTA];
+            blob.extend_from_slice(body);
+            assert!(
+                TimeList::decode_as(PostingEncoding::Delta, &blob).is_none(),
+                "accepted malformed body {body:02x?}"
+            );
+        };
+        // Two entries, second date delta = 0 (duplicate date).
+        reject(&[2, 5, 1, 9, 0, 1, 3]);
+        // Second id gap = 0 (duplicate id).
+        reject(&[1, 5, 2, 9, 0]);
+        // Date overflows u16 (absolute 0xFFFF + delta 1).
+        reject(&[2, 0xFF, 0xFF, 0x03, 1, 1, 1, 1, 1, 1]);
+        // Id accumulator overflows u32 (first = MAX, gap = 1).
+        reject(&[1, 0, 2, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 1]);
+        // Truncated gap stream (k = 3 but only first id present).
+        reject(&[1, 0, 3, 7]);
+        // Zero-filled tail (torn page): entry count says 1 but all zeros
+        // after the date means gap bytes are zero.
+        reject(&[1, 4, 2, 9, 0, 0, 0]);
+        // Unknown tag byte.
+        assert!(TimeList::decode_as(PostingEncoding::Delta, &[0x7F, 0, 0, 0, 0]).is_none());
+        // Empty blob (no tag).
+        assert!(TimeList::decode_as(PostingEncoding::Delta, &[]).is_none());
+    }
+
+    #[test]
+    fn delta_encoding_compresses_dense_lists() {
+        let mut list = TimeList::new();
+        for date in 0..30u16 {
+            for id in 0..64u32 {
+                list.add(date, 1000 + id * 3);
+            }
+        }
+        let raw = list.encode_as(PostingEncoding::Raw);
+        let delta = list.encode_as(PostingEncoding::Delta);
+        assert!(
+            (delta.len() as f64) * 1.5 < raw.len() as f64,
+            "delta {} bytes vs raw {} bytes",
+            delta.len(),
+            raw.len()
+        );
     }
 
     #[test]
@@ -499,19 +1252,69 @@ mod tests {
 
     #[test]
     fn time_list_storage_roundtrip() {
-        let store = PostingStore::new(InMemoryPageStore::new(), 4);
-        let mut handles = Vec::new();
-        for seg in 0..50u32 {
-            let mut list = TimeList::new();
-            for date in 0..10u16 {
-                list.add(date, seg * 1000 + date as u32);
-                list.add(date, seg * 1000 + 500);
+        for encoding in ALL_ENCODINGS {
+            let store = PostingStore::with_options(InMemoryPageStore::new(), 4, 0, 0, encoding);
+            assert_eq!(store.encoding(), encoding);
+            let mut handles = Vec::new();
+            for seg in 0..50u32 {
+                let mut list = TimeList::new();
+                for date in 0..10u16 {
+                    list.add(date, seg * 1000 + date as u32);
+                    list.add(date, seg * 1000 + 500);
+                }
+                handles.push((seg, list.clone(), store.append_time_list(&list).unwrap()));
             }
-            handles.push((seg, list.clone(), store.append_time_list(&list).unwrap()));
+            for (_, list, handle) in &handles {
+                assert_eq!(&store.read_time_list(*handle).unwrap(), list);
+            }
         }
-        for (_, list, handle) in &handles {
-            assert_eq!(&store.read_time_list(*handle).unwrap(), list);
+    }
+
+    #[test]
+    fn tagged_heap_reads_mixed_encodings() {
+        // Compaction copies blob bytes verbatim, so a delta-configured heap
+        // must read back raw-tagged blobs untouched (and vice versa).
+        let store =
+            PostingStore::with_options(InMemoryPageStore::new(), 4, 0, 0, PostingEncoding::Delta);
+        let list = sample_list();
+        let raw_handle = store.append(&list.encode_as(PostingEncoding::Raw)).unwrap();
+        let delta_handle = store.append_time_list(&list).unwrap();
+        assert_eq!(store.read_time_list(raw_handle).unwrap(), list);
+        assert_eq!(store.read_time_list(delta_handle).unwrap(), list);
+        assert!(delta_handle.len < raw_handle.len);
+    }
+
+    #[test]
+    fn read_time_list_records_decode_accounting() {
+        let store =
+            PostingStore::with_options(InMemoryPageStore::new(), 4, 0, 0, PostingEncoding::Delta);
+        let list = sample_list();
+        let handle = store.append_time_list(&list).unwrap();
+        store.io_stats().reset();
+        store.read_time_list(handle).unwrap();
+        let snap = store.io_stats().snapshot();
+        assert_eq!(snap.bytes_decoded, list.raw_encoded_size());
+        assert_eq!(snap.bytes_resident, handle.len as u64);
+        assert!(snap.bytes_resident < snap.bytes_decoded);
+    }
+
+    #[test]
+    fn corrupt_blob_is_reported_not_shortened() {
+        let store =
+            PostingStore::with_options(InMemoryPageStore::new(), 4, 0, 0, PostingEncoding::Delta);
+        let list = sample_list();
+        let mut bytes = list.encode_as(PostingEncoding::Delta);
+        // Zero the tail, simulating a torn page under a range-valid handle.
+        let n = bytes.len();
+        for b in &mut bytes[n - 2..] {
+            *b = 0;
         }
+        let handle = store.append(&bytes).unwrap();
+        let err = store.read_time_list(handle).unwrap_err();
+        assert!(
+            matches!(err, crate::StorageError::Corrupt { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]
@@ -554,6 +1357,19 @@ mod tests {
     }
 
     #[test]
+    fn id_iter_is_exact_size_in_both_modes() {
+        let list = sample_list();
+        for encoding in ALL_ENCODINGS {
+            let bytes = list.encode_as(encoding);
+            let mut index = 0;
+            assert!(visit_posting(&bytes, encoding, |_, ids| {
+                assert_eq!(ids.len(), list.entries[index].traj_ids.len());
+                index += 1;
+            }));
+        }
+    }
+
+    #[test]
     fn read_into_reuses_buffer() {
         let store = PostingStore::new(InMemoryPageStore::new(), 8);
         let h1 = store.append(b"first blob").unwrap();
@@ -575,5 +1391,18 @@ mod tests {
         let h = store.append(b"").unwrap();
         assert_eq!(h.len, 0);
         assert_eq!(store.read(h).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn encoding_config_byte_roundtrip() {
+        for encoding in ALL_ENCODINGS {
+            assert_eq!(
+                PostingEncoding::from_config_byte(encoding.config_byte()),
+                Some(encoding)
+            );
+            assert_eq!(encoding.name().parse::<PostingEncoding>(), Ok(encoding));
+        }
+        assert_eq!(PostingEncoding::from_config_byte(99), None);
+        assert!("zstd".parse::<PostingEncoding>().is_err());
     }
 }

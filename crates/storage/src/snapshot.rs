@@ -38,13 +38,20 @@ use crate::pagestore::{StorageError, StorageResult};
 /// Magic bytes opening every snapshot container.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"STRSNAP\0";
 
-/// Snapshot format version written (and required) by this build.
+/// Snapshot format version written by this build.
 ///
 /// Version history: 1 — original container; 2 — `config` section grew
 /// `read_retries`, and the streaming-ingest sections (`delta_pages_meta`,
 /// `delta_dir`, `ingest_meta`) plus the `deltas.pages` file are required;
-/// 3 — `config` section grew `auto_checkpoint_bytes` (online maintenance).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// 3 — `config` section grew `auto_checkpoint_bytes` (online maintenance);
+/// 4 — `config` section grew `storage_backend` and `posting_encoding`, and
+/// posting heaps may hold tagged (raw/delta-varint) blobs. Version-3
+/// containers are still read ([`MIN_SNAPSHOT_VERSION`]); their heaps decode
+/// with the untagged legacy layout.
+pub const SNAPSHOT_VERSION: u32 = 4;
+
+/// Oldest snapshot format version this build still reads.
+pub const MIN_SNAPSHOT_VERSION: u32 = 3;
 
 /// Streaming CRC-32 (IEEE 802.3, reflected) accumulator. Implemented
 /// locally — the offline build has no checksum crate — and verified against
@@ -145,6 +152,7 @@ impl Default for SnapshotWriter {
 
 /// Reads and validates a snapshot container into memory.
 pub struct SnapshotReader {
+    version: u32,
     sections: Vec<(String, Vec<u8>)>,
 }
 
@@ -183,7 +191,7 @@ impl SnapshotReader {
             return Err(StorageError::corrupt("bad snapshot magic"));
         }
         let version = cursor.get_u32_le();
-        if version != SNAPSHOT_VERSION {
+        if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(StorageError::UnsupportedVersion {
                 found: version,
                 expected: SNAPSHOT_VERSION,
@@ -224,7 +232,14 @@ impl SnapshotReader {
         if cursor.remaining() != 0 {
             return Err(StorageError::corrupt("trailing bytes after last section"));
         }
-        Ok(Self { sections })
+        Ok(Self { version, sections })
+    }
+
+    /// The container's format version (within
+    /// `MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION`). Engine opens use this to
+    /// pick the legacy decoding for sections that grew across versions.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Names of the sections in file order.
@@ -348,6 +363,37 @@ mod tests {
         assert!(matches!(
             SnapshotReader::parse(&bytes),
             Err(StorageError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn previous_version_still_parses_but_older_are_rejected() {
+        let path = tmp("backcompat.snap");
+        let mut w = SnapshotWriter::new();
+        w.add_section("data", b"legacy".to_vec());
+        w.finish(&path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        assert_eq!(
+            SnapshotReader::parse(&clean).unwrap().version(),
+            SNAPSHOT_VERSION
+        );
+
+        let reversion = |v: u8| {
+            let mut bytes = clean.clone();
+            bytes[8] = v;
+            let n = bytes.len();
+            let seal = crc32(&bytes[..n - 4]);
+            bytes[n - 4..].copy_from_slice(&seal.to_le_bytes());
+            bytes
+        };
+        // The immediately previous version (3) is still readable.
+        let v3 = SnapshotReader::parse(&reversion(3)).unwrap();
+        assert_eq!(v3.version(), 3);
+        assert_eq!(v3.section("data").unwrap(), b"legacy");
+        // Anything older than MIN_SNAPSHOT_VERSION is not.
+        assert!(matches!(
+            SnapshotReader::parse(&reversion(2)),
+            Err(StorageError::UnsupportedVersion { found: 2, .. })
         ));
     }
 }

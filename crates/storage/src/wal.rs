@@ -19,6 +19,10 @@
 //! ```
 //!
 //! Records are opaque byte blobs framed with a length and a CRC-32 seal.
+//! (The ingest layer packs its trajectory-point batches into these blobs
+//! with the same canonical LEB128 varints as the compressed posting
+//! encoding — see [`crate::put_varint_u32`] — so frame payloads shrink with
+//! the rest of the cold path; the framing itself is format-agnostic.)
 //! There is no terminator: the log is append-only and a crash can leave a
 //! torn frame at the tail. [`Wal::open`] recovers **deterministically**: it
 //! scans frames from the start, stops at the first frame that is short or

@@ -20,6 +20,13 @@
 //!   run is reproducible from the seed printed in its assertion message
 //!   (override with `STREACH_FAULT_SEED`).
 //!
+//! The campaign runs against both sealed-page backends: CI sets
+//! `STREACH_STORE_BACKEND={file,mmap}` to serve the snapshot's page files
+//! through buffered file reads or the read-only memory mapping — the fault
+//! wrapper sits *on top* of either backend, so torn/zeroed/EIO scripting
+//! covers the mmap read path too (unset = the backend recorded in the
+//! snapshot config).
+//!
 //! The streaming-ingest subsystem gets its own crash-recovery campaign:
 //! a torn WAL append ("kill") at **every record ordinal**, reopen, assert
 //! the consistent prefix; plus delta-heap write faults at every page-write
@@ -48,6 +55,16 @@ fn fault_seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_260_728)
+}
+
+/// Sealed-page backend override for the campaign matrix: CI runs the suite
+/// once per `STREACH_STORE_BACKEND` value; unset uses the backend recorded
+/// in the snapshot config.
+fn store_backend() -> Option<streach::storage::StorageBackend> {
+    std::env::var("STREACH_STORE_BACKEND").ok().map(|s| {
+        s.parse()
+            .expect("STREACH_STORE_BACKEND must be `file` or `mmap`")
+    })
 }
 
 fn tmp_dir(name: &str) -> PathBuf {
@@ -118,18 +135,28 @@ fn extra_batches(network: &Arc<RoadNetwork>) -> Vec<Vec<TrajPoint>> {
 }
 
 /// Reopens the snapshot with a fault-injection wrapper under the buffer
-/// pool, returning the engine and the script controller.
+/// pool, returning the engine and the script controller. The base heap is
+/// served through the `STREACH_STORE_BACKEND` backend when set, so the
+/// whole campaign exercises the file and mmap read paths alike.
 fn reopen_with_faults(
     dir: &PathBuf,
     network: Arc<RoadNetwork>,
     seed: u64,
 ) -> (ReachabilityEngine, FaultController) {
     let mut controller = None;
-    let engine = ReachabilityEngine::open_snapshot_with_store(dir, network, |store| {
-        let faulty = FaultInjectingPageStore::with_seed(store, seed);
-        controller = Some(faulty.controller());
-        Box::new(faulty)
-    })
+    let engine = ReachabilityEngine::open_snapshot_with_stores_and_backend(
+        dir,
+        network,
+        store_backend(),
+        |role, store| match role {
+            StoreRole::Base => {
+                let faulty = FaultInjectingPageStore::with_seed(store, seed);
+                controller = Some(faulty.controller());
+                Box::new(faulty)
+            }
+            StoreRole::Delta => store,
+        },
+    )
     .expect("open snapshot with fault wrapper");
     (engine, controller.expect("wrapper installed"))
 }
@@ -754,10 +781,15 @@ fn compaction_failing_mid_copy_leaves_old_base_serving_and_is_retryable() {
     let batches = extra_batches(&network);
 
     let ctl = FaultController::detached(seed);
-    let engine = ReachabilityEngine::open_snapshot_with_stores(&dir, network.clone(), {
-        let ctl = ctl.clone();
-        move |_role, store| Box::new(FaultInjectingPageStore::with_controller(store, &ctl))
-    })
+    let engine = ReachabilityEngine::open_snapshot_with_stores_and_backend(
+        &dir,
+        network.clone(),
+        store_backend(),
+        {
+            let ctl = ctl.clone();
+            move |_role, store| Box::new(FaultInjectingPageStore::with_controller(store, &ctl))
+        },
+    )
     .expect("open snapshot with fault wrapper on both heaps");
     for batch in &batches {
         engine.ingest(batch).expect("ingest");

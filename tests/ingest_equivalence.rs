@@ -211,6 +211,54 @@ fn ingested_engine_matches_rebuilt_engine_bit_exactly() {
     );
 }
 
+/// The posting-heap wire encoding must be invisible to the equivalence
+/// guarantee: with compression on (the default delta/varint), with the
+/// tagged raw encoding, and with the untagged legacy heap, base + ingest ==
+/// from-scratch rebuild bit-exactly on all four pipelines — and compaction
+/// (which copies blob bytes verbatim, preserving each blob's encoding)
+/// keeps it that way.
+#[test]
+fn ingest_equivalence_holds_on_every_posting_encoding() {
+    use streach::storage::PostingEncoding;
+
+    let s = scenario();
+    for encoding in [
+        PostingEncoding::LegacyRaw,
+        PostingEncoding::Raw,
+        PostingEncoding::Delta,
+    ] {
+        let cfg = IndexConfig {
+            posting_encoding: encoding,
+            ..config()
+        };
+        let ingested = streach::core::EngineBuilder::new(s.network.clone(), &s.base)
+            .index_config(cfg.clone())
+            .build();
+        let rebuilt = streach::core::EngineBuilder::new(s.network.clone(), &s.combined)
+            .index_config(cfg)
+            .build();
+        for batch in &s.extra_batches {
+            ingested.ingest(batch).expect("ingest batch");
+        }
+        assert_bit_identical(
+            &ingested,
+            &rebuilt,
+            &format!("{encoding:?}: ingested vs rebuilt"),
+        );
+        ingested.compact().expect("compact");
+        assert_eq!(
+            ingested.st_index().stats(),
+            rebuilt.st_index().stats(),
+            "{encoding:?}: compacted base must match the from-scratch layout"
+        );
+        assert_bit_identical(
+            &ingested,
+            &rebuilt,
+            &format!("{encoding:?}: compacted vs rebuilt"),
+        );
+    }
+}
+
 /// Ingest order must not matter: interleaving the batches point-group-wise
 /// converges to the same engine (the delta merge is a sorted-set union).
 #[test]
