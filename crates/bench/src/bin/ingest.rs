@@ -2,7 +2,7 @@
 //! records the result in `BENCH_ingest.json`.
 //!
 //! ```text
-//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries] [-- --cold-path]
+//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries] [-- --cold-path] [-- --sharded]
 //! ```
 //!
 //! `--group-commit` runs only the multi-writer WAL group-commit comparison
@@ -14,7 +14,10 @@
 //! delta/varint-compressed postings × file vs mmap backend — **gated**: the
 //! compressed `postings.pages` must be at least [`COLD_PATH_RATIO_GATE`]×
 //! smaller than the raw one and the mmap backend must answer bit-identically
-//! to the file backend, or the process exits non-zero). With no mode flag
+//! to the file backend, or the process exits non-zero); `--sharded` runs only
+//! the shard-scaling section (aggregate s-query throughput through a 1-, 2-
+//! and 4-shard scatter-gather router, **gated**: every sharded answer must be
+//! bit-identical to the unsharded baseline). With no mode flag
 //! every section runs and the results — including the `cold_path` object —
 //! are written to `BENCH_ingest.json`; a mode-only run prints its table
 //! (and enforces its gates) without touching the JSON.
@@ -255,6 +258,92 @@ fn run_concurrent_queries(
     )
 }
 
+/// Shard-scaling comparison: the same dataset served through a 1-, 2- and
+/// 4-shard scatter-gather router ([`ShardedEngine`]); per shard count,
+/// measures partition + per-shard index build time and aggregate s-query
+/// throughput over a spread workload (locations across the network, so
+/// reachable annuli straddle shard boundaries). Every sharded answer is
+/// checked bit-identical to the unsharded baseline. Returns
+/// `(shards, build_s, queries_per_s)` cells plus the identity verdict.
+fn run_shard_scaling(
+    network: &Arc<RoadNetwork>,
+    dataset: &TrajectoryDataset,
+    config: &IndexConfig,
+    iterations: usize,
+) -> (Vec<(u16, f64, f64)>, bool) {
+    let b = network.bounds();
+    let center = b.center();
+    let (dlon, dlat) = (b.max_lon - b.min_lon, b.max_lat - b.min_lat);
+    let mut workload = Vec::new();
+    for (fx, fy) in [
+        (0.0, 0.0),
+        (0.2, 0.1),
+        (-0.15, -0.1),
+        (0.1, -0.2),
+        (-0.2, 0.15),
+    ] {
+        for (start, duration) in [(9 * 3600u32, 600u32), (10 * 3600, 900)] {
+            workload.push(SQuery {
+                location: GeoPoint::new(center.lon + dlon * fx, center.lat + dlat * fy),
+                start_time_s: start,
+                duration_s: duration,
+                prob: 0.25,
+            });
+        }
+    }
+    let baseline = EngineBuilder::new(network.clone(), dataset)
+        .index_config(config.clone())
+        .build();
+    let expected: Vec<(Vec<SegmentId>, u64)> = workload
+        .iter()
+        .map(|q| {
+            let o = baseline.s_query(q, Algorithm::SqmbTbs);
+            (o.region.segments, o.region.total_length_km.to_bits())
+        })
+        .collect();
+
+    let mut cells = Vec::new();
+    let mut identical = true;
+    for shards in [1u16, 2, 4] {
+        let t0 = Instant::now();
+        let map = Arc::new(ShardMap::partition(network, shards));
+        let leaders: Vec<Arc<ReachabilityEngine>> = (0..shards)
+            .map(|shard_id| {
+                Arc::new(
+                    EngineBuilder::new(network.clone(), dataset)
+                        .index_config(config.clone())
+                        .shard(map.clone(), shard_id)
+                        .build(),
+                )
+            })
+            .collect();
+        let router = ShardedEngine::new(map, leaders);
+        let build_s = t0.elapsed().as_secs_f64();
+
+        // One warmup sweep so the throughput loop measures routed posting
+        // reads rather than first-touch Con-Index table construction.
+        for q in &workload {
+            router.try_s_query(q, Algorithm::SqmbTbs).expect("warmup");
+        }
+        let t0 = Instant::now();
+        let mut answered = 0usize;
+        for _ in 0..iterations {
+            for (i, q) in workload.iter().enumerate() {
+                let o = router
+                    .try_s_query(q, Algorithm::SqmbTbs)
+                    .expect("sharded query");
+                answered += 1;
+                if (o.region.segments, o.region.total_length_km.to_bits()) != expected[i] {
+                    identical = false;
+                }
+            }
+        }
+        let queries_per_s = answered as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        cells.push((shards, build_s, queries_per_s));
+    }
+    (cells, identical)
+}
+
 struct Scale {
     label: &'static str,
     taxis: usize,
@@ -268,7 +357,8 @@ fn main() {
     let only_group = args.iter().any(|a| a == "--group-commit");
     let only_concurrent = args.iter().any(|a| a == "--concurrent-queries");
     let only_cold = args.iter().any(|a| a == "--cold-path");
-    let run_all = !(only_group || only_concurrent || only_cold);
+    let only_sharded = args.iter().any(|a| a == "--sharded");
+    let run_all = !(only_group || only_concurrent || only_cold || only_sharded);
     let scale = if quick {
         Scale {
             label: "quick",
@@ -457,6 +547,44 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    // --- Shard scaling: s-queries through the scatter-gather router --------
+    let mut sharded_json = String::new();
+    if run_all || only_sharded {
+        let iterations = if quick { 2 } else { 4 };
+        let (cells, sharded_identical) = run_shard_scaling(&network, &full, &config, iterations);
+        for &(shards, build_s, queries_per_s) in &cells {
+            println!(
+                "{:<38} {:>6.3}s {:>8.0}/s",
+                format!("sharded serving [{shards} shard(s)]"),
+                build_s,
+                queries_per_s
+            );
+        }
+        println!(
+            "{:<38} {:>14}",
+            "sharded answers identical", sharded_identical
+        );
+        let cell_json: Vec<String> = cells
+            .iter()
+            .map(|&(shards, build_s, queries_per_s)| {
+                format!(
+                    "{{\"shards\": {shards}, \"build_s\": {build_s:.4}, \"queries_per_s\": {queries_per_s:.0}}}"
+                )
+            })
+            .collect();
+        sharded_json = format!(
+            ",\n  \"sharded_scaling\": {{\"identical\": {}, \"cells\": [{}]}}",
+            sharded_identical,
+            cell_json.join(", ")
+        );
+        if !sharded_identical {
+            eprintln!(
+                "[ingest] ERROR: a sharded router answer diverged from the unsharded baseline"
+            );
+            std::process::exit(1);
+        }
+    }
     drop(built);
     if !run_all {
         std::fs::remove_dir_all(&dir).ok();
@@ -561,7 +689,7 @@ fn main() {
     println!("{:<38} {:>14}", "ingested == rebuilt (probe)", identical);
 
     let json = format!(
-        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}{}\n}}\n",
+        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}{}{}\n}}\n",
         scale.label,
         scale.taxis,
         scale.base_days,
@@ -587,7 +715,8 @@ fn main() {
         latency_delta.median_ms(),
         latency_compacted.median_ms(),
         identical,
-        cold_json
+        cold_json,
+        sharded_json
     );
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
     eprintln!("[ingest] wrote BENCH_ingest.json");

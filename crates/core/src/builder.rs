@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use streach_roadnet::RoadNetwork;
+use streach_roadnet::{RoadNetwork, ShardMap};
 use streach_traj::TrajectoryDataset;
 
 use crate::con_index::ConIndex;
@@ -28,6 +28,7 @@ pub struct EngineBuilder<'a> {
     network: Arc<RoadNetwork>,
     dataset: &'a TrajectoryDataset,
     config: IndexConfig,
+    shard: Option<(Arc<ShardMap>, u16)>,
 }
 
 impl<'a> EngineBuilder<'a> {
@@ -37,6 +38,7 @@ impl<'a> EngineBuilder<'a> {
             network,
             dataset,
             config: IndexConfig::default(),
+            shard: None,
         }
     }
 
@@ -52,9 +54,32 @@ impl<'a> EngineBuilder<'a> {
         self
     }
 
+    /// Builds a **shard engine**: only postings of segments `map` assigns
+    /// to `shard_id` are indexed, while the speed statistics, the day count
+    /// and the last-visit table stay global ("postings sharded, statistics
+    /// replicated"). The shard's bounding regions are therefore identical
+    /// to a single engine's, and the union of all shards' postings equals
+    /// the unsharded heap — the bit-equality the scatter-gather router
+    /// relies on (see `crate::sharded`).
+    pub fn shard(mut self, map: Arc<ShardMap>, shard_id: u16) -> Self {
+        self.shard = Some((map, shard_id));
+        self
+    }
+
     /// Builds the indexes and the engine.
     pub fn build(self) -> ReachabilityEngine {
-        let st_index = StIndex::build(self.network.clone(), self.dataset, &self.config);
+        let st_index = match &self.shard {
+            Some((map, shard_id)) => {
+                let (map, shard_id) = (Arc::clone(map), *shard_id);
+                StIndex::build_filtered(
+                    self.network.clone(),
+                    self.dataset,
+                    &self.config,
+                    Some(&move |segment| map.shard_of(segment) == shard_id),
+                )
+            }
+            None => StIndex::build(self.network.clone(), self.dataset, &self.config),
+        };
         let speed_stats = Arc::new(SpeedStats::from_dataset(
             &self.network,
             self.dataset,
@@ -62,6 +87,9 @@ impl<'a> EngineBuilder<'a> {
         ));
         let con_index = ConIndex::new(self.network.clone(), speed_stats, &self.config);
         let engine = ReachabilityEngine::new(self.network, st_index, con_index, self.config);
+        if let Some((map, shard_id)) = self.shard {
+            engine.set_shard_ownership(map, shard_id);
+        }
         // Seed the streaming-ingest last-visit table with each
         // trajectory's final visit, so points that *continue* a trajectory
         // already in the batch data derive the same boundary speed pair

@@ -4,7 +4,7 @@ use std::sync::{Arc, Condvar};
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use streach_roadnet::{RoadNetwork, SegmentId};
+use streach_roadnet::{RoadNetwork, SegmentId, ShardMap};
 use streach_storage::{StorageError, StorageResult, Wal};
 use streach_traj::TrajPoint;
 
@@ -56,6 +56,20 @@ pub struct ReachabilityEngine {
     /// save elsewhere must not discard records the home snapshot has not
     /// folded in.
     snapshot_home: Mutex<Option<std::path::PathBuf>>,
+    /// Spatial ownership of a shard engine: the partition map and this
+    /// engine's shard id. When set, [`ReachabilityEngine::apply_batch`]
+    /// folds only owned segments into the ST-Index postings while the
+    /// statistics layers (Con-Index speed pairs, day count, last-visit
+    /// table) stay global — "postings sharded, statistics replicated" —
+    /// so per-shard bounding regions match the single-engine ones exactly.
+    /// Set once at build/open, before the engine is shared.
+    shard: std::sync::OnceLock<(Arc<ShardMap>, u16)>,
+    /// Whether snapshots of this engine embed the road network (set by
+    /// [`ReachabilityEngine::save_snapshot_self_contained`] and by opening
+    /// a self-contained snapshot). Once set, every later save — including
+    /// incremental checkpoints — keeps the `road_network` section, so a
+    /// replica bootstrapped from shipped artifacts stays bootstrappable.
+    self_contained: std::sync::atomic::AtomicBool,
 }
 
 impl ReachabilityEngine {
@@ -75,7 +89,29 @@ impl ReachabilityEngine {
             base_pages: Mutex::new(None),
             delta_seq: std::sync::atomic::AtomicU64::new(0),
             snapshot_home: Mutex::new(None),
+            shard: std::sync::OnceLock::new(),
+            self_contained: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Declares this engine a shard: batches fold only postings of segments
+    /// `map` assigns to `shard_id` (statistics stay global). Must be set
+    /// before any points are applied; a second call is ignored.
+    pub(crate) fn set_shard_ownership(&self, map: Arc<ShardMap>, shard_id: u16) {
+        let _ = self.shard.set((map, shard_id));
+    }
+
+    /// The shard ownership of this engine, if it is a shard of a partition.
+    pub fn shard_ownership(&self) -> Option<(Arc<ShardMap>, u16)> {
+        self.shard.get().cloned()
+    }
+
+    /// Current WAL position of this engine: (generation, applied records).
+    /// For a leader this advances with ingest; for a replica it advances as
+    /// shipped records are applied — the replication-lag observable.
+    pub fn wal_position(&self) -> (u64, u64) {
+        let state = self.ingest_state();
+        (state.wal_generation, state.wal_applied)
     }
 
     /// Locks the ingest state (poisoning is translated to "keep going with
@@ -200,6 +236,37 @@ impl ReachabilityEngine {
         self.save_impl(dir.as_ref(), false)
     }
 
+    /// Like [`ReachabilityEngine::save_snapshot`], but embeds the road
+    /// network itself (a `road_network` section, bit-exact codec) so the
+    /// snapshot directory is **self-contained**: a replica host opens it
+    /// with [`ReachabilityEngine::open_snapshot_standalone`] from shipped
+    /// artifacts alone, no out-of-band map data needed. The embedded
+    /// network is still validated against the stored fingerprint at open.
+    /// Self-containedness is sticky: every later save of this engine —
+    /// including incremental checkpoints — keeps the section.
+    pub fn save_snapshot_self_contained<P: AsRef<std::path::Path>>(
+        &self,
+        dir: P,
+    ) -> streach_storage::StorageResult<()> {
+        self.self_contained
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        self.save_impl(dir.as_ref(), false)
+    }
+
+    /// Whether saves of this engine embed the road network (see
+    /// [`ReachabilityEngine::save_snapshot_self_contained`]).
+    pub(crate) fn snapshot_self_contained(&self) -> bool {
+        self.self_contained
+            .load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Marks this engine as opened from a self-contained snapshot, so
+    /// checkpoints keep embedding the network.
+    pub(crate) fn set_snapshot_self_contained(&self) {
+        self.self_contained
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
     /// Like [`ReachabilityEngine::save_snapshot`], but skips re-exporting
     /// the base posting page file when the target directory already holds
     /// the heap this engine was opened from (length-checked here; the
@@ -256,6 +323,21 @@ impl ReachabilityEngine {
         network: Arc<RoadNetwork>,
     ) -> streach_storage::StorageResult<Self> {
         Self::open_snapshot_with_store(dir, network, |store| store)
+    }
+
+    /// Reopens an engine from a **self-contained** snapshot (one saved with
+    /// [`ReachabilityEngine::save_snapshot_self_contained`]) without any
+    /// external input: the road network is decoded from the snapshot's own
+    /// `road_network` section, then validated against the stored
+    /// fingerprint like every other open. This is how a replica host
+    /// bootstraps from shipped artifacts alone. Fails with
+    /// [`streach_storage::StorageError::Corrupt`] when the snapshot was not
+    /// saved self-contained.
+    pub fn open_snapshot_standalone<P: AsRef<std::path::Path>>(
+        dir: P,
+    ) -> streach_storage::StorageResult<Self> {
+        let network = crate::snapshot::read_embedded_network(dir.as_ref())?;
+        crate::snapshot::open(dir.as_ref(), network, None, |_, store| store)
     }
 
     /// Like [`ReachabilityEngine::open_snapshot`], but serves the sealed
@@ -526,6 +608,87 @@ impl ReachabilityEngine {
         }
     }
 
+    /// Applies one WAL record shipped from a leader, identified by its
+    /// (generation, ordinal) position in the leader's log.
+    ///
+    /// This is the replica half of WAL shipping: the replica holds **no
+    /// attached WAL of its own** — durability lives at the leader (and in
+    /// the follower's shipped-frame log, see
+    /// [`streach_storage::FollowerLog`]) — but its WAL bookkeeping tracks
+    /// the applied position so lag is observable
+    /// ([`ReachabilityEngine::wal_position`]) and a later
+    /// [`ReachabilityEngine::attach_wal`] on the shipped log (failover
+    /// promotion) skips everything already applied.
+    ///
+    /// Records at an already-applied position return `Ok(false)` without
+    /// touching the index (re-applying a batch is NOT idempotent for the
+    /// speed statistics, so at-least-once shipping needs this exact-once
+    /// gate). A record of a new generation restarts the count — the
+    /// shipping protocol converges a follower before the leader rotates, so
+    /// a fresh generation always starts at ordinal 0. A gap within a
+    /// generation is a protocol violation and surfaces as a typed error.
+    pub fn apply_replicated(
+        &self,
+        generation: u64,
+        ordinal: u64,
+        points: &[TrajPoint],
+    ) -> StorageResult<bool> {
+        self.validate_points(points)?;
+        let mut state = self.ingest_state();
+        if state.wal.is_some() {
+            return Err(StorageError::corrupt(
+                "apply_replicated rejected: this engine has its own attached WAL \
+                 (it is a leader, not a replica)",
+            ));
+        }
+        if generation == state.wal_generation {
+            if ordinal < state.wal_applied {
+                return Ok(false);
+            }
+            if ordinal > state.wal_applied {
+                return Err(StorageError::corrupt(format!(
+                    "replication gap: shipped record {generation}/{ordinal} but only \
+                     {} records of generation {} are applied",
+                    state.wal_applied, state.wal_generation
+                )));
+            }
+        } else {
+            if ordinal != 0 {
+                return Err(StorageError::corrupt(format!(
+                    "replication gap: shipped generation {generation} starts at \
+                     record {ordinal}, expected 0"
+                )));
+            }
+            state.wal_generation = generation;
+            state.wal_applied = 0;
+        }
+        self.apply_batch(points, &mut state)?;
+        state.wal_applied = ordinal + 1;
+        Ok(true)
+    }
+
+    /// Advances a replica's WAL bookkeeping across a leader rotation that
+    /// has shipped no records of the new generation yet (the leader
+    /// checkpointed; its fresh log is empty). Without this, a fully caught
+    /// up replica would report the retired generation until the next
+    /// record arrives. No-op when the replica already reached (or passed)
+    /// `generation`; rejected on a leader like
+    /// [`ReachabilityEngine::apply_replicated`].
+    pub(crate) fn observe_replicated_rotation(&self, generation: u64) -> StorageResult<()> {
+        let mut state = self.ingest_state();
+        if state.wal.is_some() {
+            return Err(StorageError::corrupt(
+                "cannot observe a replicated rotation on an engine with an attached WAL \
+                 (it is a leader, not a replica)",
+            ));
+        }
+        if generation > state.wal_generation {
+            state.wal_generation = generation;
+            state.wal_applied = 0;
+        }
+        Ok(())
+    }
+
     /// Rejects batches this engine cannot apply — shared by live ingest
     /// (before anything is logged) and WAL replay (before anything is
     /// indexed).
@@ -585,6 +748,14 @@ impl ReachabilityEngine {
         }
         if normalized.is_empty() {
             return Ok((0, 0));
+        }
+
+        // A shard engine indexes only its owned postings. The filter runs
+        // AFTER normalization so the dropped-re-entry decisions, the speed
+        // pairs, the last-visit table and the day count are computed over
+        // the full batch — identical on every shard and on a single engine.
+        if let Some((map, shard_id)) = self.shard.get() {
+            normalized.retain(|p| map.shard_of(p.segment) == *shard_id);
         }
 
         let lists_touched = self.st_index.apply_points(&normalized)?;

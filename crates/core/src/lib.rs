@@ -127,6 +127,8 @@ pub mod ingest;
 pub mod maintenance;
 pub mod query;
 pub mod region;
+pub mod replicate;
+pub mod sharded;
 pub mod snapshot;
 pub mod speed_stats;
 pub mod st_index;
@@ -143,6 +145,8 @@ pub use maintenance::{
 };
 pub use query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
 pub use region::ReachableRegion;
+pub use replicate::{ReplicaSet, ReplicaStatus};
+pub use sharded::{ReadPreference, ShardedEngine};
 pub use snapshot::StoreRole;
 pub use speed_stats::SpeedStats;
 pub use st_index::{DeltaStats, StIndex};
@@ -159,8 +163,10 @@ pub mod prelude {
     pub use crate::maintenance::{MaintenanceConfig, MaintenanceController};
     pub use crate::query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
     pub use crate::region::ReachableRegion;
+    pub use crate::replicate::{ReplicaSet, ReplicaStatus};
+    pub use crate::sharded::{ReadPreference, ShardedEngine};
     pub use crate::stats::QueryStats;
     pub use streach_geo::GeoPoint;
-    pub use streach_roadnet::{GeneratorConfig, RoadNetwork, SegmentId, SyntheticCity};
+    pub use streach_roadnet::{GeneratorConfig, RoadNetwork, SegmentId, ShardMap, SyntheticCity};
     pub use streach_traj::{points_of, FleetConfig, TrajPoint, TrajectoryDataset};
 }

@@ -24,10 +24,9 @@ use std::time::{Duration, Instant};
 use streach_roadnet::{RoadClass, RoadNetwork, SegmentId};
 use streach_storage::StorageResult;
 
-use crate::query::verifier::{VerifierCore, VerifierScratch};
+use crate::query::verifier::{PostingSource, VerifierCore, VerifierScratch};
 use crate::query::SQuery;
 use crate::region::ReachableRegion;
-use crate::st_index::StIndex;
 
 /// Outcome of an exhaustive search.
 pub struct EsOutcome {
@@ -46,9 +45,9 @@ pub struct EsOutcome {
 /// Answers an s-query by exhaustive search. Fallible: every candidate
 /// verification reads postings, and a storage fault anywhere in the batch
 /// cancels the remaining work and surfaces as `Err`.
-pub fn exhaustive_search(
+pub fn exhaustive_search<I: PostingSource + ?Sized>(
     network: &RoadNetwork,
-    st_index: &StIndex,
+    st_index: &I,
     query: &SQuery,
     start_segment: SegmentId,
 ) -> StorageResult<EsOutcome> {
@@ -110,6 +109,7 @@ pub fn exhaustive_search(
 mod tests {
     use super::*;
     use crate::config::IndexConfig;
+    use crate::st_index::StIndex;
     use std::sync::Arc;
     use streach_geo::GeoPoint;
     use streach_roadnet::{segment_distances_from, GeneratorConfig, SyntheticCity};

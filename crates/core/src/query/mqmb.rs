@@ -26,9 +26,8 @@ use streach_storage::StorageResult;
 
 use crate::con_index::ConIndex;
 use crate::query::sqmb::num_hops;
-use crate::query::verifier::{VerifierCore, VerifierScratch};
+use crate::query::verifier::{PostingSource, VerifierCore, VerifierScratch};
 use crate::region::ReachableRegion;
-use crate::st_index::StIndex;
 use crate::time::slot_of;
 
 /// Sentinel for "segment not in the region / unowned".
@@ -262,9 +261,9 @@ pub struct MqmbTbsOutcome {
 /// to end: core construction reads the start segments' postings and every
 /// annulus verification reads the candidate's — a storage fault anywhere
 /// cancels the remaining work and surfaces as `Err`.
-pub fn mqmb_trace_back(
+pub fn mqmb_trace_back<I: PostingSource + ?Sized>(
     network: &RoadNetwork,
-    st_index: &StIndex,
+    st_index: &I,
     bounds: &MqmbBounds,
     starts: &[SegmentId],
     start_time_s: u32,
@@ -272,7 +271,7 @@ pub fn mqmb_trace_back(
     prob: f64,
 ) -> StorageResult<MqmbTbsOutcome> {
     let t0 = Instant::now();
-    let cores: Vec<VerifierCore<'_>> = starts
+    let cores: Vec<VerifierCore<'_, I>> = starts
         .iter()
         .map(|&s| VerifierCore::new(st_index, s, start_time_s, duration_s))
         .collect::<StorageResult<_>>()?;
@@ -310,6 +309,7 @@ mod tests {
     use crate::config::IndexConfig;
     use crate::query::sqmb::sqmb;
     use crate::speed_stats::SpeedStats;
+    use crate::st_index::StIndex;
     use std::sync::Arc;
     use streach_roadnet::{GeneratorConfig, SyntheticCity};
     use streach_traj::{FleetConfig, TrajectoryDataset};

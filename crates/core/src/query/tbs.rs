@@ -25,7 +25,7 @@ use streach_roadnet::RoadNetwork;
 use streach_storage::StorageResult;
 
 use crate::query::sqmb::BoundingRegions;
-use crate::query::verifier::{VerifierCore, VerifierScratch};
+use crate::query::verifier::{PostingSource, VerifierCore, VerifierScratch};
 use crate::region::ReachableRegion;
 
 /// Outcome of a trace back search.
@@ -47,9 +47,9 @@ pub struct TbsOutcome {
 /// in any worker wins over the batch (`streach_par::try_par_map_with`
 /// cancels the remaining verifications cleanly) and no partial region is
 /// returned.
-pub fn trace_back_search(
+pub fn trace_back_search<I: PostingSource + ?Sized>(
     network: &RoadNetwork,
-    core: &VerifierCore<'_>,
+    core: &VerifierCore<'_, I>,
     bounds: &BoundingRegions,
     prob: f64,
 ) -> StorageResult<TbsOutcome> {

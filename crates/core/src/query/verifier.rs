@@ -37,15 +37,50 @@
 use std::sync::Arc;
 
 use streach_roadnet::SegmentId;
-use streach_storage::{visit_posting, IoStats, PostingEncoding, StorageResult};
+use streach_storage::{visit_posting, IoStats, PostingEncoding, StorageError, StorageResult};
 
 use crate::st_index::StIndex;
 use crate::time::slots_overlapping;
 
+/// The read-side surface the verifiers need from a posting index.
+///
+/// This is exactly the set of [`StIndex`] methods the verification hot path
+/// touches — nothing about building, ingest, or compaction. [`StIndex`] is
+/// the canonical implementation; a sharded deployment implements it with a
+/// router that resolves each `(segment, slot)` read against the shard (and
+/// replica) owning that segment, so the zero-allocation verify loop is
+/// oblivious to the topology behind it.
+pub trait PostingSource: Sync {
+    /// Slot width in seconds of the underlying index.
+    fn slot_s(&self) -> u32;
+
+    /// Number of observed days (the denominator `m` of Eq. 3.1).
+    fn num_days(&self) -> u16;
+
+    /// Wire encoding of the posting heaps.
+    fn posting_encoding(&self) -> PostingEncoding;
+
+    /// Shared I/O counters that posting decodes are reported against.
+    fn io_stats(&self) -> Arc<IoStats>;
+
+    /// Copies the encoded time list for `(segment, slot)` into `buf`.
+    /// Returns `Ok(false)` when no posting exists for the pair.
+    fn read_time_list_into(
+        &self,
+        segment: SegmentId,
+        slot: u32,
+        buf: &mut Vec<u8>,
+    ) -> StorageResult<bool>;
+
+    /// The typed error describing a structurally invalid posting at
+    /// `(segment, slot)`.
+    fn malformed_posting(&self, segment: SegmentId, slot: u32) -> StorageError;
+}
+
 /// The immutable, shareable half of a verifier: one (start segment, T, Δt, L)
 /// combination.
-pub struct VerifierCore<'a> {
-    st_index: &'a StIndex,
+pub struct VerifierCore<'a, I: PostingSource + ?Sized = StIndex> {
+    st_index: &'a I,
     /// Trajectory IDs that passed the start segment during `[T, T + Δt)`,
     /// indexed by date (sorted + deduplicated; empty = day inactive).
     start_ids: Vec<Vec<u32>>,
@@ -106,7 +141,7 @@ fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
     false
 }
 
-impl<'a> VerifierCore<'a> {
+impl<'a, I: PostingSource + ?Sized> VerifierCore<'a, I> {
     /// Builds the shared core for queries starting from `start_segment` at
     /// time `start_time_s`, with query duration `duration_s`.
     ///
@@ -115,7 +150,7 @@ impl<'a> VerifierCore<'a> {
     /// reads are real page I/O, so construction is fallible: a disk fault or
     /// malformed posting surfaces as `Err` instead of aborting the process.
     pub fn new(
-        st_index: &'a StIndex,
+        st_index: &'a I,
         start_segment: SegmentId,
         start_time_s: u32,
         duration_s: u32,
@@ -277,18 +312,18 @@ impl<'a> VerifierCore<'a> {
 /// A reusable verifier for one (start segment, T, Δt, L) combination:
 /// a [`VerifierCore`] bundled with one [`VerifierScratch`] for sequential
 /// call sites.
-pub struct ReachabilityVerifier<'a> {
-    core: VerifierCore<'a>,
+pub struct ReachabilityVerifier<'a, I: PostingSource + ?Sized = StIndex> {
+    core: VerifierCore<'a, I>,
     scratch: VerifierScratch,
 }
 
-impl<'a> ReachabilityVerifier<'a> {
+impl<'a, I: PostingSource + ?Sized> ReachabilityVerifier<'a, I> {
     /// Builds a verifier for queries starting from `start_segment` at time
     /// `start_time_s`, with query duration `duration_s`. Fallible for the
     /// same reason [`VerifierCore::new`] is: the start segment's postings
     /// are read here.
     pub fn new(
-        st_index: &'a StIndex,
+        st_index: &'a I,
         start_segment: SegmentId,
         start_time_s: u32,
         duration_s: u32,
@@ -301,7 +336,7 @@ impl<'a> ReachabilityVerifier<'a> {
 
     /// The shareable immutable half (for parallel verification, pair it with
     /// one [`VerifierScratch`] per worker).
-    pub fn core(&self) -> &VerifierCore<'a> {
+    pub fn core(&self) -> &VerifierCore<'a, I> {
         &self.core
     }
 

@@ -1,0 +1,430 @@
+//! WAL shipping: leader → follower replication for read replicas.
+//!
+//! A serving leader already writes every ingest batch to a CRC-framed,
+//! generation-stamped WAL before applying it. Replication reuses that log
+//! as the shipping medium:
+//!
+//! * [`streach_storage::WalTail`] polls the leader's WAL file and yields
+//!   contiguous, CRC-verified record batches (a torn tail is simply "not
+//!   yet" — the leader's in-flight append completes on the next poll),
+//! * each replica persists the shipped frames **verbatim** into a
+//!   [`streach_storage::FollowerLog`] — byte-compatible with a leader WAL,
+//!   so the follower's log is always a valid `attach_wal` target — and
+//! * applies the decoded batches through
+//!   [`ReachabilityEngine::apply_replicated`], the same normalization and
+//!   posting path batch ingest uses, gated exactly-once by (generation,
+//!   ordinal) so a re-shipped prefix (replica bootstrapped from a snapshot
+//!   that already covers it) is skipped, and a gap is a hard error instead
+//!   of a silently diverging replica.
+//!
+//! Convergence is observable: [`ReplicaSet::status`] reports each
+//! replica's shipped and applied (generation, records), and
+//! [`ReplicaSet::converged`] compares them against the leader's WAL
+//! position. Two engines at the same applied position hold byte-identical
+//! postings — the bit-equality `tests/sharded_equivalence.rs` pins.
+//!
+//! # Checkpoints: ship before rotate
+//!
+//! A leader checkpoint rotates its WAL (new generation, records reset)
+//! once every record is folded into the snapshot. Records of the retiring
+//! generation that were never shipped would be lost to followers, so
+//! [`ReplicaSet::checkpoint_leader`] drains the tail to every follower
+//! *first*, then saves. Followers observe the rotation as a generation
+//! change on the next shipped batch and reset their local log.
+//!
+//! # Failover
+//!
+//! When a leader's store dies, [`ReplicaSet::promote`] turns a follower
+//! into a leader: its engine already applied the shipped tail, and
+//! attaching its own follower log (a byte-compatible WAL whose applied
+//! prefix is recorded in the engine) makes it writable. The promoted
+//! engine replays nothing when it was converged, and exactly the shipped
+//! but-not-yet-applied suffix otherwise.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use streach_storage::{FollowerLog, StorageError, StorageResult, WalTail};
+
+use crate::engine::ReachabilityEngine;
+use crate::ingest::WalAttach;
+
+/// One follower: an engine applying shipped records plus its local
+/// byte-compatible copy of the leader's WAL.
+struct Follower {
+    engine: Arc<ReachabilityEngine>,
+    log: FollowerLog,
+}
+
+/// Observable replication state of one follower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Generation of the follower's local log (the last shipped one).
+    pub shipped_generation: u64,
+    /// Records persisted in the follower's local log.
+    pub shipped_records: u64,
+    /// WAL generation the follower's engine has applied into.
+    pub applied_generation: u64,
+    /// Records of that generation the engine has applied (its offset).
+    pub applied_records: u64,
+}
+
+impl ReplicaStatus {
+    /// Records shipped to this follower but not yet applied by its engine
+    /// (0 when generations disagree mid-rotation — the new generation's
+    /// log starts empty).
+    pub fn lag_records(&self) -> u64 {
+        if self.shipped_generation == self.applied_generation {
+            self.shipped_records.saturating_sub(self.applied_records)
+        } else {
+            0
+        }
+    }
+}
+
+/// A leader engine, its WAL tail, and the set of followers records are
+/// shipped to. Single-threaded by design: shipping is a maintenance
+/// activity (driven from a background loop or interleaved with ingest),
+/// while the follower engines serve reads concurrently — apply goes
+/// through the same ingest lock batch ingest takes.
+pub struct ReplicaSet {
+    leader: Arc<ReachabilityEngine>,
+    tail: WalTail,
+    followers: Vec<Follower>,
+}
+
+impl ReplicaSet {
+    /// Starts a replica set for `leader`, whose WAL lives at `leader_wal`
+    /// (the path passed to [`ReachabilityEngine::attach_wal`]).
+    pub fn new<P: AsRef<Path>>(leader: Arc<ReachabilityEngine>, leader_wal: P) -> Self {
+        Self {
+            leader,
+            tail: WalTail::new(leader_wal),
+            followers: Vec::new(),
+        }
+    }
+
+    /// The leader engine.
+    pub fn leader(&self) -> &Arc<ReachabilityEngine> {
+        &self.leader
+    }
+
+    /// Registers a follower and creates its local log at `log_path`.
+    /// `engine` must be a replica of the leader's state — typically opened
+    /// from a copy of the leader's snapshot
+    /// ([`ReachabilityEngine::open_snapshot_standalone`] when the snapshot
+    /// was saved self-contained) — and must **not** have a WAL attached
+    /// (followers are read-only until promoted). Register followers before
+    /// the first [`ReplicaSet::ship`] call (or right after a leader
+    /// checkpoint): the tail cursor is shared, so records polled earlier
+    /// are not re-shipped to late joiners.
+    pub fn add_replica<P: AsRef<Path>>(
+        &mut self,
+        engine: Arc<ReachabilityEngine>,
+        log_path: P,
+    ) -> StorageResult<usize> {
+        let (generation, _) = engine.wal_position();
+        let log = FollowerLog::create(log_path, generation)?;
+        self.followers.push(Follower { engine, log });
+        Ok(self.followers.len() - 1)
+    }
+
+    /// The follower engine registered as `index` (serving reads).
+    pub fn replica(&self, index: usize) -> &Arc<ReachabilityEngine> {
+        &self.followers[index].engine
+    }
+
+    /// Number of registered followers.
+    pub fn num_replicas(&self) -> usize {
+        self.followers.len()
+    }
+
+    /// Polls the leader's WAL and ships every newly durable record to
+    /// every follower: frames are persisted verbatim into each local log,
+    /// then applied through the exactly-once replicated-apply gate.
+    /// Returns the number of records shipped. A torn leader tail stops the
+    /// batch early and is retried on the next call.
+    pub fn ship(&mut self) -> StorageResult<u64> {
+        let mut shipped = 0u64;
+        while let Some(batch) = self.tail.poll()? {
+            for follower in &mut self.followers {
+                if batch.generation != follower.log.generation() {
+                    // A generation change always starts at record 0 (the
+                    // leader rotated); anything else means this follower
+                    // missed a rotation's worth of records.
+                    if batch.start_record != 0 {
+                        return Err(StorageError::corrupt(format!(
+                            "follower log at generation {} cannot accept generation {} \
+                             starting mid-stream at record {}",
+                            follower.log.generation(),
+                            batch.generation,
+                            batch.start_record
+                        )));
+                    }
+                    follower.log.reset(batch.generation)?;
+                }
+                follower.log.append_shipped(&batch)?;
+                for (i, payload) in batch.payloads.iter().enumerate() {
+                    let points = crate::ingest::decode_batch(payload)?;
+                    follower.engine.apply_replicated(
+                        batch.generation,
+                        batch.start_record + i as u64,
+                        &points,
+                    )?;
+                }
+            }
+            shipped += batch.payloads.len() as u64;
+        }
+        // A drained poll still latches a rotated header: when the leader
+        // checkpointed and its fresh generation holds no records yet,
+        // propagate the rotation so caught-up followers converge on the new
+        // generation instead of reporting the retired one until the next
+        // record arrives. Generations only move forward, so a tail that has
+        // not latched onto the leader's log yet (generation 0) is ignored.
+        let (tail_generation, tail_records) = self.tail.position();
+        if tail_records == 0 {
+            for follower in &mut self.followers {
+                if tail_generation > follower.log.generation() {
+                    follower.log.reset(tail_generation)?;
+                    follower
+                        .engine
+                        .observe_replicated_rotation(tail_generation)?;
+                }
+            }
+        }
+        Ok(shipped)
+    }
+
+    /// Replication state of every follower, in registration order.
+    pub fn status(&self) -> Vec<ReplicaStatus> {
+        self.followers
+            .iter()
+            .map(|f| {
+                let (applied_generation, applied_records) = f.engine.wal_position();
+                ReplicaStatus {
+                    shipped_generation: f.log.generation(),
+                    shipped_records: f.log.records(),
+                    applied_generation,
+                    applied_records,
+                }
+            })
+            .collect()
+    }
+
+    /// `true` when every follower has applied exactly the leader's WAL
+    /// position — at which point leader and followers answer every query
+    /// bit-identically.
+    pub fn converged(&self) -> bool {
+        let (generation, applied) = self.leader.wal_position();
+        self.status()
+            .iter()
+            .all(|s| s.applied_generation == generation && s.applied_records == applied)
+    }
+
+    /// Checkpoints the leader into `dir` with the **ship-before-rotate**
+    /// protocol: first drains the WAL tail to every follower, then saves —
+    /// the save may rotate the leader's WAL (retiring records followers
+    /// could otherwise never receive). Incremental, so a periodic
+    /// checkpoint of a serving leader stays cheap.
+    pub fn checkpoint_leader<P: AsRef<Path>>(&mut self, dir: P) -> StorageResult<()> {
+        self.ship()?;
+        self.leader.save_incremental_snapshot(&dir)?;
+        // The save may have rotated the leader's WAL; ship again so
+        // followers observe the new (empty) generation right away instead
+        // of on the next scheduled shipping round.
+        self.ship()?;
+        Ok(())
+    }
+
+    /// Fails over to follower `index`: detaches it from the set and
+    /// attaches its local log, making the engine writable — the new
+    /// leader. The follower's log is a byte-compatible WAL, so the attach
+    /// replays exactly the shipped-but-unapplied suffix (nothing, for a
+    /// converged follower). Call [`ReplicaSet::ship`] first if the old
+    /// leader's WAL is still readable, to shrink the data-loss window to
+    /// records the old leader never made durable.
+    ///
+    /// The remaining followers (and the dead leader) are dropped with the
+    /// set; rebuild a [`ReplicaSet`] around the promoted engine to resume
+    /// replication.
+    pub fn promote(mut self, index: usize) -> StorageResult<(Arc<ReachabilityEngine>, WalAttach)> {
+        let follower = self.followers.swap_remove(index);
+        let log_path = follower.log.path().to_path_buf();
+        // Close our handle before the engine reopens the file as its WAL.
+        drop(follower.log);
+        let attach = follower.engine.attach_wal(&log_path)?;
+        Ok((follower.engine, attach))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EngineBuilder;
+    use crate::config::IndexConfig;
+    use crate::query::{Algorithm, SQuery};
+    use streach_roadnet::{GeneratorConfig, SegmentId, SyntheticCity};
+    use streach_traj::{FleetConfig, TrajPoint, TrajectoryDataset};
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("streach-replicate-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn copy_dir(src: &Path, dst: &Path) {
+        std::fs::create_dir_all(dst).unwrap();
+        for entry in std::fs::read_dir(src).unwrap().flatten() {
+            if entry.file_type().unwrap().is_file() {
+                std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn shipped_replica_converges_and_answers_identically() {
+        let root = tmp_dir("converge");
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(
+            &network,
+            FleetConfig {
+                num_taxis: 8,
+                num_days: 2,
+                ..FleetConfig::tiny()
+            },
+        );
+        let leader = Arc::new(
+            EngineBuilder::new(network.clone(), &dataset)
+                .index_config(IndexConfig {
+                    read_latency_us: 0,
+                    ..IndexConfig::default()
+                })
+                .build(),
+        );
+        leader
+            .save_snapshot_self_contained(root.join("leader"))
+            .unwrap();
+        leader
+            .attach_wal(root.join("leader").join("ingest.wal"))
+            .unwrap();
+
+        // Bootstrap a replica from shipped artifacts alone.
+        copy_dir(&root.join("leader"), &root.join("replica"));
+        let _ = std::fs::remove_file(root.join("replica").join("ingest.wal"));
+        let replica =
+            Arc::new(ReachabilityEngine::open_snapshot_standalone(root.join("replica")).unwrap());
+
+        let mut set = ReplicaSet::new(leader.clone(), root.join("leader").join("ingest.wal"));
+        set.add_replica(replica.clone(), root.join("replica").join("follower.wal"))
+            .unwrap();
+
+        // Ingest at the leader, ship, and compare.
+        let points: Vec<TrajPoint> = (0..20)
+            .map(|i| TrajPoint {
+                traj_id: 1000 + i % 3,
+                date: 1,
+                segment: SegmentId((i * 7) % network.num_segments() as u32),
+                enter_time_s: 9 * 3600 + i * 45,
+            })
+            .collect();
+        leader.ingest(&points).unwrap();
+        assert!(!set.converged());
+        let shipped = set.ship().unwrap();
+        assert!(shipped > 0);
+        assert!(set.converged());
+        let status = &set.status()[0];
+        assert_eq!(status.lag_records(), 0);
+
+        let query = SQuery {
+            location: network.bounds().center(),
+            start_time_s: 9 * 3600,
+            duration_s: 600,
+            prob: 0.2,
+        };
+        let want = leader.try_s_query(&query, Algorithm::SqmbTbs).unwrap();
+        let got = replica.try_s_query(&query, Algorithm::SqmbTbs).unwrap();
+        assert_eq!(want.region, got.region);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpoint_ships_before_rotating_and_followers_track_generations() {
+        let root = tmp_dir("rotate");
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(
+            &network,
+            FleetConfig {
+                num_taxis: 6,
+                num_days: 2,
+                ..FleetConfig::tiny()
+            },
+        );
+        let leader = Arc::new(
+            EngineBuilder::new(network.clone(), &dataset)
+                .index_config(IndexConfig {
+                    read_latency_us: 0,
+                    ..IndexConfig::default()
+                })
+                .build(),
+        );
+        let home = root.join("leader");
+        leader.save_snapshot_self_contained(&home).unwrap();
+        leader.attach_wal(home.join("ingest.wal")).unwrap();
+
+        copy_dir(&home, &root.join("replica"));
+        let _ = std::fs::remove_file(root.join("replica").join("ingest.wal"));
+        let replica =
+            Arc::new(ReachabilityEngine::open_snapshot_standalone(root.join("replica")).unwrap());
+        let mut set = ReplicaSet::new(leader.clone(), home.join("ingest.wal"));
+        set.add_replica(replica.clone(), root.join("replica").join("follower.wal"))
+            .unwrap();
+
+        let batch = |base: u32| -> Vec<TrajPoint> {
+            (0..5)
+                .map(|i| TrajPoint {
+                    traj_id: 500 + i,
+                    date: 1,
+                    segment: SegmentId((base + i * 11) % network.num_segments() as u32),
+                    enter_time_s: 10 * 3600 + (base + i) * 30,
+                })
+                .collect()
+        };
+        leader.ingest(&batch(0)).unwrap();
+        // The checkpoint drains the tail first, then rotates the WAL.
+        set.checkpoint_leader(&home).unwrap();
+        assert!(set.converged());
+        let gen_after_rotate = leader.wal_position().0;
+        assert!(gen_after_rotate > 0, "home checkpoint rotates the WAL");
+
+        // Records of the new generation ship too; the follower log resets.
+        leader.ingest(&batch(100)).unwrap();
+        set.ship().unwrap();
+        assert!(set.converged());
+        let status = &set.status()[0];
+        assert_eq!(status.shipped_generation, gen_after_rotate);
+        assert_eq!(status.applied_generation, gen_after_rotate);
+
+        let query = SQuery {
+            location: network.bounds().center(),
+            start_time_s: 10 * 3600,
+            duration_s: 600,
+            prob: 0.2,
+        };
+        let want = leader.try_s_query(&query, Algorithm::SqmbTbs).unwrap();
+        let got = replica.try_s_query(&query, Algorithm::SqmbTbs).unwrap();
+        assert_eq!(want.region, got.region);
+
+        // Promotion: the converged follower becomes a writable leader.
+        let (promoted, attach) = set.promote(0).unwrap();
+        assert_eq!(
+            attach.records_replayed, 0,
+            "converged follower replays nothing"
+        );
+        promoted.ingest(&batch(200)).unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,630 @@
+//! Spatially sharded serving: a scatter-gather router over per-shard
+//! engines and their read replicas.
+//!
+//! # Design: postings sharded, statistics replicated
+//!
+//! A [`ShardedEngine`] splits the road network into `K` spatial shards
+//! with a deterministic k-d cut ([`streach_roadnet::ShardMap::partition`])
+//! and serves each shard from a **shard engine** — a full
+//! [`ReachabilityEngine`] over the full network whose ST-Index holds only
+//! the postings of segments the shard owns (see
+//! [`crate::builder::EngineBuilder::shard`]). Everything *else* — the
+//! Con-Index speed statistics, the day count, the last-visit table — is
+//! computed over the full data stream and therefore identical on every
+//! shard. The consequences:
+//!
+//! * **Bounding is local.** SQMB/MQMB only touch the Con-Index, so any
+//!   shard engine produces the exact bounding regions a single engine
+//!   would — no cross-shard coordination before verification.
+//! * **Verification is routed.** Each `(segment, slot)` posting read in
+//!   the verify sweep is answered by the shard owning that segment
+//!   ([`RoutedPostings`], a [`PostingSource`]). An s-query whose annulus
+//!   lies inside one shard reads one engine; a query whose reachable
+//!   annulus straddles a boundary fans out across shards *inside the
+//!   existing `streach_par` parallel sweep* — scatter-gather without a
+//!   second merge pass, because every segment is verified exactly once
+//!   against the byte-identical posting the single engine holds.
+//! * **Answers are bit-identical.** The final region is assembled by the
+//!   same generic pipeline code ([`crate::query::tbs`],
+//!   [`crate::query::es`], [`crate::query::mqmb`]) a single engine runs —
+//!   same bounding, same postings, same sort — so sharded answers equal
+//!   single-engine answers bit for bit (pinned by
+//!   `tests/sharded_equivalence.rs`).
+//!
+//! MQMB m-queries run **one** unified bounding over the replicated
+//! statistics, then group the per-start posting work by owning shard
+//! implicitly through the router — each start's core construction and each
+//! annulus segment's verification read exactly the owning shard's heap.
+//!
+//! # Replica failover
+//!
+//! Each shard serves reads from an ordered list of engines: the leader
+//! plus any replicas registered with [`ShardedEngine::add_replica`]
+//! (typically WAL-shipped followers, see [`crate::replicate`]). A posting
+//! read tries the list in preference order; an engine whose store faults
+//! is **stickily marked dead** and skipped from then on, and the read
+//! fails over to the next engine — converged replicas hold byte-identical
+//! postings, so the answer is unchanged. When every engine of a shard is
+//! dead the read surfaces a typed [`StorageError`] that reaches the caller
+//! as [`QueryError::Storage`]: a partial region is never returned.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use streach_roadnet::{RoadNetwork, SegmentId, ShardMap};
+use streach_storage::{IoStats, IoStatsSnapshot, PostingEncoding, StorageError, StorageResult};
+
+use crate::engine::ReachabilityEngine;
+use crate::query::es::exhaustive_search;
+use crate::query::mqmb::{mqmb, mqmb_trace_back};
+use crate::query::sqmb::sqmb;
+use crate::query::tbs::trace_back_search;
+use crate::query::verifier::{PostingSource, VerifierCore};
+use crate::query::{Algorithm, MQuery, MQueryAlgorithm, QueryError, QueryOutcome, SQuery};
+use crate::region::ReachableRegion;
+use crate::stats::QueryStats;
+
+/// Which engine of a shard's serving list answers posting reads first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPreference {
+    /// Read from the shard leader; fail over to replicas when it dies.
+    #[default]
+    Leader,
+    /// Read from replicas (in registration order) and keep the leader as
+    /// the last resort — offloads query I/O from the ingest path.
+    ReplicaFirst,
+}
+
+/// One engine in a shard's serving list plus its sticky liveness flag.
+struct ServingEntry {
+    engine: Arc<ReachabilityEngine>,
+    /// Set on the first storage fault; a dead engine is skipped for the
+    /// rest of the router's life (a revived host re-registers).
+    dead: AtomicBool,
+}
+
+/// The ordered serving list of one shard: leader first, replicas after.
+struct ShardServing {
+    entries: Vec<ServingEntry>,
+}
+
+impl ShardServing {
+    /// Routed posting read with failover: tries every live engine in
+    /// `order` and stickily kills the ones that fault.
+    fn read_time_list_into(
+        &self,
+        shard_id: u16,
+        order: impl Iterator<Item = usize>,
+        segment: SegmentId,
+        slot: u32,
+        buf: &mut Vec<u8>,
+    ) -> StorageResult<bool> {
+        let mut last_err = None;
+        for idx in order {
+            let entry = &self.entries[idx];
+            if entry.dead.load(Ordering::Relaxed) {
+                continue;
+            }
+            match PostingSource::read_time_list_into(entry.engine.st_index(), segment, slot, buf) {
+                Ok(found) => return Ok(found),
+                Err(err) => {
+                    entry.dead.store(true, Ordering::Relaxed);
+                    last_err = Some(err);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            StorageError::corrupt(format!(
+                "shard {shard_id} has no live engine left to serve posting reads \
+                 (leader and every replica are marked dead)"
+            ))
+        }))
+    }
+
+    fn live(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| !e.dead.load(Ordering::Relaxed))
+            .count()
+    }
+}
+
+/// A scatter-gather router over `K` shard engines (plus optional read
+/// replicas per shard) that answers every query pipeline bit-identically
+/// to a single unsharded engine. See the module docs for the design.
+pub struct ShardedEngine {
+    network: Arc<RoadNetwork>,
+    map: Arc<ShardMap>,
+    shards: Vec<ShardServing>,
+    preference: ReadPreference,
+    /// Router-level posting-decode accounting; page reads/hits land in the
+    /// individual engines' counters and are aggregated per query.
+    io: Arc<IoStats>,
+}
+
+impl ShardedEngine {
+    /// Assembles a router from one **leader** engine per shard, in shard-id
+    /// order. Each leader must have been built (or reopened) with the
+    /// matching shard ownership — [`crate::builder::EngineBuilder::shard`]
+    /// with this exact `map` and its position's shard id.
+    ///
+    /// # Panics
+    /// Panics on a topology error: wrong leader count, a leader without
+    /// shard ownership, or ownership disagreeing with `map` — these are
+    /// deployment bugs, not runtime conditions.
+    pub fn new(map: Arc<ShardMap>, leaders: Vec<Arc<ReachabilityEngine>>) -> Self {
+        assert_eq!(
+            leaders.len(),
+            map.num_shards() as usize,
+            "need exactly one leader per shard"
+        );
+        let network = leaders
+            .first()
+            .expect("a sharded engine needs at least one shard")
+            .network()
+            .clone();
+        for (shard_id, leader) in leaders.iter().enumerate() {
+            let (owned_map, owned_id) = leader
+                .shard_ownership()
+                .expect("every shard leader must carry shard ownership");
+            assert_eq!(
+                owned_id, shard_id as u16,
+                "leader #{shard_id} owns shard {owned_id}"
+            );
+            assert_eq!(
+                owned_map.as_ref(),
+                map.as_ref(),
+                "leader #{shard_id} was partitioned with a different shard map"
+            );
+        }
+        let shards = leaders
+            .into_iter()
+            .map(|engine| ShardServing {
+                entries: vec![ServingEntry {
+                    engine,
+                    dead: AtomicBool::new(false),
+                }],
+            })
+            .collect();
+        Self {
+            network,
+            map,
+            shards,
+            preference: ReadPreference::Leader,
+            io: Arc::new(IoStats::default()),
+        }
+    }
+
+    /// Registers a read replica for `shard_id`, appended to the shard's
+    /// failover order. The replica must serve the same shard's postings —
+    /// typically a WAL-shipped follower of that shard's leader
+    /// ([`crate::replicate::ReplicaSet`]); a converged follower holds
+    /// byte-identical postings, which is what keeps failover answers
+    /// bit-identical.
+    ///
+    /// # Panics
+    /// Panics when `shard_id` is out of range or the replica's shard
+    /// ownership disagrees with the router's map.
+    pub fn add_replica(&mut self, shard_id: u16, engine: Arc<ReachabilityEngine>) {
+        let (owned_map, owned_id) = engine
+            .shard_ownership()
+            .expect("a replica must carry shard ownership");
+        assert_eq!(owned_id, shard_id, "replica owns shard {owned_id}");
+        assert_eq!(
+            owned_map.as_ref(),
+            self.map.as_ref(),
+            "replica was partitioned with a different shard map"
+        );
+        self.shards[shard_id as usize].entries.push(ServingEntry {
+            engine,
+            dead: AtomicBool::new(false),
+        });
+    }
+
+    /// Sets which engine of each shard answers posting reads first.
+    pub fn set_read_preference(&mut self, preference: ReadPreference) {
+        self.preference = preference;
+    }
+
+    /// The shard map queries are routed with.
+    pub fn shard_map(&self) -> &Arc<ShardMap> {
+        &self.map
+    }
+
+    /// Number of spatial shards.
+    pub fn num_shards(&self) -> u16 {
+        self.map.num_shards()
+    }
+
+    /// The shard owning `segment`'s postings.
+    pub fn route_of(&self, segment: SegmentId) -> u16 {
+        self.map.shard_of(segment)
+    }
+
+    /// Number of engines of `shard_id` not yet marked dead (leader +
+    /// replicas).
+    pub fn live_engines(&self, shard_id: u16) -> usize {
+        self.shards[shard_id as usize].live()
+    }
+
+    /// The reference engine for everything replicated across shards:
+    /// bounding (Con-Index), location matching and index scalars. Shard 0's
+    /// leader by convention — any shard engine gives identical answers for
+    /// these, because the statistics layers are global.
+    fn reference(&self) -> &ReachabilityEngine {
+        &self.shards[0].entries[0].engine
+    }
+
+    /// The failover try-order for one shard's serving list of `n` engines.
+    fn order(&self, n: usize) -> impl Iterator<Item = usize> {
+        let replica_first = self.preference == ReadPreference::ReplicaFirst;
+        (0..n).map(move |i| if replica_first { (i + 1) % n } else { i })
+    }
+
+    /// Sum of the per-engine I/O counters plus the router's decode
+    /// accounting — the aggregate a sharded query reports I/O deltas over.
+    fn io_snapshot(&self) -> IoStatsSnapshot {
+        let mut total = self.io.snapshot();
+        for shard in &self.shards {
+            for entry in &shard.entries {
+                let s = entry.engine.st_index().io_stats().snapshot();
+                total.page_reads += s.page_reads;
+                total.page_writes += s.page_writes;
+                total.cache_hits += s.cache_hits;
+                total.cache_misses += s.cache_misses;
+                total.bytes_decoded += s.bytes_decoded;
+                total.bytes_resident += s.bytes_resident;
+            }
+        }
+        total
+    }
+
+    /// Forwards an ingest batch to **every** shard leader. Each leader
+    /// normalizes and logs the full batch (so the replicated statistics
+    /// stay global) and folds only its owned postings — the ×K WAL write
+    /// amplification is the documented price of keeping bounding local.
+    /// On an error the leaders before the failing one have already applied
+    /// the batch: recover the failed shard from its WAL/snapshot rather
+    /// than re-ingesting the batch on all shards.
+    pub fn ingest(
+        &self,
+        points: &[streach_traj::TrajPoint],
+    ) -> StorageResult<Vec<crate::ingest::IngestOutcome>> {
+        self.shards
+            .iter()
+            .map(|shard| shard.entries[0].engine.ingest(points))
+            .collect()
+    }
+
+    /// Answers a single-location query across the shards; see
+    /// [`ReachabilityEngine::try_s_query`] for the error contract. The
+    /// region is bit-identical to the single-engine answer.
+    pub fn try_s_query(
+        &self,
+        query: &SQuery,
+        algorithm: Algorithm,
+    ) -> Result<QueryOutcome, QueryError> {
+        query.validate()?;
+        let reference = self.reference();
+        let start_segment = reference.try_locate(&query.location)?;
+        let routed = RoutedPostings { sharded: self };
+
+        let io_before = self.io_snapshot();
+        let t0 = Instant::now();
+        let (region, verified, visited, max_b, min_b, bounding_time, verify_time) = match algorithm
+        {
+            Algorithm::ExhaustiveSearch => {
+                let out = exhaustive_search(&self.network, &routed, query, start_segment)?;
+                (
+                    out.region,
+                    out.verifications,
+                    out.visited,
+                    0,
+                    0,
+                    out.expansion_time,
+                    out.verify_time,
+                )
+            }
+            Algorithm::SqmbTbs => {
+                let tb = Instant::now();
+                let bounds = sqmb(
+                    reference.con_index(),
+                    self.network.num_segments(),
+                    start_segment,
+                    query.start_time_s,
+                    query.duration_s,
+                );
+                let bounding_time = tb.elapsed();
+                let tv = Instant::now();
+                let core = VerifierCore::new(
+                    &routed,
+                    start_segment,
+                    query.start_time_s,
+                    query.duration_s,
+                )?;
+                let outcome = trace_back_search(&self.network, &core, &bounds, query.prob)?;
+                let verify_time = tv.elapsed();
+                (
+                    outcome.region,
+                    outcome.verifications,
+                    outcome.visited,
+                    bounds.max_region.len(),
+                    bounds.min_region.len(),
+                    bounding_time,
+                    verify_time,
+                )
+            }
+        };
+        let wall_time = t0.elapsed();
+        let io_after = self.io_snapshot();
+
+        Ok(QueryOutcome {
+            region,
+            stats: QueryStats {
+                wall_time,
+                bounding_time,
+                verify_time,
+                io: io_after.delta_since(&io_before),
+                segments_verified: verified,
+                max_bounding_size: max_b,
+                min_bounding_size: min_b,
+                segments_visited: visited,
+            },
+        })
+    }
+
+    /// Answers a multi-location query across the shards; see
+    /// [`ReachabilityEngine::try_m_query`] for the algorithm split and the
+    /// error contract. MQMB computes **one** unified bounding over the
+    /// replicated statistics; the per-start cores and the annulus sweep
+    /// read routed postings.
+    pub fn try_m_query(
+        &self,
+        query: &MQuery,
+        algorithm: MQueryAlgorithm,
+    ) -> Result<QueryOutcome, QueryError> {
+        query.validate()?;
+        match algorithm {
+            MQueryAlgorithm::RepeatedSQuery => {
+                let mut region = ReachableRegion::empty();
+                let mut stats = QueryStats::default();
+                for i in 0..query.locations.len() {
+                    let sub = query.sub_query(i);
+                    let outcome = self.try_s_query(&sub, Algorithm::SqmbTbs).map_err(|e| {
+                        // Attribute an off-network location to its m-query index.
+                        match e {
+                            QueryError::LocationOffNetwork { location, .. } => {
+                                QueryError::LocationOffNetwork { index: i, location }
+                            }
+                            other => other,
+                        }
+                    })?;
+                    region = region.union(&self.network, &outcome.region);
+                    stats = stats.merge(&outcome.stats);
+                }
+                Ok(QueryOutcome { region, stats })
+            }
+            MQueryAlgorithm::MqmbTbs => {
+                let reference = self.reference();
+                let starts: Vec<SegmentId> = query
+                    .locations
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        reference.try_locate(p).map_err(|e| match e {
+                            QueryError::LocationOffNetwork { location, .. } => {
+                                QueryError::LocationOffNetwork { index: i, location }
+                            }
+                            other => other,
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let routed = RoutedPostings { sharded: self };
+                let io_before = self.io_snapshot();
+                let t0 = Instant::now();
+                let bounds = mqmb(
+                    reference.con_index(),
+                    &self.network,
+                    &starts,
+                    &query.locations,
+                    query.start_time_s,
+                    query.duration_s,
+                );
+                let bounding_time = t0.elapsed();
+                let outcome = mqmb_trace_back(
+                    &self.network,
+                    &routed,
+                    &bounds,
+                    &starts,
+                    query.start_time_s,
+                    query.duration_s,
+                    query.prob,
+                )?;
+                let wall_time = t0.elapsed();
+                let io_after = self.io_snapshot();
+                Ok(QueryOutcome {
+                    region: outcome.region,
+                    stats: QueryStats {
+                        wall_time,
+                        bounding_time,
+                        verify_time: outcome.setup_time + outcome.verify_time,
+                        io: io_after.delta_since(&io_before),
+                        segments_verified: outcome.verifications,
+                        max_bounding_size: bounds.max_region.len(),
+                        min_bounding_size: bounds.min_region.len(),
+                        segments_visited: outcome.visited,
+                    },
+                })
+            }
+        }
+    }
+}
+
+/// The routed [`PostingSource`]: resolves each `(segment, slot)` read
+/// against the shard owning the segment, with sticky replica failover.
+/// Index scalars come from the reference engine — they are replicated, so
+/// any engine (dead store or not; these never touch disk) answers them.
+struct RoutedPostings<'a> {
+    sharded: &'a ShardedEngine,
+}
+
+impl PostingSource for RoutedPostings<'_> {
+    fn slot_s(&self) -> u32 {
+        self.sharded.reference().st_index().slot_s()
+    }
+
+    fn num_days(&self) -> u16 {
+        self.sharded.reference().st_index().num_days()
+    }
+
+    fn posting_encoding(&self) -> PostingEncoding {
+        PostingSource::posting_encoding(self.sharded.reference().st_index())
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        self.sharded.io.clone()
+    }
+
+    fn read_time_list_into(
+        &self,
+        segment: SegmentId,
+        slot: u32,
+        buf: &mut Vec<u8>,
+    ) -> StorageResult<bool> {
+        let shard_id = self.sharded.map.shard_of(segment);
+        let serving = &self.sharded.shards[shard_id as usize];
+        serving.read_time_list_into(
+            shard_id,
+            self.sharded.order(serving.entries.len()),
+            segment,
+            slot,
+            buf,
+        )
+    }
+
+    fn malformed_posting(&self, segment: SegmentId, slot: u32) -> StorageError {
+        let shard_id = self.sharded.map.shard_of(segment);
+        let serving = &self.sharded.shards[shard_id as usize];
+        PostingSource::malformed_posting(serving.entries[0].engine.st_index(), segment, slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EngineBuilder;
+    use crate::config::IndexConfig;
+    use streach_roadnet::{GeneratorConfig, SyntheticCity};
+    use streach_traj::{FleetConfig, TrajectoryDataset};
+
+    fn setup(
+        num_shards: u16,
+    ) -> (
+        Arc<RoadNetwork>,
+        TrajectoryDataset,
+        ReachabilityEngine,
+        ShardedEngine,
+    ) {
+        let city = SyntheticCity::generate(GeneratorConfig::small());
+        let network = Arc::new(city.network);
+        let dataset = TrajectoryDataset::simulate(
+            &network,
+            FleetConfig {
+                num_taxis: 12,
+                num_days: 3,
+                ..FleetConfig::tiny()
+            },
+        );
+        let config = IndexConfig {
+            read_latency_us: 0,
+            ..IndexConfig::default()
+        };
+        let single = EngineBuilder::new(network.clone(), &dataset)
+            .index_config(config.clone())
+            .build();
+        let map = Arc::new(ShardMap::partition(&network, num_shards));
+        let leaders: Vec<Arc<ReachabilityEngine>> = (0..num_shards)
+            .map(|shard_id| {
+                Arc::new(
+                    EngineBuilder::new(network.clone(), &dataset)
+                        .index_config(config.clone())
+                        .shard(map.clone(), shard_id)
+                        .build(),
+                )
+            })
+            .collect();
+        let sharded = ShardedEngine::new(map, leaders);
+        (network, dataset, single, sharded)
+    }
+
+    #[test]
+    fn sharded_queries_match_single_engine_bit_for_bit() {
+        let (network, _dataset, single, sharded) = setup(3);
+        let query = SQuery {
+            location: network.bounds().center(),
+            start_time_s: 9 * 3600,
+            duration_s: 600,
+            prob: 0.2,
+        };
+        for algo in [Algorithm::SqmbTbs, Algorithm::ExhaustiveSearch] {
+            let want = single.try_s_query(&query, algo).unwrap();
+            let got = sharded.try_s_query(&query, algo).unwrap();
+            assert_eq!(want.region, got.region, "{algo:?}");
+            assert_eq!(
+                want.stats.segments_verified, got.stats.segments_verified,
+                "{algo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_m_queries_match_single_engine() {
+        let (network, _dataset, single, sharded) = setup(2);
+        let b = network.bounds();
+        let m = MQuery {
+            locations: vec![
+                b.center(),
+                streach_geo::GeoPoint::new(
+                    b.center().lon + (b.max_lon - b.min_lon) * 0.2,
+                    b.center().lat,
+                ),
+            ],
+            start_time_s: 9 * 3600,
+            duration_s: 600,
+            prob: 0.2,
+        };
+        for algo in [MQueryAlgorithm::MqmbTbs, MQueryAlgorithm::RepeatedSQuery] {
+            let want = single.try_m_query(&m, algo).unwrap();
+            let got = sharded.try_m_query(&m, algo).unwrap();
+            assert_eq!(want.region, got.region, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn ingest_on_all_leaders_preserves_equivalence() {
+        let (network, dataset, single, sharded) = setup(2);
+        // Continue one trajectory: every leader sees the full batch, owned
+        // postings land on their shard, statistics stay global.
+        let traj = dataset.trajectories().first().unwrap();
+        let last = traj.visits.last().unwrap();
+        let points = vec![streach_traj::TrajPoint {
+            traj_id: traj.traj_id,
+            date: traj.date,
+            segment: SegmentId((last.segment.0 + 1) % network.num_segments() as u32),
+            enter_time_s: last.enter_time_s + 60,
+        }];
+        single.ingest(&points).unwrap();
+        let outcomes = sharded.ingest(&points).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        let query = SQuery {
+            location: network.bounds().center(),
+            start_time_s: 9 * 3600,
+            duration_s: 600,
+            prob: 0.2,
+        };
+        let want = single.try_s_query(&query, Algorithm::SqmbTbs).unwrap();
+        let got = sharded.try_s_query(&query, Algorithm::SqmbTbs).unwrap();
+        assert_eq!(want.region, got.region);
+    }
+}

@@ -51,7 +51,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::{Buf, BufMut};
-use streach_roadnet::{RoadNetwork, SegmentId};
+use streach_roadnet::{RoadNetwork, SegmentId, ShardMap};
 use streach_storage::{
     BlobHandle, Crc32, FilePageStore, InMemoryPageStore, MmapPageStore, PageStore, PostingEncoding,
     PostingStore, SimulatedDiskStore, SnapshotReader, SnapshotWriter, StorageBackend, StorageError,
@@ -108,6 +108,15 @@ const SEC_CON_TABLES: &str = "con_tables";
 const SEC_DELTA_PAGES_META: &str = "delta_pages_meta";
 const SEC_DELTA_DIR: &str = "delta_dir";
 const SEC_INGEST_META: &str = "ingest_meta";
+/// Optional (container version 5): shard id (u16 LE) + encoded
+/// [`ShardMap`]. Present only for shard engines; restores the ownership
+/// filter at open so a reopened shard keeps folding only its own postings.
+const SEC_SHARD_MAP: &str = "shard_map";
+/// Optional (container version 5): the road network itself
+/// ([`streach_roadnet::encode_network`], bit-exact roundtrip). Present for
+/// self-contained snapshots, so a replica bootstraps from shipped
+/// artifacts alone (see [`ReachabilityEngine::open_snapshot_standalone`]).
+const SEC_ROAD_NETWORK: &str = "road_network";
 
 /// Structural fingerprint of a road network (FNV-1a over segment count,
 /// node count and every segment's length/class/topology), used to reject
@@ -510,6 +519,19 @@ pub(crate) fn save(
         SEC_INGEST_META,
         ReachabilityEngine::encode_ingest_meta(ingest_state),
     );
+    if let Some((map, shard_id)) = engine.shard_ownership() {
+        let encoded = map.encode();
+        let mut buf = Vec::with_capacity(2 + encoded.len());
+        buf.put_u16_le(shard_id);
+        buf.extend_from_slice(&encoded);
+        writer.add_section(SEC_SHARD_MAP, buf);
+    }
+    if engine.snapshot_self_contained() {
+        writer.add_section(
+            SEC_ROAD_NETWORK,
+            streach_roadnet::encode_network(engine.network()),
+        );
+    }
     writer.finish(&container_tmp)?;
 
     // 4. Publish: every artifact was staged under a `.tmp` (or fresh
@@ -746,7 +768,47 @@ where
     );
     engine.commit_delta_seq(delta_seq);
     engine.set_snapshot_home(dir);
+
+    // Version-5 optional sections. Both are presence-checked: version-3/4
+    // containers (and v5 containers of unsharded leaders) simply lack them.
+    if reader.section_names().any(|n| n == SEC_SHARD_MAP) {
+        let mut buf = reader.section(SEC_SHARD_MAP)?;
+        if buf.remaining() < 2 {
+            return Err(StorageError::corrupt("shard_map section truncated"));
+        }
+        let shard_id = buf.get_u16_le();
+        let map = ShardMap::decode(buf)
+            .ok_or_else(|| StorageError::corrupt("shard_map section is malformed"))?;
+        if map.num_segments() != engine.network().num_segments() {
+            return Err(StorageError::corrupt(
+                "shard_map covers a different number of segments than the network",
+            ));
+        }
+        if shard_id >= map.num_shards() {
+            return Err(StorageError::corrupt("shard_map shard id out of range"));
+        }
+        engine.set_shard_ownership(Arc::new(map), shard_id);
+    }
+    if reader.section_names().any(|n| n == SEC_ROAD_NETWORK) {
+        engine.set_snapshot_self_contained();
+    }
     Ok(engine)
+}
+
+/// Decodes the road network embedded in a self-contained snapshot (see
+/// [`ReachabilityEngine::open_snapshot_standalone`]). The caller passes it
+/// straight back into [`open`], where the fingerprint check cross-validates
+/// the codec roundtrip against the structural hash taken at save.
+pub(crate) fn read_embedded_network(dir: &Path) -> StorageResult<Arc<RoadNetwork>> {
+    let reader = SnapshotReader::open(dir.join(CONTAINER_FILE))?;
+    if !reader.section_names().any(|n| n == SEC_ROAD_NETWORK) {
+        return Err(StorageError::corrupt(
+            "snapshot has no road_network section (not saved self-contained)",
+        ));
+    }
+    let network = streach_roadnet::decode_network(reader.section(SEC_ROAD_NETWORK)?)
+        .ok_or_else(|| StorageError::corrupt("road_network section is malformed"))?;
+    Ok(Arc::new(network))
 }
 
 #[cfg(test)]

@@ -122,25 +122,60 @@ enum ListRef {
     Delta(BlobHandle),
 }
 
+/// Number of lock stripes in the delta directory. Striping is by slot, so
+/// queries reading one time-of-day never contend with WAL application
+/// folding observations into another.
+const DELTA_STRIPES: usize = 16;
+
 /// The mutable delta tail: merged override lists keyed by (slot, segment),
 /// stored in their own append-only posting heap.
 struct DeltaTail {
     postings: PostingStore<StIndexStore>,
     /// (slot, segment) → handle of the current merged list in the delta
-    /// heap. `BTreeMap` keeps snapshot serialization and compaction
-    /// deterministic without a sort.
-    directory: RwLock<BTreeMap<(u32, u32), BlobHandle>>,
-    /// Number of directory entries, readable without the lock: the hot
-    /// path's fast "no deltas" check.
+    /// heap, striped by `slot % DELTA_STRIPES` so the apply lock is sharded:
+    /// disjoint ingest batches (and concurrent readers) touching different
+    /// slots take different locks. Each stripe is a `BTreeMap` so snapshot
+    /// serialization and compaction stay deterministic after one merge-sort
+    /// across stripes.
+    stripes: Vec<RwLock<BTreeMap<(u32, u32), BlobHandle>>>,
+    /// Total number of directory entries across stripes, readable without
+    /// any lock: the hot path's fast "no deltas" check.
     len: AtomicUsize,
 }
 
 impl DeltaTail {
+    fn stripe_of(slot: u32) -> usize {
+        slot as usize % DELTA_STRIPES
+    }
+
     fn lookup(&self, slot: u32, segment: SegmentId) -> Option<BlobHandle> {
         if self.len.load(Ordering::Relaxed) == 0 {
             return None;
         }
-        self.directory.read().get(&(slot, segment.0)).copied()
+        self.stripes[Self::stripe_of(slot)]
+            .read()
+            .get(&(slot, segment.0))
+            .copied()
+    }
+
+    /// Inserts (or replaces) one directory entry, maintaining the global
+    /// lock-free length counter.
+    fn insert(&self, slot: u32, segment: u32, handle: BlobHandle) {
+        let mut stripe = self.stripes[Self::stripe_of(slot)].write();
+        if stripe.insert((slot, segment), handle).is_none() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// All directory entries in (slot, segment) order — the deterministic
+    /// view snapshots and compaction serialize.
+    fn sorted_entries(&self) -> Vec<((u32, u32), BlobHandle)> {
+        let mut out = Vec::with_capacity(self.len.load(Ordering::Relaxed));
+        for stripe in &self.stripes {
+            out.extend(stripe.read().iter().map(|(k, v)| (*k, *v)));
+        }
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
     }
 }
 
@@ -228,13 +263,7 @@ impl PinnedState {
 
     /// The delta directory as ((slot, segment), handle) pairs in key order.
     pub(crate) fn delta_directory_entries(&self) -> Vec<((u32, u32), BlobHandle)> {
-        self.0
-            .delta
-            .directory
-            .read()
-            .iter()
-            .map(|(k, v)| (*k, *v))
-            .collect()
+        self.0.delta.sorted_entries()
     }
 }
 
@@ -264,6 +293,21 @@ impl StIndex {
         dataset: &TrajectoryDataset,
         config: &IndexConfig,
     ) -> Self {
+        Self::build_filtered(network, dataset, config, None)
+    }
+
+    /// [`StIndex::build`] restricted to an ownership filter: only visits on
+    /// segments for which `owned` returns `true` are indexed. A shard
+    /// engine indexes exactly its owned postings this way — the filtered
+    /// heap is byte-identical to what a build over the pre-filtered dataset
+    /// would produce — while day count and the statistics layers stay
+    /// global ("postings sharded, statistics replicated").
+    pub(crate) fn build_filtered(
+        network: Arc<RoadNetwork>,
+        dataset: &TrajectoryDataset,
+        config: &IndexConfig,
+        owned: Option<&(dyn Fn(SegmentId) -> bool + Sync)>,
+    ) -> Self {
         assert!(config.slot_s > 0, "slot length must be positive");
         // (slot, segment, date, traj_id) tuples, extracted in parallel.
         let slot_s = config.slot_s;
@@ -271,6 +315,7 @@ impl StIndex {
             streach_par::par_map(dataset.trajectories(), |traj| {
                 traj.visits
                     .iter()
+                    .filter(|visit| owned.is_none_or(|f| f(visit.segment)))
                     .map(|visit| {
                         (
                             slot_of(visit.enter_time_s, slot_s),
@@ -399,7 +444,9 @@ impl StIndex {
         );
         DeltaTail {
             postings: PostingStore::with_options(store, pool_pages, 0, read_retries, encoding),
-            directory: RwLock::new(BTreeMap::new()),
+            stripes: (0..DELTA_STRIPES)
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
             len: AtomicUsize::new(0),
         }
     }
@@ -426,11 +473,21 @@ impl StIndex {
             debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
             temporal.insert(slot as u64, SlotDirectory { entries });
         }
-        let map: BTreeMap<(u32, u32), BlobHandle> = delta_directory.into_iter().collect();
+        let mut stripes: Vec<BTreeMap<(u32, u32), BlobHandle>> =
+            (0..DELTA_STRIPES).map(|_| BTreeMap::new()).collect();
+        let mut delta_len = 0usize;
+        for ((slot, segment), handle) in delta_directory {
+            if stripes[DeltaTail::stripe_of(slot)]
+                .insert((slot, segment), handle)
+                .is_none()
+            {
+                delta_len += 1;
+            }
+        }
         let delta = DeltaTail {
             postings: delta_postings,
-            len: AtomicUsize::new(map.len()),
-            directory: RwLock::new(map),
+            stripes: stripes.into_iter().map(RwLock::new).collect(),
+            len: AtomicUsize::new(delta_len),
         };
         Self {
             network,
@@ -611,7 +668,9 @@ impl StIndex {
             .map(|(k, _)| k as u32)
             .collect();
         if state.delta.len.load(Ordering::Relaxed) > 0 {
-            slots.extend(state.delta.directory.read().keys().map(|(slot, _)| *slot));
+            for stripe in &state.delta.stripes {
+                slots.extend(stripe.read().keys().map(|(slot, _)| *slot));
+            }
         }
         slots.into_iter()
     }
@@ -655,24 +714,55 @@ impl StIndex {
             .collect();
         obs.sort_unstable();
 
-        let mut touched = 0usize;
+        // Group boundaries over the sorted observations: one half-open
+        // `[start, end)` range per (slot, segment) pair.
+        let mut groups: Vec<(usize, usize)> = Vec::new();
         let mut i = 0;
         while i < obs.len() {
-            let group_start = i;
+            let start = i;
             let (slot, segment) = (obs[i].0, obs[i].1);
-            let (mut list, is_new) = match state.lookup(SegmentId(segment), self.wrap_slot(slot)) {
-                Some(list_ref) => (state.read_time_list(list_ref)?, false),
-                None => (TimeList::new(), true),
-            };
             while i < obs.len() && obs[i].0 == slot && obs[i].1 == segment {
-                list.add(obs[i].2, obs[i].3);
                 i += 1;
             }
-            let handle = state.delta.postings.append_time_list(&list)?;
-            let mut directory = state.delta.directory.write();
-            directory.insert((slot, segment), handle);
-            state.delta.len.store(directory.len(), Ordering::Relaxed);
-            drop(directory);
+            groups.push((start, i));
+        }
+
+        // Read + merge + encode per group in parallel: the groups are
+        // disjoint (slot, segment) pairs, so each worker reads the current
+        // list (delta if present, else base), folds its observations in and
+        // produces the merged encoding independently. Only the heap append
+        // below is ordered.
+        let encoding = state.delta.postings.encoding();
+        let merged: Vec<(Vec<u8>, bool)> = streach_par::try_par_map_with(
+            &groups,
+            TimeList::new,
+            |list: &mut TimeList, &(start, end)| -> StorageResult<(Vec<u8>, bool)> {
+                let (slot, segment) = (obs[start].0, obs[start].1);
+                let is_new = match state.lookup(SegmentId(segment), self.wrap_slot(slot)) {
+                    Some(list_ref) => {
+                        *list = state.read_time_list(list_ref)?;
+                        false
+                    }
+                    None => {
+                        list.entries.clear();
+                        true
+                    }
+                };
+                for &(_, _, date, traj_id) in &obs[start..end] {
+                    list.add(date, traj_id);
+                }
+                Ok((list.encode_as(encoding), is_new))
+            },
+        )?;
+
+        // Sequential appends in sorted group order keep the delta heap's
+        // byte layout identical to the old one-group-at-a-time fold, so
+        // snapshots and compaction stay bit-deterministic.
+        let mut touched = 0usize;
+        for (&(start, end), (bytes, is_new)) in groups.iter().zip(&merged) {
+            let (slot, segment) = (obs[start].0, obs[start].1);
+            let handle = state.delta.postings.append(bytes)?;
+            state.delta.insert(slot, segment, handle);
             // Stats are committed per group, so a batch that faults midway
             // has counted exactly the groups it applied: the retry counts
             // only the remainder's new lists (its re-merged groups resolve
@@ -680,10 +770,10 @@ impl StIndex {
             // `num_observations` counts re-processed points again on such
             // a retry — the documented at-least-once counter semantics.
             let mut stats = self.stats.lock();
-            if is_new {
+            if *is_new {
                 stats.num_time_lists += 1;
             }
-            stats.num_observations += (i - group_start) as u64;
+            stats.num_observations += (end - start) as u64;
             drop(stats);
             touched += 1;
         }
@@ -724,8 +814,8 @@ impl StIndex {
                 merged.insert((slot as u32, segment.0), ListRef::Base(*handle));
             }
         }
-        for (key, handle) in state.delta.directory.read().iter() {
-            merged.insert(*key, ListRef::Delta(*handle));
+        for (key, handle) in state.delta.sorted_entries() {
+            merged.insert(key, ListRef::Delta(handle));
         }
 
         // Copy every blob out (parallel reads against both heaps).
@@ -785,6 +875,40 @@ impl StIndex {
         stats.posting_bytes = posting_bytes;
         stats.posting_pages = posting_pages;
         Ok(folded)
+    }
+}
+
+/// [`StIndex`] is the canonical posting source the verifiers read from; a
+/// sharded topology substitutes a router (see `crate::sharded`) behind the
+/// same trait.
+impl crate::query::verifier::PostingSource for StIndex {
+    fn slot_s(&self) -> u32 {
+        StIndex::slot_s(self)
+    }
+
+    fn num_days(&self) -> u16 {
+        StIndex::num_days(self)
+    }
+
+    fn posting_encoding(&self) -> PostingEncoding {
+        StIndex::posting_encoding(self)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        StIndex::io_stats(self)
+    }
+
+    fn read_time_list_into(
+        &self,
+        segment: SegmentId,
+        slot: u32,
+        buf: &mut Vec<u8>,
+    ) -> StorageResult<bool> {
+        StIndex::read_time_list_into(self, segment, slot, buf)
+    }
+
+    fn malformed_posting(&self, segment: SegmentId, slot: u32) -> StorageError {
+        StIndex::malformed_posting(self, segment, slot)
     }
 }
 

@@ -24,13 +24,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod codec;
 pub mod dijkstra;
 pub mod expansion;
 pub mod generator;
 pub mod graph;
 pub mod resegment;
 pub mod segment;
+pub mod shard;
 
+pub use codec::{decode_network, encode_network};
 pub use dijkstra::{
     segment_distances_from, shortest_path_between_nodes, shortest_segment_distance,
     with_thread_workspace, DijkstraWorkspace,
@@ -40,3 +43,4 @@ pub use generator::{GeneratorConfig, SyntheticCity};
 pub use graph::{NodeId, RawRoad, RoadNetwork};
 pub use resegment::resegment_roads;
 pub use segment::{Direction, RoadClass, RoadSegment, SegmentId};
+pub use shard::ShardMap;

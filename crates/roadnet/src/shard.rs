@@ -1,0 +1,189 @@
+//! Segment→shard routing table for the scale-out topology.
+//!
+//! A [`ShardMap`] splits the road network into K spatial shards by running
+//! the deterministic k-d cut of [`streach_spatial::kd_partition`] over the
+//! segment midpoints. Every process that partitions the same network with
+//! the same K derives the identical assignment, so the map can be computed
+//! at the router, persisted in a snapshot, and recomputed at a replica
+//! without any coordination — byte-equal either way.
+//!
+//! Twin segments (the two directions of a two-way road) are pinned to the
+//! same shard: they share geometry, so a query annulus containing one
+//! almost always contains the other, and co-locating them keeps boundary
+//! scatter to genuinely distinct roads.
+
+use crate::graph::RoadNetwork;
+use crate::segment::SegmentId;
+
+/// A total map from road segment to owning spatial shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    num_shards: u16,
+    /// One shard id per segment, indexed by `SegmentId.0`.
+    assignment: Vec<u16>,
+}
+
+impl ShardMap {
+    /// Partitions `network` into `num_shards` spatial shards with a
+    /// deterministic k-d cut over segment midpoints. Twins are co-located
+    /// on the primary's shard.
+    pub fn partition(network: &RoadNetwork, num_shards: u16) -> Self {
+        let points: Vec<(f64, f64)> = network
+            .segment_ids()
+            .map(|id| {
+                let mid = network.segment_midpoint(id);
+                (mid.lon, mid.lat)
+            })
+            .collect();
+        let mut assignment = streach_spatial::kd_partition(&points, num_shards);
+        for id in network.segment_ids() {
+            let seg = network.segment(id);
+            if let Some(twin) = seg.twin {
+                if twin > id {
+                    assignment[twin.0 as usize] = assignment[id.0 as usize];
+                }
+            }
+        }
+        Self {
+            num_shards: num_shards.max(1),
+            assignment,
+        }
+    }
+
+    /// Builds a map from already-validated parts (snapshot decode path).
+    pub fn from_parts(num_shards: u16, assignment: Vec<u16>) -> Self {
+        Self {
+            num_shards: num_shards.max(1),
+            assignment,
+        }
+    }
+
+    /// Number of shards the map routes to (some may own no segments).
+    pub fn num_shards(&self) -> u16 {
+        self.num_shards
+    }
+
+    /// Number of segments the map covers.
+    pub fn num_segments(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The shard owning `segment`.
+    pub fn shard_of(&self, segment: SegmentId) -> u16 {
+        self.assignment[segment.0 as usize]
+    }
+
+    /// All segments owned by `shard`, in ascending id order.
+    pub fn segments_of(&self, shard: u16) -> Vec<SegmentId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == shard)
+            .map(|(i, _)| SegmentId(i as u32))
+            .collect()
+    }
+
+    /// Per-shard segment counts (index = shard id).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_shards as usize];
+        for &s in &self.assignment {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Serializes the map: `num_shards` (u16 LE), segment count (u32 LE),
+    /// then one u16 LE shard id per segment.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6 + self.assignment.len() * 2);
+        out.extend_from_slice(&self.num_shards.to_le_bytes());
+        out.extend_from_slice(&(self.assignment.len() as u32).to_le_bytes());
+        for &s in &self.assignment {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a map encoded by [`ShardMap::encode`]. Returns `None`
+    /// on a length mismatch or an out-of-range shard id.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 6 {
+            return None;
+        }
+        let num_shards = u16::from_le_bytes(bytes[0..2].try_into().ok()?);
+        let count = u32::from_le_bytes(bytes[2..6].try_into().ok()?) as usize;
+        if num_shards == 0 || bytes.len() != 6 + count * 2 {
+            return None;
+        }
+        let mut assignment = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 6 + i * 2;
+            let s = u16::from_le_bytes(bytes[off..off + 2].try_into().ok()?);
+            if s >= num_shards {
+                return None;
+            }
+            assignment.push(s);
+        }
+        Some(Self {
+            num_shards,
+            assignment,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, SyntheticCity};
+
+    fn network() -> RoadNetwork {
+        SyntheticCity::generate(GeneratorConfig::small()).network
+    }
+
+    #[test]
+    fn partition_is_total_deterministic_and_twin_colocated() {
+        let net = network();
+        let a = ShardMap::partition(&net, 4);
+        let b = ShardMap::partition(&net, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.num_segments(), net.num_segments());
+        for id in net.segment_ids() {
+            assert!(a.shard_of(id) < 4);
+            if let Some(twin) = net.segment(id).twin {
+                assert_eq!(a.shard_of(id), a.shard_of(twin), "twin of {id} split");
+            }
+        }
+        let sizes = a.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), net.num_segments());
+        assert!(sizes.iter().all(|&s| s > 0), "empty shard in {sizes:?}");
+    }
+
+    #[test]
+    fn segments_of_partitions_the_id_space() {
+        let net = network();
+        let map = ShardMap::partition(&net, 3);
+        let mut all: Vec<SegmentId> = (0..3).flat_map(|s| map.segments_of(s)).collect();
+        all.sort_unstable();
+        let expected: Vec<SegmentId> = net.segment_ids().collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let net = network();
+        let map = ShardMap::partition(&net, 4);
+        let bytes = map.encode();
+        let back = ShardMap::decode(&bytes).expect("decode");
+        assert_eq!(map, back);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ShardMap::decode(&[]).is_none());
+        assert!(ShardMap::decode(&[1, 0, 1, 0, 0, 0]).is_none()); // truncated body
+                                                                  // Shard id out of range.
+        let mut bytes = ShardMap::from_parts(2, vec![0, 1]).encode();
+        bytes[6] = 9;
+        assert!(ShardMap::decode(&bytes).is_none());
+    }
+}

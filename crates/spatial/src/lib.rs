@@ -17,7 +17,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod grid;
+pub mod partition;
 pub mod rtree;
 
 pub use grid::GridIndex;
+pub use partition::kd_partition;
 pub use rtree::RTree;

@@ -1,0 +1,171 @@
+//! Deterministic spatial partitioning for shard maps.
+//!
+//! The scale-out topology splits the road network into K spatial shards by
+//! cutting the plane of segment midpoints with a k-d tree: the group with
+//! the most points is repeatedly split at the median of its wider-extent
+//! axis until K groups exist. The cut is a pure function of the input
+//! points — ties are broken by input index, medians by stable ordering —
+//! so every process that partitions the same network with the same K
+//! derives the identical segment→shard assignment without coordination.
+//!
+//! The partitioner works on bare `(x, y)` points so it stays free of any
+//! road-network dependency; callers feed it segment midpoints (longitude,
+//! latitude) and persist the resulting assignment in the snapshot container.
+
+/// One contiguous group of input points during the recursive cut.
+struct Group {
+    /// Indices into the caller's point slice.
+    members: Vec<u32>,
+}
+
+impl Group {
+    fn extent(&self, points: &[(f64, f64)]) -> (f64, f64) {
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &i in &self.members {
+            let (x, y) = points[i as usize];
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        ((max_x - min_x).max(0.0), (max_y - min_y).max(0.0))
+    }
+}
+
+/// Splits `points` into `num_shards` spatial groups with a deterministic
+/// k-d cut and returns one shard id per input point.
+///
+/// The largest group (by member count; ties by lowest group index) is split
+/// at the median of its wider axis — x when the x-extent is at least the
+/// y-extent — until `num_shards` groups exist. Members sort by coordinate
+/// with input index as the tiebreaker, so duplicate coordinates cannot make
+/// the cut ambiguous. With fewer points than shards, the surplus shards are
+/// simply empty: every point still gets a valid shard id in
+/// `0..num_shards`, and callers route reads for unassigned space by
+/// nearest-member convention of their own choosing.
+///
+/// `num_shards == 0` is treated as 1 so the result is always a total map.
+pub fn kd_partition(points: &[(f64, f64)], num_shards: u16) -> Vec<u16> {
+    let num_shards = num_shards.max(1);
+    let mut groups = vec![Group {
+        members: (0..points.len() as u32).collect(),
+    }];
+    while groups.len() < num_shards as usize {
+        // Split the most populated group; ties go to the earliest group so
+        // the sequence of cuts is reproducible.
+        let (victim, _) = match groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.members.len() > 1)
+            .max_by(|(ia, a), (ib, b)| a.members.len().cmp(&b.members.len()).then(ib.cmp(ia)))
+        {
+            Some((i, g)) => (i, g.members.len()),
+            // Every group is a singleton or empty: pad with empty shards.
+            None => {
+                groups.push(Group {
+                    members: Vec::new(),
+                });
+                continue;
+            }
+        };
+        let mut members = std::mem::take(&mut groups[victim].members);
+        let (ex, ey) = Group {
+            members: members.clone(),
+        }
+        .extent(points);
+        let split_x = ex >= ey;
+        members.sort_unstable_by(|&a, &b| {
+            let ka = points[a as usize];
+            let kb = points[b as usize];
+            let (pa, pb) = if split_x { (ka.0, kb.0) } else { (ka.1, kb.1) };
+            pa.partial_cmp(&pb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let right = members.split_off(members.len() / 2);
+        groups[victim].members = members;
+        groups.push(Group { members: right });
+    }
+
+    let mut assignment = vec![0u16; points.len()];
+    for (shard, group) in groups.iter().enumerate() {
+        for &i in &group.members {
+            assignment[i as usize] = shard as u16;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(side: usize) -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                pts.push((c as f64 * 0.01, r as f64 * 0.01));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn partition_is_total_and_deterministic() {
+        let pts = grid_points(10);
+        let a = kd_partition(&pts, 4);
+        let b = kd_partition(&pts, 4);
+        assert_eq!(a, b, "same input must give the same cut");
+        assert_eq!(a.len(), pts.len());
+        assert!(a.iter().all(|&s| s < 4));
+        for shard in 0..4u16 {
+            assert!(a.contains(&shard), "shard {shard} is empty");
+        }
+    }
+
+    #[test]
+    fn split_sizes_are_balanced() {
+        let pts = grid_points(8);
+        let assignment = kd_partition(&pts, 4);
+        let mut counts = [0usize; 4];
+        for &s in &assignment {
+            counts[s as usize] += 1;
+        }
+        // A median cut keeps groups within one point of each other per split.
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced counts {counts:?}");
+    }
+
+    #[test]
+    fn shards_are_spatially_contiguous_on_a_line() {
+        // Points on a line must split into contiguous runs.
+        let pts: Vec<(f64, f64)> = (0..16).map(|i| (i as f64, 0.0)).collect();
+        let assignment = kd_partition(&pts, 4);
+        // Along the sorted axis a shard never reappears after it ends.
+        let mut seen = Vec::new();
+        for &s in &assignment {
+            if seen.last() != Some(&s) {
+                assert!(!seen.contains(&s), "shard {s} is not contiguous");
+                seen.push(s);
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn more_shards_than_points_leaves_empty_shards() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0)];
+        let assignment = kd_partition(&pts, 5);
+        assert_eq!(assignment.len(), 2);
+        assert!(assignment.iter().all(|&s| s < 5));
+        assert_ne!(assignment[0], assignment[1]);
+    }
+
+    #[test]
+    fn zero_shards_degrades_to_one() {
+        let pts = grid_points(3);
+        let assignment = kd_partition(&pts, 0);
+        assert!(assignment.iter().all(|&s| s == 0));
+    }
+}

@@ -61,4 +61,4 @@ pub use postings::{
 pub use snapshot::{
     Crc32, SnapshotReader, SnapshotWriter, MIN_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
-pub use wal::{Wal, WalRecovery, WAL_MAGIC, WAL_VERSION};
+pub use wal::{FollowerLog, ShippedBatch, Wal, WalRecovery, WalTail, WAL_MAGIC, WAL_VERSION};

@@ -45,10 +45,13 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"STRSNAP\0";
 /// `delta_dir`, `ingest_meta`) plus the `deltas.pages` file are required;
 /// 3 — `config` section grew `auto_checkpoint_bytes` (online maintenance);
 /// 4 — `config` section grew `storage_backend` and `posting_encoding`, and
-/// posting heaps may hold tagged (raw/delta-varint) blobs. Version-3
-/// containers are still read ([`MIN_SNAPSHOT_VERSION`]); their heaps decode
-/// with the untagged legacy layout.
-pub const SNAPSHOT_VERSION: u32 = 4;
+/// posting heaps may hold tagged (raw/delta-varint) blobs; 5 — optional
+/// `shard_map` and `road_network` sections (scale-out topology: shard
+/// ownership and self-contained replica bootstrap). Version-3 and version-4
+/// containers are still read ([`MIN_SNAPSHOT_VERSION`]); v3 heaps decode
+/// with the untagged legacy layout, and the v5 sections are simply absent
+/// from older containers.
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// Oldest snapshot format version this build still reads.
 pub const MIN_SNAPSHOT_VERSION: u32 = 3;

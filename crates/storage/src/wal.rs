@@ -583,6 +583,232 @@ impl Wal {
     }
 }
 
+/// One batch of intact records a [`WalTail`] found past its cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShippedBatch {
+    /// Generation of the log the records belong to.
+    pub generation: u64,
+    /// Ordinal of the first record in `payloads` within that generation.
+    pub start_record: u64,
+    /// The decoded record payloads, in ordinal order (CRC-verified).
+    pub payloads: Vec<Vec<u8>>,
+    /// The raw frame bytes of exactly those records — header and payload
+    /// as they appear on disk, ready to be appended verbatim to a
+    /// byte-compatible [`FollowerLog`].
+    pub frames: Vec<u8>,
+}
+
+/// A polling reader over a (possibly live) WAL file — the shipping half of
+/// leader→replica replication.
+///
+/// The tail keeps a `(generation, record, byte offset)` cursor and re-reads
+/// the file on every [`WalTail::poll`]: new intact frames past the cursor
+/// are returned as a [`ShippedBatch`], a torn frame at the end (an append
+/// in flight) is simply left for the next poll, and a **generation change**
+/// (the leader rotated after a checkpoint) resets the cursor to the start
+/// of the new generation. Reading never takes any of the leader's locks —
+/// the log format is append-only and CRC-framed, so a concurrent append can
+/// at worst look like a torn tail.
+pub struct WalTail {
+    path: PathBuf,
+    generation: u64,
+    records: u64,
+    offset: u64,
+}
+
+impl WalTail {
+    /// Starts a tail at the beginning of the log at `path`. The file does
+    /// not have to exist yet — the first successful poll latches onto it.
+    pub fn new<P: AsRef<Path>>(path: P) -> Self {
+        Self {
+            path: path.as_ref().to_path_buf(),
+            generation: 0,
+            records: 0,
+            offset: HEADER_LEN,
+        }
+    }
+
+    /// The log file being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The cursor position: (generation, records consumed).
+    pub fn position(&self) -> (u64, u64) {
+        (self.generation, self.records)
+    }
+
+    /// Reads every intact record past the cursor. Returns `Ok(None)` when
+    /// the file does not exist yet or holds nothing new; `Err` on a
+    /// malformed header (shipping from a non-WAL file is a setup bug, not
+    /// an idle condition).
+    pub fn poll(&mut self) -> StorageResult<Option<ShippedBatch>> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.len() < HEADER_LEN as usize {
+            return Ok(None); // header still being written
+        }
+        if bytes[..8] != WAL_MAGIC {
+            return Err(StorageError::corrupt(format!(
+                "shipped WAL {} has bad magic",
+                self.path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != WAL_VERSION {
+            return Err(StorageError::UnsupportedVersion {
+                found: version,
+                expected: WAL_VERSION,
+            });
+        }
+        let generation = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        if generation != self.generation {
+            // The leader rotated (or this is the first poll): everything in
+            // the file belongs to the new generation, starting at record 0.
+            self.generation = generation;
+            self.records = 0;
+            self.offset = HEADER_LEN;
+        }
+
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
+        let start_offset = self.offset as usize;
+        let mut offset = start_offset;
+        if offset > bytes.len() {
+            // The file shrank without a generation bump — cannot happen
+            // through the Wal API (truncation only at open/rotate, both
+            // re-header); treat it as corruption rather than re-shipping.
+            return Err(StorageError::corrupt(format!(
+                "shipped WAL {} shrank below the cursor",
+                self.path.display()
+            )));
+        }
+        loop {
+            let remaining = bytes.len() - offset;
+            if remaining < FRAME_HEADER_LEN {
+                break;
+            }
+            let len =
+                u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 b"));
+            if remaining - FRAME_HEADER_LEN < len {
+                break; // append in flight
+            }
+            let payload = &bytes[offset + FRAME_HEADER_LEN..offset + FRAME_HEADER_LEN + len];
+            if frame_crc(payload) != crc {
+                break; // torn frame; re-examine next poll
+            }
+            payloads.push(payload.to_vec());
+            offset += FRAME_HEADER_LEN + len;
+        }
+        if payloads.is_empty() {
+            return Ok(None);
+        }
+        let batch = ShippedBatch {
+            generation: self.generation,
+            start_record: self.records,
+            frames: bytes[start_offset..offset].to_vec(),
+            payloads,
+        };
+        self.records += batch.payloads.len() as u64;
+        self.offset = offset as u64;
+        Ok(Some(batch))
+    }
+}
+
+/// A byte-compatible local copy of a leader's WAL, maintained by a replica
+/// from shipped frames.
+///
+/// The file is a real WAL — same header, same frames — so a failover
+/// promotion simply attaches it with the ordinary `attach_wal` path: replay
+/// skips everything the replica already applied and the promoted engine
+/// keeps appending to the very same log.
+pub struct FollowerLog {
+    path: PathBuf,
+    file: File,
+    generation: u64,
+    records: u64,
+}
+
+impl FollowerLog {
+    /// Creates (truncating any previous content) a follower log at `path`
+    /// for `generation`.
+    pub fn create<P: AsRef<Path>>(path: P, generation: u64) -> StorageResult<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        write_header(&mut file, generation)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            generation,
+            records: 0,
+        })
+    }
+
+    /// The log's file path (hand this to `attach_wal` on promotion).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The generation the log currently mirrors.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of shipped records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Appends a shipped batch's raw frames verbatim and fsyncs. Rejects a
+    /// batch from another generation or out of sequence — the caller must
+    /// [`FollowerLog::reset`] on a generation change.
+    pub fn append_shipped(&mut self, batch: &ShippedBatch) -> StorageResult<()> {
+        if batch.generation != self.generation {
+            return Err(StorageError::corrupt(format!(
+                "shipped batch of generation {} cannot extend follower log of \
+                 generation {}",
+                batch.generation, self.generation
+            )));
+        }
+        if batch.start_record != self.records {
+            return Err(StorageError::corrupt(format!(
+                "shipped batch starts at record {} but the follower log holds {}",
+                batch.start_record, self.records
+            )));
+        }
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(&batch.frames)?;
+        self.file.sync_all()?;
+        self.records += batch.payloads.len() as u64;
+        Ok(())
+    }
+
+    /// Discards the mirrored content and starts over at `generation` — the
+    /// follower's reaction to a leader rotation (the records of the old
+    /// generation are covered by the leader's checkpoint).
+    pub fn reset(&mut self, generation: u64) -> StorageResult<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        write_header(&mut self.file, generation)?;
+        self.generation = generation;
+        self.records = 0;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,770 @@
+//! Sharded + replicated serving equivalence harness: a scatter-gather
+//! router over K spatial shard engines and their WAL-shipped read replicas
+//! must answer **bit-identically** to a single unsharded engine — on every
+//! pipeline, including queries whose reachable annulus straddles a shard
+//! boundary.
+//!
+//! The harness is seeded (`STREACH_FAULT_SEED`, printed in every assertion)
+//! and drives the same morning query pool as `tests/concurrent_maintenance.rs`
+//! through four phases per round:
+//!
+//! * **Barrier ingest** — a real fleet-day batch lands on the single
+//!   reference engine and on every shard leader (the router forwards the
+//!   full batch; each leader folds only its owned postings), then ships to
+//!   every replica and asserts convergence (same applied generation and
+//!   offset, zero lag).
+//! * **Quiesced sweep** — every pool entry is answered by the router under
+//!   both read preferences (leader reads and replica-first reads) and
+//!   compared bit-for-bit against the quiesced reference. A guard assertion
+//!   checks the pool actually contains boundary-straddling answers, so the
+//!   scatter-gather path is provably exercised.
+//! * **Checkpoint** — `ReplicaSet::checkpoint_leader` runs the
+//!   ship-before-rotate protocol on every shard; followers must track the
+//!   rotated generation and keep answering identically.
+//! * **Ship race** — query threads sweep seeded pool entries against the
+//!   router (replica-first) while the caller interleaves slot-disjoint
+//!   leader ingest with shipping, so queries race replica apply. The
+//!   disjoint data provably cannot change any pool answer, which a guard
+//!   re-checks after the race.
+//!
+//! After the rounds the fleet "crashes": shard 0 fails over by promoting
+//! its converged replica (replaying nothing), every other shard reopens
+//! from its checkpoint plus WAL-tail replay — and the rebuilt router still
+//! answers the whole pool bit-identically.
+//!
+//! A second campaign scripts a **dead disk** (`FaultInjectingPageStore`,
+//! every read EIO) on a replica mid-campaign: reads stickily fail over to
+//! the leader with unchanged answers, and when the leader's disk dies too
+//! the query surfaces a typed [`QueryError::Storage`] — never a partial
+//! region.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use streach::prelude::*;
+use streach::storage::{FaultController, FaultInjectingPageStore};
+use streach_core::query::MQueryAlgorithm;
+use streach_core::StoreRole;
+
+/// Base fleet-days built offline; the remaining days arrive via ingest.
+const BASE_DAYS: u16 = 2;
+/// Fleet-days ingested round by round.
+const EXTRA_DAYS: u16 = 2;
+/// Spatial shards of the tentpole campaign.
+const NUM_SHARDS: u16 = 3;
+/// Concurrent query threads in the ship race.
+const QUERY_THREADS: usize = 2;
+
+fn fault_seed() -> u64 {
+    std::env::var("STREACH_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_260_728)
+}
+
+/// SplitMix64 — the same deterministic mixer the fault harness uses.
+fn mix(seed: u64, ordinal: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(ordinal.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("streach-sharded-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Copies a snapshot directory file by file — "shipping" its artifacts.
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap().flatten() {
+        if entry.file_type().unwrap().is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
+}
+
+fn config() -> IndexConfig {
+    IndexConfig {
+        read_latency_us: 0,
+        ..Default::default()
+    }
+}
+
+/// The shared scenario: a small synthetic city, a base dataset built
+/// offline and one live-feed batch per (trajectory, date) of the extra
+/// days.
+fn scenario() -> (Arc<RoadNetwork>, TrajectoryDataset, Vec<Vec<TrajPoint>>) {
+    let city = SyntheticCity::generate(GeneratorConfig::small());
+    let network = Arc::new(city.network);
+    let full = TrajectoryDataset::simulate(
+        &network,
+        FleetConfig {
+            num_taxis: 10,
+            num_days: BASE_DAYS + EXTRA_DAYS,
+            day_start_s: 8 * 3600,
+            day_end_s: 11 * 3600,
+            seed: 31,
+            ..FleetConfig::default()
+        },
+    );
+    let base = TrajectoryDataset::from_matched(
+        full.trajectories()
+            .iter()
+            .filter(|t| t.date < BASE_DAYS)
+            .cloned()
+            .collect(),
+        full.num_taxis(),
+        BASE_DAYS,
+    );
+    let round_batches: Vec<Vec<TrajPoint>> = full
+        .trajectories()
+        .iter()
+        .filter(|t| t.date >= BASE_DAYS)
+        .map(|t| points_of(t).collect())
+        .collect();
+    assert!(round_batches.len() >= 2, "scenario needs live batches");
+    (network, base, round_batches)
+}
+
+/// A slot-disjoint ingest batch derived from `batch`: fresh trajectory IDs,
+/// existing dates and afternoon time slots — by construction it cannot
+/// change any answer of the morning pool (same derivation as
+/// `tests/concurrent_maintenance.rs`, re-verified by a guard after the
+/// race).
+fn disjoint_batch(batch: &[TrajPoint], round: usize) -> Vec<TrajPoint> {
+    batch
+        .iter()
+        .map(|p| TrajPoint {
+            traj_id: p.traj_id + 1_000_000 + round as u32 * 10_000,
+            date: p.date % BASE_DAYS,
+            segment: p.segment,
+            enter_time_s: (p.enter_time_s + 5 * 3600).min(streach_traj::SECONDS_PER_DAY - 1),
+        })
+        .collect()
+}
+
+/// The query pool: morning windows over several locations, so some
+/// reachable annuli straddle shard boundaries (guard-checked in the test).
+struct Pool {
+    s_queries: Vec<(SQuery, Algorithm)>,
+    m_queries: Vec<(MQuery, MQueryAlgorithm)>,
+}
+
+fn pool(locations: &[GeoPoint]) -> Pool {
+    let mut s_queries = Vec::new();
+    let mut m_queries = Vec::new();
+    for (start, duration, prob) in [
+        (8 * 3600 + 1800, 300u32, 0.25),
+        (9 * 3600, 600, 0.25),
+        (9 * 3600 + 900, 900, 0.6),
+        (10 * 3600, 300, 0.6),
+    ] {
+        for &location in locations {
+            let s = SQuery {
+                location,
+                start_time_s: start,
+                duration_s: duration,
+                prob,
+            };
+            s_queries.push((s, Algorithm::SqmbTbs));
+            if duration <= 300 {
+                s_queries.push((s, Algorithm::ExhaustiveSearch));
+            }
+        }
+        let m = MQuery {
+            locations: vec![locations[0], locations[1]],
+            start_time_s: start,
+            duration_s: duration,
+            prob,
+        };
+        m_queries.push((m.clone(), MQueryAlgorithm::MqmbTbs));
+        if duration <= 300 {
+            m_queries.push((m, MQueryAlgorithm::RepeatedSQuery));
+        }
+    }
+    Pool {
+        s_queries,
+        m_queries,
+    }
+}
+
+/// Bit-comparable answer of one pool entry.
+type Answer = (Vec<SegmentId>, u64);
+
+fn answer_of(outcome: &QueryOutcome) -> Answer {
+    (
+        outcome.region.segments.clone(),
+        outcome.region.total_length_km.to_bits(),
+    )
+}
+
+/// Anything the pool can be run against: the single reference engine or
+/// the sharded router — both expose the same fallible query surface.
+trait Queryable {
+    fn s(&self, query: &SQuery, algorithm: Algorithm) -> Result<QueryOutcome, QueryError>;
+    fn m(&self, query: &MQuery, algorithm: MQueryAlgorithm) -> Result<QueryOutcome, QueryError>;
+}
+
+impl Queryable for ReachabilityEngine {
+    fn s(&self, query: &SQuery, algorithm: Algorithm) -> Result<QueryOutcome, QueryError> {
+        self.try_s_query(query, algorithm)
+    }
+    fn m(&self, query: &MQuery, algorithm: MQueryAlgorithm) -> Result<QueryOutcome, QueryError> {
+        self.try_m_query(query, algorithm)
+    }
+}
+
+impl Queryable for ShardedEngine {
+    fn s(&self, query: &SQuery, algorithm: Algorithm) -> Result<QueryOutcome, QueryError> {
+        self.try_s_query(query, algorithm)
+    }
+    fn m(&self, query: &MQuery, algorithm: MQueryAlgorithm) -> Result<QueryOutcome, QueryError> {
+        self.try_m_query(query, algorithm)
+    }
+}
+
+/// Runs the whole pool quiesced and returns every answer in pool order.
+fn pool_answers<E: Queryable>(engine: &E, pool: &Pool) -> Vec<Answer> {
+    let mut out = Vec::with_capacity(pool.s_queries.len() + pool.m_queries.len());
+    for (q, algo) in &pool.s_queries {
+        out.push(answer_of(&engine.s(q, *algo).expect("s-query")));
+    }
+    for (q, algo) in &pool.m_queries {
+        out.push(answer_of(&engine.m(q, *algo).expect("m-query")));
+    }
+    out
+}
+
+/// Runs pool entry `index` on `engine` and returns its answer.
+fn run_pool_entry<E: Queryable>(
+    engine: &E,
+    pool: &Pool,
+    index: usize,
+) -> Result<Answer, QueryError> {
+    if index < pool.s_queries.len() {
+        let (q, algo) = &pool.s_queries[index];
+        Ok(answer_of(&engine.s(q, *algo)?))
+    } else {
+        let (q, algo) = &pool.m_queries[index - pool.s_queries.len()];
+        Ok(answer_of(&engine.m(q, *algo)?))
+    }
+}
+
+/// Asserts the engine's quiesced pool answers equal `expected`.
+fn assert_pool_answers<E: Queryable>(
+    engine: &E,
+    pool: &Pool,
+    expected: &[Answer],
+    seed: u64,
+    label: &str,
+) {
+    let got = pool_answers(engine, pool);
+    for (i, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+        assert_eq!(
+            g, e,
+            "[seed {seed}] {label}: quiesced pool entry #{i} diverged"
+        );
+    }
+}
+
+/// One racing phase: query threads sweep seeded pool entries against
+/// `engine` and assert bit-identity, while `interleave` runs on the
+/// caller's thread until every query thread finished.
+#[allow(clippy::too_many_arguments)]
+fn race_queries<E: Queryable + Sync, F: FnMut()>(
+    engine: &E,
+    pool: &Pool,
+    expected: &[Answer],
+    seed: u64,
+    phase: u64,
+    queries_per_thread: usize,
+    label: &str,
+    mut interleave: F,
+) {
+    let running = AtomicUsize::new(QUERY_THREADS);
+    std::thread::scope(|scope| {
+        for thread in 0..QUERY_THREADS {
+            let running = &running;
+            scope.spawn(move || {
+                // Seeded worker override: both the sequential and the
+                // parallel verification paths race the shipping.
+                let workers = 1 + (mix(seed, phase * 31 + thread as u64) % 2) as usize;
+                streach_par::with_worker_override(workers, || {
+                    for i in 0..queries_per_thread {
+                        let index = (mix(seed, phase * 1009 + thread as u64 * 101 + i as u64)
+                            % (pool.s_queries.len() + pool.m_queries.len()) as u64)
+                            as usize;
+                        let got = run_pool_entry(engine, pool, index).unwrap_or_else(|e| {
+                            panic!(
+                                "[seed {seed}] {label}: thread {thread} query #{i} \
+                                 (pool entry {index}, {workers} workers) failed: {e}"
+                            )
+                        });
+                        assert_eq!(
+                            got, expected[index],
+                            "[seed {seed}] {label}: thread {thread} query #{i} \
+                             (pool entry {index}, {workers} workers) diverged from \
+                             the quiesced reference"
+                        );
+                    }
+                });
+                running.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        while running.load(Ordering::SeqCst) > 0 {
+            interleave();
+        }
+    });
+}
+
+/// The tentpole campaign (see the module docs).
+#[test]
+fn sharded_replicated_serving_stays_bit_identical() {
+    let seed = fault_seed();
+    let root = tmp_dir("harness");
+    let (network, base, round_batches) = scenario();
+    let map = Arc::new(ShardMap::partition(&network, NUM_SHARDS));
+
+    // The quiesced single-engine reference: full index, volatile ingest.
+    let reference = EngineBuilder::new(network.clone(), &base)
+        .index_config(config())
+        .build();
+
+    // Per shard: a WAL-backed leader plus one replica bootstrapped from the
+    // leader's self-contained snapshot alone (no shared network object, no
+    // dataset — exactly the artifacts shipping would move between hosts).
+    let mut homes = Vec::new();
+    let mut leaders = Vec::new();
+    let mut sets = Vec::new();
+    for shard_id in 0..NUM_SHARDS {
+        let home = root.join(format!("shard{shard_id}"));
+        let leader = Arc::new(
+            EngineBuilder::new(network.clone(), &base)
+                .index_config(config())
+                .shard(map.clone(), shard_id)
+                .build(),
+        );
+        leader
+            .save_snapshot_self_contained(&home)
+            .unwrap_or_else(|e| panic!("[seed {seed}] shard {shard_id}: save leader: {e}"));
+        leader
+            .attach_wal(home.join("ingest.wal"))
+            .unwrap_or_else(|e| panic!("[seed {seed}] shard {shard_id}: attach WAL: {e}"));
+
+        let replica_home = root.join(format!("shard{shard_id}-replica"));
+        copy_dir(&home, &replica_home);
+        let _ = std::fs::remove_file(replica_home.join("ingest.wal"));
+        let replica = Arc::new(
+            ReachabilityEngine::open_snapshot_standalone(&replica_home).unwrap_or_else(|e| {
+                panic!(
+                    "[seed {seed}] shard {shard_id}: bootstrap replica from shipped artifacts: {e}"
+                )
+            }),
+        );
+        let mut set = ReplicaSet::new(leader.clone(), home.join("ingest.wal"));
+        set.add_replica(replica, replica_home.join("follower.wal"))
+            .unwrap_or_else(|e| panic!("[seed {seed}] shard {shard_id}: register replica: {e}"));
+        homes.push(home);
+        leaders.push(leader);
+        sets.push(set);
+    }
+    let mut router = ShardedEngine::new(map.clone(), leaders);
+    for (shard_id, set) in sets.iter().enumerate() {
+        router.add_replica(shard_id as u16, set.replica(0).clone());
+    }
+
+    // Query locations spread across the network so some reachable annuli
+    // straddle shard boundaries (guard-checked below).
+    let b = network.bounds();
+    let center = b.center();
+    let locations = [
+        center,
+        GeoPoint::new(
+            center.lon + (b.max_lon - b.min_lon) * 0.22,
+            center.lat + (b.max_lat - b.min_lat) * 0.10,
+        ),
+        GeoPoint::new(
+            center.lon - (b.max_lon - b.min_lon) * 0.18,
+            center.lat - (b.max_lat - b.min_lat) * 0.15,
+        ),
+    ];
+    let pool = pool(&locations);
+
+    let rounds = if cfg!(debug_assertions) {
+        2.min(round_batches.len())
+    } else {
+        round_batches.len().min(4)
+    };
+    let queries_per_thread = if cfg!(debug_assertions) { 4 } else { 8 };
+
+    for (round, batch) in round_batches.iter().enumerate().take(rounds) {
+        // Barrier phase: the fleet-day batch lands everywhere quiesced —
+        // reference, every leader (via the router), every replica (via
+        // shipping).
+        reference
+            .ingest(batch)
+            .unwrap_or_else(|e| panic!("[seed {seed}] round {round}: reference ingest: {e}"));
+        router
+            .ingest(batch)
+            .unwrap_or_else(|e| panic!("[seed {seed}] round {round}: sharded ingest: {e}"));
+        for (shard_id, set) in sets.iter_mut().enumerate() {
+            set.ship().unwrap_or_else(|e| {
+                panic!("[seed {seed}] round {round}: ship shard {shard_id}: {e}")
+            });
+            assert!(
+                set.converged(),
+                "[seed {seed}] round {round}: shard {shard_id} replica did not converge: {:?}",
+                set.status()
+            );
+            assert_eq!(
+                set.status()[0].lag_records(),
+                0,
+                "[seed {seed}] round {round}: shard {shard_id} reports lag after convergence"
+            );
+        }
+        let expected = pool_answers(&reference, &pool);
+
+        if round == 0 {
+            // The scatter-gather premise: some answers must span several
+            // shards, otherwise every annulus read one engine and the
+            // boundary path went untested.
+            let straddling = expected
+                .iter()
+                .filter(|(segments, _)| {
+                    let mut shards: Vec<u16> = segments.iter().map(|&s| map.shard_of(s)).collect();
+                    shards.sort_unstable();
+                    shards.dedup();
+                    shards.len() >= 2
+                })
+                .count();
+            assert!(
+                straddling > 0,
+                "[seed {seed}] no pool answer straddles a shard boundary — \
+                 the scatter-gather path is untested"
+            );
+        }
+
+        router.set_read_preference(ReadPreference::Leader);
+        assert_pool_answers(
+            &router,
+            &pool,
+            &expected,
+            seed,
+            &format!("round {round} leader reads"),
+        );
+        router.set_read_preference(ReadPreference::ReplicaFirst);
+        assert_pool_answers(
+            &router,
+            &pool,
+            &expected,
+            seed,
+            &format!("round {round} replica-first reads"),
+        );
+
+        // Ship-before-rotate: checkpoint every leader mid-campaign; the
+        // followers must track the rotated generation and keep answering.
+        if round == 0 {
+            for (shard_id, set) in sets.iter_mut().enumerate() {
+                set.checkpoint_leader(&homes[shard_id]).unwrap_or_else(|e| {
+                    panic!("[seed {seed}] round {round}: checkpoint shard {shard_id}: {e}")
+                });
+                assert!(
+                    set.converged(),
+                    "[seed {seed}] round {round}: shard {shard_id} diverged across the \
+                     checkpoint rotation: {:?}",
+                    set.status()
+                );
+            }
+            assert_pool_answers(
+                &router,
+                &pool,
+                &expected,
+                seed,
+                &format!("round {round} post-checkpoint"),
+            );
+        }
+
+        // Ship race: queries sweep the router (replica-first) while
+        // slot-disjoint data lands at the leaders and ships to the
+        // replicas underneath them.
+        let disjoint = disjoint_batch(batch, round);
+        reference
+            .ingest(&disjoint)
+            .unwrap_or_else(|e| panic!("[seed {seed}] round {round}: reference disjoint: {e}"));
+        let pieces: Vec<&[TrajPoint]> =
+            disjoint.chunks(disjoint.len().div_ceil(8).max(1)).collect();
+        let mut next_piece = 0usize;
+        {
+            let sets = &mut sets;
+            let router = &router;
+            race_queries(
+                router,
+                &pool,
+                &expected,
+                seed,
+                round as u64,
+                queries_per_thread,
+                &format!("round {round} ship race"),
+                || {
+                    if next_piece < pieces.len() {
+                        router.ingest(pieces[next_piece]).unwrap_or_else(|e| {
+                            panic!("[seed {seed}] round {round}: racing ingest: {e}")
+                        });
+                        next_piece += 1;
+                    }
+                    for (shard_id, set) in sets.iter_mut().enumerate() {
+                        set.ship().unwrap_or_else(|e| {
+                            panic!("[seed {seed}] round {round}: racing ship shard {shard_id}: {e}")
+                        });
+                    }
+                },
+            );
+        }
+        for piece in &pieces[next_piece..] {
+            router
+                .ingest(piece)
+                .unwrap_or_else(|e| panic!("[seed {seed}] round {round}: drain ingest: {e}"));
+        }
+        for (shard_id, set) in sets.iter_mut().enumerate() {
+            set.ship()
+                .unwrap_or_else(|e| panic!("[seed {seed}] round {round}: drain ship: {e}"));
+            assert!(
+                set.converged(),
+                "[seed {seed}] round {round}: shard {shard_id} did not converge after the race"
+            );
+        }
+        // Disjointness guard: the raced data must not have moved a single
+        // pool answer, on the router or on the reference.
+        assert_pool_answers(
+            &router,
+            &pool,
+            &expected,
+            seed,
+            &format!("round {round} post-race (disjointness guard)"),
+        );
+        assert_pool_answers(
+            &reference,
+            &pool,
+            &expected,
+            seed,
+            &format!("round {round} reference guard"),
+        );
+    }
+
+    // Crash + recovery: shard 0 fails over by promoting its converged
+    // replica (replays nothing); the other shards reopen from their
+    // checkpoint plus WAL-tail replay. The rebuilt fleet still answers the
+    // whole pool bit-identically.
+    let expected = pool_answers(&reference, &pool);
+    drop(router);
+    let mut recovered = Vec::new();
+    for (shard_id, mut set) in sets.into_iter().enumerate() {
+        if shard_id == 0 {
+            set.ship()
+                .unwrap_or_else(|e| panic!("[seed {seed}] failover: final ship: {e}"));
+            let (promoted, attach) = set
+                .promote(0)
+                .unwrap_or_else(|e| panic!("[seed {seed}] failover: promote shard 0 replica: {e}"));
+            assert_eq!(
+                attach.records_replayed, 0,
+                "[seed {seed}] a converged follower replays nothing on promotion"
+            );
+            recovered.push(promoted);
+        } else {
+            drop(set); // crash this shard's leader and replica
+            let engine = Arc::new(
+                ReachabilityEngine::open_snapshot_standalone(&homes[shard_id]).unwrap_or_else(
+                    |e| panic!("[seed {seed}] recovery: reopen shard {shard_id}: {e}"),
+                ),
+            );
+            engine
+                .attach_wal(homes[shard_id].join("ingest.wal"))
+                .unwrap_or_else(|e| {
+                    panic!("[seed {seed}] recovery: replay shard {shard_id} WAL tail: {e}")
+                });
+            recovered.push(engine);
+        }
+    }
+    let recovered_router = ShardedEngine::new(map, recovered);
+    assert_pool_answers(&recovered_router, &pool, &expected, seed, "recovered fleet");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Reopens a shard snapshot with a scripted fault wrapper under the buffer
+/// pool of the sealed base heap, returning the engine and the script
+/// controller.
+fn reopen_with_disk_script(
+    dir: &Path,
+    network: Arc<RoadNetwork>,
+    seed: u64,
+) -> (Arc<ReachabilityEngine>, FaultController) {
+    let mut controller = None;
+    let engine =
+        ReachabilityEngine::open_snapshot_with_stores(dir, network, |role, store| match role {
+            StoreRole::Base => {
+                let faulty = FaultInjectingPageStore::with_seed(store, seed);
+                controller = Some(faulty.controller());
+                Box::new(faulty)
+            }
+            StoreRole::Delta => store,
+        })
+        .expect("open shard snapshot with fault wrapper");
+    (
+        Arc::new(engine),
+        controller.expect("base store was wrapped"),
+    )
+}
+
+/// Satellite campaign: a dead disk on a replica mid-campaign fails reads
+/// over to the leader bit-identically; shard exhaustion is a typed error.
+#[test]
+fn replica_dead_disk_fails_over_and_shard_exhaustion_is_typed() {
+    let seed = fault_seed();
+    let root = tmp_dir("failover");
+    let city = SyntheticCity::generate(GeneratorConfig::small());
+    let network = Arc::new(city.network);
+    let dataset = TrajectoryDataset::simulate(
+        &network,
+        FleetConfig {
+            num_taxis: 12,
+            num_days: 3,
+            day_start_s: 8 * 3600,
+            day_end_s: 12 * 3600,
+            seed: 5,
+            ..FleetConfig::default()
+        },
+    );
+    // A one-page buffer pool keeps (almost) every posting read physical, so
+    // the scripted dead disk fires on the next query instead of hiding
+    // behind the cache; one retry keeps the campaign fast.
+    let cfg = IndexConfig {
+        read_latency_us: 0,
+        pool_pages: 1,
+        read_retries: 1,
+        ..Default::default()
+    };
+    let single = EngineBuilder::new(network.clone(), &dataset)
+        .index_config(cfg.clone())
+        .build();
+    let map = Arc::new(ShardMap::partition(&network, 2));
+
+    let home = root.join("shard0");
+    EngineBuilder::new(network.clone(), &dataset)
+        .index_config(cfg.clone())
+        .shard(map.clone(), 0)
+        .build()
+        .save_snapshot(&home)
+        .unwrap_or_else(|e| panic!("[seed {seed}] save shard 0 snapshot: {e}"));
+    let replica_home = root.join("shard0-replica");
+    copy_dir(&home, &replica_home);
+
+    let (leader0, leader_disk) = reopen_with_disk_script(&home, network.clone(), seed);
+    let (replica0, replica_disk) =
+        reopen_with_disk_script(&replica_home, network.clone(), mix(seed, 1));
+    let leader1 = Arc::new(
+        EngineBuilder::new(network.clone(), &dataset)
+            .index_config(cfg)
+            .shard(map.clone(), 1)
+            .build(),
+    );
+    let mut router = ShardedEngine::new(map, vec![leader0, leader1]);
+    router.add_replica(0, replica0);
+    router.set_read_preference(ReadPreference::ReplicaFirst);
+
+    let center = network.bounds().center();
+    let q = |start_time_s: u32, duration_s: u32| SQuery {
+        location: center,
+        start_time_s,
+        duration_s,
+        prob: 0.25,
+    };
+
+    // Healthy: shard 0 reads are served by the replica, bit-identically.
+    let healthy = q(9 * 3600, 600);
+    let want = single.try_s_query(&healthy, Algorithm::SqmbTbs).unwrap();
+    let got = router.try_s_query(&healthy, Algorithm::SqmbTbs).unwrap();
+    assert_eq!(
+        answer_of(&want),
+        answer_of(&got),
+        "[seed {seed}] healthy replica-first answer diverged"
+    );
+    assert_eq!(router.live_engines(0), 2);
+    assert!(
+        replica_disk.reads_observed() > 0,
+        "[seed {seed}] the replica never served a physical read — the failover premise is void"
+    );
+
+    // Dead disk on the replica mid-campaign: the next physical read marks
+    // it dead and fails over to the leader; answers are unchanged.
+    replica_disk.fail_reads_from(0);
+    let mut replica_died = false;
+    for (i, (start, duration)) in [
+        (10 * 3600u32, 900u32),
+        (9 * 3600 + 1800, 600),
+        (8 * 3600 + 1800, 300),
+        (10 * 3600 + 1800, 600),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let probe = q(start, duration);
+        let want = single.try_s_query(&probe, Algorithm::SqmbTbs).unwrap();
+        let got = router
+            .try_s_query(&probe, Algorithm::SqmbTbs)
+            .unwrap_or_else(|e| panic!("[seed {seed}] probe #{i}: failover query failed: {e}"));
+        assert_eq!(
+            answer_of(&want),
+            answer_of(&got),
+            "[seed {seed}] probe #{i} diverged after the replica's disk died"
+        );
+        if router.live_engines(0) == 1 {
+            replica_died = true;
+            break;
+        }
+    }
+    assert!(
+        replica_died,
+        "[seed {seed}] the dead-disk replica was never detected"
+    );
+
+    // The leader's disk dies too: the query surfaces a typed storage
+    // error — never a partial region — and the shard is exhausted.
+    leader_disk.fail_reads_from(0);
+    let doomed = q(9 * 3600, 900);
+    let err = router.try_s_query(&doomed, Algorithm::SqmbTbs).unwrap_err();
+    assert!(
+        matches!(err, QueryError::Storage { .. }),
+        "[seed {seed}] expected a typed storage error, got {err:?}"
+    );
+    assert_eq!(
+        router.live_engines(0),
+        0,
+        "[seed {seed}] the dead leader must be stickily marked"
+    );
+    // With every engine of the shard gone, the router reports exhaustion
+    // explicitly instead of replaying the original disk error.
+    match router.try_s_query(&doomed, Algorithm::SqmbTbs).unwrap_err() {
+        QueryError::Storage { context, .. } => assert!(
+            context.contains("no live engine left"),
+            "[seed {seed}] exhaustion error should name the condition: {context}"
+        ),
+        other => panic!("[seed {seed}] expected a storage error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Compile-time pin: the router must stay shareable across threads — the
+/// ship race and any serving tier depend on it.
+#[test]
+fn sharded_engine_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedEngine>();
+    assert_send_sync::<ReplicaStatus>();
+}

@@ -462,6 +462,104 @@ fn flips_inside_compressed_blobs_surface_as_corrupt() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Backward compatibility: a version-4 snapshot — the v5 layout minus the
+/// optional `shard_map` / `road_network` sections, which a plain save does
+/// not write — still opens and answers bit-identically. Synthesized by
+/// rewriting a fresh container's version field and resealing.
+#[test]
+fn v4_snapshot_still_opens_and_answers_identically() {
+    let (network, dataset) = build_inputs();
+    let dir = tmp_dir("v4-compat");
+    let center = network.bounds().center();
+    let built = streach::core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(config())
+        .build();
+    built.save_snapshot(&dir).expect("save snapshot");
+
+    let container_path = dir.join(streach::core::snapshot::CONTAINER_FILE);
+    let clean = std::fs::read(&container_path).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(clean[8..12].try_into().unwrap()),
+        streach::storage::SNAPSHOT_VERSION,
+        "a fresh save must write the current container version"
+    );
+    let mut v4 = clean.clone();
+    v4[8..12].copy_from_slice(&4u32.to_le_bytes());
+    let body_len = v4.len() - 4;
+    let seal = crc32(&v4[..body_len]);
+    v4[body_len..].copy_from_slice(&seal.to_le_bytes());
+    std::fs::write(&container_path, &v4).unwrap();
+
+    let reopened =
+        ReachabilityEngine::open_snapshot(&dir, network.clone()).expect("v4 snapshot must open");
+    for (i, q) in squery_suite(center).iter().enumerate() {
+        let a = built.s_query(q, Algorithm::SqmbTbs);
+        let b = reopened.s_query(q, Algorithm::SqmbTbs);
+        assert_eq!(
+            a.region.segments, b.region.segments,
+            "query #{i}: v4 reopen diverged"
+        );
+        assert_eq!(
+            a.region.total_length_km.to_bits(),
+            b.region.total_length_km.to_bits(),
+            "query #{i}: v4 reopen length diverged"
+        );
+    }
+    // A v4 snapshot predates embedded networks, so a standalone open must
+    // fail with a descriptive error instead of a panic or a half-open.
+    match ReachabilityEngine::open_snapshot_standalone(&dir) {
+        Err(StorageError::Corrupt { context }) => assert!(
+            context.contains("road_network"),
+            "standalone rejection must name the missing section: {context}"
+        ),
+        Err(e) => panic!("expected missing-section rejection, got {e}"),
+        Ok(_) => panic!("a snapshot without an embedded network must not open standalone"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The v5 optional sections round-trip: a self-contained **sharded**
+/// snapshot reopens standalone (network decoded from the container, shard
+/// ownership restored) and answers bit-identically to the built engine.
+#[test]
+fn self_contained_sharded_snapshot_reopens_standalone() {
+    let (network, dataset) = build_inputs();
+    let dir = tmp_dir("self-contained-shard");
+    let center = network.bounds().center();
+    let map = Arc::new(ShardMap::partition(&network, 2));
+    let built = streach::core::EngineBuilder::new(network.clone(), &dataset)
+        .index_config(config())
+        .shard(map.clone(), 1)
+        .build();
+    built
+        .save_snapshot_self_contained(&dir)
+        .expect("save self-contained sharded snapshot");
+
+    // No network object, no dataset: the snapshot directory is enough.
+    let reopened =
+        ReachabilityEngine::open_snapshot_standalone(&dir).expect("standalone open must work");
+    let (owned_map, shard_id) = reopened
+        .shard_ownership()
+        .expect("shard ownership must survive the round-trip");
+    assert_eq!(shard_id, 1);
+    assert_eq!(owned_map.as_ref(), map.as_ref());
+    assert_eq!(
+        reopened.network().num_segments(),
+        network.num_segments(),
+        "embedded network must decode to the same segmentation"
+    );
+
+    for (i, q) in squery_suite(center).iter().enumerate() {
+        let a = built.s_query(q, Algorithm::SqmbTbs);
+        let b = reopened.s_query(q, Algorithm::SqmbTbs);
+        assert_eq!(
+            a.region.segments, b.region.segments,
+            "query #{i}: standalone reopen diverged"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The mmap backend must be a pure read-path substitution: same snapshot,
 /// same queries, bit-identical regions and lengths — and the per-query
 /// decode accounting shows the compressed heap being expanded.
