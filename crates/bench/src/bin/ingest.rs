@@ -2,7 +2,7 @@
 //! records the result in `BENCH_ingest.json`.
 //!
 //! ```text
-//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries] [-- --cold-path] [-- --sharded]
+//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries] [-- --cold-path] [-- --sharded] [-- --serving]
 //! ```
 //!
 //! `--group-commit` runs only the multi-writer WAL group-commit comparison
@@ -17,10 +17,17 @@
 //! to the file backend, or the process exits non-zero); `--sharded` runs only
 //! the shard-scaling section (aggregate s-query throughput through a 1-, 2-
 //! and 4-shard scatter-gather router, **gated**: every sharded answer must be
-//! bit-identical to the unsharded baseline). With no mode flag
-//! every section runs and the results — including the `cold_path` object —
-//! are written to `BENCH_ingest.json`; a mode-only run prints its table
-//! (and enforces its gates) without touching the JSON.
+//! bit-identical to the unsharded baseline); `--serving` runs only the
+//! serving front-end matrix (open-loop p50/p99 submission-to-answer latency
+//! through a [`QueryServer`] at 1/4/16/64 simulated clients × coalescing
+//! on/off × result cache on/off, **gated**: every ticket's region must be
+//! bit-identical to the serial uncoalesced answer). With no mode flag
+//! every section runs and the results — including the `cold_path` and
+//! `serving` objects — are written to `BENCH_ingest.json`; a mode-only run
+//! prints its table (and enforces its gates) without touching the JSON —
+//! **except `--serving`**, which merges its section into an existing
+//! `BENCH_ingest.json` (or creates a stub) so CI can smoke-test the section
+//! without paying for the full bench.
 //!
 //! Scenario: a base fleet is built and snapshotted, the snapshot is
 //! reopened as a serving engine, and the remaining fleet-days arrive as
@@ -344,6 +351,206 @@ fn run_shard_scaling(
     (cells, identical)
 }
 
+/// One serving-matrix measurement cell.
+struct ServingCell {
+    clients: usize,
+    coalesce: bool,
+    cache: bool,
+    p50_ms: f64,
+    p99_ms: f64,
+    coalesced: u64,
+    cache_hits: u64,
+}
+
+/// SplitMix64 — deterministic client query draws.
+fn mix(seed: u64, ordinal: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(ordinal.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Serving front-end matrix: an open-loop latency harness over a quiesced
+/// engine. Simulated clients submit seeded-random draws from a ~16-query
+/// workload on a fixed aggregate arrival schedule (paced at ~2× one serial
+/// query lane, so high client counts genuinely queue and coalesce);
+/// latency is submission-schedule to answer-completion, so backpressure
+/// waits count. Every ticket's region is checked bit-identical to the
+/// serial uncoalesced `try_s_query` answer — the identity verdict gates
+/// the run. Returns the cells, the workload size, the scheduled arrivals
+/// per cell, and the verdict.
+fn run_serving(
+    dir: &std::path::Path,
+    network: &Arc<RoadNetwork>,
+    quick: bool,
+) -> (Vec<ServingCell>, usize, usize, bool) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use streach_core::{QueryServer, ServeConfig};
+
+    let engine = Arc::new(
+        ReachabilityEngine::open_snapshot(dir, network.clone()).expect("open serving snapshot"),
+    );
+    let b = network.bounds();
+    let center = b.center();
+    let (dlon, dlat) = (b.max_lon - b.min_lon, b.max_lat - b.min_lat);
+    let mut workload = Vec::new();
+    for (fx, fy) in [(0.0, 0.0), (0.18, 0.12), (-0.15, -0.08), (0.1, -0.17)] {
+        for (start, duration) in [(9 * 3600u32, 600u32), (10 * 3600, 900)] {
+            for prob in [0.25, 0.6] {
+                workload.push(SQuery {
+                    location: GeoPoint::new(center.lon + dlon * fx, center.lat + dlat * fy),
+                    start_time_s: start,
+                    duration_s: duration,
+                    prob,
+                });
+            }
+        }
+    }
+    engine.warm_con_index(9 * 3600, 900);
+    engine.warm_con_index(10 * 3600, 900);
+
+    // Serial references: the bit-identity gate every ticket checks against.
+    let expected: Vec<(Vec<SegmentId>, u64)> = workload
+        .iter()
+        .map(|q| {
+            let o = engine
+                .try_s_query(q, Algorithm::SqmbTbs)
+                .expect("serial reference");
+            (o.region.segments, o.region.total_length_km.to_bits())
+        })
+        .collect();
+    // A warm serial sweep paces the open-loop schedule.
+    let t0 = Instant::now();
+    for q in &workload {
+        engine
+            .try_s_query(q, Algorithm::SqmbTbs)
+            .expect("pacing sweep");
+    }
+    let serial_mean_s = t0.elapsed().as_secs_f64() / workload.len() as f64;
+    let interval_s = (serial_mean_s / 2.0).max(1e-5);
+
+    let total_arrivals = if quick { 120usize } else { 400 };
+    let mut cells = Vec::new();
+    let mismatches = AtomicU64::new(0);
+    for clients in [1usize, 4, 16, 64] {
+        for (coalesce, cache) in [(true, true), (true, false), (false, true), (false, false)] {
+            let per_client = (total_arrivals / clients).max(8);
+            let server = QueryServer::start(
+                Arc::clone(&engine),
+                ServeConfig {
+                    workers: 2,
+                    queue_depth: 64,
+                    coalesce,
+                    cache_capacity: if cache { 1024 } else { 0 },
+                    ..Default::default()
+                },
+            );
+            let t_start = Instant::now();
+            let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let server = &server;
+                        let workload = &workload;
+                        let expected = &expected;
+                        let mismatches = &mismatches;
+                        scope.spawn(move || {
+                            let mut pending = Vec::with_capacity(per_client);
+                            for k in 0..per_client {
+                                // Fixed aggregate schedule, interleaved
+                                // round-robin across clients.
+                                let at = t_start
+                                    + std::time::Duration::from_secs_f64(
+                                        (k * clients + c) as f64 * interval_s,
+                                    );
+                                let now = Instant::now();
+                                if at > now {
+                                    std::thread::sleep(at - now);
+                                }
+                                let pick = (mix(
+                                    77,
+                                    (clients as u64) * 1_000_003 + (c as u64) * 7_919 + k as u64,
+                                ) % workload.len() as u64)
+                                    as usize;
+                                pending.push((
+                                    pick,
+                                    at,
+                                    server.submit(workload[pick], Algorithm::SqmbTbs),
+                                ));
+                            }
+                            let mut lat = Vec::with_capacity(per_client);
+                            for (pick, at, ticket) in pending {
+                                let (result, done) = ticket.wait_timed();
+                                let outcome = result.expect("serving query");
+                                if outcome.region.segments != expected[pick].0
+                                    || outcome.region.total_length_km.to_bits() != expected[pick].1
+                                {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                                lat.push(done.saturating_duration_since(at).as_secs_f64() * 1e3);
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("client thread"))
+                    .collect()
+            });
+            let stats = server.stats();
+            server.shutdown();
+            latencies.sort_by(f64::total_cmp);
+            cells.push(ServingCell {
+                clients,
+                coalesce,
+                cache,
+                p50_ms: percentile(&latencies, 0.5),
+                p99_ms: percentile(&latencies, 0.99),
+                coalesced: stats.coalesced,
+                cache_hits: stats.cache_hits,
+            });
+        }
+    }
+    let identical = mismatches.load(Ordering::Relaxed) == 0;
+    (cells, workload.len(), total_arrivals, identical)
+}
+
+/// Splices `serving_json` (a leading-comma fragment) into
+/// `BENCH_ingest.json`: replaces an existing `serving` section (always
+/// written last) or appends before the final closing brace; creates a stub
+/// file when none exists. Unlike the other mode-only sections this one
+/// deliberately *does* touch the JSON — the CI smoke asserts the section
+/// lands without paying for a full bench run.
+fn merge_serving_json(serving_json: &str) {
+    let path = "BENCH_ingest.json";
+    let merged = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let head = match existing.find(",\n  \"serving\":") {
+                Some(pos) => existing[..pos].to_string(),
+                None => {
+                    let last = existing.rfind('}').unwrap_or(existing.len());
+                    existing[..last].trim_end().to_string()
+                }
+            };
+            format!("{head}{serving_json}\n}}\n")
+        }
+        Err(_) => {
+            format!("{{\n  \"scenario\": {{\"note\": \"serving-only run\"}}{serving_json}\n}}\n")
+        }
+    };
+    std::fs::write(path, merged).expect("write BENCH_ingest.json");
+}
+
 struct Scale {
     label: &'static str,
     taxis: usize,
@@ -358,7 +565,8 @@ fn main() {
     let only_concurrent = args.iter().any(|a| a == "--concurrent-queries");
     let only_cold = args.iter().any(|a| a == "--cold-path");
     let only_sharded = args.iter().any(|a| a == "--sharded");
-    let run_all = !(only_group || only_concurrent || only_cold || only_sharded);
+    let only_serving = args.iter().any(|a| a == "--serving");
+    let run_all = !(only_group || only_concurrent || only_cold || only_sharded || only_serving);
     let scale = if quick {
         Scale {
             label: "quick",
@@ -585,10 +793,61 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    // --- Serving front end: open-loop latency through the QueryServer ------
+    let mut serving_json = String::new();
+    if run_all || only_serving {
+        let (cells, workload_queries, arrivals_per_cell, serving_identical) =
+            run_serving(&dir, &network, quick);
+        for cell in &cells {
+            println!(
+                "{:<38} {:>8.3}ms {:>8.3}ms",
+                format!(
+                    "serving [{:>2} clients, coalesce {}, cache {}]",
+                    cell.clients,
+                    if cell.coalesce { "on " } else { "off" },
+                    if cell.cache { "on " } else { "off" }
+                ),
+                cell.p50_ms,
+                cell.p99_ms
+            );
+        }
+        println!(
+            "{:<38} {:>14}",
+            "serving answers identical", serving_identical
+        );
+        let cell_json: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"clients\": {}, \"coalesce\": {}, \"cache\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"coalesced\": {}, \"cache_hits\": {}}}",
+                    c.clients, c.coalesce, c.cache, c.p50_ms, c.p99_ms, c.coalesced, c.cache_hits
+                )
+            })
+            .collect();
+        serving_json = format!(
+            ",\n  \"serving\": {{\"identical\": {}, \"workload_queries\": {}, \"arrivals_per_cell\": {}, \"cells\": [{}]}}",
+            serving_identical,
+            workload_queries,
+            arrivals_per_cell,
+            cell_json.join(", ")
+        );
+        if !serving_identical {
+            eprintln!(
+                "[ingest] ERROR: a serving-matrix answer diverged from the serial uncoalesced path"
+            );
+            std::process::exit(1);
+        }
+    }
     drop(built);
     if !run_all {
         std::fs::remove_dir_all(&dir).ok();
-        eprintln!("[ingest] mode-only run: BENCH_ingest.json left untouched");
+        if only_serving {
+            merge_serving_json(&serving_json);
+            eprintln!("[ingest] serving-only run: merged `serving` section into BENCH_ingest.json");
+        } else {
+            eprintln!("[ingest] mode-only run: BENCH_ingest.json left untouched");
+        }
         return;
     }
 
@@ -689,7 +948,7 @@ fn main() {
     println!("{:<38} {:>14}", "ingested == rebuilt (probe)", identical);
 
     let json = format!(
-        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}{}{}\n}}\n",
+        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}{}{}{}\n}}\n",
         scale.label,
         scale.taxis,
         scale.base_days,
@@ -716,7 +975,8 @@ fn main() {
         latency_compacted.median_ms(),
         identical,
         cold_json,
-        sharded_json
+        sharded_json,
+        serving_json
     );
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
     eprintln!("[ingest] wrote BENCH_ingest.json");

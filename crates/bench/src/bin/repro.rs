@@ -382,7 +382,13 @@ fn fig4_7(ctx: &Ctx) -> Table {
 fn fig4_8a(ctx: &Ctx) -> Table {
     let mut t = Table::new(
         "Fig 4.8(a) — m-query vs repeated s-query over duration (3 locations, Prob=20%, T=10:00)",
-        &["L (min)", "s-query x3 (ms)", "m-query (ms)", "saving"],
+        &[
+            "L (min)",
+            "s-query x3 (ms)",
+            "m-query (ms)",
+            "saving",
+            "bound max/min",
+        ],
     );
     let locations = ctx.scenario.mquery_locations(3);
     for l in (5..=35).step_by(5) {
@@ -407,6 +413,12 @@ fn fig4_8a(ctx: &Ctx) -> Table {
             format!("{:.1}", repeated.stats.running_time_ms()),
             format!("{:.1}", unified.stats.running_time_ms()),
             format!("{saving:.0}%"),
+            // Merged per-location extremes: widest max / tightest min
+            // bounding region across the sub-queries (not their sums).
+            format!(
+                "{}/{}",
+                repeated.stats.max_bounding_size, repeated.stats.min_bounding_size
+            ),
         ]);
     }
     t
@@ -415,7 +427,13 @@ fn fig4_8a(ctx: &Ctx) -> Table {
 fn fig4_8b(ctx: &Ctx) -> Table {
     let mut t = Table::new(
         "Fig 4.8(b) — m-query vs repeated s-query over #locations (L=20 min, Prob=20%, T=10:00)",
-        &["#locations", "s-query x n (ms)", "m-query (ms)", "saving"],
+        &[
+            "#locations",
+            "s-query x n (ms)",
+            "m-query (ms)",
+            "saving",
+            "bound max/min",
+        ],
     );
     for n in 1..=10usize {
         let q = MQuery {
@@ -439,6 +457,10 @@ fn fig4_8b(ctx: &Ctx) -> Table {
             format!("{:.1}", repeated.stats.running_time_ms()),
             format!("{:.1}", unified.stats.running_time_ms()),
             format!("{saving:.0}%"),
+            format!(
+                "{}/{}",
+                repeated.stats.max_bounding_size, repeated.stats.min_bounding_size
+            ),
         ]);
     }
     t

@@ -10,7 +10,9 @@ use streach_traj::TrajPoint;
 
 use crate::con_index::ConIndex;
 use crate::config::IndexConfig;
-use crate::ingest::{IngestOutcome, IngestState, LastVisit, LastVisitMap, WalAttach};
+use crate::ingest::{
+    IngestObserver, IngestOutcome, IngestState, IngestTouch, LastVisit, LastVisitMap, WalAttach,
+};
 use crate::query::es::exhaustive_search;
 use crate::query::mqmb::{mqmb, mqmb_trace_back};
 use crate::query::sqmb::{num_hops, sqmb};
@@ -70,6 +72,12 @@ pub struct ReachabilityEngine {
     /// incremental checkpoints — keeps the `road_network` section, so a
     /// replica bootstrapped from shipped artifacts stays bootstrappable.
     self_contained: std::sync::atomic::AtomicBool,
+    /// Observers notified after every applied ingest batch with what it
+    /// touched ([`IngestTouch`]), held weakly so a dropped consumer (a
+    /// result cache, a metrics sink) unregisters itself. Notification runs
+    /// under the ingest lock: a cache that invalidates in its callback can
+    /// never observe the new postings before the invalidation.
+    touch_observers: Mutex<Vec<std::sync::Weak<IngestObserver>>>,
 }
 
 impl ReachabilityEngine {
@@ -91,7 +99,35 @@ impl ReachabilityEngine {
             snapshot_home: Mutex::new(None),
             shard: std::sync::OnceLock::new(),
             self_contained: std::sync::atomic::AtomicBool::new(false),
+            touch_observers: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers an ingest observer: `observer` is called after every
+    /// successfully applied batch — live ingest, WAL replay on attach, or
+    /// replicated apply — with the [`IngestTouch`] describing what the
+    /// batch changed. The engine keeps only a [`std::sync::Weak`]
+    /// reference, so dropping the `Arc` unregisters the observer.
+    ///
+    /// Callbacks run under the ingest lock and must not call back into
+    /// ingest, compaction or snapshotting; queries are fine.
+    pub fn observe_ingest(&self, observer: &Arc<IngestObserver>) {
+        self.touch_observers.lock().push(Arc::downgrade(observer));
+    }
+
+    /// Delivers `touch` to the registered observers, dropping the dead ones.
+    fn notify_touch(&self, touch: &IngestTouch) {
+        if touch.is_empty() {
+            return;
+        }
+        let mut observers = self.touch_observers.lock();
+        observers.retain(|weak| match weak.upgrade() {
+            Some(observer) => {
+                observer(touch);
+                true
+            }
+            None => false,
+        });
     }
 
     /// Declares this engine a shard: batches fold only postings of segments
@@ -758,14 +794,34 @@ impl ReachabilityEngine {
             normalized.retain(|p| map.shard_of(p.segment) == *shard_id);
         }
 
-        let lists_touched = self.st_index.apply_points(&normalized)?;
+        let posting_pairs = self.st_index.apply_points(&normalized)?;
+        let lists_touched = posting_pairs.len();
         // Only commit the derived state once the posting writes stuck: a
         // retried batch after a delta write fault recomputes the same
         // pairs (the merge side is idempotent, the speed side must not be
         // double-fed).
         let speed_observations = self.con_index.apply_speed_pairs(&self.network, &pairs);
         state.last_visit.extend(staged_last);
+        let num_days_before = self.st_index.num_days();
         self.st_index.raise_num_days(max_date + 1);
+
+        // Invalidation signal for layered result caches: the posting pairs
+        // the delta directory now overrides, the day slots whose speed
+        // statistics moved (conservatively every pair's slot — whether an
+        // observation was plausible is the statistics layer's business),
+        // and whether the probability denominator rose.
+        let slots_per_day = streach_traj::SECONDS_PER_DAY.div_ceil(self.config.slot_s);
+        let mut speed_slots: Vec<u32> = pairs
+            .iter()
+            .map(|&(_, enter_time_s, _)| slot_of(enter_time_s, self.config.slot_s) % slots_per_day)
+            .collect();
+        speed_slots.sort_unstable();
+        speed_slots.dedup();
+        self.notify_touch(&IngestTouch {
+            posting_pairs,
+            speed_slots,
+            num_days_raised: max_date + 1 > num_days_before,
+        });
         Ok((lists_touched, speed_observations))
     }
 
@@ -932,6 +988,22 @@ impl ReachabilityEngine {
                 segments_visited: visited,
             },
         })
+    }
+
+    /// Answers a batch of SQMB+TBS s-queries with **one shared MQMB
+    /// bounding pass** per (origin segment, slot window) group — the
+    /// cross-user coalescing primitive behind [`crate::serve::QueryServer`].
+    /// Results are in input order and bit-identical to calling
+    /// [`ReachabilityEngine::try_s_query`] with [`Algorithm::SqmbTbs`] per
+    /// query; failures surface as that caller's [`QueryError`].
+    pub fn try_s_query_coalesced(&self, queries: &[SQuery]) -> Vec<crate::serve::CoalescedAnswer> {
+        crate::serve::answer_coalesced(
+            &self.network,
+            &self.con_index,
+            &self.st_index,
+            &|location| self.try_locate(location),
+            queries,
+        )
     }
 
     /// Answers a multi-location ST reachability query.

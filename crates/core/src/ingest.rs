@@ -34,6 +34,40 @@ use bytes::{Buf, BufMut};
 use streach_storage::{get_varint_u32, put_varint_u32, StorageError, StorageResult, Wal};
 use streach_traj::TrajPoint;
 
+/// What one applied ingest batch touched — the invalidation signal
+/// delivered to observers registered with
+/// [`crate::ReachabilityEngine::observe_ingest`] (the result cache of
+/// [`crate::serve`] is the canonical consumer).
+#[derive(Debug, Clone, Default)]
+pub struct IngestTouch {
+    /// The (slot, segment) delta-directory pairs whose posting list the
+    /// batch created or re-merged, sorted ascending and deduplicated, with
+    /// the slot wrapped into the day grid. On a shard engine these are the
+    /// shard-owned pairs only.
+    pub posting_pairs: Vec<(u32, u32)>,
+    /// Day slots in which the batch contributed Con-Index speed pairs,
+    /// sorted and deduplicated. Speed statistics feed the SQMB/MQMB
+    /// bounding regions (and the ES travel cap), so an answer whose slot
+    /// window meets one of these slots may change for **any** segment —
+    /// there is no sound per-segment refinement here.
+    pub speed_slots: Vec<u32>,
+    /// Whether the batch raised the engine's day count. The day count is
+    /// every reachability probability's denominator, so when it rises every
+    /// cached answer is stale at once.
+    pub num_days_raised: bool,
+}
+
+impl IngestTouch {
+    /// True when the batch changed nothing observable by queries.
+    pub fn is_empty(&self) -> bool {
+        self.posting_pairs.is_empty() && self.speed_slots.is_empty() && !self.num_days_raised
+    }
+}
+
+/// Callback invoked (under the engine's ingest lock) after every
+/// successfully applied ingest batch, live or WAL-replayed.
+pub type IngestObserver = dyn Fn(&IngestTouch) + Send + Sync;
+
 /// Outcome of one [`crate::ReachabilityEngine::ingest`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestOutcome {

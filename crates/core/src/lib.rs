@@ -128,6 +128,7 @@ pub mod maintenance;
 pub mod query;
 pub mod region;
 pub mod replicate;
+pub mod serve;
 pub mod sharded;
 pub mod snapshot;
 pub mod speed_stats;
@@ -139,13 +140,14 @@ pub use builder::EngineBuilder;
 pub use con_index::{ConIndex, ConnectionLists};
 pub use config::IndexConfig;
 pub use engine::ReachabilityEngine;
-pub use ingest::{IngestOutcome, WalAttach};
+pub use ingest::{IngestObserver, IngestOutcome, IngestTouch, WalAttach};
 pub use maintenance::{
     MaintenanceConfig, MaintenanceController, MaintenanceError, MaintenanceStats,
 };
 pub use query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
 pub use region::ReachableRegion;
 pub use replicate::{ReplicaSet, ReplicaStatus};
+pub use serve::{QueryServer, ServeConfig, ServerStats, Ticket};
 pub use sharded::{ReadPreference, ShardedEngine};
 pub use snapshot::StoreRole;
 pub use speed_stats::SpeedStats;
@@ -164,6 +166,7 @@ pub mod prelude {
     pub use crate::query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
     pub use crate::region::ReachableRegion;
     pub use crate::replicate::{ReplicaSet, ReplicaStatus};
+    pub use crate::serve::{QueryServer, ServeConfig, ServerStats};
     pub use crate::sharded::{ReadPreference, ShardedEngine};
     pub use crate::stats::QueryStats;
     pub use streach_geo::GeoPoint;

@@ -177,7 +177,7 @@ impl MQuery {
 }
 
 /// Which algorithm answers an s-query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// The exhaustive-search baseline (network expansion + per-segment
     /// verification).

@@ -36,19 +36,33 @@
 //! implicitly through the router — each start's core construction and each
 //! annulus segment's verification read exactly the owning shard's heap.
 //!
-//! # Replica failover
+//! # Replica failover and probation revival
 //!
 //! Each shard serves reads from an ordered list of engines: the leader
 //! plus any replicas registered with [`ShardedEngine::add_replica`]
 //! (typically WAL-shipped followers, see [`crate::replicate`]). A posting
 //! read tries the list in preference order; an engine whose store faults
-//! is **stickily marked dead** and skipped from then on, and the read
-//! fails over to the next engine — converged replicas hold byte-identical
-//! postings, so the answer is unchanged. When every engine of a shard is
-//! dead the read surfaces a typed [`StorageError`] that reaches the caller
-//! as [`QueryError::Storage`]: a partial region is never returned.
+//! is **marked dead** and skipped, and the read fails over to the next
+//! engine — converged replicas hold byte-identical postings, so the
+//! answer is unchanged.
+//!
+//! Dead is a *probation*, not a life sentence: every routed read ticks a
+//! skip counter on **every** dead engine in the try-order — the ones
+//! passed over before the serving engine and the ones behind it (an
+//! engine behind a healthy one would otherwise never be reconsidered and
+//! a transient fault would be a permanent capacity loss). Every
+//! [`PROBATION_READS`]-th tick re-probes that engine with the actual
+//! posting read. A healed engine (transient fault, remounted disk,
+//! restarted host) serves the probe and is revived on the spot; a
+//! still-broken one pays one failed read per probation window and stays
+//! dead. Either way the bytes returned to the caller come entirely from
+//! one engine (a behind-the-server probe reads into a scratch buffer), so
+//! the "never a partial region" guarantee is untouched. When every engine
+//! of a shard is dead (and no probe heals one) the read surfaces a typed
+//! [`StorageError`] that reaches the caller as [`QueryError::Storage`]:
+//! a partial region is never returned.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -76,12 +90,33 @@ pub enum ReadPreference {
     ReplicaFirst,
 }
 
-/// One engine in a shard's serving list plus its sticky liveness flag.
+/// How many reads skip a dead engine before one read re-probes it.
+///
+/// Low enough that a healed engine rejoins within one query's annulus
+/// sweep, high enough that a hard-down engine costs one failed read per
+/// window instead of one per read (which would undo the point of marking
+/// it dead).
+pub const PROBATION_READS: u64 = 64;
+
+/// One engine in a shard's serving list plus its liveness state.
 struct ServingEntry {
     engine: Arc<ReachabilityEngine>,
-    /// Set on the first storage fault; a dead engine is skipped for the
-    /// rest of the router's life (a revived host re-registers).
+    /// Set on a storage fault; a dead engine is skipped cheaply and
+    /// re-probed every [`PROBATION_READS`]-th skip — a successful probe
+    /// revives it (see the module docs).
     dead: AtomicBool,
+    /// Reads that skipped this engine since it was marked dead.
+    skipped: AtomicU64,
+}
+
+impl ServingEntry {
+    fn new(engine: Arc<ReachabilityEngine>) -> Self {
+        Self {
+            engine,
+            dead: AtomicBool::new(false),
+            skipped: AtomicU64::new(0),
+        }
+    }
 }
 
 /// The ordered serving list of one shard: leader first, replicas after.
@@ -91,7 +126,8 @@ struct ShardServing {
 
 impl ShardServing {
     /// Routed posting read with failover: tries every live engine in
-    /// `order` and stickily kills the ones that fault.
+    /// `order`, marks the ones that fault dead, and periodically re-probes
+    /// dead ones so a healed engine rejoins the rotation.
     fn read_time_list_into(
         &self,
         shard_id: u16,
@@ -101,13 +137,58 @@ impl ShardServing {
         buf: &mut Vec<u8>,
     ) -> StorageResult<bool> {
         let mut last_err = None;
-        for idx in order {
+        let mut order = order;
+        while let Some(idx) = order.next() {
             let entry = &self.entries[idx];
-            if entry.dead.load(Ordering::Relaxed) {
-                continue;
+            let was_dead = entry.dead.load(Ordering::Relaxed);
+            if was_dead {
+                // Probation: skip the dead engine cheaply, except every
+                // PROBATION_READS-th skip, which re-probes it with the
+                // actual read below.
+                let skipped = entry.skipped.fetch_add(1, Ordering::Relaxed) + 1;
+                if !skipped.is_multiple_of(PROBATION_READS) {
+                    continue;
+                }
             }
             match PostingSource::read_time_list_into(entry.engine.st_index(), segment, slot, buf) {
-                Ok(found) => return Ok(found),
+                Ok(found) => {
+                    if was_dead {
+                        // The probe succeeded: the engine healed. Revive it
+                        // for subsequent reads; this read was served wholly
+                        // by it, so the answer stays bit-identical.
+                        entry.skipped.store(0, Ordering::Relaxed);
+                        entry.dead.store(false, Ordering::Relaxed);
+                    }
+                    // Tick probation for the dead engines this read never
+                    // reached: an engine behind a healthy one in the
+                    // preference order would otherwise never accumulate
+                    // skips and stay dead forever after healing. The probe
+                    // reads into a scratch buffer — the answer returned to
+                    // the caller was served wholly by `idx`.
+                    for behind in order {
+                        let entry = &self.entries[behind];
+                        if !entry.dead.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let skipped = entry.skipped.fetch_add(1, Ordering::Relaxed) + 1;
+                        if !skipped.is_multiple_of(PROBATION_READS) {
+                            continue;
+                        }
+                        let mut scratch = Vec::new();
+                        if PostingSource::read_time_list_into(
+                            entry.engine.st_index(),
+                            segment,
+                            slot,
+                            &mut scratch,
+                        )
+                        .is_ok()
+                        {
+                            entry.skipped.store(0, Ordering::Relaxed);
+                            entry.dead.store(false, Ordering::Relaxed);
+                        }
+                    }
+                    return Ok(found);
+                }
                 Err(err) => {
                     entry.dead.store(true, Ordering::Relaxed);
                     last_err = Some(err);
@@ -181,10 +262,7 @@ impl ShardedEngine {
         let shards = leaders
             .into_iter()
             .map(|engine| ShardServing {
-                entries: vec![ServingEntry {
-                    engine,
-                    dead: AtomicBool::new(false),
-                }],
+                entries: vec![ServingEntry::new(engine)],
             })
             .collect();
         Self {
@@ -216,10 +294,9 @@ impl ShardedEngine {
             self.map.as_ref(),
             "replica was partitioned with a different shard map"
         );
-        self.shards[shard_id as usize].entries.push(ServingEntry {
-            engine,
-            dead: AtomicBool::new(false),
-        });
+        self.shards[shard_id as usize]
+            .entries
+            .push(ServingEntry::new(engine));
     }
 
     /// Sets which engine of each shard answers posting reads first.
@@ -458,6 +535,46 @@ impl ShardedEngine {
                 })
             }
         }
+    }
+
+    /// Δt slot length of the backing index (replicated, so any engine's
+    /// value is authoritative).
+    pub fn slot_s(&self) -> u32 {
+        self.reference().st_index().slot_s()
+    }
+
+    /// Snaps a location to its road segment; the spatial index is the full
+    /// network on every engine, so the reference engine answers exactly
+    /// like a single engine would.
+    pub fn try_locate(&self, location: &streach_geo::GeoPoint) -> Result<SegmentId, QueryError> {
+        self.reference().try_locate(location)
+    }
+
+    /// Registers an ingest observer on every shard **leader** (replicas
+    /// apply the same batches later via WAL shipping; the union of leader
+    /// notifications already covers every touched posting pair, and the
+    /// replicated statistics are reported — idempotently — by each leader).
+    pub fn observe_ingest(&self, observer: &Arc<crate::ingest::IngestObserver>) {
+        for shard in &self.shards {
+            shard.entries[0].engine.observe_ingest(observer);
+        }
+    }
+
+    /// Answers a batch of SQMB+TBS s-queries with one shared bounding pass
+    /// per (origin segment, slot window) group, reading postings through
+    /// the scatter-gather router. Results are in input order and
+    /// bit-identical to per-query [`ShardedEngine::try_s_query`] with
+    /// [`Algorithm::SqmbTbs`]; failures surface as that caller's error.
+    pub fn try_s_query_coalesced(&self, queries: &[SQuery]) -> Vec<crate::serve::CoalescedAnswer> {
+        let reference = self.reference();
+        let routed = RoutedPostings { sharded: self };
+        crate::serve::answer_coalesced(
+            &self.network,
+            reference.con_index(),
+            &routed,
+            &|location| reference.try_locate(location),
+            queries,
+        )
     }
 }
 

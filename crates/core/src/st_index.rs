@@ -687,18 +687,22 @@ impl StIndex {
     /// in any interleaving converges to the same lists a from-scratch build
     /// on the combined data produces.
     ///
-    /// Returns the number of (slot, segment) lists touched. On `Err`
-    /// (a read fault on the current list, or a write fault appending the
-    /// merged one) a prefix of the groups may already be applied; because
-    /// the merge is idempotent, retrying the same batch completes the
-    /// remainder without duplicating anything.
+    /// Returns the touched (slot, segment) pairs — the delta directory
+    /// keys the batch overrode — sorted ascending and deduplicated (one
+    /// entry per group), with the slot wrapped into the day grid. Result
+    /// caches use exactly this list to invalidate answers whose window
+    /// read one of the pairs. On `Err` (a read fault on the current list,
+    /// or a write fault appending the merged one) a prefix of the groups
+    /// may already be applied; because the merge is idempotent, retrying
+    /// the same batch completes the remainder without duplicating
+    /// anything.
     ///
     /// Callers serialize through the engine's ingest lock, so the pinned
     /// state cannot be swapped (compacted) away mid-application; concurrent
     /// queries keep reading throughout.
-    pub(crate) fn apply_points(&self, points: &[TrajPoint]) -> StorageResult<usize> {
+    pub(crate) fn apply_points(&self, points: &[TrajPoint]) -> StorageResult<Vec<(u32, u32)>> {
         if points.is_empty() {
-            return Ok(0);
+            return Ok(Vec::new());
         }
         let state = self.pin();
         let mut obs: Vec<(u32, u32, u16, u32)> = points
@@ -758,7 +762,7 @@ impl StIndex {
         // Sequential appends in sorted group order keep the delta heap's
         // byte layout identical to the old one-group-at-a-time fold, so
         // snapshots and compaction stay bit-deterministic.
-        let mut touched = 0usize;
+        let mut touched = Vec::with_capacity(groups.len());
         for (&(start, end), (bytes, is_new)) in groups.iter().zip(&merged) {
             let (slot, segment) = (obs[start].0, obs[start].1);
             let handle = state.delta.postings.append(bytes)?;
@@ -775,7 +779,7 @@ impl StIndex {
             }
             stats.num_observations += (end - start) as u64;
             drop(stats);
-            touched += 1;
+            touched.push((self.wrap_slot(slot), segment));
         }
         Ok(touched)
     }

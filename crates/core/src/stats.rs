@@ -43,7 +43,11 @@ impl QueryStats {
     }
 
     /// Merges the statistics of several sub-queries (used when an m-query is
-    /// answered as repeated s-queries): times and counters add up.
+    /// answered as repeated s-queries): times and counters add up, while the
+    /// bounding-region sizes keep the widest maximum and the tightest
+    /// minimum seen by any sub-query. A `0` bounding size is the ES "no
+    /// bounding region" sentinel, so it never wins the minimum: merging an
+    /// ES sub-query with an SQMB one reports the SQMB bounds.
     pub fn merge(&self, other: &QueryStats) -> QueryStats {
         QueryStats {
             wall_time: self.wall_time + other.wall_time,
@@ -58,8 +62,12 @@ impl QueryStats {
                 bytes_resident: self.io.bytes_resident + other.io.bytes_resident,
             },
             segments_verified: self.segments_verified + other.segments_verified,
-            max_bounding_size: self.max_bounding_size + other.max_bounding_size,
-            min_bounding_size: self.min_bounding_size + other.min_bounding_size,
+            max_bounding_size: self.max_bounding_size.max(other.max_bounding_size),
+            min_bounding_size: match (self.min_bounding_size, other.min_bounding_size) {
+                (0, b) => b,
+                (a, 0) => a,
+                (a, b) => a.min(b),
+            },
             segments_visited: self.segments_visited + other.segments_visited,
         }
     }
@@ -109,6 +117,48 @@ mod tests {
         assert_eq!(m.io.page_reads, 7);
         assert_eq!(m.io.cache_hits, 1);
         assert_eq!(m.io.cache_misses, 2);
+    }
+
+    #[test]
+    fn merge_keeps_extreme_bounding_sizes() {
+        let a = QueryStats {
+            max_bounding_size: 120,
+            min_bounding_size: 8,
+            ..Default::default()
+        };
+        let b = QueryStats {
+            max_bounding_size: 90,
+            min_bounding_size: 15,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        // Widest max, tightest min — NOT the sums (210 / 23).
+        assert_eq!(m.max_bounding_size, 120);
+        assert_eq!(m.min_bounding_size, 8);
+        // Merge order must not matter.
+        let n = b.merge(&a);
+        assert_eq!(n.max_bounding_size, 120);
+        assert_eq!(n.min_bounding_size, 8);
+    }
+
+    #[test]
+    fn merge_treats_es_zero_as_no_bounding_region() {
+        let es = QueryStats::default(); // ES reports 0 / 0: no bounding pass.
+        let sqmb = QueryStats {
+            max_bounding_size: 64,
+            min_bounding_size: 12,
+            ..Default::default()
+        };
+        // The ES sentinel never clamps the merged minimum to 0.
+        let m = es.merge(&sqmb);
+        assert_eq!(m.max_bounding_size, 64);
+        assert_eq!(m.min_bounding_size, 12);
+        let n = sqmb.merge(&es);
+        assert_eq!(n.min_bounding_size, 12);
+        // Two ES sub-queries still merge to the sentinel.
+        let z = es.merge(&es);
+        assert_eq!(z.max_bounding_size, 0);
+        assert_eq!(z.min_bounding_size, 0);
     }
 
     #[test]

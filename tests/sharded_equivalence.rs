@@ -45,6 +45,7 @@ use std::sync::Arc;
 use streach::prelude::*;
 use streach::storage::{FaultController, FaultInjectingPageStore};
 use streach_core::query::MQueryAlgorithm;
+use streach_core::sharded::PROBATION_READS;
 use streach_core::StoreRole;
 
 /// Base fleet-days built offline; the remaining days arrive via ingest.
@@ -623,7 +624,9 @@ fn reopen_with_disk_script(
 }
 
 /// Satellite campaign: a dead disk on a replica mid-campaign fails reads
-/// over to the leader bit-identically; shard exhaustion is a typed error.
+/// over to the leader bit-identically; shard exhaustion is a typed error;
+/// and a healed engine is revived by the probation re-probe instead of
+/// staying dead forever.
 #[test]
 fn replica_dead_disk_fails_over_and_shard_exhaustion_is_typed() {
     let seed = fault_seed();
@@ -746,17 +749,78 @@ fn replica_dead_disk_fails_over_and_shard_exhaustion_is_typed() {
     assert_eq!(
         router.live_engines(0),
         0,
-        "[seed {seed}] the dead leader must be stickily marked"
+        "[seed {seed}] the dead leader must be marked dead"
     );
-    // With every engine of the shard gone, the router reports exhaustion
-    // explicitly instead of replaying the original disk error.
-    match router.try_s_query(&doomed, Algorithm::SqmbTbs).unwrap_err() {
-        QueryError::Storage { context, .. } => assert!(
-            context.contains("no live engine left"),
-            "[seed {seed}] exhaustion error should name the condition: {context}"
-        ),
-        other => panic!("[seed {seed}] expected a storage error, got {other:?}"),
+    // With every engine of the shard dead and the faults persisting, the
+    // router keeps surfacing a typed storage error — either the explicit
+    // exhaustion message or, when a probation re-probe fires, the actual
+    // disk fault — and a probe must never revive a still-broken engine.
+    for i in 0..4 {
+        let err = router.try_s_query(&doomed, Algorithm::SqmbTbs).unwrap_err();
+        assert!(
+            matches!(err, QueryError::Storage { .. }),
+            "[seed {seed}] exhausted-shard query #{i} must stay a typed storage error, got {err:?}"
+        );
+        assert_eq!(
+            router.live_engines(0),
+            0,
+            "[seed {seed}] a probe revived a still-broken engine"
+        );
     }
+
+    // Probation revival: the leader's disk heals. One transient fault must
+    // not be a permanent capacity loss — within one probation window a
+    // re-probe reads through the healed store and revives the engine, and
+    // the shard serves bit-identical answers again.
+    leader_disk.clear();
+    let healed = q(9 * 3600, 900);
+    let want = single.try_s_query(&healed, Algorithm::SqmbTbs).unwrap();
+    let mut revived_at = None;
+    for attempt in 0..(4 * PROBATION_READS) {
+        match router.try_s_query(&healed, Algorithm::SqmbTbs) {
+            Ok(got) => {
+                assert_eq!(
+                    answer_of(&want),
+                    answer_of(&got),
+                    "[seed {seed}] healed-leader answer diverged after revival"
+                );
+                revived_at = Some(attempt);
+                break;
+            }
+            Err(QueryError::Storage { .. }) => continue,
+            Err(other) => panic!("[seed {seed}] unexpected error while probing: {other:?}"),
+        }
+    }
+    assert!(
+        revived_at.is_some(),
+        "[seed {seed}] the healed leader was never revived by probation"
+    );
+    assert!(
+        router.live_engines(0) >= 1,
+        "[seed {seed}] revival must be visible in the live count"
+    );
+
+    // The replica heals too and rejoins within a few probation windows —
+    // replica-first preference probes it on every posting read.
+    replica_disk.clear();
+    for _ in 0..(4 * PROBATION_READS) {
+        let got = router
+            .try_s_query(&healed, Algorithm::SqmbTbs)
+            .unwrap_or_else(|e| panic!("[seed {seed}] post-revival query failed: {e}"));
+        assert_eq!(
+            answer_of(&want),
+            answer_of(&got),
+            "[seed {seed}] answer diverged while the replica rejoined"
+        );
+        if router.live_engines(0) == 2 {
+            break;
+        }
+    }
+    assert_eq!(
+        router.live_engines(0),
+        2,
+        "[seed {seed}] the healed replica was never revived by probation"
+    );
     std::fs::remove_dir_all(&root).ok();
 }
 
