@@ -2,7 +2,7 @@
 //! records the result in `BENCH_ingest.json`.
 //!
 //! ```text
-//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries] [-- --cold-path] [-- --sharded] [-- --serving]
+//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries] [-- --cold-path] [-- --sharded] [-- --serving] [-- --subscriptions]
 //! ```
 //!
 //! `--group-commit` runs only the multi-writer WAL group-commit comparison
@@ -21,12 +21,18 @@
 //! serving front-end matrix (open-loop p50/p99 submission-to-answer latency
 //! through a [`QueryServer`] at 1/4/16/64 simulated clients × coalescing
 //! on/off × result cache on/off, **gated**: every ticket's region must be
-//! bit-identical to the serial uncoalesced answer). With no mode flag
-//! every section runs and the results — including the `cold_path` and
-//! `serving` objects — are written to `BENCH_ingest.json`; a mode-only run
-//! prints its table (and enforces its gates) without touching the JSON —
-//! **except `--serving`**, which merges its section into an existing
-//! `BENCH_ingest.json` (or creates a stub) so CI can smoke-test the section
+//! bit-identical to the serial uncoalesced answer); `--subscriptions` runs
+//! only the standing-subscription matrix (incremental footprint-filtered
+//! re-evaluation vs forced full re-evaluation at 100/1k/10k standing
+//! queries — **gated**: every subscription's region must stay bit-identical
+//! across the two modes after every batch, and the incremental side must
+//! issue strictly fewer engine queries than the full side on slot-disjoint
+//! batches). With no mode flag every section runs and the results —
+//! including the `cold_path`, `serving` and `subscriptions` objects — are
+//! written to `BENCH_ingest.json`; a mode-only run prints its table (and
+//! enforces its gates) without touching the JSON — **except `--serving`
+//! and `--subscriptions`**, which merge their section into an existing
+//! `BENCH_ingest.json` (or create a stub) so CI can smoke-test the section
 //! without paying for the full bench.
 //!
 //! Scenario: a base fleet is built and snapshotted, the snapshot is
@@ -525,27 +531,240 @@ fn run_serving(
     (cells, workload.len(), total_arrivals, identical)
 }
 
-/// Splices `serving_json` (a leading-comma fragment) into
-/// `BENCH_ingest.json`: replaces an existing `serving` section (always
-/// written last) or appends before the final closing brace; creates a stub
-/// file when none exists. Unlike the other mode-only sections this one
-/// deliberately *does* touch the JSON — the CI smoke asserts the section
-/// lands without paying for a full bench run.
-fn merge_serving_json(serving_json: &str) {
+struct SubsCell {
+    subs: usize,
+    batches: usize,
+    disjoint_batches: usize,
+    incremental_queries: u64,
+    full_queries: u64,
+    incremental_eval_s: f64,
+    full_eval_s: f64,
+    disjoint_incremental_queries: u64,
+    disjoint_full_queries: u64,
+    events: u64,
+}
+
+/// Standing-subscription matrix: N standing s-queries registered against
+/// two engines opened from the same snapshot — one re-evaluated
+/// incrementally (footprint-filtered, the [`SubscriptionManager`] default)
+/// and one forced into full re-evaluation (`invalidate_all` before every
+/// batch). Both sides ingest the same live batches; after every batch each
+/// subscription's region must be bit-identical across the two modes (the
+/// identity gate). A second phase ingests slot-disjoint afternoon batches
+/// (fresh trajectory ids, wrapped dates, +5 h shift) that no morning
+/// subscription's footprint covers: the incremental side must issue
+/// strictly fewer engine queries than the full side there (the work gate —
+/// the expected split is 0 vs N per batch). Returns the cells plus the
+/// two gate verdicts.
+fn run_subscriptions(
+    dir: &std::path::Path,
+    network: &Arc<RoadNetwork>,
+    batches: &[Vec<streach_traj::TrajPoint>],
+    base_days: u16,
+    quick: bool,
+) -> (Vec<SubsCell>, bool, bool) {
+    use std::time::Duration;
+    use streach_core::{SubscribeConfig, SubscriptionManager, Trigger};
+
+    let counts: &[usize] = if quick {
+        &[100, 1000]
+    } else {
+        &[100, 1000, 10_000]
+    };
+    let live_batches = batches.len().min(if quick { 3 } else { 4 });
+    let disjoint_batches = batches.len().min(2);
+    // Kick-driven only: a timeout wake between `invalidate_all` and the
+    // ingest that follows would burn a spurious full pass and skew the
+    // query accounting.
+    let config = SubscribeConfig {
+        poll_interval: Duration::from_secs(3600),
+        ..Default::default()
+    };
+
+    let b = network.bounds();
+    let center = b.center();
+    let (dlon, dlat) = (b.max_lon - b.min_lon, b.max_lat - b.min_lat);
+    let unit = |v: u64| (v >> 11) as f64 / (1u64 << 53) as f64;
+
+    let mut cells = Vec::new();
+    let mut identical = true;
+    let mut strictly_fewer = true;
+    for &n in counts {
+        // Subscription windows stay inside the fleet's [08:00, 11:45]
+        // data window — data-backed bounding keeps a single evaluation
+        // cheap, and the +5 h disjoint batches (13:00+) can never touch a
+        // footprint slot.
+        let subs: Vec<SQuery> = (0..n)
+            .map(|i| {
+                let i = i as u64;
+                SQuery {
+                    location: GeoPoint::new(
+                        center.lon + dlon * (unit(mix(909, i)) - 0.5) * 0.8,
+                        center.lat + dlat * (unit(mix(910, i)) - 0.5) * 0.8,
+                    ),
+                    start_time_s: 8 * 3600 + (mix(911, i) % 15) as u32 * 900,
+                    duration_s: 300 + (mix(912, i) % 3) as u32 * 300,
+                    prob: if mix(913, i).is_multiple_of(2) {
+                        0.25
+                    } else {
+                        0.6
+                    },
+                }
+            })
+            .collect();
+
+        let open = || {
+            Arc::new(
+                ReachabilityEngine::open_snapshot(dir, network.clone())
+                    .expect("open subscription snapshot"),
+            )
+        };
+        let (eng_inc, eng_full) = (open(), open());
+        for eng in [&eng_inc, &eng_full] {
+            eng.warm_con_index(9 * 3600, 900);
+        }
+        let mgr_inc = SubscriptionManager::spawn(eng_inc.clone(), config.clone());
+        let mgr_full = SubscriptionManager::spawn(eng_full.clone(), config.clone());
+        for q in &subs {
+            mgr_inc
+                .subscribe(*q, Algorithm::SqmbTbs, Trigger::AnyRegionChange)
+                .expect("register incremental subscription");
+            mgr_full
+                .subscribe(*q, Algorithm::SqmbTbs, Trigger::AnyRegionChange)
+                .expect("register full-mode subscription");
+        }
+        mgr_inc.poll_events();
+        mgr_full.poll_events();
+        let ids = mgr_inc.subscription_ids();
+        assert_eq!(ids, mgr_full.subscription_ids());
+
+        let mut check_identical = |label: &str| {
+            for &id in &ids {
+                let a = mgr_inc.last_region(id).expect("incremental region");
+                let b = mgr_full.last_region(id).expect("full-mode region");
+                let same = match (&a, &b) {
+                    (Some(a), Some(b)) => {
+                        a.segments == b.segments
+                            && a.total_length_km.to_bits() == b.total_length_km.to_bits()
+                    }
+                    (None, None) => true,
+                    _ => false,
+                };
+                if !same {
+                    eprintln!(
+                        "[ingest] subscriptions: {id} diverged between incremental and full re-evaluation ({label}, {n} subs)"
+                    );
+                    identical = false;
+                }
+            }
+        };
+
+        let (q_inc0, q_full0) = (
+            mgr_inc.stats().engine_queries,
+            mgr_full.stats().engine_queries,
+        );
+        let (mut inc_eval_s, mut full_eval_s) = (0.0f64, 0.0f64);
+        for batch in &batches[..live_batches] {
+            eng_inc.ingest(batch).expect("incremental-side ingest");
+            let t = Instant::now();
+            mgr_inc.run_now();
+            inc_eval_s += t.elapsed().as_secs_f64();
+
+            mgr_full.invalidate_all();
+            eng_full.ingest(batch).expect("full-side ingest");
+            let t = Instant::now();
+            mgr_full.run_now();
+            full_eval_s += t.elapsed().as_secs_f64();
+
+            mgr_inc.poll_events();
+            mgr_full.poll_events();
+        }
+        check_identical("live batch");
+        let inc_queries = mgr_inc.stats().engine_queries - q_inc0;
+        let full_queries = mgr_full.stats().engine_queries - q_full0;
+
+        // Slot-disjoint phase: the incremental side should do zero work.
+        let (dq_inc0, dq_full0) = (
+            mgr_inc.stats().engine_queries,
+            mgr_full.stats().engine_queries,
+        );
+        for (round, batch) in batches[..disjoint_batches].iter().enumerate() {
+            let shifted: Vec<streach_traj::TrajPoint> = batch
+                .iter()
+                .map(|p| streach_traj::TrajPoint {
+                    traj_id: p.traj_id + 1_000_000 + round as u32 * 10_000,
+                    date: p.date % base_days,
+                    segment: p.segment,
+                    enter_time_s: (p.enter_time_s + 5 * 3600)
+                        .min(streach_traj::SECONDS_PER_DAY - 1),
+                })
+                .collect();
+            eng_inc
+                .ingest(&shifted)
+                .expect("incremental disjoint ingest");
+            mgr_inc.run_now();
+            mgr_full.invalidate_all();
+            eng_full.ingest(&shifted).expect("full disjoint ingest");
+            mgr_full.run_now();
+            mgr_inc.poll_events();
+            mgr_full.poll_events();
+        }
+        check_identical("disjoint batch");
+        let dq_inc = mgr_inc.stats().engine_queries - dq_inc0;
+        let dq_full = mgr_full.stats().engine_queries - dq_full0;
+        if dq_inc >= dq_full {
+            eprintln!(
+                "[ingest] subscriptions: incremental issued {dq_inc} engine queries on slot-disjoint batches, full issued {dq_full} ({n} subs) — expected strictly fewer"
+            );
+            strictly_fewer = false;
+        }
+
+        let events = mgr_inc.stats().events_emitted;
+        cells.push(SubsCell {
+            subs: n,
+            batches: live_batches,
+            disjoint_batches,
+            incremental_queries: inc_queries,
+            full_queries,
+            incremental_eval_s: inc_eval_s,
+            full_eval_s,
+            disjoint_incremental_queries: dq_inc,
+            disjoint_full_queries: dq_full,
+            events,
+        });
+        mgr_inc.shutdown();
+        mgr_full.shutdown();
+    }
+    (cells, identical, strictly_fewer)
+}
+
+/// Splices a section (a leading-comma, single-line fragment) into
+/// `BENCH_ingest.json`: replaces the existing `key` section in place
+/// (sections are one line each, so anything after it survives) or appends
+/// before the final closing brace; creates a stub file when none exists.
+/// Unlike the other mode-only sections the callers of this deliberately
+/// *do* touch the JSON — the CI smokes assert their section lands without
+/// paying for a full bench run.
+fn merge_section_json(key: &str, fragment: &str) {
     let path = "BENCH_ingest.json";
+    let marker = format!(",\n  \"{key}\":");
     let merged = match std::fs::read_to_string(path) {
         Ok(existing) => {
-            let head = match existing.find(",\n  \"serving\":") {
-                Some(pos) => existing[..pos].to_string(),
-                None => {
-                    let last = existing.rfind('}').unwrap_or(existing.len());
-                    existing[..last].trim_end().to_string()
+            let without = match existing.find(&marker) {
+                Some(pos) => {
+                    let rest = match existing[pos + 2..].find('\n') {
+                        Some(nl) => &existing[pos + 2 + nl..],
+                        None => "",
+                    };
+                    format!("{}{}", &existing[..pos], rest)
                 }
+                None => existing,
             };
-            format!("{head}{serving_json}\n}}\n")
+            let last = without.rfind('}').unwrap_or(without.len());
+            format!("{}{fragment}\n}}\n", without[..last].trim_end())
         }
         Err(_) => {
-            format!("{{\n  \"scenario\": {{\"note\": \"serving-only run\"}}{serving_json}\n}}\n")
+            format!("{{\n  \"scenario\": {{\"note\": \"{key}-only run\"}}{fragment}\n}}\n")
         }
     };
     std::fs::write(path, merged).expect("write BENCH_ingest.json");
@@ -566,7 +785,13 @@ fn main() {
     let only_cold = args.iter().any(|a| a == "--cold-path");
     let only_sharded = args.iter().any(|a| a == "--sharded");
     let only_serving = args.iter().any(|a| a == "--serving");
-    let run_all = !(only_group || only_concurrent || only_cold || only_sharded || only_serving);
+    let only_subscriptions = args.iter().any(|a| a == "--subscriptions");
+    let run_all = !(only_group
+        || only_concurrent
+        || only_cold
+        || only_sharded
+        || only_serving
+        || only_subscriptions);
     let scale = if quick {
         Scale {
             label: "quick",
@@ -839,13 +1064,89 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // --- Standing subscriptions: incremental vs full re-evaluation ---------
+    let mut subscriptions_json = String::new();
+    if run_all || only_subscriptions {
+        let (cells, subs_identical, subs_strictly_fewer) =
+            run_subscriptions(&dir, &network, &batches, scale.base_days, quick);
+        for cell in &cells {
+            println!(
+                "{:<38} {:>10} vs {:>10} queries {:>7.3}s vs {:>7.3}s",
+                format!("subscriptions [{:>5} subs] inc/full", cell.subs),
+                cell.incremental_queries,
+                cell.full_queries,
+                cell.incremental_eval_s,
+                cell.full_eval_s
+            );
+            println!(
+                "{:<38} {:>10} vs {:>10} queries",
+                format!("  slot-disjoint [{:>5} subs]", cell.subs),
+                cell.disjoint_incremental_queries,
+                cell.disjoint_full_queries
+            );
+        }
+        println!(
+            "{:<38} {:>14}",
+            "subscription answers identical", subs_identical
+        );
+        println!(
+            "{:<38} {:>14}",
+            "incremental strictly fewer (disjoint)", subs_strictly_fewer
+        );
+        let cell_json: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"subs\": {}, \"batches\": {}, \"disjoint_batches\": {}, \"incremental_engine_queries\": {}, \"full_engine_queries\": {}, \"incremental_eval_s\": {:.4}, \"full_eval_s\": {:.4}, \"disjoint_incremental_queries\": {}, \"disjoint_full_queries\": {}, \"events\": {}}}",
+                    c.subs,
+                    c.batches,
+                    c.disjoint_batches,
+                    c.incremental_queries,
+                    c.full_queries,
+                    c.incremental_eval_s,
+                    c.full_eval_s,
+                    c.disjoint_incremental_queries,
+                    c.disjoint_full_queries,
+                    c.events
+                )
+            })
+            .collect();
+        subscriptions_json = format!(
+            ",\n  \"subscriptions\": {{\"identical\": {}, \"strictly_fewer_on_disjoint\": {}, \"cells\": [{}]}}",
+            subs_identical,
+            subs_strictly_fewer,
+            cell_json.join(", ")
+        );
+        if !subs_identical {
+            eprintln!(
+                "[ingest] ERROR: an incremental subscription answer diverged from full re-evaluation"
+            );
+            std::process::exit(1);
+        }
+        if !subs_strictly_fewer {
+            eprintln!(
+                "[ingest] ERROR: incremental re-evaluation did not beat full re-evaluation on slot-disjoint batches"
+            );
+            std::process::exit(1);
+        }
+    }
     drop(built);
     if !run_all {
         std::fs::remove_dir_all(&dir).ok();
+        let mut merged = false;
         if only_serving {
-            merge_serving_json(&serving_json);
+            merge_section_json("serving", &serving_json);
             eprintln!("[ingest] serving-only run: merged `serving` section into BENCH_ingest.json");
-        } else {
+            merged = true;
+        }
+        if only_subscriptions {
+            merge_section_json("subscriptions", &subscriptions_json);
+            eprintln!(
+                "[ingest] subscriptions-only run: merged `subscriptions` section into BENCH_ingest.json"
+            );
+            merged = true;
+        }
+        if !merged {
             eprintln!("[ingest] mode-only run: BENCH_ingest.json left untouched");
         }
         return;
@@ -948,7 +1249,7 @@ fn main() {
     println!("{:<38} {:>14}", "ingested == rebuilt (probe)", identical);
 
     let json = format!(
-        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}{}{}{}\n}}\n",
+        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}{}{}{}{}\n}}\n",
         scale.label,
         scale.taxis,
         scale.base_days,
@@ -976,7 +1277,8 @@ fn main() {
         identical,
         cold_json,
         sharded_json,
-        serving_json
+        serving_json,
+        subscriptions_json
     );
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
     eprintln!("[ingest] wrote BENCH_ingest.json");

@@ -504,18 +504,18 @@ impl ReachabilityEngine {
         let mut records_replayed = 0u64;
         let mut points_replayed = 0u64;
         for (index, record) in records.iter().enumerate().skip(records_skipped as usize) {
-            let points = crate::ingest::decode_batch(record)?;
+            let record = crate::ingest::decode_record(record)?;
             // A CRC-valid record can still carry points this engine cannot
             // apply (e.g. a WAL written against a different network — logs,
             // unlike snapshots, carry no fingerprint): reject it typed
             // instead of indexing out of bounds.
-            self.validate_points(&points).map_err(|e| {
+            self.validate_points(&record.points).map_err(|e| {
                 StorageError::corrupt(format!("WAL record #{index} failed validation: {e}"))
             })?;
-            self.apply_batch(&points, &mut state)?;
+            self.apply_batch(&record.points, &mut state, record.prenormalized, None)?;
             state.wal_applied += 1;
             records_replayed += 1;
-            points_replayed += points.len() as u64;
+            points_replayed += record.points.len() as u64;
         }
         // Every record in the log is now folded in; the next appended
         // record gets ordinal `recovery.records` and applies first.
@@ -553,6 +553,42 @@ impl ReachabilityEngine {
     /// Batches are validated up front: a point naming a segment outside
     /// the road network is rejected before anything is logged or applied.
     pub fn ingest(&self, points: &[TrajPoint]) -> StorageResult<IngestOutcome> {
+        self.ingest_impl(points, false, None)
+    }
+
+    /// Like [`ReachabilityEngine::ingest`], additionally returning the
+    /// **full-batch normalized** point sequence (re-entries dropped, before
+    /// any shard-ownership filter). The sharded router's statistics leader
+    /// uses this to owner-route the batch: the other shards receive exactly
+    /// these points, pre-normalized, so their postings match what the
+    /// full-batch pipeline would have indexed bit for bit.
+    pub(crate) fn ingest_capturing(
+        &self,
+        points: &[TrajPoint],
+    ) -> StorageResult<(IngestOutcome, Vec<TrajPoint>)> {
+        let mut normalized = Vec::with_capacity(points.len());
+        let outcome = self.ingest_impl(points, false, Some(&mut normalized))?;
+        Ok((outcome, normalized))
+    }
+
+    /// Ingests an owner-routed, already-normalized batch (see
+    /// [`crate::sharded::ShardedEngine::ingest`]): the points fold into the
+    /// ST-Index postings only — no re-normalization, no speed pairs, no
+    /// last-visit staging — and the WAL record carries the pre-normalized
+    /// tag so replay and replication apply it the same way.
+    pub(crate) fn ingest_prenormalized(
+        &self,
+        points: &[TrajPoint],
+    ) -> StorageResult<IngestOutcome> {
+        self.ingest_impl(points, true, None)
+    }
+
+    fn ingest_impl(
+        &self,
+        points: &[TrajPoint],
+        prenormalized: bool,
+        mut capture: Option<&mut Vec<TrajPoint>>,
+    ) -> StorageResult<IngestOutcome> {
         self.validate_points(points)?;
 
         let wal = loop {
@@ -571,8 +607,12 @@ impl ReachabilityEngine {
                     if state.wal.is_some() {
                         continue;
                     }
-                    let (lists_touched, speed_observations) =
-                        self.apply_batch(points, &mut state)?;
+                    let (lists_touched, speed_observations) = self.apply_batch(
+                        points,
+                        &mut state,
+                        prenormalized,
+                        capture.as_deref_mut(),
+                    )?;
                     return Ok(IngestOutcome {
                         points: points.len(),
                         lists_touched,
@@ -586,7 +626,12 @@ impl ReachabilityEngine {
         // Durability first, without the ingest lock: append, then group
         // fsync. A failed append leaves nothing in the log (or a poisoned
         // handle after a torn append) — nothing to skip or freeze.
-        let ordinal = wal.append(&crate::ingest::encode_batch(points))?;
+        let payload = if prenormalized {
+            crate::ingest::encode_prenormalized_batch(points)
+        } else {
+            crate::ingest::encode_batch(points)
+        };
+        let ordinal = wal.append(&payload)?;
         // Our record is appended but not yet applied, which pins the
         // generation: a checkpoint's `rotate_if_applied` cannot pass it.
         let generation = wal.generation();
@@ -621,7 +666,7 @@ impl ReachabilityEngine {
             state.wal_generation == generation && state.apply_cursor == ordinal,
             "apply ordering lost track of record {generation}/{ordinal}"
         );
-        let applied = self.apply_batch(points, &mut state);
+        let applied = self.apply_batch(points, &mut state, prenormalized, capture);
         state.apply_cursor = state.apply_cursor.max(ordinal + 1);
         self.apply_cv.notify_all();
         match applied {
@@ -663,11 +708,15 @@ impl ReachabilityEngine {
     /// shipping protocol converges a follower before the leader rotates, so
     /// a fresh generation always starts at ordinal 0. A gap within a
     /// generation is a protocol violation and surfaces as a typed error.
+    /// `prenormalized` marks records the leader logged under the
+    /// pre-normalized tag (owner-routed shard batches): they are applied
+    /// postings-only, exactly as the leader applied them.
     pub fn apply_replicated(
         &self,
         generation: u64,
         ordinal: u64,
         points: &[TrajPoint],
+        prenormalized: bool,
     ) -> StorageResult<bool> {
         self.validate_points(points)?;
         let mut state = self.ingest_state();
@@ -698,7 +747,7 @@ impl ReachabilityEngine {
             state.wal_generation = generation;
             state.wal_applied = 0;
         }
-        self.apply_batch(points, &mut state)?;
+        self.apply_batch(points, &mut state, prenormalized, None)?;
         state.wal_applied = ordinal + 1;
         Ok(true)
     }
@@ -750,11 +799,52 @@ impl ReachabilityEngine {
 
     /// Applies one decoded batch to the index structures. Shared by live
     /// ingest and WAL replay so both paths are bit-identical.
+    ///
+    /// `prenormalized` batches (owner-routed by a sharded router's
+    /// statistics leader, logged under the `0x02` WAL tag) skip
+    /// normalization, speed-pair derivation and last-visit staging: the
+    /// leader already did all of that over the full batch — re-deriving
+    /// speed pairs from an owner-filtered sub-stream would corrupt the
+    /// statistics (a dropped re-entry decision depends on visits this
+    /// shard does not own). They fold into the postings only. Their touch
+    /// reports local posting pairs alone — the statistics leader's raw
+    /// batch reports the speed slots and the day raise exactly once.
+    ///
+    /// `capture_normalized`, when set, receives the full-batch normalized
+    /// point sequence (before any shard-ownership filter).
     fn apply_batch(
         &self,
         points: &[TrajPoint],
         state: &mut IngestState,
+        prenormalized: bool,
+        capture_normalized: Option<&mut Vec<TrajPoint>>,
     ) -> StorageResult<(usize, usize)> {
+        if prenormalized {
+            debug_assert!(
+                capture_normalized.is_none(),
+                "capturing a pre-normalized batch is meaningless: it IS the capture"
+            );
+            if points.is_empty() {
+                return Ok((0, 0));
+            }
+            let mut owned: Vec<TrajPoint> = points.to_vec();
+            // Defense in depth: the router already sent owned points only,
+            // but a replayed log may meet a re-partitioned engine.
+            if let Some((map, shard_id)) = self.shard.get() {
+                owned.retain(|p| map.shard_of(p.segment) == *shard_id);
+            }
+            let posting_pairs = self.st_index.apply_points(&owned)?;
+            let lists_touched = posting_pairs.len();
+            let max_date = points.iter().map(|p| p.date).max().unwrap_or(0);
+            self.st_index.raise_num_days(max_date + 1);
+            self.notify_touch(&IngestTouch {
+                posting_pairs,
+                speed_slots: Vec::new(),
+                num_days_raised: false,
+            });
+            return Ok((lists_touched, 0));
+        }
+
         // Normalize exactly like `MatchedTrajectory::push`: a point
         // re-entering the segment its trajectory is already on is dropped,
         // so a raw feed and the batch pipeline index the same visits.
@@ -781,6 +871,9 @@ impl ReachabilityEngine {
             );
             max_date = max_date.max(p.date);
             normalized.push(*p);
+        }
+        if let Some(capture) = capture_normalized {
+            capture.extend_from_slice(&normalized);
         }
         if normalized.is_empty() {
             return Ok((0, 0));

@@ -148,9 +148,17 @@ impl IngestState {
 }
 
 /// Tag byte opening a varint-encoded WAL batch record. The legacy format
-/// opens with the little-endian `u32` point count instead; `decode_batch`
+/// opens with the little-endian `u32` point count instead; `decode_record`
 /// accepts both (see there for how the formats are told apart).
 const WAL_BATCH_TAG_VARINT: u8 = 0x01;
+
+/// Tag byte opening a **pre-normalized** varint batch record: the points
+/// were normalized (re-entries dropped) and owner-routed by the sharded
+/// router's statistics leader, so replay must apply them postings-only —
+/// no re-normalization, no speed-pair derivation, no last-visit staging
+/// (see [`crate::sharded::ShardedEngine::ingest`]). Body layout is
+/// identical to [`WAL_BATCH_TAG_VARINT`].
+const WAL_BATCH_TAG_PRENORMALIZED: u8 = 0x02;
 
 /// Encodes a batch of trajectory points as a WAL record payload.
 ///
@@ -161,8 +169,19 @@ const WAL_BATCH_TAG_VARINT: u8 = 0x01;
 /// intra-day timestamps are small, so batches shrink to roughly half the
 /// legacy fixed-width 14 bytes/point.
 pub(crate) fn encode_batch(points: &[TrajPoint]) -> Vec<u8> {
+    encode_tagged_batch(WAL_BATCH_TAG_VARINT, points)
+}
+
+/// Encodes an owner-routed, already-normalized batch under the
+/// pre-normalized tag. Same varint body as [`encode_batch`]; only the tag
+/// byte differs, and the tag is what tells replay to skip normalization.
+pub(crate) fn encode_prenormalized_batch(points: &[TrajPoint]) -> Vec<u8> {
+    encode_tagged_batch(WAL_BATCH_TAG_PRENORMALIZED, points)
+}
+
+fn encode_tagged_batch(tag: u8, points: &[TrajPoint]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(6 + points.len() * 8);
-    buf.push(WAL_BATCH_TAG_VARINT);
+    buf.push(tag);
     put_varint_u32(&mut buf, points.len() as u32);
     for p in points {
         put_varint_u32(&mut buf, p.traj_id);
@@ -221,26 +240,53 @@ fn decode_batch_legacy(mut buf: &[u8]) -> Option<Vec<TrajPoint>> {
     Some(points)
 }
 
-/// Decodes a WAL record payload back into trajectory points, accepting both
-/// the varint format written by `encode_batch` and the legacy fixed-width
-/// format of pre-existing logs. Strict like every decoder in this
-/// workspace: a short buffer or trailing bytes is `Corrupt`, never a
-/// silently shorter batch.
+/// A decoded WAL ingest record: the points plus whether they were written
+/// pre-normalized (owner-routed by the sharded router) and must therefore
+/// be applied postings-only on replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DecodedRecord {
+    pub points: Vec<TrajPoint>,
+    pub prenormalized: bool,
+}
+
+/// Decodes a WAL record payload back into trajectory points, accepting the
+/// varint formats written by `encode_batch` / `encode_prenormalized_batch`
+/// and the legacy fixed-width format of pre-existing logs. Strict like
+/// every decoder in this workspace: a short buffer or trailing bytes is
+/// `Corrupt`, never a silently shorter batch.
 ///
-/// Format dispatch: a first byte of `0x01` is *tried* as the varint tag
-/// first; on strict-parse failure the payload falls back to the legacy
-/// decoder. (A legacy batch can legitimately start with `0x01` — a count
-/// with low byte 1 — but its count high bytes then read as a tiny varint
-/// count that leaves the fixed-width points as trailing bytes, so the
-/// varint parse always rejects it and the fallback decodes it correctly.)
-pub(crate) fn decode_batch(buf: &[u8]) -> StorageResult<Vec<TrajPoint>> {
+/// Format dispatch: a first byte of `0x01` / `0x02` is *tried* as a varint
+/// tag first; on strict-parse failure the payload falls back to the legacy
+/// decoder. (A legacy batch can legitimately start with such a byte — a
+/// count with low byte 1 or 2 — but its count high bytes then read as a
+/// tiny varint count that leaves the fixed-width points as trailing bytes,
+/// so the varint parse always rejects it and the fallback decodes it
+/// correctly.)
+pub(crate) fn decode_record(buf: &[u8]) -> StorageResult<DecodedRecord> {
     let corrupt = || StorageError::corrupt("WAL ingest record is malformed");
-    if let Some((&WAL_BATCH_TAG_VARINT, body)) = buf.split_first() {
-        if let Some(points) = decode_batch_varint(body) {
-            return Ok(points);
+    if let Some((&tag, body)) = buf.split_first() {
+        if tag == WAL_BATCH_TAG_VARINT || tag == WAL_BATCH_TAG_PRENORMALIZED {
+            if let Some(points) = decode_batch_varint(body) {
+                return Ok(DecodedRecord {
+                    points,
+                    prenormalized: tag == WAL_BATCH_TAG_PRENORMALIZED,
+                });
+            }
         }
     }
-    decode_batch_legacy(buf).ok_or_else(corrupt)
+    decode_batch_legacy(buf)
+        .map(|points| DecodedRecord {
+            points,
+            prenormalized: false,
+        })
+        .ok_or_else(corrupt)
+}
+
+/// Point-only view of [`decode_record`], for callers (and tests) that do
+/// not care about the pre-normalized flag.
+#[cfg(test)]
+pub(crate) fn decode_batch(buf: &[u8]) -> StorageResult<Vec<TrajPoint>> {
+    decode_record(buf).map(|r| r.points)
 }
 
 /// Serializes the ingest bookkeeping for the snapshot container:
@@ -365,6 +411,29 @@ mod tests {
         let mut padded = legacy;
         padded.push(0);
         assert!(decode_batch(&padded).is_err());
+    }
+
+    #[test]
+    fn prenormalized_batches_roundtrip_with_flag() {
+        let points = sample_points();
+        let raw = decode_record(&encode_batch(&points)).unwrap();
+        assert!(!raw.prenormalized);
+        assert_eq!(raw.points, points);
+        let pre = decode_record(&encode_prenormalized_batch(&points)).unwrap();
+        assert!(pre.prenormalized);
+        assert_eq!(pre.points, points);
+        // Strictness carries over to the 0x02 tag.
+        let bytes = encode_prenormalized_batch(&points);
+        assert!(decode_record(&bytes[..bytes.len() - 1]).is_err());
+        // Dispatch ambiguity: a two-point legacy batch opens with 0x02
+        // (count low byte), same as the pre-normalized tag. It must decode
+        // as a legacy (raw) batch, not as pre-normalized.
+        let two = vec![points[0], points[1]];
+        let legacy_two = encode_batch_legacy(&two);
+        assert_eq!(legacy_two[0], 0x02);
+        let decoded = decode_record(&legacy_two).unwrap();
+        assert!(!decoded.prenormalized);
+        assert_eq!(decoded.points, two);
     }
 
     #[test]

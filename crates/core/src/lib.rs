@@ -134,6 +134,7 @@ pub mod snapshot;
 pub mod speed_stats;
 pub mod st_index;
 pub mod stats;
+pub mod subscribe;
 pub mod time;
 
 pub use builder::EngineBuilder;
@@ -154,6 +155,10 @@ pub use speed_stats::SpeedStats;
 pub use st_index::{DeltaStats, StIndex};
 pub use stats::QueryStats;
 pub use streach_storage::{PostingEncoding, StorageBackend};
+pub use subscribe::{
+    ReachabilityEvent, SubscribeConfig, SubscribeError, SubscribeStats, SubscriptionEvent,
+    SubscriptionId, SubscriptionManager, Trigger,
+};
 
 /// Convenient re-exports for downstream users (examples, benches, tests).
 pub mod prelude {
@@ -169,6 +174,10 @@ pub mod prelude {
     pub use crate::serve::{QueryServer, ServeConfig, ServerStats};
     pub use crate::sharded::{ReadPreference, ShardedEngine};
     pub use crate::stats::QueryStats;
+    pub use crate::subscribe::{
+        ReachabilityEvent, SubscribeConfig, SubscribeError, SubscribeStats, SubscriptionEvent,
+        SubscriptionId, SubscriptionManager, Trigger,
+    };
     pub use streach_geo::GeoPoint;
     pub use streach_roadnet::{GeneratorConfig, RoadNetwork, SegmentId, ShardMap, SyntheticCity};
     pub use streach_traj::{points_of, FleetConfig, TrajPoint, TrajectoryDataset};

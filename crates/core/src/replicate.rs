@@ -165,11 +165,12 @@ impl ReplicaSet {
                 }
                 follower.log.append_shipped(&batch)?;
                 for (i, payload) in batch.payloads.iter().enumerate() {
-                    let points = crate::ingest::decode_batch(payload)?;
+                    let record = crate::ingest::decode_record(payload)?;
                     follower.engine.apply_replicated(
                         batch.generation,
                         batch.start_record + i as u64,
-                        &points,
+                        &record.points,
+                        record.prenormalized,
                     )?;
                 }
             }

@@ -363,22 +363,85 @@ struct CacheKey {
     algorithm: Algorithm,
 }
 
+/// The recorded read footprint of one answered s-query — everything an
+/// [`IngestTouch`] needs to be intersected against to decide whether the
+/// answer may have changed. Shared by the result cache (invalidation) and
+/// by standing subscriptions ([`crate::subscribe`], wakeup filtering).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReadFootprint {
+    /// Every wrapped day slot the answer read (bounding hops + T0 +
+    /// probability window), sorted — the slot overlap test.
+    pub slots: Vec<u32>,
+    /// Maximum bounding region for segment-scoped posting invalidation,
+    /// sorted; empty means "any segment" (ES reads wherever its expansion
+    /// goes, so no sound segment scoping exists for it).
+    pub max_region: Vec<SegmentId>,
+}
+
+impl ReadFootprint {
+    /// The footprint of query `q` answered under bounding region
+    /// `max_region` (already sorted, as `BoundingRegions` produces it).
+    pub(crate) fn record(q: &SQuery, slot_s: u32, max_region: Vec<SegmentId>) -> Self {
+        Self {
+            slots: query_slots(q, slot_s),
+            max_region,
+        }
+    }
+
+    /// Whether `touch` may have changed an answer with this footprint:
+    /// a day raise always does; a moved speed slot the answer read does
+    /// (speed feeds bounding, which may reach any segment on re-run); a
+    /// touched posting pair does when its slot was read *and* its segment
+    /// lies inside the maximum bounding region (verification never reads
+    /// outside it).
+    pub(crate) fn touched_by(&self, touch: &IngestTouch) -> bool {
+        if touch.num_days_raised {
+            return true;
+        }
+        if touch
+            .speed_slots
+            .iter()
+            .any(|slot| self.slots.binary_search(slot).is_ok())
+        {
+            return true;
+        }
+        touch.posting_pairs.iter().any(|&(slot, segment)| {
+            self.slots.binary_search(&slot).is_ok()
+                && (self.max_region.is_empty()
+                    || self.max_region.binary_search(&SegmentId(segment)).is_ok())
+        })
+    }
+}
+
 struct CacheEntry {
     outcome: QueryOutcome,
-    /// Every day slot the answer read (bounding hops + T0 + probability
-    /// window), sorted — the invalidation overlap test.
-    slots: Vec<u32>,
-    /// Maximum bounding region for segment-scoped posting invalidation;
-    /// empty means "any segment" (ES, or the serial path which does not
-    /// report its bounds).
-    max_region: Vec<SegmentId>,
+    /// What the answer read; an [`IngestTouch`] intersecting it kills the
+    /// entry.
+    footprint: ReadFootprint,
+    /// Lookups this entry served.
+    hits: u64,
+    /// Cache-clock stamp of the last hit (the insert stamp until then) —
+    /// the eviction order: least-recently-hit goes first.
+    last_hit: u64,
+}
+
+impl CacheEntry {
+    fn new(outcome: QueryOutcome, footprint: ReadFootprint) -> Self {
+        Self {
+            outcome,
+            footprint,
+            hits: 0,
+            last_hit: 0,
+        }
+    }
 }
 
 struct CacheState {
     map: HashMap<CacheKey, CacheEntry>,
-    fifo: VecDeque<CacheKey>,
     /// Bumped by every invalidation; guards inserts computed before it.
     epoch: u64,
+    /// Bumped by every lookup hit and insert; stamps `CacheEntry::last_hit`.
+    clock: u64,
 }
 
 struct ResultCache {
@@ -412,8 +475,8 @@ impl ResultCache {
         Self {
             state: Mutex::new(CacheState {
                 map: HashMap::new(),
-                fifo: VecDeque::new(),
                 epoch: 0,
+                clock: 0,
             }),
             capacity,
             hits: AtomicU64::new(0),
@@ -442,9 +505,13 @@ impl ResultCache {
     }
 
     fn get(&self, key: &CacheKey) -> Option<QueryOutcome> {
-        let state = self.lock();
-        match state.map.get(key) {
+        let mut state = self.lock();
+        state.clock += 1;
+        let stamp = state.clock;
+        match state.map.get_mut(key) {
             Some(entry) => {
+                entry.hits += 1;
+                entry.last_hit = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.outcome.clone())
             }
@@ -458,22 +525,31 @@ impl ResultCache {
     /// Inserts an answer computed while the cache was at `epoch_at_read`;
     /// dropped when any invalidation ran since — an answer computed from
     /// pre-ingest state must never outlive the ingest's invalidation.
-    fn insert(&self, key: CacheKey, entry: CacheEntry, epoch_at_read: u64) {
+    ///
+    /// A full cache evicts the **least-recently-hit** entry: a hot entry
+    /// keeps refreshing its stamp on every lookup and survives a flood of
+    /// one-shot cold entries, which FIFO would let push it out.
+    fn insert(&self, key: CacheKey, mut entry: CacheEntry, epoch_at_read: u64) {
         let mut state = self.lock();
         if state.epoch != epoch_at_read || self.capacity == 0 {
             return;
         }
-        while state.map.len() >= self.capacity {
-            match state.fifo.pop_front() {
+        state.clock += 1;
+        entry.last_hit = state.clock;
+        while state.map.len() >= self.capacity && !state.map.contains_key(&key) {
+            let coldest = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_hit)
+                .map(|(k, _)| *k);
+            match coldest {
                 Some(old) => {
                     state.map.remove(&old);
                 }
                 None => break,
             }
         }
-        if state.map.insert(key, entry).is_none() {
-            state.fifo.push_back(key);
-        }
+        state.map.insert(key, entry);
     }
 
     fn invalidate(&self, touch: &IngestTouch) {
@@ -482,27 +558,14 @@ impl ResultCache {
         if touch.num_days_raised {
             let dropped = state.map.len() as u64;
             state.map.clear();
-            state.fifo.clear();
             self.invalidated.fetch_add(dropped, Ordering::Relaxed);
             self.flushes.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let before = state.map.len();
-        state.map.retain(|_, entry| {
-            let speed_hit = touch
-                .speed_slots
-                .iter()
-                .any(|slot| entry.slots.binary_search(slot).is_ok());
-            if speed_hit {
-                return false;
-            }
-            let posting_hit = touch.posting_pairs.iter().any(|&(slot, segment)| {
-                entry.slots.binary_search(&slot).is_ok()
-                    && (entry.max_region.is_empty()
-                        || entry.max_region.binary_search(&SegmentId(segment)).is_ok())
-            });
-            !posting_hit
-        });
+        state
+            .map
+            .retain(|_, entry| !entry.footprint.touched_by(touch));
         self.invalidated
             .fetch_add((before - state.map.len()) as u64, Ordering::Relaxed);
     }
@@ -600,6 +663,9 @@ pub struct QueryServer<B: ServeBackend> {
     /// Keeps the invalidation observer alive exactly as long as the server;
     /// the engine holds it weakly and drops it with us.
     _observer: Option<Arc<IngestObserver>>,
+    /// Standing-query manager, spawned lazily on the first `subscribe` so
+    /// servers without subscriptions pay no extra thread or observer.
+    subscriptions: std::sync::OnceLock<crate::subscribe::SubscriptionManager<B>>,
 }
 
 impl<B: ServeBackend> QueryServer<B> {
@@ -642,6 +708,7 @@ impl<B: ServeBackend> QueryServer<B> {
             inner,
             workers: handles,
             _observer: observer,
+            subscriptions: std::sync::OnceLock::new(),
         }
     }
 
@@ -701,6 +768,37 @@ impl<B: ServeBackend> QueryServer<B> {
             cache_invalidated,
             cache_flushes,
         }
+    }
+
+    /// The server's standing-query manager, spawned (worker thread +
+    /// ingest observer) on first use. See [`crate::subscribe`].
+    pub fn subscriptions(&self) -> &crate::subscribe::SubscriptionManager<B> {
+        self.subscriptions.get_or_init(|| {
+            crate::subscribe::SubscriptionManager::spawn(
+                self.inner.backend.clone(),
+                crate::subscribe::SubscribeConfig::default(),
+            )
+        })
+    }
+
+    /// Registers a standing s-query, kept current incrementally against
+    /// the ingest stream; events arrive via
+    /// [`subscriptions`](Self::subscriptions).
+    pub fn subscribe(
+        &self,
+        query: SQuery,
+        algorithm: Algorithm,
+        trigger: crate::subscribe::Trigger,
+    ) -> Result<crate::subscribe::SubscriptionId, crate::subscribe::SubscribeError> {
+        self.subscriptions().subscribe(query, algorithm, trigger)
+    }
+
+    /// Removes a standing s-query registered with [`subscribe`](Self::subscribe).
+    pub fn unsubscribe(
+        &self,
+        id: crate::subscribe::SubscriptionId,
+    ) -> Result<(), crate::subscribe::SubscribeError> {
+        self.subscriptions().unsubscribe(id)
     }
 
     /// Stops accepting work, answers what is queued, joins the workers.
@@ -795,20 +893,35 @@ impl<B: ServeBackend> ServerInner<B> {
         // when coalescing is off.
         for request in serial {
             let epoch = cache.map(|c| c.epoch());
-            let result = self.backend.try_s_query(&request.query, request.algorithm);
+            // SQMB runs as a singleton coalesced group — bit-identical to
+            // the per-query path — so the bounding region is reported and
+            // the cache entry's posting invalidation stays segment-precise
+            // instead of falling back to the any-segment sentinel. ES has
+            // no bounding region; its entries keep the sentinel (that one
+            // is genuinely "any segment").
+            let (result, max_region) = match request.algorithm {
+                Algorithm::SqmbTbs => {
+                    let answer = self
+                        .backend
+                        .try_s_query_coalesced(std::slice::from_ref(&request.query))
+                        .pop()
+                        .expect("one answer per query");
+                    (answer.outcome, answer.max_region)
+                }
+                Algorithm::ExhaustiveSearch => (
+                    self.backend.try_s_query(&request.query, request.algorithm),
+                    Vec::new(),
+                ),
+            };
             if let (Some(cache), Some(epoch), Ok(outcome), Some(key)) =
                 (cache, epoch, &result, self.lookup_key(&request))
             {
                 cache.insert(
                     key,
-                    CacheEntry {
-                        outcome: outcome.clone(),
-                        slots: query_slots(&request.query, self.backend.slot_s()),
-                        // The serial path does not report its bounding
-                        // region: the empty sentinel makes any posting
-                        // change in a read slot invalidate the entry.
-                        max_region: Vec::new(),
-                    },
+                    CacheEntry::new(
+                        outcome.clone(),
+                        ReadFootprint::record(&request.query, self.backend.slot_s(), max_region),
+                    ),
                     epoch,
                 );
             }
@@ -832,16 +945,126 @@ impl<B: ServeBackend> ServerInner<B> {
             {
                 cache.insert(
                     key,
-                    CacheEntry {
-                        outcome: outcome.clone(),
-                        slots: query_slots(&request.query, self.backend.slot_s()),
-                        max_region: answer.max_region,
-                    },
+                    CacheEntry::new(
+                        outcome.clone(),
+                        ReadFootprint::record(
+                            &request.query,
+                            self.backend.slot_s(),
+                            answer.max_region,
+                        ),
+                    ),
                     epoch,
                 );
             }
             request.slot.fulfill(answer.outcome);
             self.completed.fetch_add(1, Ordering::Relaxed);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::ReachableRegion;
+
+    fn key(i: u32) -> CacheKey {
+        CacheKey {
+            segment: i,
+            start_time_s: 9 * 3600,
+            duration_s: 600,
+            prob_bits: 0.2f64.to_bits(),
+            algorithm: Algorithm::SqmbTbs,
+        }
+    }
+
+    fn entry() -> CacheEntry {
+        CacheEntry::new(
+            QueryOutcome {
+                region: ReachableRegion::empty(),
+                stats: QueryStats::default(),
+            },
+            ReadFootprint::default(),
+        )
+    }
+
+    #[test]
+    fn hot_entry_survives_cold_entry_flood() {
+        let cache = ResultCache::new(4);
+        let epoch = cache.epoch();
+        cache.insert(key(0), entry(), epoch);
+        // Flood with cold entries, touching the hot key between inserts —
+        // the flood exceeds capacity many times over, so FIFO would have
+        // evicted the hot entry long before the end.
+        for i in 1..64 {
+            assert!(cache.get(&key(0)).is_some(), "hot entry evicted at {i}");
+            cache.insert(key(i), entry(), epoch);
+        }
+        assert!(cache.get(&key(0)).is_some(), "hot entry must survive");
+        let state = cache.lock();
+        assert!(state.map.len() <= 4, "capacity respected");
+        // The survivors besides the hot key are the most recent cold ones.
+        assert!(state.map.contains_key(&key(63)));
+    }
+
+    #[test]
+    fn least_recently_hit_goes_first() {
+        let cache = ResultCache::new(2);
+        let epoch = cache.epoch();
+        cache.insert(key(1), entry(), epoch);
+        cache.insert(key(2), entry(), epoch);
+        // Hit key 1; key 2 is now the least-recently-hit.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), entry(), epoch);
+        let state = cache.lock();
+        assert!(state.map.contains_key(&key(1)));
+        assert!(!state.map.contains_key(&key(2)));
+        assert!(state.map.contains_key(&key(3)));
+        assert_eq!(state.map[&key(1)].hits, 1);
+    }
+
+    #[test]
+    fn footprint_touch_intersection() {
+        let fp = ReadFootprint {
+            slots: vec![3, 4, 5],
+            max_region: vec![SegmentId(10), SegmentId(20)],
+        };
+        // Day raise always touches.
+        assert!(fp.touched_by(&IngestTouch {
+            posting_pairs: vec![],
+            speed_slots: vec![],
+            num_days_raised: true,
+        }));
+        // Speed slot inside the read window touches regardless of segment.
+        assert!(fp.touched_by(&IngestTouch {
+            posting_pairs: vec![],
+            speed_slots: vec![4],
+            num_days_raised: false,
+        }));
+        // Posting pair needs slot AND segment inside the max region.
+        assert!(fp.touched_by(&IngestTouch {
+            posting_pairs: vec![(4, 20)],
+            speed_slots: vec![],
+            num_days_raised: false,
+        }));
+        assert!(!fp.touched_by(&IngestTouch {
+            posting_pairs: vec![(4, 30)],
+            speed_slots: vec![],
+            num_days_raised: false,
+        }));
+        assert!(!fp.touched_by(&IngestTouch {
+            posting_pairs: vec![(7, 20)],
+            speed_slots: vec![6],
+            num_days_raised: false,
+        }));
+        // The empty max region is the any-segment sentinel (ES).
+        let es = ReadFootprint {
+            slots: vec![3],
+            max_region: Vec::new(),
+        };
+        assert!(es.touched_by(&IngestTouch {
+            posting_pairs: vec![(3, 999)],
+            speed_slots: vec![],
+            num_days_raised: false,
+        }));
     }
 }

@@ -1,7 +1,7 @@
 //! Spatially sharded serving: a scatter-gather router over per-shard
 //! engines and their read replicas.
 //!
-//! # Design: postings sharded, statistics replicated
+//! # Design: postings sharded, statistics led
 //!
 //! A [`ShardedEngine`] splits the road network into `K` spatial shards
 //! with a deterministic k-d cut ([`streach_roadnet::ShardMap::partition`])
@@ -10,12 +10,19 @@
 //! the postings of segments the shard owns (see
 //! [`crate::builder::EngineBuilder::shard`]). Everything *else* — the
 //! Con-Index speed statistics, the day count, the last-visit table — is
-//! computed over the full data stream and therefore identical on every
-//! shard. The consequences:
+//! maintained over the full data stream by the **statistics leader**
+//! (shard 0's leader): at build time every shard engine computes them over
+//! the full dataset, and streaming ingest keeps them current on the
+//! statistics leader only, which is the single engine every router query
+//! path reads them from ([`ShardedEngine`]'s `reference`). Ingest is
+//! **owner-routed**: the statistics leader ingests the raw batch and the
+//! other shards receive just their owned, pre-normalized slice (see
+//! [`ShardedEngine::ingest`]). The consequences:
 //!
-//! * **Bounding is local.** SQMB/MQMB only touch the Con-Index, so any
-//!   shard engine produces the exact bounding regions a single engine
-//!   would — no cross-shard coordination before verification.
+//! * **Bounding is local.** SQMB/MQMB only touch the statistics leader's
+//!   Con-Index, which sees the full stream and therefore produces the
+//!   exact bounding regions a single engine would — no cross-shard
+//!   coordination before verification.
 //! * **Verification is routed.** Each `(segment, slot)` posting read in
 //!   the verify sweep is answered by the shard owning that segment
 //!   ([`RoutedPostings`], a [`PostingSource`]). An s-query whose annulus
@@ -66,6 +73,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use streach_roadnet::{RoadNetwork, SegmentId, ShardMap};
 use streach_storage::{IoStats, IoStatsSnapshot, PostingEncoding, StorageError, StorageResult};
 
@@ -222,6 +230,12 @@ pub struct ShardedEngine {
     /// Router-level posting-decode accounting; page reads/hits land in the
     /// individual engines' counters and are aggregated per query.
     io: Arc<IoStats>,
+    /// Serializes routed ingest: batch N+1's normalization on the
+    /// statistics leader must observe batch N's last-visit state, and the
+    /// owner-routed sub-batches must land on the other shards in the same
+    /// order the leader logged the full batches — otherwise a shard's WAL
+    /// replay could interleave differently from its live application.
+    route: Mutex<()>,
 }
 
 impl ShardedEngine {
@@ -271,6 +285,7 @@ impl ShardedEngine {
             shards,
             preference: ReadPreference::Leader,
             io: Arc::new(IoStats::default()),
+            route: Mutex::new(()),
         }
     }
 
@@ -325,10 +340,11 @@ impl ShardedEngine {
         self.shards[shard_id as usize].live()
     }
 
-    /// The reference engine for everything replicated across shards:
-    /// bounding (Con-Index), location matching and index scalars. Shard 0's
-    /// leader by convention — any shard engine gives identical answers for
-    /// these, because the statistics layers are global.
+    /// The statistics leader: the engine answering everything
+    /// non-posting — bounding (Con-Index), location matching and index
+    /// scalars. Shard 0's leader by convention; it is the one engine whose
+    /// statistics streaming ingest keeps current over the full stream
+    /// (see [`ShardedEngine::ingest`]).
     fn reference(&self) -> &ReachabilityEngine {
         &self.shards[0].entries[0].engine
     }
@@ -357,21 +373,53 @@ impl ShardedEngine {
         total
     }
 
-    /// Forwards an ingest batch to **every** shard leader. Each leader
-    /// normalizes and logs the full batch (so the replicated statistics
-    /// stay global) and folds only its owned postings — the ×K WAL write
-    /// amplification is the documented price of keeping bounding local.
-    /// On an error the leaders before the failing one have already applied
-    /// the batch: recover the failed shard from its WAL/snapshot rather
-    /// than re-ingesting the batch on all shards.
+    /// Ingests a batch by **owner-routing** it across the shard leaders.
+    ///
+    /// The statistics leader (shard 0) ingests the raw full batch — it
+    /// alone normalizes the stream, derives the speed pairs, raises the day
+    /// count and maintains the last-visit table, so every statistic the
+    /// router's query paths read through [`ShardedEngine::reference`] stays
+    /// bit-identical to a single engine's. The normalized point sequence it
+    /// produces is then split by owning shard, and each other leader
+    /// receives only its owned points as a **pre-normalized** WAL record
+    /// (applied postings-only; see
+    /// [`crate::ingest`]'s `WAL_BATCH_TAG_PRENORMALIZED`). A shard whose
+    /// sub-batch is empty does zero work — no WAL record, no fsync, no
+    /// observer wakeup — so per-shard [`crate::ingest::IngestTouch`]es
+    /// report only locally-touched pairs and subscription wakeups do not
+    /// fan out needlessly. WAL write amplification drops from ×K full
+    /// copies to one full copy plus each shard's owned slice.
+    ///
+    /// Outcomes are in shard order; shard 0's covers the full batch, the
+    /// others cover their owned slices. On an error the shards before the
+    /// failing one have already applied their slice: recover the failed
+    /// shard from its WAL/snapshot rather than re-ingesting the batch.
     pub fn ingest(
         &self,
         points: &[streach_traj::TrajPoint],
     ) -> StorageResult<Vec<crate::ingest::IngestOutcome>> {
-        self.shards
-            .iter()
-            .map(|shard| shard.entries[0].engine.ingest(points))
-            .collect()
+        let _route = self.route.lock();
+        let mut outcomes = Vec::with_capacity(self.shards.len());
+        let (outcome, normalized) = self.shards[0].entries[0].engine.ingest_capturing(points)?;
+        outcomes.push(outcome);
+        for (shard_id, shard) in self.shards.iter().enumerate().skip(1) {
+            let owned: Vec<streach_traj::TrajPoint> = normalized
+                .iter()
+                .filter(|p| self.map.shard_of(p.segment) == shard_id as u16)
+                .copied()
+                .collect();
+            if owned.is_empty() {
+                outcomes.push(crate::ingest::IngestOutcome {
+                    points: 0,
+                    lists_touched: 0,
+                    speed_observations: 0,
+                    wal_ordinal: None,
+                });
+                continue;
+            }
+            outcomes.push(shard.entries[0].engine.ingest_prenormalized(&owned)?);
+        }
+        Ok(outcomes)
     }
 
     /// Answers a single-location query across the shards; see
@@ -551,9 +599,12 @@ impl ShardedEngine {
     }
 
     /// Registers an ingest observer on every shard **leader** (replicas
-    /// apply the same batches later via WAL shipping; the union of leader
-    /// notifications already covers every touched posting pair, and the
-    /// replicated statistics are reported — idempotently — by each leader).
+    /// apply the same batches later via WAL shipping). With owner-routed
+    /// ingest the union of leader notifications covers every touched
+    /// posting pair exactly once: each shard reports its owned pairs, and
+    /// the statistics leader alone reports the speed slots and any day
+    /// raise — an observer is woken once per batch per touched shard, not
+    /// ×K for every batch.
     pub fn observe_ingest(&self, observer: &Arc<crate::ingest::IngestObserver>) {
         for shard in &self.shards {
             shard.entries[0].engine.observe_ingest(observer);
@@ -719,21 +770,35 @@ mod tests {
     }
 
     #[test]
-    fn ingest_on_all_leaders_preserves_equivalence() {
+    fn routed_ingest_preserves_equivalence() {
         let (network, dataset, single, sharded) = setup(2);
-        // Continue one trajectory: every leader sees the full batch, owned
-        // postings land on their shard, statistics stay global.
+        // Continue one trajectory: the statistics leader normalizes the
+        // full batch, the owning shard folds the postings, and a shard
+        // that owns nothing of the batch does zero work.
         let traj = dataset.trajectories().first().unwrap();
         let last = traj.visits.last().unwrap();
+        let segment = SegmentId((last.segment.0 + 1) % network.num_segments() as u32);
         let points = vec![streach_traj::TrajPoint {
             traj_id: traj.traj_id,
             date: traj.date,
-            segment: SegmentId((last.segment.0 + 1) % network.num_segments() as u32),
+            segment,
             enter_time_s: last.enter_time_s + 60,
         }];
         single.ingest(&points).unwrap();
         let outcomes = sharded.ingest(&points).unwrap();
         assert_eq!(outcomes.len(), 2);
+        // The single point lands on exactly one shard's postings; if that
+        // shard is not the statistics leader, the leader still processed
+        // the full batch (statistics) while the non-owning shard did
+        // nothing at all.
+        let owner = sharded.route_of(segment);
+        if owner != 0 {
+            assert_eq!(outcomes[1].points, 1);
+            assert!(outcomes[1].lists_touched > 0);
+        } else {
+            assert_eq!(outcomes[1].points, 0);
+            assert_eq!(outcomes[1].lists_touched, 0);
+        }
         let query = SQuery {
             location: network.bounds().center(),
             start_time_s: 9 * 3600,
