@@ -2,7 +2,7 @@
 //! records the result in `BENCH_ingest.json`.
 //!
 //! ```text
-//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries] [-- --cold-path] [-- --sharded] [-- --serving] [-- --subscriptions]
+//! cargo run --release -p streach-bench --bin ingest [-- --quick] [-- --group-commit] [-- --concurrent-queries] [-- --cold-path] [-- --sharded] [-- --serving] [-- --subscriptions] [-- --replication]
 //! ```
 //!
 //! `--group-commit` runs only the multi-writer WAL group-commit comparison
@@ -27,13 +27,18 @@
 //! queries — **gated**: every subscription's region must stay bit-identical
 //! across the two modes after every batch, and the incremental side must
 //! issue strictly fewer engine queries than the full side on slot-disjoint
-//! batches). With no mode flag every section runs and the results —
-//! including the `cold_path`, `serving` and `subscriptions` objects — are
-//! written to `BENCH_ingest.json`; a mode-only run prints its table (and
-//! enforces its gates) without touching the JSON — **except `--serving`
-//! and `--subscriptions`**, which merge their section into an existing
-//! `BENCH_ingest.json` (or create a stub) so CI can smoke-test the section
-//! without paying for the full bench.
+//! batches); `--replication` runs only the replication tier (WAL ship
+//! throughput to 1/2/4 replicas and lag-recovery time after an ingest
+//! burst under the background `ReplicationController` — **gated**: every
+//! replica must answer bit-identically to its leader after convergence and
+//! the controller must land every replica under the lag SLO). With no mode
+//! flag every section runs and the results — including the `cold_path`,
+//! `serving`, `subscriptions` and `replication` objects — are written to
+//! `BENCH_ingest.json`; a mode-only run prints its table (and enforces its
+//! gates) without touching the JSON — **except `--serving`,
+//! `--subscriptions` and `--replication`**, which merge their section into
+//! an existing `BENCH_ingest.json` (or create a stub) so CI can smoke-test
+//! the section without paying for the full bench.
 //!
 //! Scenario: a base fleet is built and snapshotted, the snapshot is
 //! reopened as a serving engine, and the remaining fleet-days arrive as
@@ -738,6 +743,146 @@ fn run_subscriptions(
     (cells, identical, strictly_fewer)
 }
 
+/// One replication measurement cell: a leader shipping to N replicas.
+struct ReplCell {
+    replicas: usize,
+    ship_records: u64,
+    ship_points_per_s: f64,
+    burst_records: u64,
+    recovery_ms: f64,
+    final_lag: u64,
+    slo_met: bool,
+}
+
+/// Copies a snapshot directory file by file — the artifact shipping a
+/// replica host would do out of band.
+fn copy_snapshot(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).expect("create replica dir");
+    for entry in std::fs::read_dir(src).expect("read snapshot dir").flatten() {
+        if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy artifact");
+        }
+    }
+}
+
+/// Replication tier: WAL ship throughput to 1/2/4 replicas (one drain of
+/// the whole ingested backlog), then lag-recovery time after a fresh
+/// ingest burst with the background [`ReplicationController`] shipping on
+/// its cadence under a lag SLO. Returns the cells, the SLO, and whether
+/// every replica answered the probe bit-identically to its leader after
+/// convergence.
+fn run_replication(
+    dir: &std::path::Path,
+    network: &Arc<RoadNetwork>,
+    batches: &[Vec<streach_traj::TrajPoint>],
+    probe: &SQuery,
+) -> (Vec<ReplCell>, u64, bool) {
+    let slo_records = 64u64;
+    let total_points: usize = batches.iter().map(Vec::len).sum();
+    let mut cells = Vec::new();
+    let mut identical = true;
+    for replicas in [1usize, 2, 4] {
+        let home = tmp_dir(&format!("bench-repl-{replicas}"));
+        copy_snapshot(dir, &home);
+        let leader = Arc::new(
+            ReachabilityEngine::open_snapshot(&home, network.clone())
+                .expect("open replication leader"),
+        );
+        leader
+            .attach_wal(home.join("ingest.wal"))
+            .expect("attach leader WAL");
+        let set = Arc::new(ReplicaSet::new(leader.clone(), home.join("ingest.wal")));
+        let mut replica_homes = Vec::new();
+        for r in 0..replicas {
+            let replica_home = tmp_dir(&format!("bench-repl-{replicas}-r{r}"));
+            copy_snapshot(dir, &replica_home);
+            let replica = Arc::new(
+                ReachabilityEngine::open_snapshot(&replica_home, network.clone())
+                    .expect("open replica"),
+            );
+            set.add_replica(replica, replica_home.join("follower.wal"))
+                .expect("register replica");
+            replica_homes.push(replica_home);
+        }
+
+        // Ship throughput: the whole fleet-day backlog is durable at the
+        // leader; one ship call drains it to every replica (log persist +
+        // replicated apply).
+        for batch in batches {
+            leader.ingest(batch).expect("leader ingest");
+        }
+        let t0 = Instant::now();
+        let shipped = set.ship().expect("ship backlog");
+        let ship_s = t0.elapsed().as_secs_f64();
+        assert!(set.converged(), "replicas converge after the backlog ships");
+
+        // Lag recovery: a burst of re-tagged batches lands while the
+        // background controller ships on a 1 ms cadence; the clock runs
+        // from the last acked record to convergence.
+        let ctl = ReplicationController::spawn(
+            set.clone(),
+            ReplicationConfig {
+                poll_interval: std::time::Duration::from_millis(1),
+                lag_slo_records: slo_records,
+                ..ReplicationConfig::default()
+            },
+        );
+        let burst: Vec<Vec<streach_traj::TrajPoint>> = batches
+            .iter()
+            .map(|b| {
+                b.iter()
+                    .map(|p| streach_traj::TrajPoint {
+                        traj_id: p.traj_id + 700_000,
+                        date: p.date,
+                        segment: p.segment,
+                        enter_time_s: p.enter_time_s,
+                    })
+                    .collect()
+            })
+            .collect();
+        for batch in &burst {
+            leader.ingest(batch).expect("burst ingest");
+        }
+        let t0 = Instant::now();
+        ctl.kick();
+        while !set.converged() && t0.elapsed().as_secs_f64() < 30.0 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let final_lag = ctl.lag().into_iter().max().unwrap_or(0);
+        let slo_met = set.converged() && final_lag <= slo_records;
+
+        // The bit-identity gate: every replica answers the probe exactly
+        // as its leader does.
+        let want = leader
+            .try_s_query(probe, Algorithm::SqmbTbs)
+            .expect("leader probe");
+        for r in 0..replicas {
+            let got = set
+                .replica(r)
+                .try_s_query(probe, Algorithm::SqmbTbs)
+                .expect("replica probe");
+            identical &= want.region.segments == got.region.segments
+                && want.region.total_length_km.to_bits() == got.region.total_length_km.to_bits();
+        }
+        ctl.shutdown();
+        cells.push(ReplCell {
+            replicas,
+            ship_records: shipped,
+            ship_points_per_s: total_points as f64 / ship_s.max(1e-9),
+            burst_records: burst.len() as u64,
+            recovery_ms,
+            final_lag,
+            slo_met,
+        });
+        std::fs::remove_dir_all(&home).ok();
+        for replica_home in replica_homes {
+            std::fs::remove_dir_all(replica_home).ok();
+        }
+    }
+    (cells, slo_records, identical)
+}
+
 /// Splices a section (a leading-comma, single-line fragment) into
 /// `BENCH_ingest.json`: replaces the existing `key` section in place
 /// (sections are one line each, so anything after it survives) or appends
@@ -786,12 +931,14 @@ fn main() {
     let only_sharded = args.iter().any(|a| a == "--sharded");
     let only_serving = args.iter().any(|a| a == "--serving");
     let only_subscriptions = args.iter().any(|a| a == "--subscriptions");
+    let only_replication = args.iter().any(|a| a == "--replication");
     let run_all = !(only_group
         || only_concurrent
         || only_cold
         || only_sharded
         || only_serving
-        || only_subscriptions);
+        || only_subscriptions
+        || only_replication);
     let scale = if quick {
         Scale {
             label: "quick",
@@ -1130,6 +1277,62 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // --- Replication: ship throughput + lag recovery under the SLO ---------
+    let mut replication_json = String::new();
+    if run_all || only_replication {
+        let (cells, slo_records, repl_identical) =
+            run_replication(&dir, &network, &batches, &probe);
+        for cell in &cells {
+            println!(
+                "{:<38} {:>10.0}/s {:>8.1}ms",
+                format!("replication [{} replica(s)] ship/recover", cell.replicas),
+                cell.ship_points_per_s,
+                cell.recovery_ms
+            );
+        }
+        let repl_slo_met = cells.iter().all(|c| c.slo_met);
+        println!(
+            "{:<38} {:>14}",
+            "replication answers identical", repl_identical
+        );
+        println!(
+            "{:<38} {:>14}",
+            format!("replication lag under SLO ({slo_records})"),
+            repl_slo_met
+        );
+        let cell_json: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"replicas\": {}, \"ship_records\": {}, \"ship_points_per_s\": {:.0}, \"burst_records\": {}, \"recovery_ms\": {:.2}, \"final_lag\": {}, \"slo_met\": {}}}",
+                    c.replicas,
+                    c.ship_records,
+                    c.ship_points_per_s,
+                    c.burst_records,
+                    c.recovery_ms,
+                    c.final_lag,
+                    c.slo_met
+                )
+            })
+            .collect();
+        replication_json = format!(
+            ",\n  \"replication\": {{\"identical\": {}, \"slo_records\": {}, \"slo_met\": {}, \"cells\": [{}]}}",
+            repl_identical,
+            slo_records,
+            repl_slo_met,
+            cell_json.join(", ")
+        );
+        if !repl_identical {
+            eprintln!(
+                "[ingest] ERROR: a replica answer diverged from its leader after convergence"
+            );
+            std::process::exit(1);
+        }
+        if !repl_slo_met {
+            eprintln!("[ingest] ERROR: the replication controller left a replica over the lag SLO");
+            std::process::exit(1);
+        }
+    }
     drop(built);
     if !run_all {
         std::fs::remove_dir_all(&dir).ok();
@@ -1143,6 +1346,13 @@ fn main() {
             merge_section_json("subscriptions", &subscriptions_json);
             eprintln!(
                 "[ingest] subscriptions-only run: merged `subscriptions` section into BENCH_ingest.json"
+            );
+            merged = true;
+        }
+        if only_replication {
+            merge_section_json("replication", &replication_json);
+            eprintln!(
+                "[ingest] replication-only run: merged `replication` section into BENCH_ingest.json"
             );
             merged = true;
         }
@@ -1249,7 +1459,7 @@ fn main() {
     println!("{:<38} {:>14}", "ingested == rebuilt (probe)", identical);
 
     let json = format!(
-        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}{}{}{}{}\n}}\n",
+        "{{\n  \"scenario\": {{\"city\": \"GeneratorConfig::small\", \"scale\": \"{}\", \"taxis\": {}, \"base_days\": {}, \"extra_days\": {}, \"read_latency_us\": 0}},\n  \"ingested_points\": {},\n  \"wal_records\": {},\n  \"wal_ingest_points_per_s\": {:.0},\n  \"volatile_ingest_points_per_s\": {:.0},\n  \"group_commit_writers\": {},\n  \"group_commit_1_writer_points_per_s\": {:.0},\n  \"group_commit_points_per_s\": {:.0},\n  \"concurrent_ingest_points_per_s\": {:.0},\n  \"concurrent_query_median_ms\": {:.4},\n  \"concurrent_auto_checkpoints\": {},\n  \"concurrent_compactions\": {},\n  \"delta_lists\": {},\n  \"delta_bytes\": {},\n  \"base_build_save_s\": {:.4},\n  \"incremental_save_s\": {:.4},\n  \"full_save_s\": {:.4},\n  \"compaction_s\": {:.4},\n  \"squery_before_ms\": {:.4},\n  \"squery_base_plus_delta_ms\": {:.4},\n  \"squery_compacted_ms\": {:.4},\n  \"ingested_matches_rebuilt\": {}{}{}{}{}{}\n}}\n",
         scale.label,
         scale.taxis,
         scale.base_days,
@@ -1278,7 +1488,8 @@ fn main() {
         cold_json,
         sharded_json,
         serving_json,
-        subscriptions_json
+        subscriptions_json,
+        replication_json
     );
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
     eprintln!("[ingest] wrote BENCH_ingest.json");

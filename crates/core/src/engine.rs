@@ -150,6 +150,13 @@ impl ReachabilityEngine {
         (state.wal_generation, state.wal_applied)
     }
 
+    /// The engine's attached WAL handle, if any — the fencing hook: a
+    /// promotion fences the deposed leader through this handle so no write
+    /// can be acked after the replica takes over.
+    pub(crate) fn wal_handle(&self) -> Option<Arc<streach_storage::Wal>> {
+        self.ingest_state().wal.clone()
+    }
+
     /// Locks the ingest state (poisoning is translated to "keep going with
     /// the inner data", matching the parking_lot behaviour used elsewhere).
     fn ingest_state(&self) -> std::sync::MutexGuard<'_, IngestState> {

@@ -147,7 +147,10 @@ pub use maintenance::{
 };
 pub use query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
 pub use region::ReachableRegion;
-pub use replicate::{ReplicaSet, ReplicaStatus};
+pub use replicate::{
+    ReplicaSet, ReplicaStatus, ReplicationConfig, ReplicationController, ReplicationEvent,
+    ReplicationStats,
+};
 pub use serve::{QueryServer, ServeConfig, ServerStats, Ticket};
 pub use sharded::{ReadPreference, ShardedEngine};
 pub use snapshot::StoreRole;
@@ -170,7 +173,10 @@ pub mod prelude {
     pub use crate::maintenance::{MaintenanceConfig, MaintenanceController};
     pub use crate::query::{Algorithm, MQuery, QueryError, QueryOutcome, SQuery};
     pub use crate::region::ReachableRegion;
-    pub use crate::replicate::{ReplicaSet, ReplicaStatus};
+    pub use crate::replicate::{
+        ReplicaSet, ReplicaStatus, ReplicationConfig, ReplicationController, ReplicationEvent,
+        ReplicationStats,
+    };
     pub use crate::serve::{QueryServer, ServeConfig, ServerStats};
     pub use crate::sharded::{ReadPreference, ShardedEngine};
     pub use crate::stats::QueryStats;

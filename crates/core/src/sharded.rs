@@ -314,6 +314,31 @@ impl ShardedEngine {
             .push(ServingEntry::new(engine));
     }
 
+    /// Replaces a shard's leader — the engine owner-routed ingest lands on
+    /// and the first read candidate under leader preference — with
+    /// `engine`, typically a replica just promoted through
+    /// [`ReplicaSet::promote`](crate::replicate::ReplicaSet::promote). The
+    /// deposed leader's entry is dropped from serving entirely (a fenced
+    /// leader cannot even serve stale reads safely once writes resume
+    /// elsewhere); replicas registered with
+    /// [`ShardedEngine::add_replica`] stay in place.
+    ///
+    /// # Panics
+    /// Panics when `shard_id` is out of range or the engine's shard
+    /// ownership disagrees with the router's map.
+    pub fn install_leader(&mut self, shard_id: u16, engine: Arc<ReachabilityEngine>) {
+        let (owned_map, owned_id) = engine
+            .shard_ownership()
+            .expect("a leader must carry shard ownership");
+        assert_eq!(owned_id, shard_id, "engine owns shard {owned_id}");
+        assert_eq!(
+            owned_map.as_ref(),
+            self.map.as_ref(),
+            "engine was partitioned with a different shard map"
+        );
+        self.shards[shard_id as usize].entries[0] = ServingEntry::new(engine);
+    }
+
     /// Sets which engine of each shard answers posting reads first.
     pub fn set_read_preference(&mut self, preference: ReadPreference) {
         self.preference = preference;

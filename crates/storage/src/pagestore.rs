@@ -36,6 +36,19 @@ pub enum StorageError {
         /// Version this build reads and writes.
         expected: u32,
     },
+    /// A write was rejected because the log's fence epoch is stale: a
+    /// replica has been promoted at a higher epoch, so this handle belongs
+    /// to a **deposed leader**. The write was refused *before* any byte
+    /// landed — nothing to ack, nothing to replay — which is what keeps a
+    /// partitioned-but-alive old leader from silently diverging from the
+    /// promoted fleet. Not transient: no retry makes a deposed leader
+    /// current again.
+    Fenced {
+        /// Fence epoch stamped in this log's header.
+        epoch: u64,
+        /// Minimum epoch the fence admits (the promoted leader's).
+        required: u64,
+    },
     /// A physical page read failed. The buffer pool annotates every failed
     /// fetch with the page id, the backend it was reading from and the
     /// number of attempts it made (transient faults are retried with a
@@ -122,6 +135,13 @@ impl std::fmt::Display for StorageError {
                 write!(
                     f,
                     "unsupported format version {found} (expected {expected})"
+                )
+            }
+            StorageError::Fenced { epoch, required } => {
+                write!(
+                    f,
+                    "WAL fenced: epoch {epoch} is stale (a leader at epoch \
+                     {required} has been promoted); this leader is deposed"
                 )
             }
             StorageError::PageRead {

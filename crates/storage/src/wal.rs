@@ -12,6 +12,7 @@
 //! [magic "STRWAL\0\0" : 8 bytes]
 //! [format version     : u32 LE]
 //! [generation         : u64 LE]
+//! [fence epoch        : u64 LE]   -- v2; a v1 log reads as epoch 0
 //! per record:
 //!     [payload length : u32 LE]
 //!     [CRC-32         : u32 LE]   -- over the length bytes + payload
@@ -40,6 +41,18 @@
 //! folded in?" check and the rotation happen under one lock, so an append
 //! that slips in between can never be silently discarded.
 //!
+//! # Fencing
+//!
+//! The **fence epoch** guards failover: every log carries the epoch it was
+//! written under, and promoting a replica bumps the epoch and persists it
+//! with the promoted log ([`FollowerLog::set_epoch`]). Fencing the deposed
+//! leader's handle ([`Wal::fence`]) raises its admitted minimum: any later
+//! [`Wal::append`] or [`Wal::sync`] on the stale-epoch handle fails with a
+//! typed [`StorageError::Fenced`] *before* a byte lands or an ack is
+//! possible — a partitioned-but-alive old leader rejects writes loudly
+//! instead of silently diverging from the promoted fleet. Rotation
+//! preserves the epoch; only promotion moves it.
+//!
 //! # Group commit
 //!
 //! [`Wal::sync`] implements **group commit**: one caller becomes the fsync
@@ -65,6 +78,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -75,20 +89,68 @@ use crate::snapshot::Crc32;
 /// Magic bytes opening every write-ahead log.
 pub const WAL_MAGIC: [u8; 8] = *b"STRWAL\0\0";
 
-/// WAL format version written (and required) by this build.
-pub const WAL_VERSION: u32 = 1;
+/// WAL format version written by this build (v1 logs still open: they
+/// predate the fence epoch and read as epoch 0).
+pub const WAL_VERSION: u32 = 2;
 
-/// Header length in bytes: magic + version + generation.
-const HEADER_LEN: u64 = 8 + 4 + 8;
+/// Header length in bytes: magic + version + generation + fence epoch.
+const HEADER_LEN: u64 = 8 + 4 + 8 + 8;
+
+/// Header length of a v1 log (no fence epoch).
+const HEADER_LEN_V1: u64 = 8 + 4 + 8;
 
 /// Frame header length in bytes: payload length + CRC-32.
 const FRAME_HEADER_LEN: usize = 8;
+
+/// Header length for a given format version.
+fn header_len(version: u32) -> u64 {
+    if version >= 2 {
+        HEADER_LEN
+    } else {
+        HEADER_LEN_V1
+    }
+}
+
+/// Parsed log header: `(version, generation, epoch, header length)`.
+/// Returns `Ok(None)` when `bytes` is shorter than the version's header
+/// (still being written); typed errors on bad magic or a future version.
+fn parse_header(bytes: &[u8], path: &Path) -> StorageResult<Option<(u32, u64, u64, u64)>> {
+    if bytes.len() < HEADER_LEN_V1 as usize {
+        return Ok(None);
+    }
+    if bytes[..8] != WAL_MAGIC {
+        return Err(StorageError::corrupt(format!(
+            "WAL {} has bad magic",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version == 0 || version > WAL_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            found: version,
+            expected: WAL_VERSION,
+        });
+    }
+    let len = header_len(version);
+    if bytes.len() < len as usize {
+        return Ok(None);
+    }
+    let generation = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let epoch = if version >= 2 {
+        u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"))
+    } else {
+        0
+    };
+    Ok(Some((version, generation, epoch, len)))
+}
 
 /// What [`Wal::open`] found (and fixed) in an existing log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalRecovery {
     /// Generation of the opened log.
     pub generation: u64,
+    /// Fence epoch of the opened log (0 for a v1-era log).
+    pub epoch: u64,
     /// Number of intact records recovered.
     pub records: u64,
     /// Bytes of torn tail discarded (0 for a cleanly closed log).
@@ -98,6 +160,9 @@ pub struct WalRecovery {
 struct WalState {
     file: File,
     generation: u64,
+    /// Byte length of the on-disk header (a v1-era log keeps its 20-byte
+    /// header until the first rotation rewrites it as v2).
+    header_len: u64,
     /// Number of valid records (the ordinal of the next append).
     records: u64,
     /// Byte offset of the end of the last valid record.
@@ -137,6 +202,14 @@ struct SyncState {
 pub struct Wal {
     path: PathBuf,
     controller: Option<FaultController>,
+    /// Fence epoch stamped in this log's header — fixed for the handle's
+    /// lifetime (rotation preserves it; only a promotion, which writes a
+    /// new log, moves it).
+    epoch: u64,
+    /// Minimum epoch the fence admits. Raised by [`Wal::fence`] when a
+    /// replica is promoted past this handle; once `epoch < fence`, every
+    /// append and sync fails typed before acking anything.
+    fence: AtomicU64,
     state: Mutex<WalState>,
     sync_state: std::sync::Mutex<SyncState>,
     sync_cv: std::sync::Condvar,
@@ -154,12 +227,13 @@ fn frame_crc(payload: &[u8]) -> u32 {
 }
 
 /// Writes (and fsyncs) the log header — the single definition of its
-/// layout, shared by creation and rotation.
-fn write_header(file: &mut File, generation: u64) -> StorageResult<()> {
+/// layout, shared by creation, rotation and epoch persistence.
+fn write_header(file: &mut File, generation: u64, epoch: u64) -> StorageResult<()> {
     let mut header = Vec::with_capacity(HEADER_LEN as usize);
     header.extend_from_slice(&WAL_MAGIC);
     header.extend_from_slice(&WAL_VERSION.to_le_bytes());
     header.extend_from_slice(&generation.to_le_bytes());
+    header.extend_from_slice(&epoch.to_le_bytes());
     file.write_all(&header)?;
     file.sync_all()?;
     Ok(())
@@ -186,9 +260,10 @@ impl Wal {
         controller: Option<FaultController>,
     ) -> StorageResult<(Self, Vec<Vec<u8>>, WalRecovery)> {
         if !path.exists() {
-            let wal = Self::create_at(path, 1, controller)?;
+            let wal = Self::create_at(path, 1, 0, controller)?;
             let recovery = WalRecovery {
                 generation: 1,
+                epoch: 0,
                 records: 0,
                 truncated_bytes: 0,
             };
@@ -198,31 +273,14 @@ impl Wal {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        if bytes.len() < HEADER_LEN as usize {
-            return Err(StorageError::corrupt(format!(
-                "WAL {} shorter than its header",
-                path.display()
-            )));
-        }
-        if bytes[..8] != WAL_MAGIC {
-            return Err(StorageError::corrupt(format!(
-                "WAL {} has bad magic",
-                path.display()
-            )));
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != WAL_VERSION {
-            return Err(StorageError::UnsupportedVersion {
-                found: version,
-                expected: WAL_VERSION,
-            });
-        }
-        let generation = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let (_, generation, epoch, hdr_len) = parse_header(&bytes, path)?.ok_or_else(|| {
+            StorageError::corrupt(format!("WAL {} shorter than its header", path.display()))
+        })?;
 
         // Scan frames; the first short or checksum-failing frame marks the
         // torn tail. Everything before it is the consistent prefix.
         let mut records: Vec<Vec<u8>> = Vec::new();
-        let mut offset = HEADER_LEN as usize;
+        let mut offset = hdr_len as usize;
         loop {
             let remaining = bytes.len() - offset;
             if remaining < FRAME_HEADER_LEN {
@@ -252,15 +310,19 @@ impl Wal {
 
         let recovery = WalRecovery {
             generation,
+            epoch,
             records: records.len() as u64,
             truncated_bytes,
         };
         let wal = Self {
             path: path.to_path_buf(),
             controller,
+            epoch,
+            fence: AtomicU64::new(0),
             state: Mutex::new(WalState {
                 file,
                 generation,
+                header_len: hdr_len,
                 records: records.len() as u64,
                 tail,
                 poisoned: false,
@@ -270,7 +332,7 @@ impl Wal {
             // call after open pays one real fsync to cover them.
             sync_state: std::sync::Mutex::new(SyncState {
                 generation,
-                synced_tail: HEADER_LEN,
+                synced_tail: hdr_len,
                 in_flight: false,
                 failures: 0,
                 failed_generation: 0,
@@ -285,6 +347,7 @@ impl Wal {
     fn create_at(
         path: &Path,
         generation: u64,
+        epoch: u64,
         controller: Option<FaultController>,
     ) -> StorageResult<Self> {
         if let Some(parent) = path.parent() {
@@ -298,13 +361,16 @@ impl Wal {
             .create(true)
             .truncate(true)
             .open(path)?;
-        write_header(&mut file, generation)?;
+        write_header(&mut file, generation, epoch)?;
         Ok(Self {
             path: path.to_path_buf(),
             controller,
+            epoch,
+            fence: AtomicU64::new(0),
             state: Mutex::new(WalState {
                 file,
                 generation,
+                header_len: HEADER_LEN,
                 records: 0,
                 tail: HEADER_LEN,
                 poisoned: false,
@@ -332,6 +398,32 @@ impl Wal {
         self.state.lock().generation
     }
 
+    /// The fence epoch stamped in this log's header.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fences this handle against epochs below `min_epoch`: once the
+    /// handle's own epoch falls below the fence, every [`Wal::append`] and
+    /// [`Wal::sync`] fails with [`StorageError::Fenced`] before anything is
+    /// written or acked. Called on a deposed leader's WAL when a replica is
+    /// promoted past it; the fence only ratchets forward.
+    pub fn fence(&self, min_epoch: u64) {
+        self.fence.fetch_max(min_epoch, Ordering::SeqCst);
+    }
+
+    /// Typed rejection when this handle's epoch fell behind the fence.
+    fn check_fence(&self) -> StorageResult<()> {
+        let required = self.fence.load(Ordering::SeqCst);
+        if self.epoch < required {
+            return Err(StorageError::Fenced {
+                epoch: self.epoch,
+                required,
+            });
+        }
+        Ok(())
+    }
+
     /// Number of durable records in the log.
     pub fn records(&self) -> u64 {
         self.state.lock().records
@@ -348,6 +440,7 @@ impl Wal {
     /// injected torn append (a simulated crash), which leaves the torn tail
     /// in place and poisons the handle.
     pub fn append(&self, payload: &[u8]) -> StorageResult<u64> {
+        self.check_fence()?;
         let mut state = self.state.lock();
         if state.poisoned {
             return Err(StorageError::corrupt(format!(
@@ -424,6 +517,9 @@ impl Wal {
     /// *after* the failed attempt's snapshot was never fsynced at all; it
     /// contends for a fresh fsync instead of inheriting the error.
     pub fn sync(&self) -> StorageResult<()> {
+        // A deposed leader must not ack: the fence is checked before this
+        // call can report any record durable.
+        self.check_fence()?;
         // Everything appended before this call — in particular the
         // caller's own record — ends at or before this tail.
         let (generation, target) = {
@@ -539,6 +635,7 @@ impl Wal {
     }
 
     fn rotate_locked(&self, state: &mut WalState) -> StorageResult<u64> {
+        self.check_fence()?;
         let next_gen = state.generation + 1;
         let tmp = self.path.with_extension("wal.tmp");
         {
@@ -548,7 +645,7 @@ impl Wal {
                 .create(true)
                 .truncate(true)
                 .open(&tmp)?;
-            write_header(&mut file, next_gen)?;
+            write_header(&mut file, next_gen, self.epoch)?;
         }
         std::fs::rename(&tmp, &self.path)?;
         // From here the on-disk log IS the new generation: if re-acquiring
@@ -564,6 +661,7 @@ impl Wal {
             Ok(file) => {
                 state.file = file;
                 state.generation = next_gen;
+                state.header_len = HEADER_LEN;
                 state.records = 0;
                 state.tail = HEADER_LEN;
                 state.poisoned = false;
@@ -588,6 +686,10 @@ impl Wal {
 pub struct ShippedBatch {
     /// Generation of the log the records belong to.
     pub generation: u64,
+    /// Fence epoch of the log the records were read from — a follower
+    /// rejects batches from an epoch below its own (a deposed leader still
+    /// shipping) and adopts a higher one (the fleet was promoted).
+    pub epoch: u64,
     /// Ordinal of the first record in `payloads` within that generation.
     pub start_record: u64,
     /// The decoded record payloads, in ordinal order (CRC-verified).
@@ -648,29 +750,15 @@ impl WalTail {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
         };
-        if bytes.len() < HEADER_LEN as usize {
+        let Some((_, generation, epoch, hdr_len)) = parse_header(&bytes, &self.path)? else {
             return Ok(None); // header still being written
-        }
-        if bytes[..8] != WAL_MAGIC {
-            return Err(StorageError::corrupt(format!(
-                "shipped WAL {} has bad magic",
-                self.path.display()
-            )));
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != WAL_VERSION {
-            return Err(StorageError::UnsupportedVersion {
-                found: version,
-                expected: WAL_VERSION,
-            });
-        }
-        let generation = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        };
         if generation != self.generation {
             // The leader rotated (or this is the first poll): everything in
             // the file belongs to the new generation, starting at record 0.
             self.generation = generation;
             self.records = 0;
-            self.offset = HEADER_LEN;
+            self.offset = hdr_len;
         }
 
         let mut payloads: Vec<Vec<u8>> = Vec::new();
@@ -708,6 +796,7 @@ impl WalTail {
         }
         let batch = ShippedBatch {
             generation: self.generation,
+            epoch,
             start_record: self.records,
             frames: bytes[start_offset..offset].to_vec(),
             payloads,
@@ -729,12 +818,18 @@ pub struct FollowerLog {
     path: PathBuf,
     file: File,
     generation: u64,
+    epoch: u64,
     records: u64,
+    /// Byte offset of the end of the last intact frame — appends rewind to
+    /// it on failure so a faulted write never leaves a torn suffix that a
+    /// later append would bury.
+    tail: u64,
 }
 
 impl FollowerLog {
     /// Creates (truncating any previous content) a follower log at `path`
-    /// for `generation`.
+    /// for `generation`, at epoch 0. The log adopts the leader's fence
+    /// epoch from the first shipped batch ([`FollowerLog::append_shipped`]).
     pub fn create<P: AsRef<Path>>(path: P, generation: u64) -> StorageResult<Self> {
         let path = path.as_ref();
         if let Some(parent) = path.parent() {
@@ -748,12 +843,14 @@ impl FollowerLog {
             .create(true)
             .truncate(true)
             .open(path)?;
-        write_header(&mut file, generation)?;
+        write_header(&mut file, generation, 0)?;
         Ok(Self {
             path: path.to_path_buf(),
             file,
             generation,
+            epoch: 0,
             records: 0,
+            tail: HEADER_LEN,
         })
     }
 
@@ -767,15 +864,51 @@ impl FollowerLog {
         self.generation
     }
 
+    /// The fence epoch persisted in the log's header.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Number of shipped records appended so far.
     pub fn records(&self) -> u64 {
         self.records
     }
 
+    /// Persists a raised fence epoch into the log's header in place (the
+    /// v2 header has a fixed length, so the frames after it are untouched).
+    /// This is the promotion step that makes the bumped epoch durable:
+    /// attaching the log afterwards yields a WAL whose stamped epoch
+    /// outranks every pre-promotion leader. Lowering the epoch is refused —
+    /// fences only ratchet forward.
+    pub fn set_epoch(&mut self, epoch: u64) -> StorageResult<()> {
+        if epoch < self.epoch {
+            return Err(StorageError::Fenced {
+                epoch,
+                required: self.epoch,
+            });
+        }
+        if epoch == self.epoch {
+            return Ok(());
+        }
+        self.file.seek(SeekFrom::Start(0))?;
+        write_header(&mut self.file, self.generation, epoch)?;
+        self.epoch = epoch;
+        Ok(())
+    }
+
     /// Appends a shipped batch's raw frames verbatim and fsyncs. Rejects a
     /// batch from another generation or out of sequence — the caller must
-    /// [`FollowerLog::reset`] on a generation change.
+    /// [`FollowerLog::reset`] on a generation change — and, **typed**, a
+    /// batch from a fence epoch below the log's own: that is a deposed
+    /// leader still shipping after a promotion. A batch from a higher epoch
+    /// adopts it (persisted before the frames land).
     pub fn append_shipped(&mut self, batch: &ShippedBatch) -> StorageResult<()> {
+        if batch.epoch < self.epoch {
+            return Err(StorageError::Fenced {
+                epoch: batch.epoch,
+                required: self.epoch,
+            });
+        }
         if batch.generation != self.generation {
             return Err(StorageError::corrupt(format!(
                 "shipped batch of generation {} cannot extend follower log of \
@@ -789,22 +922,42 @@ impl FollowerLog {
                 batch.start_record, self.records
             )));
         }
-        self.file.seek(SeekFrom::End(0))?;
-        self.file.write_all(&batch.frames)?;
-        self.file.sync_all()?;
-        self.records += batch.payloads.len() as u64;
-        Ok(())
+        if batch.epoch > self.epoch {
+            self.set_epoch(batch.epoch)?;
+        }
+        let tail = self.tail;
+        let write = (|| -> StorageResult<()> {
+            self.file.seek(SeekFrom::Start(tail))?;
+            self.file.write_all(&batch.frames)?;
+            self.file.sync_all()?;
+            Ok(())
+        })();
+        match write {
+            Ok(()) => {
+                self.tail += batch.frames.len() as u64;
+                self.records += batch.payloads.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Rewind the possibly partial frames; a torn suffix left in
+                // place would corrupt every later append.
+                let _ = self.file.set_len(tail);
+                Err(e)
+            }
+        }
     }
 
     /// Discards the mirrored content and starts over at `generation` — the
     /// follower's reaction to a leader rotation (the records of the old
-    /// generation are covered by the leader's checkpoint).
+    /// generation are covered by the leader's checkpoint). The fence epoch
+    /// is preserved: rotation never lowers a fence.
     pub fn reset(&mut self, generation: u64) -> StorageResult<()> {
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
-        write_header(&mut self.file, generation)?;
+        write_header(&mut self.file, generation, self.epoch)?;
         self.generation = generation;
         self.records = 0;
+        self.tail = HEADER_LEN;
         Ok(())
     }
 }
@@ -934,6 +1087,130 @@ mod tests {
             Err(StorageError::UnsupportedVersion { found: 99, .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A v1-era log (20-byte header, no fence epoch) still opens: its
+    /// records replay, it reads as epoch 0, appends extend it in place, and
+    /// the first rotation rewrites it as v2.
+    #[test]
+    fn v1_logs_open_as_epoch_zero_and_upgrade_on_rotation() {
+        let path = tmp("v1-compat.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        let payload = b"v1-era-record";
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&frame_crc(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (wal, records, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(records, vec![payload.to_vec()]);
+        assert_eq!(recovery.generation, 7);
+        assert_eq!(recovery.epoch, 0);
+        assert_eq!(wal.epoch(), 0);
+        assert_eq!(wal.append(b"appended-after-upgrade").unwrap(), 1);
+        wal.sync().unwrap();
+
+        // A tail latches onto the v1 layout too.
+        let mut tail = WalTail::new(&path);
+        let batch = tail.poll().unwrap().expect("records past v1 header");
+        assert_eq!(batch.epoch, 0);
+        assert_eq!(batch.payloads.len(), 2);
+
+        // Rotation rewrites the header as v2 (same epoch).
+        assert_eq!(wal.rotate().unwrap(), 8);
+        drop(wal);
+        let (wal, _, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(recovery.generation, 8);
+        assert_eq!(recovery.epoch, 0);
+        assert_eq!(wal.generation(), 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Fencing: raising the fence past the handle's epoch fails append,
+    /// sync and rotation with the typed error — before anything is written
+    /// or acked — and the error is not transient.
+    #[test]
+    fn fenced_wal_rejects_append_sync_and_rotate_typed() {
+        let path = tmp("fence.wal");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(b"pre-fence").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.epoch(), 0);
+
+        wal.fence(1);
+        let err = wal.append(b"post-fence").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::Fenced {
+                    epoch: 0,
+                    required: 1
+                }
+            ),
+            "{err}"
+        );
+        assert!(!err.is_transient(), "a fence never heals by retrying");
+        assert!(matches!(wal.sync(), Err(StorageError::Fenced { .. })));
+        assert!(matches!(wal.rotate(), Err(StorageError::Fenced { .. })));
+        // Fences only ratchet forward: a lower fence does not unfence.
+        wal.fence(0);
+        assert!(matches!(
+            wal.append(b"still-fenced"),
+            Err(StorageError::Fenced { .. })
+        ));
+        drop(wal);
+        // Nothing past the pre-fence record ever landed.
+        let (_, records, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(records, vec![b"pre-fence".to_vec()]);
+        assert_eq!(recovery.truncated_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A follower log adopts a higher shipped epoch (persisted in its
+    /// header), refuses a lower one typed, and `set_epoch` + reopen yields
+    /// a WAL stamped with the promoted epoch — with its frames intact.
+    #[test]
+    fn follower_log_adopts_and_enforces_epochs() {
+        let leader_path = tmp("epoch-leader.wal");
+        let follower_path = tmp("epoch-follower.wal");
+        let _ = std::fs::remove_file(&leader_path);
+        let _ = std::fs::remove_file(&follower_path);
+        let (wal, _, _) = Wal::open(&leader_path).unwrap();
+        wal.append(b"record-zero").unwrap();
+        wal.sync().unwrap();
+        let mut tail = WalTail::new(&leader_path);
+        let batch = tail.poll().unwrap().expect("one record");
+
+        let mut log = FollowerLog::create(&follower_path, 1).unwrap();
+        // Shipped batches carry the leader's epoch; the fresh log adopts it.
+        let mut promoted = batch.clone();
+        promoted.epoch = 3;
+        log.append_shipped(&promoted).unwrap();
+        assert_eq!(log.epoch(), 3);
+        // A batch from a lower epoch is a deposed leader: typed rejection.
+        let stale = batch.clone();
+        assert!(matches!(
+            log.append_shipped(&stale),
+            Err(StorageError::Fenced {
+                epoch: 0,
+                required: 3
+            })
+        ));
+        // Promotion bumps further and persists; reset keeps the epoch.
+        log.set_epoch(4).unwrap();
+        assert!(matches!(log.set_epoch(3), Err(StorageError::Fenced { .. })));
+        drop(log);
+        let (wal, records, recovery) = Wal::open(&follower_path).unwrap();
+        assert_eq!(recovery.epoch, 4);
+        assert_eq!(wal.epoch(), 4);
+        assert_eq!(records, vec![b"record-zero".to_vec()]);
+        std::fs::remove_file(&leader_path).ok();
+        std::fs::remove_file(&follower_path).ok();
     }
 
     #[test]

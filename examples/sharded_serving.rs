@@ -1,7 +1,8 @@
 //! Sharded serving: partition the road network into spatial shards, serve
 //! queries through a scatter-gather router, ship the leaders' WALs to read
-//! replicas, and fail a shard over to its replica — with every answer
-//! bit-identical to a single unsharded engine.
+//! replicas in the background with a lag SLO, and fail a shard over to its
+//! replica with a fenced promotion — the deposed leader's next write fails
+//! typed — with every answer bit-identical to a single unsharded engine.
 //!
 //! Run with:
 //! ```text
@@ -94,10 +95,10 @@ fn main() {
             ReachabilityEngine::open_snapshot_standalone(&replica_home)
                 .expect("bootstrap replica from snapshot"),
         );
-        let mut set = ReplicaSet::new(
+        let set = Arc::new(ReplicaSet::new(
             leaders[shard_id].clone(),
             homes[shard_id].join("ingest.wal"),
-        );
+        ));
         set.add_replica(replica, replica_home.join("follower.wal"))
             .expect("register replica");
         sets.push(set);
@@ -106,7 +107,7 @@ fn main() {
     // --- The router: scatter-gather over leaders + replicas ---------------
     let mut router = ShardedEngine::new(map.clone(), leaders.clone());
     for (shard_id, set) in sets.iter().enumerate() {
-        router.add_replica(shard_id as u16, set.replica(0).clone());
+        router.add_replica(shard_id as u16, set.replica(0));
     }
 
     let query = SQuery {
@@ -138,7 +139,22 @@ fn main() {
         spanned.len()
     );
 
-    // --- Live ingest at the leaders, shipped to the replicas --------------
+    // --- Live ingest, shipped to the replicas in the background -----------
+    // One ReplicationController per replica set owns ship() on a cadence
+    // and watches per-replica lag against the configured SLO; run_now() is
+    // the deterministic barrier this example uses instead of sleeping.
+    let controllers: Vec<ReplicationController> = sets
+        .iter()
+        .map(|set| {
+            ReplicationController::spawn(
+                set.clone(),
+                ReplicationConfig {
+                    lag_slo_records: 256,
+                    ..ReplicationConfig::default()
+                },
+            )
+        })
+        .collect();
     let live: Vec<Vec<TrajPoint>> = full
         .trajectories()
         .iter()
@@ -150,12 +166,14 @@ fn main() {
         router.ingest(batch).expect("sharded ingest");
     }
     let mut shipped = 0;
-    for set in &mut sets {
-        shipped += set.ship().expect("ship WAL records");
+    for (set, ctl) in sets.iter().zip(&controllers) {
+        ctl.run_now();
+        shipped += ctl.stats().records_shipped;
         assert!(set.converged(), "replica must converge after shipping");
+        assert_eq!(ctl.lag(), vec![0], "lag observable through the controller");
     }
     println!(
-        "ingested day {base_days} at every leader, shipped {shipped} WAL records; all replicas converged (lag 0)"
+        "ingested day {base_days} at every leader; background shipping moved {shipped} WAL records; all replicas converged (lag 0)"
     );
 
     // Replica-first reads: query I/O moves off the ingest path, answers
@@ -173,27 +191,44 @@ fn main() {
     );
 
     // --- Checkpoint with ship-before-rotate -------------------------------
-    for (shard_id, set) in sets.iter_mut().enumerate() {
+    for (shard_id, set) in sets.iter().enumerate() {
         set.checkpoint_leader(&homes[shard_id])
             .expect("checkpoint leader");
     }
     println!("checkpointed every leader (tail shipped before the WAL rotated)");
 
-    // --- Failover: promote shard 0's replica to leader ---------------------
-    let set0 = sets.remove(0);
-    let (promoted, attach) = set0.promote(0).expect("promote replica");
+    // --- Failover: promote shard 0's replica — fenced ----------------------
+    // The promotion bumps the fence epoch, persists it with the promoted
+    // engine, and fences the deposed leader's WAL *before* the new leader
+    // accepts a write: even a partitioned-but-alive old leader can no
+    // longer ack anything.
+    let (promoted, attach) = sets[0].promote(0).expect("promote replica");
     println!(
         "shard 0 leader lost: promoted its replica (replayed {} shipped records)",
         attach.records_replayed
     );
-    let failed_over = ShardedEngine::new(
-        map.clone(),
-        std::iter::once(promoted)
-            .chain(leaders.iter().skip(1).cloned())
-            .collect(),
+    router.install_leader(0, promoted.clone());
+    router
+        .ingest(&live[0])
+        .expect("fleet accepts writes through the promoted leader");
+    let fenced = leaders[0]
+        .ingest(&live[0])
+        .expect_err("deposed leader must be fenced");
+    println!("deposed leader's next ingest failed typed: {fenced}");
+    single.ingest(&live[0]).expect("reference ingest");
+    // The retired set's controller observes the fence and parks.
+    controllers[0].run_now();
+    let events = controllers[0].take_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ReplicationEvent::Fenced { .. })),
+        "controller surfaces the fence as a typed event: {events:?}"
     );
+
+    router.set_read_preference(ReadPreference::Leader);
     let want = single.s_query(&query, Algorithm::SqmbTbs);
-    let got = failed_over
+    let got = router
         .try_s_query(&query, Algorithm::SqmbTbs)
         .expect("query after failover");
     assert_eq!(want.region.segments, got.region.segments);
@@ -203,6 +238,7 @@ fn main() {
         got.region.total_length_km
     );
 
+    drop(controllers);
     std::fs::remove_dir_all(&root).ok();
 }
 

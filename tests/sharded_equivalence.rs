@@ -37,13 +37,29 @@
 //! the leader with unchanged answers, and when the leader's disk dies too
 //! the query surfaces a typed [`QueryError::Storage`] — never a partial
 //! region.
+//!
+//! Three further campaigns cover the replication tier:
+//!
+//! * **Split-brain** — after a fenced `ReplicaSet::promote`, the deposed
+//!   leader's next ingest fails with the typed `StorageError::Fenced`
+//!   error and applies nothing; the promoted fleet (promoted leader
+//!   installed into the router) keeps answering bit-identically to the
+//!   reference across all four pipelines.
+//! * **Background shipping race** — a `ReplicationController` ships on its
+//!   own thread while query threads sweep the replica and the caller
+//!   ingests slot-disjoint data at the leader; every record is shipped
+//!   exactly once.
+//! * **Apply-fault SLO** — scripted delta-store write EIOs on the replica
+//!   make apply fail: lag grows past the configured SLO (typed breach
+//!   event), and after the disk heals shipping re-converges with zero
+//!   re-replayed records.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use streach::prelude::*;
-use streach::storage::{FaultController, FaultInjectingPageStore};
+use streach::storage::{FaultController, FaultInjectingPageStore, StorageError};
 use streach_core::query::MQueryAlgorithm;
 use streach_core::sharded::PROBATION_READS;
 use streach_core::StoreRole;
@@ -325,29 +341,29 @@ fn race_queries<E: Queryable + Sync, F: FnMut()>(
     });
 }
 
-/// The tentpole campaign (see the module docs).
-#[test]
-fn sharded_replicated_serving_stays_bit_identical() {
-    let seed = fault_seed();
-    let root = tmp_dir("harness");
-    let (network, base, round_batches) = scenario();
-    let map = Arc::new(ShardMap::partition(&network, NUM_SHARDS));
-
-    // The quiesced single-engine reference: full index, volatile ingest.
-    let reference = EngineBuilder::new(network.clone(), &base)
-        .index_config(config())
-        .build();
-
-    // Per shard: a WAL-backed leader plus one replica bootstrapped from the
-    // leader's self-contained snapshot alone (no shared network object, no
-    // dataset — exactly the artifacts shipping would move between hosts).
+/// Per shard: a WAL-backed leader plus one replica bootstrapped from the
+/// leader's self-contained snapshot alone (no shared network object, no
+/// dataset — exactly the artifacts shipping would move between hosts).
+/// Returns the shard home directories, the leaders, and the replica sets.
+#[allow(clippy::type_complexity)]
+fn build_fleet(
+    root: &Path,
+    seed: u64,
+    network: &Arc<RoadNetwork>,
+    base: &TrajectoryDataset,
+    map: &Arc<ShardMap>,
+) -> (
+    Vec<PathBuf>,
+    Vec<Arc<ReachabilityEngine>>,
+    Vec<Arc<ReplicaSet>>,
+) {
     let mut homes = Vec::new();
     let mut leaders = Vec::new();
     let mut sets = Vec::new();
-    for shard_id in 0..NUM_SHARDS {
+    for shard_id in 0..map.num_shards() {
         let home = root.join(format!("shard{shard_id}"));
         let leader = Arc::new(
-            EngineBuilder::new(network.clone(), &base)
+            EngineBuilder::new(network.clone(), base)
                 .index_config(config())
                 .shard(map.clone(), shard_id)
                 .build(),
@@ -369,23 +385,22 @@ fn sharded_replicated_serving_stays_bit_identical() {
                 )
             }),
         );
-        let mut set = ReplicaSet::new(leader.clone(), home.join("ingest.wal"));
+        let set = Arc::new(ReplicaSet::new(leader.clone(), home.join("ingest.wal")));
         set.add_replica(replica, replica_home.join("follower.wal"))
             .unwrap_or_else(|e| panic!("[seed {seed}] shard {shard_id}: register replica: {e}"));
         homes.push(home);
         leaders.push(leader);
         sets.push(set);
     }
-    let mut router = ShardedEngine::new(map.clone(), leaders);
-    for (shard_id, set) in sets.iter().enumerate() {
-        router.add_replica(shard_id as u16, set.replica(0).clone());
-    }
+    (homes, leaders, sets)
+}
 
-    // Query locations spread across the network so some reachable annuli
-    // straddle shard boundaries (guard-checked below).
+/// Query locations spread across the network so some reachable annuli
+/// straddle shard boundaries (guard-checked by the tentpole campaign).
+fn spread_locations(network: &RoadNetwork) -> [GeoPoint; 3] {
     let b = network.bounds();
     let center = b.center();
-    let locations = [
+    [
         center,
         GeoPoint::new(
             center.lon + (b.max_lon - b.min_lon) * 0.22,
@@ -395,8 +410,29 @@ fn sharded_replicated_serving_stays_bit_identical() {
             center.lon - (b.max_lon - b.min_lon) * 0.18,
             center.lat - (b.max_lat - b.min_lat) * 0.15,
         ),
-    ];
-    let pool = pool(&locations);
+    ]
+}
+
+/// The tentpole campaign (see the module docs).
+#[test]
+fn sharded_replicated_serving_stays_bit_identical() {
+    let seed = fault_seed();
+    let root = tmp_dir("harness");
+    let (network, base, round_batches) = scenario();
+    let map = Arc::new(ShardMap::partition(&network, NUM_SHARDS));
+
+    // The quiesced single-engine reference: full index, volatile ingest.
+    let reference = EngineBuilder::new(network.clone(), &base)
+        .index_config(config())
+        .build();
+
+    let (homes, leaders, sets) = build_fleet(&root, seed, &network, &base, &map);
+    let mut router = ShardedEngine::new(map.clone(), leaders);
+    for (shard_id, set) in sets.iter().enumerate() {
+        router.add_replica(shard_id as u16, set.replica(0));
+    }
+
+    let pool = pool(&spread_locations(&network));
 
     let rounds = if cfg!(debug_assertions) {
         2.min(round_batches.len())
@@ -415,7 +451,7 @@ fn sharded_replicated_serving_stays_bit_identical() {
         router
             .ingest(batch)
             .unwrap_or_else(|e| panic!("[seed {seed}] round {round}: sharded ingest: {e}"));
-        for (shard_id, set) in sets.iter_mut().enumerate() {
+        for (shard_id, set) in sets.iter().enumerate() {
             set.ship().unwrap_or_else(|e| {
                 panic!("[seed {seed}] round {round}: ship shard {shard_id}: {e}")
             });
@@ -472,7 +508,7 @@ fn sharded_replicated_serving_stays_bit_identical() {
         // Ship-before-rotate: checkpoint every leader mid-campaign; the
         // followers must track the rotated generation and keep answering.
         if round == 0 {
-            for (shard_id, set) in sets.iter_mut().enumerate() {
+            for (shard_id, set) in sets.iter().enumerate() {
                 set.checkpoint_leader(&homes[shard_id]).unwrap_or_else(|e| {
                     panic!("[seed {seed}] round {round}: checkpoint shard {shard_id}: {e}")
                 });
@@ -503,7 +539,7 @@ fn sharded_replicated_serving_stays_bit_identical() {
             disjoint.chunks(disjoint.len().div_ceil(8).max(1)).collect();
         let mut next_piece = 0usize;
         {
-            let sets = &mut sets;
+            let sets = &sets;
             let router = &router;
             race_queries(
                 router,
@@ -520,7 +556,7 @@ fn sharded_replicated_serving_stays_bit_identical() {
                         });
                         next_piece += 1;
                     }
-                    for (shard_id, set) in sets.iter_mut().enumerate() {
+                    for (shard_id, set) in sets.iter().enumerate() {
                         set.ship().unwrap_or_else(|e| {
                             panic!("[seed {seed}] round {round}: racing ship shard {shard_id}: {e}")
                         });
@@ -533,7 +569,7 @@ fn sharded_replicated_serving_stays_bit_identical() {
                 .ingest(piece)
                 .unwrap_or_else(|e| panic!("[seed {seed}] round {round}: drain ingest: {e}"));
         }
-        for (shard_id, set) in sets.iter_mut().enumerate() {
+        for (shard_id, set) in sets.iter().enumerate() {
             set.ship()
                 .unwrap_or_else(|e| panic!("[seed {seed}] round {round}: drain ship: {e}"));
             assert!(
@@ -566,7 +602,7 @@ fn sharded_replicated_serving_stays_bit_identical() {
     let expected = pool_answers(&reference, &pool);
     drop(router);
     let mut recovered = Vec::new();
-    for (shard_id, mut set) in sets.into_iter().enumerate() {
+    for (shard_id, set) in sets.into_iter().enumerate() {
         if shard_id == 0 {
             set.ship()
                 .unwrap_or_else(|e| panic!("[seed {seed}] failover: final ship: {e}"));
@@ -824,6 +860,394 @@ fn replica_dead_disk_fails_over_and_shard_exhaustion_is_typed() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// Split-brain campaign: a partitioned-but-alive deposed leader must
+/// reject writes loudly after a fenced promotion — it can never ack a
+/// record the promoted fleet does not see — and the promoted fleet keeps
+/// answering bit-identically to the single reference engine across all
+/// four pipelines.
+#[test]
+fn split_brain_promotion_fences_the_deposed_leader() {
+    let seed = fault_seed();
+    let root = tmp_dir("split-brain");
+    let (network, base, round_batches) = scenario();
+    let map = Arc::new(ShardMap::partition(&network, NUM_SHARDS));
+    let reference = EngineBuilder::new(network.clone(), &base)
+        .index_config(config())
+        .build();
+    let (_homes, leaders, sets) = build_fleet(&root, seed, &network, &base, &map);
+    let mut router = ShardedEngine::new(map.clone(), leaders.clone());
+    for (shard_id, set) in sets.iter().enumerate() {
+        router.add_replica(shard_id as u16, set.replica(0));
+    }
+    let pool = pool(&spread_locations(&network));
+
+    // A live round lands everywhere, ships, and converges.
+    reference
+        .ingest(&round_batches[0])
+        .unwrap_or_else(|e| panic!("[seed {seed}] reference ingest: {e}"));
+    router
+        .ingest(&round_batches[0])
+        .unwrap_or_else(|e| panic!("[seed {seed}] fleet ingest: {e}"));
+    for (shard_id, set) in sets.iter().enumerate() {
+        set.ship()
+            .unwrap_or_else(|e| panic!("[seed {seed}] ship shard {shard_id}: {e}"));
+        assert!(set.converged(), "[seed {seed}] shard {shard_id} converged");
+    }
+
+    // Shard 0's leader is "partitioned away": its converged replica is
+    // promoted — fenced — and installed as the shard's serving leader.
+    let (promoted, attach) = sets[0]
+        .promote(0)
+        .unwrap_or_else(|e| panic!("[seed {seed}] promote shard 0 replica: {e}"));
+    assert_eq!(
+        attach.records_replayed, 0,
+        "[seed {seed}] a converged follower replays nothing on promotion"
+    );
+    router.install_leader(0, promoted.clone());
+
+    // The deposed leader can never ack again: every retry fails with the
+    // typed fencing error before the record lands, and nothing applies.
+    let deposed = &leaders[0];
+    let position = deposed.wal_position();
+    for attempt in 0..2 {
+        let err = deposed
+            .ingest(&round_batches[1])
+            .expect_err("a deposed leader must not ack a write");
+        assert!(
+            matches!(err, StorageError::Fenced { .. }),
+            "[seed {seed}] attempt {attempt}: expected the typed fencing error, got {err}"
+        );
+        assert_eq!(
+            deposed.wal_position(),
+            position,
+            "[seed {seed}] attempt {attempt}: a fenced ingest must apply nothing"
+        );
+    }
+    // The retired set neither ships from the deposed leader's log nor
+    // mints a second promotion epoch.
+    assert!(
+        matches!(sets[0].ship(), Err(StorageError::Fenced { .. })),
+        "[seed {seed}] a retired set must refuse to ship"
+    );
+    assert!(
+        matches!(sets[0].promote(0), Err(StorageError::Fenced { .. })),
+        "[seed {seed}] a second promotion must be refused"
+    );
+
+    // Life goes on through the promoted leader: the next round lands on
+    // the fleet and the reference, and every pipeline stays bit-identical.
+    reference
+        .ingest(&round_batches[1])
+        .unwrap_or_else(|e| panic!("[seed {seed}] reference round 2: {e}"));
+    router
+        .ingest(&round_batches[1])
+        .unwrap_or_else(|e| panic!("[seed {seed}] fleet round 2 through the promoted leader: {e}"));
+    for (shard_id, set) in sets.iter().enumerate().skip(1) {
+        set.ship()
+            .unwrap_or_else(|e| panic!("[seed {seed}] round 2 ship shard {shard_id}: {e}"));
+    }
+    let expected = pool_answers(&reference, &pool);
+    router.set_read_preference(ReadPreference::Leader);
+    assert_pool_answers(
+        &router,
+        &pool,
+        &expected,
+        seed,
+        "promoted fleet leader reads",
+    );
+    router.set_read_preference(ReadPreference::ReplicaFirst);
+    assert_pool_answers(
+        &router,
+        &pool,
+        &expected,
+        seed,
+        "promoted fleet replica-first reads",
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Background-shipping race: a `ReplicationController` owns `ship()` on
+/// its own thread while query threads sweep the replica and the caller
+/// ingests slot-disjoint batches at the leader. Answers stay bit-identical
+/// throughout, the fleet converges deterministically via `run_now`, and
+/// the exactly-once counter proves no record shipped twice.
+#[test]
+fn background_controller_ships_under_live_ingest() {
+    let seed = fault_seed();
+    let root = tmp_dir("controller-race");
+    let (network, base, round_batches) = scenario();
+    let leader = Arc::new(
+        EngineBuilder::new(network.clone(), &base)
+            .index_config(config())
+            .build(),
+    );
+    let home = root.join("leader");
+    leader
+        .save_snapshot_self_contained(&home)
+        .unwrap_or_else(|e| panic!("[seed {seed}] save leader: {e}"));
+    leader
+        .attach_wal(home.join("ingest.wal"))
+        .unwrap_or_else(|e| panic!("[seed {seed}] attach WAL: {e}"));
+    let replica_home = root.join("replica");
+    copy_dir(&home, &replica_home);
+    let _ = std::fs::remove_file(replica_home.join("ingest.wal"));
+    let replica = Arc::new(
+        ReachabilityEngine::open_snapshot_standalone(&replica_home)
+            .unwrap_or_else(|e| panic!("[seed {seed}] bootstrap replica: {e}")),
+    );
+    let set = Arc::new(ReplicaSet::new(leader.clone(), home.join("ingest.wal")));
+    set.add_replica(replica.clone(), replica_home.join("follower.wal"))
+        .unwrap_or_else(|e| panic!("[seed {seed}] register replica: {e}"));
+    let ctl = ReplicationController::spawn(
+        set.clone(),
+        ReplicationConfig {
+            poll_interval: std::time::Duration::from_millis(2),
+            ..ReplicationConfig::default()
+        },
+    );
+
+    // A live batch lands and ships; the quiesced replica answers fix the
+    // expectation for the race (the raced data is slot-disjoint).
+    leader
+        .ingest(&round_batches[0])
+        .unwrap_or_else(|e| panic!("[seed {seed}] leader ingest: {e}"));
+    ctl.run_now();
+    assert!(
+        set.converged(),
+        "[seed {seed}] replica converged after run_now"
+    );
+    let pool = pool(&spread_locations(&network));
+    let expected = pool_answers(replica.as_ref(), &pool);
+
+    let disjoint = disjoint_batch(&round_batches[0], 0);
+    let pieces: Vec<&[TrajPoint]> = disjoint.chunks(disjoint.len().div_ceil(8).max(1)).collect();
+    let queries_per_thread = if cfg!(debug_assertions) { 4 } else { 8 };
+    let mut next_piece = 0usize;
+    {
+        let leader = &leader;
+        let ctl = &ctl;
+        race_queries(
+            replica.as_ref(),
+            &pool,
+            &expected,
+            seed,
+            777,
+            queries_per_thread,
+            "background shipping race",
+            || {
+                if next_piece < pieces.len() {
+                    leader.ingest(pieces[next_piece]).unwrap_or_else(|e| {
+                        panic!("[seed {seed}] racing ingest piece {next_piece}: {e}")
+                    });
+                    next_piece += 1;
+                    ctl.kick();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            },
+        );
+    }
+    for piece in &pieces[next_piece..] {
+        leader
+            .ingest(piece)
+            .unwrap_or_else(|e| panic!("[seed {seed}] drain ingest: {e}"));
+    }
+    ctl.run_now();
+    assert!(
+        set.converged(),
+        "[seed {seed}] fleet must converge after the final run_now: {:?}",
+        set.status()
+    );
+    assert_eq!(ctl.lag(), vec![0], "[seed {seed}] lag observable as zero");
+    let stats = ctl.stats();
+    assert!(stats.passes >= 1, "[seed {seed}] the worker ran passes");
+    assert_eq!(
+        stats.records_shipped,
+        leader.wal_position().1,
+        "[seed {seed}] every record shipped exactly once: {stats:?}"
+    );
+    // The disjointness guard: the raced data moved no morning answer.
+    assert_pool_answers(
+        replica.as_ref(),
+        &pool,
+        &expected,
+        seed,
+        "post-race replica",
+    );
+    assert_pool_answers(leader.as_ref(), &pool, &expected, seed, "post-race leader");
+    let events = ctl.shutdown();
+    assert!(
+        events.is_empty(),
+        "[seed {seed}] a healthy campaign surfaces no events: {events:?}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Reopens a snapshot with a scripted fault wrapper under the **delta**
+/// store — the store replicated apply writes into — returning the engine
+/// and the script controller.
+fn reopen_with_delta_script(
+    dir: &Path,
+    network: Arc<RoadNetwork>,
+    seed: u64,
+) -> (Arc<ReachabilityEngine>, FaultController) {
+    let mut controller = None;
+    let engine =
+        ReachabilityEngine::open_snapshot_with_stores(dir, network, |role, store| match role {
+            StoreRole::Delta => {
+                let faulty = FaultInjectingPageStore::with_seed(store, seed);
+                controller = Some(faulty.controller());
+                Box::new(faulty)
+            }
+            StoreRole::Base => store,
+        })
+        .expect("open replica snapshot with delta fault wrapper");
+    (
+        Arc::new(engine),
+        controller.expect("delta store was wrapped"),
+    )
+}
+
+/// Apply-fault campaign: scripted write EIOs on the replica's delta store
+/// make replicated apply fail. The controller keeps the records staged
+/// (never dropping or re-polling them), lag grows past the SLO and fires
+/// the typed breach event, and after the disk heals one kick re-converges
+/// the fleet with zero re-replayed records.
+#[test]
+fn controller_rides_out_replica_apply_faults_with_slo_events() {
+    let seed = fault_seed();
+    let root = tmp_dir("apply-faults");
+    let city = SyntheticCity::generate(GeneratorConfig::small());
+    let network = Arc::new(city.network);
+    let dataset = TrajectoryDataset::simulate(
+        &network,
+        FleetConfig {
+            num_taxis: 6,
+            num_days: 2,
+            day_start_s: 8 * 3600,
+            day_end_s: 11 * 3600,
+            seed: 31,
+            ..FleetConfig::default()
+        },
+    );
+    let leader = Arc::new(
+        EngineBuilder::new(network.clone(), &dataset)
+            .index_config(config())
+            .build(),
+    );
+    let home = root.join("leader");
+    leader
+        .save_snapshot(&home)
+        .unwrap_or_else(|e| panic!("[seed {seed}] save leader: {e}"));
+    leader
+        .attach_wal(home.join("ingest.wal"))
+        .unwrap_or_else(|e| panic!("[seed {seed}] attach WAL: {e}"));
+    let replica_home = root.join("replica");
+    copy_dir(&home, &replica_home);
+    let _ = std::fs::remove_file(replica_home.join("ingest.wal"));
+    let (replica, replica_delta) = reopen_with_delta_script(&replica_home, network.clone(), seed);
+    let set = Arc::new(ReplicaSet::new(leader.clone(), home.join("ingest.wal")));
+    set.add_replica(replica.clone(), replica_home.join("follower.wal"))
+        .unwrap_or_else(|e| panic!("[seed {seed}] register replica: {e}"));
+    let slo = 4u64;
+    let ctl = ReplicationController::spawn(
+        set.clone(),
+        ReplicationConfig {
+            poll_interval: std::time::Duration::from_millis(3),
+            lag_slo_records: slo,
+            retry_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(10),
+        },
+    );
+    let batch = |i: u32| -> Vec<TrajPoint> {
+        vec![TrajPoint {
+            traj_id: 900 + i,
+            date: 1,
+            segment: SegmentId((i * 13) % network.num_segments() as u32),
+            enter_time_s: 9 * 3600 + i * 20,
+        }]
+    };
+
+    // Healthy baseline: two records ship and apply.
+    for i in 0..2 {
+        leader
+            .ingest(&batch(i))
+            .unwrap_or_else(|e| panic!("[seed {seed}] baseline ingest #{i}: {e}"));
+    }
+    ctl.run_now();
+    assert!(set.converged(), "[seed {seed}] baseline converged");
+    assert!(
+        replica_delta.writes_observed() > 0,
+        "[seed {seed}] replicated apply never wrote the delta store — the fault lever is void"
+    );
+
+    // Dead replica disk: every delta write EIOs, so apply fails while the
+    // leader keeps ingesting. Lag must grow past the SLO and fire the
+    // typed events; the shipped records stay staged.
+    replica_delta.fail_writes_from(0);
+    let burst = 3 * slo as u32;
+    for i in 0..burst {
+        leader
+            .ingest(&batch(100 + i))
+            .unwrap_or_else(|e| panic!("[seed {seed}] burst ingest #{i}: {e}"));
+    }
+    ctl.run_now();
+    let lag = ctl.lag()[0];
+    assert!(
+        lag >= u64::from(burst),
+        "[seed {seed}] lag must grow while apply faults: {lag}"
+    );
+    let events = ctl.take_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ReplicationEvent::ShipFailed { .. })),
+        "[seed {seed}] the apply fault surfaces as a typed ship failure: {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            ReplicationEvent::SloBreached { replica: 0, lag_records, slo_records }
+                if *lag_records > *slo_records && *slo_records == slo
+        )),
+        "[seed {seed}] crossing the SLO fires the typed breach event: {events:?}"
+    );
+    let stats = ctl.stats();
+    assert!(
+        stats.ship_errors >= 1 && stats.slo_breaches == 1,
+        "[seed {seed}] stats must record the excursion: {stats:?}"
+    );
+
+    // Heal: one kicked pass (backoff bypassed) drains the staged records
+    // and re-converges. Zero re-replay: the follower log holds exactly the
+    // leader's record count — a re-shipped record would have broken the
+    // log's contiguity check — and the engines agree on the position.
+    replica_delta.clear();
+    ctl.run_now();
+    assert!(
+        set.converged(),
+        "[seed {seed}] healed fleet re-converges: {:?}",
+        set.status()
+    );
+    assert_eq!(ctl.lag(), vec![0], "[seed {seed}] lag back under the SLO");
+    let status = &set.status()[0];
+    assert_eq!(
+        status.shipped_records,
+        leader.wal_position().1,
+        "[seed {seed}] every leader record entered the follower log exactly once"
+    );
+    let events = ctl.take_events();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            ReplicationEvent::SloRecovered { replica: 0, lag_records } if *lag_records <= slo
+        )),
+        "[seed {seed}] recovery fires the typed event: {events:?}"
+    );
+    ctl.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// Compile-time pin: the router must stay shareable across threads — the
 /// ship race and any serving tier depend on it.
 #[test]
@@ -831,4 +1255,6 @@ fn sharded_engine_is_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ShardedEngine>();
     assert_send_sync::<ReplicaStatus>();
+    assert_send_sync::<ReplicaSet>();
+    assert_send_sync::<ReplicationController>();
 }
